@@ -1,0 +1,109 @@
+// K-DB experiment (paper §IV-A, in-text): the six-collection data
+// model, populated from a real pipeline artifact shape, with measured
+// insert / indexed-lookup / scan / update / persistence throughput —
+// the operations the paper's MongoDB deployment serves.
+#include <benchmark/benchmark.h>
+
+#include "kdb/database.h"
+#include "kdb/query.h"
+#include "kdb/storage.h"
+
+namespace {
+
+using namespace adahealth;
+using common::Json;
+
+kdb::Document MakeItemDocument(int64_t i) {
+  kdb::Document document;
+  document.Set("dataset_id", Json("bench-" + std::to_string(i % 8)));
+  document.Set("kind", Json(i % 3 == 0   ? "cluster"
+                            : i % 3 == 1 ? "itemset"
+                                         : "rule"));
+  document.Set("quality", Json(static_cast<double>(i % 100) / 100.0));
+  Json::Object payload;
+  payload["support"] = Json(i);
+  payload["items"] = Json(Json::Array{Json(i), Json(i + 1)});
+  document.Set("payload", Json(std::move(payload)));
+  return document;
+}
+
+void BM_Insert(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    kdb::Collection collection("knowledge_items");
+    state.ResumeTiming();
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      collection.Insert(MakeItemDocument(i));
+    }
+    benchmark::DoNotOptimize(collection.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Insert)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_IndexedLookup(benchmark::State& state) {
+  kdb::Collection collection("knowledge_items");
+  collection.CreateIndex("dataset_id");
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    collection.Insert(MakeItemDocument(i));
+  }
+  int64_t i = 0;
+  for (auto _ : state) {
+    auto matches = collection.Find(
+        kdb::Query().Eq("dataset_id",
+                        Json("bench-" + std::to_string(i++ % 8))),
+        10);
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndexedLookup)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+void BM_FullScanFilter(benchmark::State& state) {
+  kdb::Collection collection("knowledge_items");
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    collection.Insert(MakeItemDocument(i));
+  }
+  for (auto _ : state) {
+    auto matches = collection.Find(
+        kdb::Query()
+            .Eq("kind", Json("cluster"))
+            .Where("quality", kdb::QueryOp::kGe, Json(0.5)));
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FullScanFilter)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_UpdateById(benchmark::State& state) {
+  kdb::Collection collection("knowledge_items");
+  for (int64_t i = 0; i < 1000; ++i) {
+    collection.Insert(MakeItemDocument(i));
+  }
+  Json::Object update;
+  update["interest"] = Json("high");
+  Json update_json(std::move(update));
+  int64_t id = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        collection.UpdateById(1 + (id++ % 1000), update_json).ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UpdateById)->Unit(benchmark::kMicrosecond);
+
+void BM_SerializeReload(benchmark::State& state) {
+  kdb::Collection collection("knowledge_items");
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    collection.Insert(MakeItemDocument(i));
+  }
+  for (auto _ : state) {
+    std::string text = kdb::SerializeCollection(collection);
+    auto reloaded = kdb::DeserializeCollection("knowledge_items", text);
+    benchmark::DoNotOptimize(reloaded->size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SerializeReload)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,97 @@
+// Ablation A1: clustering algorithm and initialization.
+//
+// Justifies the paper's choice of the Kanungo et al. kd-tree filtering
+// K-means (ref [3]) over plain Lloyd at equal quality, and k-means++
+// over random initialization. Runs on the paper-scale cohort VSM.
+#include <benchmark/benchmark.h>
+
+#include "cluster/bisecting.h"
+#include "cluster/filtering_kmeans.h"
+#include "cluster/kmeans.h"
+#include "dataset/synthetic_cohort.h"
+#include "transform/vsm.h"
+
+namespace {
+
+using namespace adahealth;
+
+const transform::Matrix& CohortVsm() {
+  static const transform::Matrix* kVsm = [] {
+    auto cohort =
+        dataset::SyntheticCohortGenerator(dataset::PaperScaleConfig())
+            .Generate();
+    return new transform::Matrix(transform::BuildVsm(cohort->log));
+  }();
+  return *kVsm;
+}
+
+void BM_LloydKMeans(benchmark::State& state) {
+  const transform::Matrix& vsm = CohortVsm();
+  cluster::KMeansOptions options;
+  options.k = static_cast<int32_t>(state.range(0));
+  options.seed = 20160516;
+  double sse = 0.0;
+  for (auto _ : state) {
+    auto clustering = cluster::RunKMeans(vsm, options);
+    sse = clustering->sse;
+    benchmark::DoNotOptimize(clustering->assignments);
+  }
+  state.counters["sse"] = sse;
+}
+BENCHMARK(BM_LloydKMeans)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FilteringKMeans(benchmark::State& state) {
+  const transform::Matrix& vsm = CohortVsm();
+  cluster::KMeansOptions options;
+  options.k = static_cast<int32_t>(state.range(0));
+  options.seed = 20160516;
+  double sse = 0.0;
+  for (auto _ : state) {
+    auto clustering = cluster::RunFilteringKMeans(vsm, options);
+    sse = clustering->sse;
+    benchmark::DoNotOptimize(clustering->assignments);
+  }
+  state.counters["sse"] = sse;
+}
+BENCHMARK(BM_FilteringKMeans)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BisectingKMeans(benchmark::State& state) {
+  const transform::Matrix& vsm = CohortVsm();
+  cluster::BisectingOptions options;
+  options.k = static_cast<int32_t>(state.range(0));
+  options.seed = 20160516;
+  double sse = 0.0;
+  for (auto _ : state) {
+    auto clustering = cluster::RunBisectingKMeans(vsm, options);
+    sse = clustering->sse;
+    benchmark::DoNotOptimize(clustering->assignments);
+  }
+  state.counters["sse"] = sse;
+}
+BENCHMARK(BM_BisectingKMeans)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_KMeansInit(benchmark::State& state) {
+  const transform::Matrix& vsm = CohortVsm();
+  cluster::KMeansOptions options;
+  options.k = 8;
+  options.init = state.range(0) == 0 ? cluster::KMeansInit::kRandom
+                                     : cluster::KMeansInit::kKMeansPlusPlus;
+  double sse = 0.0;
+  int64_t iterations = 0;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    options.seed = seed++;
+    auto clustering = cluster::RunKMeans(vsm, options);
+    sse = clustering->sse;
+    iterations = clustering->iterations;
+    benchmark::DoNotOptimize(clustering->assignments);
+  }
+  state.counters["sse"] = sse;
+  state.counters["iterations"] = static_cast<double>(iterations);
+  state.SetLabel(state.range(0) == 0 ? "random" : "kmeans++");
+}
+BENCHMARK(BM_KMeansInit)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace

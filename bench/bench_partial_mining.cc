@@ -1,0 +1,111 @@
+// Reproduces the in-text partial-mining experiment of §IV-B:
+//
+//  * Three incremental runs over the top 20%, 40% and 100% of exam
+//    types (by descending raw frequency) cover ~70%, ~85% and 100% of
+//    the raw records;
+//  * overall similarity on the 85%-of-records subset is within 5% of
+//    the full dataset "regardless of the number of clusters";
+//  * for a fixed number of clusters, overall similarity decreases as
+//    the number of exams is reduced;
+//  * ADA-HEALTH therefore selects the 85% subset (the paper's 5% rule).
+#include <cstdio>
+
+#include "common/timer.h"
+#include "core/partial_mining.h"
+#include "dataset/synthetic_cohort.h"
+#include "stats/correlations.h"
+
+namespace {
+
+using namespace adahealth;
+
+int Run() {
+  common::WallTimer timer;
+  std::printf("=== Partial mining (paper $IV-B in-text experiment) ===\n");
+
+  auto cohort =
+      dataset::SyntheticCohortGenerator(dataset::PaperScaleConfig())
+          .Generate();
+  if (!cohort.ok()) {
+    std::printf("cohort generation failed: %s\n",
+                cohort.status().ToString().c_str());
+    return 1;
+  }
+
+  core::PartialMiningOptions options;
+  options.fractions = {0.2, 0.4, 1.0};
+  options.ks = {6, 8, 10, 12};
+  options.tolerance = 0.05;  // The paper's 5% rule.
+  // TF-IDF + L2: the VSM weighting suited to cosine-based cohesion
+  // (ubiquitous routine panels carry no grouping information), per the
+  // paper's reference [4].
+  options.vsm = {transform::VsmWeighting::kTfIdf,
+                 transform::VsmNormalization::kL2};
+  options.kmeans.seed = 20160516;
+  auto result = core::RunExamSubsetPartialMining(cohort->log, options);
+  if (!result.ok()) {
+    std::printf("partial mining failed: %s\n",
+                result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-12s %-14s", "exam types", "record cover");
+  for (int32_t k : result->ks) std::printf(" OS(K=%-3d)", k);
+  std::printf(" %-10s\n", "diff vs full");
+  for (size_t s = 0; s < result->steps.size(); ++s) {
+    const core::PartialMiningStep& step = result->steps[s];
+    std::printf("%10.0f%% %13.1f%%", 100.0 * step.fraction,
+                100.0 * step.record_coverage);
+    for (double similarity : step.overall_similarity) {
+      std::printf(" %9.4f", similarity);
+    }
+    std::printf(" %9.2f%%%s\n", 100.0 * step.mean_relative_diff,
+                s == result->selected_step ? "   <== selected" : "");
+  }
+
+  const core::PartialMiningStep& selected =
+      result->steps[result->selected_step];
+  std::printf("\nADA-HEALTH selects the subset with %.0f%% of exam types "
+              "(%.0f%% of records): quality difference %.2f%% < %.0f%%\n",
+              100.0 * selected.fraction, 100.0 * selected.record_coverage,
+              100.0 * selected.mean_relative_diff,
+              100.0 * options.tolerance);
+  std::printf("paper reference: 20/40/100%% of exam types ~= 70/85/100%% "
+              "of rows; the 85%%-row subset is within 5%% and is "
+              "selected\n");
+
+  // Secondary observation from the paper: for fixed K, similarity
+  // decreases as exams are removed.
+  std::printf("\nfixed-K monotonicity (similarity, step 20%% vs 100%%):\n");
+  for (size_t ki = 0; ki < result->ks.size(); ++ki) {
+    std::printf("  K=%-3d  %.4f -> %.4f (%s)\n", result->ks[ki],
+                result->steps.front().overall_similarity[ki],
+                result->steps.back().overall_similarity[ki],
+                result->steps.front().overall_similarity[ki] <=
+                        result->steps.back().overall_similarity[ki]
+                    ? "decreases with fewer exams, as in the paper"
+                    : "increases (differs from the paper)");
+  }
+  // The paper's explanation for why the reduced subset suffices:
+  // "some examination types are probably correlated (e.g. they could
+  // be prescribed in conjunction...)". Show the strongest pairs.
+  auto correlations =
+      stats::TopExamCorrelations(cohort->log, 5, /*min_patients=*/200);
+  if (correlations.ok()) {
+    std::printf("\nmost correlated exam pairs (the paper's explanation "
+                "for subset sufficiency):\n");
+    for (const auto& pair : correlations.value()) {
+      std::printf("  %-28s ~ %-28s r=%.3f\n",
+                  cohort->log.dictionary().Name(pair.exam_a).c_str(),
+                  cohort->log.dictionary().Name(pair.exam_b).c_str(),
+                  pair.correlation);
+    }
+  }
+  std::printf("[partial_mining] total time: %.1f s\n\n",
+              timer.ElapsedSeconds());
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,107 @@
+// Ablation A2: Apriori vs FP-growth runtime across support thresholds
+// on the cohort's transaction encoding, plus taxonomy-level
+// (MeTA-style) mining cost. Counters report the number of frequent
+// itemsets so quality parity is visible alongside speed.
+#include <benchmark/benchmark.h>
+
+#include "dataset/synthetic_cohort.h"
+#include "patterns/apriori.h"
+#include "patterns/fpgrowth.h"
+#include "patterns/generalized.h"
+#include "patterns/rules.h"
+#include "patterns/transactions.h"
+
+namespace {
+
+using namespace adahealth;
+
+struct CohortData {
+  dataset::Cohort cohort;
+  patterns::TransactionDb transactions;
+};
+
+const CohortData& Data() {
+  static const CohortData* kData = [] {
+    dataset::CohortConfig config = dataset::PaperScaleConfig();
+    config.num_patients = 2000;  // Keeps Apriori's O(n^2) bearable.
+    auto cohort = dataset::SyntheticCohortGenerator(config).Generate();
+    auto* data = new CohortData{std::move(cohort).value(), {}};
+    data->transactions = patterns::BuildTransactions(data->cohort.log);
+    return data;
+  }();
+  return *kData;
+}
+
+// state.range(0): relative min support in percent.
+void BM_Apriori(benchmark::State& state) {
+  const patterns::TransactionDb& db = Data().transactions;
+  patterns::MiningOptions options;
+  options.min_support_count = patterns::AbsoluteSupport(
+      static_cast<double>(state.range(0)) / 100.0, db.size());
+  options.max_itemset_size = 4;
+  size_t itemsets = 0;
+  for (auto _ : state) {
+    auto result = patterns::MineApriori(db, options);
+    itemsets = result->size();
+    benchmark::DoNotOptimize(result.value());
+  }
+  state.counters["itemsets"] = static_cast<double>(itemsets);
+}
+BENCHMARK(BM_Apriori)->Arg(40)->Arg(30)->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FpGrowth(benchmark::State& state) {
+  const patterns::TransactionDb& db = Data().transactions;
+  patterns::MiningOptions options;
+  options.min_support_count = patterns::AbsoluteSupport(
+      static_cast<double>(state.range(0)) / 100.0, db.size());
+  options.max_itemset_size = 4;
+  size_t itemsets = 0;
+  for (auto _ : state) {
+    auto result = patterns::MineFpGrowth(db, options);
+    itemsets = result->size();
+    benchmark::DoNotOptimize(result.value());
+  }
+  state.counters["itemsets"] = static_cast<double>(itemsets);
+}
+BENCHMARK(BM_FpGrowth)->Arg(40)->Arg(30)->Arg(20)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GeneralizedMining(benchmark::State& state) {
+  const CohortData& data = Data();
+  patterns::GeneralizedMiningOptions options;
+  options.min_support_level0 = 0.20;
+  options.min_support_level1 = 0.30;
+  options.min_support_level2 = 0.50;
+  options.max_itemset_size = 3;
+  size_t itemsets = 0;
+  for (auto _ : state) {
+    auto result = patterns::MineGeneralized(data.cohort.log,
+                                            data.cohort.taxonomy, options);
+    itemsets = result->size();
+    benchmark::DoNotOptimize(result.value());
+  }
+  state.counters["itemsets"] = static_cast<double>(itemsets);
+}
+BENCHMARK(BM_GeneralizedMining)->Unit(benchmark::kMillisecond);
+
+void BM_RuleGeneration(benchmark::State& state) {
+  const patterns::TransactionDb& db = Data().transactions;
+  patterns::MiningOptions mining;
+  mining.min_support_count = patterns::AbsoluteSupport(0.20, db.size());
+  mining.max_itemset_size = 4;
+  auto itemsets = patterns::MineFpGrowth(db, mining);
+  patterns::RuleOptions options;
+  options.min_confidence = 0.6;
+  size_t rules = 0;
+  for (auto _ : state) {
+    auto result =
+        patterns::GenerateRules(itemsets.value(), db.size(), options);
+    rules = result->size();
+    benchmark::DoNotOptimize(result.value());
+  }
+  state.counters["rules"] = static_cast<double>(rules);
+}
+BENCHMARK(BM_RuleGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace

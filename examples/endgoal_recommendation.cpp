@@ -1,0 +1,114 @@
+// Domain example 3 — the self-learning loop of §III: the K-DB
+// accumulates feedback from different physician personas; for a new
+// dataset, ADA-HEALTH identifies the viable end-goals and predicts
+// which ones each user will find interesting; the knowledge ranker
+// then adapts an item ordering to live feedback.
+#include <cstdio>
+
+#include "core/endgoal.h"
+#include "core/feedback_sim.h"
+#include "core/ranking.h"
+#include "dataset/synthetic_cohort.h"
+#include "kdb/database.h"
+
+int main() {
+  using namespace adahealth;
+  using core::EndGoal;
+
+  // --- Accumulate per-persona feedback on past datasets in the K-DB.
+  kdb::Database db;
+  db.EnsureAdaHealthSchema();
+  kdb::Collection& feedback = db.GetOrCreate(kdb::Schema::kFeedback);
+
+  std::vector<core::PersonaConfig> personas = {
+      core::DiabetologistPersona(), core::ClinicalResearcherPersona(),
+      core::HospitalAdministratorPersona()};
+  common::Rng rng(404);
+  for (size_t p = 0; p < personas.size(); ++p) {
+    core::FeedbackSimulator oracle(personas[p], 1000 + p);
+    for (int d = 0; d < 40; ++d) {
+      dataset::CohortConfig config = dataset::TestScaleConfig();
+      config.num_patients =
+          120 + static_cast<int32_t>(rng.UniformInt(0, 400));
+      config.mean_records_per_patient = rng.UniformDouble(3.0, 18.0);
+      config.zipf_exponent = rng.UniformDouble(0.3, 1.5);
+      config.seed = rng.NextUint64();
+      auto past = dataset::SyntheticCohortGenerator(config).Generate();
+      if (!past.ok()) return 1;
+      stats::MetaFeatures features =
+          stats::ComputeMetaFeatures(past->log);
+      for (int32_t g = 0; g < core::kNumEndGoals; ++g) {
+        EndGoal goal = static_cast<EndGoal>(g);
+        feedback.Insert(core::MakeGoalFeedbackDocument(
+            "past-" + std::to_string(d), personas[p].name, features, goal,
+            oracle.LabelGoal(features, goal)));
+      }
+    }
+  }
+  std::printf("K-DB feedback collection: %zu interaction records from %zu "
+              "personas\n\n",
+              feedback.size(), personas.size());
+
+  // --- A new dataset arrives.
+  auto cohort =
+      dataset::SyntheticCohortGenerator(dataset::TestScaleConfig())
+          .Generate();
+  if (!cohort.ok()) return 1;
+  stats::MetaFeatures features = stats::ComputeMetaFeatures(cohort->log);
+
+  // --- Per-persona recommendations (train on that persona's feedback).
+  for (const core::PersonaConfig& persona : personas) {
+    kdb::Collection personal("feedback_subset");
+    for (const kdb::Document& document :
+         feedback.Find(kdb::Query().Eq("user",
+                                       common::Json(persona.name)))) {
+      kdb::Document copy = document;
+      personal.Restore(std::move(copy)).ok();
+    }
+    core::EndGoalEngine engine;
+    if (!engine.TrainFromFeedback(personal).ok()) {
+      std::printf("%s: not enough diverse feedback to train\n",
+                  persona.name.c_str());
+      continue;
+    }
+    auto recommendations = engine.RecommendGoals(features);
+    if (!recommendations.ok()) return 1;
+    std::printf("recommendations for %s:\n", persona.name.c_str());
+    for (const auto& recommendation : recommendations.value()) {
+      std::printf("  %-24s interest: %-6s (%s)\n",
+                  core::EndGoalName(recommendation.viable.goal),
+                  core::InterestName(recommendation.predicted_interest),
+                  recommendation.viable.rationale.c_str());
+    }
+    std::printf("\n");
+  }
+
+  // --- Knowledge navigation: a feedback round reorders items.
+  core::KnowledgeRanker ranker;
+  std::vector<core::KnowledgeItem> items;
+  for (int i = 0; i < 6; ++i) {
+    core::KnowledgeItem item;
+    item.id = "item:" + std::to_string(i);
+    item.kind = i % 2 == 0 ? "cluster" : "rule";
+    item.goal = i % 2 == 0 ? EndGoal::kPatientGrouping
+                           : EndGoal::kInteractionDiscovery;
+    item.quality = 0.4 + 0.1 * i;
+    item.description = std::string(i % 2 == 0 ? "patient group" : "rule") +
+                       " #" + std::to_string(i);
+    items.push_back(item);
+  }
+  if (!ranker.AddItems(items).ok()) return 1;
+  std::printf("initial ranking: ");
+  for (const auto& item : ranker.Ranked()) {
+    std::printf("%s ", item.id.c_str());
+  }
+  // The user loves rules and dislikes the top cluster.
+  ranker.RecordFeedback("item:1", core::Interest::kHigh).ok();
+  ranker.RecordFeedback("item:4", core::Interest::kLow).ok();
+  std::printf("\nafter feedback:  ");
+  for (const auto& item : ranker.Ranked()) {
+    std::printf("%s ", item.id.c_str());
+  }
+  std::printf("\n");
+  return 0;
+}

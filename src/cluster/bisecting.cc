@@ -1,0 +1,131 @@
+#include "cluster/bisecting.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace adahealth {
+namespace cluster {
+
+namespace {
+
+using transform::Matrix;
+using transform::SquaredDistance;
+
+/// SSE of one cluster (rows `members` of `data`) around its mean.
+double ClusterSse(const Matrix& data, const std::vector<size_t>& members) {
+  if (members.empty()) return 0.0;
+  std::vector<double> mean(data.cols(), 0.0);
+  for (size_t row : members) {
+    std::span<const double> point = data.Row(row);
+    for (size_t d = 0; d < data.cols(); ++d) mean[d] += point[d];
+  }
+  for (double& m : mean) m /= static_cast<double>(members.size());
+  double sse = 0.0;
+  for (size_t row : members) {
+    sse += SquaredDistance(data.Row(row), mean);
+  }
+  return sse;
+}
+
+}  // namespace
+
+common::StatusOr<Clustering> RunBisectingKMeans(
+    const Matrix& data, const BisectingOptions& options) {
+  if (data.rows() == 0 || data.cols() == 0) {
+    return common::InvalidArgumentError(
+        "bisecting k-means requires non-empty data");
+  }
+  if (options.k < 1 || static_cast<size_t>(options.k) > data.rows()) {
+    return common::InvalidArgumentError("k must be in [1, number of points]");
+  }
+  if (options.trials_per_split < 1 || options.max_iterations < 1) {
+    return common::InvalidArgumentError(
+        "trials_per_split and max_iterations must be >= 1");
+  }
+
+  common::Rng rng(options.seed);
+  // Clusters as member-row lists, with cached SSE for split selection.
+  std::vector<std::vector<size_t>> clusters;
+  std::vector<double> sses;
+  {
+    std::vector<size_t> all(data.rows());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+    sses.push_back(ClusterSse(data, all));
+    clusters.push_back(std::move(all));
+  }
+
+  while (clusters.size() < static_cast<size_t>(options.k)) {
+    // Split the cluster with the largest SSE that has >= 2 points.
+    size_t victim = clusters.size();
+    double worst = -1.0;
+    for (size_t c = 0; c < clusters.size(); ++c) {
+      if (clusters[c].size() >= 2 && sses[c] > worst) {
+        worst = sses[c];
+        victim = c;
+      }
+    }
+    ADA_CHECK_LT(victim, clusters.size());
+
+    Matrix sub = data.SelectRows(clusters[victim]);
+    common::StatusOr<Clustering> best_split =
+        common::InternalError("no split attempted");
+    for (int32_t trial = 0; trial < options.trials_per_split; ++trial) {
+      KMeansOptions inner;
+      inner.k = 2;
+      inner.init = KMeansInit::kKMeansPlusPlus;
+      inner.max_iterations = options.max_iterations;
+      inner.seed = rng.NextUint64();
+      common::StatusOr<Clustering> split = RunKMeans(sub, inner);
+      if (!split.ok()) return split.status();
+      if (!best_split.ok() || split->sse < best_split->sse) {
+        best_split = std::move(split);
+      }
+    }
+
+    std::vector<size_t> left;
+    std::vector<size_t> right;
+    for (size_t i = 0; i < clusters[victim].size(); ++i) {
+      if (best_split->assignments[i] == 0) {
+        left.push_back(clusters[victim][i]);
+      } else {
+        right.push_back(clusters[victim][i]);
+      }
+    }
+    ADA_CHECK(!left.empty());
+    ADA_CHECK(!right.empty());
+    clusters[victim] = std::move(left);
+    sses[victim] = ClusterSse(data, clusters[victim]);
+    sses.push_back(ClusterSse(data, right));
+    clusters.push_back(std::move(right));
+  }
+
+  // Materialize the Clustering: assignments, centroids, SSE.
+  Clustering result;
+  result.k = options.k;
+  result.assignments.assign(data.rows(), 0);
+  result.centroids = Matrix(static_cast<size_t>(options.k), data.cols());
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    std::span<double> centroid = result.centroids.Row(c);
+    for (size_t row : clusters[c]) {
+      result.assignments[row] = static_cast<int32_t>(c);
+      std::span<const double> point = data.Row(row);
+      for (size_t d = 0; d < data.cols(); ++d) centroid[d] += point[d];
+    }
+    for (size_t d = 0; d < data.cols(); ++d) {
+      centroid[d] /= static_cast<double>(clusters[c].size());
+    }
+  }
+  for (size_t i = 0; i < data.rows(); ++i) {
+    result.sse += SquaredDistance(
+        data.Row(i),
+        result.centroids.Row(static_cast<size_t>(result.assignments[i])));
+  }
+  result.iterations = static_cast<int32_t>(clusters.size()) - 1;
+  result.converged = true;
+  return result;
+}
+
+}  // namespace cluster
+}  // namespace adahealth

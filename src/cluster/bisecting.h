@@ -1,0 +1,29 @@
+// Bisecting K-means: repeatedly 2-means-split the cluster with the
+// largest SSE until k clusters exist. Included as an alternative
+// center-based algorithm for the ADA-HEALTH optimizer to compare.
+#ifndef ADAHEALTH_CLUSTER_BISECTING_H_
+#define ADAHEALTH_CLUSTER_BISECTING_H_
+
+#include "cluster/kmeans.h"
+
+namespace adahealth {
+namespace cluster {
+
+struct BisectingOptions {
+  int32_t k = 8;
+  /// 2-means restarts per split; the best-SSE split wins.
+  int32_t trials_per_split = 4;
+  /// Iteration cap of each inner 2-means run.
+  int32_t max_iterations = 50;
+  uint64_t seed = 1;
+};
+
+/// Runs bisecting K-means on the rows of `data`. Same result contract
+/// as RunKMeans. Requires 1 <= k <= data.rows().
+common::StatusOr<Clustering> RunBisectingKMeans(
+    const transform::Matrix& data, const BisectingOptions& options);
+
+}  // namespace cluster
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_CLUSTER_BISECTING_H_

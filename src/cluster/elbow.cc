@@ -1,0 +1,76 @@
+#include "cluster/elbow.h"
+
+#include <cmath>
+
+namespace adahealth {
+namespace cluster {
+
+common::StatusOr<ElbowAnalysis> AnalyzeElbow(
+    const std::vector<SsePoint>& sweep, double flat_threshold) {
+  if (sweep.size() < 3) {
+    return common::InvalidArgumentError(
+        "elbow analysis needs at least three sweep points");
+  }
+  if (flat_threshold <= 0.0 || flat_threshold > 1.0) {
+    return common::InvalidArgumentError(
+        "flat_threshold must be in (0, 1]");
+  }
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    if (sweep[i].sse < 0.0) {
+      return common::InvalidArgumentError("SSE must be non-negative");
+    }
+    if (i > 0 && sweep[i].k <= sweep[i - 1].k) {
+      return common::InvalidArgumentError("K must be strictly increasing");
+    }
+  }
+
+  ElbowAnalysis analysis;
+
+  // Knee: maximum perpendicular distance from the chord between the
+  // first and last points, in the normalized (K, SSE) plane.
+  const double k_span =
+      static_cast<double>(sweep.back().k - sweep.front().k);
+  const double sse_span = sweep.front().sse - sweep.back().sse;
+  analysis.knee_scores.resize(sweep.size(), 0.0);
+  double best_distance = -1.0;
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    double x = k_span > 0.0 ? static_cast<double>(sweep[i].k -
+                                                  sweep.front().k) /
+                                  k_span
+                            : 0.0;
+    double y = sse_span != 0.0
+                   ? (sweep.front().sse - sweep[i].sse) / sse_span
+                   : 0.0;
+    // Distance from the chord y = x (normalized endpoints are (0,0)
+    // and (1,1)): proportional to y - x.
+    double distance = y - x;
+    analysis.knee_scores[i] = distance;
+    if (distance > best_distance) {
+      best_distance = distance;
+      analysis.knee_k = sweep[i].k;
+    }
+  }
+
+  // Admissible range: improvements per added cluster flatten out.
+  double first_rate =
+      (sweep.front().sse - sweep[1].sse) /
+      static_cast<double>(sweep[1].k - sweep.front().k);
+  analysis.admissible_from_k = sweep.back().k;
+  if (first_rate <= 0.0) {
+    // Already flat from the start.
+    analysis.admissible_from_k = sweep.front().k;
+    return analysis;
+  }
+  for (size_t i = 1; i < sweep.size(); ++i) {
+    double rate = (sweep[i - 1].sse - sweep[i].sse) /
+                  static_cast<double>(sweep[i].k - sweep[i - 1].k);
+    if (rate <= flat_threshold * first_rate) {
+      analysis.admissible_from_k = sweep[i].k;
+      break;
+    }
+  }
+  return analysis;
+}
+
+}  // namespace cluster
+}  // namespace adahealth

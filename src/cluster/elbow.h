@@ -1,0 +1,46 @@
+// SSE-elbow analysis over a K sweep.
+//
+// The paper observes that "based on the SSE index, good values for K
+// are in the range from 8 to 20" — i.e. SSE alone only yields an
+// admissible *range*, which is exactly why ADA-HEALTH adds the
+// classifier-based robustness assessment. This module computes that
+// admissible range (and the classic knee point) from a (K, SSE)
+// series so the two criteria can be compared programmatically.
+#ifndef ADAHEALTH_CLUSTER_ELBOW_H_
+#define ADAHEALTH_CLUSTER_ELBOW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace adahealth {
+namespace cluster {
+
+/// One point of a K sweep.
+struct SsePoint {
+  int32_t k = 0;
+  double sse = 0.0;
+};
+
+struct ElbowAnalysis {
+  /// The knee: the K with maximum distance from the line through the
+  /// first and last sweep points (the "kneedle" construction).
+  int32_t knee_k = 0;
+  /// Smallest K from which the marginal SSE improvement per added
+  /// cluster stays below `flat_threshold` times the average first-step
+  /// improvement — the paper's "good values from here on" range start.
+  int32_t admissible_from_k = 0;
+  /// Normalized distances-to-chord per sweep point (parallel input).
+  std::vector<double> knee_scores;
+};
+
+/// Analyzes a K sweep. Requires >= 3 points with strictly increasing K
+/// and non-negative SSE. `flat_threshold` in (0, 1].
+common::StatusOr<ElbowAnalysis> AnalyzeElbow(
+    const std::vector<SsePoint>& sweep, double flat_threshold = 0.25);
+
+}  // namespace cluster
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_CLUSTER_ELBOW_H_

@@ -1,0 +1,192 @@
+#include "cluster/filtering_kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cluster/kdtree.h"
+#include "common/check.h"
+
+namespace adahealth {
+namespace cluster {
+
+namespace {
+
+using transform::Matrix;
+using transform::SquaredDistance;
+
+/// Per-iteration accumulators of the filtering pass.
+struct Accumulators {
+  Matrix sums;                 // k x dims.
+  std::vector<int64_t> counts;  // k.
+
+  Accumulators(size_t k, size_t dims) : sums(k, dims, 0.0), counts(k, 0) {}
+};
+
+/// Returns true if candidate `z` is farther than `z_star` from every
+/// point of the box [box_min, box_max] (Kanungo et al., Lemma: test the
+/// box vertex extreme in the direction z - z_star).
+bool IsFarther(std::span<const double> z, std::span<const double> z_star,
+               const std::vector<double>& box_min,
+               const std::vector<double>& box_max) {
+  double dist_z = 0.0;
+  double dist_star = 0.0;
+  for (size_t d = 0; d < z.size(); ++d) {
+    double v = (z[d] > z_star[d]) ? box_max[d] : box_min[d];
+    double dz = z[d] - v;
+    double ds = z_star[d] - v;
+    dist_z += dz * dz;
+    dist_star += ds * ds;
+  }
+  return dist_z >= dist_star;
+}
+
+/// Recursive filtering pass: distributes the subtree at `node_id` over
+/// the candidate centroids in `candidates`.
+void Filter(const KdTree& tree, const Matrix& centroids,
+            size_t node_id, std::vector<int32_t> candidates,
+            Accumulators& acc) {
+  const KdTree::Node& node = tree.node(node_id);
+  const Matrix& data = tree.data();
+  const size_t dims = data.cols();
+
+  if (candidates.size() > 1) {
+    // z*: candidate closest to the cell midpoint.
+    std::vector<double> midpoint(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      midpoint[d] = 0.5 * (node.box_min[d] + node.box_max[d]);
+    }
+    double best = std::numeric_limits<double>::max();
+    int32_t z_star = candidates[0];
+    for (int32_t c : candidates) {
+      double dist = SquaredDistance(midpoint, centroids.Row(
+          static_cast<size_t>(c)));
+      if (dist < best) {
+        best = dist;
+        z_star = c;
+      }
+    }
+    // Prune candidates dominated by z* over the whole cell.
+    std::vector<int32_t> pruned;
+    pruned.reserve(candidates.size());
+    std::span<const double> star_row =
+        centroids.Row(static_cast<size_t>(z_star));
+    for (int32_t c : candidates) {
+      if (c == z_star ||
+          !IsFarther(centroids.Row(static_cast<size_t>(c)), star_row,
+                     node.box_min, node.box_max)) {
+        pruned.push_back(c);
+      }
+    }
+    candidates = std::move(pruned);
+  }
+
+  if (candidates.size() == 1) {
+    // The whole subtree belongs to the sole surviving candidate.
+    const size_t c = static_cast<size_t>(candidates[0]);
+    std::span<double> sum = acc.sums.Row(c);
+    for (size_t d = 0; d < dims; ++d) sum[d] += node.sum[d];
+    acc.counts[c] += static_cast<int64_t>(node.count());
+    return;
+  }
+
+  if (node.is_leaf()) {
+    for (size_t i = node.begin; i < node.end; ++i) {
+      size_t point_id = tree.point_indices()[i];
+      std::span<const double> point = data.Row(point_id);
+      double best = std::numeric_limits<double>::max();
+      int32_t best_c = candidates[0];
+      for (int32_t c : candidates) {
+        double dist =
+            SquaredDistance(point, centroids.Row(static_cast<size_t>(c)));
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      std::span<double> sum = acc.sums.Row(static_cast<size_t>(best_c));
+      for (size_t d = 0; d < dims; ++d) sum[d] += point[d];
+      ++acc.counts[static_cast<size_t>(best_c)];
+    }
+    return;
+  }
+
+  Filter(tree, centroids, static_cast<size_t>(node.left), candidates, acc);
+  Filter(tree, centroids, static_cast<size_t>(node.right),
+         std::move(candidates), acc);
+}
+
+}  // namespace
+
+common::StatusOr<Clustering> RunFilteringKMeans(const Matrix& data,
+                                                const KMeansOptions& options,
+                                                size_t leaf_size) {
+  if (data.rows() == 0 || data.cols() == 0) {
+    return common::InvalidArgumentError(
+        "filtering k-means requires non-empty data");
+  }
+  if (options.k < 1 || static_cast<size_t>(options.k) > data.rows()) {
+    return common::InvalidArgumentError("k must be in [1, number of points]");
+  }
+  if (options.max_iterations < 1) {
+    return common::InvalidArgumentError("max_iterations must be >= 1");
+  }
+
+  common::Rng rng(options.seed);
+  Clustering result;
+  result.k = options.k;
+  result.centroids = InitializeCentroids(data, options.k, options.init, rng);
+
+  const KdTree tree(data, leaf_size);
+  const size_t k = static_cast<size_t>(options.k);
+  const size_t dims = data.cols();
+  std::vector<int32_t> all_candidates(k);
+  for (size_t c = 0; c < k; ++c) all_candidates[c] = static_cast<int32_t>(c);
+
+  for (int32_t iter = 0; iter < options.max_iterations; ++iter) {
+    Accumulators acc(k, dims);
+    Filter(tree, result.centroids, tree.root(), all_candidates, acc);
+
+    Matrix new_centroids(k, dims);
+    bool any_empty = false;
+    for (size_t c = 0; c < k; ++c) {
+      if (acc.counts[c] == 0) {
+        any_empty = true;
+        // Keep the previous centroid; fixed below via a full pass.
+        std::span<const double> old = result.centroids.Row(c);
+        std::span<double> fresh = new_centroids.Row(c);
+        std::copy(old.begin(), old.end(), fresh.begin());
+        continue;
+      }
+      std::span<const double> sum = acc.sums.Row(c);
+      std::span<double> centroid = new_centroids.Row(c);
+      for (size_t d = 0; d < dims; ++d) {
+        centroid[d] = sum[d] / static_cast<double>(acc.counts[c]);
+      }
+    }
+    if (any_empty) {
+      // Rare: fall back to the exact re-seeding used by plain Lloyd.
+      std::vector<int32_t> assignments;
+      AssignToCentroids(data, new_centroids, assignments);
+      RecomputeCentroids(data, assignments, new_centroids);
+    }
+
+    result.iterations = iter + 1;
+    double movement = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+      movement += SquaredDistance(result.centroids.Row(c),
+                                  new_centroids.Row(c));
+    }
+    result.centroids = std::move(new_centroids);
+    if (movement == 0.0) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.sse = AssignToCentroids(data, result.centroids, result.assignments);
+  return result;
+}
+
+}  // namespace cluster
+}  // namespace adahealth

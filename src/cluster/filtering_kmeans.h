@@ -1,0 +1,30 @@
+// The kd-tree "filtering" K-means of Kanungo, Mount, Netanyahu, Piatko,
+// Silverman & Wu (IEEE TPAMI 2002) — the efficient K-means
+// implementation the paper cites as reference [3].
+//
+// Instead of computing every point-centroid distance, each Lloyd
+// iteration walks the kd-tree with a shrinking set of candidate
+// centroids; a subtree whose bounding box is entirely closer to one
+// candidate than to all others is assigned wholesale using the node's
+// cached sufficient statistics.
+//
+// Produces the same fixed point as plain Lloyd for the same
+// initialization (up to distance ties).
+#ifndef ADAHEALTH_CLUSTER_FILTERING_KMEANS_H_
+#define ADAHEALTH_CLUSTER_FILTERING_KMEANS_H_
+
+#include "cluster/kmeans.h"
+
+namespace adahealth {
+namespace cluster {
+
+/// Runs filtering K-means with the same options/result contract as
+/// RunKMeans. `leaf_size` tunes the kd-tree granularity.
+common::StatusOr<Clustering> RunFilteringKMeans(
+    const transform::Matrix& data, const KMeansOptions& options,
+    size_t leaf_size = 16);
+
+}  // namespace cluster
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_CLUSTER_FILTERING_KMEANS_H_

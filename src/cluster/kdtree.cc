@@ -1,0 +1,74 @@
+#include "cluster/kdtree.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace adahealth {
+namespace cluster {
+
+KdTree::KdTree(const transform::Matrix& data, size_t leaf_size)
+    : data_(&data) {
+  ADA_CHECK_GE(leaf_size, 1u);
+  ADA_CHECK_GT(data.rows(), 0u);
+  point_indices_.resize(data.rows());
+  std::iota(point_indices_.begin(), point_indices_.end(), 0u);
+  nodes_.reserve(2 * data.rows() / leaf_size + 2);
+  BuildNode(0, data.rows(), leaf_size);
+}
+
+int32_t KdTree::BuildNode(size_t begin, size_t end, size_t leaf_size) {
+  const size_t dims = data_->cols();
+  int32_t id = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  {
+    Node& node = nodes_.back();
+    node.begin = begin;
+    node.end = end;
+    node.box_min.assign(dims, std::numeric_limits<double>::max());
+    node.box_max.assign(dims, std::numeric_limits<double>::lowest());
+    node.sum.assign(dims, 0.0);
+    for (size_t i = begin; i < end; ++i) {
+      std::span<const double> point = data_->Row(point_indices_[i]);
+      for (size_t d = 0; d < dims; ++d) {
+        node.box_min[d] = std::min(node.box_min[d], point[d]);
+        node.box_max[d] = std::max(node.box_max[d], point[d]);
+        node.sum[d] += point[d];
+        node.sum_squared_norms += point[d] * point[d];
+      }
+    }
+  }
+  if (end - begin <= leaf_size) return id;
+
+  // Split along the widest dimension at the median.
+  size_t split_dim = 0;
+  double widest = -1.0;
+  for (size_t d = 0; d < dims; ++d) {
+    double width = nodes_[static_cast<size_t>(id)].box_max[d] -
+                   nodes_[static_cast<size_t>(id)].box_min[d];
+    if (width > widest) {
+      widest = width;
+      split_dim = d;
+    }
+  }
+  if (widest <= 0.0) return id;  // All points identical: keep as leaf.
+
+  size_t mid = begin + (end - begin) / 2;
+  std::nth_element(point_indices_.begin() + static_cast<ptrdiff_t>(begin),
+                   point_indices_.begin() + static_cast<ptrdiff_t>(mid),
+                   point_indices_.begin() + static_cast<ptrdiff_t>(end),
+                   [&](size_t a, size_t b) {
+                     return data_->At(a, split_dim) < data_->At(b, split_dim);
+                   });
+
+  int32_t left = BuildNode(begin, mid, leaf_size);
+  int32_t right = BuildNode(mid, end, leaf_size);
+  nodes_[static_cast<size_t>(id)].left = left;
+  nodes_[static_cast<size_t>(id)].right = right;
+  return id;
+}
+
+}  // namespace cluster
+}  // namespace adahealth

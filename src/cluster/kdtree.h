@@ -1,0 +1,64 @@
+// Bulk-loaded kd-tree over the rows of a dense matrix.
+//
+// Each node caches the bounding box, the vector sum and the sum of
+// squared norms of the points below it — exactly the sufficient
+// statistics the Kanungo et al. filtering algorithm (paper ref [3])
+// needs to assign whole subtrees to a centroid at once.
+#ifndef ADAHEALTH_CLUSTER_KDTREE_H_
+#define ADAHEALTH_CLUSTER_KDTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "transform/matrix.h"
+
+namespace adahealth {
+namespace cluster {
+
+/// Immutable kd-tree built over all rows of a matrix.
+/// The referenced matrix must outlive the tree.
+class KdTree {
+ public:
+  struct Node {
+    /// Range [begin, end) into point_indices() covered by this node.
+    size_t begin = 0;
+    size_t end = 0;
+    /// Axis-aligned bounding box of the covered points.
+    std::vector<double> box_min;
+    std::vector<double> box_max;
+    /// Componentwise sum of the covered points.
+    std::vector<double> sum;
+    /// Sum of squared L2 norms of the covered points.
+    double sum_squared_norms = 0.0;
+    /// Child node ids; -1 for leaves (both or neither are set).
+    int32_t left = -1;
+    int32_t right = -1;
+
+    bool is_leaf() const { return left < 0; }
+    size_t count() const { return end - begin; }
+  };
+
+  /// Builds the tree by recursive median split along the widest box
+  /// dimension. `leaf_size` bounds leaf cardinality (>= 1).
+  explicit KdTree(const transform::Matrix& data, size_t leaf_size = 16);
+
+  const transform::Matrix& data() const { return *data_; }
+  const Node& node(size_t id) const { return nodes_[id]; }
+  size_t num_nodes() const { return nodes_.size(); }
+  /// Root node id (0); valid when the matrix has rows.
+  size_t root() const { return 0; }
+  /// Permutation of row ids; node ranges index into this array.
+  const std::vector<size_t>& point_indices() const { return point_indices_; }
+
+ private:
+  int32_t BuildNode(size_t begin, size_t end, size_t leaf_size);
+
+  const transform::Matrix* data_;
+  std::vector<size_t> point_indices_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace cluster
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_CLUSTER_KDTREE_H_

@@ -1,0 +1,196 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace adahealth {
+namespace cluster {
+
+using common::Rng;
+using common::StatusOr;
+using transform::Matrix;
+using transform::SquaredDistance;
+
+Matrix InitializeCentroids(const Matrix& data, int32_t k, KMeansInit init,
+                           Rng& rng) {
+  const size_t n = data.rows();
+  ADA_CHECK_GE(k, 1);
+  ADA_CHECK_LE(static_cast<size_t>(k), n);
+  Matrix centroids(static_cast<size_t>(k), data.cols());
+
+  if (init == KMeansInit::kRandom) {
+    std::vector<size_t> picks =
+        rng.SampleWithoutReplacement(n, static_cast<size_t>(k));
+    for (size_t c = 0; c < picks.size(); ++c) {
+      std::span<const double> src = data.Row(picks[c]);
+      std::span<double> dst = centroids.Row(c);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+    return centroids;
+  }
+
+  // k-means++ (Arthur & Vassilvitskii): first centroid uniform, each
+  // further centroid sampled proportionally to its squared distance to
+  // the closest chosen centroid.
+  std::vector<double> min_distance(n, std::numeric_limits<double>::max());
+  size_t first = static_cast<size_t>(rng.UniformUint64(n));
+  {
+    std::span<const double> src = data.Row(first);
+    std::span<double> dst = centroids.Row(0);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  for (int32_t c = 1; c < k; ++c) {
+    std::span<const double> last = centroids.Row(static_cast<size_t>(c - 1));
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double d = SquaredDistance(data.Row(i), last);
+      min_distance[i] = std::min(min_distance[i], d);
+      total += min_distance[i];
+    }
+    size_t chosen = 0;
+    if (total > 0.0) {
+      double target = rng.UniformDouble() * total;
+      double cumulative = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        cumulative += min_distance[i];
+        if (target < cumulative) {
+          chosen = i;
+          break;
+        }
+        chosen = i;
+      }
+    } else {
+      // All remaining distances zero (duplicated points): pick uniformly.
+      chosen = static_cast<size_t>(rng.UniformUint64(n));
+    }
+    std::span<const double> src = data.Row(chosen);
+    std::span<double> dst = centroids.Row(static_cast<size_t>(c));
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return centroids;
+}
+
+double AssignToCentroids(const Matrix& data, const Matrix& centroids,
+                         std::vector<int32_t>& assignments) {
+  const size_t n = data.rows();
+  const size_t k = centroids.rows();
+  ADA_CHECK_GE(k, 1u);
+  assignments.resize(n);
+  double sse = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    std::span<const double> point = data.Row(i);
+    double best = std::numeric_limits<double>::max();
+    int32_t best_c = 0;
+    for (size_t c = 0; c < k; ++c) {
+      double d = SquaredDistance(point, centroids.Row(c));
+      if (d < best) {
+        best = d;
+        best_c = static_cast<int32_t>(c);
+      }
+    }
+    assignments[i] = best_c;
+    sse += best;
+  }
+  return sse;
+}
+
+void RecomputeCentroids(const Matrix& data,
+                        const std::vector<int32_t>& assignments,
+                        Matrix& centroids) {
+  const size_t k = centroids.rows();
+  const size_t dims = centroids.cols();
+  ADA_CHECK_EQ(assignments.size(), data.rows());
+  std::vector<int64_t> counts(k, 0);
+  Matrix sums(k, dims, 0.0);
+  for (size_t i = 0; i < data.rows(); ++i) {
+    int32_t c = assignments[i];
+    ADA_CHECK_GE(c, 0);
+    ADA_CHECK_LT(static_cast<size_t>(c), k);
+    ++counts[static_cast<size_t>(c)];
+    std::span<const double> point = data.Row(i);
+    std::span<double> sum = sums.Row(static_cast<size_t>(c));
+    for (size_t d = 0; d < dims; ++d) sum[d] += point[d];
+  }
+  for (size_t c = 0; c < k; ++c) {
+    if (counts[c] == 0) continue;
+    std::span<const double> sum = sums.Row(c);
+    std::span<double> centroid = centroids.Row(c);
+    for (size_t d = 0; d < dims; ++d) {
+      centroid[d] = sum[d] / static_cast<double>(counts[c]);
+    }
+  }
+  // Re-seed empty clusters with the point farthest from its centroid so
+  // that every cluster stays non-empty.
+  for (size_t c = 0; c < k; ++c) {
+    if (counts[c] != 0) continue;
+    double worst = -1.0;
+    size_t worst_point = 0;
+    for (size_t i = 0; i < data.rows(); ++i) {
+      size_t assigned = static_cast<size_t>(assignments[i]);
+      if (counts[assigned] <= 1) continue;  // Don't empty another cluster.
+      double d = SquaredDistance(data.Row(i), centroids.Row(assigned));
+      if (d > worst) {
+        worst = d;
+        worst_point = i;
+      }
+    }
+    if (worst >= 0.0) {
+      std::span<const double> src = data.Row(worst_point);
+      std::span<double> dst = centroids.Row(c);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+}
+
+std::vector<int64_t> ClusterSizes(const std::vector<int32_t>& assignments,
+                                  int32_t k) {
+  ADA_CHECK_GE(k, 1);
+  std::vector<int64_t> sizes(static_cast<size_t>(k), 0);
+  for (int32_t a : assignments) {
+    ADA_CHECK_GE(a, 0);
+    ADA_CHECK_LT(a, k);
+    ++sizes[static_cast<size_t>(a)];
+  }
+  return sizes;
+}
+
+StatusOr<Clustering> RunKMeans(const Matrix& data,
+                               const KMeansOptions& options) {
+  if (data.rows() == 0 || data.cols() == 0) {
+    return common::InvalidArgumentError("k-means requires non-empty data");
+  }
+  if (options.k < 1 || static_cast<size_t>(options.k) > data.rows()) {
+    return common::InvalidArgumentError(
+        "k must be in [1, number of points]");
+  }
+  if (options.max_iterations < 1) {
+    return common::InvalidArgumentError("max_iterations must be >= 1");
+  }
+
+  Rng rng(options.seed);
+  Clustering result;
+  result.k = options.k;
+  result.centroids = InitializeCentroids(data, options.k, options.init, rng);
+
+  std::vector<int32_t> previous;
+  for (int32_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.sse = AssignToCentroids(data, result.centroids,
+                                   result.assignments);
+    result.iterations = iter + 1;
+    if (result.assignments == previous) {
+      result.converged = true;
+      break;
+    }
+    previous = result.assignments;
+    RecomputeCentroids(data, result.assignments, result.centroids);
+  }
+  // Final assignment against the last centroids (keeps sse consistent
+  // with assignments/centroids on non-converged exits).
+  result.sse = AssignToCentroids(data, result.centroids, result.assignments);
+  return result;
+}
+
+}  // namespace cluster
+}  // namespace adahealth

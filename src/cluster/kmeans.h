@@ -1,0 +1,84 @@
+// K-means clustering (Lloyd's algorithm) with random and k-means++
+// initialization. The kd-tree accelerated variant cited by the paper
+// (Kanungo et al. [3]) lives in cluster/filtering_kmeans.h and produces
+// identical results faster.
+#ifndef ADAHEALTH_CLUSTER_KMEANS_H_
+#define ADAHEALTH_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "transform/matrix.h"
+
+namespace adahealth {
+namespace cluster {
+
+/// Centroid initialization strategy.
+enum class KMeansInit {
+  /// k distinct data points chosen uniformly at random.
+  kRandom,
+  /// k-means++ seeding (D^2 weighting).
+  kKMeansPlusPlus,
+};
+
+struct KMeansOptions {
+  /// Number of clusters; 1 <= k <= number of points.
+  int32_t k = 8;
+  KMeansInit init = KMeansInit::kKMeansPlusPlus;
+  /// Hard iteration cap.
+  int32_t max_iterations = 100;
+  /// Converged when no assignment changes in an iteration.
+  uint64_t seed = 1;
+};
+
+/// Result of a clustering run.
+struct Clustering {
+  int32_t k = 0;
+  /// Cluster index per data row, in [0, k).
+  std::vector<int32_t> assignments;
+  /// k x dims centroid matrix.
+  transform::Matrix centroids;
+  /// Sum of squared errors (total squared distance to closest centroid).
+  double sse = 0.0;
+  /// Lloyd iterations executed.
+  int32_t iterations = 0;
+  /// True if the run converged before max_iterations.
+  bool converged = false;
+};
+
+/// Runs Lloyd's K-means on the rows of `data`.
+/// Fails if k is out of range or data is empty. Deterministic in
+/// (data, options).
+common::StatusOr<Clustering> RunKMeans(const transform::Matrix& data,
+                                       const KMeansOptions& options);
+
+// --- Building blocks shared with the accelerated variants ---------------
+
+/// Chooses initial centroids from the rows of `data`.
+transform::Matrix InitializeCentroids(const transform::Matrix& data,
+                                      int32_t k, KMeansInit init,
+                                      common::Rng& rng);
+
+/// Assigns each row to its closest centroid; returns the SSE.
+/// `assignments` is resized to data.rows().
+double AssignToCentroids(const transform::Matrix& data,
+                         const transform::Matrix& centroids,
+                         std::vector<int32_t>& assignments);
+
+/// Recomputes centroids as assignment means. Empty clusters are
+/// re-seeded with the point farthest from its current centroid, which
+/// guarantees k non-empty clusters when data.rows() >= k.
+void RecomputeCentroids(const transform::Matrix& data,
+                        const std::vector<int32_t>& assignments,
+                        transform::Matrix& centroids);
+
+/// Sizes of each cluster given `assignments` (values < k).
+std::vector<int64_t> ClusterSizes(const std::vector<int32_t>& assignments,
+                                  int32_t k);
+
+}  // namespace cluster
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_CLUSTER_KMEANS_H_

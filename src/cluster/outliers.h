@@ -1,0 +1,42 @@
+// Distance-based outlier detection over the patient VSM.
+//
+// The paper notes that rarely prescribed exams "could affect other
+// types of analyses such as outlier detection" (§IV-B); this module
+// provides the two standard unsupervised scorers such an analysis
+// would use:
+//  * centroid-relative score — distance to the assigned centroid
+//    normalized by the cluster's mean distance;
+//  * k-NN distance score — mean distance to the k nearest neighbours.
+#ifndef ADAHEALTH_CLUSTER_OUTLIERS_H_
+#define ADAHEALTH_CLUSTER_OUTLIERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "common/status.h"
+#include "transform/matrix.h"
+
+namespace adahealth {
+namespace cluster {
+
+/// Per-row outlier scores relative to a clustering: distance to the
+/// assigned centroid divided by the mean such distance within the
+/// cluster (1.0 = typical member; singletons and zero-spread clusters
+/// score 1.0). Requires assignments to match `data`.
+common::StatusOr<std::vector<double>> CentroidOutlierScores(
+    const transform::Matrix& data, const Clustering& clustering);
+
+/// Per-row mean Euclidean distance to the `k` nearest other rows
+/// (brute force, O(n^2 d)). Requires 1 <= k < data.rows().
+common::StatusOr<std::vector<double>> KnnOutlierScores(
+    const transform::Matrix& data, int32_t k);
+
+/// Indices of the `count` largest scores, descending (ties by index).
+std::vector<size_t> TopOutliers(const std::vector<double>& scores,
+                                size_t count);
+
+}  // namespace cluster
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_CLUSTER_OUTLIERS_H_

@@ -1,0 +1,72 @@
+// Clustering quality indices.
+//
+// Two of these are the paper's interestingness metrics:
+//  * SSE — "measures the cluster cohesion for center-based clustering
+//    techniques as the total sum of squared errors" (§IV-A);
+//  * overall similarity — "measures the cluster cohesiveness by
+//    computing the internal pairwise similarity of patients within
+//    each cluster, and then taking the weighted sum over the whole
+//    cluster set" (§IV-A, citing Tan/Steinbach/Kumar [4]).
+// Silhouette and Davies–Bouldin are provided for the optimizer
+// ablations.
+#ifndef ADAHEALTH_CLUSTER_QUALITY_H_
+#define ADAHEALTH_CLUSTER_QUALITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "transform/matrix.h"
+
+namespace adahealth {
+namespace cluster {
+
+/// Total squared distance from each row to its assigned centroid.
+double SumSquaredError(const transform::Matrix& data,
+                       const std::vector<int32_t>& assignments,
+                       const transform::Matrix& centroids);
+
+/// Overall similarity (Tan/Steinbach/Kumar): the weighted sum over
+/// clusters of the average pairwise cosine similarity within the
+/// cluster, weights proportional to cluster size:
+///
+///   OS = sum_i (n_i / N) * (1 / n_i^2) * sum_{x,y in C_i} cos(x, y)
+///
+/// Rows are cosine-normalized internally, after which the inner double
+/// sum collapses to ||mean of normalized members||^2, making the index
+/// O(N * dims). Self-pairs are included, matching [4]. Result in
+/// (0, 1]; higher is more cohesive.
+double OverallSimilarity(const transform::Matrix& data,
+                         const std::vector<int32_t>& assignments, int32_t k);
+
+/// Reference O(N^2) implementation of OverallSimilarity used to verify
+/// the closed form in tests. Prefer OverallSimilarity in real code.
+double OverallSimilarityExact(const transform::Matrix& data,
+                              const std::vector<int32_t>& assignments,
+                              int32_t k);
+
+/// Mean silhouette coefficient in [-1, 1]. Exact when data.rows() <=
+/// `max_exact`; otherwise estimated on a deterministic sample of
+/// `max_exact` points (seeded by `seed`). Requires k >= 2 and every
+/// cluster non-empty.
+double SilhouetteScore(const transform::Matrix& data,
+                       const std::vector<int32_t>& assignments, int32_t k,
+                       size_t max_exact = 2000, uint64_t seed = 7);
+
+/// Davies–Bouldin index (lower is better). Requires k >= 2 and every
+/// cluster non-empty.
+double DaviesBouldinIndex(const transform::Matrix& data,
+                          const std::vector<int32_t>& assignments, int32_t k);
+
+/// Calinski–Harabasz index (between-cluster dispersion over
+/// within-cluster dispersion, scaled by the degrees of freedom; higher
+/// is better). Requires 2 <= k < data.rows() and every cluster
+/// non-empty; returns 0 when within-cluster dispersion is zero.
+double CalinskiHarabaszIndex(const transform::Matrix& data,
+                             const std::vector<int32_t>& assignments,
+                             int32_t k);
+
+}  // namespace cluster
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_CLUSTER_QUALITY_H_

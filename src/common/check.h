@@ -1,0 +1,42 @@
+// Invariant-checking macros. ADA_CHECK* fire in all build modes; they
+// guard programmer errors (violated preconditions), not recoverable
+// runtime failures, which use common/status.h instead.
+#ifndef ADAHEALTH_COMMON_CHECK_H_
+#define ADAHEALTH_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a diagnostic if `condition` is false.
+#define ADA_CHECK(condition)                                              \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      std::fprintf(stderr, "%s:%d: ADA_CHECK failed: %s\n", __FILE__,     \
+                   __LINE__, #condition);                                 \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+/// Aborts with a diagnostic and a printf-style message if false.
+#define ADA_CHECK_MSG(condition, ...)                                     \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      std::fprintf(stderr, "%s:%d: ADA_CHECK failed: %s: ", __FILE__,     \
+                   __LINE__, #condition);                                 \
+      std::fprintf(stderr, __VA_ARGS__);                                  \
+      std::fprintf(stderr, "\n");                                         \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#define ADA_CHECK_EQ(a, b) ADA_CHECK((a) == (b))
+#define ADA_CHECK_NE(a, b) ADA_CHECK((a) != (b))
+#define ADA_CHECK_LT(a, b) ADA_CHECK((a) < (b))
+#define ADA_CHECK_LE(a, b) ADA_CHECK((a) <= (b))
+#define ADA_CHECK_GT(a, b) ADA_CHECK((a) > (b))
+#define ADA_CHECK_GE(a, b) ADA_CHECK((a) >= (b))
+
+/// Checks that a Status/StatusOr expression is OK.
+#define ADA_CHECK_OK(expr) ADA_CHECK((expr).ok())
+
+#endif  // ADAHEALTH_COMMON_CHECK_H_

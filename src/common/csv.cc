@@ -1,0 +1,140 @@
+#include "common/csv.h"
+
+#include <cstdio>
+
+namespace adahealth {
+namespace common {
+
+StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
+    std::string_view text, char delimiter) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_was_quoted = false;
+  size_t i = 0;
+  const size_t n = text.size();
+
+  auto end_field = [&]() {
+    row.push_back(std::move(field));
+    field.clear();
+    field_was_quoted = false;
+  };
+  auto end_row = [&]() {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  while (i < n) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field.push_back(c);
+        ++i;
+      }
+      continue;
+    }
+    if (c == '"') {
+      if (!field.empty() || field_was_quoted) {
+        return InvalidArgumentError(
+            "unexpected quote inside unquoted CSV field");
+      }
+      in_quotes = true;
+      field_was_quoted = true;
+      ++i;
+    } else if (c == delimiter) {
+      end_field();
+      ++i;
+    } else if (c == '\n') {
+      end_row();
+      ++i;
+    } else if (c == '\r') {
+      // Accept both \r\n and bare \r as row terminators.
+      end_row();
+      if (i + 1 < n && text[i + 1] == '\n') ++i;
+      ++i;
+    } else {
+      field.push_back(c);
+      ++i;
+    }
+  }
+  if (in_quotes) {
+    return InvalidArgumentError("unterminated quoted CSV field");
+  }
+  // Flush a trailing row without a final newline.
+  if (!field.empty() || field_was_quoted || !row.empty()) end_row();
+  return rows;
+}
+
+namespace {
+
+bool NeedsQuoting(const std::string& field, char delimiter) {
+  for (char c : field) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows,
+                     char delimiter) {
+  std::string out;
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(delimiter);
+      const std::string& field = row[i];
+      if (NeedsQuoting(field, delimiter)) {
+        out.push_back('"');
+        for (char c : field) {
+          if (c == '"') out.push_back('"');
+          out.push_back(c);
+        }
+        out.push_back('"');
+      } else {
+        out.append(field);
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return NotFoundError("cannot open file: " + path);
+  std::string contents;
+  char buffer[1 << 16];
+  size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, read);
+  }
+  bool had_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (had_error) return DataLossError("read error on file: " + path);
+  return contents;
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view contents) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return InvalidArgumentError("cannot open file for writing: " + path);
+  }
+  size_t written = std::fwrite(contents.data(), 1, contents.size(), file);
+  bool ok = written == contents.size();
+  ok = std::fclose(file) == 0 && ok;
+  if (!ok) return DataLossError("write error on file: " + path);
+  return OkStatus();
+}
+
+}  // namespace common
+}  // namespace adahealth

@@ -1,0 +1,37 @@
+// RFC-4180-style CSV reading and writing.
+//
+// Supports quoted fields with embedded delimiters, escaped quotes ("")
+// and embedded newlines. Used for dataset import/export.
+#ifndef ADAHEALTH_COMMON_CSV_H_
+#define ADAHEALTH_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace adahealth {
+namespace common {
+
+/// Parses a whole CSV document into rows of fields.
+/// Fails with INVALID_ARGUMENT on unterminated quotes or stray quote
+/// characters inside unquoted fields.
+StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
+    std::string_view text, char delimiter = ',');
+
+/// Serializes rows to CSV, quoting fields that contain the delimiter,
+/// quotes, or newlines.
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows,
+                     char delimiter = ',');
+
+/// Reads an entire file into a string.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `contents` to `path`, replacing any existing file.
+Status WriteStringToFile(const std::string& path, std::string_view contents);
+
+}  // namespace common
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_COMMON_CSV_H_

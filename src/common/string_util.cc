@@ -1,0 +1,106 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace adahealth {
+namespace common {
+
+std::vector<std::string> Split(std::string_view text, char delimiter) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      break;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view delimiter) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(delimiter);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  return out;
+}
+
+StatusOr<int64_t> ParseInt64(std::string_view text) {
+  if (text.empty()) return InvalidArgumentError("empty integer literal");
+  std::string buffer(text);
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(buffer.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return OutOfRangeError("integer out of range: " + buffer);
+  }
+  if (end == buffer.c_str() || *end != '\0') {
+    return InvalidArgumentError("malformed integer: " + buffer);
+  }
+  return static_cast<int64_t>(value);
+}
+
+StatusOr<double> ParseDouble(std::string_view text) {
+  if (text.empty()) return InvalidArgumentError("empty double literal");
+  std::string buffer(text);
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buffer.c_str(), &end);
+  if (errno == ERANGE) {
+    return OutOfRangeError("double out of range: " + buffer);
+  }
+  if (end == buffer.c_str() || *end != '\0') {
+    return InvalidArgumentError("malformed double: " + buffer);
+  }
+  return value;
+}
+
+std::string StrFormat(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(out.data(), out.size(), format, args_copy);
+    out.resize(static_cast<size_t>(needed));
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace common
+}  // namespace adahealth

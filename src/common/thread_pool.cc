@@ -1,0 +1,95 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/check.h"
+
+namespace adahealth {
+namespace common {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  ADA_CHECK_GE(num_threads, 1u);
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ADA_CHECK(!shutting_down_);
+    queue_.push_back(std::move(task));
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& body) {
+  if (begin >= end) return;
+  const size_t total = end - begin;
+  const size_t workers = pool.num_threads();
+  const size_t chunk = std::max<size_t>(1, (total + workers - 1) / workers);
+  std::atomic<size_t> pending{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  size_t scheduled = 0;
+  for (size_t chunk_begin = begin; chunk_begin < end; chunk_begin += chunk) {
+    ++scheduled;
+  }
+  pending.store(scheduled);
+  for (size_t chunk_begin = begin; chunk_begin < end; chunk_begin += chunk) {
+    const size_t chunk_end = std::min(end, chunk_begin + chunk);
+    pool.Schedule([&, chunk_begin, chunk_end] {
+      for (size_t i = chunk_begin; i < chunk_end; ++i) body(i);
+      if (pending.fetch_sub(1) == 1) {
+        std::unique_lock<std::mutex> lock(done_mutex);
+        done_cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return pending.load() == 0; });
+}
+
+}  // namespace common
+}  // namespace adahealth

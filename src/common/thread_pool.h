@@ -1,0 +1,59 @@
+// Fixed-size worker pool with a ParallelFor convenience wrapper.
+//
+// The ADA-HEALTH optimizer evaluates many candidate configurations
+// (e.g. K values) concurrently; this pool is the local stand-in for the
+// paper's "online cloud-based services for automatic configuration".
+#ifndef ADAHEALTH_COMMON_THREAD_POOL_H_
+#define ADAHEALTH_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adahealth {
+namespace common {
+
+/// A fixed pool of worker threads executing queued tasks FIFO.
+/// Thread-safe. Destruction waits for all queued tasks to finish.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution.
+  void Schedule(std::function<void()> task);
+
+  /// Blocks until every scheduled task has completed.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Runs body(i) for i in [begin, end) across `pool`, blocking until all
+/// iterations complete. Iterations are distributed in contiguous chunks.
+void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& body);
+
+}  // namespace common
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_COMMON_THREAD_POOL_H_

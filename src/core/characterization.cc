@@ -1,0 +1,42 @@
+#include "core/characterization.h"
+
+#include "common/string_util.h"
+
+namespace adahealth {
+namespace core {
+
+CharacterizationReport Characterize(const dataset::ExamLog& log) {
+  CharacterizationReport report;
+  report.features = stats::ComputeMetaFeatures(log);
+  const stats::MetaFeatures& f = report.features;
+  report.text = common::StrFormat(
+      "dataset: %lld patients, %lld exam types, %lld records\n"
+      "density: %.4f (sparseness %.4f)\n"
+      "records/patient: mean %.2f, stddev %.2f\n"
+      "exam frequency: normalized entropy %.3f, Gini %.3f\n"
+      "coverage: top 20%% of exams -> %.1f%% of records, "
+      "top 40%% -> %.1f%%\n"
+      "mean patient coverage per exam: %.3f",
+      static_cast<long long>(f.num_patients),
+      static_cast<long long>(f.num_exam_types),
+      static_cast<long long>(f.num_records), f.density, 1.0 - f.density,
+      f.mean_records_per_patient, f.stddev_records_per_patient,
+      f.exam_frequency_entropy, f.exam_frequency_gini,
+      100.0 * f.top20_coverage, 100.0 * f.top40_coverage,
+      f.mean_patient_coverage);
+  return report;
+}
+
+kdb::DocumentId StoreCharacterization(const CharacterizationReport& report,
+                                      const std::string& dataset_id,
+                                      kdb::Database& db) {
+  kdb::Document document;
+  document.Set("dataset_id", common::Json(dataset_id));
+  document.Set("features", report.features.ToJson());
+  document.Set("report", common::Json(report.text));
+  return db.GetOrCreate(kdb::Schema::kDescriptors)
+      .Insert(std::move(document));
+}
+
+}  // namespace core
+}  // namespace adahealth

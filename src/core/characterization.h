@@ -1,0 +1,34 @@
+// The "data characterization" block of the ADA-HEALTH architecture:
+// computes statistical descriptors of a dataset and renders/stores
+// them (K-DB collection 3).
+#ifndef ADAHEALTH_CORE_CHARACTERIZATION_H_
+#define ADAHEALTH_CORE_CHARACTERIZATION_H_
+
+#include <string>
+
+#include "dataset/exam_log.h"
+#include "kdb/database.h"
+#include "stats/meta_features.h"
+
+namespace adahealth {
+namespace core {
+
+/// Characterization output: the meta-features plus a formatted report.
+struct CharacterizationReport {
+  stats::MetaFeatures features;
+  std::string text;
+};
+
+/// Computes and formats the characterization of `log`.
+CharacterizationReport Characterize(const dataset::ExamLog& log);
+
+/// Stores the characterization in the K-DB descriptors collection,
+/// tagged with `dataset_id`. Returns the document id.
+kdb::DocumentId StoreCharacterization(const CharacterizationReport& report,
+                                      const std::string& dataset_id,
+                                      kdb::Database& db);
+
+}  // namespace core
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_CORE_CHARACTERIZATION_H_

@@ -1,0 +1,107 @@
+#include "core/knowledge.h"
+
+namespace adahealth {
+namespace core {
+
+using common::Json;
+using common::StatusOr;
+
+const char* EndGoalName(EndGoal goal) {
+  switch (goal) {
+    case EndGoal::kPatientGrouping:
+      return "patient_grouping";
+    case EndGoal::kCommonExamPatterns:
+      return "common_exam_patterns";
+    case EndGoal::kComplianceOutcome:
+      return "compliance_outcome";
+    case EndGoal::kInteractionDiscovery:
+      return "interaction_discovery";
+    case EndGoal::kResourcePlanning:
+      return "resource_planning";
+  }
+  return "?";
+}
+
+const char* InterestName(Interest interest) {
+  switch (interest) {
+    case Interest::kLow:
+      return "low";
+    case Interest::kMedium:
+      return "medium";
+    case Interest::kHigh:
+      return "high";
+  }
+  return "?";
+}
+
+StatusOr<EndGoal> EndGoalFromName(const std::string& name) {
+  for (int32_t g = 0; g < kNumEndGoals; ++g) {
+    EndGoal goal = static_cast<EndGoal>(g);
+    if (name == EndGoalName(goal)) return goal;
+  }
+  return common::InvalidArgumentError("unknown end-goal: " + name);
+}
+
+StatusOr<Interest> InterestFromName(const std::string& name) {
+  for (int32_t i = 0; i < kNumInterestLevels; ++i) {
+    Interest interest = static_cast<Interest>(i);
+    if (name == InterestName(interest)) return interest;
+  }
+  return common::InvalidArgumentError("unknown interest: " + name);
+}
+
+Json KnowledgeItem::ToJson() const {
+  Json::Object object;
+  object["item_id"] = Json(id);
+  object["goal"] = Json(std::string(EndGoalName(goal)));
+  object["kind"] = Json(kind);
+  object["description"] = Json(description);
+  object["quality"] = Json(quality);
+  object["payload"] = payload;
+  object["interest"] = Json(std::string(InterestName(interest)));
+  return Json(std::move(object));
+}
+
+StatusOr<KnowledgeItem> KnowledgeItem::FromJson(const Json& json) {
+  if (!json.is_object()) {
+    return common::InvalidArgumentError("knowledge item must be an object");
+  }
+  KnowledgeItem item;
+  const Json* id = json.Find("item_id");
+  if (id == nullptr || !id->is_string()) {
+    return common::InvalidArgumentError("knowledge item missing item_id");
+  }
+  item.id = id->AsString();
+  const Json* goal = json.Find("goal");
+  if (goal == nullptr || !goal->is_string()) {
+    return common::InvalidArgumentError("knowledge item missing goal");
+  }
+  auto parsed_goal = EndGoalFromName(goal->AsString());
+  if (!parsed_goal.ok()) return parsed_goal.status();
+  item.goal = parsed_goal.value();
+  if (const Json* kind = json.Find("kind"); kind != nullptr &&
+      kind->is_string()) {
+    item.kind = kind->AsString();
+  }
+  if (const Json* description = json.Find("description");
+      description != nullptr && description->is_string()) {
+    item.description = description->AsString();
+  }
+  if (const Json* quality = json.Find("quality");
+      quality != nullptr && quality->is_number()) {
+    item.quality = quality->AsDouble();
+  }
+  if (const Json* payload = json.Find("payload"); payload != nullptr) {
+    item.payload = *payload;
+  }
+  if (const Json* interest = json.Find("interest");
+      interest != nullptr && interest->is_string()) {
+    auto parsed = InterestFromName(interest->AsString());
+    if (!parsed.ok()) return parsed.status();
+    item.interest = parsed.value();
+  }
+  return item;
+}
+
+}  // namespace core
+}  // namespace adahealth

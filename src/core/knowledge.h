@@ -1,0 +1,69 @@
+// Knowledge-item model: the unit of "actionable knowledge" ADA-HEALTH
+// extracts, stores in the K-DB, ranks, and presents to the user.
+//
+// End-goals mirror the analyses motivating the paper's introduction:
+// (i) groups of patients with similar clinical history, (ii) exams
+// commonly prescribed together, (iii) compliance/outcome assessment,
+// (iv) unknown interactions, (v) resource planning.
+#ifndef ADAHEALTH_CORE_KNOWLEDGE_H_
+#define ADAHEALTH_CORE_KNOWLEDGE_H_
+
+#include <string>
+
+#include "common/json.h"
+
+namespace adahealth {
+namespace core {
+
+/// Analysis end-goal taxonomy (paper §I).
+enum class EndGoal : int32_t {
+  kPatientGrouping = 0,      // (i)  clustering-based.
+  kCommonExamPatterns = 1,   // (ii) frequent-pattern-based.
+  kComplianceOutcome = 2,    // (iii).
+  kInteractionDiscovery = 3, // (iv) association rules.
+  kResourcePlanning = 4,     // (v).
+};
+inline constexpr int32_t kNumEndGoals = 5;
+
+/// Degree of interestingness a physician assigns to a knowledge item
+/// (paper §IV-A: "{high, medium, low}").
+enum class Interest : int32_t {
+  kLow = 0,
+  kMedium = 1,
+  kHigh = 2,
+};
+inline constexpr int32_t kNumInterestLevels = 3;
+
+const char* EndGoalName(EndGoal goal);
+const char* InterestName(Interest interest);
+
+/// Parses names produced by the *Name functions; INVALID_ARGUMENT on
+/// unknown strings.
+common::StatusOr<EndGoal> EndGoalFromName(const std::string& name);
+common::StatusOr<Interest> InterestFromName(const std::string& name);
+
+/// One extracted knowledge item.
+struct KnowledgeItem {
+  /// Stable identifier within a session, e.g. "cluster:3".
+  std::string id;
+  /// End-goal this item serves.
+  EndGoal goal = EndGoal::kPatientGrouping;
+  /// Item kind: "cluster", "itemset", "rule", ...
+  std::string kind;
+  /// One-line human-readable description.
+  std::string description;
+  /// Algorithm-specific quality in [0, 1] (e.g. cohesion, confidence).
+  double quality = 0.0;
+  /// Structured details (centroid profile, rule parts, ...).
+  common::Json payload;
+  /// Predicted or physician-assigned interest.
+  Interest interest = Interest::kMedium;
+
+  common::Json ToJson() const;
+  static common::StatusOr<KnowledgeItem> FromJson(const common::Json& json);
+};
+
+}  // namespace core
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_CORE_KNOWLEDGE_H_

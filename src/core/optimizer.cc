@@ -1,0 +1,134 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/thread_pool.h"
+#include "ml/cross_validation.h"
+#include "ml/decision_tree.h"
+#include "ml/knn.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+
+namespace adahealth {
+namespace core {
+
+using common::Status;
+using common::StatusOr;
+using transform::Matrix;
+
+namespace {
+
+ml::ClassifierFactory MakeFactory(RobustnessModel model) {
+  switch (model) {
+    case RobustnessModel::kDecisionTree:
+      return [] { return std::make_unique<ml::DecisionTreeClassifier>(); };
+    case RobustnessModel::kNaiveBayes:
+      return [] { return std::make_unique<ml::GaussianNaiveBayes>(); };
+    case RobustnessModel::kNearestNeighbors:
+      return [] { return std::make_unique<ml::KnnClassifier>(); };
+    case RobustnessModel::kRandomForest:
+      return [] { return std::make_unique<ml::RandomForestClassifier>(); };
+  }
+  return [] { return std::make_unique<ml::DecisionTreeClassifier>(); };
+}
+
+/// Evaluates one candidate K: cluster, then cross-validate a classifier
+/// that re-predicts the cluster labels from the same features.
+StatusOr<CandidateEvaluation> EvaluateCandidate(
+    const Matrix& data, int32_t k, const OptimizerOptions& options) {
+  CandidateEvaluation evaluation;
+  evaluation.k = k;
+
+  cluster::KMeansOptions kmeans = options.kmeans;
+  kmeans.k = k;
+  StatusOr<cluster::Clustering> best =
+      common::InternalError("no restart succeeded");
+  for (int32_t restart = 0; restart < options.restarts; ++restart) {
+    kmeans.seed = options.seed + static_cast<uint64_t>(k) * 104729 +
+                  static_cast<uint64_t>(restart) * 15485863;
+    auto clustering = cluster::RunKMeans(data, kmeans);
+    if (!clustering.ok()) return clustering.status();
+    if (!best.ok() || clustering->sse < best->sse) {
+      best = std::move(clustering);
+    }
+  }
+  evaluation.sse = best->sse;
+  evaluation.clustering = std::move(best).value();
+
+  auto report = ml::CrossValidate(
+      data, evaluation.clustering.assignments, k, options.cv_folds,
+      options.seed + static_cast<uint64_t>(k), MakeFactory(options.model));
+  if (!report.ok()) return report.status();
+  evaluation.accuracy = report->accuracy;
+  evaluation.avg_precision = report->macro_precision;
+  evaluation.avg_recall = report->macro_recall;
+  evaluation.composite = (evaluation.accuracy + evaluation.avg_precision +
+                          evaluation.avg_recall) /
+                         3.0;
+  return evaluation;
+}
+
+}  // namespace
+
+StatusOr<OptimizerResult> OptimizeClustering(
+    const Matrix& data, const OptimizerOptions& options) {
+  if (data.rows() == 0 || data.cols() == 0) {
+    return common::InvalidArgumentError("optimizer requires non-empty data");
+  }
+  if (options.candidate_ks.empty()) {
+    return common::InvalidArgumentError("no candidate K values");
+  }
+  for (int32_t k : options.candidate_ks) {
+    if (k < 2 || static_cast<size_t>(k) > data.rows()) {
+      return common::InvalidArgumentError(
+          "candidate K outside [2, number of points]");
+    }
+  }
+  if (options.cv_folds < 2) {
+    return common::InvalidArgumentError("cv_folds must be >= 2");
+  }
+  if (options.restarts < 1) {
+    return common::InvalidArgumentError("restarts must be >= 1");
+  }
+
+  const size_t num_candidates = options.candidate_ks.size();
+  std::vector<StatusOr<CandidateEvaluation>> evaluations(
+      num_candidates, common::InternalError("not evaluated"));
+
+  size_t num_threads = options.num_threads;
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, num_candidates);
+  if (num_threads <= 1) {
+    for (size_t i = 0; i < num_candidates; ++i) {
+      evaluations[i] =
+          EvaluateCandidate(data, options.candidate_ks[i], options);
+    }
+  } else {
+    common::ThreadPool pool(num_threads);
+    common::ParallelFor(pool, 0, num_candidates, [&](size_t i) {
+      evaluations[i] =
+          EvaluateCandidate(data, options.candidate_ks[i], options);
+    });
+  }
+
+  OptimizerResult result;
+  result.candidates.reserve(num_candidates);
+  double best_composite = -1.0;
+  for (size_t i = 0; i < num_candidates; ++i) {
+    if (!evaluations[i].ok()) return evaluations[i].status();
+    result.candidates.push_back(std::move(evaluations[i]).value());
+    if (result.candidates.back().composite > best_composite) {
+      best_composite = result.candidates.back().composite;
+      result.best_index = i;
+    }
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace adahealth

@@ -1,0 +1,80 @@
+// The ADA-HEALTH algorithm-optimization component (paper §IV-A):
+// "Given a dataset and a clustering algorithm, our technique performs
+// several runs of the mining activity with varying parameters (e.g.
+// different numbers of clusters)". Each candidate K is scored by
+//  (a) the SSE interestingness index, and
+//  (b) cluster robustness: a classifier trained to re-predict the
+//      cluster labels from the same input features, evaluated with
+//      k-fold cross-validation (accuracy, average precision, average
+//      recall — the columns of Table I).
+// The K with the best overall classification results is selected
+// automatically (the paper picks K = 8).
+#ifndef ADAHEALTH_CORE_OPTIMIZER_H_
+#define ADAHEALTH_CORE_OPTIMIZER_H_
+
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "common/status.h"
+#include "transform/matrix.h"
+
+namespace adahealth {
+namespace core {
+
+/// Robustness assessor model (ablation A3).
+enum class RobustnessModel {
+  kDecisionTree,  // The paper's choice.
+  kNaiveBayes,
+  kNearestNeighbors,
+  kRandomForest,
+};
+
+struct OptimizerOptions {
+  /// Candidate cluster counts (Table I: 6,7,8,9,10,12,15,20).
+  std::vector<int32_t> candidate_ks = {6, 7, 8, 9, 10, 12, 15, 20};
+  /// Base K-means configuration; k is overridden per candidate.
+  cluster::KMeansOptions kmeans;
+  /// Cross-validation folds (paper: 10).
+  int32_t cv_folds = 10;
+  /// K-means restarts per candidate; the best-SSE run is kept, so the
+  /// robustness assessment scores the algorithm's best effort at each
+  /// K rather than one local optimum.
+  int32_t restarts = 3;
+  RobustnessModel model = RobustnessModel::kDecisionTree;
+  /// Worker threads for the candidate sweep (the local stand-in for
+  /// the paper's cloud configuration services). 0 = hardware default.
+  size_t num_threads = 0;
+  uint64_t seed = 29;
+};
+
+/// Per-candidate measurements (one Table I row).
+struct CandidateEvaluation {
+  int32_t k = 0;
+  double sse = 0.0;
+  double accuracy = 0.0;
+  double avg_precision = 0.0;
+  double avg_recall = 0.0;
+  /// Composite selection score: mean of the three CV metrics.
+  double composite = 0.0;
+  cluster::Clustering clustering;
+};
+
+struct OptimizerResult {
+  std::vector<CandidateEvaluation> candidates;  // In candidate_ks order.
+  size_t best_index = 0;
+
+  int32_t best_k() const { return candidates[best_index].k; }
+  const CandidateEvaluation& best() const {
+    return candidates[best_index];
+  }
+};
+
+/// Sweeps the candidate Ks over `data` (rows = patients in VSM form)
+/// and selects the best configuration.
+common::StatusOr<OptimizerResult> OptimizeClustering(
+    const transform::Matrix& data, const OptimizerOptions& options);
+
+}  // namespace core
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_CORE_OPTIMIZER_H_

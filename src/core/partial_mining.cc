@@ -1,0 +1,182 @@
+#include "core/partial_mining.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/quality.h"
+#include "common/rng.h"
+#include "transform/feature_select.h"
+#include "transform/sampling.h"
+
+namespace adahealth {
+namespace core {
+
+using common::InvalidArgumentError;
+using common::StatusOr;
+using dataset::ExamLog;
+
+namespace {
+
+common::Status ValidateOptions(const PartialMiningOptions& options) {
+  if (options.fractions.empty()) {
+    return InvalidArgumentError("empty fraction schedule");
+  }
+  for (size_t i = 0; i < options.fractions.size(); ++i) {
+    if (options.fractions[i] <= 0.0 || options.fractions[i] > 1.0) {
+      return InvalidArgumentError("fractions must be in (0, 1]");
+    }
+    if (i > 0 && options.fractions[i] <= options.fractions[i - 1]) {
+      return InvalidArgumentError("fractions must be strictly increasing");
+    }
+  }
+  if (options.ks.empty()) {
+    return InvalidArgumentError("at least one K is required");
+  }
+  for (int32_t k : options.ks) {
+    if (k < 1) return InvalidArgumentError("K values must be >= 1");
+  }
+  if (options.tolerance < 0.0) {
+    return InvalidArgumentError("tolerance must be non-negative");
+  }
+  if (options.restarts < 1) {
+    return InvalidArgumentError("restarts must be >= 1");
+  }
+  return common::OkStatus();
+}
+
+/// Clusters the rows of `mining_vsm` for every K and scores each
+/// result with the overall similarity computed on `evaluation_vsm`
+/// (row-aligned with mining_vsm). Passing the same matrix twice scores
+/// in the mining space; the exam-subset strategy evaluates on the full
+/// original space so that quality across subsets is comparable.
+StatusOr<std::vector<double>> SimilarityPerK(
+    const transform::Matrix& mining_vsm,
+    const transform::Matrix& evaluation_vsm,
+    const PartialMiningOptions& options) {
+  std::vector<double> similarities;
+  similarities.reserve(options.ks.size());
+  for (int32_t k : options.ks) {
+    cluster::KMeansOptions kmeans = options.kmeans;
+    kmeans.k = std::min<int32_t>(k, static_cast<int32_t>(mining_vsm.rows()));
+    // Best-SSE of `restarts` seeded runs; stable seeds per (K, restart)
+    // keep steps comparable.
+    StatusOr<cluster::Clustering> best =
+        common::InternalError("no restart succeeded");
+    for (int32_t restart = 0; restart < options.restarts; ++restart) {
+      kmeans.seed = options.kmeans.seed + static_cast<uint64_t>(k) * 7919 +
+                    static_cast<uint64_t>(restart) * 104729;
+      auto clustering = cluster::RunKMeans(mining_vsm, kmeans);
+      if (!clustering.ok()) return clustering.status();
+      if (!best.ok() || clustering->sse < best->sse) {
+        best = std::move(clustering);
+      }
+    }
+    similarities.push_back(cluster::OverallSimilarity(
+        evaluation_vsm, best->assignments, best->k));
+  }
+  return similarities;
+}
+
+double MeanRelativeDiff(const std::vector<double>& step,
+                        const std::vector<double>& reference) {
+  double total = 0.0;
+  size_t counted = 0;
+  for (size_t i = 0; i < step.size(); ++i) {
+    if (reference[i] == 0.0) continue;
+    total += std::abs(step[i] - reference[i]) / std::abs(reference[i]);
+    ++counted;
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+size_t SelectStep(const std::vector<PartialMiningStep>& steps,
+                  double tolerance) {
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (steps[i].mean_relative_diff <= tolerance) return i;
+  }
+  return steps.size() - 1;
+}
+
+}  // namespace
+
+StatusOr<PartialMiningResult> RunExamSubsetPartialMining(
+    const ExamLog& log, const PartialMiningOptions& options) {
+  common::Status valid = ValidateOptions(options);
+  if (!valid.ok()) return valid;
+  if (log.num_records() == 0) {
+    return InvalidArgumentError("partial mining requires a non-empty log");
+  }
+
+  // The full dataset is the comparison baseline; append 1.0 if absent.
+  std::vector<double> fractions = options.fractions;
+  if (fractions.back() < 1.0) fractions.push_back(1.0);
+
+  auto schedule = transform::BuildVerticalSchedule(log, fractions);
+  if (!schedule.ok()) return schedule.status();
+
+  PartialMiningResult result;
+  result.ks = options.ks;
+  // Every subset's clustering is scored on the full original space:
+  // FilterExamTypes preserves all patients, so row i of the reduced
+  // VSM is the same patient as row i of the full VSM.
+  transform::Matrix full_vsm = BuildVsm(log, options.vsm);
+  std::vector<std::vector<double>> similarities;
+  for (const auto& subset : schedule.value()) {
+    ExamLog reduced = log.FilterExamTypes(subset.mask);
+    transform::Matrix reduced_vsm = BuildVsm(reduced, options.vsm);
+    auto sims = SimilarityPerK(reduced_vsm, full_vsm, options);
+    if (!sims.ok()) return sims.status();
+    PartialMiningStep step;
+    step.fraction = subset.exam_fraction;
+    step.record_coverage = subset.record_coverage;
+    step.overall_similarity = sims.value();
+    similarities.push_back(std::move(sims).value());
+    result.steps.push_back(std::move(step));
+  }
+  const std::vector<double>& full = similarities.back();
+  for (size_t i = 0; i < result.steps.size(); ++i) {
+    result.steps[i].mean_relative_diff =
+        MeanRelativeDiff(similarities[i], full);
+  }
+  result.selected_step = SelectStep(result.steps, options.tolerance);
+  return result;
+}
+
+StatusOr<PartialMiningResult> RunPatientSubsetPartialMining(
+    const ExamLog& log, const PartialMiningOptions& options) {
+  common::Status valid = ValidateOptions(options);
+  if (!valid.ok()) return valid;
+  if (log.num_patients() == 0 || log.num_records() == 0) {
+    return InvalidArgumentError("partial mining requires a non-empty log");
+  }
+
+  common::Rng rng(options.kmeans.seed + 17);
+  auto schedule =
+      transform::BuildHorizontalSchedule(log, options.fractions, rng);
+  if (!schedule.ok()) return schedule.status();
+
+  PartialMiningResult result;
+  result.ks = options.ks;
+  std::vector<std::vector<double>> similarities;
+  for (size_t s = 0; s < schedule->size(); ++s) {
+    ExamLog reduced = log.FilterPatients((*schedule)[s]);
+    transform::Matrix reduced_vsm = BuildVsm(reduced, options.vsm);
+    auto sims = SimilarityPerK(reduced_vsm, reduced_vsm, options);
+    if (!sims.ok()) return sims.status();
+    PartialMiningStep step;
+    step.fraction = options.fractions[s];
+    step.record_coverage =
+        static_cast<double>(reduced.num_records()) /
+        static_cast<double>(log.num_records());
+    step.overall_similarity = sims.value();
+    step.mean_relative_diff =
+        s == 0 ? 1.0 : MeanRelativeDiff(sims.value(), similarities.back());
+    similarities.push_back(std::move(sims).value());
+    result.steps.push_back(std::move(step));
+  }
+  result.selected_step = SelectStep(result.steps, options.tolerance);
+  return result;
+}
+
+}  // namespace core
+}  // namespace adahealth

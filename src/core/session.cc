@@ -1,0 +1,311 @@
+#include "core/session.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "cluster/outliers.h"
+#include "cluster/profiles.h"
+#include "cluster/quality.h"
+#include "common/string_util.h"
+#include "patterns/fpgrowth.h"
+#include "transform/feature_select.h"
+
+namespace adahealth {
+namespace core {
+
+using common::Json;
+using common::StatusOr;
+using dataset::ExamLog;
+
+std::vector<KnowledgeItem> ClusterKnowledgeItems(
+    const ExamLog& log, const transform::Matrix& vsm,
+    const cluster::Clustering& clustering) {
+  std::vector<KnowledgeItem> items;
+  auto profiles = cluster::BuildClusterProfiles(log, vsm, clustering);
+  if (!profiles.ok()) return items;
+
+  for (const cluster::ClusterProfile& profile : profiles.value()) {
+    // Signature: the lift-distinctive exams, which read clinically
+    // ("this group over-uses ophthalmology_4 by 5x"), falling back to
+    // the heaviest exams for clusters with no distinctive ones.
+    std::string signature;
+    Json::Array top_exams;
+    const auto& ranked = profile.top_by_lift.empty()
+                             ? profile.top_by_weight
+                             : profile.top_by_lift;
+    for (size_t rank = 0; rank < std::min<size_t>(3, ranked.size());
+         ++rank) {
+      const cluster::SignatureExam& exam = ranked[rank];
+      if (!signature.empty()) signature += ", ";
+      signature += common::StrFormat(
+          "%s (x%.1f)", log.dictionary().Name(exam.exam).c_str(),
+          exam.lift);
+      Json::Object exam_json;
+      exam_json["exam"] = Json(log.dictionary().Name(exam.exam));
+      exam_json["lift"] = Json(exam.lift);
+      exam_json["cluster_mean"] = Json(exam.cluster_mean);
+      top_exams.push_back(Json(std::move(exam_json)));
+    }
+
+    KnowledgeItem item;
+    item.id = "cluster:" + std::to_string(profile.cluster);
+    item.goal = EndGoal::kPatientGrouping;
+    item.kind = "cluster";
+    item.quality = profile.cohesion;
+    item.description = common::StrFormat(
+        "patient group %d: %lld patients, distinctive exams [%s], "
+        "cohesion %.3f",
+        profile.cluster, static_cast<long long>(profile.size),
+        signature.c_str(), item.quality);
+    Json::Object payload;
+    payload["cluster"] = Json(static_cast<int64_t>(profile.cluster));
+    payload["size"] = Json(profile.size);
+    payload["cohesion"] = Json(item.quality);
+    payload["top_exams"] = Json(std::move(top_exams));
+    item.payload = Json(std::move(payload));
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+/// Builds one knowledge item summarizing the most atypical patients of
+/// the clustering (paper §IV-B mentions outlier detection as a
+/// downstream analysis).
+std::vector<KnowledgeItem> OutlierKnowledgeItems(
+    const transform::Matrix& vsm, const cluster::Clustering& clustering,
+    size_t top_n) {
+  std::vector<KnowledgeItem> items;
+  auto scores = cluster::CentroidOutlierScores(vsm, clustering);
+  if (!scores.ok()) return items;
+  std::vector<size_t> top = cluster::TopOutliers(scores.value(), top_n);
+  if (top.empty()) return items;
+
+  KnowledgeItem item;
+  item.id = "outliers:0";
+  item.goal = EndGoal::kPatientGrouping;
+  item.kind = "outliers";
+  // Quality: how far the most atypical patient deviates, squashed to
+  // (0, 1); score 1.0 (typical) maps to ~0.27.
+  double worst = scores.value()[top.front()];
+  item.quality = worst / (worst + 2.7);
+  item.description = common::StrFormat(
+      "%zu patients with atypical examination histories (max deviation "
+      "%.1fx the group norm)",
+      top.size(), worst);
+  Json::Array patients;
+  for (size_t row : top) {
+    Json::Object entry;
+    entry["patient"] = Json(static_cast<int64_t>(row));
+    entry["score"] = Json(scores.value()[row]);
+    patients.push_back(Json(std::move(entry)));
+  }
+  Json::Object payload;
+  payload["patients"] = Json(std::move(patients));
+  item.payload = Json(std::move(payload));
+  items.push_back(std::move(item));
+  return items;
+}
+
+AnalysisSession::AnalysisSession(kdb::Database* db) : db_(db) {
+  db_->EnsureAdaHealthSchema();
+}
+
+StatusOr<SessionResult> AnalysisSession::Run(const ExamLog& log,
+                                             const dataset::Taxonomy* taxonomy,
+                                             const SessionOptions& options) {
+  SessionResult result;
+
+  // 1. Characterization (K-DB collections 1 and 3).
+  result.characterization = Characterize(log);
+  if (options.store_raw_dataset) {
+    kdb::Document raw;
+    raw.Set("dataset_id", Json(options.dataset_id));
+    raw.Set("csv", Json(log.ToCsv()));
+    db_->GetOrCreate(kdb::Schema::kRawDatasets).Insert(std::move(raw));
+  }
+  StoreCharacterization(result.characterization, options.dataset_id, *db_);
+
+  // 2. Transformation selection.
+  auto transform_selection = SelectTransformation(log, options.transform);
+  if (!transform_selection.ok()) return transform_selection.status();
+  result.transform = std::move(transform_selection).value();
+
+  // 3. Adaptive partial mining: pick the smallest exam subset whose
+  // clustering quality matches the full data within tolerance.
+  PartialMiningOptions partial = options.partial;
+  partial.vsm = result.transform.best();
+  auto partial_result = RunExamSubsetPartialMining(log, partial);
+  if (!partial_result.ok()) return partial_result.status();
+  result.partial = std::move(partial_result).value();
+  const PartialMiningStep& selected =
+      result.partial.steps[result.partial.selected_step];
+  ExamLog mining_log = log.FilterExamTypes(
+      transform::TopFractionExamsMask(log, selected.fraction));
+
+  // Record the transformed dataset in the K-DB (collection 2).
+  {
+    kdb::Document transformed;
+    transformed.Set("dataset_id", Json(options.dataset_id));
+    transformed.Set("vsm_weighting",
+                    Json(std::string(transform::VsmWeightingName(
+                        result.transform.best().weighting))));
+    transformed.Set("vsm_normalization",
+                    Json(std::string(transform::VsmNormalizationName(
+                        result.transform.best().normalization))));
+    transformed.Set("exam_fraction", Json(selected.fraction));
+    transformed.Set("record_coverage", Json(selected.record_coverage));
+    transformed.Set("num_exam_types",
+                    Json(static_cast<int64_t>(mining_log.num_exam_types())));
+    db_->GetOrCreate(kdb::Schema::kTransformedDatasets)
+        .Insert(std::move(transformed));
+  }
+
+  // 4. Algorithm optimization on the selected subset (Table I).
+  transform::Matrix vsm = BuildVsm(mining_log, result.transform.best());
+  auto optimized = OptimizeClustering(vsm, options.optimizer);
+  if (!optimized.ok()) return optimized.status();
+  result.optimizer = std::move(optimized).value();
+
+  // 5. Knowledge extraction.
+  std::vector<KnowledgeItem> knowledge = ClusterKnowledgeItems(
+      mining_log, vsm, result.optimizer.best().clustering);
+  for (KnowledgeItem& item :
+       OutlierKnowledgeItems(vsm, result.optimizer.best().clustering)) {
+    knowledge.push_back(std::move(item));
+  }
+  if (taxonomy != nullptr) {
+    auto generalized =
+        patterns::MineGeneralized(log, *taxonomy, options.pattern_mining);
+    if (!generalized.ok()) return generalized.status();
+    // Keep the largest high-level itemsets (most abstract knowledge).
+    std::vector<patterns::GeneralizedItemset> interesting;
+    for (auto& itemset : generalized.value()) {
+      if (itemset.items.size() >= 2) interesting.push_back(std::move(itemset));
+    }
+    std::sort(interesting.begin(), interesting.end(),
+              [](const auto& a, const auto& b) {
+                if (a.support != b.support) return a.support > b.support;
+                if (a.level != b.level) return a.level > b.level;
+                return a.items < b.items;
+              });
+    const double total =
+        static_cast<double>(std::max<size_t>(1, log.num_patients()));
+    for (size_t i = 0; i < std::min<size_t>(interesting.size(), 10); ++i) {
+      const auto& itemset = interesting[i];
+      KnowledgeItem item;
+      item.id = "itemset:" + std::to_string(i);
+      item.goal = EndGoal::kCommonExamPatterns;
+      item.kind = "itemset";
+      item.quality = static_cast<double>(itemset.support) / total;
+      item.description =
+          "frequent pattern " +
+          patterns::FormatGeneralizedItemset(itemset, log, *taxonomy);
+      Json::Object payload;
+      payload["level"] = Json(static_cast<int64_t>(itemset.level));
+      payload["support"] = Json(itemset.support);
+      Json::Array item_ids;
+      for (auto id : itemset.items) {
+        item_ids.push_back(Json(static_cast<int64_t>(id)));
+      }
+      payload["items"] = Json(std::move(item_ids));
+      item.payload = Json(std::move(payload));
+      knowledge.push_back(std::move(item));
+    }
+
+    // Association rules at the group level (interaction discovery).
+    patterns::TransactionDb group_db =
+        patterns::BuildTransactionsAtLevel(log, *taxonomy, 1);
+    patterns::MiningOptions mining;
+    mining.min_support_count = patterns::AbsoluteSupport(
+        options.pattern_mining.min_support_level1, group_db.size());
+    mining.max_itemset_size = options.pattern_mining.max_itemset_size;
+    auto itemsets = patterns::MineFpGrowth(group_db, mining);
+    if (!itemsets.ok()) return itemsets.status();
+    auto rules = patterns::GenerateRules(itemsets.value(), group_db.size(),
+                                         options.rules);
+    if (!rules.ok()) return rules.status();
+    for (size_t i = 0; i < std::min<size_t>(rules->size(), 10); ++i) {
+      const patterns::AssociationRule& rule = (*rules)[i];
+      auto render = [&](const std::vector<patterns::ItemId>& items) {
+        std::string out;
+        for (size_t j = 0; j < items.size(); ++j) {
+          if (j > 0) out += ", ";
+          out += taxonomy->GroupName(
+              items[j] - static_cast<int32_t>(taxonomy->num_leaves()));
+        }
+        return out;
+      };
+      KnowledgeItem item;
+      item.id = "rule:" + std::to_string(i);
+      item.goal = EndGoal::kInteractionDiscovery;
+      item.kind = "rule";
+      item.quality = rule.confidence;
+      item.description = common::StrFormat(
+          "{%s} => {%s} (conf %.2f, lift %.2f)",
+          render(rule.antecedent).c_str(), render(rule.consequent).c_str(),
+          rule.confidence, rule.lift);
+      Json::Object payload;
+      payload["support"] = Json(rule.support);
+      payload["confidence"] = Json(rule.confidence);
+      payload["lift"] = Json(rule.lift);
+      item.payload = Json(std::move(payload));
+      knowledge.push_back(std::move(item));
+    }
+  }
+
+  // 6. Store all items (collection 4), rank, store the manageable
+  // selected subset (collection 5).
+  kdb::Collection& item_collection =
+      db_->GetOrCreate(kdb::Schema::kKnowledgeItems);
+  for (const KnowledgeItem& item : knowledge) {
+    kdb::Document document;
+    document.Set("dataset_id", Json(options.dataset_id));
+    document.Set("item", item.ToJson());
+    item_collection.Insert(std::move(document));
+  }
+  KnowledgeRanker ranker;
+  common::Status added = ranker.AddItems(knowledge);
+  if (!added.ok()) return added;
+  result.knowledge = ranker.Ranked();
+  kdb::Collection& selected_collection =
+      db_->GetOrCreate(kdb::Schema::kSelectedKnowledge);
+  for (size_t i = 0;
+       i < std::min(options.max_selected_items, result.knowledge.size());
+       ++i) {
+    kdb::Document document;
+    document.Set("dataset_id", Json(options.dataset_id));
+    document.Set("rank", Json(static_cast<int64_t>(i)));
+    document.Set("item", result.knowledge[i].ToJson());
+    selected_collection.Insert(std::move(document));
+  }
+
+  result.summary = common::StrFormat(
+      "ADA-HEALTH session '%s'\n"
+      "  characterization: %lld patients, %lld exam types, %lld records, "
+      "density %.4f\n"
+      "  transformation: %s/%s (similarity lift %.2fx)\n"
+      "  partial mining: selected %.0f%% of exam types (%.0f%% of "
+      "records), quality diff %.2f%%\n"
+      "  optimizer: best K = %d (SSE %.1f, accuracy %.2f, precision "
+      "%.2f, recall %.2f)\n"
+      "  knowledge: %zu items extracted, top %zu selected",
+      options.dataset_id.c_str(),
+      static_cast<long long>(result.characterization.features.num_patients),
+      static_cast<long long>(
+          result.characterization.features.num_exam_types),
+      static_cast<long long>(result.characterization.features.num_records),
+      result.characterization.features.density,
+      transform::VsmWeightingName(result.transform.best().weighting),
+      transform::VsmNormalizationName(result.transform.best().normalization),
+      result.transform.scores[result.transform.best_index].lift,
+      100.0 * selected.fraction, 100.0 * selected.record_coverage,
+      100.0 * selected.mean_relative_diff, result.optimizer.best_k(),
+      result.optimizer.best().sse, result.optimizer.best().accuracy,
+      result.optimizer.best().avg_precision,
+      result.optimizer.best().avg_recall, result.knowledge.size(),
+      std::min(options.max_selected_items, result.knowledge.size()));
+  return result;
+}
+
+}  // namespace core
+}  // namespace adahealth

@@ -1,0 +1,86 @@
+// End-to-end ADA-HEALTH analysis session — the orchestration of every
+// architecture block of the paper's Figure 1:
+//
+//   characterize -> select transformation -> adaptive partial mining
+//   -> algorithm optimization -> knowledge extraction (clusters,
+//   generalized itemsets, association rules) -> K-DB storage ->
+//   feedback-adaptive ranking.
+#ifndef ADAHEALTH_CORE_SESSION_H_
+#define ADAHEALTH_CORE_SESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/characterization.h"
+#include "core/knowledge.h"
+#include "core/optimizer.h"
+#include "core/partial_mining.h"
+#include "core/ranking.h"
+#include "core/transform_selector.h"
+#include "dataset/synthetic_cohort.h"
+#include "kdb/database.h"
+#include "patterns/generalized.h"
+#include "patterns/rules.h"
+
+namespace adahealth {
+namespace core {
+
+struct SessionOptions {
+  /// Identifier under which artifacts are stored in the K-DB.
+  std::string dataset_id = "dataset";
+  TransformSelectorOptions transform;
+  PartialMiningOptions partial;
+  OptimizerOptions optimizer;
+  /// Pattern mining (requires a taxonomy; skipped when absent).
+  patterns::GeneralizedMiningOptions pattern_mining;
+  patterns::RuleOptions rules;
+  /// Cap on stored "selected knowledge" items (K-DB collection 5);
+  /// the paper's goal is "a manageable set of knowledge".
+  size_t max_selected_items = 12;
+  /// Skip the raw-dataset upload to the K-DB (it is large).
+  bool store_raw_dataset = false;
+};
+
+struct SessionResult {
+  CharacterizationReport characterization;
+  TransformSelection transform;
+  PartialMiningResult partial;
+  OptimizerResult optimizer;
+  /// All extracted knowledge items, ranked.
+  std::vector<KnowledgeItem> knowledge;
+  /// Multi-line human-readable run summary.
+  std::string summary;
+};
+
+/// One analysis session against a K-DB instance.
+class AnalysisSession {
+ public:
+  /// `db` must outlive the session; the schema is created on demand.
+  explicit AnalysisSession(kdb::Database* db);
+
+  /// Runs the full pipeline on `log`. `taxonomy` may be null (pattern
+  /// mining is then skipped).
+  common::StatusOr<SessionResult> Run(const dataset::ExamLog& log,
+                                      const dataset::Taxonomy* taxonomy,
+                                      const SessionOptions& options);
+
+ private:
+  kdb::Database* db_;
+};
+
+/// Builds one knowledge item per cluster of `clustering`, profiled by
+/// lift-distinctive exams. Exposed for reuse by examples.
+std::vector<KnowledgeItem> ClusterKnowledgeItems(
+    const dataset::ExamLog& log, const transform::Matrix& vsm,
+    const cluster::Clustering& clustering);
+
+/// Builds a knowledge item listing the `top_n` most atypical patients
+/// (centroid-relative outlier scores); empty on shape errors.
+std::vector<KnowledgeItem> OutlierKnowledgeItems(
+    const transform::Matrix& vsm, const cluster::Clustering& clustering,
+    size_t top_n = 10);
+
+}  // namespace core
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_CORE_SESSION_H_

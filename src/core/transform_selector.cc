@@ -1,0 +1,86 @@
+#include "core/transform_selector.h"
+
+#include <algorithm>
+
+#include "cluster/kmeans.h"
+#include "cluster/quality.h"
+#include "common/rng.h"
+#include "transform/sampling.h"
+
+namespace adahealth {
+namespace core {
+
+using transform::VsmNormalization;
+using transform::VsmOptions;
+using transform::VsmWeighting;
+
+TransformSelectorOptions::TransformSelectorOptions() {
+  for (VsmWeighting weighting :
+       {VsmWeighting::kCount, VsmWeighting::kBinary, VsmWeighting::kTfIdf}) {
+    for (VsmNormalization normalization :
+         {VsmNormalization::kNone, VsmNormalization::kL2}) {
+      candidates.push_back({weighting, normalization});
+    }
+  }
+}
+
+common::StatusOr<TransformSelection> SelectTransformation(
+    const dataset::ExamLog& log, const TransformSelectorOptions& options) {
+  if (log.num_patients() == 0 || log.num_records() == 0) {
+    return common::InvalidArgumentError(
+        "transformation selection requires a non-empty log");
+  }
+  if (options.candidates.empty()) {
+    return common::InvalidArgumentError("no candidate transformations");
+  }
+  if (options.sample_fraction <= 0.0 || options.sample_fraction > 1.0) {
+    return common::InvalidArgumentError("sample_fraction must be in (0, 1]");
+  }
+
+  common::Rng rng(options.seed);
+  auto sample = transform::SamplePatients(log, options.sample_fraction, rng);
+  if (!sample.ok()) return sample.status();
+  dataset::ExamLog sampled = log.FilterPatients(sample.value());
+
+  // The proxy K must not exceed the sample size.
+  int32_t proxy_k = std::min<int32_t>(
+      options.proxy_k, static_cast<int32_t>(sampled.num_patients()));
+  if (proxy_k < 1) proxy_k = 1;
+
+  TransformSelection selection;
+  double best_lift = -1.0;
+  for (size_t i = 0; i < options.candidates.size(); ++i) {
+    transform::Matrix vsm = BuildVsm(sampled, options.candidates[i]);
+    cluster::KMeansOptions kmeans;
+    kmeans.k = proxy_k;
+    kmeans.max_iterations = 30;
+    kmeans.seed = options.seed + i + 1;
+    auto clustering = cluster::RunKMeans(vsm, kmeans);
+    if (!clustering.ok()) return clustering.status();
+    TransformCandidateScore score;
+    score.options = options.candidates[i];
+    score.overall_similarity = cluster::OverallSimilarity(
+        vsm, clustering->assignments, clustering->k);
+    // Random-assignment baseline in the same representation space.
+    common::Rng baseline_rng(options.seed + 1000 + i);
+    std::vector<int32_t> random_assignments(vsm.rows());
+    for (int32_t& assignment : random_assignments) {
+      assignment = static_cast<int32_t>(
+          baseline_rng.UniformUint64(static_cast<uint64_t>(proxy_k)));
+    }
+    score.baseline_similarity =
+        cluster::OverallSimilarity(vsm, random_assignments, proxy_k);
+    score.lift = score.baseline_similarity > 0.0
+                     ? score.overall_similarity / score.baseline_similarity
+                     : 0.0;
+    if (score.lift > best_lift) {
+      best_lift = score.lift;
+      selection.best_index = i;
+    }
+    selection.scores.push_back(std::move(score));
+  }
+  return selection;
+}
+
+}  // namespace core
+}  // namespace adahealth

@@ -1,0 +1,67 @@
+// Automatic data-transformation selection (paper §III: "The main
+// research issue here is to define a totally automatic strategy to
+// select the optimal data transformation, which yields higher quality
+// knowledge").
+//
+// Strategy: every candidate VSM configuration is scored by a cheap
+// proxy task — K-means on a patient sample, scored by the overall
+// similarity interestingness metric — and the best-scoring
+// configuration wins.
+#ifndef ADAHEALTH_CORE_TRANSFORM_SELECTOR_H_
+#define ADAHEALTH_CORE_TRANSFORM_SELECTOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "dataset/exam_log.h"
+#include "transform/vsm.h"
+
+namespace adahealth {
+namespace core {
+
+struct TransformSelectorOptions {
+  /// Candidate configurations; defaults cover count/binary/tf-idf with
+  /// and without L2 normalization.
+  std::vector<transform::VsmOptions> candidates;
+  /// Patient sample fraction for the proxy task.
+  double sample_fraction = 0.25;
+  /// K of the proxy clustering.
+  int32_t proxy_k = 8;
+  uint64_t seed = 11;
+
+  TransformSelectorOptions();
+};
+
+/// Score of one candidate. Overall similarity is not comparable across
+/// representations (raw counts make every pair look alike), so the
+/// selection criterion is the *lift*: the clustering's overall
+/// similarity divided by the overall similarity of a random
+/// assignment in the same space — how much structure the
+/// transformation exposes beyond its baseline cohesion.
+struct TransformCandidateScore {
+  transform::VsmOptions options;
+  double overall_similarity = 0.0;
+  double baseline_similarity = 0.0;
+  double lift = 0.0;
+};
+
+struct TransformSelection {
+  /// All candidates with scores, in candidate order.
+  std::vector<TransformCandidateScore> scores;
+  /// Index of the winning candidate in `scores`.
+  size_t best_index = 0;
+
+  const transform::VsmOptions& best() const {
+    return scores[best_index].options;
+  }
+};
+
+/// Scores every candidate and picks the best. Fails on empty data or
+/// invalid options.
+common::StatusOr<TransformSelection> SelectTransformation(
+    const dataset::ExamLog& log, const TransformSelectorOptions& options);
+
+}  // namespace core
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_CORE_TRANSFORM_SELECTOR_H_

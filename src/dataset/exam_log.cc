@@ -1,0 +1,188 @@
+#include "dataset/exam_log.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace adahealth {
+namespace dataset {
+
+using common::InvalidArgumentError;
+using common::Status;
+using common::StatusOr;
+
+ExamLog::ExamLog(std::vector<Patient> patients, ExamDictionary dictionary,
+                 std::vector<ExamRecord> records)
+    : patients_(std::move(patients)),
+      dictionary_(std::move(dictionary)),
+      records_(std::move(records)) {
+  for (size_t i = 0; i < patients_.size(); ++i) {
+    ADA_CHECK_EQ(patients_[i].id, static_cast<PatientId>(i));
+  }
+  for (const ExamRecord& record : records_) {
+    ADA_CHECK_GE(record.patient, 0);
+    ADA_CHECK_LT(static_cast<size_t>(record.patient), patients_.size());
+    ADA_CHECK_GE(record.exam_type, 0);
+    ADA_CHECK_LT(static_cast<size_t>(record.exam_type), dictionary_.size());
+  }
+}
+
+StatusOr<ExamLog> ExamLog::FromCsv(const std::string& csv_text) {
+  auto rows_or = common::ParseCsv(csv_text);
+  if (!rows_or.ok()) return rows_or.status();
+  const auto& rows = rows_or.value();
+  if (rows.empty()) return InvalidArgumentError("empty exam-log CSV");
+  const auto& header = rows[0];
+  if (header.size() != 3 || header[0] != "patient_id" ||
+      header[1] != "exam_type" || header[2] != "day") {
+    return InvalidArgumentError(
+        "exam-log CSV must have header patient_id,exam_type,day");
+  }
+
+  ExamDictionary dictionary;
+  std::vector<ExamRecord> records;
+  records.reserve(rows.size() - 1);
+  PatientId max_patient = -1;
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() != 3) {
+      return InvalidArgumentError("exam-log CSV row " + std::to_string(r) +
+                                  " has wrong field count");
+    }
+    auto patient_or = common::ParseInt64(row[0]);
+    if (!patient_or.ok()) return patient_or.status();
+    auto day_or = common::ParseInt64(row[2]);
+    if (!day_or.ok()) return day_or.status();
+    if (patient_or.value() < 0) {
+      return InvalidArgumentError("negative patient id in exam-log CSV");
+    }
+    ExamRecord record;
+    record.patient = static_cast<PatientId>(patient_or.value());
+    record.exam_type = dictionary.Intern(row[1]);
+    record.day = static_cast<int32_t>(day_or.value());
+    max_patient = std::max(max_patient, record.patient);
+    records.push_back(record);
+  }
+
+  std::vector<Patient> patients(static_cast<size_t>(max_patient + 1));
+  for (size_t i = 0; i < patients.size(); ++i) {
+    patients[i].id = static_cast<PatientId>(i);
+    patients[i].age = 0;
+    patients[i].profile = Patient::kUnknownProfile;
+  }
+  return ExamLog(std::move(patients), std::move(dictionary),
+                 std::move(records));
+}
+
+StatusOr<ExamLog> ExamLog::Load(const std::string& path) {
+  auto text = common::ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return FromCsv(text.value());
+}
+
+std::string ExamLog::ToCsv() const {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(records_.size() + 1);
+  rows.push_back({"patient_id", "exam_type", "day"});
+  for (const ExamRecord& record : records_) {
+    rows.push_back({std::to_string(record.patient),
+                    dictionary_.Name(record.exam_type),
+                    std::to_string(record.day)});
+  }
+  return common::WriteCsv(rows);
+}
+
+Status ExamLog::Save(const std::string& path) const {
+  return common::WriteStringToFile(path, ToCsv());
+}
+
+std::vector<int64_t> ExamLog::ExamFrequencies() const {
+  std::vector<int64_t> counts(dictionary_.size(), 0);
+  for (const ExamRecord& record : records_) {
+    ++counts[static_cast<size_t>(record.exam_type)];
+  }
+  return counts;
+}
+
+std::vector<int64_t> ExamLog::RecordsPerPatient() const {
+  std::vector<int64_t> counts(patients_.size(), 0);
+  for (const ExamRecord& record : records_) {
+    ++counts[static_cast<size_t>(record.patient)];
+  }
+  return counts;
+}
+
+std::vector<int64_t> ExamLog::PatientsPerExam() const {
+  // Distinct (patient, exam) pairs per exam; bitset per exam would cost
+  // |E|*|P| bits, so instead sort-free counting via hash of pairs.
+  std::vector<std::unordered_map<PatientId, bool>> seen(dictionary_.size());
+  std::vector<int64_t> counts(dictionary_.size(), 0);
+  for (const ExamRecord& record : records_) {
+    auto& patients_seen = seen[static_cast<size_t>(record.exam_type)];
+    if (patients_seen.emplace(record.patient, true).second) {
+      ++counts[static_cast<size_t>(record.exam_type)];
+    }
+  }
+  return counts;
+}
+
+std::vector<int32_t> ExamLog::ProfileLabels() const {
+  std::vector<int32_t> labels(patients_.size());
+  for (size_t i = 0; i < patients_.size(); ++i) labels[i] = patients_[i].profile;
+  return labels;
+}
+
+ExamLog ExamLog::FilterExamTypes(const std::vector<bool>& keep) const {
+  ADA_CHECK_EQ(keep.size(), dictionary_.size());
+  // Rebuild a dense dictionary over the kept types.
+  ExamDictionary new_dictionary;
+  std::vector<ExamTypeId> remap(dictionary_.size(), -1);
+  for (size_t e = 0; e < dictionary_.size(); ++e) {
+    if (keep[e]) {
+      remap[e] =
+          new_dictionary.Intern(dictionary_.Name(static_cast<ExamTypeId>(e)));
+    }
+  }
+  std::vector<ExamRecord> new_records;
+  new_records.reserve(records_.size());
+  for (const ExamRecord& record : records_) {
+    ExamTypeId mapped = remap[static_cast<size_t>(record.exam_type)];
+    if (mapped < 0) continue;
+    ExamRecord copy = record;
+    copy.exam_type = mapped;
+    new_records.push_back(copy);
+  }
+  return ExamLog(patients_, std::move(new_dictionary), std::move(new_records));
+}
+
+ExamLog ExamLog::FilterPatients(
+    const std::vector<PatientId>& patient_ids) const {
+  std::vector<PatientId> remap(patients_.size(), -1);
+  std::vector<Patient> new_patients;
+  new_patients.reserve(patient_ids.size());
+  for (PatientId id : patient_ids) {
+    ADA_CHECK_GE(id, 0);
+    ADA_CHECK_LT(static_cast<size_t>(id), patients_.size());
+    ADA_CHECK_MSG(remap[static_cast<size_t>(id)] < 0,
+                  "duplicate patient id %d in FilterPatients", id);
+    Patient patient = patients_[static_cast<size_t>(id)];
+    patient.id = static_cast<PatientId>(new_patients.size());
+    remap[static_cast<size_t>(id)] = patient.id;
+    new_patients.push_back(patient);
+  }
+  std::vector<ExamRecord> new_records;
+  for (const ExamRecord& record : records_) {
+    PatientId mapped = remap[static_cast<size_t>(record.patient)];
+    if (mapped < 0) continue;
+    ExamRecord copy = record;
+    copy.patient = mapped;
+    new_records.push_back(copy);
+  }
+  return ExamLog(std::move(new_patients), dictionary_, std::move(new_records));
+}
+
+}  // namespace dataset
+}  // namespace adahealth

@@ -1,0 +1,82 @@
+// The examination-log dataset: the central data container of the
+// reproduction (paper §IV: 6,380 patients, 95,788 records, 159 exam
+// types over one year).
+#ifndef ADAHEALTH_DATASET_EXAM_LOG_H_
+#define ADAHEALTH_DATASET_EXAM_LOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dataset/exam_dictionary.h"
+#include "dataset/exam_record.h"
+
+namespace adahealth {
+namespace dataset {
+
+/// In-memory examination log: patients, exam-type dictionary, and the
+/// flat record table. Invariants (enforced by the builders/loaders):
+/// every record references an existing patient and exam type, and
+/// patient ids are dense 0..num_patients-1.
+class ExamLog {
+ public:
+  ExamLog() = default;
+  ExamLog(std::vector<Patient> patients, ExamDictionary dictionary,
+          std::vector<ExamRecord> records);
+
+  /// Parses a records CSV with header "patient_id,exam_type,day".
+  /// Patients are materialized from the distinct ids seen (ages and
+  /// profiles unknown). Fails on malformed rows or non-dense patient ids.
+  static common::StatusOr<ExamLog> FromCsv(const std::string& csv_text);
+
+  /// Loads FromCsv from a file on disk.
+  static common::StatusOr<ExamLog> Load(const std::string& path);
+
+  /// Serializes the record table to CSV (inverse of FromCsv).
+  std::string ToCsv() const;
+
+  /// Writes ToCsv() to a file.
+  common::Status Save(const std::string& path) const;
+
+  size_t num_patients() const { return patients_.size(); }
+  size_t num_exam_types() const { return dictionary_.size(); }
+  size_t num_records() const { return records_.size(); }
+
+  const std::vector<Patient>& patients() const { return patients_; }
+  const ExamDictionary& dictionary() const { return dictionary_; }
+  const std::vector<ExamRecord>& records() const { return records_; }
+
+  /// Number of records per exam type, indexed by ExamTypeId.
+  std::vector<int64_t> ExamFrequencies() const;
+
+  /// Number of records per patient, indexed by PatientId.
+  std::vector<int64_t> RecordsPerPatient() const;
+
+  /// Number of *distinct* patients that underwent each exam type.
+  std::vector<int64_t> PatientsPerExam() const;
+
+  /// Ground-truth profile labels (kUnknownProfile where absent).
+  std::vector<int32_t> ProfileLabels() const;
+
+  /// Returns a copy restricted to records whose exam type is in `keep`
+  /// (a boolean mask indexed by ExamTypeId). Patients are preserved
+  /// (including those left with zero records) so that horizontal
+  /// cardinality is unchanged — this is the paper's vertical reduction
+  /// that "reduc[es] the cardinality of the feature space while
+  /// retaining the total number of patients".
+  ExamLog FilterExamTypes(const std::vector<bool>& keep) const;
+
+  /// Returns a copy restricted to the given patients (dense re-ids).
+  /// This is the paper's horizontal reduction.
+  ExamLog FilterPatients(const std::vector<PatientId>& patient_ids) const;
+
+ private:
+  std::vector<Patient> patients_;
+  ExamDictionary dictionary_;
+  std::vector<ExamRecord> records_;
+};
+
+}  // namespace dataset
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_DATASET_EXAM_LOG_H_

@@ -1,0 +1,45 @@
+// Plain record types of the examination-log data model.
+//
+// The paper's substrate is an anonymized examination log: each record
+// holds a patient identifier, the examination type, and the date.
+#ifndef ADAHEALTH_DATASET_EXAM_RECORD_H_
+#define ADAHEALTH_DATASET_EXAM_RECORD_H_
+
+#include <cstdint>
+
+namespace adahealth {
+namespace dataset {
+
+/// Identifier of an examination type (dense index into ExamDictionary).
+using ExamTypeId = int32_t;
+
+/// Identifier of a patient (dense index into ExamLog::patients()).
+using PatientId = int32_t;
+
+/// One row of the examination log: patient `patient` underwent exam
+/// `exam_type` on day `day` (0-based day within the covered period).
+struct ExamRecord {
+  PatientId patient = 0;
+  ExamTypeId exam_type = 0;
+  int32_t day = 0;
+
+  friend bool operator==(const ExamRecord& a, const ExamRecord& b) = default;
+};
+
+/// Patient metadata. `profile` is the latent clinical profile assigned
+/// by the synthetic generator (ground truth for evaluation); it is
+/// kUnknownProfile for data loaded from external sources.
+struct Patient {
+  static constexpr int32_t kUnknownProfile = -1;
+
+  PatientId id = 0;
+  int32_t age = 0;
+  int32_t profile = kUnknownProfile;
+
+  friend bool operator==(const Patient& a, const Patient& b) = default;
+};
+
+}  // namespace dataset
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_DATASET_EXAM_RECORD_H_

@@ -1,0 +1,120 @@
+#include "dataset/taxonomy.h"
+
+#include "common/check.h"
+
+namespace adahealth {
+namespace dataset {
+
+using common::InvalidArgumentError;
+using common::StatusOr;
+
+StatusOr<Taxonomy> Taxonomy::Build(std::vector<int32_t> leaf_group,
+                                   std::vector<std::string> group_names,
+                                   std::vector<int32_t> group_category,
+                                   std::vector<std::string> category_names) {
+  if (leaf_group.empty() || group_names.empty() || category_names.empty()) {
+    return InvalidArgumentError("taxonomy levels must be non-empty");
+  }
+  if (group_category.size() != group_names.size()) {
+    return InvalidArgumentError(
+        "group_category and group_names sizes disagree");
+  }
+  for (int32_t g : leaf_group) {
+    if (g < 0 || static_cast<size_t>(g) >= group_names.size()) {
+      return InvalidArgumentError("leaf_group index out of range");
+    }
+  }
+  for (int32_t c : group_category) {
+    if (c < 0 || static_cast<size_t>(c) >= category_names.size()) {
+      return InvalidArgumentError("group_category index out of range");
+    }
+  }
+  Taxonomy taxonomy;
+  taxonomy.leaf_group_ = std::move(leaf_group);
+  taxonomy.group_names_ = std::move(group_names);
+  taxonomy.group_category_ = std::move(group_category);
+  taxonomy.category_names_ = std::move(category_names);
+  return taxonomy;
+}
+
+int32_t Taxonomy::GroupOfLeaf(ExamTypeId exam) const {
+  ADA_CHECK_GE(exam, 0);
+  ADA_CHECK_LT(static_cast<size_t>(exam), leaf_group_.size());
+  return leaf_group_[static_cast<size_t>(exam)];
+}
+
+int32_t Taxonomy::CategoryOfGroup(int32_t group) const {
+  ADA_CHECK_GE(group, 0);
+  ADA_CHECK_LT(static_cast<size_t>(group), group_category_.size());
+  return group_category_[static_cast<size_t>(group)];
+}
+
+int32_t Taxonomy::CategoryOfLeaf(ExamTypeId exam) const {
+  return CategoryOfGroup(GroupOfLeaf(exam));
+}
+
+const std::string& Taxonomy::GroupName(int32_t group) const {
+  ADA_CHECK_GE(group, 0);
+  ADA_CHECK_LT(static_cast<size_t>(group), group_names_.size());
+  return group_names_[static_cast<size_t>(group)];
+}
+
+const std::string& Taxonomy::CategoryName(int32_t category) const {
+  ADA_CHECK_GE(category, 0);
+  ADA_CHECK_LT(static_cast<size_t>(category), category_names_.size());
+  return category_names_[static_cast<size_t>(category)];
+}
+
+int Taxonomy::LevelOf(TaxonomyNodeId node) const {
+  ADA_CHECK_GE(node, 0);
+  size_t id = static_cast<size_t>(node);
+  ADA_CHECK_LT(id, num_nodes());
+  if (id < num_leaves()) return 0;
+  if (id < num_leaves() + num_groups()) return 1;
+  return 2;
+}
+
+TaxonomyNodeId Taxonomy::ParentOf(TaxonomyNodeId node) const {
+  switch (LevelOf(node)) {
+    case 0:
+      return GroupNode(GroupOfLeaf(node));
+    case 1: {
+      int32_t group = node - static_cast<TaxonomyNodeId>(num_leaves());
+      return CategoryNode(CategoryOfGroup(group));
+    }
+    default:
+      return -1;
+  }
+}
+
+std::vector<ExamTypeId> Taxonomy::LeavesUnder(TaxonomyNodeId node) const {
+  std::vector<ExamTypeId> leaves;
+  switch (LevelOf(node)) {
+    case 0:
+      leaves.push_back(node);
+      break;
+    case 1: {
+      int32_t group = node - static_cast<TaxonomyNodeId>(num_leaves());
+      for (size_t e = 0; e < leaf_group_.size(); ++e) {
+        if (leaf_group_[e] == group) {
+          leaves.push_back(static_cast<ExamTypeId>(e));
+        }
+      }
+      break;
+    }
+    default: {
+      int32_t category =
+          node - static_cast<TaxonomyNodeId>(num_leaves() + num_groups());
+      for (size_t e = 0; e < leaf_group_.size(); ++e) {
+        if (group_category_[static_cast<size_t>(leaf_group_[e])] == category) {
+          leaves.push_back(static_cast<ExamTypeId>(e));
+        }
+      }
+      break;
+    }
+  }
+  return leaves;
+}
+
+}  // namespace dataset
+}  // namespace adahealth

@@ -1,0 +1,66 @@
+#include "kdb/database.h"
+
+namespace adahealth {
+namespace kdb {
+
+using common::Status;
+using common::StatusOr;
+
+std::vector<std::string> Schema::CollectionNames() {
+  return {kRawDatasets,    kTransformedDatasets, kDescriptors,
+          kKnowledgeItems, kSelectedKnowledge,   kFeedback};
+}
+
+Collection& Database::GetOrCreate(const std::string& name) {
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    it = collections_.emplace(name, std::make_unique<Collection>(name)).first;
+  }
+  return *it->second;
+}
+
+StatusOr<Collection*> Database::Get(const std::string& name) {
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    return common::NotFoundError("no collection named " + name);
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> Database::CollectionNames() const {
+  std::vector<std::string> names;
+  names.reserve(collections_.size());
+  for (const auto& [name, collection] : collections_) names.push_back(name);
+  return names;
+}
+
+void Database::EnsureAdaHealthSchema() {
+  for (const std::string& name : Schema::CollectionNames()) {
+    Collection& collection = GetOrCreate(name);
+    if (name != Schema::kRawDatasets) {
+      collection.CreateIndex("dataset_id");
+    }
+  }
+}
+
+Status Database::SaveTo(const std::string& directory) const {
+  for (const auto& [name, collection] : collections_) {
+    Status status = SaveCollection(*collection, directory);
+    if (!status.ok()) return status;
+  }
+  return common::OkStatus();
+}
+
+Status Database::LoadFrom(const std::string& directory,
+                          const std::vector<std::string>& names) {
+  for (const std::string& name : names) {
+    auto loaded = LoadCollection(name, directory);
+    if (!loaded.ok()) return loaded.status();
+    collections_[name] =
+        std::make_unique<Collection>(std::move(loaded).value());
+  }
+  return common::OkStatus();
+}
+
+}  // namespace kdb
+}  // namespace adahealth

@@ -1,0 +1,49 @@
+#include "kdb/document.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace adahealth {
+namespace kdb {
+
+using common::Json;
+using common::StatusOr;
+
+StatusOr<Document> Document::FromJson(Json json) {
+  if (!json.is_object()) {
+    return common::InvalidArgumentError("document must be a JSON object");
+  }
+  return Document(std::move(json));
+}
+
+StatusOr<Document> Document::Parse(std::string_view text) {
+  auto json = Json::Parse(text);
+  if (!json.ok()) return json.status();
+  return FromJson(std::move(json).value());
+}
+
+DocumentId Document::id() const {
+  const Json* field = json_.Find("_id");
+  if (field == nullptr || !field->is_int()) return 0;
+  return field->AsInt();
+}
+
+void Document::Set(std::string_view field, Json value) {
+  json_.MutableObject()[std::string(field)] = std::move(value);
+}
+
+const Json* Document::Get(std::string_view path) const {
+  const Json* current = &json_;
+  for (const std::string& part : common::Split(path, '.')) {
+    if (!current->is_object()) return nullptr;
+    current = current->Find(part);
+    if (current == nullptr) return nullptr;
+  }
+  return current;
+}
+
+void Document::set_id(DocumentId id) { Set("_id", Json(id)); }
+
+}  // namespace kdb
+}  // namespace adahealth

@@ -1,0 +1,65 @@
+// Document model of the K-DB (the paper's Knowledge Base, implemented
+// there on "a cluster of MongoDBs"; here an embedded store — see
+// DESIGN.md substitution table).
+//
+// A Document is a JSON object with a reserved integer "_id" field
+// assigned by the owning collection. Queries address fields with
+// dotted paths ("metrics.sse").
+#ifndef ADAHEALTH_KDB_DOCUMENT_H_
+#define ADAHEALTH_KDB_DOCUMENT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/json.h"
+
+namespace adahealth {
+namespace kdb {
+
+/// Document id; 0 means "not yet inserted".
+using DocumentId = int64_t;
+
+/// A JSON-object document.
+class Document {
+ public:
+  /// Creates an empty document.
+  Document() : json_(common::Json::Object{}) {}
+
+  /// Wraps an existing JSON object; fails if `json` is not an object.
+  static common::StatusOr<Document> FromJson(common::Json json);
+
+  /// Parses a JSON text into a document.
+  static common::StatusOr<Document> Parse(std::string_view text);
+
+  /// The assigned id, or 0 when not inserted yet.
+  DocumentId id() const;
+
+  /// Sets/overwrites a top-level field.
+  void Set(std::string_view field, common::Json value);
+
+  /// Resolves a dotted path ("a.b.c") against nested objects; returns
+  /// nullptr when any component is missing or not an object.
+  const common::Json* Get(std::string_view path) const;
+
+  /// Whole-object access.
+  const common::Json& json() const { return json_; }
+
+  std::string Dump() const { return json_.Dump(); }
+
+  friend bool operator==(const Document& a, const Document& b) {
+    return a.json_ == b.json_;
+  }
+
+ private:
+  friend class Collection;  // Assigns "_id" on insert.
+  explicit Document(common::Json json) : json_(std::move(json)) {}
+
+  void set_id(DocumentId id);
+
+  common::Json json_;
+};
+
+}  // namespace kdb
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_KDB_DOCUMENT_H_

@@ -1,0 +1,56 @@
+#include "kdb/storage.h"
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace adahealth {
+namespace kdb {
+
+using common::Status;
+using common::StatusOr;
+
+std::string SerializeCollection(const Collection& collection) {
+  std::string out;
+  for (const Document& document : collection.documents()) {
+    out += document.Dump();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+StatusOr<Collection> DeserializeCollection(const std::string& name,
+                                           const std::string& text) {
+  Collection collection(name);
+  size_t line_number = 0;
+  for (const std::string& line : common::Split(text, '\n')) {
+    ++line_number;
+    std::string_view trimmed = common::Trim(line);
+    if (trimmed.empty()) continue;
+    auto document = Document::Parse(trimmed);
+    if (!document.ok()) {
+      return common::DataLossError(
+          "collection '" + name + "' line " + std::to_string(line_number) +
+          ": " + document.status().message());
+    }
+    Status restored = collection.Restore(std::move(document).value());
+    if (!restored.ok()) return restored;
+  }
+  return collection;
+}
+
+Status SaveCollection(const Collection& collection,
+                      const std::string& directory) {
+  return common::WriteStringToFile(
+      directory + "/" + collection.name() + ".jsonl",
+      SerializeCollection(collection));
+}
+
+StatusOr<Collection> LoadCollection(const std::string& name,
+                                    const std::string& directory) {
+  auto text = common::ReadFileToString(directory + "/" + name + ".jsonl");
+  if (!text.ok()) return text.status();
+  return DeserializeCollection(name, text.value());
+}
+
+}  // namespace kdb
+}  // namespace adahealth

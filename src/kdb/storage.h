@@ -1,0 +1,35 @@
+// JSON-lines persistence of collections: one document per line,
+// append-friendly, reloadable after a crash (truncated trailing lines
+// are rejected with DATA_LOSS rather than silently dropped).
+#ifndef ADAHEALTH_KDB_STORAGE_H_
+#define ADAHEALTH_KDB_STORAGE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "kdb/collection.h"
+
+namespace adahealth {
+namespace kdb {
+
+/// Serializes every document of `collection` as one JSON line.
+std::string SerializeCollection(const Collection& collection);
+
+/// Rebuilds a collection named `name` from JSON-lines `text`.
+/// Fails with DATA_LOSS on malformed lines, INVALID_ARGUMENT on
+/// documents without a valid "_id".
+common::StatusOr<Collection> DeserializeCollection(const std::string& name,
+                                                   const std::string& text);
+
+/// Writes the collection to `<directory>/<name>.jsonl`.
+common::Status SaveCollection(const Collection& collection,
+                              const std::string& directory);
+
+/// Loads `<directory>/<name>.jsonl`.
+common::StatusOr<Collection> LoadCollection(const std::string& name,
+                                            const std::string& directory);
+
+}  // namespace kdb
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_KDB_STORAGE_H_

@@ -1,0 +1,97 @@
+#include "ml/cross_validation.h"
+
+#include <algorithm>
+
+namespace adahealth {
+namespace ml {
+
+using common::StatusOr;
+using transform::Matrix;
+
+StatusOr<std::vector<Fold>> StratifiedKFold(
+    const std::vector<int32_t>& labels, int32_t num_classes,
+    int32_t num_folds, uint64_t seed) {
+  if (num_folds < 2) {
+    return common::InvalidArgumentError("num_folds must be >= 2");
+  }
+  if (static_cast<size_t>(num_folds) > labels.size()) {
+    return common::InvalidArgumentError("num_folds exceeds sample count");
+  }
+  if (num_classes < 1) {
+    return common::InvalidArgumentError("num_classes must be >= 1");
+  }
+
+  // Bucket sample ids per class, shuffle each bucket, deal round-robin.
+  std::vector<std::vector<size_t>> by_class(
+      static_cast<size_t>(num_classes));
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] < 0 || labels[i] >= num_classes) {
+      return common::InvalidArgumentError("label outside [0, num_classes)");
+    }
+    by_class[static_cast<size_t>(labels[i])].push_back(i);
+  }
+  common::Rng rng(seed);
+  std::vector<std::vector<size_t>> fold_members(
+      static_cast<size_t>(num_folds));
+  size_t deal = 0;
+  for (auto& bucket : by_class) {
+    rng.Shuffle(bucket);
+    for (size_t id : bucket) {
+      fold_members[deal % static_cast<size_t>(num_folds)].push_back(id);
+      ++deal;
+    }
+  }
+
+  std::vector<Fold> folds(static_cast<size_t>(num_folds));
+  for (size_t f = 0; f < folds.size(); ++f) {
+    folds[f].test_ids = fold_members[f];
+    std::sort(folds[f].test_ids.begin(), folds[f].test_ids.end());
+    for (size_t other = 0; other < folds.size(); ++other) {
+      if (other == f) continue;
+      folds[f].train_ids.insert(folds[f].train_ids.end(),
+                                fold_members[other].begin(),
+                                fold_members[other].end());
+    }
+    std::sort(folds[f].train_ids.begin(), folds[f].train_ids.end());
+    if (folds[f].test_ids.empty() || folds[f].train_ids.empty()) {
+      return common::InvalidArgumentError(
+          "degenerate fold (too many folds for the sample size)");
+    }
+  }
+  return folds;
+}
+
+StatusOr<ClassificationReport> CrossValidate(
+    const Matrix& features, const std::vector<int32_t>& labels,
+    int32_t num_classes, int32_t num_folds, uint64_t seed,
+    const ClassifierFactory& factory) {
+  if (labels.size() != features.rows()) {
+    return common::InvalidArgumentError("label count != sample count");
+  }
+  auto folds_or = StratifiedKFold(labels, num_classes, num_folds, seed);
+  if (!folds_or.ok()) return folds_or.status();
+
+  std::vector<int32_t> pooled_truth;
+  std::vector<int32_t> pooled_predicted;
+  pooled_truth.reserve(labels.size());
+  pooled_predicted.reserve(labels.size());
+
+  for (const Fold& fold : folds_or.value()) {
+    Matrix train = features.SelectRows(fold.train_ids);
+    std::vector<int32_t> train_labels(fold.train_ids.size());
+    for (size_t i = 0; i < fold.train_ids.size(); ++i) {
+      train_labels[i] = labels[fold.train_ids[i]];
+    }
+    std::unique_ptr<Classifier> model = factory();
+    common::Status fit_status = model->Fit(train, train_labels, num_classes);
+    if (!fit_status.ok()) return fit_status;
+    for (size_t id : fold.test_ids) {
+      pooled_truth.push_back(labels[id]);
+      pooled_predicted.push_back(model->Predict(features.Row(id)));
+    }
+  }
+  return EvaluateClassification(pooled_truth, pooled_predicted, num_classes);
+}
+
+}  // namespace ml
+}  // namespace adahealth

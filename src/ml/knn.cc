@@ -1,0 +1,69 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace adahealth {
+namespace ml {
+
+using common::Status;
+using transform::Matrix;
+
+Status KnnClassifier::Fit(const Matrix& features,
+                          const std::vector<int32_t>& labels,
+                          int32_t num_classes) {
+  if (features.rows() == 0 || features.cols() == 0) {
+    return common::InvalidArgumentError("empty training data");
+  }
+  if (labels.size() != features.rows()) {
+    return common::InvalidArgumentError("label count != sample count");
+  }
+  if (num_classes < 1) {
+    return common::InvalidArgumentError("num_classes must be >= 1");
+  }
+  for (int32_t label : labels) {
+    if (label < 0 || label >= num_classes) {
+      return common::InvalidArgumentError("label outside [0, num_classes)");
+    }
+  }
+  if (options_.k < 1) {
+    return common::InvalidArgumentError("k must be >= 1");
+  }
+  num_classes_ = num_classes;
+  train_features_ = features;
+  train_labels_ = labels;
+  return common::OkStatus();
+}
+
+int32_t KnnClassifier::Predict(std::span<const double> features) const {
+  ADA_CHECK_GT(num_classes_, 0);
+  ADA_CHECK_EQ(features.size(), train_features_.cols());
+  const size_t n = train_features_.rows();
+  const size_t k = std::min<size_t>(static_cast<size_t>(options_.k), n);
+
+  std::vector<std::pair<double, int32_t>> neighbours(n);
+  for (size_t i = 0; i < n; ++i) {
+    neighbours[i] = {transform::SquaredDistance(features,
+                                                train_features_.Row(i)),
+                     train_labels_[i]};
+  }
+  std::nth_element(neighbours.begin(),
+                   neighbours.begin() + static_cast<ptrdiff_t>(k - 1),
+                   neighbours.end());
+  std::vector<int64_t> votes(static_cast<size_t>(num_classes_), 0);
+  for (size_t i = 0; i < k; ++i) {
+    ++votes[static_cast<size_t>(neighbours[i].second)];
+  }
+  int32_t best = 0;
+  for (int32_t c = 1; c < num_classes_; ++c) {
+    if (votes[static_cast<size_t>(c)] > votes[static_cast<size_t>(best)]) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace ml
+}  // namespace adahealth

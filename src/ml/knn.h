@@ -1,0 +1,41 @@
+// k-nearest-neighbours classifier (brute force). A third, bias-free
+// cluster-robustness assessor for the optimizer ablation: it measures
+// boundary stability directly, without the axis-aligned bias of the
+// decision tree or the independence assumption of naive Bayes.
+#ifndef ADAHEALTH_ML_KNN_H_
+#define ADAHEALTH_ML_KNN_H_
+
+#include "ml/classifier.h"
+
+namespace adahealth {
+namespace ml {
+
+struct KnnOptions {
+  /// Number of neighbours voting; clamped to the training-set size.
+  int32_t k = 5;
+};
+
+/// Majority-vote k-NN with Euclidean distance. Fit stores a copy of
+/// the training data. Ties break toward the smaller class label.
+class KnnClassifier final : public Classifier {
+ public:
+  explicit KnnClassifier(KnnOptions options = KnnOptions())
+      : options_(options) {}
+
+  common::Status Fit(const transform::Matrix& features,
+                     const std::vector<int32_t>& labels,
+                     int32_t num_classes) override;
+
+  int32_t Predict(std::span<const double> features) const override;
+
+ private:
+  KnnOptions options_;
+  int32_t num_classes_ = 0;
+  transform::Matrix train_features_;
+  std::vector<int32_t> train_labels_;
+};
+
+}  // namespace ml
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_ML_KNN_H_

@@ -1,0 +1,92 @@
+#include "ml/metrics.h"
+
+namespace adahealth {
+namespace ml {
+
+common::StatusOr<ClassificationReport> EvaluateClassification(
+    const std::vector<int32_t>& truth, const std::vector<int32_t>& predicted,
+    int32_t num_classes) {
+  if (truth.size() != predicted.size()) {
+    return common::InvalidArgumentError(
+        "truth and prediction sizes disagree");
+  }
+  if (truth.empty()) {
+    return common::InvalidArgumentError("cannot evaluate an empty sample");
+  }
+  if (num_classes < 1) {
+    return common::InvalidArgumentError("num_classes must be >= 1");
+  }
+
+  ClassificationReport report;
+  report.num_classes = num_classes;
+  report.num_samples = static_cast<int64_t>(truth.size());
+  report.confusion.assign(
+      static_cast<size_t>(num_classes),
+      std::vector<int64_t>(static_cast<size_t>(num_classes), 0));
+
+  int64_t correct = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] < 0 || truth[i] >= num_classes || predicted[i] < 0 ||
+        predicted[i] >= num_classes) {
+      return common::InvalidArgumentError(
+          "label outside [0, num_classes)");
+    }
+    ++report.confusion[static_cast<size_t>(truth[i])]
+                      [static_cast<size_t>(predicted[i])];
+    if (truth[i] == predicted[i]) ++correct;
+  }
+  report.accuracy =
+      static_cast<double>(correct) / static_cast<double>(truth.size());
+
+  report.precision.assign(static_cast<size_t>(num_classes), 0.0);
+  report.recall.assign(static_cast<size_t>(num_classes), 0.0);
+  report.f1.assign(static_cast<size_t>(num_classes), 0.0);
+  for (int32_t c = 0; c < num_classes; ++c) {
+    int64_t true_positive = report.confusion[static_cast<size_t>(c)]
+                                            [static_cast<size_t>(c)];
+    int64_t predicted_positive = 0;
+    int64_t actual_positive = 0;
+    for (int32_t other = 0; other < num_classes; ++other) {
+      predicted_positive += report.confusion[static_cast<size_t>(other)]
+                                            [static_cast<size_t>(c)];
+      actual_positive += report.confusion[static_cast<size_t>(c)]
+                                         [static_cast<size_t>(other)];
+    }
+    double precision = predicted_positive > 0
+                           ? static_cast<double>(true_positive) /
+                                 static_cast<double>(predicted_positive)
+                           : 0.0;
+    double recall = actual_positive > 0
+                        ? static_cast<double>(true_positive) /
+                              static_cast<double>(actual_positive)
+                        : 0.0;
+    report.precision[static_cast<size_t>(c)] = precision;
+    report.recall[static_cast<size_t>(c)] = recall;
+    report.f1[static_cast<size_t>(c)] =
+        (precision + recall) > 0.0
+            ? 2.0 * precision * recall / (precision + recall)
+            : 0.0;
+    report.macro_precision += precision;
+    report.macro_recall += recall;
+    report.macro_f1 += report.f1[static_cast<size_t>(c)];
+  }
+  report.macro_precision /= static_cast<double>(num_classes);
+  report.macro_recall /= static_cast<double>(num_classes);
+  report.macro_f1 /= static_cast<double>(num_classes);
+  return report;
+}
+
+double GiniImpurity(const std::vector<int64_t>& class_counts) {
+  int64_t total = 0;
+  for (int64_t c : class_counts) total += c;
+  if (total == 0) return 0.0;
+  double sum_squared = 0.0;
+  for (int64_t c : class_counts) {
+    double p = static_cast<double>(c) / static_cast<double>(total);
+    sum_squared += p * p;
+  }
+  return 1.0 - sum_squared;
+}
+
+}  // namespace ml
+}  // namespace adahealth

@@ -1,0 +1,47 @@
+// Classification quality metrics: accuracy, per-class and macro
+// precision/recall/F1, confusion matrix. These are the paper's cluster
+// robustness measures ("different quality metrics (such as accuracy,
+// precision, recall)", §IV-A; Table I reports accuracy, average
+// precision and average recall).
+#ifndef ADAHEALTH_ML_METRICS_H_
+#define ADAHEALTH_ML_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace adahealth {
+namespace ml {
+
+/// Aggregated classification metrics.
+struct ClassificationReport {
+  int32_t num_classes = 0;
+  int64_t num_samples = 0;
+  double accuracy = 0.0;
+  /// Per-class one-vs-rest metrics; 0 when the denominator is empty.
+  std::vector<double> precision;
+  std::vector<double> recall;
+  std::vector<double> f1;
+  /// Unweighted means over classes (the paper's "average precision" /
+  /// "average recall").
+  double macro_precision = 0.0;
+  double macro_recall = 0.0;
+  double macro_f1 = 0.0;
+  /// confusion[truth][prediction].
+  std::vector<std::vector<int64_t>> confusion;
+};
+
+/// Computes the report for predictions vs ground truth. Labels must be
+/// in [0, num_classes); sizes must match and be non-zero.
+common::StatusOr<ClassificationReport> EvaluateClassification(
+    const std::vector<int32_t>& truth, const std::vector<int32_t>& predicted,
+    int32_t num_classes);
+
+/// Gini impurity of a class-count vector: 1 - sum p_c^2 (0 when empty).
+double GiniImpurity(const std::vector<int64_t>& class_counts);
+
+}  // namespace ml
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_ML_METRICS_H_

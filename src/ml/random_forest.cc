@@ -1,0 +1,94 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace adahealth {
+namespace ml {
+
+using common::Status;
+using transform::Matrix;
+
+Status RandomForestClassifier::Fit(const Matrix& features,
+                                   const std::vector<int32_t>& labels,
+                                   int32_t num_classes) {
+  if (features.rows() == 0 || features.cols() == 0) {
+    return common::InvalidArgumentError("empty training data");
+  }
+  if (labels.size() != features.rows()) {
+    return common::InvalidArgumentError("label count != sample count");
+  }
+  if (num_classes < 1) {
+    return common::InvalidArgumentError("num_classes must be >= 1");
+  }
+  if (options_.num_trees < 1) {
+    return common::InvalidArgumentError("num_trees must be >= 1");
+  }
+  if (options_.feature_fraction <= 0.0 || options_.feature_fraction > 1.0) {
+    return common::InvalidArgumentError(
+        "feature_fraction must be in (0, 1]");
+  }
+
+  num_classes_ = num_classes;
+  num_features_ = features.cols();
+  trees_.clear();
+  trees_.reserve(static_cast<size_t>(options_.num_trees));
+
+  common::Rng rng(options_.seed);
+  const size_t n = features.rows();
+  size_t features_per_tree = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::llround(options_.feature_fraction *
+                          static_cast<double>(num_features_))));
+
+  for (int32_t t = 0; t < options_.num_trees; ++t) {
+    Member member;
+    member.feature_ids =
+        rng.SampleWithoutReplacement(num_features_, features_per_tree);
+    std::sort(member.feature_ids.begin(), member.feature_ids.end());
+
+    // Bootstrap sample of the rows (with replacement).
+    std::vector<size_t> row_ids(n);
+    std::vector<int32_t> boot_labels(n);
+    for (size_t i = 0; i < n; ++i) {
+      row_ids[i] = static_cast<size_t>(rng.UniformUint64(n));
+      boot_labels[i] = labels[row_ids[i]];
+    }
+    Matrix boot =
+        features.SelectRows(row_ids).SelectColumns(member.feature_ids);
+
+    member.tree = DecisionTreeClassifier(options_.tree);
+    Status fit = member.tree.Fit(boot, boot_labels, num_classes);
+    if (!fit.ok()) return fit;
+    trees_.push_back(std::move(member));
+  }
+  return common::OkStatus();
+}
+
+int32_t RandomForestClassifier::Predict(
+    std::span<const double> features) const {
+  ADA_CHECK(!trees_.empty());
+  ADA_CHECK_EQ(features.size(), num_features_);
+  std::vector<int64_t> votes(static_cast<size_t>(num_classes_), 0);
+  std::vector<double> projected;
+  for (const Member& member : trees_) {
+    projected.resize(member.feature_ids.size());
+    for (size_t i = 0; i < member.feature_ids.size(); ++i) {
+      projected[i] = features[member.feature_ids[i]];
+    }
+    ++votes[static_cast<size_t>(member.tree.Predict(projected))];
+  }
+  int32_t best = 0;
+  for (int32_t c = 1; c < num_classes_; ++c) {
+    if (votes[static_cast<size_t>(c)] > votes[static_cast<size_t>(best)]) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace ml
+}  // namespace adahealth

@@ -1,0 +1,59 @@
+// Random forest classifier: bagged CART trees over bootstrap samples
+// and per-tree random feature subspaces, majority-vote prediction.
+// The strongest of the cluster-robustness assessors; also exercises
+// the paper's idea of combining "different ... machine learning
+// criteria" (§III) to evaluate extracted knowledge.
+#ifndef ADAHEALTH_ML_RANDOM_FOREST_H_
+#define ADAHEALTH_ML_RANDOM_FOREST_H_
+
+#include <memory>
+
+#include "ml/decision_tree.h"
+
+namespace adahealth {
+namespace ml {
+
+struct RandomForestOptions {
+  /// Number of trees (>= 1).
+  int32_t num_trees = 20;
+  /// Fraction of features drawn (without replacement) per tree, in
+  /// (0, 1]; at least one feature is always used.
+  double feature_fraction = 0.7;
+  /// Options of every member tree.
+  DecisionTreeOptions tree;
+  uint64_t seed = 1;
+};
+
+/// Bagging ensemble of DecisionTreeClassifier. Deterministic in
+/// (data, options).
+class RandomForestClassifier final : public Classifier {
+ public:
+  explicit RandomForestClassifier(
+      RandomForestOptions options = RandomForestOptions())
+      : options_(options) {}
+
+  common::Status Fit(const transform::Matrix& features,
+                     const std::vector<int32_t>& labels,
+                     int32_t num_classes) override;
+
+  int32_t Predict(std::span<const double> features) const override;
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  struct Member {
+    DecisionTreeClassifier tree;
+    /// Columns of the original feature space this tree sees.
+    std::vector<size_t> feature_ids;
+  };
+
+  RandomForestOptions options_;
+  int32_t num_classes_ = 0;
+  size_t num_features_ = 0;
+  std::vector<Member> trees_;
+};
+
+}  // namespace ml
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_ML_RANDOM_FOREST_H_

@@ -1,0 +1,129 @@
+#include "patterns/apriori.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+
+namespace adahealth {
+namespace patterns {
+
+int64_t AbsoluteSupport(double min_support_fraction,
+                        size_t num_transactions) {
+  ADA_CHECK_GT(min_support_fraction, 0.0);
+  ADA_CHECK_LE(min_support_fraction, 1.0);
+  int64_t count = static_cast<int64_t>(
+      std::ceil(min_support_fraction * static_cast<double>(num_transactions)));
+  return std::max<int64_t>(count, 1);
+}
+
+namespace {
+
+/// True if all (size-1)-subsets of `candidate` are frequent (present in
+/// the sorted `previous_level`).
+bool AllSubsetsFrequent(const std::vector<ItemId>& candidate,
+                        const std::vector<std::vector<ItemId>>&
+                            previous_level) {
+  std::vector<ItemId> subset(candidate.size() - 1);
+  for (size_t skip = 0; skip < candidate.size(); ++skip) {
+    size_t idx = 0;
+    for (size_t i = 0; i < candidate.size(); ++i) {
+      if (i != skip) subset[idx++] = candidate[i];
+    }
+    if (!std::binary_search(previous_level.begin(), previous_level.end(),
+                            subset)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// True if the sorted `items` are a subset of the sorted `transaction`.
+bool IsSubset(const std::vector<ItemId>& items,
+              const std::vector<ItemId>& transaction) {
+  size_t t = 0;
+  for (ItemId item : items) {
+    while (t < transaction.size() && transaction[t] < item) ++t;
+    if (t == transaction.size() || transaction[t] != item) return false;
+    ++t;
+  }
+  return true;
+}
+
+}  // namespace
+
+common::StatusOr<std::vector<FrequentItemset>> MineApriori(
+    const TransactionDb& db, const MiningOptions& options) {
+  if (options.min_support_count < 1) {
+    return common::InvalidArgumentError("min_support_count must be >= 1");
+  }
+
+  std::vector<FrequentItemset> result;
+
+  // Level 1: frequent single items.
+  std::map<ItemId, int64_t> singleton_counts;
+  for (const auto& transaction : db.transactions) {
+    for (ItemId item : transaction) ++singleton_counts[item];
+  }
+  std::vector<std::vector<ItemId>> current_level;
+  for (const auto& [item, count] : singleton_counts) {
+    if (count >= options.min_support_count) {
+      result.push_back({{item}, count});
+      current_level.push_back({item});
+    }
+  }
+
+  size_t level = 1;
+  while (!current_level.empty()) {
+    ++level;
+    if (options.max_itemset_size != 0 && level > options.max_itemset_size) {
+      break;
+    }
+    // Candidate generation: join pairs sharing a (k-2)-prefix, then
+    // prune candidates with an infrequent subset.
+    std::vector<std::vector<ItemId>> candidates;
+    for (size_t i = 0; i < current_level.size(); ++i) {
+      for (size_t j = i + 1; j < current_level.size(); ++j) {
+        const auto& a = current_level[i];
+        const auto& b = current_level[j];
+        if (!std::equal(a.begin(), a.end() - 1, b.begin(), b.end() - 1)) {
+          // current_level is sorted, so once prefixes diverge no later j
+          // can match i.
+          break;
+        }
+        std::vector<ItemId> candidate = a;
+        candidate.push_back(b.back());
+        if (AllSubsetsFrequent(candidate, current_level)) {
+          candidates.push_back(std::move(candidate));
+        }
+      }
+    }
+    if (candidates.empty()) break;
+
+    // Support counting.
+    std::vector<int64_t> counts(candidates.size(), 0);
+    for (const auto& transaction : db.transactions) {
+      if (transaction.size() < level) continue;
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        if (IsSubset(candidates[c], transaction)) ++counts[c];
+      }
+    }
+
+    std::vector<std::vector<ItemId>> next_level;
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (counts[c] >= options.min_support_count) {
+        result.push_back({candidates[c], counts[c]});
+        next_level.push_back(std::move(candidates[c]));
+      }
+    }
+    std::sort(next_level.begin(), next_level.end());
+    current_level = std::move(next_level);
+  }
+
+  SortCanonical(result);
+  return result;
+}
+
+}  // namespace patterns
+}  // namespace adahealth

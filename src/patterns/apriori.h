@@ -1,0 +1,31 @@
+// Apriori frequent-itemset mining (Agrawal & Srikant, VLDB'94): the
+// level-wise baseline against which FP-growth is benchmarked.
+#ifndef ADAHEALTH_PATTERNS_APRIORI_H_
+#define ADAHEALTH_PATTERNS_APRIORI_H_
+
+#include "common/status.h"
+#include "patterns/transactions.h"
+
+namespace adahealth {
+namespace patterns {
+
+struct MiningOptions {
+  /// Minimum support as an absolute transaction count (>= 1).
+  int64_t min_support_count = 1;
+  /// Cap on itemset size; 0 means unbounded.
+  size_t max_itemset_size = 0;
+};
+
+/// Converts a relative support threshold in (0, 1] to an absolute
+/// count over `num_transactions` (ceil, at least 1).
+int64_t AbsoluteSupport(double min_support_fraction, size_t num_transactions);
+
+/// Mines all frequent itemsets of `db` with Apriori. Output is in
+/// canonical order (SortCanonical).
+common::StatusOr<std::vector<FrequentItemset>> MineApriori(
+    const TransactionDb& db, const MiningOptions& options);
+
+}  // namespace patterns
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_PATTERNS_APRIORI_H_

@@ -1,0 +1,96 @@
+#include "patterns/eclat.h"
+
+#include <bit>
+#include <map>
+
+namespace adahealth {
+namespace patterns {
+
+namespace {
+
+/// Transaction-id set as a fixed-width bitset over the database.
+using TidSet = std::vector<uint64_t>;
+
+int64_t Popcount(const TidSet& tids) {
+  int64_t count = 0;
+  for (uint64_t word : tids) count += std::popcount(word);
+  return count;
+}
+
+TidSet Intersect(const TidSet& a, const TidSet& b) {
+  TidSet out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] & b[i];
+  return out;
+}
+
+/// One (item, tidset, support) column of the vertical layout.
+struct Column {
+  ItemId item;
+  TidSet tids;
+  int64_t support;
+};
+
+/// Depth-first Eclat: extends `prefix` with every column, recursing on
+/// the pairwise-intersected conditional columns. `columns` items are
+/// strictly increasing, so each itemset is enumerated exactly once in
+/// ascending-item order.
+void Search(const std::vector<Column>& columns,
+            std::vector<ItemId>& prefix, int64_t min_support,
+            size_t max_size, std::vector<FrequentItemset>& out) {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    prefix.push_back(columns[i].item);
+    out.push_back({prefix, columns[i].support});
+    if (max_size == 0 || prefix.size() < max_size) {
+      std::vector<Column> conditional;
+      for (size_t j = i + 1; j < columns.size(); ++j) {
+        TidSet joint = Intersect(columns[i].tids, columns[j].tids);
+        int64_t support = Popcount(joint);
+        if (support >= min_support) {
+          conditional.push_back(
+              {columns[j].item, std::move(joint), support});
+        }
+      }
+      if (!conditional.empty()) {
+        Search(conditional, prefix, min_support, max_size, out);
+      }
+    }
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+common::StatusOr<std::vector<FrequentItemset>> MineEclat(
+    const TransactionDb& db, const MiningOptions& options) {
+  if (options.min_support_count < 1) {
+    return common::InvalidArgumentError("min_support_count must be >= 1");
+  }
+
+  // Build the vertical layout: one bitset per item.
+  const size_t words = (db.transactions.size() + 63) / 64;
+  std::map<ItemId, TidSet> vertical;
+  for (size_t t = 0; t < db.transactions.size(); ++t) {
+    for (ItemId item : db.transactions[t]) {
+      TidSet& tids = vertical.try_emplace(item, words, 0).first->second;
+      tids[t / 64] |= uint64_t{1} << (t % 64);
+    }
+  }
+
+  std::vector<Column> columns;
+  for (auto& [item, tids] : vertical) {
+    int64_t support = Popcount(tids);
+    if (support >= options.min_support_count) {
+      columns.push_back({item, std::move(tids), support});
+    }
+  }
+
+  std::vector<FrequentItemset> result;
+  std::vector<ItemId> prefix;
+  Search(columns, prefix, options.min_support_count,
+         options.max_itemset_size, result);
+  SortCanonical(result);
+  return result;
+}
+
+}  // namespace patterns
+}  // namespace adahealth

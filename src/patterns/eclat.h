@@ -1,0 +1,26 @@
+// Eclat frequent-itemset mining (Zaki, TKDE 2000): depth-first search
+// over the *vertical* layout (per-item transaction-id bitsets).
+//
+// This is the literal "vertical mining" representation the paper's
+// §III mentions ("partial mining can reduce the dataset along any
+// dimension (vertical mining)"); it also serves as a third independent
+// miner for cross-validation of Apriori and FP-growth results.
+#ifndef ADAHEALTH_PATTERNS_ECLAT_H_
+#define ADAHEALTH_PATTERNS_ECLAT_H_
+
+#include "common/status.h"
+#include "patterns/apriori.h"
+#include "patterns/transactions.h"
+
+namespace adahealth {
+namespace patterns {
+
+/// Mines all frequent itemsets of `db` with Eclat. Output is in
+/// canonical order and identical to MineApriori / MineFpGrowth.
+common::StatusOr<std::vector<FrequentItemset>> MineEclat(
+    const TransactionDb& db, const MiningOptions& options);
+
+}  // namespace patterns
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_PATTERNS_ECLAT_H_

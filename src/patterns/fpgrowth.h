@@ -1,0 +1,35 @@
+// FP-growth frequent-itemset mining (Han, Pei & Yin, SIGMOD'00): the
+// production miner of the pattern-discovery component. Produces exactly
+// the same itemsets as Apriori, typically orders of magnitude faster on
+// dense transaction databases.
+#ifndef ADAHEALTH_PATTERNS_FPGROWTH_H_
+#define ADAHEALTH_PATTERNS_FPGROWTH_H_
+
+#include "common/status.h"
+#include "patterns/apriori.h"
+#include "patterns/transactions.h"
+
+namespace adahealth {
+namespace patterns {
+
+/// Mines all frequent itemsets of `db` with FP-growth. Output is in
+/// canonical order (SortCanonical) and identical to MineApriori.
+common::StatusOr<std::vector<FrequentItemset>> MineFpGrowth(
+    const TransactionDb& db, const MiningOptions& options);
+
+/// Filters `itemsets` down to the closed ones (no proper superset with
+/// the same support). Input may be in any order.
+std::vector<FrequentItemset> ClosedItemsets(
+    std::vector<FrequentItemset> itemsets);
+
+/// Filters `itemsets` down to the maximal ones (no frequent proper
+/// superset at all). Maximal sets are the most compact summary of a
+/// pattern collection; every frequent itemset is a subset of some
+/// maximal one. Input may be in any order.
+std::vector<FrequentItemset> MaximalItemsets(
+    std::vector<FrequentItemset> itemsets);
+
+}  // namespace patterns
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_PATTERNS_FPGROWTH_H_

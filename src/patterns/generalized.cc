@@ -1,0 +1,62 @@
+#include "patterns/generalized.h"
+
+#include "patterns/fpgrowth.h"
+
+namespace adahealth {
+namespace patterns {
+
+common::StatusOr<std::vector<GeneralizedItemset>> MineGeneralized(
+    const dataset::ExamLog& log, const dataset::Taxonomy& taxonomy,
+    const GeneralizedMiningOptions& options) {
+  const double thresholds[3] = {options.min_support_level0,
+                                options.min_support_level1,
+                                options.min_support_level2};
+  for (double t : thresholds) {
+    if (t <= 0.0 || t > 1.0) {
+      return common::InvalidArgumentError(
+          "per-level min supports must be in (0, 1]");
+    }
+  }
+
+  std::vector<GeneralizedItemset> result;
+  for (int level = 0; level < 3; ++level) {
+    TransactionDb db = BuildTransactionsAtLevel(log, taxonomy, level);
+    MiningOptions mining;
+    mining.min_support_count =
+        AbsoluteSupport(thresholds[level], db.size());
+    mining.max_itemset_size = options.max_itemset_size;
+    auto itemsets = MineFpGrowth(db, mining);
+    if (!itemsets.ok()) return itemsets.status();
+    for (auto& itemset : itemsets.value()) {
+      result.push_back({level, std::move(itemset.items), itemset.support});
+    }
+  }
+  return result;
+}
+
+std::string FormatGeneralizedItemset(const GeneralizedItemset& itemset,
+                                     const dataset::ExamLog& log,
+                                     const dataset::Taxonomy& taxonomy) {
+  std::string out = "{";
+  for (size_t i = 0; i < itemset.items.size(); ++i) {
+    if (i > 0) out += ", ";
+    ItemId item = itemset.items[i];
+    int level = taxonomy.LevelOf(item);
+    if (level == 0) {
+      out += log.dictionary().Name(item);
+    } else if (level == 1) {
+      out += taxonomy.GroupName(
+          item - static_cast<ItemId>(taxonomy.num_leaves()));
+    } else {
+      out += taxonomy.CategoryName(
+          item - static_cast<ItemId>(taxonomy.num_leaves() +
+                                     taxonomy.num_groups()));
+    }
+  }
+  out += "}@L" + std::to_string(itemset.level) +
+         " (support=" + std::to_string(itemset.support) + ")";
+  return out;
+}
+
+}  // namespace patterns
+}  // namespace adahealth

@@ -1,0 +1,55 @@
+// Generalized (taxonomy-aware) itemset mining in the spirit of MeTA
+// (paper reference [2]: "Characterization of Medical Treatments at
+// Different Abstraction Levels"): frequent itemsets are mined at each
+// taxonomy level, so a pattern too sparse at the leaf level can still
+// surface as a frequent group- or category-level pattern.
+#ifndef ADAHEALTH_PATTERNS_GENERALIZED_H_
+#define ADAHEALTH_PATTERNS_GENERALIZED_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "dataset/taxonomy.h"
+#include "patterns/apriori.h"
+#include "patterns/transactions.h"
+
+namespace adahealth {
+namespace patterns {
+
+/// A frequent itemset together with the abstraction level it was mined
+/// at. Items are taxonomy node ids.
+struct GeneralizedItemset {
+  int level = 0;  // 0 = exams, 1 = groups, 2 = categories.
+  std::vector<ItemId> items;
+  int64_t support = 0;
+
+  friend bool operator==(const GeneralizedItemset& a,
+                         const GeneralizedItemset& b) = default;
+};
+
+struct GeneralizedMiningOptions {
+  /// Per-level relative minimum support in (0, 1]. Higher levels
+  /// aggregate more records, so a common choice raises the threshold
+  /// with the level.
+  double min_support_level0 = 0.10;
+  double min_support_level1 = 0.20;
+  double min_support_level2 = 0.40;
+  size_t max_itemset_size = 4;
+};
+
+/// Mines frequent itemsets at all three taxonomy levels with FP-growth.
+/// Results are ordered by level, then canonically.
+common::StatusOr<std::vector<GeneralizedItemset>> MineGeneralized(
+    const dataset::ExamLog& log, const dataset::Taxonomy& taxonomy,
+    const GeneralizedMiningOptions& options);
+
+/// Renders a generalized itemset with human-readable node names, e.g.
+/// "{cardiology, lipid_panel}@L1 (support=1234)".
+std::string FormatGeneralizedItemset(const GeneralizedItemset& itemset,
+                                     const dataset::ExamLog& log,
+                                     const dataset::Taxonomy& taxonomy);
+
+}  // namespace patterns
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_PATTERNS_GENERALIZED_H_

@@ -1,0 +1,81 @@
+#include "patterns/rules.h"
+
+#include <algorithm>
+#include <map>
+
+namespace adahealth {
+namespace patterns {
+
+common::StatusOr<std::vector<AssociationRule>> GenerateRules(
+    const std::vector<FrequentItemset>& itemsets, size_t num_transactions,
+    const RuleOptions& options) {
+  if (options.min_confidence <= 0.0 || options.min_confidence > 1.0) {
+    return common::InvalidArgumentError("min_confidence must be in (0, 1]");
+  }
+  if (num_transactions == 0) {
+    return common::InvalidArgumentError("num_transactions must be positive");
+  }
+
+  // Support lookup for subset supports.
+  std::map<std::vector<ItemId>, int64_t> support_of;
+  for (const auto& itemset : itemsets) {
+    support_of[itemset.items] = itemset.support;
+  }
+  const double total = static_cast<double>(num_transactions);
+
+  std::vector<AssociationRule> rules;
+  for (const auto& itemset : itemsets) {
+    const size_t n = itemset.items.size();
+    if (n < 2) continue;
+    // Every non-trivial bipartition: antecedent = bits set in mask.
+    for (uint64_t mask = 1; mask + 1 < (uint64_t{1} << n); ++mask) {
+      std::vector<ItemId> antecedent;
+      std::vector<ItemId> consequent;
+      for (size_t i = 0; i < n; ++i) {
+        if (mask & (uint64_t{1} << i)) {
+          antecedent.push_back(itemset.items[i]);
+        } else {
+          consequent.push_back(itemset.items[i]);
+        }
+      }
+      auto antecedent_it = support_of.find(antecedent);
+      auto consequent_it = support_of.find(consequent);
+      if (antecedent_it == support_of.end() ||
+          consequent_it == support_of.end()) {
+        // Can happen when itemsets were pre-filtered (e.g. closed sets);
+        // skip rather than mis-compute.
+        continue;
+      }
+      double confidence = static_cast<double>(itemset.support) /
+                          static_cast<double>(antecedent_it->second);
+      if (confidence < options.min_confidence) continue;
+      double consequent_support =
+          static_cast<double>(consequent_it->second) / total;
+      double lift =
+          consequent_support > 0.0 ? confidence / consequent_support : 0.0;
+      if (options.min_lift > 0.0 && lift < options.min_lift) continue;
+      AssociationRule rule;
+      rule.antecedent = std::move(antecedent);
+      rule.consequent = std::move(consequent);
+      rule.support = static_cast<double>(itemset.support) / total;
+      rule.confidence = confidence;
+      rule.lift = lift;
+      rules.push_back(std::move(rule));
+    }
+  }
+  std::sort(rules.begin(), rules.end(),
+            [](const AssociationRule& a, const AssociationRule& b) {
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              if (a.lift != b.lift) return a.lift > b.lift;
+              if (a.antecedent != b.antecedent) {
+                return a.antecedent < b.antecedent;
+              }
+              return a.consequent < b.consequent;
+            });
+  return rules;
+}
+
+}  // namespace patterns
+}  // namespace adahealth

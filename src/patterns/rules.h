@@ -1,0 +1,48 @@
+// Association-rule generation from frequent itemsets. Supports the
+// paper's motivating analyses ("identify medical examinations commonly
+// prescribed ... to patients with a given disease", "discover
+// previously unknown interaction between drugs or medical conditions").
+#ifndef ADAHEALTH_PATTERNS_RULES_H_
+#define ADAHEALTH_PATTERNS_RULES_H_
+
+#include "common/status.h"
+#include "patterns/transactions.h"
+
+namespace adahealth {
+namespace patterns {
+
+/// Association rule antecedent => consequent, both non-empty and
+/// disjoint, with standard quality measures.
+struct AssociationRule {
+  std::vector<ItemId> antecedent;
+  std::vector<ItemId> consequent;
+  /// Support of antecedent ∪ consequent over the transaction count.
+  double support = 0.0;
+  /// support(A ∪ C) / support(A).
+  double confidence = 0.0;
+  /// confidence / support(C); > 1 indicates positive correlation.
+  double lift = 0.0;
+
+  friend bool operator==(const AssociationRule& a,
+                         const AssociationRule& b) = default;
+};
+
+struct RuleOptions {
+  /// Minimum confidence in (0, 1].
+  double min_confidence = 0.5;
+  /// Minimum lift; 0 disables the filter.
+  double min_lift = 0.0;
+};
+
+/// Derives association rules from `itemsets` (all frequent itemsets of
+/// one mining run, so every required subset support is present) over a
+/// database of `num_transactions` transactions. Rules are sorted by
+/// descending confidence, then lift.
+common::StatusOr<std::vector<AssociationRule>> GenerateRules(
+    const std::vector<FrequentItemset>& itemsets, size_t num_transactions,
+    const RuleOptions& options);
+
+}  // namespace patterns
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_PATTERNS_RULES_H_

@@ -1,0 +1,62 @@
+#include "patterns/transactions.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+
+namespace adahealth {
+namespace patterns {
+
+TransactionDb BuildTransactions(const dataset::ExamLog& log) {
+  TransactionDb db;
+  db.num_items = log.num_exam_types();
+  std::vector<std::set<ItemId>> item_sets(log.num_patients());
+  for (const auto& record : log.records()) {
+    item_sets[static_cast<size_t>(record.patient)].insert(record.exam_type);
+  }
+  db.transactions.reserve(item_sets.size());
+  for (const auto& items : item_sets) {
+    db.transactions.emplace_back(items.begin(), items.end());
+  }
+  return db;
+}
+
+TransactionDb BuildTransactionsAtLevel(const dataset::ExamLog& log,
+                                       const dataset::Taxonomy& taxonomy,
+                                       int level) {
+  ADA_CHECK_GE(level, 0);
+  ADA_CHECK_LE(level, 2);
+  ADA_CHECK_EQ(taxonomy.num_leaves(), log.num_exam_types());
+  TransactionDb db;
+  db.num_items = taxonomy.num_nodes();
+  std::vector<std::set<ItemId>> item_sets(log.num_patients());
+  for (const auto& record : log.records()) {
+    ItemId item = record.exam_type;
+    if (level >= 1) {
+      item = taxonomy.GroupNode(taxonomy.GroupOfLeaf(record.exam_type));
+    }
+    if (level == 2) {
+      item = taxonomy.CategoryNode(taxonomy.CategoryOfLeaf(record.exam_type));
+    }
+    item_sets[static_cast<size_t>(record.patient)].insert(item);
+  }
+  db.transactions.reserve(item_sets.size());
+  for (const auto& items : item_sets) {
+    db.transactions.emplace_back(items.begin(), items.end());
+  }
+  return db;
+}
+
+void SortCanonical(std::vector<FrequentItemset>& itemsets) {
+  std::sort(itemsets.begin(), itemsets.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return a.items < b.items;
+            });
+}
+
+}  // namespace patterns
+}  // namespace adahealth

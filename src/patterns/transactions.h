@@ -1,0 +1,60 @@
+// Transaction encoding of the examination log for frequent-pattern
+// discovery (the paper's second exploratory algorithm class, ref [2]):
+// each patient becomes one transaction containing the distinct exam
+// types (or taxonomy ancestors) they underwent.
+#ifndef ADAHEALTH_PATTERNS_TRANSACTIONS_H_
+#define ADAHEALTH_PATTERNS_TRANSACTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dataset/exam_log.h"
+#include "dataset/taxonomy.h"
+
+namespace adahealth {
+namespace patterns {
+
+/// Item identifier; leaf items equal ExamTypeId, generalized items are
+/// taxonomy node ids.
+using ItemId = int32_t;
+
+/// A transaction database: every transaction is a strictly increasing
+/// item list; `num_items` bounds the item id space.
+struct TransactionDb {
+  size_t num_items = 0;
+  std::vector<std::vector<ItemId>> transactions;
+
+  size_t size() const { return transactions.size(); }
+};
+
+/// Builds one transaction per patient from the distinct exam types in
+/// their history. Patients without records yield empty transactions
+/// (kept, so transaction index == PatientId).
+TransactionDb BuildTransactions(const dataset::ExamLog& log);
+
+/// Builds transactions whose items are the taxonomy ancestors of the
+/// patient's exams at `level` (0 = leaf exams, 1 = groups,
+/// 2 = categories). Item ids are global taxonomy node ids.
+TransactionDb BuildTransactionsAtLevel(const dataset::ExamLog& log,
+                                       const dataset::Taxonomy& taxonomy,
+                                       int level);
+
+/// An itemset found frequent: items ascending, `support` = number of
+/// containing transactions.
+struct FrequentItemset {
+  std::vector<ItemId> items;
+  int64_t support = 0;
+
+  friend bool operator==(const FrequentItemset& a,
+                         const FrequentItemset& b) = default;
+};
+
+/// Canonically orders itemsets (by size, then lexicographic items) so
+/// miner outputs are directly comparable; used in tests to assert
+/// Apriori == FP-growth.
+void SortCanonical(std::vector<FrequentItemset>& itemsets);
+
+}  // namespace patterns
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_PATTERNS_TRANSACTIONS_H_

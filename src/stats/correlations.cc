@@ -1,0 +1,83 @@
+#include "stats/correlations.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adahealth {
+namespace stats {
+
+common::StatusOr<std::vector<ExamCorrelation>> TopExamCorrelations(
+    const dataset::ExamLog& log, size_t top_n, int64_t min_patients) {
+  if (top_n == 0) {
+    return common::InvalidArgumentError("top_n must be positive");
+  }
+  if (log.num_patients() < 2) {
+    return common::InvalidArgumentError(
+        "correlation needs at least two patients");
+  }
+
+  const size_t patients = log.num_patients();
+  const size_t exams = log.num_exam_types();
+
+  // Per-exam per-patient counts, plus sufficient statistics.
+  std::vector<std::vector<double>> counts(
+      exams, std::vector<double>(patients, 0.0));
+  for (const auto& record : log.records()) {
+    counts[static_cast<size_t>(record.exam_type)]
+          [static_cast<size_t>(record.patient)] += 1.0;
+  }
+  std::vector<int64_t> patients_per_exam = log.PatientsPerExam();
+
+  // Precompute means and stddevs; exams failing the patient floor or
+  // with zero variance are excluded.
+  const double n = static_cast<double>(patients);
+  std::vector<double> mean(exams, 0.0);
+  std::vector<double> stddev(exams, 0.0);
+  std::vector<bool> eligible(exams, false);
+  for (size_t e = 0; e < exams; ++e) {
+    if (patients_per_exam[e] < min_patients) continue;
+    double sum = 0.0;
+    for (double c : counts[e]) sum += c;
+    mean[e] = sum / n;
+    double variance = 0.0;
+    for (double c : counts[e]) {
+      double d = c - mean[e];
+      variance += d * d;
+    }
+    variance /= n;
+    if (variance <= 0.0) continue;
+    stddev[e] = std::sqrt(variance);
+    eligible[e] = true;
+  }
+
+  std::vector<ExamCorrelation> pairs;
+  for (size_t a = 0; a < exams; ++a) {
+    if (!eligible[a]) continue;
+    for (size_t b = a + 1; b < exams; ++b) {
+      if (!eligible[b]) continue;
+      double covariance = 0.0;
+      for (size_t p = 0; p < patients; ++p) {
+        covariance += (counts[a][p] - mean[a]) * (counts[b][p] - mean[b]);
+      }
+      covariance /= n;
+      ExamCorrelation pair;
+      pair.exam_a = static_cast<dataset::ExamTypeId>(a);
+      pair.exam_b = static_cast<dataset::ExamTypeId>(b);
+      pair.correlation = covariance / (stddev[a] * stddev[b]);
+      pairs.push_back(pair);
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const ExamCorrelation& x, const ExamCorrelation& y) {
+              if (x.correlation != y.correlation) {
+                return x.correlation > y.correlation;
+              }
+              if (x.exam_a != y.exam_a) return x.exam_a < y.exam_a;
+              return x.exam_b < y.exam_b;
+            });
+  if (pairs.size() > top_n) pairs.resize(top_n);
+  return pairs;
+}
+
+}  // namespace stats
+}  // namespace adahealth

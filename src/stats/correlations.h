@@ -1,0 +1,38 @@
+// Exam co-occurrence correlation discovery.
+//
+// The paper explains the partial-mining result by noting that "some
+// examination types are probably correlated (e.g. they could be
+// prescribed in conjunction or are needed to monitor/diagnose the same
+// condition)". This module finds those correlated exam pairs directly
+// from the per-patient count vectors.
+#ifndef ADAHEALTH_STATS_CORRELATIONS_H_
+#define ADAHEALTH_STATS_CORRELATIONS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "dataset/exam_log.h"
+
+namespace adahealth {
+namespace stats {
+
+/// One correlated exam pair.
+struct ExamCorrelation {
+  dataset::ExamTypeId exam_a = 0;
+  dataset::ExamTypeId exam_b = 0;
+  /// Pearson correlation of the two exams' per-patient counts.
+  double correlation = 0.0;
+};
+
+/// Returns the `top_n` most positively correlated exam pairs among
+/// exams with at least `min_patients` distinct patients (rare exams
+/// produce spurious correlations). Pairs are sorted by descending
+/// correlation; ties by (exam_a, exam_b). O(E^2 * P) — fine for
+/// hundreds of exam types.
+common::StatusOr<std::vector<ExamCorrelation>> TopExamCorrelations(
+    const dataset::ExamLog& log, size_t top_n, int64_t min_patients = 20);
+
+}  // namespace stats
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_STATS_CORRELATIONS_H_

@@ -1,0 +1,70 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace adahealth {
+namespace stats {
+
+Histogram::Histogram(double lo, double hi, size_t num_buckets)
+    : lo_(lo), hi_(hi), counts_(num_buckets, 0) {
+  ADA_CHECK_LT(lo, hi);
+  ADA_CHECK_GE(num_buckets, 1u);
+}
+
+void Histogram::Add(double value) {
+  double span = hi_ - lo_;
+  double position = (value - lo_) / span * static_cast<double>(counts_.size());
+  int64_t bucket = static_cast<int64_t>(std::floor(position));
+  bucket = std::clamp<int64_t>(bucket, 0,
+                               static_cast<int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(bucket)];
+  ++total_;
+}
+
+void Histogram::AddAll(const std::vector<double>& values) {
+  for (double v : values) Add(v);
+}
+
+int64_t Histogram::bucket_count(size_t bucket) const {
+  ADA_CHECK_LT(bucket, counts_.size());
+  return counts_[bucket];
+}
+
+double Histogram::BucketLow(size_t bucket) const {
+  ADA_CHECK_LT(bucket, counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(bucket) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::BucketHigh(size_t bucket) const {
+  ADA_CHECK_LT(bucket, counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(bucket + 1) /
+                   static_cast<double>(counts_.size());
+}
+
+std::string Histogram::ToAscii(size_t max_width) const {
+  int64_t peak = 0;
+  for (int64_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    size_t bar = peak == 0 ? 0
+                           : static_cast<size_t>(
+                                 std::llround(static_cast<double>(
+                                                  counts_[b]) /
+                                              static_cast<double>(peak) *
+                                              static_cast<double>(max_width)));
+    out += common::StrFormat("[%10.2f, %10.2f) %8lld |",
+                             BucketLow(b), BucketHigh(b),
+                             static_cast<long long>(counts_[b]));
+    out.append(bar, '#');
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace stats
+}  // namespace adahealth

@@ -1,0 +1,43 @@
+// Fixed-width histogram used in dataset characterization reports.
+#ifndef ADAHEALTH_STATS_HISTOGRAM_H_
+#define ADAHEALTH_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adahealth {
+namespace stats {
+
+/// Equal-width histogram over [lo, hi]; values outside the range clamp
+/// into the first/last bucket.
+class Histogram {
+ public:
+  /// Creates `num_buckets` (>= 1) buckets spanning [lo, hi], lo < hi.
+  Histogram(double lo, double hi, size_t num_buckets);
+
+  void Add(double value);
+  void AddAll(const std::vector<double>& values);
+
+  size_t num_buckets() const { return counts_.size(); }
+  int64_t bucket_count(size_t bucket) const;
+  int64_t total() const { return total_; }
+
+  /// Inclusive-exclusive bounds of a bucket (the last is inclusive).
+  double BucketLow(size_t bucket) const;
+  double BucketHigh(size_t bucket) const;
+
+  /// Renders an ASCII bar chart, one bucket per line.
+  std::string ToAscii(size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+}  // namespace stats
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_STATS_HISTOGRAM_H_

@@ -1,0 +1,78 @@
+#include "transform/feature_select.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace adahealth {
+namespace transform {
+
+using dataset::ExamLog;
+using dataset::ExamTypeId;
+
+std::vector<ExamTypeId> RankExamsByFrequency(const ExamLog& log) {
+  std::vector<int64_t> frequencies = log.ExamFrequencies();
+  std::vector<ExamTypeId> order(frequencies.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](ExamTypeId a, ExamTypeId b) {
+                     return frequencies[static_cast<size_t>(a)] >
+                            frequencies[static_cast<size_t>(b)];
+                   });
+  return order;
+}
+
+std::vector<bool> TopExamsMask(const ExamLog& log, size_t count) {
+  ADA_CHECK_LE(count, log.num_exam_types());
+  std::vector<ExamTypeId> ranked = RankExamsByFrequency(log);
+  std::vector<bool> mask(log.num_exam_types(), false);
+  for (size_t i = 0; i < count; ++i) {
+    mask[static_cast<size_t>(ranked[i])] = true;
+  }
+  return mask;
+}
+
+std::vector<bool> TopFractionExamsMask(const ExamLog& log, double fraction) {
+  ADA_CHECK_GE(fraction, 0.0);
+  ADA_CHECK_LE(fraction, 1.0);
+  size_t count = static_cast<size_t>(
+      std::llround(fraction * static_cast<double>(log.num_exam_types())));
+  count = std::min(count, log.num_exam_types());
+  return TopExamsMask(log, count);
+}
+
+double RecordCoverage(const ExamLog& log, const std::vector<bool>& mask) {
+  ADA_CHECK_EQ(mask.size(), log.num_exam_types());
+  if (log.num_records() == 0) return 0.0;
+  int64_t kept = 0;
+  for (const auto& record : log.records()) {
+    if (mask[static_cast<size_t>(record.exam_type)]) ++kept;
+  }
+  return static_cast<double>(kept) / static_cast<double>(log.num_records());
+}
+
+common::StatusOr<std::vector<VerticalSubset>> BuildVerticalSchedule(
+    const ExamLog& log, const std::vector<double>& fractions) {
+  if (fractions.empty()) {
+    return common::InvalidArgumentError("empty vertical schedule");
+  }
+  std::vector<VerticalSubset> schedule;
+  schedule.reserve(fractions.size());
+  for (double fraction : fractions) {
+    if (fraction <= 0.0 || fraction > 1.0) {
+      return common::InvalidArgumentError(
+          "vertical fractions must be in (0, 1]");
+    }
+    VerticalSubset subset;
+    subset.exam_fraction = fraction;
+    subset.mask = TopFractionExamsMask(log, fraction);
+    subset.record_coverage = RecordCoverage(log, subset.mask);
+    schedule.push_back(std::move(subset));
+  }
+  return schedule;
+}
+
+}  // namespace transform
+}  // namespace adahealth

@@ -1,0 +1,55 @@
+// Frequency-ranked feature (exam-type) selection — the vertical
+// dimension of the paper's partial-mining strategy (§IV-B: incremental
+// runs consider the top 20%, 40% and 100% of exam types by frequency,
+// "chosen in decreasing order of frequency within the original raw
+// data").
+#ifndef ADAHEALTH_TRANSFORM_FEATURE_SELECT_H_
+#define ADAHEALTH_TRANSFORM_FEATURE_SELECT_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "dataset/exam_log.h"
+
+namespace adahealth {
+namespace transform {
+
+/// Exam types of `log` sorted by descending record frequency (ties
+/// broken by ascending id, so the order is deterministic).
+std::vector<dataset::ExamTypeId> RankExamsByFrequency(
+    const dataset::ExamLog& log);
+
+/// Keep-mask over exam types selecting the `count` most frequent ones.
+/// Requires count <= num_exam_types.
+std::vector<bool> TopExamsMask(const dataset::ExamLog& log, size_t count);
+
+/// Keep-mask selecting the top `fraction` (in [0, 1]) of exam types by
+/// frequency; the count is rounded to the nearest integer.
+std::vector<bool> TopFractionExamsMask(const dataset::ExamLog& log,
+                                       double fraction);
+
+/// Fraction of records of `log` whose exam type is kept by `mask` —
+/// the paper's "row data" coverage (20% of types -> ~70% of rows).
+double RecordCoverage(const dataset::ExamLog& log,
+                      const std::vector<bool>& mask);
+
+/// One step of the incremental vertical schedule.
+struct VerticalSubset {
+  /// Fraction of exam types included, in (0, 1].
+  double exam_fraction = 0.0;
+  /// Fraction of the original records covered.
+  double record_coverage = 0.0;
+  /// Keep-mask over the original exam-type ids.
+  std::vector<bool> mask;
+};
+
+/// Builds the incremental schedule of vertical subsets for the given
+/// exam-type fractions (each in (0, 1]; e.g. {0.2, 0.4, 1.0} as in the
+/// paper). Fails on out-of-range fractions.
+common::StatusOr<std::vector<VerticalSubset>> BuildVerticalSchedule(
+    const dataset::ExamLog& log, const std::vector<double>& fractions);
+
+}  // namespace transform
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_TRANSFORM_FEATURE_SELECT_H_

@@ -1,0 +1,113 @@
+#include "transform/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace adahealth {
+namespace transform {
+
+using common::InvalidArgumentError;
+using common::Rng;
+using common::StatusOr;
+using dataset::ExamLog;
+using dataset::PatientId;
+
+namespace {
+
+size_t TargetCount(size_t total, double fraction) {
+  size_t count = static_cast<size_t>(
+      std::llround(fraction * static_cast<double>(total)));
+  count = std::min(count, total);
+  if (total > 0 && count == 0) count = 1;
+  return count;
+}
+
+}  // namespace
+
+StatusOr<std::vector<PatientId>> SamplePatients(const ExamLog& log,
+                                                double fraction, Rng& rng) {
+  if (fraction <= 0.0 || fraction > 1.0) {
+    return InvalidArgumentError("sample fraction must be in (0, 1]");
+  }
+  size_t count = TargetCount(log.num_patients(), fraction);
+  std::vector<size_t> picks =
+      rng.SampleWithoutReplacement(log.num_patients(), count);
+  std::vector<PatientId> patients(picks.size());
+  for (size_t i = 0; i < picks.size(); ++i) {
+    patients[i] = static_cast<PatientId>(picks[i]);
+  }
+  std::sort(patients.begin(), patients.end());
+  return patients;
+}
+
+StatusOr<std::vector<PatientId>> SamplePatientsStratifiedByActivity(
+    const ExamLog& log, double fraction, Rng& rng) {
+  if (fraction <= 0.0 || fraction > 1.0) {
+    return InvalidArgumentError("sample fraction must be in (0, 1]");
+  }
+  if (log.num_patients() == 0) return std::vector<PatientId>{};
+
+  // Assign patients to record-count quartiles.
+  std::vector<int64_t> counts = log.RecordsPerPatient();
+  std::vector<PatientId> by_count(log.num_patients());
+  for (size_t i = 0; i < by_count.size(); ++i) {
+    by_count[i] = static_cast<PatientId>(i);
+  }
+  std::stable_sort(by_count.begin(), by_count.end(),
+                   [&](PatientId a, PatientId b) {
+                     return counts[static_cast<size_t>(a)] <
+                            counts[static_cast<size_t>(b)];
+                   });
+  std::vector<PatientId> sampled;
+  const size_t num_strata = 4;
+  for (size_t s = 0; s < num_strata; ++s) {
+    size_t begin = s * by_count.size() / num_strata;
+    size_t end = (s + 1) * by_count.size() / num_strata;
+    if (begin >= end) continue;
+    size_t take = TargetCount(end - begin, fraction);
+    std::vector<size_t> picks = rng.SampleWithoutReplacement(end - begin, take);
+    for (size_t p : picks) sampled.push_back(by_count[begin + p]);
+  }
+  std::sort(sampled.begin(), sampled.end());
+  return sampled;
+}
+
+StatusOr<std::vector<std::vector<PatientId>>> BuildHorizontalSchedule(
+    const ExamLog& log, const std::vector<double>& fractions, Rng& rng) {
+  if (fractions.empty()) {
+    return InvalidArgumentError("empty horizontal schedule");
+  }
+  for (size_t i = 0; i < fractions.size(); ++i) {
+    if (fractions[i] <= 0.0 || fractions[i] > 1.0) {
+      return InvalidArgumentError("horizontal fractions must be in (0, 1]");
+    }
+    if (i > 0 && fractions[i] <= fractions[i - 1]) {
+      return InvalidArgumentError(
+          "horizontal fractions must be strictly increasing");
+    }
+  }
+  // Draw one random permutation; each step takes a growing prefix, so
+  // the subsets are nested.
+  std::vector<PatientId> permutation(log.num_patients());
+  for (size_t i = 0; i < permutation.size(); ++i) {
+    permutation[i] = static_cast<PatientId>(i);
+  }
+  rng.Shuffle(permutation);
+
+  std::vector<std::vector<PatientId>> schedule;
+  schedule.reserve(fractions.size());
+  for (double fraction : fractions) {
+    size_t count = TargetCount(log.num_patients(), fraction);
+    std::vector<PatientId> subset(permutation.begin(),
+                                  permutation.begin() +
+                                      static_cast<ptrdiff_t>(count));
+    std::sort(subset.begin(), subset.end());
+    schedule.push_back(std::move(subset));
+  }
+  return schedule;
+}
+
+}  // namespace transform
+}  // namespace adahealth

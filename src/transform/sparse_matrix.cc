@@ -1,0 +1,95 @@
+#include "transform/sparse_matrix.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace adahealth {
+namespace transform {
+
+void CsrMatrix::Builder::AddRow(const std::vector<SparseEntry>& entries) {
+  uint32_t previous = 0;
+  bool first = true;
+  for (const SparseEntry& entry : entries) {
+    ADA_CHECK_LT(entry.column, cols_);
+    if (!first) ADA_CHECK_GT(entry.column, previous);
+    previous = entry.column;
+    first = false;
+    if (entry.value != 0.0) entries_.push_back(entry);
+  }
+  row_offsets_.push_back(entries_.size());
+}
+
+CsrMatrix CsrMatrix::Builder::Build() && {
+  return CsrMatrix(cols_, std::move(row_offsets_), std::move(entries_));
+}
+
+std::span<const SparseEntry> CsrMatrix::Row(size_t row) const {
+  ADA_CHECK_LT(row, rows());
+  return std::span<const SparseEntry>(
+      entries_.data() + row_offsets_[row],
+      row_offsets_[row + 1] - row_offsets_[row]);
+}
+
+Matrix CsrMatrix::ToDense() const {
+  Matrix dense(rows(), cols_);
+  for (size_t r = 0; r < rows(); ++r) {
+    for (const SparseEntry& entry : Row(r)) {
+      dense.At(r, entry.column) = entry.value;
+    }
+  }
+  return dense;
+}
+
+CsrMatrix CsrMatrix::FromDense(const Matrix& dense) {
+  Builder builder(dense.cols());
+  std::vector<SparseEntry> row_entries;
+  for (size_t r = 0; r < dense.rows(); ++r) {
+    row_entries.clear();
+    std::span<const double> row = dense.Row(r);
+    for (size_t c = 0; c < dense.cols(); ++c) {
+      if (row[c] != 0.0) {
+        row_entries.push_back({static_cast<uint32_t>(c), row[c]});
+      }
+    }
+    builder.AddRow(row_entries);
+  }
+  return std::move(builder).Build();
+}
+
+double CsrMatrix::Density() const {
+  double cells = static_cast<double>(rows()) * static_cast<double>(cols_);
+  return cells > 0.0 ? static_cast<double>(entries_.size()) / cells : 0.0;
+}
+
+double SparseDot(std::span<const SparseEntry> a,
+                 std::span<const SparseEntry> b) {
+  double sum = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].column == b[j].column) {
+      sum += a[i].value * b[j].value;
+      ++i;
+      ++j;
+    } else if (a[i].column < b[j].column) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return sum;
+}
+
+double SparseCosineSimilarity(std::span<const SparseEntry> a,
+                              std::span<const SparseEntry> b) {
+  double norm_a = 0.0;
+  for (const SparseEntry& entry : a) norm_a += entry.value * entry.value;
+  double norm_b = 0.0;
+  for (const SparseEntry& entry : b) norm_b += entry.value * entry.value;
+  if (norm_a <= 0.0 || norm_b <= 0.0) return 0.0;
+  return SparseDot(a, b) / std::sqrt(norm_a * norm_b);
+}
+
+}  // namespace transform
+}  // namespace adahealth

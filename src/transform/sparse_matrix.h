@@ -1,0 +1,86 @@
+// Compressed sparse row (CSR) matrix.
+//
+// The paper stresses that medical logs are "inherently sparse"; the
+// VSM of a large cohort is mostly zeros. CsrMatrix stores only the
+// non-zero entries and supports the distance/similarity kernels needed
+// by clustering quality metrics.
+#ifndef ADAHEALTH_TRANSFORM_SPARSE_MATRIX_H_
+#define ADAHEALTH_TRANSFORM_SPARSE_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "transform/matrix.h"
+
+namespace adahealth {
+namespace transform {
+
+/// One non-zero entry of a sparse row.
+struct SparseEntry {
+  uint32_t column = 0;
+  double value = 0.0;
+
+  friend bool operator==(const SparseEntry& a, const SparseEntry& b) = default;
+};
+
+/// Immutable CSR matrix built row by row.
+class CsrMatrix {
+ public:
+  /// Incremental builder; append rows in order.
+  class Builder {
+   public:
+    explicit Builder(size_t cols) : cols_(cols) {}
+
+    /// Appends a row given (column, value) pairs; columns must be
+    /// strictly increasing and < cols. Zero values are dropped.
+    void AddRow(const std::vector<SparseEntry>& entries);
+
+    CsrMatrix Build() &&;
+
+   private:
+    size_t cols_;
+    std::vector<size_t> row_offsets_{0};
+    std::vector<SparseEntry> entries_;
+  };
+
+  size_t rows() const { return row_offsets_.size() - 1; }
+  size_t cols() const { return cols_; }
+  size_t num_nonzeros() const { return entries_.size(); }
+
+  /// Entries of row `row` as a contiguous span.
+  std::span<const SparseEntry> Row(size_t row) const;
+
+  /// Converts to a dense matrix.
+  Matrix ToDense() const;
+
+  /// Builds from a dense matrix, dropping zeros.
+  static CsrMatrix FromDense(const Matrix& dense);
+
+  /// Fraction of cells that are non-zero.
+  double Density() const;
+
+ private:
+  CsrMatrix(size_t cols, std::vector<size_t> row_offsets,
+            std::vector<SparseEntry> entries)
+      : cols_(cols),
+        row_offsets_(std::move(row_offsets)),
+        entries_(std::move(entries)) {}
+
+  size_t cols_ = 0;
+  std::vector<size_t> row_offsets_;
+  std::vector<SparseEntry> entries_;
+};
+
+/// Dot product of two sparse rows (two-pointer merge).
+double SparseDot(std::span<const SparseEntry> a,
+                 std::span<const SparseEntry> b);
+
+/// Cosine similarity of two sparse rows; 0 when either is empty.
+double SparseCosineSimilarity(std::span<const SparseEntry> a,
+                              std::span<const SparseEntry> b);
+
+}  // namespace transform
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_TRANSFORM_SPARSE_MATRIX_H_

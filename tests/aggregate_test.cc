@@ -1,0 +1,117 @@
+#include "kdb/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace adahealth {
+namespace kdb {
+namespace {
+
+using common::Json;
+
+Collection MakeCollection() {
+  Collection collection("items");
+  struct Row {
+    const char* kind;
+    double quality;
+  };
+  const Row rows[] = {{"cluster", 0.9}, {"cluster", 0.5}, {"rule", 0.7},
+                      {"rule", 0.3},    {"itemset", 0.6}};
+  for (const Row& row : rows) {
+    Document document;
+    document.Set("kind", Json(row.kind));
+    document.Set("quality", Json(row.quality));
+    collection.Insert(std::move(document));
+  }
+  // One document without the fields.
+  collection.Insert(Document());
+  return collection;
+}
+
+TEST(GroupCountTest, CountsPerValue) {
+  Collection collection = MakeCollection();
+  auto counts = GroupCount(collection, "kind");
+  EXPECT_EQ(counts["\"cluster\""], 2);
+  EXPECT_EQ(counts["\"rule\""], 2);
+  EXPECT_EQ(counts["\"itemset\""], 1);
+  EXPECT_EQ(counts["<missing>"], 1);
+}
+
+TEST(GroupCountTest, RespectsFilter) {
+  Collection collection = MakeCollection();
+  auto counts = GroupCount(collection, "kind",
+                           Query().Where("quality", QueryOp::kGe,
+                                         Json(0.6)));
+  EXPECT_EQ(counts["\"cluster\""], 1);
+  EXPECT_EQ(counts["\"rule\""], 1);
+  EXPECT_EQ(counts["\"itemset\""], 1);
+  EXPECT_EQ(counts.count("<missing>"), 0u);
+}
+
+TEST(AggregateTest, NumericStatistics) {
+  Collection collection = MakeCollection();
+  FieldStats stats = Aggregate(collection, "quality");
+  EXPECT_EQ(stats.count, 5);
+  EXPECT_NEAR(stats.sum, 3.0, 1e-12);
+  EXPECT_NEAR(stats.mean, 0.6, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min, 0.3);
+  EXPECT_DOUBLE_EQ(stats.max, 0.9);
+}
+
+TEST(AggregateTest, FilteredStatistics) {
+  Collection collection = MakeCollection();
+  FieldStats stats = Aggregate(collection, "quality",
+                               Query().Eq("kind", Json("rule")));
+  EXPECT_EQ(stats.count, 2);
+  EXPECT_NEAR(stats.mean, 0.5, 1e-12);
+}
+
+TEST(AggregateTest, EmptyMatchGivesZeroStats) {
+  Collection collection = MakeCollection();
+  FieldStats stats = Aggregate(collection, "quality",
+                               Query().Eq("kind", Json("ghost")));
+  EXPECT_EQ(stats.count, 0);
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+}
+
+TEST(SortedFindTest, AscendingAndDescending) {
+  Collection collection = MakeCollection();
+  auto ascending = SortedFind(collection, Query::All(), "quality");
+  // 5 documents with quality (missing-field document last).
+  ASSERT_EQ(ascending.size(), 6u);
+  EXPECT_DOUBLE_EQ(ascending[0].Get("quality")->AsDouble(), 0.3);
+  EXPECT_DOUBLE_EQ(ascending[4].Get("quality")->AsDouble(), 0.9);
+  EXPECT_EQ(ascending[5].Get("quality"), nullptr);
+
+  auto descending =
+      SortedFind(collection, Query::All(), "quality", true);
+  EXPECT_DOUBLE_EQ(descending[0].Get("quality")->AsDouble(), 0.9);
+  EXPECT_EQ(descending[5].Get("quality"), nullptr);  // Missing last.
+}
+
+TEST(SortedFindTest, LimitTruncates) {
+  Collection collection = MakeCollection();
+  auto top2 = SortedFind(collection, Query::All(), "quality", true, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_DOUBLE_EQ(top2[0].Get("quality")->AsDouble(), 0.9);
+  EXPECT_DOUBLE_EQ(top2[1].Get("quality")->AsDouble(), 0.7);
+}
+
+TEST(SortedFindTest, StringSortIsLexicographic) {
+  Collection collection = MakeCollection();
+  auto by_kind = SortedFind(collection, Query::All(), "kind");
+  ASSERT_GE(by_kind.size(), 5u);
+  EXPECT_EQ(by_kind[0].Get("kind")->AsString(), "cluster");
+  EXPECT_EQ(by_kind[4].Get("kind")->AsString(), "rule");
+}
+
+TEST(SortedFindTest, FilterApplies) {
+  Collection collection = MakeCollection();
+  auto rules = SortedFind(collection, Query().Eq("kind", Json("rule")),
+                          "quality", true);
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_DOUBLE_EQ(rules[0].Get("quality")->AsDouble(), 0.7);
+}
+
+}  // namespace
+}  // namespace kdb
+}  // namespace adahealth

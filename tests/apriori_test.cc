@@ -1,0 +1,151 @@
+#include "patterns/apriori.h"
+
+#include <gtest/gtest.h>
+
+namespace adahealth {
+namespace patterns {
+namespace {
+
+// The classic textbook database.
+TransactionDb MakeDb() {
+  TransactionDb db;
+  db.num_items = 5;
+  db.transactions = {
+      {0, 1, 4},     // bread milk beer...
+      {0, 3},
+      {0, 2},
+      {0, 1, 3},
+      {1, 2},
+      {0, 2},
+      {1, 2},
+      {0, 1, 2, 4},
+      {0, 1, 2},
+  };
+  return db;
+}
+
+int64_t SupportOf(const std::vector<FrequentItemset>& itemsets,
+                  const std::vector<ItemId>& items) {
+  for (const auto& itemset : itemsets) {
+    if (itemset.items == items) return itemset.support;
+  }
+  return -1;
+}
+
+TEST(AbsoluteSupportTest, CeilingSemantics) {
+  EXPECT_EQ(AbsoluteSupport(0.5, 9), 5);
+  EXPECT_EQ(AbsoluteSupport(1.0, 9), 9);
+  EXPECT_EQ(AbsoluteSupport(0.01, 9), 1);
+  EXPECT_EQ(AbsoluteSupport(0.2, 0), 1);  // At least 1.
+}
+
+TEST(AprioriTest, SingletonSupports) {
+  MiningOptions options;
+  options.min_support_count = 1;
+  auto itemsets = MineApriori(MakeDb(), options);
+  ASSERT_TRUE(itemsets.ok());
+  EXPECT_EQ(SupportOf(itemsets.value(), {0}), 7);
+  EXPECT_EQ(SupportOf(itemsets.value(), {1}), 6);
+  EXPECT_EQ(SupportOf(itemsets.value(), {2}), 6);
+  EXPECT_EQ(SupportOf(itemsets.value(), {3}), 2);
+  EXPECT_EQ(SupportOf(itemsets.value(), {4}), 2);
+}
+
+TEST(AprioriTest, PairSupports) {
+  MiningOptions options;
+  options.min_support_count = 2;
+  auto itemsets = MineApriori(MakeDb(), options);
+  ASSERT_TRUE(itemsets.ok());
+  EXPECT_EQ(SupportOf(itemsets.value(), {0, 1}), 4);
+  EXPECT_EQ(SupportOf(itemsets.value(), {0, 2}), 4);
+  EXPECT_EQ(SupportOf(itemsets.value(), {1, 2}), 4);
+  EXPECT_EQ(SupportOf(itemsets.value(), {0, 4}), 2);
+  EXPECT_EQ(SupportOf(itemsets.value(), {1, 4}), 2);
+  EXPECT_EQ(SupportOf(itemsets.value(), {0, 1, 2}), 2);
+  EXPECT_EQ(SupportOf(itemsets.value(), {0, 1, 4}), 2);
+}
+
+TEST(AprioriTest, MinSupportPrunes) {
+  MiningOptions options;
+  options.min_support_count = 3;
+  auto itemsets = MineApriori(MakeDb(), options);
+  ASSERT_TRUE(itemsets.ok());
+  EXPECT_EQ(SupportOf(itemsets.value(), {3}), -1);
+  EXPECT_EQ(SupportOf(itemsets.value(), {0, 1, 2}), -1);
+  for (const auto& itemset : itemsets.value()) {
+    EXPECT_GE(itemset.support, 3);
+  }
+}
+
+TEST(AprioriTest, MaxItemsetSizeCaps) {
+  MiningOptions options;
+  options.min_support_count = 1;
+  options.max_itemset_size = 1;
+  auto itemsets = MineApriori(MakeDb(), options);
+  ASSERT_TRUE(itemsets.ok());
+  for (const auto& itemset : itemsets.value()) {
+    EXPECT_EQ(itemset.items.size(), 1u);
+  }
+}
+
+TEST(AprioriTest, EmptyDatabase) {
+  TransactionDb db;
+  db.num_items = 3;
+  MiningOptions options;
+  options.min_support_count = 1;
+  auto itemsets = MineApriori(db, options);
+  ASSERT_TRUE(itemsets.ok());
+  EXPECT_TRUE(itemsets->empty());
+}
+
+TEST(AprioriTest, SupportAboveDbSizeYieldsNothing) {
+  MiningOptions options;
+  options.min_support_count = 100;
+  auto itemsets = MineApriori(MakeDb(), options);
+  ASSERT_TRUE(itemsets.ok());
+  EXPECT_TRUE(itemsets->empty());
+}
+
+TEST(AprioriTest, RejectsInvalidSupport) {
+  MiningOptions options;
+  options.min_support_count = 0;
+  EXPECT_FALSE(MineApriori(MakeDb(), options).ok());
+}
+
+TEST(AprioriTest, CanonicalOrder) {
+  MiningOptions options;
+  options.min_support_count = 2;
+  auto itemsets = MineApriori(MakeDb(), options);
+  ASSERT_TRUE(itemsets.ok());
+  for (size_t i = 1; i < itemsets->size(); ++i) {
+    const auto& prev = (*itemsets)[i - 1];
+    const auto& curr = (*itemsets)[i];
+    bool ordered = prev.items.size() < curr.items.size() ||
+                   (prev.items.size() == curr.items.size() &&
+                    prev.items < curr.items);
+    EXPECT_TRUE(ordered);
+  }
+}
+
+TEST(AprioriTest, DownwardClosureHolds) {
+  // Every subset of a frequent itemset is present with >= support.
+  MiningOptions options;
+  options.min_support_count = 2;
+  auto itemsets = MineApriori(MakeDb(), options);
+  ASSERT_TRUE(itemsets.ok());
+  for (const auto& itemset : itemsets.value()) {
+    if (itemset.items.size() < 2) continue;
+    for (size_t skip = 0; skip < itemset.items.size(); ++skip) {
+      std::vector<ItemId> subset;
+      for (size_t i = 0; i < itemset.items.size(); ++i) {
+        if (i != skip) subset.push_back(itemset.items[i]);
+      }
+      int64_t subset_support = SupportOf(itemsets.value(), subset);
+      EXPECT_GE(subset_support, itemset.support);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace patterns
+}  // namespace adahealth

@@ -1,0 +1,91 @@
+#include "cluster/bisecting.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+#include "test_util.h"
+
+namespace adahealth {
+namespace cluster {
+namespace {
+
+using test::MakeBlobs;
+using test::RandIndex;
+using transform::Matrix;
+
+TEST(BisectingKMeansTest, RecoversBlobs) {
+  test::Blobs blobs = MakeBlobs(
+      {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}, {10.0, 10.0}}, 40, 0.5, 21);
+  BisectingOptions options;
+  options.k = 4;
+  options.seed = 23;
+  auto clustering = RunBisectingKMeans(blobs.points, options);
+  ASSERT_TRUE(clustering.ok());
+  EXPECT_GT(RandIndex(clustering->assignments, blobs.labels), 0.98);
+}
+
+TEST(BisectingKMeansTest, ProducesExactlyKNonEmptyClusters) {
+  test::Blobs blobs = MakeBlobs({{0.0}, {5.0}}, 30, 0.5, 25);
+  BisectingOptions options;
+  options.k = 5;
+  auto clustering = RunBisectingKMeans(blobs.points, options);
+  ASSERT_TRUE(clustering.ok());
+  std::vector<int64_t> sizes = ClusterSizes(clustering->assignments, 5);
+  for (int64_t s : sizes) EXPECT_GT(s, 0);
+}
+
+TEST(BisectingKMeansTest, KEqualsOneIsGlobalMean) {
+  test::Blobs blobs = MakeBlobs({{2.0, 3.0}}, 30, 1.0, 27);
+  BisectingOptions options;
+  options.k = 1;
+  auto clustering = RunBisectingKMeans(blobs.points, options);
+  ASSERT_TRUE(clustering.ok());
+  std::vector<double> means = blobs.points.ColumnMeans();
+  EXPECT_NEAR(clustering->centroids.At(0, 0), means[0], 1e-9);
+  EXPECT_NEAR(clustering->centroids.At(0, 1), means[1], 1e-9);
+}
+
+TEST(BisectingKMeansTest, SseConsistentWithAssignments) {
+  test::Blobs blobs = MakeBlobs({{0.0}, {6.0}, {12.0}}, 25, 0.5, 29);
+  BisectingOptions options;
+  options.k = 3;
+  auto clustering = RunBisectingKMeans(blobs.points, options);
+  ASSERT_TRUE(clustering.ok());
+  double sse = 0.0;
+  for (size_t i = 0; i < blobs.points.rows(); ++i) {
+    sse += transform::SquaredDistance(
+        blobs.points.Row(i),
+        clustering->centroids.Row(
+            static_cast<size_t>(clustering->assignments[i])));
+  }
+  EXPECT_NEAR(sse, clustering->sse, 1e-9);
+}
+
+TEST(BisectingKMeansTest, DeterministicForSeed) {
+  test::Blobs blobs = MakeBlobs({{0.0}, {4.0}}, 20, 0.4, 31);
+  BisectingOptions options;
+  options.k = 3;
+  options.seed = 55;
+  auto a = RunBisectingKMeans(blobs.points, options);
+  auto b = RunBisectingKMeans(blobs.points, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignments, b->assignments);
+}
+
+TEST(BisectingKMeansTest, InvalidArgumentsRejected) {
+  Matrix points(4, 1, 1.0);
+  BisectingOptions options;
+  options.k = 0;
+  EXPECT_FALSE(RunBisectingKMeans(points, options).ok());
+  options.k = 5;
+  EXPECT_FALSE(RunBisectingKMeans(points, options).ok());
+  options.k = 2;
+  options.trials_per_split = 0;
+  EXPECT_FALSE(RunBisectingKMeans(points, options).ok());
+  EXPECT_FALSE(RunBisectingKMeans(Matrix(), options).ok());
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace adahealth

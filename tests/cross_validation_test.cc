@@ -1,0 +1,119 @@
+#include "ml/cross_validation.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+#include "ml/decision_tree.h"
+#include "ml/naive_bayes.h"
+#include "test_util.h"
+
+namespace adahealth {
+namespace ml {
+namespace {
+
+TEST(StratifiedKFoldTest, PartitionsEverySampleOnce) {
+  std::vector<int32_t> labels(30);
+  for (size_t i = 0; i < labels.size(); ++i) labels[i] = i % 3;
+  auto folds = StratifiedKFold(labels, 3, 5, 17);
+  ASSERT_TRUE(folds.ok());
+  ASSERT_EQ(folds->size(), 5u);
+  std::vector<int> seen(labels.size(), 0);
+  for (const Fold& fold : folds.value()) {
+    for (size_t id : fold.test_ids) ++seen[id];
+    // Train/test are disjoint and cover everything.
+    std::set<size_t> train(fold.train_ids.begin(), fold.train_ids.end());
+    for (size_t id : fold.test_ids) EXPECT_FALSE(train.contains(id));
+    EXPECT_EQ(fold.train_ids.size() + fold.test_ids.size(), labels.size());
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(StratifiedKFoldTest, PreservesClassProportions) {
+  // 40 of class 0, 20 of class 1 -> each of 4 folds: 10/5.
+  std::vector<int32_t> labels;
+  for (int i = 0; i < 40; ++i) labels.push_back(0);
+  for (int i = 0; i < 20; ++i) labels.push_back(1);
+  auto folds = StratifiedKFold(labels, 2, 4, 19);
+  ASSERT_TRUE(folds.ok());
+  for (const Fold& fold : folds.value()) {
+    int class0 = 0;
+    int class1 = 0;
+    for (size_t id : fold.test_ids) {
+      if (labels[id] == 0) {
+        ++class0;
+      } else {
+        ++class1;
+      }
+    }
+    EXPECT_EQ(class0, 10);
+    EXPECT_EQ(class1, 5);
+  }
+}
+
+TEST(StratifiedKFoldTest, DeterministicForSeed) {
+  std::vector<int32_t> labels(20, 0);
+  for (size_t i = 10; i < 20; ++i) labels[i] = 1;
+  auto a = StratifiedKFold(labels, 2, 5, 21);
+  auto b = StratifiedKFold(labels, 2, 5, 21);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t f = 0; f < a->size(); ++f) {
+    EXPECT_EQ((*a)[f].test_ids, (*b)[f].test_ids);
+  }
+}
+
+TEST(StratifiedKFoldTest, RejectsBadArguments) {
+  std::vector<int32_t> labels{0, 1, 0, 1};
+  EXPECT_FALSE(StratifiedKFold(labels, 2, 1, 1).ok());
+  EXPECT_FALSE(StratifiedKFold(labels, 2, 5, 1).ok());
+  EXPECT_FALSE(StratifiedKFold(labels, 0, 2, 1).ok());
+  EXPECT_FALSE(StratifiedKFold({0, 3}, 2, 2, 1).ok());
+}
+
+TEST(CrossValidateTest, NearPerfectOnSeparableData) {
+  test::Blobs blobs = test::MakeBlobs(
+      {{0.0, 0.0}, {8.0, 8.0}}, 50, 0.5, 23);
+  auto report = CrossValidate(
+      blobs.points, blobs.labels, 2, 10, 25,
+      [] { return std::make_unique<DecisionTreeClassifier>(); });
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->accuracy, 0.97);
+  EXPECT_EQ(report->num_samples, 100);
+}
+
+TEST(CrossValidateTest, ChanceLevelOnRandomLabels) {
+  test::Blobs blobs = test::MakeBlobs({{0.0, 0.0}}, 200, 1.0, 27);
+  common::Rng rng(29);
+  std::vector<int32_t> random_labels(blobs.points.rows());
+  for (auto& label : random_labels) {
+    label = static_cast<int32_t>(rng.UniformUint64(2));
+  }
+  auto report = CrossValidate(
+      blobs.points, random_labels, 2, 5, 31,
+      [] { return std::make_unique<GaussianNaiveBayes>(); });
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->accuracy, 0.65);  // No signal to learn.
+}
+
+TEST(CrossValidateTest, WorksWithNaiveBayesFactory) {
+  test::Blobs blobs = test::MakeBlobs({{0.0}, {6.0}}, 40, 0.5, 33);
+  auto report = CrossValidate(
+      blobs.points, blobs.labels, 2, 4, 35,
+      [] { return std::make_unique<GaussianNaiveBayes>(); });
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->accuracy, 0.95);
+}
+
+TEST(CrossValidateTest, RejectsMismatchedLabels) {
+  test::Blobs blobs = test::MakeBlobs({{0.0}}, 10, 0.5, 37);
+  std::vector<int32_t> labels(5, 0);
+  auto report = CrossValidate(
+      blobs.points, labels, 1, 2, 39,
+      [] { return std::make_unique<DecisionTreeClassifier>(); });
+  EXPECT_FALSE(report.ok());
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace adahealth

@@ -1,0 +1,98 @@
+#include "common/csv.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace adahealth {
+namespace common {
+namespace {
+
+using Rows = std::vector<std::vector<std::string>>;
+
+TEST(ParseCsvTest, SimpleRows) {
+  auto rows = ParseCsv("a,b\nc,d\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value(), (Rows{{"a", "b"}, {"c", "d"}}));
+}
+
+TEST(ParseCsvTest, TrailingRowWithoutNewline) {
+  auto rows = ParseCsv("a,b\nc,d");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value(), (Rows{{"a", "b"}, {"c", "d"}}));
+}
+
+TEST(ParseCsvTest, QuotedFieldWithDelimiter) {
+  auto rows = ParseCsv("\"a,b\",c\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value(), (Rows{{"a,b", "c"}}));
+}
+
+TEST(ParseCsvTest, EscapedQuotes) {
+  auto rows = ParseCsv("\"say \"\"hi\"\"\",x\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value(), (Rows{{"say \"hi\"", "x"}}));
+}
+
+TEST(ParseCsvTest, EmbeddedNewlineInQuotedField) {
+  auto rows = ParseCsv("\"line1\nline2\",x\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value(), (Rows{{"line1\nline2", "x"}}));
+}
+
+TEST(ParseCsvTest, CrLfTerminators) {
+  auto rows = ParseCsv("a,b\r\nc,d\r\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value(), (Rows{{"a", "b"}, {"c", "d"}}));
+}
+
+TEST(ParseCsvTest, EmptyFields) {
+  auto rows = ParseCsv("a,,c\n,,\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value(), (Rows{{"a", "", "c"}, {"", "", ""}}));
+}
+
+TEST(ParseCsvTest, CustomDelimiter) {
+  auto rows = ParseCsv("a;b;c\n", ';');
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value(), (Rows{{"a", "b", "c"}}));
+}
+
+TEST(ParseCsvTest, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(ParseCsv("\"oops\n").ok());
+}
+
+TEST(ParseCsvTest, RejectsStrayQuote) {
+  EXPECT_FALSE(ParseCsv("ab\"cd,e\n").ok());
+}
+
+TEST(WriteCsvTest, QuotesOnlyWhenNeeded) {
+  Rows rows{{"plain", "with,comma", "with\"quote", "with\nnewline"}};
+  EXPECT_EQ(WriteCsv(rows),
+            "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+}
+
+TEST(WriteCsvTest, RoundTrip) {
+  Rows rows{{"a", "b,c", "d\"e\"", ""}, {"1", "2\n3", "x", "y"}};
+  auto parsed = ParseCsv(WriteCsv(rows));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), rows);
+}
+
+TEST(FileIoTest, WriteAndReadBack) {
+  std::string path = testing::TempDir() + "/csv_io_test.txt";
+  ASSERT_TRUE(WriteStringToFile(path, "hello\nworld").ok());
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "hello\nworld");
+  std::remove(path.c_str());
+}
+
+TEST(FileIoTest, MissingFileIsNotFound) {
+  auto contents = ReadFileToString("/nonexistent/definitely/missing.txt");
+  EXPECT_EQ(contents.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace common
+}  // namespace adahealth

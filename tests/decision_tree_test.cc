@@ -1,0 +1,139 @@
+#include "ml/decision_tree.h"
+
+#include <gtest/gtest.h>
+#include "test_util.h"
+
+namespace adahealth {
+namespace ml {
+namespace {
+
+using transform::Matrix;
+
+TEST(DecisionTreeTest, LearnsAxisAlignedSplit) {
+  Matrix features(6, 1);
+  std::vector<int32_t> labels{0, 0, 0, 1, 1, 1};
+  for (size_t i = 0; i < 6; ++i) {
+    features.At(i, 0) = static_cast<double>(i);
+  }
+  DecisionTreeClassifier tree;
+  ASSERT_TRUE(tree.Fit(features, labels, 2).ok());
+  EXPECT_EQ(tree.Predict(std::vector<double>{0.5}), 0);
+  EXPECT_EQ(tree.Predict(std::vector<double>{4.5}), 1);
+  EXPECT_EQ(tree.Predict(std::vector<double>{2.4}), 0);
+  EXPECT_EQ(tree.Predict(std::vector<double>{2.6}), 1);
+}
+
+TEST(DecisionTreeTest, FitsAsymmetricXorWithDepthTwo) {
+  // XOR labels with unequal corner multiplicities so the greedy first
+  // split has strictly positive Gini gain (pure XOR famously has zero
+  // first-level gain for any axis-aligned split).
+  struct Corner {
+    double x;
+    double y;
+    int copies;
+  };
+  const Corner corners[] = {
+      {0.0, 0.0, 4}, {1.0, 1.0, 2}, {0.0, 1.0, 2}, {1.0, 0.0, 2}};
+  size_t total = 0;
+  for (const Corner& corner : corners) {
+    total += static_cast<size_t>(corner.copies);
+  }
+  Matrix features(total, 2);
+  std::vector<int32_t> labels;
+  size_t row = 0;
+  for (const Corner& corner : corners) {
+    for (int repeat = 0; repeat < corner.copies; ++repeat) {
+      features.At(row, 0) = corner.x;
+      features.At(row, 1) = corner.y;
+      labels.push_back(static_cast<int32_t>(corner.x) ^
+                       static_cast<int32_t>(corner.y));
+      ++row;
+    }
+  }
+  DecisionTreeClassifier tree;
+  ASSERT_TRUE(tree.Fit(features, labels, 2).ok());
+  std::vector<int32_t> predicted = tree.PredictBatch(features);
+  EXPECT_EQ(predicted, labels);
+  EXPECT_GE(tree.depth(), 2);
+}
+
+TEST(DecisionTreeTest, PureNodeBecomesLeaf) {
+  Matrix features(5, 2, 1.0);
+  std::vector<int32_t> labels{1, 1, 1, 1, 1};
+  DecisionTreeClassifier tree;
+  ASSERT_TRUE(tree.Fit(features, labels, 2).ok());
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_EQ(tree.Predict(std::vector<double>{9.0, 9.0}), 1);
+}
+
+TEST(DecisionTreeTest, MaxDepthZeroGivesMajorityVote) {
+  Matrix features(5, 1);
+  for (size_t i = 0; i < 5; ++i) features.At(i, 0) = static_cast<double>(i);
+  std::vector<int32_t> labels{0, 0, 0, 1, 1};
+  DecisionTreeOptions options;
+  options.max_depth = 0;
+  DecisionTreeClassifier tree(options);
+  ASSERT_TRUE(tree.Fit(features, labels, 2).ok());
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  for (double x : {0.0, 4.0}) {
+    EXPECT_EQ(tree.Predict(std::vector<double>{x}), 0);
+  }
+}
+
+TEST(DecisionTreeTest, MinSamplesLeafPreventsTinySplits) {
+  Matrix features(10, 1);
+  std::vector<int32_t> labels;
+  for (size_t i = 0; i < 10; ++i) {
+    features.At(i, 0) = static_cast<double>(i);
+    labels.push_back(i == 9 ? 1 : 0);  // One outlier.
+  }
+  DecisionTreeOptions options;
+  options.min_samples_leaf = 3;
+  DecisionTreeClassifier tree(options);
+  ASSERT_TRUE(tree.Fit(features, labels, 2).ok());
+  // Splitting off the single outlier is forbidden; any allowed split
+  // leaves the right child majority-0, so everything predicts 0.
+  EXPECT_EQ(tree.Predict(std::vector<double>{9.0}), 0);
+}
+
+TEST(DecisionTreeTest, GeneralizesOnBlobs) {
+  test::Blobs train = test::MakeBlobs(
+      {{0.0, 0.0}, {6.0, 0.0}, {0.0, 6.0}}, 50, 0.7, 51);
+  test::Blobs test_set = test::MakeBlobs(
+      {{0.0, 0.0}, {6.0, 0.0}, {0.0, 6.0}}, 30, 0.7, 52);
+  DecisionTreeClassifier tree;
+  ASSERT_TRUE(tree.Fit(train.points, train.labels, 3).ok());
+  std::vector<int32_t> predicted = tree.PredictBatch(test_set.points);
+  int correct = 0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] == test_set.labels[i]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / predicted.size(), 0.95);
+}
+
+TEST(DecisionTreeTest, RefitReplacesModel) {
+  Matrix features(4, 1);
+  for (size_t i = 0; i < 4; ++i) features.At(i, 0) = static_cast<double>(i);
+  DecisionTreeClassifier tree;
+  ASSERT_TRUE(tree.Fit(features, {0, 0, 1, 1}, 2).ok());
+  EXPECT_EQ(tree.Predict(std::vector<double>{3.0}), 1);
+  ASSERT_TRUE(tree.Fit(features, {1, 1, 0, 0}, 2).ok());
+  EXPECT_EQ(tree.Predict(std::vector<double>{3.0}), 0);
+}
+
+TEST(DecisionTreeTest, RejectsInvalidInput) {
+  Matrix features(3, 1, 1.0);
+  DecisionTreeClassifier tree;
+  EXPECT_FALSE(tree.Fit(features, {0, 1}, 2).ok());         // Size mismatch.
+  EXPECT_FALSE(tree.Fit(features, {0, 1, 5}, 2).ok());      // Label range.
+  EXPECT_FALSE(tree.Fit(features, {0, 1, 1}, 0).ok());      // num_classes.
+  EXPECT_FALSE(tree.Fit(Matrix(), {}, 2).ok());             // Empty.
+  DecisionTreeOptions bad;
+  bad.min_samples_split = 1;
+  DecisionTreeClassifier bad_tree(bad);
+  EXPECT_FALSE(bad_tree.Fit(features, {0, 1, 1}, 2).ok());
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace adahealth

@@ -1,0 +1,77 @@
+#include "kdb/document.h"
+
+#include <gtest/gtest.h>
+
+namespace adahealth {
+namespace kdb {
+namespace {
+
+using common::Json;
+
+TEST(DocumentTest, EmptyDocumentIsObject) {
+  Document document;
+  EXPECT_TRUE(document.json().is_object());
+  EXPECT_EQ(document.id(), 0);
+  EXPECT_EQ(document.Dump(), "{}");
+}
+
+TEST(DocumentTest, SetAndGetTopLevel) {
+  Document document;
+  document.Set("name", Json("hba1c"));
+  document.Set("count", Json(int64_t{3}));
+  ASSERT_NE(document.Get("name"), nullptr);
+  EXPECT_EQ(document.Get("name")->AsString(), "hba1c");
+  EXPECT_EQ(document.Get("count")->AsInt(), 3);
+  EXPECT_EQ(document.Get("missing"), nullptr);
+}
+
+TEST(DocumentTest, DottedPathLookup) {
+  auto document = Document::Parse(
+      R"({"metrics": {"sse": 2550.0, "nested": {"deep": true}}})");
+  ASSERT_TRUE(document.ok());
+  ASSERT_NE(document->Get("metrics.sse"), nullptr);
+  EXPECT_DOUBLE_EQ(document->Get("metrics.sse")->AsDouble(), 2550.0);
+  EXPECT_TRUE(document->Get("metrics.nested.deep")->AsBool());
+  EXPECT_EQ(document->Get("metrics.missing"), nullptr);
+  EXPECT_EQ(document->Get("metrics.sse.too_far"), nullptr);
+}
+
+TEST(DocumentTest, SetOverwrites) {
+  Document document;
+  document.Set("x", Json(int64_t{1}));
+  document.Set("x", Json(int64_t{2}));
+  EXPECT_EQ(document.Get("x")->AsInt(), 2);
+}
+
+TEST(DocumentTest, FromJsonRequiresObject) {
+  EXPECT_TRUE(Document::FromJson(Json(Json::Object{})).ok());
+  EXPECT_FALSE(Document::FromJson(Json(int64_t{5})).ok());
+  EXPECT_FALSE(Document::FromJson(Json(Json::Array{})).ok());
+}
+
+TEST(DocumentTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Document::Parse("{").ok());
+  EXPECT_FALSE(Document::Parse("[1,2]").ok());
+}
+
+TEST(DocumentTest, IdReadsIntegerUnderscoreId) {
+  auto document = Document::Parse(R"({"_id": 42, "x": 1})");
+  ASSERT_TRUE(document.ok());
+  EXPECT_EQ(document->id(), 42);
+  auto stringy = Document::Parse(R"({"_id": "not-an-int"})");
+  ASSERT_TRUE(stringy.ok());
+  EXPECT_EQ(stringy->id(), 0);
+}
+
+TEST(DocumentTest, DumpParseRoundTrip) {
+  Document original;
+  original.Set("list", Json(Json::Array{Json(1), Json("two")}));
+  original.Set("flag", Json(true));
+  auto reparsed = Document::Parse(original.Dump());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value(), original);
+}
+
+}  // namespace
+}  // namespace kdb
+}  // namespace adahealth

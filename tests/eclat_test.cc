@@ -1,0 +1,136 @@
+#include "patterns/eclat.h"
+
+#include <gtest/gtest.h>
+#include "common/rng.h"
+#include "patterns/fpgrowth.h"
+
+namespace adahealth {
+namespace patterns {
+namespace {
+
+TransactionDb TextbookDb() {
+  TransactionDb db;
+  db.num_items = 5;
+  db.transactions = {
+      {0, 1, 4}, {0, 3}, {0, 2},    {0, 1, 3}, {1, 2},
+      {0, 2},    {1, 2}, {0, 1, 2, 4}, {0, 1, 2},
+  };
+  return db;
+}
+
+TransactionDb RandomDb(size_t num_transactions, size_t num_items,
+                       double item_probability, uint64_t seed) {
+  common::Rng rng(seed);
+  TransactionDb db;
+  db.num_items = num_items;
+  for (size_t t = 0; t < num_transactions; ++t) {
+    std::vector<ItemId> transaction;
+    for (size_t i = 0; i < num_items; ++i) {
+      if (rng.Bernoulli(item_probability)) {
+        transaction.push_back(static_cast<ItemId>(i));
+      }
+    }
+    db.transactions.push_back(std::move(transaction));
+  }
+  return db;
+}
+
+TEST(EclatTest, MatchesAprioriOnTextbookDb) {
+  for (int64_t min_support : {1, 2, 3, 4, 5}) {
+    MiningOptions options;
+    options.min_support_count = min_support;
+    auto apriori = MineApriori(TextbookDb(), options);
+    auto eclat = MineEclat(TextbookDb(), options);
+    ASSERT_TRUE(apriori.ok());
+    ASSERT_TRUE(eclat.ok());
+    EXPECT_EQ(apriori.value(), eclat.value())
+        << "min_support " << min_support;
+  }
+}
+
+struct EclatParityCase {
+  size_t num_transactions;
+  size_t num_items;
+  double density;
+  int64_t min_support;
+};
+
+class EclatParityTest : public testing::TestWithParam<EclatParityCase> {};
+
+TEST_P(EclatParityTest, AllThreeMinersAgree) {
+  const EclatParityCase& param = GetParam();
+  TransactionDb db = RandomDb(param.num_transactions, param.num_items,
+                              param.density,
+                              param.num_items * 37 + param.num_transactions);
+  MiningOptions options;
+  options.min_support_count = param.min_support;
+  auto apriori = MineApriori(db, options);
+  auto fpgrowth = MineFpGrowth(db, options);
+  auto eclat = MineEclat(db, options);
+  ASSERT_TRUE(apriori.ok());
+  ASSERT_TRUE(fpgrowth.ok());
+  ASSERT_TRUE(eclat.ok());
+  EXPECT_EQ(apriori.value(), eclat.value());
+  EXPECT_EQ(fpgrowth.value(), eclat.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomDatabases, EclatParityTest,
+    testing::Values(EclatParityCase{60, 8, 0.3, 4},
+                    EclatParityCase{100, 10, 0.25, 6},
+                    EclatParityCase{40, 12, 0.2, 2},
+                    EclatParityCase{150, 6, 0.5, 20},
+                    EclatParityCase{70, 66, 0.05, 2},  // > 64 tids word.
+                    EclatParityCase{129, 9, 0.35, 10}));
+
+TEST(EclatTest, MaxItemsetSizeCaps) {
+  MiningOptions options;
+  options.min_support_count = 1;
+  options.max_itemset_size = 2;
+  auto eclat = MineEclat(TextbookDb(), options);
+  auto apriori = MineApriori(TextbookDb(), options);
+  ASSERT_TRUE(eclat.ok());
+  ASSERT_TRUE(apriori.ok());
+  EXPECT_EQ(eclat.value(), apriori.value());
+}
+
+TEST(EclatTest, EmptyDatabase) {
+  TransactionDb db;
+  db.num_items = 3;
+  MiningOptions options;
+  options.min_support_count = 1;
+  auto eclat = MineEclat(db, options);
+  ASSERT_TRUE(eclat.ok());
+  EXPECT_TRUE(eclat->empty());
+}
+
+TEST(EclatTest, RejectsInvalidSupport) {
+  MiningOptions options;
+  options.min_support_count = 0;
+  EXPECT_FALSE(MineEclat(TextbookDb(), options).ok());
+}
+
+TEST(EclatTest, BitsetBoundaryAt64Transactions) {
+  // Exactly 64 and 65 transactions exercise the word boundary.
+  for (size_t n : {64u, 65u}) {
+    TransactionDb db;
+    db.num_items = 2;
+    for (size_t t = 0; t < n; ++t) {
+      db.transactions.push_back({0});
+      db.transactions.back().push_back(1);
+    }
+    MiningOptions options;
+    options.min_support_count = static_cast<int64_t>(n);
+    auto eclat = MineEclat(db, options);
+    ASSERT_TRUE(eclat.ok());
+    // {0}, {1}, {0,1} all have support n.
+    EXPECT_EQ(eclat->size(), 3u);
+    for (const auto& itemset : eclat.value()) {
+      EXPECT_EQ(itemset.support, static_cast<int64_t>(n));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace patterns
+}  // namespace adahealth

@@ -1,0 +1,94 @@
+#include "transform/feature_select.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+#include "dataset/synthetic_cohort.h"
+
+namespace adahealth {
+namespace transform {
+namespace {
+
+dataset::ExamLog MakeLog() {
+  // Frequencies: a=4, b=2, c=1, d=0.
+  std::vector<dataset::Patient> patients{{0, 50, -1}, {1, 60, -1}};
+  dataset::ExamDictionary dictionary;
+  auto a = dictionary.Intern("a");
+  auto b = dictionary.Intern("b");
+  auto c = dictionary.Intern("c");
+  dictionary.Intern("d");
+  std::vector<dataset::ExamRecord> records{
+      {0, a, 1}, {0, a, 2}, {1, a, 3}, {1, a, 4},
+      {0, b, 5}, {1, b, 6}, {0, c, 7}};
+  return dataset::ExamLog(std::move(patients), std::move(dictionary),
+                          std::move(records));
+}
+
+TEST(RankExamsTest, DescendingFrequencyStableTies) {
+  dataset::ExamLog log = MakeLog();
+  EXPECT_EQ(RankExamsByFrequency(log),
+            (std::vector<dataset::ExamTypeId>{0, 1, 2, 3}));
+}
+
+TEST(TopExamsMaskTest, SelectsMostFrequent) {
+  dataset::ExamLog log = MakeLog();
+  std::vector<bool> mask = TopExamsMask(log, 2);
+  EXPECT_EQ(mask, (std::vector<bool>{true, true, false, false}));
+}
+
+TEST(TopExamsMaskTest, ZeroAndAll) {
+  dataset::ExamLog log = MakeLog();
+  EXPECT_EQ(TopExamsMask(log, 0),
+            (std::vector<bool>{false, false, false, false}));
+  EXPECT_EQ(TopExamsMask(log, 4),
+            (std::vector<bool>{true, true, true, true}));
+}
+
+TEST(TopFractionExamsMaskTest, RoundsToNearest) {
+  dataset::ExamLog log = MakeLog();
+  // 0.5 of 4 exams = 2.
+  std::vector<bool> mask = TopFractionExamsMask(log, 0.5);
+  EXPECT_EQ(std::count(mask.begin(), mask.end(), true), 2);
+}
+
+TEST(RecordCoverageTest, KnownValues) {
+  dataset::ExamLog log = MakeLog();
+  EXPECT_DOUBLE_EQ(RecordCoverage(log, TopExamsMask(log, 1)), 4.0 / 7.0);
+  EXPECT_DOUBLE_EQ(RecordCoverage(log, TopExamsMask(log, 2)), 6.0 / 7.0);
+  EXPECT_DOUBLE_EQ(RecordCoverage(log, TopExamsMask(log, 4)), 1.0);
+}
+
+TEST(BuildVerticalScheduleTest, CoverageIsMonotone) {
+  dataset::ExamLog log = MakeLog();
+  auto schedule = BuildVerticalSchedule(log, {0.25, 0.5, 1.0});
+  ASSERT_TRUE(schedule.ok());
+  ASSERT_EQ(schedule->size(), 3u);
+  EXPECT_LE((*schedule)[0].record_coverage, (*schedule)[1].record_coverage);
+  EXPECT_LE((*schedule)[1].record_coverage, (*schedule)[2].record_coverage);
+  EXPECT_DOUBLE_EQ((*schedule)[2].record_coverage, 1.0);
+}
+
+TEST(BuildVerticalScheduleTest, RejectsBadFractions) {
+  dataset::ExamLog log = MakeLog();
+  EXPECT_FALSE(BuildVerticalSchedule(log, {}).ok());
+  EXPECT_FALSE(BuildVerticalSchedule(log, {0.0}).ok());
+  EXPECT_FALSE(BuildVerticalSchedule(log, {1.5}).ok());
+}
+
+TEST(BuildVerticalScheduleTest, PaperCoverageCurveOnSyntheticCohort) {
+  // The paper's §IV-B curve: 20% / 40% / 100% of exam types cover
+  // ~70% / ~85% / 100% of the records.
+  auto cohort = dataset::SyntheticCohortGenerator(
+                    dataset::PaperScaleConfig())
+                    .Generate();
+  ASSERT_TRUE(cohort.ok());
+  auto schedule = BuildVerticalSchedule(cohort->log, {0.2, 0.4, 1.0});
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_NEAR((*schedule)[0].record_coverage, 0.70, 0.06);
+  EXPECT_NEAR((*schedule)[1].record_coverage, 0.85, 0.05);
+  EXPECT_DOUBLE_EQ((*schedule)[2].record_coverage, 1.0);
+}
+
+}  // namespace
+}  // namespace transform
+}  // namespace adahealth

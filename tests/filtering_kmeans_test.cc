@@ -1,0 +1,117 @@
+#include "cluster/filtering_kmeans.h"
+
+#include <gtest/gtest.h>
+#include "cluster/quality.h"
+#include "dataset/synthetic_cohort.h"
+#include "test_util.h"
+#include "transform/vsm.h"
+
+namespace adahealth {
+namespace cluster {
+namespace {
+
+using test::MakeBlobs;
+using test::RandIndex;
+using transform::Matrix;
+
+TEST(FilteringKMeansTest, RecoversBlobs) {
+  test::Blobs blobs = MakeBlobs(
+      {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}}, 60, 0.5, 2);
+  KMeansOptions options;
+  options.k = 3;
+  options.seed = 4;
+  auto clustering = RunFilteringKMeans(blobs.points, options);
+  ASSERT_TRUE(clustering.ok());
+  EXPECT_GT(RandIndex(clustering->assignments, blobs.labels), 0.99);
+}
+
+TEST(FilteringKMeansTest, MatchesLloydFixedPoint) {
+  // Same initialization (same seed) -> same final SSE as plain Lloyd,
+  // up to floating-point noise.
+  test::Blobs blobs = MakeBlobs(
+      {{0.0, 0.0}, {6.0, 0.0}, {0.0, 6.0}, {6.0, 6.0}}, 50, 0.8, 6);
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    KMeansOptions options;
+    options.k = 4;
+    options.seed = seed;
+    auto lloyd = RunKMeans(blobs.points, options);
+    auto filtering = RunFilteringKMeans(blobs.points, options);
+    ASSERT_TRUE(lloyd.ok());
+    ASSERT_TRUE(filtering.ok());
+    EXPECT_NEAR(lloyd->sse, filtering->sse, 1e-6 * lloyd->sse)
+        << "seed " << seed;
+    EXPECT_GT(RandIndex(lloyd->assignments, filtering->assignments), 0.999)
+        << "seed " << seed;
+  }
+}
+
+TEST(FilteringKMeansTest, MatchesLloydOnSparseVsmData) {
+  // The paper's actual workload: sparse patient VSM vectors.
+  auto cohort = dataset::SyntheticCohortGenerator(
+                    dataset::TestScaleConfig())
+                    .Generate();
+  ASSERT_TRUE(cohort.ok());
+  Matrix vsm = transform::BuildVsm(cohort->log);
+  KMeansOptions options;
+  options.k = 4;
+  options.seed = 12;
+  auto lloyd = RunKMeans(vsm, options);
+  auto filtering = RunFilteringKMeans(vsm, options);
+  ASSERT_TRUE(lloyd.ok());
+  ASSERT_TRUE(filtering.ok());
+  EXPECT_NEAR(lloyd->sse, filtering->sse, 1e-6 * lloyd->sse);
+}
+
+TEST(FilteringKMeansTest, VariousLeafSizesAgree) {
+  test::Blobs blobs = MakeBlobs({{0.0}, {7.0}}, 60, 0.6, 8);
+  KMeansOptions options;
+  options.k = 2;
+  options.seed = 10;
+  auto reference = RunFilteringKMeans(blobs.points, options, 1);
+  ASSERT_TRUE(reference.ok());
+  for (size_t leaf_size : {2u, 8u, 64u, 1000u}) {
+    auto clustering = RunFilteringKMeans(blobs.points, options, leaf_size);
+    ASSERT_TRUE(clustering.ok());
+    EXPECT_NEAR(clustering->sse, reference->sse, 1e-9)
+        << "leaf size " << leaf_size;
+  }
+}
+
+TEST(FilteringKMeansTest, KEqualsOne) {
+  test::Blobs blobs = MakeBlobs({{3.0, 3.0}}, 50, 1.0, 14);
+  KMeansOptions options;
+  options.k = 1;
+  auto clustering = RunFilteringKMeans(blobs.points, options);
+  ASSERT_TRUE(clustering.ok());
+  std::vector<double> means = blobs.points.ColumnMeans();
+  EXPECT_NEAR(clustering->centroids.At(0, 0), means[0], 1e-9);
+}
+
+TEST(FilteringKMeansTest, DeterministicForSeed) {
+  test::Blobs blobs = MakeBlobs({{0.0}, {9.0}}, 40, 0.5, 16);
+  KMeansOptions options;
+  options.k = 2;
+  options.seed = 77;
+  auto a = RunFilteringKMeans(blobs.points, options);
+  auto b = RunFilteringKMeans(blobs.points, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignments, b->assignments);
+}
+
+TEST(FilteringKMeansTest, InvalidArgumentsRejected) {
+  Matrix points(5, 2, 1.0);
+  KMeansOptions options;
+  options.k = 0;
+  EXPECT_FALSE(RunFilteringKMeans(points, options).ok());
+  options.k = 9;
+  EXPECT_FALSE(RunFilteringKMeans(points, options).ok());
+  options.k = 2;
+  options.max_iterations = 0;
+  EXPECT_FALSE(RunFilteringKMeans(points, options).ok());
+  EXPECT_FALSE(RunFilteringKMeans(Matrix(), options).ok());
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace adahealth

@@ -1,0 +1,71 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace adahealth {
+namespace stats {
+namespace {
+
+TEST(HistogramTest, BucketsValuesCorrectly) {
+  Histogram histogram(0.0, 10.0, 5);
+  histogram.Add(0.5);   // Bucket 0.
+  histogram.Add(3.9);   // Bucket 1.
+  histogram.Add(9.9);   // Bucket 4.
+  EXPECT_EQ(histogram.bucket_count(0), 1);
+  EXPECT_EQ(histogram.bucket_count(1), 1);
+  EXPECT_EQ(histogram.bucket_count(4), 1);
+  EXPECT_EQ(histogram.total(), 3);
+}
+
+TEST(HistogramTest, ClampsOutOfRange) {
+  Histogram histogram(0.0, 10.0, 2);
+  histogram.Add(-5.0);
+  histogram.Add(100.0);
+  EXPECT_EQ(histogram.bucket_count(0), 1);
+  EXPECT_EQ(histogram.bucket_count(1), 1);
+}
+
+TEST(HistogramTest, UpperBoundLandsInLastBucket) {
+  Histogram histogram(0.0, 10.0, 5);
+  histogram.Add(10.0);
+  EXPECT_EQ(histogram.bucket_count(4), 1);
+}
+
+TEST(HistogramTest, BucketBounds) {
+  Histogram histogram(0.0, 10.0, 4);
+  EXPECT_DOUBLE_EQ(histogram.BucketLow(0), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.BucketHigh(0), 2.5);
+  EXPECT_DOUBLE_EQ(histogram.BucketLow(3), 7.5);
+  EXPECT_DOUBLE_EQ(histogram.BucketHigh(3), 10.0);
+}
+
+TEST(HistogramTest, AddAll) {
+  Histogram histogram(0.0, 1.0, 2);
+  histogram.AddAll({0.1, 0.2, 0.9});
+  EXPECT_EQ(histogram.total(), 3);
+  EXPECT_EQ(histogram.bucket_count(0), 2);
+  EXPECT_EQ(histogram.bucket_count(1), 1);
+}
+
+TEST(HistogramTest, AsciiRendersEveryBucket) {
+  Histogram histogram(0.0, 2.0, 2);
+  histogram.Add(0.5);
+  histogram.Add(1.5);
+  histogram.Add(1.6);
+  std::string ascii = histogram.ToAscii(10);
+  // Two lines, each with a bar.
+  EXPECT_NE(ascii.find('#'), std::string::npos);
+  EXPECT_EQ(std::count(ascii.begin(), ascii.end(), '\n'), 2);
+}
+
+TEST(HistogramTest, AsciiEmptyHistogram) {
+  Histogram histogram(0.0, 1.0, 3);
+  std::string ascii = histogram.ToAscii();
+  EXPECT_EQ(ascii.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace adahealth

@@ -1,0 +1,108 @@
+#include "cluster/kdtree.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+#include "test_util.h"
+
+namespace adahealth {
+namespace cluster {
+namespace {
+
+using transform::Matrix;
+
+TEST(KdTreeTest, SinglePointTree) {
+  Matrix points(1, 2);
+  points.At(0, 0) = 1.0;
+  points.At(0, 1) = 2.0;
+  KdTree tree(points);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  const KdTree::Node& root = tree.node(tree.root());
+  EXPECT_TRUE(root.is_leaf());
+  EXPECT_EQ(root.count(), 1u);
+  EXPECT_DOUBLE_EQ(root.sum[0], 1.0);
+  EXPECT_DOUBLE_EQ(root.sum_squared_norms, 5.0);
+}
+
+TEST(KdTreeTest, RootStatisticsCoverAllPoints) {
+  test::Blobs blobs = test::MakeBlobs({{0.0, 0.0}, {5.0, 5.0}}, 50, 1.0, 3);
+  KdTree tree(blobs.points, 8);
+  const KdTree::Node& root = tree.node(tree.root());
+  EXPECT_EQ(root.count(), 100u);
+  std::vector<double> expected_sum(2, 0.0);
+  double expected_sq = 0.0;
+  for (size_t i = 0; i < blobs.points.rows(); ++i) {
+    for (size_t d = 0; d < 2; ++d) {
+      expected_sum[d] += blobs.points.At(i, d);
+      expected_sq += blobs.points.At(i, d) * blobs.points.At(i, d);
+    }
+  }
+  EXPECT_NEAR(root.sum[0], expected_sum[0], 1e-9);
+  EXPECT_NEAR(root.sum[1], expected_sum[1], 1e-9);
+  EXPECT_NEAR(root.sum_squared_norms, expected_sq, 1e-9);
+}
+
+TEST(KdTreeTest, LeafSizeRespected) {
+  test::Blobs blobs = test::MakeBlobs({{0.0, 0.0}}, 200, 2.0, 5);
+  KdTree tree(blobs.points, 10);
+  for (size_t n = 0; n < tree.num_nodes(); ++n) {
+    const KdTree::Node& node = tree.node(n);
+    if (node.is_leaf()) {
+      EXPECT_LE(node.count(), 10u);
+    }
+  }
+}
+
+TEST(KdTreeTest, ChildrenPartitionParent) {
+  test::Blobs blobs = test::MakeBlobs({{0.0, 0.0}}, 100, 3.0, 7);
+  KdTree tree(blobs.points, 8);
+  for (size_t n = 0; n < tree.num_nodes(); ++n) {
+    const KdTree::Node& node = tree.node(n);
+    if (node.is_leaf()) continue;
+    const KdTree::Node& left = tree.node(static_cast<size_t>(node.left));
+    const KdTree::Node& right = tree.node(static_cast<size_t>(node.right));
+    EXPECT_EQ(left.begin, node.begin);
+    EXPECT_EQ(left.end, right.begin);
+    EXPECT_EQ(right.end, node.end);
+    EXPECT_NEAR(left.sum[0] + right.sum[0], node.sum[0], 1e-9);
+    EXPECT_NEAR(left.sum_squared_norms + right.sum_squared_norms,
+                node.sum_squared_norms, 1e-9);
+  }
+}
+
+TEST(KdTreeTest, BoundingBoxesContainPoints) {
+  test::Blobs blobs = test::MakeBlobs({{1.0, -1.0}}, 120, 2.5, 9);
+  KdTree tree(blobs.points, 16);
+  for (size_t n = 0; n < tree.num_nodes(); ++n) {
+    const KdTree::Node& node = tree.node(n);
+    for (size_t i = node.begin; i < node.end; ++i) {
+      size_t point = tree.point_indices()[i];
+      for (size_t d = 0; d < 2; ++d) {
+        EXPECT_GE(blobs.points.At(point, d), node.box_min[d] - 1e-12);
+        EXPECT_LE(blobs.points.At(point, d), node.box_max[d] + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(KdTreeTest, PointIndicesAreAPermutation) {
+  test::Blobs blobs = test::MakeBlobs({{0.0}}, 77, 1.0, 11);
+  KdTree tree(blobs.points, 4);
+  std::set<size_t> distinct(tree.point_indices().begin(),
+                            tree.point_indices().end());
+  EXPECT_EQ(distinct.size(), 77u);
+  EXPECT_EQ(*distinct.rbegin(), 76u);
+}
+
+TEST(KdTreeTest, IdenticalPointsStayOneLeaf) {
+  Matrix points(50, 3, 2.0);
+  KdTree tree(points, 4);
+  // No split possible: all points identical -> single (oversized) leaf.
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_TRUE(tree.node(0).is_leaf());
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace adahealth

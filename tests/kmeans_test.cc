@@ -1,0 +1,176 @@
+#include "cluster/kmeans.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+#include "test_util.h"
+
+namespace adahealth {
+namespace cluster {
+namespace {
+
+using test::MakeBlobs;
+using test::RandIndex;
+using transform::Matrix;
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  test::Blobs blobs = MakeBlobs(
+      {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}}, 50, 0.5, 1);
+  KMeansOptions options;
+  options.k = 3;
+  options.seed = 3;
+  auto clustering = RunKMeans(blobs.points, options);
+  ASSERT_TRUE(clustering.ok());
+  EXPECT_TRUE(clustering->converged);
+  EXPECT_GT(RandIndex(clustering->assignments, blobs.labels), 0.99);
+}
+
+TEST(KMeansTest, SseDecreasesWithMoreClusters) {
+  test::Blobs blobs = MakeBlobs(
+      {{0.0, 0.0}, {8.0, 0.0}, {0.0, 8.0}, {8.0, 8.0}}, 40, 1.0, 5);
+  double previous_sse = 1e300;
+  for (int32_t k : {2, 4, 8, 16}) {
+    KMeansOptions options;
+    options.k = k;
+    options.seed = 7;
+    auto clustering = RunKMeans(blobs.points, options);
+    ASSERT_TRUE(clustering.ok());
+    EXPECT_LT(clustering->sse, previous_sse);
+    previous_sse = clustering->sse;
+  }
+}
+
+TEST(KMeansTest, AssignmentsConsistentWithCentroids) {
+  test::Blobs blobs = MakeBlobs({{0.0}, {5.0}}, 30, 0.3, 9);
+  KMeansOptions options;
+  options.k = 2;
+  auto clustering = RunKMeans(blobs.points, options);
+  ASSERT_TRUE(clustering.ok());
+  // Every point is assigned to its genuinely closest centroid.
+  for (size_t i = 0; i < blobs.points.rows(); ++i) {
+    double assigned = transform::SquaredDistance(
+        blobs.points.Row(i),
+        clustering->centroids.Row(
+            static_cast<size_t>(clustering->assignments[i])));
+    for (size_t c = 0; c < clustering->centroids.rows(); ++c) {
+      EXPECT_LE(assigned, transform::SquaredDistance(
+                              blobs.points.Row(i),
+                              clustering->centroids.Row(c)) +
+                              1e-9);
+    }
+  }
+}
+
+TEST(KMeansTest, SseMatchesAssignments) {
+  test::Blobs blobs = MakeBlobs({{0.0}, {4.0}}, 25, 0.4, 11);
+  KMeansOptions options;
+  options.k = 2;
+  auto clustering = RunKMeans(blobs.points, options);
+  ASSERT_TRUE(clustering.ok());
+  double sse = 0.0;
+  for (size_t i = 0; i < blobs.points.rows(); ++i) {
+    sse += transform::SquaredDistance(
+        blobs.points.Row(i),
+        clustering->centroids.Row(
+            static_cast<size_t>(clustering->assignments[i])));
+  }
+  EXPECT_NEAR(sse, clustering->sse, 1e-9);
+}
+
+TEST(KMeansTest, KEqualsOneGivesGlobalMean) {
+  test::Blobs blobs = MakeBlobs({{1.0, 2.0}}, 40, 1.0, 13);
+  KMeansOptions options;
+  options.k = 1;
+  auto clustering = RunKMeans(blobs.points, options);
+  ASSERT_TRUE(clustering.ok());
+  std::vector<double> means = blobs.points.ColumnMeans();
+  EXPECT_NEAR(clustering->centroids.At(0, 0), means[0], 1e-9);
+  EXPECT_NEAR(clustering->centroids.At(0, 1), means[1], 1e-9);
+}
+
+TEST(KMeansTest, KEqualsNPerfectFit) {
+  Matrix points(4, 1);
+  for (size_t i = 0; i < 4; ++i) points.At(i, 0) = static_cast<double>(i * 10);
+  KMeansOptions options;
+  options.k = 4;
+  auto clustering = RunKMeans(points, options);
+  ASSERT_TRUE(clustering.ok());
+  EXPECT_NEAR(clustering->sse, 0.0, 1e-12);
+  std::set<int32_t> distinct(clustering->assignments.begin(),
+                             clustering->assignments.end());
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  test::Blobs blobs = MakeBlobs({{0.0}, {5.0}}, 30, 0.5, 15);
+  KMeansOptions options;
+  options.k = 2;
+  options.seed = 99;
+  auto a = RunKMeans(blobs.points, options);
+  auto b = RunKMeans(blobs.points, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignments, b->assignments);
+  EXPECT_DOUBLE_EQ(a->sse, b->sse);
+}
+
+TEST(KMeansTest, RandomInitAlsoConverges) {
+  test::Blobs blobs = MakeBlobs({{0.0, 0.0}, {10.0, 10.0}}, 40, 0.5, 17);
+  KMeansOptions options;
+  options.k = 2;
+  options.init = KMeansInit::kRandom;
+  auto clustering = RunKMeans(blobs.points, options);
+  ASSERT_TRUE(clustering.ok());
+  EXPECT_GT(RandIndex(clustering->assignments, blobs.labels), 0.99);
+}
+
+TEST(KMeansTest, NoEmptyClustersEvenWithDuplicatePoints) {
+  Matrix points(10, 1, 3.0);  // All identical.
+  KMeansOptions options;
+  options.k = 3;
+  auto clustering = RunKMeans(points, options);
+  ASSERT_TRUE(clustering.ok());
+  // SSE must be 0; assignments all valid.
+  EXPECT_NEAR(clustering->sse, 0.0, 1e-12);
+  for (int32_t a : clustering->assignments) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 3);
+  }
+}
+
+TEST(KMeansTest, InvalidArgumentsRejected) {
+  Matrix points(5, 2, 1.0);
+  KMeansOptions options;
+  options.k = 0;
+  EXPECT_FALSE(RunKMeans(points, options).ok());
+  options.k = 6;  // More clusters than points.
+  EXPECT_FALSE(RunKMeans(points, options).ok());
+  options.k = 2;
+  options.max_iterations = 0;
+  EXPECT_FALSE(RunKMeans(points, options).ok());
+  EXPECT_FALSE(RunKMeans(Matrix(), options).ok());
+}
+
+TEST(ClusterSizesTest, CountsPerCluster) {
+  std::vector<int32_t> assignments{0, 1, 1, 2, 1};
+  EXPECT_EQ(ClusterSizes(assignments, 3),
+            (std::vector<int64_t>{1, 3, 1}));
+}
+
+TEST(InitializeCentroidsTest, PlusPlusPicksDistinctPoints) {
+  test::Blobs blobs = MakeBlobs({{0.0}, {100.0}, {200.0}}, 10, 0.1, 19);
+  common::Rng rng(21);
+  Matrix centroids = InitializeCentroids(blobs.points, 3,
+                                         KMeansInit::kKMeansPlusPlus, rng);
+  // With D^2 seeding on well-separated blobs, the three seeds land in
+  // three different blobs.
+  std::set<int> regions;
+  for (size_t c = 0; c < 3; ++c) {
+    regions.insert(static_cast<int>(centroids.At(c, 0) / 50.0));
+  }
+  EXPECT_EQ(regions.size(), 3u);
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace adahealth

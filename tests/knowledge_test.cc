@@ -1,0 +1,86 @@
+#include "core/knowledge.h"
+
+#include <gtest/gtest.h>
+
+namespace adahealth {
+namespace core {
+namespace {
+
+using common::Json;
+
+TEST(EndGoalNamesTest, RoundTrip) {
+  for (int32_t g = 0; g < kNumEndGoals; ++g) {
+    EndGoal goal = static_cast<EndGoal>(g);
+    auto parsed = EndGoalFromName(EndGoalName(goal));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), goal);
+  }
+  EXPECT_FALSE(EndGoalFromName("nonsense").ok());
+}
+
+TEST(InterestNamesTest, RoundTrip) {
+  for (int32_t i = 0; i < kNumInterestLevels; ++i) {
+    Interest interest = static_cast<Interest>(i);
+    auto parsed = InterestFromName(InterestName(interest));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), interest);
+  }
+  EXPECT_FALSE(InterestFromName("meh").ok());
+}
+
+KnowledgeItem MakeItem() {
+  KnowledgeItem item;
+  item.id = "cluster:3";
+  item.goal = EndGoal::kPatientGrouping;
+  item.kind = "cluster";
+  item.description = "group of 120 patients";
+  item.quality = 0.82;
+  Json::Object payload;
+  payload["size"] = Json(int64_t{120});
+  item.payload = Json(std::move(payload));
+  item.interest = Interest::kHigh;
+  return item;
+}
+
+TEST(KnowledgeItemTest, JsonRoundTrip) {
+  KnowledgeItem item = MakeItem();
+  auto restored = KnowledgeItem::FromJson(item.ToJson());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->id, item.id);
+  EXPECT_EQ(restored->goal, item.goal);
+  EXPECT_EQ(restored->kind, item.kind);
+  EXPECT_EQ(restored->description, item.description);
+  EXPECT_DOUBLE_EQ(restored->quality, item.quality);
+  EXPECT_EQ(restored->payload, item.payload);
+  EXPECT_EQ(restored->interest, item.interest);
+}
+
+TEST(KnowledgeItemTest, FromJsonValidation) {
+  EXPECT_FALSE(KnowledgeItem::FromJson(Json(int64_t{5})).ok());
+  // Missing item_id.
+  EXPECT_FALSE(KnowledgeItem::FromJson(Json(Json::Object{})).ok());
+  // Missing goal.
+  Json::Object only_id;
+  only_id["item_id"] = Json("x");
+  EXPECT_FALSE(KnowledgeItem::FromJson(Json(std::move(only_id))).ok());
+  // Unknown goal name.
+  Json::Object bad_goal;
+  bad_goal["item_id"] = Json("x");
+  bad_goal["goal"] = Json("not_a_goal");
+  EXPECT_FALSE(KnowledgeItem::FromJson(Json(std::move(bad_goal))).ok());
+}
+
+TEST(KnowledgeItemTest, OptionalFieldsDefault) {
+  Json::Object minimal;
+  minimal["item_id"] = Json("x");
+  minimal["goal"] = Json("patient_grouping");
+  auto restored = KnowledgeItem::FromJson(Json(std::move(minimal)));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->kind, "");
+  EXPECT_DOUBLE_EQ(restored->quality, 0.0);
+  EXPECT_EQ(restored->interest, Interest::kMedium);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace adahealth

@@ -1,0 +1,102 @@
+#include "transform/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace adahealth {
+namespace transform {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 1.5);
+  m.At(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 7.0);
+}
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+TEST(MatrixTest, RowSpanIsContiguousView) {
+  Matrix m(2, 2);
+  m.At(1, 0) = 3.0;
+  std::span<double> row = m.Row(1);
+  row[1] = 4.0;
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 4.0);
+}
+
+TEST(MatrixTest, ColumnMeans) {
+  Matrix m(2, 2);
+  m.At(0, 0) = 1.0;
+  m.At(0, 1) = 2.0;
+  m.At(1, 0) = 3.0;
+  m.At(1, 1) = 4.0;
+  std::vector<double> means = m.ColumnMeans();
+  EXPECT_DOUBLE_EQ(means[0], 2.0);
+  EXPECT_DOUBLE_EQ(means[1], 3.0);
+}
+
+TEST(MatrixTest, L2NormalizeRows) {
+  Matrix m(2, 2);
+  m.At(0, 0) = 3.0;
+  m.At(0, 1) = 4.0;
+  // Row 1 stays zero.
+  m.L2NormalizeRows();
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 0.6);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 0.8);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 0.0);
+}
+
+TEST(MatrixTest, SelectRows) {
+  Matrix m(3, 2);
+  for (size_t r = 0; r < 3; ++r) m.At(r, 0) = static_cast<double>(r);
+  Matrix selected = m.SelectRows({2, 0});
+  EXPECT_EQ(selected.rows(), 2u);
+  EXPECT_DOUBLE_EQ(selected.At(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(selected.At(1, 0), 0.0);
+}
+
+TEST(MatrixTest, SelectColumns) {
+  Matrix m(2, 3);
+  for (size_t c = 0; c < 3; ++c) m.At(0, c) = static_cast<double>(c * 10);
+  Matrix selected = m.SelectColumns({2, 1});
+  EXPECT_EQ(selected.cols(), 2u);
+  EXPECT_DOUBLE_EQ(selected.At(0, 0), 20.0);
+  EXPECT_DOUBLE_EQ(selected.At(0, 1), 10.0);
+}
+
+TEST(VectorOpsTest, SquaredDistance) {
+  std::vector<double> a{0.0, 3.0};
+  std::vector<double> b{4.0, 0.0};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, a), 0.0);
+}
+
+TEST(VectorOpsTest, DotAndNorm) {
+  std::vector<double> a{1.0, 2.0, 3.0};
+  std::vector<double> b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(Norm(std::vector<double>{3.0, 4.0}), 5.0);
+}
+
+TEST(VectorOpsTest, CosineSimilarity) {
+  std::vector<double> a{1.0, 0.0};
+  std::vector<double> b{0.0, 1.0};
+  std::vector<double> c{2.0, 0.0};
+  std::vector<double> zero{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, c), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, zero), 0.0);
+}
+
+}  // namespace
+}  // namespace transform
+}  // namespace adahealth

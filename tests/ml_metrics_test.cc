@@ -1,0 +1,79 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace adahealth {
+namespace ml {
+namespace {
+
+TEST(EvaluateClassificationTest, PerfectPrediction) {
+  std::vector<int32_t> truth{0, 1, 2, 0, 1};
+  auto report = EvaluateClassification(truth, truth, 3);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(report->macro_precision, 1.0);
+  EXPECT_DOUBLE_EQ(report->macro_recall, 1.0);
+  EXPECT_DOUBLE_EQ(report->macro_f1, 1.0);
+}
+
+TEST(EvaluateClassificationTest, KnownConfusion) {
+  // truth:    0 0 0 1 1
+  // predicted 0 0 1 1 0
+  std::vector<int32_t> truth{0, 0, 0, 1, 1};
+  std::vector<int32_t> predicted{0, 0, 1, 1, 0};
+  auto report = EvaluateClassification(truth, predicted, 2);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->accuracy, 0.6);
+  EXPECT_EQ(report->confusion[0][0], 2);
+  EXPECT_EQ(report->confusion[0][1], 1);
+  EXPECT_EQ(report->confusion[1][0], 1);
+  EXPECT_EQ(report->confusion[1][1], 1);
+  // precision(0) = 2/3, recall(0) = 2/3; precision(1) = 1/2,
+  // recall(1) = 1/2.
+  EXPECT_NEAR(report->precision[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(report->recall[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(report->precision[1], 0.5, 1e-12);
+  EXPECT_NEAR(report->recall[1], 0.5, 1e-12);
+  EXPECT_NEAR(report->macro_precision, (2.0 / 3.0 + 0.5) / 2.0, 1e-12);
+}
+
+TEST(EvaluateClassificationTest, AbsentClassGetsZeroMetrics) {
+  std::vector<int32_t> truth{0, 0, 1};
+  std::vector<int32_t> predicted{0, 0, 0};
+  auto report = EvaluateClassification(truth, predicted, 3);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->precision[2], 0.0);
+  EXPECT_DOUBLE_EQ(report->recall[2], 0.0);
+  EXPECT_DOUBLE_EQ(report->f1[2], 0.0);
+  EXPECT_DOUBLE_EQ(report->recall[1], 0.0);  // Never predicted.
+}
+
+TEST(EvaluateClassificationTest, F1IsHarmonicMean) {
+  std::vector<int32_t> truth{0, 0, 0, 0, 1, 1};
+  std::vector<int32_t> predicted{0, 0, 1, 1, 1, 1};
+  auto report = EvaluateClassification(truth, predicted, 2);
+  ASSERT_TRUE(report.ok());
+  double p = report->precision[1];  // 2/4.
+  double r = report->recall[1];     // 2/2.
+  EXPECT_NEAR(report->f1[1], 2.0 * p * r / (p + r), 1e-12);
+}
+
+TEST(EvaluateClassificationTest, RejectsBadInput) {
+  EXPECT_FALSE(EvaluateClassification({0, 1}, {0}, 2).ok());
+  EXPECT_FALSE(EvaluateClassification({}, {}, 2).ok());
+  EXPECT_FALSE(EvaluateClassification({0}, {0}, 0).ok());
+  EXPECT_FALSE(EvaluateClassification({0, 5}, {0, 0}, 2).ok());
+  EXPECT_FALSE(EvaluateClassification({0, 0}, {0, -1}, 2).ok());
+}
+
+TEST(GiniImpurityTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(GiniImpurity({10, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(GiniImpurity({5, 5}), 0.5);
+  EXPECT_DOUBLE_EQ(GiniImpurity({}), 0.0);
+  EXPECT_DOUBLE_EQ(GiniImpurity({0, 0}), 0.0);
+  EXPECT_NEAR(GiniImpurity({1, 1, 1}), 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace adahealth

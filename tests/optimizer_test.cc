@@ -1,0 +1,149 @@
+#include "core/optimizer.h"
+
+#include <gtest/gtest.h>
+#include "dataset/synthetic_cohort.h"
+#include "test_util.h"
+#include "transform/vsm.h"
+
+namespace adahealth {
+namespace core {
+namespace {
+
+using transform::Matrix;
+
+OptimizerOptions FastOptions() {
+  OptimizerOptions options;
+  options.candidate_ks = {2, 3, 4, 6};
+  options.cv_folds = 5;
+  options.kmeans.max_iterations = 40;
+  options.seed = 3;
+  options.num_threads = 2;
+  return options;
+}
+
+TEST(OptimizerTest, EvaluatesEveryCandidate) {
+  test::Blobs blobs = test::MakeBlobs(
+      {{0.0, 0.0}, {8.0, 0.0}, {0.0, 8.0}}, 40, 0.6, 71);
+  auto result = OptimizeClustering(blobs.points, FastOptions());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->candidates.size(), 4u);
+  for (size_t i = 0; i < result->candidates.size(); ++i) {
+    const CandidateEvaluation& candidate = result->candidates[i];
+    EXPECT_EQ(candidate.k, FastOptions().candidate_ks[i]);
+    EXPECT_GT(candidate.sse, 0.0);
+    EXPECT_GT(candidate.accuracy, 0.0);
+    EXPECT_GE(candidate.avg_precision, 0.0);
+    EXPECT_GE(candidate.avg_recall, 0.0);
+    EXPECT_EQ(candidate.clustering.k, candidate.k);
+    EXPECT_EQ(candidate.clustering.assignments.size(), 120u);
+  }
+}
+
+TEST(OptimizerTest, SseDecreasesInK) {
+  test::Blobs blobs = test::MakeBlobs(
+      {{0.0, 0.0}, {8.0, 0.0}, {0.0, 8.0}}, 40, 1.0, 73);
+  auto result = OptimizeClustering(blobs.points, FastOptions());
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 1; i < result->candidates.size(); ++i) {
+    EXPECT_LE(result->candidates[i].sse,
+              result->candidates[i - 1].sse * 1.001);
+  }
+}
+
+TEST(OptimizerTest, PrefersLowKOverOverSegmentationOnBlobs) {
+  // Three well-separated blobs. Under-segmentation (K = 2) merges
+  // blobs but keeps boundaries in empty space, so its robustness ties
+  // with K = 3 — both legitimately beat over-segmentation, whose
+  // k-means cuts split dense regions and are unstable to re-learn.
+  test::Blobs blobs = test::MakeBlobs(
+      {{0.0, 0.0}, {12.0, 0.0}, {0.0, 12.0}}, 50, 0.5, 75);
+  OptimizerOptions options = FastOptions();
+  options.candidate_ks = {2, 3, 6, 10};
+  auto result = OptimizeClustering(blobs.points, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->best_k(), 3);
+  double composite3 = result->candidates[1].composite;
+  double composite10 = result->candidates[3].composite;
+  EXPECT_GT(composite3, composite10);
+}
+
+TEST(OptimizerTest, BestIndexMatchesComposite) {
+  test::Blobs blobs = test::MakeBlobs(
+      {{0.0, 0.0}, {9.0, 0.0}}, 40, 0.8, 77);
+  auto result = OptimizeClustering(blobs.points, FastOptions());
+  ASSERT_TRUE(result.ok());
+  double best = result->best().composite;
+  for (const auto& candidate : result->candidates) {
+    EXPECT_LE(candidate.composite, best + 1e-12);
+  }
+}
+
+TEST(OptimizerTest, SingleThreadAndParallelAgree) {
+  test::Blobs blobs = test::MakeBlobs(
+      {{0.0, 0.0}, {7.0, 7.0}}, 30, 0.7, 79);
+  OptimizerOptions sequential = FastOptions();
+  sequential.num_threads = 1;
+  OptimizerOptions parallel = FastOptions();
+  parallel.num_threads = 4;
+  auto a = OptimizeClustering(blobs.points, sequential);
+  auto b = OptimizeClustering(blobs.points, parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->candidates.size(), b->candidates.size());
+  for (size_t i = 0; i < a->candidates.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->candidates[i].sse, b->candidates[i].sse);
+    EXPECT_DOUBLE_EQ(a->candidates[i].accuracy, b->candidates[i].accuracy);
+  }
+  EXPECT_EQ(a->best_index, b->best_index);
+}
+
+TEST(OptimizerTest, NaiveBayesAssessorAlsoWorks) {
+  test::Blobs blobs = test::MakeBlobs(
+      {{0.0, 0.0}, {10.0, 10.0}}, 40, 0.6, 81);
+  OptimizerOptions options = FastOptions();
+  options.model = RobustnessModel::kNaiveBayes;
+  options.candidate_ks = {2, 4};
+  auto result = OptimizeClustering(blobs.points, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->candidates.size(), 2u);
+  EXPECT_GT(result->candidates[0].accuracy, 0.9);
+}
+
+TEST(OptimizerTest, RecoversProfileCountOnSyntheticCohort) {
+  // The paper's story in miniature: the cohort has 4 latent profiles;
+  // the optimizer's composite metric should peak at K near 4.
+  auto cohort = dataset::SyntheticCohortGenerator(
+                    dataset::TestScaleConfig())
+                    .Generate();
+  ASSERT_TRUE(cohort.ok());
+  Matrix vsm = transform::BuildVsm(cohort->log);
+  OptimizerOptions options = FastOptions();
+  options.candidate_ks = {2, 4, 8, 12};
+  auto result = OptimizeClustering(vsm, options);
+  ASSERT_TRUE(result.ok());
+  // Composite at K=4 must beat heavy over-segmentation at K=12.
+  double composite4 = result->candidates[1].composite;
+  double composite12 = result->candidates[3].composite;
+  EXPECT_GT(composite4, composite12);
+}
+
+TEST(OptimizerTest, RejectsBadOptions) {
+  test::Blobs blobs = test::MakeBlobs({{0.0}}, 10, 0.5, 83);
+  OptimizerOptions options = FastOptions();
+  options.candidate_ks = {};
+  EXPECT_FALSE(OptimizeClustering(blobs.points, options).ok());
+  options = FastOptions();
+  options.candidate_ks = {1};
+  EXPECT_FALSE(OptimizeClustering(blobs.points, options).ok());
+  options = FastOptions();
+  options.candidate_ks = {50};  // More than the points.
+  EXPECT_FALSE(OptimizeClustering(blobs.points, options).ok());
+  options = FastOptions();
+  options.cv_folds = 1;
+  EXPECT_FALSE(OptimizeClustering(blobs.points, options).ok());
+  EXPECT_FALSE(OptimizeClustering(Matrix(), FastOptions()).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace adahealth

@@ -1,0 +1,135 @@
+#include "core/partial_mining.h"
+
+#include <gtest/gtest.h>
+#include "dataset/synthetic_cohort.h"
+
+namespace adahealth {
+namespace core {
+namespace {
+
+dataset::ExamLog MakeCohortLog() {
+  auto cohort = dataset::SyntheticCohortGenerator(
+                    dataset::TestScaleConfig())
+                    .Generate();
+  EXPECT_TRUE(cohort.ok());
+  return cohort->log;
+}
+
+PartialMiningOptions FastOptions() {
+  PartialMiningOptions options;
+  options.fractions = {0.2, 0.4, 1.0};
+  options.ks = {3, 4};
+  options.kmeans.max_iterations = 30;
+  options.kmeans.seed = 5;
+  return options;
+}
+
+TEST(ExamSubsetPartialMiningTest, StepsTrackTheSchedule) {
+  dataset::ExamLog log = MakeCohortLog();
+  auto result = RunExamSubsetPartialMining(log, FastOptions());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->steps.size(), 3u);
+  EXPECT_DOUBLE_EQ(result->steps[0].fraction, 0.2);
+  EXPECT_DOUBLE_EQ(result->steps[2].fraction, 1.0);
+  // Record coverage grows with the exam fraction.
+  EXPECT_LT(result->steps[0].record_coverage,
+            result->steps[1].record_coverage);
+  EXPECT_DOUBLE_EQ(result->steps[2].record_coverage, 1.0);
+  // Per-step similarities exist for every K.
+  for (const auto& step : result->steps) {
+    EXPECT_EQ(step.overall_similarity.size(), 2u);
+    for (double s : step.overall_similarity) EXPECT_GT(s, 0.0);
+  }
+}
+
+TEST(ExamSubsetPartialMiningTest, FullStepHasZeroDiff) {
+  dataset::ExamLog log = MakeCohortLog();
+  auto result = RunExamSubsetPartialMining(log, FastOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->steps.back().mean_relative_diff, 0.0);
+}
+
+TEST(ExamSubsetPartialMiningTest, SelectsSmallestStepWithinTolerance) {
+  dataset::ExamLog log = MakeCohortLog();
+  PartialMiningOptions options = FastOptions();
+  options.tolerance = 1.0;  // Everything qualifies -> first step.
+  auto generous = RunExamSubsetPartialMining(log, options);
+  ASSERT_TRUE(generous.ok());
+  EXPECT_EQ(generous->selected_step, 0u);
+
+  options.tolerance = 0.0;  // Only the exact full data qualifies.
+  auto strict = RunExamSubsetPartialMining(log, options);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_EQ(strict->selected_step, strict->steps.size() - 1);
+}
+
+TEST(ExamSubsetPartialMiningTest, AppendsFullBaselineWhenMissing) {
+  dataset::ExamLog log = MakeCohortLog();
+  PartialMiningOptions options = FastOptions();
+  options.fractions = {0.3, 0.6};  // No 1.0 step given.
+  auto result = RunExamSubsetPartialMining(log, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->steps.size(), 3u);
+  EXPECT_DOUBLE_EQ(result->steps.back().fraction, 1.0);
+}
+
+TEST(ExamSubsetPartialMiningTest, RejectsBadOptions) {
+  dataset::ExamLog log = MakeCohortLog();
+  PartialMiningOptions options = FastOptions();
+  options.fractions = {};
+  EXPECT_FALSE(RunExamSubsetPartialMining(log, options).ok());
+  options = FastOptions();
+  options.fractions = {0.4, 0.2};
+  EXPECT_FALSE(RunExamSubsetPartialMining(log, options).ok());
+  options = FastOptions();
+  options.ks = {};
+  EXPECT_FALSE(RunExamSubsetPartialMining(log, options).ok());
+  options = FastOptions();
+  options.ks = {0};
+  EXPECT_FALSE(RunExamSubsetPartialMining(log, options).ok());
+  options = FastOptions();
+  options.tolerance = -0.1;
+  EXPECT_FALSE(RunExamSubsetPartialMining(log, options).ok());
+}
+
+TEST(PatientSubsetPartialMiningTest, ConsecutiveStepComparison) {
+  dataset::ExamLog log = MakeCohortLog();
+  PartialMiningOptions options = FastOptions();
+  options.fractions = {0.25, 0.5, 1.0};
+  auto result = RunPatientSubsetPartialMining(log, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->steps.size(), 3u);
+  // First step has no predecessor: diff sentinel 1.0.
+  EXPECT_DOUBLE_EQ(result->steps[0].mean_relative_diff, 1.0);
+  EXPECT_GE(result->steps[1].mean_relative_diff, 0.0);
+  // Record coverage grows with the sample.
+  EXPECT_LT(result->steps[0].record_coverage,
+            result->steps[2].record_coverage);
+}
+
+TEST(PatientSubsetPartialMiningTest, StabilizedQualitySelectsEarlyStep) {
+  dataset::ExamLog log = MakeCohortLog();
+  PartialMiningOptions options = FastOptions();
+  options.fractions = {0.4, 0.7, 1.0};
+  options.tolerance = 0.5;  // Loose: similarity stabilizes quickly.
+  auto result = RunPatientSubsetPartialMining(log, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->selected_step, result->steps.size());
+}
+
+TEST(PartialMiningTest, DeterministicForSeed) {
+  dataset::ExamLog log = MakeCohortLog();
+  auto a = RunExamSubsetPartialMining(log, FastOptions());
+  auto b = RunExamSubsetPartialMining(log, FastOptions());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t s = 0; s < a->steps.size(); ++s) {
+    EXPECT_EQ(a->steps[s].overall_similarity,
+              b->steps[s].overall_similarity);
+  }
+  EXPECT_EQ(a->selected_step, b->selected_step);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace adahealth

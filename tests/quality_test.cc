@@ -1,0 +1,139 @@
+#include "cluster/quality.h"
+
+#include <gtest/gtest.h>
+#include "cluster/kmeans.h"
+#include "test_util.h"
+
+namespace adahealth {
+namespace cluster {
+namespace {
+
+using test::MakeBlobs;
+using transform::Matrix;
+
+TEST(SseTest, MatchesManualComputation) {
+  Matrix points(3, 1);
+  points.At(0, 0) = 0.0;
+  points.At(1, 0) = 2.0;
+  points.At(2, 0) = 10.0;
+  Matrix centroids(2, 1);
+  centroids.At(0, 0) = 1.0;
+  centroids.At(1, 0) = 10.0;
+  std::vector<int32_t> assignments{0, 0, 1};
+  EXPECT_DOUBLE_EQ(SumSquaredError(points, assignments, centroids), 2.0);
+}
+
+TEST(OverallSimilarityTest, ClosedFormMatchesExactPairwise) {
+  // The O(N) closed form must equal the O(N^2) definition.
+  test::Blobs blobs = MakeBlobs(
+      {{1.0, 0.2}, {0.1, 1.5}, {2.0, 2.0}}, 15, 0.4, 33);
+  KMeansOptions options;
+  options.k = 3;
+  auto clustering = RunKMeans(blobs.points, options);
+  ASSERT_TRUE(clustering.ok());
+  double fast = OverallSimilarity(blobs.points, clustering->assignments, 3);
+  double exact =
+      OverallSimilarityExact(blobs.points, clustering->assignments, 3);
+  EXPECT_NEAR(fast, exact, 1e-9);
+}
+
+TEST(OverallSimilarityTest, PerfectCohesionIsOne) {
+  // All members of each cluster are identical -> OS = 1.
+  Matrix points(4, 2);
+  points.At(0, 0) = 1.0;
+  points.At(1, 0) = 1.0;
+  points.At(2, 1) = 2.0;
+  points.At(3, 1) = 2.0;
+  std::vector<int32_t> assignments{0, 0, 1, 1};
+  EXPECT_NEAR(OverallSimilarity(points, assignments, 2), 1.0, 1e-12);
+}
+
+TEST(OverallSimilarityTest, OrthogonalMembersLowerScore) {
+  // One cluster holding two orthogonal unit vectors: cohesion = 0.5
+  // (self-pairs only).
+  Matrix points(2, 2);
+  points.At(0, 0) = 1.0;
+  points.At(1, 1) = 1.0;
+  std::vector<int32_t> assignments{0, 0};
+  EXPECT_NEAR(OverallSimilarity(points, assignments, 1), 0.5, 1e-12);
+}
+
+TEST(OverallSimilarityTest, TightClusteringScoresHigherThanRandom) {
+  test::Blobs blobs = MakeBlobs(
+      {{5.0, 0.0, 0.0}, {0.0, 5.0, 0.0}, {0.0, 0.0, 5.0}}, 30, 0.3, 35);
+  KMeansOptions options;
+  options.k = 3;
+  auto clustering = RunKMeans(blobs.points, options);
+  ASSERT_TRUE(clustering.ok());
+  double good = OverallSimilarity(blobs.points, clustering->assignments, 3);
+  // Random assignment.
+  common::Rng rng(37);
+  std::vector<int32_t> random(blobs.points.rows());
+  for (auto& a : random) a = static_cast<int32_t>(rng.UniformUint64(3));
+  double bad = OverallSimilarity(blobs.points, random, 3);
+  EXPECT_GT(good, bad + 0.1);
+}
+
+TEST(OverallSimilarityTest, ZeroVectorsContributeNothing) {
+  Matrix points(3, 2);
+  points.At(0, 0) = 1.0;
+  points.At(1, 0) = 1.0;
+  // Row 2 is all zero.
+  std::vector<int32_t> assignments{0, 0, 0};
+  // Normalized sum = (2,0)/... cohesion = ||(2,0)||^2 / 9 = 4/9; the
+  // exact pairwise version agrees because cos with zero vector is 0.
+  double fast = OverallSimilarity(points, assignments, 1);
+  double exact = OverallSimilarityExact(points, assignments, 1);
+  EXPECT_NEAR(fast, exact, 1e-12);
+}
+
+TEST(SilhouetteTest, WellSeparatedNearOne) {
+  test::Blobs blobs = MakeBlobs({{0.0, 0.0}, {20.0, 0.0}}, 40, 0.5, 39);
+  KMeansOptions options;
+  options.k = 2;
+  auto clustering = RunKMeans(blobs.points, options);
+  ASSERT_TRUE(clustering.ok());
+  double score = SilhouetteScore(blobs.points, clustering->assignments, 2);
+  EXPECT_GT(score, 0.9);
+}
+
+TEST(SilhouetteTest, OverlappingClustersNearZero) {
+  test::Blobs blobs = MakeBlobs({{0.0, 0.0}, {0.5, 0.0}}, 40, 2.0, 41);
+  KMeansOptions options;
+  options.k = 2;
+  auto clustering = RunKMeans(blobs.points, options);
+  ASSERT_TRUE(clustering.ok());
+  double score = SilhouetteScore(blobs.points, clustering->assignments, 2);
+  EXPECT_LT(score, 0.5);
+}
+
+TEST(SilhouetteTest, SampledApproximationClose) {
+  test::Blobs blobs = MakeBlobs({{0.0}, {10.0}}, 300, 0.8, 43);
+  KMeansOptions options;
+  options.k = 2;
+  auto clustering = RunKMeans(blobs.points, options);
+  ASSERT_TRUE(clustering.ok());
+  double exact =
+      SilhouetteScore(blobs.points, clustering->assignments, 2, 10000);
+  double sampled =
+      SilhouetteScore(blobs.points, clustering->assignments, 2, 150);
+  EXPECT_NEAR(exact, sampled, 0.05);
+}
+
+TEST(DaviesBouldinTest, LowerForBetterSeparation) {
+  test::Blobs tight = MakeBlobs({{0.0, 0.0}, {20.0, 0.0}}, 30, 0.5, 45);
+  test::Blobs loose = MakeBlobs({{0.0, 0.0}, {3.0, 0.0}}, 30, 1.5, 45);
+  KMeansOptions options;
+  options.k = 2;
+  auto tight_clustering = RunKMeans(tight.points, options);
+  auto loose_clustering = RunKMeans(loose.points, options);
+  ASSERT_TRUE(tight_clustering.ok());
+  ASSERT_TRUE(loose_clustering.ok());
+  EXPECT_LT(
+      DaviesBouldinIndex(tight.points, tight_clustering->assignments, 2),
+      DaviesBouldinIndex(loose.points, loose_clustering->assignments, 2));
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace adahealth

@@ -1,0 +1,120 @@
+#include "core/ranking.h"
+
+#include <gtest/gtest.h>
+
+namespace adahealth {
+namespace core {
+namespace {
+
+KnowledgeItem Item(const std::string& id, const std::string& kind,
+                   EndGoal goal, double quality) {
+  KnowledgeItem item;
+  item.id = id;
+  item.kind = kind;
+  item.goal = goal;
+  item.quality = quality;
+  return item;
+}
+
+std::vector<KnowledgeItem> MakeItems() {
+  return {
+      Item("cluster:0", "cluster", EndGoal::kPatientGrouping, 0.9),
+      Item("cluster:1", "cluster", EndGoal::kPatientGrouping, 0.6),
+      Item("rule:0", "rule", EndGoal::kInteractionDiscovery, 0.7),
+      Item("itemset:0", "itemset", EndGoal::kCommonExamPatterns, 0.5),
+  };
+}
+
+TEST(RankerTest, InitialOrderFollowsQuality) {
+  KnowledgeRanker ranker;
+  ASSERT_TRUE(ranker.AddItems(MakeItems()).ok());
+  std::vector<KnowledgeItem> ranked = ranker.Ranked();
+  ASSERT_EQ(ranked.size(), 4u);
+  EXPECT_EQ(ranked[0].id, "cluster:0");
+  EXPECT_EQ(ranked[1].id, "rule:0");
+  EXPECT_EQ(ranked[2].id, "cluster:1");
+  EXPECT_EQ(ranked[3].id, "itemset:0");
+}
+
+TEST(RankerTest, DirectFeedbackReordersItems) {
+  KnowledgeRanker ranker;
+  ASSERT_TRUE(ranker.AddItems(MakeItems()).ok());
+  // Physician finds the weakest item highly interesting and the top
+  // item useless.
+  ASSERT_TRUE(ranker.RecordFeedback("itemset:0", Interest::kHigh).ok());
+  ASSERT_TRUE(ranker.RecordFeedback("cluster:0", Interest::kLow).ok());
+  std::vector<KnowledgeItem> ranked = ranker.Ranked();
+  // The rated-high item must now outrank the rated-low item.
+  size_t itemset_rank = 99;
+  size_t cluster0_rank = 99;
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (ranked[i].id == "itemset:0") itemset_rank = i;
+    if (ranked[i].id == "cluster:0") cluster0_rank = i;
+  }
+  EXPECT_LT(itemset_rank, cluster0_rank);
+}
+
+TEST(RankerTest, FeedbackUpdatesInterestField) {
+  KnowledgeRanker ranker;
+  ASSERT_TRUE(ranker.AddItems(MakeItems()).ok());
+  ASSERT_TRUE(ranker.RecordFeedback("rule:0", Interest::kHigh).ok());
+  for (const KnowledgeItem& item : ranker.Ranked()) {
+    if (item.id == "rule:0") {
+      EXPECT_EQ(item.interest, Interest::kHigh);
+    }
+  }
+}
+
+TEST(RankerTest, KindBiasGeneralizesAcrossItems) {
+  KnowledgeRanker ranker;
+  ASSERT_TRUE(ranker.AddItems(MakeItems()).ok());
+  double cluster1_before = ranker.ScoreOf("cluster:1").value();
+  // Positive feedback on the *other* cluster item lifts all clusters.
+  ASSERT_TRUE(ranker.RecordFeedback("cluster:0", Interest::kHigh).ok());
+  double cluster1_after = ranker.ScoreOf("cluster:1").value();
+  EXPECT_GT(cluster1_after, cluster1_before);
+}
+
+TEST(RankerTest, NegativeKindBiasDemotes) {
+  KnowledgeRanker ranker;
+  ASSERT_TRUE(ranker.AddItems(MakeItems()).ok());
+  double cluster1_before = ranker.ScoreOf("cluster:1").value();
+  ASSERT_TRUE(ranker.RecordFeedback("cluster:0", Interest::kLow).ok());
+  EXPECT_LT(ranker.ScoreOf("cluster:1").value(), cluster1_before);
+}
+
+TEST(RankerTest, RepeatedFeedbackAverages) {
+  KnowledgeRanker ranker;
+  ASSERT_TRUE(ranker.AddItems(MakeItems()).ok());
+  ASSERT_TRUE(ranker.RecordFeedback("rule:0", Interest::kLow).ok());
+  double after_low = ranker.ScoreOf("rule:0").value();
+  ASSERT_TRUE(ranker.RecordFeedback("rule:0", Interest::kHigh).ok());
+  double after_both = ranker.ScoreOf("rule:0").value();
+  EXPECT_GT(after_both, after_low);
+}
+
+TEST(RankerTest, ErrorsOnUnknownAndDuplicateIds) {
+  KnowledgeRanker ranker;
+  ASSERT_TRUE(ranker.AddItems(MakeItems()).ok());
+  EXPECT_FALSE(ranker.RecordFeedback("ghost", Interest::kHigh).ok());
+  EXPECT_FALSE(ranker.ScoreOf("ghost").ok());
+  EXPECT_FALSE(ranker.AddItems(MakeItems()).ok());  // Duplicates.
+  KnowledgeItem empty_id;
+  EXPECT_FALSE(ranker.AddItems({empty_id}).ok());
+}
+
+TEST(RankerTest, DeterministicTieBreakById) {
+  KnowledgeRanker ranker;
+  std::vector<KnowledgeItem> items{
+      Item("b", "x", EndGoal::kPatientGrouping, 0.5),
+      Item("a", "x", EndGoal::kPatientGrouping, 0.5),
+  };
+  ASSERT_TRUE(ranker.AddItems(items).ok());
+  std::vector<KnowledgeItem> ranked = ranker.Ranked();
+  EXPECT_EQ(ranked[0].id, "a");
+  EXPECT_EQ(ranked[1].id, "b");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace adahealth

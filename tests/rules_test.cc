@@ -1,0 +1,150 @@
+#include "patterns/rules.h"
+
+#include <gtest/gtest.h>
+#include "patterns/apriori.h"
+
+namespace adahealth {
+namespace patterns {
+namespace {
+
+// 10 transactions: {0,1} together 6 times, 0 alone 2, 1 alone 1,
+// {2} once.
+TransactionDb MakeDb() {
+  TransactionDb db;
+  db.num_items = 3;
+  for (int i = 0; i < 6; ++i) db.transactions.push_back({0, 1});
+  db.transactions.push_back({0});
+  db.transactions.push_back({0});
+  db.transactions.push_back({1});
+  db.transactions.push_back({2});
+  return db;
+}
+
+std::vector<FrequentItemset> MineAll(const TransactionDb& db) {
+  MiningOptions options;
+  options.min_support_count = 1;
+  auto itemsets = MineApriori(db, options);
+  EXPECT_TRUE(itemsets.ok());
+  return itemsets.value();
+}
+
+const AssociationRule* FindRule(const std::vector<AssociationRule>& rules,
+                                const std::vector<ItemId>& antecedent,
+                                const std::vector<ItemId>& consequent) {
+  for (const auto& rule : rules) {
+    if (rule.antecedent == antecedent && rule.consequent == consequent) {
+      return &rule;
+    }
+  }
+  return nullptr;
+}
+
+TEST(RulesTest, ConfidenceAndLiftValues) {
+  TransactionDb db = MakeDb();
+  RuleOptions options;
+  options.min_confidence = 0.1;
+  auto rules = GenerateRules(MineAll(db), db.size(), options);
+  ASSERT_TRUE(rules.ok());
+  // support({0,1}) = 6; support({0}) = 8; support({1}) = 7.
+  const AssociationRule* rule = FindRule(rules.value(), {0}, {1});
+  ASSERT_NE(rule, nullptr);
+  EXPECT_NEAR(rule->support, 0.6, 1e-12);
+  EXPECT_NEAR(rule->confidence, 6.0 / 8.0, 1e-12);
+  EXPECT_NEAR(rule->lift, (6.0 / 8.0) / 0.7, 1e-12);
+
+  const AssociationRule* reverse = FindRule(rules.value(), {1}, {0});
+  ASSERT_NE(reverse, nullptr);
+  EXPECT_NEAR(reverse->confidence, 6.0 / 7.0, 1e-12);
+}
+
+TEST(RulesTest, MinConfidenceFilters) {
+  TransactionDb db = MakeDb();
+  RuleOptions options;
+  options.min_confidence = 0.8;
+  auto rules = GenerateRules(MineAll(db), db.size(), options);
+  ASSERT_TRUE(rules.ok());
+  // {0}=>{1} has confidence 0.75 and must be filtered out.
+  EXPECT_EQ(FindRule(rules.value(), {0}, {1}), nullptr);
+  // {1}=>{0} has confidence ~0.857 and stays.
+  EXPECT_NE(FindRule(rules.value(), {1}, {0}), nullptr);
+}
+
+TEST(RulesTest, MinLiftFilters) {
+  TransactionDb db = MakeDb();
+  RuleOptions options;
+  options.min_confidence = 0.1;
+  options.min_lift = 1.05;
+  auto rules = GenerateRules(MineAll(db), db.size(), options);
+  ASSERT_TRUE(rules.ok());
+  for (const auto& rule : rules.value()) {
+    EXPECT_GE(rule.lift, 1.05);
+  }
+}
+
+TEST(RulesTest, SortedByConfidenceDescending) {
+  TransactionDb db = MakeDb();
+  RuleOptions options;
+  options.min_confidence = 0.1;
+  auto rules = GenerateRules(MineAll(db), db.size(), options);
+  ASSERT_TRUE(rules.ok());
+  for (size_t i = 1; i < rules->size(); ++i) {
+    EXPECT_GE((*rules)[i - 1].confidence, (*rules)[i].confidence);
+  }
+}
+
+TEST(RulesTest, AntecedentAndConsequentPartitionItemset) {
+  TransactionDb db = MakeDb();
+  RuleOptions options;
+  options.min_confidence = 0.1;
+  auto rules = GenerateRules(MineAll(db), db.size(), options);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_FALSE(rules->empty());
+  for (const auto& rule : rules.value()) {
+    EXPECT_FALSE(rule.antecedent.empty());
+    EXPECT_FALSE(rule.consequent.empty());
+    for (ItemId a : rule.antecedent) {
+      for (ItemId c : rule.consequent) EXPECT_NE(a, c);
+    }
+  }
+}
+
+TEST(RulesTest, ThreeItemRulesEnumerated) {
+  TransactionDb db;
+  db.num_items = 3;
+  for (int i = 0; i < 5; ++i) db.transactions.push_back({0, 1, 2});
+  RuleOptions options;
+  options.min_confidence = 0.9;
+  auto rules = GenerateRules(MineAll(db), db.size(), options);
+  ASSERT_TRUE(rules.ok());
+  // All 6 bipartitions of {0,1,2} have confidence 1.
+  int three_item_rules = 0;
+  for (const auto& rule : rules.value()) {
+    if (rule.antecedent.size() + rule.consequent.size() == 3) {
+      ++three_item_rules;
+      EXPECT_NEAR(rule.confidence, 1.0, 1e-12);
+    }
+  }
+  EXPECT_EQ(three_item_rules, 6);
+}
+
+TEST(RulesTest, RejectsInvalidOptions) {
+  TransactionDb db = MakeDb();
+  RuleOptions options;
+  options.min_confidence = 0.0;
+  EXPECT_FALSE(GenerateRules(MineAll(db), db.size(), options).ok());
+  options.min_confidence = 1.5;
+  EXPECT_FALSE(GenerateRules(MineAll(db), db.size(), options).ok());
+  options.min_confidence = 0.5;
+  EXPECT_FALSE(GenerateRules(MineAll(db), 0, options).ok());
+}
+
+TEST(RulesTest, EmptyItemsetsYieldNoRules) {
+  RuleOptions options;
+  auto rules = GenerateRules({}, 10, options);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_TRUE(rules->empty());
+}
+
+}  // namespace
+}  // namespace patterns
+}  // namespace adahealth

@@ -1,0 +1,78 @@
+#include "transform/sparse_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace adahealth {
+namespace transform {
+namespace {
+
+CsrMatrix MakeMatrix() {
+  CsrMatrix::Builder builder(4);
+  builder.AddRow({{0, 1.0}, {2, 2.0}});
+  builder.AddRow({});
+  builder.AddRow({{1, 3.0}, {2, 4.0}, {3, 5.0}});
+  return std::move(builder).Build();
+}
+
+TEST(CsrMatrixTest, Shape) {
+  CsrMatrix m = MakeMatrix();
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.num_nonzeros(), 5u);
+}
+
+TEST(CsrMatrixTest, RowAccess) {
+  CsrMatrix m = MakeMatrix();
+  auto row0 = m.Row(0);
+  ASSERT_EQ(row0.size(), 2u);
+  EXPECT_EQ(row0[0].column, 0u);
+  EXPECT_DOUBLE_EQ(row0[1].value, 2.0);
+  EXPECT_EQ(m.Row(1).size(), 0u);
+}
+
+TEST(CsrMatrixTest, BuilderDropsExplicitZeros) {
+  CsrMatrix::Builder builder(2);
+  builder.AddRow({{0, 0.0}, {1, 1.0}});
+  CsrMatrix m = std::move(builder).Build();
+  EXPECT_EQ(m.num_nonzeros(), 1u);
+}
+
+TEST(CsrMatrixTest, DenseRoundTrip) {
+  CsrMatrix m = MakeMatrix();
+  Matrix dense = m.ToDense();
+  EXPECT_DOUBLE_EQ(dense.At(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(dense.At(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(dense.At(2, 3), 5.0);
+  CsrMatrix back = CsrMatrix::FromDense(dense);
+  EXPECT_EQ(back.num_nonzeros(), m.num_nonzeros());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    auto a = m.Row(r);
+    auto b = back.Row(r);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(CsrMatrixTest, Density) {
+  CsrMatrix m = MakeMatrix();
+  EXPECT_DOUBLE_EQ(m.Density(), 5.0 / 12.0);
+}
+
+TEST(SparseOpsTest, SparseDotMergesColumns) {
+  CsrMatrix m = MakeMatrix();
+  // Row 0 = [1,0,2,0], row 2 = [0,3,4,5] -> dot = 8.
+  EXPECT_DOUBLE_EQ(SparseDot(m.Row(0), m.Row(2)), 8.0);
+  EXPECT_DOUBLE_EQ(SparseDot(m.Row(0), m.Row(1)), 0.0);
+}
+
+TEST(SparseOpsTest, CosineMatchesDense) {
+  CsrMatrix m = MakeMatrix();
+  Matrix dense = m.ToDense();
+  EXPECT_NEAR(SparseCosineSimilarity(m.Row(0), m.Row(2)),
+              CosineSimilarity(dense.Row(0), dense.Row(2)), 1e-12);
+  EXPECT_DOUBLE_EQ(SparseCosineSimilarity(m.Row(0), m.Row(1)), 0.0);
+}
+
+}  // namespace
+}  // namespace transform
+}  // namespace adahealth

@@ -1,0 +1,89 @@
+#include "kdb/storage.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace adahealth {
+namespace kdb {
+namespace {
+
+using common::Json;
+
+Collection MakeCollection() {
+  Collection collection("test_items");
+  for (int64_t i = 0; i < 5; ++i) {
+    Document document;
+    document.Set("value", Json(i));
+    document.Set("name", Json("item-" + std::to_string(i)));
+    collection.Insert(std::move(document));
+  }
+  return collection;
+}
+
+TEST(StorageTest, SerializeOneLinePerDocument) {
+  std::string text = SerializeCollection(MakeCollection());
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 5);
+}
+
+TEST(StorageTest, SerializeDeserializeRoundTrip) {
+  Collection original = MakeCollection();
+  auto restored =
+      DeserializeCollection("test_items", SerializeCollection(original));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), original.size());
+  EXPECT_EQ(restored->last_id(), original.last_id());
+  for (const Document& document : original.documents()) {
+    auto found = restored->FindById(document.id());
+    ASSERT_TRUE(found.ok());
+    EXPECT_EQ(found.value(), document);
+  }
+}
+
+TEST(StorageTest, InsertAfterReloadContinuesIds) {
+  Collection original = MakeCollection();
+  auto restored =
+      DeserializeCollection("test_items", SerializeCollection(original));
+  ASSERT_TRUE(restored.ok());
+  Document fresh;
+  fresh.Set("value", Json(int64_t{99}));
+  EXPECT_EQ(restored->Insert(std::move(fresh)), original.last_id() + 1);
+}
+
+TEST(StorageTest, BlankLinesTolerated) {
+  auto restored = DeserializeCollection(
+      "x", "\n{\"_id\":1,\"a\":1}\n\n{\"_id\":2,\"a\":2}\n\n");
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), 2u);
+}
+
+TEST(StorageTest, MalformedLineIsDataLoss) {
+  auto restored = DeserializeCollection(
+      "x", "{\"_id\":1}\n{\"_id\":2,  TRUNCATED");
+  EXPECT_EQ(restored.status().code(), common::StatusCode::kDataLoss);
+}
+
+TEST(StorageTest, MissingIdRejected) {
+  auto restored = DeserializeCollection("x", "{\"a\":1}\n");
+  EXPECT_FALSE(restored.ok());
+}
+
+TEST(StorageTest, FileRoundTrip) {
+  Collection original = MakeCollection();
+  std::string directory = testing::TempDir();
+  ASSERT_TRUE(SaveCollection(original, directory).ok());
+  auto loaded = LoadCollection("test_items", directory);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), original.size());
+  std::remove((directory + "/test_items.jsonl").c_str());
+}
+
+TEST(StorageTest, LoadMissingFileIsNotFound) {
+  auto loaded = LoadCollection("does_not_exist", testing::TempDir());
+  EXPECT_EQ(loaded.status().code(), common::StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace kdb
+}  // namespace adahealth

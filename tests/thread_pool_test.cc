@@ -1,0 +1,80 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace adahealth {
+namespace common {
+namespace {
+
+TEST(ThreadPoolTest, RunsScheduledTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // Must not hang.
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Schedule([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Schedule([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(pool, 0, hits.size(),
+              [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  ParallelFor(pool, 5, 5, [](size_t) { FAIL(); });
+  ParallelFor(pool, 7, 3, [](size_t) { FAIL(); });
+}
+
+TEST(ParallelForTest, NonZeroBegin) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  ParallelFor(pool, 10, 20,
+              [&](size_t i) { sum.fetch_add(static_cast<long>(i)); });
+  EXPECT_EQ(sum.load(), 145);  // 10 + 11 + ... + 19.
+}
+
+TEST(ParallelForTest, MoreWorkersThanItems) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  ParallelFor(pool, 0, 3, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+}  // namespace
+}  // namespace common
+}  // namespace adahealth

@@ -1,0 +1,92 @@
+#include "core/transform_selector.h"
+
+#include <gtest/gtest.h>
+#include "dataset/synthetic_cohort.h"
+
+namespace adahealth {
+namespace core {
+namespace {
+
+TEST(TransformSelectorTest, DefaultCandidatesCoverAllCombinations) {
+  TransformSelectorOptions options;
+  EXPECT_EQ(options.candidates.size(), 6u);
+}
+
+TEST(TransformSelectorTest, ScoresEveryCandidateAndPicksBest) {
+  auto cohort = dataset::SyntheticCohortGenerator(
+                    dataset::TestScaleConfig())
+                    .Generate();
+  ASSERT_TRUE(cohort.ok());
+  TransformSelectorOptions options;
+  options.sample_fraction = 0.5;
+  options.proxy_k = 4;
+  auto selection = SelectTransformation(cohort->log, options);
+  ASSERT_TRUE(selection.ok());
+  EXPECT_EQ(selection->scores.size(), 6u);
+  double best = selection->scores[selection->best_index].lift;
+  for (const auto& score : selection->scores) {
+    EXPECT_GT(score.overall_similarity, 0.0);
+    EXPECT_GT(score.baseline_similarity, 0.0);
+    EXPECT_GT(score.lift, 0.0);
+    EXPECT_LE(score.lift, best + 1e-12);
+  }
+  // A real clustering must beat the random baseline in the winning
+  // representation.
+  EXPECT_GT(best, 1.0);
+}
+
+TEST(TransformSelectorTest, DeterministicForSeed) {
+  auto cohort = dataset::SyntheticCohortGenerator(
+                    dataset::TestScaleConfig())
+                    .Generate();
+  ASSERT_TRUE(cohort.ok());
+  TransformSelectorOptions options;
+  options.sample_fraction = 0.5;
+  auto a = SelectTransformation(cohort->log, options);
+  auto b = SelectTransformation(cohort->log, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->best_index, b->best_index);
+  for (size_t i = 0; i < a->scores.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->scores[i].overall_similarity,
+                     b->scores[i].overall_similarity);
+    EXPECT_DOUBLE_EQ(a->scores[i].lift, b->scores[i].lift);
+  }
+}
+
+TEST(TransformSelectorTest, SingleCandidateWins) {
+  auto cohort = dataset::SyntheticCohortGenerator(
+                    dataset::TestScaleConfig())
+                    .Generate();
+  ASSERT_TRUE(cohort.ok());
+  TransformSelectorOptions options;
+  options.candidates = {{transform::VsmWeighting::kBinary,
+                         transform::VsmNormalization::kL2}};
+  auto selection = SelectTransformation(cohort->log, options);
+  ASSERT_TRUE(selection.ok());
+  EXPECT_EQ(selection->best_index, 0u);
+  EXPECT_EQ(selection->best().weighting, transform::VsmWeighting::kBinary);
+}
+
+TEST(TransformSelectorTest, RejectsBadOptions) {
+  auto cohort = dataset::SyntheticCohortGenerator(
+                    dataset::TestScaleConfig())
+                    .Generate();
+  ASSERT_TRUE(cohort.ok());
+  TransformSelectorOptions options;
+  options.candidates.clear();
+  EXPECT_FALSE(SelectTransformation(cohort->log, options).ok());
+  options = TransformSelectorOptions();
+  options.sample_fraction = 0.0;
+  EXPECT_FALSE(SelectTransformation(cohort->log, options).ok());
+  // Empty log.
+  dataset::ExamDictionary dictionary;
+  dictionary.Intern("x");
+  dataset::ExamLog empty({}, std::move(dictionary), {});
+  EXPECT_FALSE(
+      SelectTransformation(empty, TransformSelectorOptions()).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace adahealth
