@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_architecture_pipeline.dir/bench_architecture_pipeline.cc.o"
+  "CMakeFiles/bench_architecture_pipeline.dir/bench_architecture_pipeline.cc.o.d"
+  "bench_architecture_pipeline"
+  "bench_architecture_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_architecture_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kdb.dir/bench_kdb.cc.o"
+  "CMakeFiles/bench_kdb.dir/bench_kdb.cc.o.d"
+  "bench_kdb"
+  "bench_kdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

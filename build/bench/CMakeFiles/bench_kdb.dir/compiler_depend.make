@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_kdb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_patient_sampling.dir/bench_patient_sampling.cc.o"
+  "CMakeFiles/bench_patient_sampling.dir/bench_patient_sampling.cc.o.d"
+  "bench_patient_sampling"
+  "bench_patient_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_patient_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

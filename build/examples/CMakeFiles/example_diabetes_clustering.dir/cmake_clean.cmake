@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_diabetes_clustering.dir/diabetes_clustering.cpp.o"
+  "CMakeFiles/example_diabetes_clustering.dir/diabetes_clustering.cpp.o.d"
+  "diabetes_clustering"
+  "diabetes_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_diabetes_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_diabetes_clustering.
+# This may be replaced when dependencies are built.

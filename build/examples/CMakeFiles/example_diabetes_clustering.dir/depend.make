@@ -1,0 +1,2 @@
+# Empty dependencies file for example_diabetes_clustering.
+# This may be replaced when dependencies are built.

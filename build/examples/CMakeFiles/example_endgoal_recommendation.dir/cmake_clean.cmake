@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_endgoal_recommendation.dir/endgoal_recommendation.cpp.o"
+  "CMakeFiles/example_endgoal_recommendation.dir/endgoal_recommendation.cpp.o.d"
+  "endgoal_recommendation"
+  "endgoal_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_endgoal_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_treatment_patterns.dir/treatment_patterns.cpp.o"
+  "CMakeFiles/example_treatment_patterns.dir/treatment_patterns.cpp.o.d"
+  "treatment_patterns"
+  "treatment_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_treatment_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

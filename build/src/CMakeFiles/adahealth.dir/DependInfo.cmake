@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/bisecting.cc" "src/CMakeFiles/adahealth.dir/cluster/bisecting.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/cluster/bisecting.cc.o.d"
+  "/root/repo/src/cluster/elbow.cc" "src/CMakeFiles/adahealth.dir/cluster/elbow.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/cluster/elbow.cc.o.d"
+  "/root/repo/src/cluster/filtering_kmeans.cc" "src/CMakeFiles/adahealth.dir/cluster/filtering_kmeans.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/cluster/filtering_kmeans.cc.o.d"
+  "/root/repo/src/cluster/kdtree.cc" "src/CMakeFiles/adahealth.dir/cluster/kdtree.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/cluster/kdtree.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "src/CMakeFiles/adahealth.dir/cluster/kmeans.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/cluster/kmeans.cc.o.d"
+  "/root/repo/src/cluster/outliers.cc" "src/CMakeFiles/adahealth.dir/cluster/outliers.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/cluster/outliers.cc.o.d"
+  "/root/repo/src/cluster/profiles.cc" "src/CMakeFiles/adahealth.dir/cluster/profiles.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/cluster/profiles.cc.o.d"
+  "/root/repo/src/cluster/quality.cc" "src/CMakeFiles/adahealth.dir/cluster/quality.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/cluster/quality.cc.o.d"
+  "/root/repo/src/common/csv.cc" "src/CMakeFiles/adahealth.dir/common/csv.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/common/csv.cc.o.d"
+  "/root/repo/src/common/json.cc" "src/CMakeFiles/adahealth.dir/common/json.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/common/json.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/adahealth.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/adahealth.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/adahealth.dir/common/status.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/adahealth.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/adahealth.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/characterization.cc" "src/CMakeFiles/adahealth.dir/core/characterization.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/core/characterization.cc.o.d"
+  "/root/repo/src/core/endgoal.cc" "src/CMakeFiles/adahealth.dir/core/endgoal.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/core/endgoal.cc.o.d"
+  "/root/repo/src/core/feedback_sim.cc" "src/CMakeFiles/adahealth.dir/core/feedback_sim.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/core/feedback_sim.cc.o.d"
+  "/root/repo/src/core/knowledge.cc" "src/CMakeFiles/adahealth.dir/core/knowledge.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/core/knowledge.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/CMakeFiles/adahealth.dir/core/optimizer.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/core/optimizer.cc.o.d"
+  "/root/repo/src/core/partial_mining.cc" "src/CMakeFiles/adahealth.dir/core/partial_mining.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/core/partial_mining.cc.o.d"
+  "/root/repo/src/core/ranking.cc" "src/CMakeFiles/adahealth.dir/core/ranking.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/core/ranking.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/adahealth.dir/core/report.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/core/report.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/CMakeFiles/adahealth.dir/core/session.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/core/session.cc.o.d"
+  "/root/repo/src/core/transform_selector.cc" "src/CMakeFiles/adahealth.dir/core/transform_selector.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/core/transform_selector.cc.o.d"
+  "/root/repo/src/dataset/exam_dictionary.cc" "src/CMakeFiles/adahealth.dir/dataset/exam_dictionary.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/dataset/exam_dictionary.cc.o.d"
+  "/root/repo/src/dataset/exam_log.cc" "src/CMakeFiles/adahealth.dir/dataset/exam_log.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/dataset/exam_log.cc.o.d"
+  "/root/repo/src/dataset/synthetic_cohort.cc" "src/CMakeFiles/adahealth.dir/dataset/synthetic_cohort.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/dataset/synthetic_cohort.cc.o.d"
+  "/root/repo/src/dataset/taxonomy.cc" "src/CMakeFiles/adahealth.dir/dataset/taxonomy.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/dataset/taxonomy.cc.o.d"
+  "/root/repo/src/kdb/aggregate.cc" "src/CMakeFiles/adahealth.dir/kdb/aggregate.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/kdb/aggregate.cc.o.d"
+  "/root/repo/src/kdb/collection.cc" "src/CMakeFiles/adahealth.dir/kdb/collection.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/kdb/collection.cc.o.d"
+  "/root/repo/src/kdb/database.cc" "src/CMakeFiles/adahealth.dir/kdb/database.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/kdb/database.cc.o.d"
+  "/root/repo/src/kdb/document.cc" "src/CMakeFiles/adahealth.dir/kdb/document.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/kdb/document.cc.o.d"
+  "/root/repo/src/kdb/query.cc" "src/CMakeFiles/adahealth.dir/kdb/query.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/kdb/query.cc.o.d"
+  "/root/repo/src/kdb/storage.cc" "src/CMakeFiles/adahealth.dir/kdb/storage.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/kdb/storage.cc.o.d"
+  "/root/repo/src/ml/cross_validation.cc" "src/CMakeFiles/adahealth.dir/ml/cross_validation.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/ml/cross_validation.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/CMakeFiles/adahealth.dir/ml/decision_tree.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/ml/decision_tree.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/CMakeFiles/adahealth.dir/ml/knn.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/ml/knn.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/CMakeFiles/adahealth.dir/ml/metrics.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/ml/metrics.cc.o.d"
+  "/root/repo/src/ml/naive_bayes.cc" "src/CMakeFiles/adahealth.dir/ml/naive_bayes.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/ml/naive_bayes.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/CMakeFiles/adahealth.dir/ml/random_forest.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/ml/random_forest.cc.o.d"
+  "/root/repo/src/patterns/apriori.cc" "src/CMakeFiles/adahealth.dir/patterns/apriori.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/patterns/apriori.cc.o.d"
+  "/root/repo/src/patterns/eclat.cc" "src/CMakeFiles/adahealth.dir/patterns/eclat.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/patterns/eclat.cc.o.d"
+  "/root/repo/src/patterns/fpgrowth.cc" "src/CMakeFiles/adahealth.dir/patterns/fpgrowth.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/patterns/fpgrowth.cc.o.d"
+  "/root/repo/src/patterns/generalized.cc" "src/CMakeFiles/adahealth.dir/patterns/generalized.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/patterns/generalized.cc.o.d"
+  "/root/repo/src/patterns/rules.cc" "src/CMakeFiles/adahealth.dir/patterns/rules.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/patterns/rules.cc.o.d"
+  "/root/repo/src/patterns/transactions.cc" "src/CMakeFiles/adahealth.dir/patterns/transactions.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/patterns/transactions.cc.o.d"
+  "/root/repo/src/stats/correlations.cc" "src/CMakeFiles/adahealth.dir/stats/correlations.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/stats/correlations.cc.o.d"
+  "/root/repo/src/stats/descriptors.cc" "src/CMakeFiles/adahealth.dir/stats/descriptors.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/stats/descriptors.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/adahealth.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/meta_features.cc" "src/CMakeFiles/adahealth.dir/stats/meta_features.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/stats/meta_features.cc.o.d"
+  "/root/repo/src/transform/feature_select.cc" "src/CMakeFiles/adahealth.dir/transform/feature_select.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/transform/feature_select.cc.o.d"
+  "/root/repo/src/transform/matrix.cc" "src/CMakeFiles/adahealth.dir/transform/matrix.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/transform/matrix.cc.o.d"
+  "/root/repo/src/transform/sampling.cc" "src/CMakeFiles/adahealth.dir/transform/sampling.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/transform/sampling.cc.o.d"
+  "/root/repo/src/transform/sparse_matrix.cc" "src/CMakeFiles/adahealth.dir/transform/sparse_matrix.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/transform/sparse_matrix.cc.o.d"
+  "/root/repo/src/transform/vsm.cc" "src/CMakeFiles/adahealth.dir/transform/vsm.cc.o" "gcc" "src/CMakeFiles/adahealth.dir/transform/vsm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisecting_test.dir/bisecting_test.cc.o"
+  "CMakeFiles/bisecting_test.dir/bisecting_test.cc.o.d"
+  "bisecting_test"
+  "bisecting_test.pdb"
+  "bisecting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisecting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/descriptors_test.dir/descriptors_test.cc.o"
+  "CMakeFiles/descriptors_test.dir/descriptors_test.cc.o.d"
+  "descriptors_test"
+  "descriptors_test.pdb"
+  "descriptors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/descriptors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclat_test.dir/eclat_test.cc.o"
+  "CMakeFiles/eclat_test.dir/eclat_test.cc.o.d"
+  "eclat_test"
+  "eclat_test.pdb"
+  "eclat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

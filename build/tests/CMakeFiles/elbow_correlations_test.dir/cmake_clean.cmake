@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elbow_correlations_test.dir/elbow_correlations_test.cc.o"
+  "CMakeFiles/elbow_correlations_test.dir/elbow_correlations_test.cc.o.d"
+  "elbow_correlations_test"
+  "elbow_correlations_test.pdb"
+  "elbow_correlations_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elbow_correlations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/endgoal_test.dir/endgoal_test.cc.o"
+  "CMakeFiles/endgoal_test.dir/endgoal_test.cc.o.d"
+  "endgoal_test"
+  "endgoal_test.pdb"
+  "endgoal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/endgoal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

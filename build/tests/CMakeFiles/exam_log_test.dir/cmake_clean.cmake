@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exam_log_test.dir/exam_log_test.cc.o"
+  "CMakeFiles/exam_log_test.dir/exam_log_test.cc.o.d"
+  "exam_log_test"
+  "exam_log_test.pdb"
+  "exam_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exam_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

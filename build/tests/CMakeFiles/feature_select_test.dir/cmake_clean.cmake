@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_select_test.dir/feature_select_test.cc.o"
+  "CMakeFiles/feature_select_test.dir/feature_select_test.cc.o.d"
+  "feature_select_test"
+  "feature_select_test.pdb"
+  "feature_select_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_select_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feedback_sim_test.dir/feedback_sim_test.cc.o"
+  "CMakeFiles/feedback_sim_test.dir/feedback_sim_test.cc.o.d"
+  "feedback_sim_test"
+  "feedback_sim_test.pdb"
+  "feedback_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feedback_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

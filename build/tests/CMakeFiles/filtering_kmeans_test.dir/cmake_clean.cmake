@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filtering_kmeans_test.dir/filtering_kmeans_test.cc.o"
+  "CMakeFiles/filtering_kmeans_test.dir/filtering_kmeans_test.cc.o.d"
+  "filtering_kmeans_test"
+  "filtering_kmeans_test.pdb"
+  "filtering_kmeans_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filtering_kmeans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

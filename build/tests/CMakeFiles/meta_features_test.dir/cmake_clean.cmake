@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meta_features_test.dir/meta_features_test.cc.o"
+  "CMakeFiles/meta_features_test.dir/meta_features_test.cc.o.d"
+  "meta_features_test"
+  "meta_features_test.pdb"
+  "meta_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meta_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

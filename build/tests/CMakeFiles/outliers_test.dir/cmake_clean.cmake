@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outliers_test.dir/outliers_test.cc.o"
+  "CMakeFiles/outliers_test.dir/outliers_test.cc.o.d"
+  "outliers_test"
+  "outliers_test.pdb"
+  "outliers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outliers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

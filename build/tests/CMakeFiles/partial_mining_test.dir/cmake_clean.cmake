@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_mining_test.dir/partial_mining_test.cc.o"
+  "CMakeFiles/partial_mining_test.dir/partial_mining_test.cc.o.d"
+  "partial_mining_test"
+  "partial_mining_test.pdb"
+  "partial_mining_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_mining_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quality_extra_test.dir/quality_extra_test.cc.o"
+  "CMakeFiles/quality_extra_test.dir/quality_extra_test.cc.o.d"
+  "quality_extra_test"
+  "quality_extra_test.pdb"
+  "quality_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quality_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_forest_test.dir/random_forest_test.cc.o"
+  "CMakeFiles/random_forest_test.dir/random_forest_test.cc.o.d"
+  "random_forest_test"
+  "random_forest_test.pdb"
+  "random_forest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_forest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_cohort_test.dir/synthetic_cohort_test.cc.o"
+  "CMakeFiles/synthetic_cohort_test.dir/synthetic_cohort_test.cc.o.d"
+  "synthetic_cohort_test"
+  "synthetic_cohort_test.pdb"
+  "synthetic_cohort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_cohort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_selector_test.dir/transform_selector_test.cc.o"
+  "CMakeFiles/transform_selector_test.dir/transform_selector_test.cc.o.d"
+  "transform_selector_test"
+  "transform_selector_test.pdb"
+  "transform_selector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_selector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
