@@ -8,6 +8,7 @@
 // end-goal recommendation.
 #include <cstdio>
 
+#include "common/metrics.h"
 #include "common/timer.h"
 #include "core/endgoal.h"
 #include "core/feedback_sim.h"
@@ -71,6 +72,11 @@ int Run() {
 
   std::printf("\n[block 4] algorithm optimization (K sweep)\n");
   for (const auto& candidate : result->optimizer.candidates) {
+    if (candidate.skipped()) {
+      std::printf("  K=%-3d skipped: %s\n", candidate.k,
+                  candidate.status.message().c_str());
+      continue;
+    }
     std::printf("  K=%-3d SSE=%-10.1f acc=%-6.2f prec=%-6.2f rec=%-6.2f%s\n",
                 candidate.k, candidate.sse, 100.0 * candidate.accuracy,
                 100.0 * candidate.avg_precision,
@@ -121,6 +127,17 @@ int Run() {
   }
 
   std::printf("\n%s\n", result->summary.c_str());
+
+  // Per-stage wall-clock timings (session/* histograms) plus every
+  // other instrument the stages recorded, as machine-readable JSON.
+  const common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
+  std::printf("\n--- metrics report (JSON) ---\n%s\n",
+              metrics.ToJson().Pretty().c_str());
+  const std::string metrics_path = "bench_architecture_pipeline_metrics.json";
+  if (metrics.WriteJsonFile(metrics_path).ok()) {
+    std::printf("[architecture_pipeline] metrics written to %s\n",
+                metrics_path.c_str());
+  }
   std::printf("[architecture_pipeline] total time: %.1f s\n\n",
               timer.ElapsedSeconds());
   return 0;

@@ -5,6 +5,7 @@
 // K each variant selects.
 #include <cstdio>
 
+#include "common/metrics.h"
 #include "common/timer.h"
 #include "core/optimizer.h"
 #include "dataset/synthetic_cohort.h"
@@ -32,6 +33,11 @@ int RunModel(const transform::Matrix& vsm, core::RobustnessModel model,
   std::printf("%-4s %-10s %-14s %-10s %-10s\n", "K", "Accuracy",
               "AVG Precision", "AVG Recall", "composite");
   for (const auto& candidate : result->candidates) {
+    if (candidate.skipped()) {
+      std::printf("%-4d skipped: %s\n", candidate.k,
+                  candidate.status.message().c_str());
+      continue;
+    }
     std::printf("%-4d %-10.2f %-14.2f %-10.2f %-10.3f%s\n", candidate.k,
                 100.0 * candidate.accuracy,
                 100.0 * candidate.avg_precision,
@@ -68,6 +74,11 @@ int Run() {
   if (RunModel(vsm, core::RobustnessModel::kNearestNeighbors,
                "k-nearest neighbours (k=5)") != 0) {
     return 1;
+  }
+  const std::string metrics_path = "bench_optimizer_ablation_metrics.json";
+  if (common::MetricsRegistry::Default().WriteJsonFile(metrics_path).ok()) {
+    std::printf("[optimizer_ablation] metrics written to %s\n",
+                metrics_path.c_str());
   }
   std::printf("[optimizer_ablation] total time: %.1f s\n\n",
               timer.ElapsedSeconds());

@@ -19,6 +19,7 @@
 #include <cstdio>
 
 #include "cluster/elbow.h"
+#include "common/metrics.h"
 #include "common/timer.h"
 #include "core/optimizer.h"
 #include "dataset/synthetic_cohort.h"
@@ -79,6 +80,11 @@ int Run() {
   std::printf("%-4s %-12s %-10s %-14s %-10s\n", "K", "SSE", "Accuracy",
               "AVG Precision", "AVG Recall");
   for (const core::CandidateEvaluation& candidate : result->candidates) {
+    if (candidate.skipped()) {
+      std::printf("%-4d skipped: %s\n", candidate.k,
+                  candidate.status.message().c_str());
+      continue;
+    }
     std::printf("%-4d %-12.2f %-10.2f %-14.2f %-10.2f\n", candidate.k,
                 candidate.sse, 100.0 * candidate.accuracy,
                 100.0 * candidate.avg_precision,
@@ -89,6 +95,7 @@ int Run() {
   // classifier-based assessment is needed.
   std::vector<cluster::SsePoint> sweep;
   for (const auto& candidate : result->candidates) {
+    if (candidate.skipped()) continue;
     sweep.push_back({candidate.k, candidate.sse});
   }
   auto elbow = cluster::AnalyzeElbow(sweep);
@@ -103,6 +110,16 @@ int Run() {
               result->best_k());
   std::printf("paper reference: SSE monotone decreasing; metrics peak at "
               "K = 8; paper selects K = 8\n");
+
+  // Machine-readable runtime report: every stage recorded into the
+  // default registry during the sweep.
+  const common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
+  std::printf("\n--- metrics report (JSON) ---\n%s\n",
+              metrics.ToJson().Pretty().c_str());
+  const std::string metrics_path = "bench_table1_metrics.json";
+  if (metrics.WriteJsonFile(metrics_path).ok()) {
+    std::printf("[table1] metrics written to %s\n", metrics_path.c_str());
+  }
   std::printf("[table1] total time: %.1f s\n\n", timer.ElapsedSeconds());
   return 0;
 }

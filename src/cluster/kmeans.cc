@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace adahealth {
 namespace cluster {
@@ -122,12 +123,17 @@ void RecomputeCentroids(const Matrix& data,
     }
   }
   // Re-seed empty clusters with the point farthest from its centroid so
-  // that every cluster stays non-empty.
+  // that every cluster stays non-empty. Each donor point may seed only
+  // one cluster, and donating decrements its cluster's count, so two
+  // clusters emptied in the same iteration get distinct seeds.
+  std::vector<bool> consumed;
   for (size_t c = 0; c < k; ++c) {
     if (counts[c] != 0) continue;
+    if (consumed.empty()) consumed.assign(data.rows(), false);
     double worst = -1.0;
     size_t worst_point = 0;
     for (size_t i = 0; i < data.rows(); ++i) {
+      if (consumed[i]) continue;
       size_t assigned = static_cast<size_t>(assignments[i]);
       if (counts[assigned] <= 1) continue;  // Don't empty another cluster.
       double d = SquaredDistance(data.Row(i), centroids.Row(assigned));
@@ -140,6 +146,12 @@ void RecomputeCentroids(const Matrix& data,
       std::span<const double> src = data.Row(worst_point);
       std::span<double> dst = centroids.Row(c);
       std::copy(src.begin(), src.end(), dst.begin());
+      consumed[worst_point] = true;
+      --counts[static_cast<size_t>(assignments[worst_point])];
+      counts[c] = 1;
+      common::MetricsRegistry::Default()
+          .GetCounter("kmeans/reseeded_clusters")
+          .Increment();
     }
   }
 }
@@ -174,10 +186,18 @@ StatusOr<Clustering> RunKMeans(const Matrix& data,
   result.k = options.k;
   result.centroids = InitializeCentroids(data, options.k, options.init, rng);
 
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
+  common::WallTimer assign_timer;
+  double assign_seconds = 0.0;
+  int64_t assign_passes = 0;
+
   std::vector<int32_t> previous;
   for (int32_t iter = 0; iter < options.max_iterations; ++iter) {
+    assign_timer.Restart();
     result.sse = AssignToCentroids(data, result.centroids,
                                    result.assignments);
+    assign_seconds += assign_timer.ElapsedSeconds();
+    ++assign_passes;
     result.iterations = iter + 1;
     if (result.assignments == previous) {
       result.converged = true;
@@ -186,9 +206,22 @@ StatusOr<Clustering> RunKMeans(const Matrix& data,
     previous = result.assignments;
     RecomputeCentroids(data, result.assignments, result.centroids);
   }
-  // Final assignment against the last centroids (keeps sse consistent
-  // with assignments/centroids on non-converged exits).
-  result.sse = AssignToCentroids(data, result.centroids, result.assignments);
+  if (!result.converged) {
+    // The loop exited after a RecomputeCentroids, so assignments/sse are
+    // stale; re-assign against the final centroids. On a converged exit
+    // the assignment is already consistent and re-running it would just
+    // repeat an identical full-data pass.
+    assign_timer.Restart();
+    result.sse = AssignToCentroids(data, result.centroids,
+                                   result.assignments);
+    assign_seconds += assign_timer.ElapsedSeconds();
+    ++assign_passes;
+  }
+
+  metrics.GetCounter("kmeans/runs").Increment();
+  metrics.GetCounter("kmeans/iterations").Increment(result.iterations);
+  metrics.GetCounter("kmeans/assign_passes").Increment(assign_passes);
+  metrics.GetHistogram("kmeans/assign_seconds").Record(assign_seconds);
   return result;
 }
 

@@ -1,0 +1,128 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/csv.h"
+
+namespace adahealth {
+namespace common {
+
+double LatencyHistogram::BucketUpperBound(size_t b) {
+  // Buckets 0..8 end at 1e-6, 1e-5, ..., 1e2 seconds; bucket 9 is open.
+  if (b >= kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+  return std::pow(10.0, static_cast<double>(b) - 6.0);
+}
+
+void LatencyHistogram::Record(double seconds) {
+  size_t bucket = 0;
+  while (bucket < kNumBuckets - 1 && seconds > BucketUpperBound(bucket)) {
+    ++bucket;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_.count == 0) {
+    state_.min_seconds = seconds;
+    state_.max_seconds = seconds;
+  } else {
+    state_.min_seconds = std::min(state_.min_seconds, seconds);
+    state_.max_seconds = std::max(state_.max_seconds, seconds);
+  }
+  ++state_.count;
+  state_.total_seconds += seconds;
+  ++state_.buckets[bucket];
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+void LatencyHistogram::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_ = Snapshot{};
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+LatencyHistogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<LatencyHistogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+Json MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Json::Object counters;
+  for (const auto& [name, counter] : counters_) {
+    counters[name] = Json(counter->value());
+  }
+  Json::Object gauges;
+  for (const auto& [name, gauge] : gauges_) {
+    gauges[name] = Json(gauge->value());
+  }
+  Json::Object histograms;
+  for (const auto& [name, histogram] : histograms_) {
+    LatencyHistogram::Snapshot snapshot = histogram->snapshot();
+    Json::Object entry;
+    entry["count"] = Json(snapshot.count);
+    entry["total_seconds"] = Json(snapshot.total_seconds);
+    entry["min_seconds"] = Json(snapshot.min_seconds);
+    entry["max_seconds"] = Json(snapshot.max_seconds);
+    entry["mean_seconds"] = Json(snapshot.mean_seconds());
+    Json::Array buckets;
+    for (size_t b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+      buckets.push_back(Json(snapshot.buckets[b]));
+    }
+    entry["buckets"] = Json(std::move(buckets));
+    histograms[name] = Json(std::move(entry));
+  }
+  Json::Object root;
+  root["counters"] = Json(std::move(counters));
+  root["gauges"] = Json(std::move(gauges));
+  root["histograms"] = Json(std::move(histograms));
+  return Json(std::move(root));
+}
+
+Status MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  return WriteStringToFile(path, ToJson().Pretty() + "\n");
+}
+
+}  // namespace common
+}  // namespace adahealth

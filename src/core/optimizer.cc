@@ -5,6 +5,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "ml/cross_validation.h"
 #include "ml/decision_tree.h"
@@ -39,6 +40,8 @@ ml::ClassifierFactory MakeFactory(RobustnessModel model) {
 /// that re-predicts the cluster labels from the same features.
 StatusOr<CandidateEvaluation> EvaluateCandidate(
     const Matrix& data, int32_t k, const OptimizerOptions& options) {
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
+  common::ScopedTimer eval_timer(metrics, "optimizer/candidate_eval_seconds");
   CandidateEvaluation evaluation;
   evaluation.k = k;
 
@@ -46,18 +49,23 @@ StatusOr<CandidateEvaluation> EvaluateCandidate(
   kmeans.k = k;
   StatusOr<cluster::Clustering> best =
       common::InternalError("no restart succeeded");
-  for (int32_t restart = 0; restart < options.restarts; ++restart) {
-    kmeans.seed = options.seed + static_cast<uint64_t>(k) * 104729 +
-                  static_cast<uint64_t>(restart) * 15485863;
-    auto clustering = cluster::RunKMeans(data, kmeans);
-    if (!clustering.ok()) return clustering.status();
-    if (!best.ok() || clustering->sse < best->sse) {
-      best = std::move(clustering);
+  {
+    common::ScopedTimer kmeans_timer(metrics, "optimizer/kmeans_seconds");
+    for (int32_t restart = 0; restart < options.restarts; ++restart) {
+      kmeans.seed = options.seed + static_cast<uint64_t>(k) * 104729 +
+                    static_cast<uint64_t>(restart) * 15485863;
+      auto clustering = cluster::RunKMeans(data, kmeans);
+      if (!clustering.ok()) return clustering.status();
+      if (!best.ok() || clustering->sse < best->sse) {
+        best = std::move(clustering);
+      }
+      metrics.GetCounter("optimizer/restarts").Increment();
     }
   }
   evaluation.sse = best->sse;
   evaluation.clustering = std::move(best).value();
 
+  common::ScopedTimer cv_timer(metrics, "optimizer/cv_seconds");
   auto report = ml::CrossValidate(
       data, evaluation.clustering.assignments, k, options.cv_folds,
       options.seed + static_cast<uint64_t>(k), MakeFactory(options.model));
@@ -116,16 +124,36 @@ StatusOr<OptimizerResult> OptimizeClustering(
     });
   }
 
+  // A candidate whose evaluation fails (e.g. a cluster too small for
+  // cv_folds-stratified CV) is recorded as skipped instead of failing
+  // the whole sweep; the sweep errors only when nothing was evaluated.
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
   OptimizerResult result;
   result.candidates.reserve(num_candidates);
   double best_composite = -1.0;
+  size_t num_evaluated = 0;
   for (size_t i = 0; i < num_candidates; ++i) {
-    if (!evaluations[i].ok()) return evaluations[i].status();
-    result.candidates.push_back(std::move(evaluations[i]).value());
-    if (result.candidates.back().composite > best_composite) {
+    CandidateEvaluation candidate;
+    if (evaluations[i].ok()) {
+      candidate = std::move(evaluations[i]).value();
+      ++num_evaluated;
+    } else {
+      candidate.k = options.candidate_ks[i];
+      candidate.status = evaluations[i].status();
+      metrics.GetCounter("optimizer/candidates_skipped").Increment();
+    }
+    metrics.GetCounter("optimizer/candidates").Increment();
+    result.candidates.push_back(std::move(candidate));
+    if (result.candidates.back().status.ok() &&
+        result.candidates.back().composite > best_composite) {
       best_composite = result.candidates.back().composite;
       result.best_index = i;
     }
+  }
+  if (num_evaluated == 0) {
+    return common::FailedPreconditionError(
+        "every candidate K failed; first error: " +
+        result.candidates.front().status.ToString());
   }
   return result;
 }

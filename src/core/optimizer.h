@@ -50,6 +50,11 @@ struct OptimizerOptions {
 /// Per-candidate measurements (one Table I row).
 struct CandidateEvaluation {
   int32_t k = 0;
+  /// OK when the candidate was evaluated; the failure reason when it
+  /// was skipped (e.g. a cluster too small for cv_folds-stratified CV).
+  /// Skipped candidates keep their slot with zeroed metrics so
+  /// `candidates[i].k == candidate_ks[i]` always holds.
+  common::Status status;
   double sse = 0.0;
   double accuracy = 0.0;
   double avg_precision = 0.0;
@@ -57,15 +62,25 @@ struct CandidateEvaluation {
   /// Composite selection score: mean of the three CV metrics.
   double composite = 0.0;
   cluster::Clustering clustering;
+
+  bool skipped() const { return !status.ok(); }
 };
 
 struct OptimizerResult {
   std::vector<CandidateEvaluation> candidates;  // In candidate_ks order.
+  /// Index of the best *evaluated* candidate (never a skipped one).
   size_t best_index = 0;
 
   int32_t best_k() const { return candidates[best_index].k; }
   const CandidateEvaluation& best() const {
     return candidates[best_index];
+  }
+  size_t num_skipped() const {
+    size_t skipped = 0;
+    for (const CandidateEvaluation& candidate : candidates) {
+      if (candidate.skipped()) ++skipped;
+    }
+    return skipped;
   }
 };
 

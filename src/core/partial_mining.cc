@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "cluster/quality.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "transform/feature_select.h"
 #include "transform/sampling.h"
@@ -120,8 +121,10 @@ StatusOr<PartialMiningResult> RunExamSubsetPartialMining(
   // FilterExamTypes preserves all patients, so row i of the reduced
   // VSM is the same patient as row i of the full VSM.
   transform::Matrix full_vsm = BuildVsm(log, options.vsm);
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
   std::vector<std::vector<double>> similarities;
   for (const auto& subset : schedule.value()) {
+    common::ScopedTimer step_timer(metrics, "partial_mining/step_seconds");
     ExamLog reduced = log.FilterExamTypes(subset.mask);
     transform::Matrix reduced_vsm = BuildVsm(reduced, options.vsm);
     auto sims = SimilarityPerK(reduced_vsm, full_vsm, options);
@@ -132,6 +135,7 @@ StatusOr<PartialMiningResult> RunExamSubsetPartialMining(
     step.overall_similarity = sims.value();
     similarities.push_back(std::move(sims).value());
     result.steps.push_back(std::move(step));
+    metrics.GetCounter("partial_mining/steps").Increment();
   }
   const std::vector<double>& full = similarities.back();
   for (size_t i = 0; i < result.steps.size(); ++i) {
@@ -139,6 +143,10 @@ StatusOr<PartialMiningResult> RunExamSubsetPartialMining(
         MeanRelativeDiff(similarities[i], full);
   }
   result.selected_step = SelectStep(result.steps, options.tolerance);
+  metrics.GetGauge("partial_mining/selected_fraction")
+      .Set(result.steps[result.selected_step].fraction);
+  metrics.GetGauge("partial_mining/stop_step")
+      .Set(static_cast<double>(result.selected_step));
   return result;
 }
 
@@ -157,8 +165,10 @@ StatusOr<PartialMiningResult> RunPatientSubsetPartialMining(
 
   PartialMiningResult result;
   result.ks = options.ks;
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
   std::vector<std::vector<double>> similarities;
   for (size_t s = 0; s < schedule->size(); ++s) {
+    common::ScopedTimer step_timer(metrics, "partial_mining/step_seconds");
     ExamLog reduced = log.FilterPatients((*schedule)[s]);
     transform::Matrix reduced_vsm = BuildVsm(reduced, options.vsm);
     auto sims = SimilarityPerK(reduced_vsm, reduced_vsm, options);
@@ -173,8 +183,13 @@ StatusOr<PartialMiningResult> RunPatientSubsetPartialMining(
         s == 0 ? 1.0 : MeanRelativeDiff(sims.value(), similarities.back());
     similarities.push_back(std::move(sims).value());
     result.steps.push_back(std::move(step));
+    metrics.GetCounter("partial_mining/steps").Increment();
   }
   result.selected_step = SelectStep(result.steps, options.tolerance);
+  metrics.GetGauge("partial_mining/selected_fraction")
+      .Set(result.steps[result.selected_step].fraction);
+  metrics.GetGauge("partial_mining/stop_step")
+      .Set(static_cast<double>(result.selected_step));
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include "cluster/outliers.h"
 #include "cluster/profiles.h"
 #include "cluster/quality.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "patterns/fpgrowth.h"
 #include "transform/feature_select.h"
@@ -114,8 +115,13 @@ StatusOr<SessionResult> AnalysisSession::Run(const ExamLog& log,
                                              const dataset::Taxonomy* taxonomy,
                                              const SessionOptions& options) {
   SessionResult result;
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
+  metrics.GetCounter("session/runs").Increment();
+  common::ScopedTimer session_timer(metrics, "session/total_seconds");
 
   // 1. Characterization (K-DB collections 1 and 3).
+  common::ScopedTimer characterize_timer(metrics,
+                                         "session/characterize_seconds");
   result.characterization = Characterize(log);
   if (options.store_raw_dataset) {
     kdb::Document raw;
@@ -124,19 +130,26 @@ StatusOr<SessionResult> AnalysisSession::Run(const ExamLog& log,
     db_->GetOrCreate(kdb::Schema::kRawDatasets).Insert(std::move(raw));
   }
   StoreCharacterization(result.characterization, options.dataset_id, *db_);
+  characterize_timer.Stop();
 
   // 2. Transformation selection.
+  common::ScopedTimer transform_timer(metrics,
+                                      "session/transform_select_seconds");
   auto transform_selection = SelectTransformation(log, options.transform);
   if (!transform_selection.ok()) return transform_selection.status();
   result.transform = std::move(transform_selection).value();
+  transform_timer.Stop();
 
   // 3. Adaptive partial mining: pick the smallest exam subset whose
   // clustering quality matches the full data within tolerance.
+  common::ScopedTimer partial_timer(metrics,
+                                    "session/partial_mining_seconds");
   PartialMiningOptions partial = options.partial;
   partial.vsm = result.transform.best();
   auto partial_result = RunExamSubsetPartialMining(log, partial);
   if (!partial_result.ok()) return partial_result.status();
   result.partial = std::move(partial_result).value();
+  partial_timer.Stop();
   const PartialMiningStep& selected =
       result.partial.steps[result.partial.selected_step];
   ExamLog mining_log = log.FilterExamTypes(
@@ -161,12 +174,15 @@ StatusOr<SessionResult> AnalysisSession::Run(const ExamLog& log,
   }
 
   // 4. Algorithm optimization on the selected subset (Table I).
+  common::ScopedTimer optimize_timer(metrics, "session/optimize_seconds");
   transform::Matrix vsm = BuildVsm(mining_log, result.transform.best());
   auto optimized = OptimizeClustering(vsm, options.optimizer);
   if (!optimized.ok()) return optimized.status();
   result.optimizer = std::move(optimized).value();
+  optimize_timer.Stop();
 
   // 5. Knowledge extraction.
+  common::ScopedTimer knowledge_timer(metrics, "session/knowledge_seconds");
   std::vector<KnowledgeItem> knowledge = ClusterKnowledgeItems(
       mining_log, vsm, result.optimizer.best().clustering);
   for (KnowledgeItem& item :
@@ -253,8 +269,11 @@ StatusOr<SessionResult> AnalysisSession::Run(const ExamLog& log,
     }
   }
 
+  knowledge_timer.Stop();
+
   // 6. Store all items (collection 4), rank, store the manageable
   // selected subset (collection 5).
+  common::ScopedTimer store_timer(metrics, "session/store_seconds");
   kdb::Collection& item_collection =
       db_->GetOrCreate(kdb::Schema::kKnowledgeItems);
   for (const KnowledgeItem& item : knowledge) {
@@ -278,6 +297,7 @@ StatusOr<SessionResult> AnalysisSession::Run(const ExamLog& log,
     document.Set("item", result.knowledge[i].ToJson());
     selected_collection.Insert(std::move(document));
   }
+  store_timer.Stop();
 
   result.summary = common::StrFormat(
       "ADA-HEALTH session '%s'\n"

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace adahealth {
 namespace kdb {
@@ -11,7 +12,16 @@ using common::Json;
 using common::Status;
 using common::StatusOr;
 
+namespace {
+
+common::Counter& KdbCounter(const char* name) {
+  return common::MetricsRegistry::Default().GetCounter(name);
+}
+
+}  // namespace
+
 DocumentId Collection::Insert(Document document) {
+  KdbCounter("kdb/inserts").Increment();
   DocumentId id = next_id_++;
   document.set_id(id);
   size_t position = documents_.size();
@@ -49,6 +59,7 @@ StatusOr<Document> Collection::FindById(DocumentId id) const {
 
 std::vector<Document> Collection::Find(const Query& query,
                                        size_t limit) const {
+  KdbCounter("kdb/queries").Increment();
   std::vector<Document> matches;
 
   // Try an indexed equality condition first.
@@ -56,6 +67,7 @@ std::vector<Document> Collection::Find(const Query& query,
     if (condition.op != QueryOp::kEq) continue;
     auto index_it = indexes_.find(condition.path);
     if (index_it == indexes_.end()) continue;
+    KdbCounter("kdb/index_lookups").Increment();
     auto bucket_it = index_it->second.find(condition.value.Dump());
     if (bucket_it == index_it->second.end()) return matches;
     for (size_t position : bucket_it->second) {
@@ -90,6 +102,7 @@ size_t Collection::Count(const Query& query) const {
 }
 
 Status Collection::UpdateById(DocumentId id, const Json& fields) {
+  KdbCounter("kdb/updates").Increment();
   if (!fields.is_object()) {
     return common::InvalidArgumentError("update fields must be an object");
   }
@@ -108,6 +121,7 @@ Status Collection::UpdateById(DocumentId id, const Json& fields) {
 }
 
 Status Collection::DeleteById(DocumentId id) {
+  KdbCounter("kdb/deletes").Increment();
   auto it = id_to_position_.find(id);
   if (it == id_to_position_.end()) {
     return common::NotFoundError("no document with _id " +

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+
 namespace adahealth {
 namespace ml {
 
@@ -29,6 +31,17 @@ StatusOr<std::vector<Fold>> StratifiedKFold(
       return common::InvalidArgumentError("label outside [0, num_classes)");
     }
     by_class[static_cast<size_t>(labels[i])].push_back(i);
+  }
+  // Stratification is degenerate when a present class has fewer members
+  // than folds: it cannot appear in every fold's test set, so the
+  // per-fold class proportions the estimate relies on are unattainable.
+  for (const auto& bucket : by_class) {
+    if (!bucket.empty() && bucket.size() < static_cast<size_t>(num_folds)) {
+      return common::InvalidArgumentError(
+          "degenerate fold (class with " + std::to_string(bucket.size()) +
+          " members cannot be stratified into " +
+          std::to_string(num_folds) + " folds)");
+    }
   }
   common::Rng rng(seed);
   std::vector<std::vector<size_t>> fold_members(
@@ -76,6 +89,7 @@ StatusOr<ClassificationReport> CrossValidate(
   pooled_truth.reserve(labels.size());
   pooled_predicted.reserve(labels.size());
 
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
   for (const Fold& fold : folds_or.value()) {
     Matrix train = features.SelectRows(fold.train_ids);
     std::vector<int32_t> train_labels(fold.train_ids.size());
@@ -83,12 +97,19 @@ StatusOr<ClassificationReport> CrossValidate(
       train_labels[i] = labels[fold.train_ids[i]];
     }
     std::unique_ptr<Classifier> model = factory();
-    common::Status fit_status = model->Fit(train, train_labels, num_classes);
+    common::Status fit_status;
+    {
+      common::ScopedTimer fit_timer(metrics, "cv/fold_fit_seconds");
+      fit_status = model->Fit(train, train_labels, num_classes);
+    }
     if (!fit_status.ok()) return fit_status;
+    common::ScopedTimer predict_timer(metrics, "cv/fold_predict_seconds");
     for (size_t id : fold.test_ids) {
       pooled_truth.push_back(labels[id]);
       pooled_predicted.push_back(model->Predict(features.Row(id)));
     }
+    predict_timer.Stop();
+    metrics.GetCounter("cv/folds").Increment();
   }
   return EvaluateClassification(pooled_truth, pooled_predicted, num_classes);
 }

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace adahealth {
 namespace patterns {
@@ -60,6 +61,9 @@ common::StatusOr<std::vector<FrequentItemset>> MineApriori(
   }
 
   std::vector<FrequentItemset> result;
+  int64_t candidates_generated = 0;
+  int64_t pruned_by_subset = 0;
+  int64_t pruned_by_support = 0;
 
   // Level 1: frequent single items.
   std::map<ItemId, int64_t> singleton_counts;
@@ -94,8 +98,11 @@ common::StatusOr<std::vector<FrequentItemset>> MineApriori(
         }
         std::vector<ItemId> candidate = a;
         candidate.push_back(b.back());
+        ++candidates_generated;
         if (AllSubsetsFrequent(candidate, current_level)) {
           candidates.push_back(std::move(candidate));
+        } else {
+          ++pruned_by_subset;
         }
       }
     }
@@ -115,11 +122,23 @@ common::StatusOr<std::vector<FrequentItemset>> MineApriori(
       if (counts[c] >= options.min_support_count) {
         result.push_back({candidates[c], counts[c]});
         next_level.push_back(std::move(candidates[c]));
+      } else {
+        ++pruned_by_support;
       }
     }
     std::sort(next_level.begin(), next_level.end());
     current_level = std::move(next_level);
   }
+
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
+  metrics.GetCounter("patterns/apriori/candidates")
+      .Increment(candidates_generated);
+  metrics.GetCounter("patterns/apriori/pruned_by_subset")
+      .Increment(pruned_by_subset);
+  metrics.GetCounter("patterns/apriori/pruned_by_support")
+      .Increment(pruned_by_support);
+  metrics.GetCounter("patterns/apriori/frequent_itemsets")
+      .Increment(static_cast<int64_t>(result.size()));
 
   SortCanonical(result);
   return result;

@@ -3,6 +3,8 @@
 #include <bit>
 #include <map>
 
+#include "common/metrics.h"
+
 namespace adahealth {
 namespace patterns {
 
@@ -36,7 +38,8 @@ struct Column {
 /// ascending-item order.
 void Search(const std::vector<Column>& columns,
             std::vector<ItemId>& prefix, int64_t min_support,
-            size_t max_size, std::vector<FrequentItemset>& out) {
+            size_t max_size, std::vector<FrequentItemset>& out,
+            int64_t& intersections) {
   for (size_t i = 0; i < columns.size(); ++i) {
     prefix.push_back(columns[i].item);
     out.push_back({prefix, columns[i].support});
@@ -44,6 +47,7 @@ void Search(const std::vector<Column>& columns,
       std::vector<Column> conditional;
       for (size_t j = i + 1; j < columns.size(); ++j) {
         TidSet joint = Intersect(columns[i].tids, columns[j].tids);
+        ++intersections;
         int64_t support = Popcount(joint);
         if (support >= min_support) {
           conditional.push_back(
@@ -51,7 +55,8 @@ void Search(const std::vector<Column>& columns,
         }
       }
       if (!conditional.empty()) {
-        Search(conditional, prefix, min_support, max_size, out);
+        Search(conditional, prefix, min_support, max_size, out,
+               intersections);
       }
     }
     prefix.pop_back();
@@ -86,8 +91,14 @@ common::StatusOr<std::vector<FrequentItemset>> MineEclat(
 
   std::vector<FrequentItemset> result;
   std::vector<ItemId> prefix;
+  int64_t intersections = 0;
   Search(columns, prefix, options.min_support_count,
-         options.max_itemset_size, result);
+         options.max_itemset_size, result, intersections);
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
+  metrics.GetCounter("patterns/eclat/intersections")
+      .Increment(intersections);
+  metrics.GetCounter("patterns/eclat/frequent_itemsets")
+      .Increment(static_cast<int64_t>(result.size()));
   SortCanonical(result);
   return result;
 }

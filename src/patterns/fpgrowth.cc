@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace adahealth {
 namespace patterns {
@@ -208,6 +209,11 @@ common::StatusOr<std::vector<FrequentItemset>> MineFpGrowth(
   std::vector<FrequentItemset> result;
   Grow(tree, {}, options.min_support_count, options.max_itemset_size,
        result);
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
+  metrics.GetCounter("patterns/fpgrowth/tree_nodes")
+      .Increment(static_cast<int64_t>(tree.nodes.size()) - 1);
+  metrics.GetCounter("patterns/fpgrowth/frequent_itemsets")
+      .Increment(static_cast<int64_t>(result.size()));
   SortCanonical(result);
   return result;
 }

@@ -71,6 +71,27 @@ TEST(StratifiedKFoldTest, RejectsBadArguments) {
   EXPECT_FALSE(StratifiedKFold({0, 3}, 2, 2, 1).ok());
 }
 
+TEST(StratifiedKFoldTest, RejectsClassSmallerThanFoldCount) {
+  // Class 1 has two members: it cannot appear in each of 5 test folds.
+  std::vector<int32_t> labels(20, 0);
+  labels[3] = 1;
+  labels[11] = 1;
+  auto folds = StratifiedKFold(labels, 2, 5, 41);
+  ASSERT_FALSE(folds.ok());
+  EXPECT_EQ(folds.status().code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST(StratifiedKFoldTest, EmptyClassIsAllowed) {
+  // num_classes = 3 but class 2 never occurs; stratification over the
+  // present classes still works.
+  std::vector<int32_t> labels;
+  for (int i = 0; i < 10; ++i) labels.push_back(0);
+  for (int i = 0; i < 10; ++i) labels.push_back(1);
+  auto folds = StratifiedKFold(labels, 3, 5, 43);
+  ASSERT_TRUE(folds.ok());
+  EXPECT_EQ(folds->size(), 5u);
+}
+
 TEST(CrossValidateTest, NearPerfectOnSeparableData) {
   test::Blobs blobs = test::MakeBlobs(
       {{0.0, 0.0}, {8.0, 8.0}}, 50, 0.5, 23);

@@ -3,6 +3,7 @@
 #include <set>
 
 #include <gtest/gtest.h>
+#include "common/metrics.h"
 #include "test_util.h"
 
 namespace adahealth {
@@ -149,6 +150,77 @@ TEST(KMeansTest, InvalidArgumentsRejected) {
   options.max_iterations = 0;
   EXPECT_FALSE(RunKMeans(points, options).ok());
   EXPECT_FALSE(RunKMeans(Matrix(), options).ok());
+}
+
+TEST(KMeansTest, TwoEmptyClustersReseedWithDistinctPoints) {
+  // Clusters 0 and 1 hold two points each; clusters 2 and 3 are empty.
+  // Both reseed scans would pick the same globally-farthest point if
+  // the donor were not marked as consumed after the first reseed.
+  Matrix points(4, 1);
+  points.At(0, 0) = 0.0;
+  points.At(1, 0) = 10.0;
+  points.At(2, 0) = 100.0;
+  points.At(3, 0) = 101.0;
+  std::vector<int32_t> assignments{0, 0, 1, 1};
+  Matrix centroids(4, 1, 0.0);
+  RecomputeCentroids(points, assignments, centroids);
+  // Non-empty clusters keep their means.
+  EXPECT_NEAR(centroids.At(0, 0), 5.0, 1e-12);
+  EXPECT_NEAR(centroids.At(1, 0), 100.5, 1e-12);
+  // The two reseeded centroids must be distinct data points.
+  EXPECT_NE(centroids.At(2, 0), centroids.At(3, 0));
+}
+
+TEST(KMeansTest, ConvergedRunSkipsRedundantFinalAssignment) {
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
+  metrics.Reset();
+  test::Blobs blobs = MakeBlobs({{0.0, 0.0}, {10.0, 10.0}}, 30, 0.4, 23);
+  KMeansOptions options;
+  options.k = 2;
+  auto clustering = RunKMeans(blobs.points, options);
+  ASSERT_TRUE(clustering.ok());
+  ASSERT_TRUE(clustering->converged);
+  // A converged run needs exactly one full-data assignment pass per
+  // iteration — no extra pass after the loop.
+  EXPECT_EQ(metrics.GetCounter("kmeans/assign_passes").value(),
+            clustering->iterations);
+  // SSE stays consistent with the returned assignments/centroids.
+  double sse = 0.0;
+  for (size_t i = 0; i < blobs.points.rows(); ++i) {
+    sse += transform::SquaredDistance(
+        blobs.points.Row(i),
+        clustering->centroids.Row(
+            static_cast<size_t>(clustering->assignments[i])));
+  }
+  EXPECT_NEAR(sse, clustering->sse, 1e-9);
+}
+
+TEST(KMeansTest, NonConvergedRunReassignsAgainstFinalCentroids) {
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
+  metrics.Reset();
+  test::Blobs blobs = MakeBlobs(
+      {{0.0, 0.0}, {3.0, 0.0}, {0.0, 3.0}, {3.0, 3.0}}, 30, 1.5, 29);
+  KMeansOptions options;
+  options.k = 4;
+  options.max_iterations = 2;  // Force a non-converged exit.
+  auto clustering = RunKMeans(blobs.points, options);
+  ASSERT_TRUE(clustering.ok());
+  ASSERT_FALSE(clustering->converged);
+  EXPECT_EQ(metrics.GetCounter("kmeans/assign_passes").value(),
+            clustering->iterations + 1);
+  // The final assignment is consistent with the final centroids.
+  for (size_t i = 0; i < blobs.points.rows(); ++i) {
+    double assigned = transform::SquaredDistance(
+        blobs.points.Row(i),
+        clustering->centroids.Row(
+            static_cast<size_t>(clustering->assignments[i])));
+    for (size_t c = 0; c < clustering->centroids.rows(); ++c) {
+      EXPECT_LE(assigned, transform::SquaredDistance(
+                              blobs.points.Row(i),
+                              clustering->centroids.Row(c)) +
+                              1e-9);
+    }
+  }
 }
 
 TEST(ClusterSizesTest, CountsPerCluster) {

@@ -1,0 +1,149 @@
+#include "common/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "common/json.h"
+#include "common/thread_pool.h"
+
+namespace adahealth {
+namespace common {
+namespace {
+
+TEST(CounterTest, IncrementsAndResets) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge gauge;
+  gauge.Set(1.5);
+  gauge.Set(-3.25);
+  EXPECT_DOUBLE_EQ(gauge.value(), -3.25);
+}
+
+TEST(LatencyHistogramTest, TracksCountTotalMinMax) {
+  LatencyHistogram histogram;
+  histogram.Record(0.5);
+  histogram.Record(0.1);
+  histogram.Record(2.0);
+  LatencyHistogram::Snapshot snapshot = histogram.snapshot();
+  EXPECT_EQ(snapshot.count, 3);
+  EXPECT_DOUBLE_EQ(snapshot.total_seconds, 2.6);
+  EXPECT_DOUBLE_EQ(snapshot.min_seconds, 0.1);
+  EXPECT_DOUBLE_EQ(snapshot.max_seconds, 2.0);
+  EXPECT_NEAR(snapshot.mean_seconds(), 2.6 / 3.0, 1e-12);
+}
+
+TEST(LatencyHistogramTest, SamplesLandInDecadeBuckets) {
+  LatencyHistogram histogram;
+  histogram.Record(5e-7);  // <= 1us -> bucket 0.
+  histogram.Record(5e-4);  // (1e-4, 1e-3] -> bucket 3.
+  histogram.Record(1e9);   // Overflow -> last bucket.
+  LatencyHistogram::Snapshot snapshot = histogram.snapshot();
+  EXPECT_EQ(snapshot.buckets[0], 1);
+  EXPECT_EQ(snapshot.buckets[3], 1);
+  EXPECT_EQ(snapshot.buckets[LatencyHistogram::kNumBuckets - 1], 1);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("x");
+  Counter& b = registry.GetCounter("x");
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  EXPECT_EQ(b.value(), 1);
+  // Counters, gauges and histograms live in separate namespaces.
+  registry.GetGauge("x").Set(2.0);
+  EXPECT_EQ(registry.GetCounter("x").value(), 1);
+}
+
+TEST(MetricsRegistryTest, CountersBumpedFromThreadPoolWorkers) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("pool/increments");
+  LatencyHistogram& histogram = registry.GetHistogram("pool/latency");
+  constexpr size_t kTasks = 4000;
+  ThreadPool pool(8);
+  ParallelFor(pool, 0, kTasks, [&](size_t i) {
+    counter.Increment();
+    histogram.Record(static_cast<double>(i % 7) * 1e-4);
+    // Concurrent first-touch creation must also be safe.
+    registry.GetCounter("pool/created_concurrently").Increment();
+  });
+  EXPECT_EQ(counter.value(), static_cast<int64_t>(kTasks));
+  EXPECT_EQ(histogram.count(), static_cast<int64_t>(kTasks));
+  EXPECT_EQ(registry.GetCounter("pool/created_concurrently").value(),
+            static_cast<int64_t>(kTasks));
+}
+
+TEST(ScopedTimerTest, AccumulatesOneSamplePerScope) {
+  MetricsRegistry registry;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    ScopedTimer timer(registry, "scope_seconds");
+  }
+  LatencyHistogram::Snapshot snapshot =
+      registry.GetHistogram("scope_seconds").snapshot();
+  EXPECT_EQ(snapshot.count, 3);
+  EXPECT_GE(snapshot.total_seconds, 0.0);
+  EXPECT_LE(snapshot.min_seconds, snapshot.max_seconds);
+}
+
+TEST(ScopedTimerTest, StopRecordsOnceAndDetaches) {
+  MetricsRegistry registry;
+  {
+    ScopedTimer timer(registry, "stop_seconds");
+    double elapsed = timer.Stop();
+    EXPECT_GE(elapsed, 0.0);
+    EXPECT_EQ(timer.Stop(), 0.0);  // Second Stop is a no-op.
+  }  // Destruction after Stop must not record again.
+  EXPECT_EQ(registry.GetHistogram("stop_seconds").count(), 1);
+}
+
+TEST(MetricsRegistryTest, JsonExportRoundTrips) {
+  MetricsRegistry registry;
+  registry.GetCounter("kmeans/iterations").Increment(17);
+  registry.GetGauge("partial_mining/selected_fraction").Set(0.4);
+  registry.GetHistogram("session/total_seconds").Record(0.25);
+
+  std::string dumped = registry.ToJson().Dump();
+  auto parsed = Json::Parse(dumped);
+  ASSERT_TRUE(parsed.ok());
+  const Json* counters = parsed->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->Find("kmeans/iterations")->AsInt(), 17);
+  const Json* gauges = parsed->Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(
+      gauges->Find("partial_mining/selected_fraction")->AsDouble(), 0.4);
+  const Json* histograms = parsed->Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const Json* session = histograms->Find("session/total_seconds");
+  ASSERT_NE(session, nullptr);
+  EXPECT_EQ(session->Find("count")->AsInt(), 1);
+  EXPECT_DOUBLE_EQ(session->Find("total_seconds")->AsDouble(), 0.25);
+  EXPECT_EQ(session->Find("buckets")->AsArray().size(),
+            LatencyHistogram::kNumBuckets);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesValuesButKeepsReferencesValid) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("c");
+  LatencyHistogram& histogram = registry.GetHistogram("h");
+  counter.Increment(5);
+  histogram.Record(1.0);
+  registry.Reset();
+  EXPECT_EQ(counter.value(), 0);
+  EXPECT_EQ(histogram.count(), 0);
+  counter.Increment();  // The pre-Reset reference still works.
+  EXPECT_EQ(registry.GetCounter("c").value(), 1);
+}
+
+}  // namespace
+}  // namespace common
+}  // namespace adahealth

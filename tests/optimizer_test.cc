@@ -127,6 +127,56 @@ TEST(OptimizerTest, RecoversProfileCountOnSyntheticCohort) {
   EXPECT_GT(composite4, composite12);
 }
 
+// Two tight far-apart blobs plus a pair of points midway between
+// them. At K = 2 the pair is absorbed by a blob and both clusters are
+// CV-sized; at K = 3 the pair becomes its own 2-member cluster, which
+// cannot be stratified into 5 CV folds.
+test::Blobs BlobsWithTinyMiddleCluster() {
+  test::Blobs blobs = test::MakeBlobs(
+      {{0.0, 0.0}, {20.0, 0.0}}, 15, 0.3, 85);
+  transform::Matrix points(blobs.points.rows() + 2, 2);
+  for (size_t i = 0; i < blobs.points.rows(); ++i) {
+    points.At(i, 0) = blobs.points.At(i, 0);
+    points.At(i, 1) = blobs.points.At(i, 1);
+  }
+  points.At(blobs.points.rows(), 0) = 10.0;
+  points.At(blobs.points.rows() + 1, 0) = 10.1;
+  blobs.points = std::move(points);
+  blobs.labels.push_back(2);
+  blobs.labels.push_back(2);
+  return blobs;
+}
+
+TEST(OptimizerTest, DegenerateCandidateIsSkippedNotFatal) {
+  test::Blobs blobs = BlobsWithTinyMiddleCluster();
+  OptimizerOptions options = FastOptions();
+  options.candidate_ks = {2, 3};
+  options.cv_folds = 5;
+  auto result = OptimizeClustering(blobs.points, options);
+  // Pre-fix, the K = 3 failure aborted the whole sweep.
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->candidates.size(), 2u);
+  EXPECT_FALSE(result->candidates[0].skipped());
+  EXPECT_TRUE(result->candidates[1].skipped());
+  EXPECT_EQ(result->candidates[1].k, 3);
+  EXPECT_FALSE(result->candidates[1].status.message().empty());
+  EXPECT_EQ(result->num_skipped(), 1u);
+  // The best candidate is the surviving one.
+  EXPECT_EQ(result->best_k(), 2);
+  EXPECT_GT(result->best().accuracy, 0.9);
+}
+
+TEST(OptimizerTest, ErrorsOnlyWhenEveryCandidateFails) {
+  test::Blobs blobs = BlobsWithTinyMiddleCluster();
+  OptimizerOptions options = FastOptions();
+  options.candidate_ks = {3};
+  options.cv_folds = 5;
+  auto result = OptimizeClustering(blobs.points, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(),
+            common::StatusCode::kFailedPrecondition);
+}
+
 TEST(OptimizerTest, RejectsBadOptions) {
   test::Blobs blobs = test::MakeBlobs({{0.0}}, 10, 0.5, 83);
   OptimizerOptions options = FastOptions();

@@ -3,6 +3,7 @@
 #include <set>
 
 #include <gtest/gtest.h>
+#include "common/metrics.h"
 #include "kdb/query.h"
 
 namespace adahealth {
@@ -142,6 +143,42 @@ TEST_F(SessionTest, StoreRawDatasetWhenRequested) {
       raw.documents()[0].Get("csv")->AsString());
   ASSERT_TRUE(restored.ok());
   EXPECT_EQ(restored->num_records(), cohort_.log.num_records());
+}
+
+TEST_F(SessionTest, PipelineRunPopulatesMetricsRegistry) {
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
+  metrics.Reset();
+  kdb::Database db;
+  AnalysisSession session(&db);
+  auto result =
+      session.Run(cohort_.log, &cohort_.taxonomy, FastSessionOptions());
+  ASSERT_TRUE(result.ok());
+
+  // Every pipeline layer recorded into the default registry.
+  EXPECT_EQ(metrics.GetCounter("session/runs").value(), 1);
+  for (const char* stage :
+       {"session/characterize_seconds", "session/transform_select_seconds",
+        "session/partial_mining_seconds", "session/optimize_seconds",
+        "session/knowledge_seconds", "session/store_seconds",
+        "session/total_seconds"}) {
+    EXPECT_EQ(metrics.GetHistogram(stage).count(), 1) << stage;
+  }
+  EXPECT_GT(metrics.GetCounter("kmeans/runs").value(), 0);
+  EXPECT_GT(metrics.GetCounter("kmeans/iterations").value(), 0);
+  EXPECT_GT(metrics.GetHistogram("kmeans/assign_seconds").count(), 0);
+  EXPECT_EQ(
+      metrics.GetHistogram("optimizer/candidate_eval_seconds").count(),
+      static_cast<int64_t>(
+          FastSessionOptions().optimizer.candidate_ks.size()));
+  EXPECT_GT(metrics.GetCounter("cv/folds").value(), 0);
+  EXPECT_GT(metrics.GetCounter("partial_mining/steps").value(), 0);
+  EXPECT_GT(metrics.GetCounter("kdb/inserts").value(), 0);
+
+  // The registry exports as JSON for the bench trajectory.
+  auto parsed = common::Json::Parse(metrics.ToJson().Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_NE(parsed->Find("histograms")->Find("session/optimize_seconds"),
+            nullptr);
 }
 
 TEST_F(SessionTest, KnowledgeItemIdsAreUnique) {
