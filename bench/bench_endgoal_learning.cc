@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/string_util.h"
 #include "common/timer.h"
 #include "core/endgoal.h"
 #include "core/feedback_sim.h"
@@ -70,7 +71,7 @@ int Run() {
     for (size_t i = 0; i < train_count; ++i) {
       const Example& example = pool[order[i]];
       feedback.Insert(core::MakeGoalFeedbackDocument(
-          "d" + std::to_string(i), persona.name, example.features,
+          common::StrFormat("d%zu", i), persona.name, example.features,
           example.goal, example.label));
     }
     core::EndGoalEngine engine;

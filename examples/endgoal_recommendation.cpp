@@ -5,6 +5,7 @@
 // then adapts an item ordering to live feedback.
 #include <cstdio>
 
+#include "common/check.h"
 #include "core/endgoal.h"
 #include "core/feedback_sim.h"
 #include "core/ranking.h"
@@ -63,7 +64,7 @@ int main() {
          feedback.Find(kdb::Query().Eq("user",
                                        common::Json(persona.name)))) {
       kdb::Document copy = document;
-      personal.Restore(std::move(copy)).ok();
+      ADA_CHECK_OK(personal.Restore(std::move(copy)));
     }
     core::EndGoalEngine engine;
     if (!engine.TrainFromFeedback(personal).ok()) {
@@ -103,8 +104,8 @@ int main() {
     std::printf("%s ", item.id.c_str());
   }
   // The user loves rules and dislikes the top cluster.
-  ranker.RecordFeedback("item:1", core::Interest::kHigh).ok();
-  ranker.RecordFeedback("item:4", core::Interest::kLow).ok();
+  ADA_CHECK_OK(ranker.RecordFeedback("item:1", core::Interest::kHigh));
+  ADA_CHECK_OK(ranker.RecordFeedback("item:4", core::Interest::kLow));
   std::printf("\nafter feedback:  ");
   for (const auto& item : ranker.Ranked()) {
     std::printf("%s ", item.id.c_str());

@@ -20,7 +20,7 @@ struct BisectingOptions {
 
 /// Runs bisecting K-means on the rows of `data`. Same result contract
 /// as RunKMeans. Requires 1 <= k <= data.rows().
-common::StatusOr<Clustering> RunBisectingKMeans(
+[[nodiscard]] common::StatusOr<Clustering> RunBisectingKMeans(
     const transform::Matrix& data, const BisectingOptions& options);
 
 }  // namespace cluster

@@ -37,7 +37,7 @@ struct ElbowAnalysis {
 
 /// Analyzes a K sweep. Requires >= 3 points with strictly increasing K
 /// and non-negative SSE. `flat_threshold` in (0, 1].
-common::StatusOr<ElbowAnalysis> AnalyzeElbow(
+[[nodiscard]] common::StatusOr<ElbowAnalysis> AnalyzeElbow(
     const std::vector<SsePoint>& sweep, double flat_threshold = 0.25);
 
 }  // namespace cluster

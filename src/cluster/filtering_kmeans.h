@@ -20,7 +20,7 @@ namespace cluster {
 
 /// Runs filtering K-means with the same options/result contract as
 /// RunKMeans. `leaf_size` tunes the kd-tree granularity.
-common::StatusOr<Clustering> RunFilteringKMeans(
+[[nodiscard]] common::StatusOr<Clustering> RunFilteringKMeans(
     const transform::Matrix& data, const KMeansOptions& options,
     size_t leaf_size = 16);
 

@@ -51,7 +51,7 @@ struct Clustering {
 /// Runs Lloyd's K-means on the rows of `data`.
 /// Fails if k is out of range or data is empty. Deterministic in
 /// (data, options).
-common::StatusOr<Clustering> RunKMeans(const transform::Matrix& data,
+[[nodiscard]] common::StatusOr<Clustering> RunKMeans(const transform::Matrix& data,
                                        const KMeansOptions& options);
 
 // --- Building blocks shared with the accelerated variants ---------------

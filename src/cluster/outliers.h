@@ -24,12 +24,12 @@ namespace cluster {
 /// assigned centroid divided by the mean such distance within the
 /// cluster (1.0 = typical member; singletons and zero-spread clusters
 /// score 1.0). Requires assignments to match `data`.
-common::StatusOr<std::vector<double>> CentroidOutlierScores(
+[[nodiscard]] common::StatusOr<std::vector<double>> CentroidOutlierScores(
     const transform::Matrix& data, const Clustering& clustering);
 
 /// Per-row mean Euclidean distance to the `k` nearest other rows
 /// (brute force, O(n^2 d)). Requires 1 <= k < data.rows().
-common::StatusOr<std::vector<double>> KnnOutlierScores(
+[[nodiscard]] common::StatusOr<std::vector<double>> KnnOutlierScores(
     const transform::Matrix& data, int32_t k);
 
 /// Indices of the `count` largest scores, descending (ties by index).

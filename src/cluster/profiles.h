@@ -44,7 +44,7 @@ struct ClusterProfile {
 
 /// Builds per-cluster profiles from a clustering of `vsm` rows.
 /// Requires vsm row/col dims to match the clustering and `log`.
-common::StatusOr<std::vector<ClusterProfile>> BuildClusterProfiles(
+[[nodiscard]] common::StatusOr<std::vector<ClusterProfile>> BuildClusterProfiles(
     const dataset::ExamLog& log, const transform::Matrix& vsm,
     const Clustering& clustering, size_t top_k = 5);
 

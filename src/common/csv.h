@@ -17,7 +17,7 @@ namespace common {
 /// Parses a whole CSV document into rows of fields.
 /// Fails with INVALID_ARGUMENT on unterminated quotes or stray quote
 /// characters inside unquoted fields.
-StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
+[[nodiscard]] StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
     std::string_view text, char delimiter = ',');
 
 /// Serializes rows to CSV, quoting fields that contain the delimiter,
@@ -26,10 +26,10 @@ std::string WriteCsv(const std::vector<std::vector<std::string>>& rows,
                      char delimiter = ',');
 
 /// Reads an entire file into a string.
-StatusOr<std::string> ReadFileToString(const std::string& path);
+[[nodiscard]] StatusOr<std::string> ReadFileToString(const std::string& path);
 
 /// Writes `contents` to `path`, replacing any existing file.
-Status WriteStringToFile(const std::string& path, std::string_view contents);
+[[nodiscard]] Status WriteStringToFile(const std::string& path, std::string_view contents);
 
 }  // namespace common
 }  // namespace adahealth

@@ -44,7 +44,7 @@ class Json {
 
   /// Parses a JSON document. Accepts exactly one top-level value with
   /// optional surrounding whitespace.
-  static StatusOr<Json> Parse(std::string_view text);
+  [[nodiscard]] static StatusOr<Json> Parse(std::string_view text);
 
   Type type() const;
   bool is_null() const { return type() == Type::kNull; }

@@ -119,7 +119,7 @@ class MetricsRegistry {
   Json ToJson() const;
 
   /// Writes ToJson().Pretty() to `path` (for bench reports).
-  Status WriteJsonFile(const std::string& path) const;
+  [[nodiscard]] Status WriteJsonFile(const std::string& path) const;
 
  private:
   mutable std::mutex mutex_;

@@ -39,7 +39,13 @@ const char* StatusCodeName(StatusCode code);
 
 /// Value-type result of a fallible operation: either OK or an error code
 /// with a human-readable message.
-class Status {
+///
+/// The class itself is [[nodiscard]]: every function returning a Status
+/// by value warns if a call site ignores the result. Call sites that
+/// intentionally drop a Status must say why and cast through
+/// `static_cast<void>` (see e.g. bench code that best-effort-writes
+/// metrics files).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -47,14 +53,14 @@ class Status {
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status Ok() { return Status(); }
+  [[nodiscard]] static Status Ok() { return Status(); }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// Renders "OK" or "CODE: message" for logs and test failures.
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   friend bool operator==(const Status& a, const Status& b) {
     return a.code_ == b.code_ && a.message_ == b.message_;
@@ -68,32 +74,36 @@ class Status {
 std::ostream& operator<<(std::ostream& os, const Status& status);
 
 // Convenience factories, mirroring absl.
-Status OkStatus();
-Status InvalidArgumentError(std::string message);
-Status NotFoundError(std::string message);
-Status AlreadyExistsError(std::string message);
-Status FailedPreconditionError(std::string message);
-Status OutOfRangeError(std::string message);
-Status UnimplementedError(std::string message);
-Status InternalError(std::string message);
-Status DataLossError(std::string message);
+[[nodiscard]] Status OkStatus();
+[[nodiscard]] Status InvalidArgumentError(std::string message);
+[[nodiscard]] Status NotFoundError(std::string message);
+[[nodiscard]] Status AlreadyExistsError(std::string message);
+[[nodiscard]] Status FailedPreconditionError(std::string message);
+[[nodiscard]] Status OutOfRangeError(std::string message);
+[[nodiscard]] Status UnimplementedError(std::string message);
+[[nodiscard]] Status InternalError(std::string message);
+[[nodiscard]] Status DataLossError(std::string message);
 
 /// Union of a `Status` and a `T`: holds a value exactly when ok().
 ///
 /// Accessing value() on a non-OK StatusOr aborts the process (it is a
 /// programmer error, equivalent to dereferencing a disengaged optional).
+///
+/// Like Status, the class is [[nodiscard]] so that silently dropping a
+/// fallible result is a compile-time warning (an error under
+/// -DADA_WERROR=ON).
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from a value (implicit by design, like absl::StatusOr).
   StatusOr(T value) : status_(OkStatus()), value_(std::move(value)) {}
   /// Constructs from a non-OK status.
   StatusOr(Status status) : status_(std::move(status)) {}
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
-  const T& value() const& {
+  [[nodiscard]] const T& value() const& {
     AbortIfNotOk();
     return *value_;
   }

@@ -27,10 +27,10 @@ std::string_view Trim(std::string_view text);
 std::string ToLower(std::string_view text);
 
 /// Parses a base-10 signed integer; the whole string must be consumed.
-StatusOr<int64_t> ParseInt64(std::string_view text);
+[[nodiscard]] StatusOr<int64_t> ParseInt64(std::string_view text);
 
 /// Parses a floating point value; the whole string must be consumed.
-StatusOr<double> ParseDouble(std::string_view text);
+[[nodiscard]] StatusOr<double> ParseDouble(std::string_view text);
 
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* format, ...)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 
 #include "common/check.h"
 
@@ -16,13 +17,17 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::unique_lock<std::mutex> lock(mutex_);
     shutting_down_ = true;
   }
   task_available_.notify_all();
-  for (auto& thread : threads_) thread.join();
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
 }
 
 void ThreadPool::Schedule(std::function<void()> task) {
@@ -34,9 +39,29 @@ void ThreadPool::Schedule(std::function<void()> task) {
   task_available_.notify_one();
 }
 
+bool ThreadPool::TrySchedule(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (shutting_down_) return false;
+    queue_.push_back(std::move(task));
+  }
+  task_available_.notify_one();
+  return true;
+}
+
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+size_t ThreadPool::failed_tasks() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return failed_tasks_;
+}
+
+std::string ThreadPool::first_failure_message() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return first_failure_message_;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -54,9 +79,23 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++active_;
     }
-    task();
+    bool failed = false;
+    std::string failure_message;
+    try {
+      task();
+    } catch (const std::exception& e) {
+      failed = true;
+      failure_message = e.what();
+    } catch (...) {
+      failed = true;
+      failure_message = "unknown exception";
+    }
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      if (failed) {
+        ++failed_tasks_;
+        if (failed_tasks_ == 1) first_failure_message_ = failure_message;
+      }
       --active_;
       if (queue_.empty() && active_ == 0) all_done_.notify_all();
     }

@@ -11,6 +11,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -18,7 +19,15 @@ namespace adahealth {
 namespace common {
 
 /// A fixed pool of worker threads executing queued tasks FIFO.
-/// Thread-safe. Destruction waits for all queued tasks to finish.
+/// Thread-safe. Destruction drains the queue: every task scheduled
+/// before the destructor runs is executed before the workers join.
+///
+/// Exception safety: the project itself is exception-free (fallible
+/// operations return Status), but third-party code run on the pool may
+/// still throw. An exception escaping a task is caught by the worker,
+/// counted in failed_tasks(), and its first message retained
+/// (first_failure_message()); the worker thread survives and Wait()
+/// does not deadlock.
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (>= 1).
@@ -28,23 +37,46 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues `task` for execution.
+  /// Enqueues `task` for execution. Scheduling after shutdown has begun
+  /// is a programmer error (ADA_CHECK); use TrySchedule when the pool's
+  /// lifetime is not under the caller's control.
   void Schedule(std::function<void()> task);
+
+  /// Like Schedule, but returns false (dropping `task`) instead of
+  /// aborting when the pool is already shutting down. Safe to call
+  /// concurrently with Shutdown.
+  [[nodiscard]] bool TrySchedule(std::function<void()> task);
+
+  /// Begins shutdown, drains the queue, and joins the workers: every
+  /// task accepted before shutdown began is executed before this
+  /// returns. Idempotent from the owning thread (the destructor calls
+  /// it); concurrent TrySchedule calls observe the shutdown and return
+  /// false instead of enqueuing.
+  void Shutdown();
 
   /// Blocks until every scheduled task has completed.
   void Wait();
 
   size_t num_threads() const { return threads_.size(); }
 
+  /// Number of tasks so far whose execution ended in an exception.
+  [[nodiscard]] size_t failed_tasks() const;
+
+  /// what() of the first failed task ("" while failed_tasks() == 0;
+  /// "unknown exception" for non-std::exception throws).
+  [[nodiscard]] std::string first_failure_message() const;
+
  private:
   void WorkerLoop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
   std::deque<std::function<void()>> queue_;
   size_t active_ = 0;
   bool shutting_down_ = false;
+  size_t failed_tasks_ = 0;
+  std::string first_failure_message_;
   std::vector<std::thread> threads_;
 };
 

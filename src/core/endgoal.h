@@ -57,7 +57,7 @@ class EndGoalEngine {
 
   /// Trains from all parseable documents of `feedback`. Requires at
   /// least two distinct interest labels; FAILED_PRECONDITION otherwise.
-  common::Status TrainFromFeedback(const kdb::Collection& feedback);
+  [[nodiscard]] common::Status TrainFromFeedback(const kdb::Collection& feedback);
 
   bool trained() const { return trained_; }
   /// Number of feedback records used by the last training.
@@ -65,12 +65,12 @@ class EndGoalEngine {
 
   /// Predicts interest for one (dataset, goal) pair.
   /// FAILED_PRECONDITION before training.
-  common::StatusOr<Interest> PredictInterest(
+  [[nodiscard]] common::StatusOr<Interest> PredictInterest(
       const stats::MetaFeatures& features, EndGoal goal) const;
 
   /// Viable goals ranked by predicted interest (descending; rule order
   /// breaks ties). Before training, every goal gets kMedium.
-  common::StatusOr<std::vector<GoalRecommendation>> RecommendGoals(
+  [[nodiscard]] common::StatusOr<std::vector<GoalRecommendation>> RecommendGoals(
       const stats::MetaFeatures& features) const;
 
   /// Model input encoding: meta-features ++ one-hot goal.

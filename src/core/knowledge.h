@@ -39,8 +39,8 @@ const char* InterestName(Interest interest);
 
 /// Parses names produced by the *Name functions; INVALID_ARGUMENT on
 /// unknown strings.
-common::StatusOr<EndGoal> EndGoalFromName(const std::string& name);
-common::StatusOr<Interest> InterestFromName(const std::string& name);
+[[nodiscard]] common::StatusOr<EndGoal> EndGoalFromName(const std::string& name);
+[[nodiscard]] common::StatusOr<Interest> InterestFromName(const std::string& name);
 
 /// One extracted knowledge item.
 struct KnowledgeItem {
@@ -60,7 +60,7 @@ struct KnowledgeItem {
   Interest interest = Interest::kMedium;
 
   common::Json ToJson() const;
-  static common::StatusOr<KnowledgeItem> FromJson(const common::Json& json);
+  [[nodiscard]] static common::StatusOr<KnowledgeItem> FromJson(const common::Json& json);
 };
 
 }  // namespace core

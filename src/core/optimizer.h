@@ -86,7 +86,7 @@ struct OptimizerResult {
 
 /// Sweeps the candidate Ks over `data` (rows = patients in VSM form)
 /// and selects the best configuration.
-common::StatusOr<OptimizerResult> OptimizeClustering(
+[[nodiscard]] common::StatusOr<OptimizerResult> OptimizeClustering(
     const transform::Matrix& data, const OptimizerOptions& options);
 
 }  // namespace core

@@ -75,13 +75,13 @@ struct PartialMiningResult {
 /// same patients), so scores are comparable across subsets — this
 /// yields the paper's observation that similarity decreases as exams
 /// are removed.
-common::StatusOr<PartialMiningResult> RunExamSubsetPartialMining(
+[[nodiscard]] common::StatusOr<PartialMiningResult> RunExamSubsetPartialMining(
     const dataset::ExamLog& log, const PartialMiningOptions& options);
 
 /// Patient-sample partial mining: nested samples of growing size; a
 /// step is accepted when its quality is within tolerance of the
 /// previous step's (quality has stabilized).
-common::StatusOr<PartialMiningResult> RunPatientSubsetPartialMining(
+[[nodiscard]] common::StatusOr<PartialMiningResult> RunPatientSubsetPartialMining(
     const dataset::ExamLog& log, const PartialMiningOptions& options);
 
 }  // namespace core

@@ -31,17 +31,17 @@ class KnowledgeRanker {
       : options_(options) {}
 
   /// Registers items (ids must be unique; duplicates are rejected).
-  common::Status AddItems(const std::vector<KnowledgeItem>& items);
+  [[nodiscard]] common::Status AddItems(const std::vector<KnowledgeItem>& items);
 
   size_t size() const { return items_.size(); }
 
   /// Records user feedback for an item; NOT_FOUND on unknown ids.
   /// Updates the item's own score and the kind/goal biases.
-  common::Status RecordFeedback(const std::string& item_id,
+  [[nodiscard]] common::Status RecordFeedback(const std::string& item_id,
                                 Interest interest);
 
   /// Current score of an item (NOT_FOUND on unknown ids).
-  common::StatusOr<double> ScoreOf(const std::string& item_id) const;
+  [[nodiscard]] common::StatusOr<double> ScoreOf(const std::string& item_id) const;
 
   /// Items ordered by descending score; ties broken by id for
   /// determinism. Item `interest` fields are updated to the feedback

@@ -18,12 +18,18 @@ using common::Json;
 using common::StatusOr;
 using dataset::ExamLog;
 
-std::vector<KnowledgeItem> ClusterKnowledgeItems(
+// GCC 12's -Wmaybe-uninitialized misfires on moved-from std::variant
+// alternatives inside Json when the Json(Object&&) constructions below
+// are inlined at -O2; scoped suppression keeps -Werror builds clean
+// without disabling the check elsewhere.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+StatusOr<std::vector<KnowledgeItem>> ClusterKnowledgeItems(
     const ExamLog& log, const transform::Matrix& vsm,
     const cluster::Clustering& clustering) {
   std::vector<KnowledgeItem> items;
   auto profiles = cluster::BuildClusterProfiles(log, vsm, clustering);
-  if (!profiles.ok()) return items;
+  if (!profiles.ok()) return profiles.status();
 
   for (const cluster::ClusterProfile& profile : profiles.value()) {
     // Signature: the lift-distinctive exams, which read clinically
@@ -68,16 +74,17 @@ std::vector<KnowledgeItem> ClusterKnowledgeItems(
   }
   return items;
 }
+#pragma GCC diagnostic pop
 
 /// Builds one knowledge item summarizing the most atypical patients of
 /// the clustering (paper §IV-B mentions outlier detection as a
 /// downstream analysis).
-std::vector<KnowledgeItem> OutlierKnowledgeItems(
+StatusOr<std::vector<KnowledgeItem>> OutlierKnowledgeItems(
     const transform::Matrix& vsm, const cluster::Clustering& clustering,
     size_t top_n) {
   std::vector<KnowledgeItem> items;
   auto scores = cluster::CentroidOutlierScores(vsm, clustering);
-  if (!scores.ok()) return items;
+  if (!scores.ok()) return scores.status();
   std::vector<size_t> top = cluster::TopOutliers(scores.value(), top_n);
   if (top.empty()) return items;
 
@@ -183,10 +190,14 @@ StatusOr<SessionResult> AnalysisSession::Run(const ExamLog& log,
 
   // 5. Knowledge extraction.
   common::ScopedTimer knowledge_timer(metrics, "session/knowledge_seconds");
-  std::vector<KnowledgeItem> knowledge = ClusterKnowledgeItems(
+  auto cluster_items = ClusterKnowledgeItems(
       mining_log, vsm, result.optimizer.best().clustering);
-  for (KnowledgeItem& item :
-       OutlierKnowledgeItems(vsm, result.optimizer.best().clustering)) {
+  if (!cluster_items.ok()) return cluster_items.status();
+  std::vector<KnowledgeItem> knowledge = std::move(cluster_items).value();
+  auto outlier_items =
+      OutlierKnowledgeItems(vsm, result.optimizer.best().clustering);
+  if (!outlier_items.ok()) return outlier_items.status();
+  for (KnowledgeItem& item : outlier_items.value()) {
     knowledge.push_back(std::move(item));
   }
   if (taxonomy != nullptr) {

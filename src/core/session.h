@@ -60,7 +60,7 @@ class AnalysisSession {
 
   /// Runs the full pipeline on `log`. `taxonomy` may be null (pattern
   /// mining is then skipped).
-  common::StatusOr<SessionResult> Run(const dataset::ExamLog& log,
+  [[nodiscard]] common::StatusOr<SessionResult> Run(const dataset::ExamLog& log,
                                       const dataset::Taxonomy* taxonomy,
                                       const SessionOptions& options);
 
@@ -69,16 +69,21 @@ class AnalysisSession {
 };
 
 /// Builds one knowledge item per cluster of `clustering`, profiled by
-/// lift-distinctive exams. Exposed for reuse by examples.
-std::vector<KnowledgeItem> ClusterKnowledgeItems(
-    const dataset::ExamLog& log, const transform::Matrix& vsm,
-    const cluster::Clustering& clustering);
+/// lift-distinctive exams. Exposed for reuse by examples. Returns
+/// INVALID_ARGUMENT when `vsm` and `clustering` shapes disagree
+/// (previously such errors were silently swallowed into an empty list).
+[[nodiscard]] common::StatusOr<std::vector<KnowledgeItem>>
+ClusterKnowledgeItems(const dataset::ExamLog& log,
+                      const transform::Matrix& vsm,
+                      const cluster::Clustering& clustering);
 
 /// Builds a knowledge item listing the `top_n` most atypical patients
-/// (centroid-relative outlier scores); empty on shape errors.
-std::vector<KnowledgeItem> OutlierKnowledgeItems(
-    const transform::Matrix& vsm, const cluster::Clustering& clustering,
-    size_t top_n = 10);
+/// (centroid-relative outlier scores). An empty result (no outliers) is
+/// OK; shape mismatches are INVALID_ARGUMENT.
+[[nodiscard]] common::StatusOr<std::vector<KnowledgeItem>>
+OutlierKnowledgeItems(const transform::Matrix& vsm,
+                      const cluster::Clustering& clustering,
+                      size_t top_n = 10);
 
 }  // namespace core
 }  // namespace adahealth

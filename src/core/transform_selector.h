@@ -58,7 +58,7 @@ struct TransformSelection {
 
 /// Scores every candidate and picks the best. Fails on empty data or
 /// invalid options.
-common::StatusOr<TransformSelection> SelectTransformation(
+[[nodiscard]] common::StatusOr<TransformSelection> SelectTransformation(
     const dataset::ExamLog& log, const TransformSelectorOptions& options);
 
 }  // namespace core

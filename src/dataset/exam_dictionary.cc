@@ -24,6 +24,9 @@ common::StatusOr<ExamTypeId> ExamDictionary::Lookup(
 }
 
 const std::string& ExamDictionary::Name(ExamTypeId id) const {
+  // invariant: ids come from Intern/Lookup on this dictionary; an
+  // out-of-range id is a programmer error (Lookup returns Status for
+  // unknown *names*, the user-facing direction).
   ADA_CHECK_GE(id, 0);
   ADA_CHECK_LT(static_cast<size_t>(id), names_.size());
   return names_[static_cast<size_t>(id)];

@@ -23,7 +23,7 @@ class ExamDictionary {
   ExamTypeId Intern(std::string_view name);
 
   /// Returns the id for `name`, or NOT_FOUND.
-  common::StatusOr<ExamTypeId> Lookup(std::string_view name) const;
+  [[nodiscard]] common::StatusOr<ExamTypeId> Lookup(std::string_view name) const;
 
   /// Returns the name of `id`. Requires 0 <= id < size().
   const std::string& Name(ExamTypeId id) const;

@@ -19,9 +19,13 @@ ExamLog::ExamLog(std::vector<Patient> patients, ExamDictionary dictionary,
     : patients_(std::move(patients)),
       dictionary_(std::move(dictionary)),
       records_(std::move(records)) {
+  // invariant: callers (FromCsv, the Filter* rebuilders) construct
+  // dense, validated ids before reaching this constructor; raw user
+  // input is rejected with Status in FromCsv, never here.
   for (size_t i = 0; i < patients_.size(); ++i) {
     ADA_CHECK_EQ(patients_[i].id, static_cast<PatientId>(i));
   }
+  // invariant: same as above — record ids were validated or interned.
   for (const ExamRecord& record : records_) {
     ADA_CHECK_GE(record.patient, 0);
     ADA_CHECK_LT(static_cast<size_t>(record.patient), patients_.size());
@@ -136,6 +140,8 @@ std::vector<int32_t> ExamLog::ProfileLabels() const {
 }
 
 ExamLog ExamLog::FilterExamTypes(const std::vector<bool>& keep) const {
+  // invariant: API precondition — `keep` is produced by code that read
+  // dictionary_.size(), not by end-user input.
   ADA_CHECK_EQ(keep.size(), dictionary_.size());
   // Rebuild a dense dictionary over the kept types.
   ExamDictionary new_dictionary;
@@ -163,9 +169,13 @@ ExamLog ExamLog::FilterPatients(
   std::vector<PatientId> remap(patients_.size(), -1);
   std::vector<Patient> new_patients;
   new_patients.reserve(patient_ids.size());
+  // invariant: API precondition — callers pass ids they obtained from
+  // this log (e.g. sampling indices), so out-of-range or duplicate ids
+  // are programmer errors, not data errors.
   for (PatientId id : patient_ids) {
     ADA_CHECK_GE(id, 0);
     ADA_CHECK_LT(static_cast<size_t>(id), patients_.size());
+    // invariant: see above — duplicate ids are a caller bug.
     ADA_CHECK_MSG(remap[static_cast<size_t>(id)] < 0,
                   "duplicate patient id %d in FilterPatients", id);
     Patient patient = patients_[static_cast<size_t>(id)];

@@ -27,16 +27,16 @@ class ExamLog {
   /// Parses a records CSV with header "patient_id,exam_type,day".
   /// Patients are materialized from the distinct ids seen (ages and
   /// profiles unknown). Fails on malformed rows or non-dense patient ids.
-  static common::StatusOr<ExamLog> FromCsv(const std::string& csv_text);
+  [[nodiscard]] static common::StatusOr<ExamLog> FromCsv(const std::string& csv_text);
 
   /// Loads FromCsv from a file on disk.
-  static common::StatusOr<ExamLog> Load(const std::string& path);
+  [[nodiscard]] static common::StatusOr<ExamLog> Load(const std::string& path);
 
   /// Serializes the record table to CSV (inverse of FromCsv).
   std::string ToCsv() const;
 
   /// Writes ToCsv() to a file.
-  common::Status Save(const std::string& path) const;
+  [[nodiscard]] common::Status Save(const std::string& path) const;
 
   size_t num_patients() const { return patients_.size(); }
   size_t num_exam_types() const { return dictionary_.size(); }

@@ -57,7 +57,7 @@ struct ProfileSpec {
 };
 
 const std::vector<ProfileSpec>& ProfileSpecs() {
-  static const std::vector<ProfileSpec>* kSpecs = new std::vector<ProfileSpec>{
+  static const std::vector<ProfileSpec> kSpecs{
       {"well_controlled", 0.22, 58, 13, 0.80, {0, 14}},
       {"cardiovascular", 0.15, 67, 10, 1.15, {5, 8, 1}},
       {"retinopathy", 0.12, 63, 11, 1.05, {4, 9}},
@@ -67,7 +67,7 @@ const std::vector<ProfileSpec>& ProfileSpecs() {
       {"newly_diagnosed", 0.13, 44, 15, 0.85, {13, 12, 14}},
       {"multi_morbid", 0.08, 73, 8, 1.55, {5, 2, 4, 6}},
   };
-  return *kSpecs;
+  return kSpecs;
 }
 
 /// Distributes `total` leaves over the group specs proportionally to
@@ -151,6 +151,8 @@ StatusOr<Cohort> SyntheticCohortGenerator::Generate() const {
       std::string name =
           std::string(kGroupSpecs[g].name) + "_" + std::to_string(j + 1);
       ExamTypeId id = dictionary.Intern(name);
+      // invariant: generated names are unique, so Intern must assign
+      // dense ids in insertion order (no user input involved).
       ADA_CHECK_EQ(static_cast<size_t>(id), leaf_group.size());
       leaf_group.push_back(static_cast<int32_t>(g));
       leaf_rank_in_group.push_back(j);

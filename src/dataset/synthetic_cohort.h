@@ -76,7 +76,7 @@ class SyntheticCohortGenerator {
       : config_(config) {}
 
   /// Validates the config and generates the cohort.
-  common::StatusOr<Cohort> Generate() const;
+  [[nodiscard]] common::StatusOr<Cohort> Generate() const;
 
   const CohortConfig& config() const { return config_; }
 

@@ -38,12 +38,18 @@ StatusOr<Taxonomy> Taxonomy::Build(std::vector<int32_t> leaf_group,
 }
 
 int32_t Taxonomy::GroupOfLeaf(ExamTypeId exam) const {
+  // invariant: ids were produced by this taxonomy (Build
+  // validated the level tables); out-of-range is a programmer
+  // error, not a data error.
   ADA_CHECK_GE(exam, 0);
   ADA_CHECK_LT(static_cast<size_t>(exam), leaf_group_.size());
   return leaf_group_[static_cast<size_t>(exam)];
 }
 
 int32_t Taxonomy::CategoryOfGroup(int32_t group) const {
+  // invariant: ids were produced by this taxonomy (Build
+  // validated the level tables); out-of-range is a programmer
+  // error, not a data error.
   ADA_CHECK_GE(group, 0);
   ADA_CHECK_LT(static_cast<size_t>(group), group_category_.size());
   return group_category_[static_cast<size_t>(group)];
@@ -54,18 +60,27 @@ int32_t Taxonomy::CategoryOfLeaf(ExamTypeId exam) const {
 }
 
 const std::string& Taxonomy::GroupName(int32_t group) const {
+  // invariant: ids were produced by this taxonomy (Build
+  // validated the level tables); out-of-range is a programmer
+  // error, not a data error.
   ADA_CHECK_GE(group, 0);
   ADA_CHECK_LT(static_cast<size_t>(group), group_names_.size());
   return group_names_[static_cast<size_t>(group)];
 }
 
 const std::string& Taxonomy::CategoryName(int32_t category) const {
+  // invariant: ids were produced by this taxonomy (Build
+  // validated the level tables); out-of-range is a programmer
+  // error, not a data error.
   ADA_CHECK_GE(category, 0);
   ADA_CHECK_LT(static_cast<size_t>(category), category_names_.size());
   return category_names_[static_cast<size_t>(category)];
 }
 
 int Taxonomy::LevelOf(TaxonomyNodeId node) const {
+  // invariant: ids were produced by this taxonomy (Build
+  // validated the level tables); out-of-range is a programmer
+  // error, not a data error.
   ADA_CHECK_GE(node, 0);
   size_t id = static_cast<size_t>(node);
   ADA_CHECK_LT(id, num_nodes());

@@ -34,7 +34,7 @@ class Taxonomy {
   /// `leaf_group[e]` is the group index of exam `e`;
   /// `group_category[g]` is the category index of group `g`.
   /// Fails if any index is out of range or a level is empty.
-  static common::StatusOr<Taxonomy> Build(
+  [[nodiscard]] static common::StatusOr<Taxonomy> Build(
       std::vector<int32_t> leaf_group, std::vector<std::string> group_names,
       std::vector<int32_t> group_category,
       std::vector<std::string> category_names);

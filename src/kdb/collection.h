@@ -30,7 +30,7 @@ class Collection {
   DocumentId Insert(Document document);
 
   /// Looks a document up by id; NOT_FOUND when absent.
-  common::StatusOr<Document> FindById(DocumentId id) const;
+  [[nodiscard]] common::StatusOr<Document> FindById(DocumentId id) const;
 
   /// Returns documents matching `query`, in insertion order, up to
   /// `limit` (0 = unlimited). Uses a secondary index when the query has
@@ -38,17 +38,17 @@ class Collection {
   std::vector<Document> Find(const Query& query, size_t limit = 0) const;
 
   /// First match or NOT_FOUND.
-  common::StatusOr<Document> FindOne(const Query& query) const;
+  [[nodiscard]] common::StatusOr<Document> FindOne(const Query& query) const;
 
   /// Number of matching documents.
   size_t Count(const Query& query) const;
 
   /// Merges `fields` (a JSON object) into the document with the given
   /// id; NOT_FOUND when absent, INVALID_ARGUMENT when not an object.
-  common::Status UpdateById(DocumentId id, const common::Json& fields);
+  [[nodiscard]] common::Status UpdateById(DocumentId id, const common::Json& fields);
 
   /// Removes a document; NOT_FOUND when absent.
-  common::Status DeleteById(DocumentId id);
+  [[nodiscard]] common::Status DeleteById(DocumentId id);
 
   /// Builds (or rebuilds) an equality index on a dotted path. Queries
   /// with an Eq condition on `path` then resolve via the index.
@@ -62,7 +62,7 @@ class Collection {
 
   /// Restores a document with a pre-assigned id (used by storage
   /// loading). Fails on duplicate or non-positive ids.
-  common::Status Restore(Document document);
+  [[nodiscard]] common::Status Restore(Document document);
 
  private:
   void IndexDocument(const Document& document, size_t position);

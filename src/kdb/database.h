@@ -47,7 +47,7 @@ class Database {
   Collection& GetOrCreate(const std::string& name);
 
   /// Returns the collection or NOT_FOUND.
-  common::StatusOr<Collection*> Get(const std::string& name);
+  [[nodiscard]] common::StatusOr<Collection*> Get(const std::string& name);
 
   bool Has(const std::string& name) const {
     return collections_.contains(name);
@@ -61,11 +61,11 @@ class Database {
 
   /// Persists every collection to `<directory>/<name>.jsonl`. The
   /// directory must exist.
-  common::Status SaveTo(const std::string& directory) const;
+  [[nodiscard]] common::Status SaveTo(const std::string& directory) const;
 
   /// Loads every `names` collection from the directory, replacing any
   /// in-memory collections of the same name.
-  common::Status LoadFrom(const std::string& directory,
+  [[nodiscard]] common::Status LoadFrom(const std::string& directory,
                           const std::vector<std::string>& names);
 
  private:

@@ -26,10 +26,10 @@ class Document {
   Document() : json_(common::Json::Object{}) {}
 
   /// Wraps an existing JSON object; fails if `json` is not an object.
-  static common::StatusOr<Document> FromJson(common::Json json);
+  [[nodiscard]] static common::StatusOr<Document> FromJson(common::Json json);
 
   /// Parses a JSON text into a document.
-  static common::StatusOr<Document> Parse(std::string_view text);
+  [[nodiscard]] static common::StatusOr<Document> Parse(std::string_view text);
 
   /// The assigned id, or 0 when not inserted yet.
   DocumentId id() const;

@@ -18,15 +18,15 @@ std::string SerializeCollection(const Collection& collection);
 /// Rebuilds a collection named `name` from JSON-lines `text`.
 /// Fails with DATA_LOSS on malformed lines, INVALID_ARGUMENT on
 /// documents without a valid "_id".
-common::StatusOr<Collection> DeserializeCollection(const std::string& name,
+[[nodiscard]] common::StatusOr<Collection> DeserializeCollection(const std::string& name,
                                                    const std::string& text);
 
 /// Writes the collection to `<directory>/<name>.jsonl`.
-common::Status SaveCollection(const Collection& collection,
+[[nodiscard]] common::Status SaveCollection(const Collection& collection,
                               const std::string& directory);
 
 /// Loads `<directory>/<name>.jsonl`.
-common::StatusOr<Collection> LoadCollection(const std::string& name,
+[[nodiscard]] common::StatusOr<Collection> LoadCollection(const std::string& name,
                                             const std::string& directory);
 
 }  // namespace kdb

@@ -24,9 +24,9 @@ class Classifier {
   /// Trains on rows of `features` with labels in [0, num_classes).
   /// Returns INVALID_ARGUMENT on shape/label errors. May be called
   /// again to retrain from scratch.
-  virtual common::Status Fit(const transform::Matrix& features,
-                             const std::vector<int32_t>& labels,
-                             int32_t num_classes) = 0;
+  [[nodiscard]] virtual common::Status Fit(
+      const transform::Matrix& features, const std::vector<int32_t>& labels,
+      int32_t num_classes) = 0;
 
   /// Predicts the label of one feature vector. Requires a prior
   /// successful Fit with matching dimensionality.

@@ -21,7 +21,7 @@ struct Fold {
 /// shuffled (seeded) and dealt round-robin, so per-fold class
 /// proportions track the global ones. Requires 2 <= num_folds <=
 /// labels.size() and labels in [0, num_classes).
-common::StatusOr<std::vector<Fold>> StratifiedKFold(
+[[nodiscard]] common::StatusOr<std::vector<Fold>> StratifiedKFold(
     const std::vector<int32_t>& labels, int32_t num_classes,
     int32_t num_folds, uint64_t seed);
 
@@ -29,7 +29,7 @@ common::StatusOr<std::vector<Fold>> StratifiedKFold(
 /// classifier from `factory` on the training split and predicts the
 /// test split; all test predictions are pooled into one
 /// ClassificationReport (each sample is tested exactly once).
-common::StatusOr<ClassificationReport> CrossValidate(
+[[nodiscard]] common::StatusOr<ClassificationReport> CrossValidate(
     const transform::Matrix& features, const std::vector<int32_t>& labels,
     int32_t num_classes, int32_t num_folds, uint64_t seed,
     const ClassifierFactory& factory);

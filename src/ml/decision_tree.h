@@ -30,7 +30,7 @@ class DecisionTreeClassifier final : public Classifier {
       DecisionTreeOptions options = DecisionTreeOptions())
       : options_(options) {}
 
-  common::Status Fit(const transform::Matrix& features,
+  [[nodiscard]] common::Status Fit(const transform::Matrix& features,
                      const std::vector<int32_t>& labels,
                      int32_t num_classes) override;
 

@@ -22,7 +22,7 @@ class KnnClassifier final : public Classifier {
   explicit KnnClassifier(KnnOptions options = KnnOptions())
       : options_(options) {}
 
-  common::Status Fit(const transform::Matrix& features,
+  [[nodiscard]] common::Status Fit(const transform::Matrix& features,
                      const std::vector<int32_t>& labels,
                      int32_t num_classes) override;
 

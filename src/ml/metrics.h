@@ -34,7 +34,7 @@ struct ClassificationReport {
 
 /// Computes the report for predictions vs ground truth. Labels must be
 /// in [0, num_classes); sizes must match and be non-zero.
-common::StatusOr<ClassificationReport> EvaluateClassification(
+[[nodiscard]] common::StatusOr<ClassificationReport> EvaluateClassification(
     const std::vector<int32_t>& truth, const std::vector<int32_t>& predicted,
     int32_t num_classes);
 

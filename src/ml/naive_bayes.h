@@ -22,7 +22,7 @@ class GaussianNaiveBayes final : public Classifier {
       NaiveBayesOptions options = NaiveBayesOptions())
       : options_(options) {}
 
-  common::Status Fit(const transform::Matrix& features,
+  [[nodiscard]] common::Status Fit(const transform::Matrix& features,
                      const std::vector<int32_t>& labels,
                      int32_t num_classes) override;
 

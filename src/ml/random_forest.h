@@ -32,7 +32,7 @@ class RandomForestClassifier final : public Classifier {
       RandomForestOptions options = RandomForestOptions())
       : options_(options) {}
 
-  common::Status Fit(const transform::Matrix& features,
+  [[nodiscard]] common::Status Fit(const transform::Matrix& features,
                      const std::vector<int32_t>& labels,
                      int32_t num_classes) override;
 

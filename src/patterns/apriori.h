@@ -22,7 +22,7 @@ int64_t AbsoluteSupport(double min_support_fraction, size_t num_transactions);
 
 /// Mines all frequent itemsets of `db` with Apriori. Output is in
 /// canonical order (SortCanonical).
-common::StatusOr<std::vector<FrequentItemset>> MineApriori(
+[[nodiscard]] common::StatusOr<std::vector<FrequentItemset>> MineApriori(
     const TransactionDb& db, const MiningOptions& options);
 
 }  // namespace patterns

@@ -17,7 +17,7 @@ namespace patterns {
 
 /// Mines all frequent itemsets of `db` with Eclat. Output is in
 /// canonical order and identical to MineApriori / MineFpGrowth.
-common::StatusOr<std::vector<FrequentItemset>> MineEclat(
+[[nodiscard]] common::StatusOr<std::vector<FrequentItemset>> MineEclat(
     const TransactionDb& db, const MiningOptions& options);
 
 }  // namespace patterns

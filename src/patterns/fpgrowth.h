@@ -14,7 +14,7 @@ namespace patterns {
 
 /// Mines all frequent itemsets of `db` with FP-growth. Output is in
 /// canonical order (SortCanonical) and identical to MineApriori.
-common::StatusOr<std::vector<FrequentItemset>> MineFpGrowth(
+[[nodiscard]] common::StatusOr<std::vector<FrequentItemset>> MineFpGrowth(
     const TransactionDb& db, const MiningOptions& options);
 
 /// Filters `itemsets` down to the closed ones (no proper superset with

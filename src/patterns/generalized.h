@@ -39,7 +39,7 @@ struct GeneralizedMiningOptions {
 
 /// Mines frequent itemsets at all three taxonomy levels with FP-growth.
 /// Results are ordered by level, then canonically.
-common::StatusOr<std::vector<GeneralizedItemset>> MineGeneralized(
+[[nodiscard]] common::StatusOr<std::vector<GeneralizedItemset>> MineGeneralized(
     const dataset::ExamLog& log, const dataset::Taxonomy& taxonomy,
     const GeneralizedMiningOptions& options);
 

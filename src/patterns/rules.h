@@ -38,7 +38,7 @@ struct RuleOptions {
 /// one mining run, so every required subset support is present) over a
 /// database of `num_transactions` transactions. Rules are sorted by
 /// descending confidence, then lift.
-common::StatusOr<std::vector<AssociationRule>> GenerateRules(
+[[nodiscard]] common::StatusOr<std::vector<AssociationRule>> GenerateRules(
     const std::vector<FrequentItemset>& itemsets, size_t num_transactions,
     const RuleOptions& options);
 

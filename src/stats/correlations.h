@@ -29,7 +29,7 @@ struct ExamCorrelation {
 /// produce spurious correlations). Pairs are sorted by descending
 /// correlation; ties by (exam_a, exam_b). O(E^2 * P) — fine for
 /// hundreds of exam types.
-common::StatusOr<std::vector<ExamCorrelation>> TopExamCorrelations(
+[[nodiscard]] common::StatusOr<std::vector<ExamCorrelation>> TopExamCorrelations(
     const dataset::ExamLog& log, size_t top_n, int64_t min_patients = 20);
 
 }  // namespace stats

@@ -43,7 +43,7 @@ struct MetaFeatures {
 
   /// Parses a JSON object produced by ToJson(). Missing fields default
   /// to zero; non-objects fail.
-  static common::StatusOr<MetaFeatures> FromJson(const common::Json& json);
+  [[nodiscard]] static common::StatusOr<MetaFeatures> FromJson(const common::Json& json);
 
   /// Flattens to a fixed-order numeric vector (model input for the
   /// end-goal classifiers). Order matches FeatureNames().

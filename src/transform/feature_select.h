@@ -46,7 +46,7 @@ struct VerticalSubset {
 /// Builds the incremental schedule of vertical subsets for the given
 /// exam-type fractions (each in (0, 1]; e.g. {0.2, 0.4, 1.0} as in the
 /// paper). Fails on out-of-range fractions.
-common::StatusOr<std::vector<VerticalSubset>> BuildVerticalSchedule(
+[[nodiscard]] common::StatusOr<std::vector<VerticalSubset>> BuildVerticalSchedule(
     const dataset::ExamLog& log, const std::vector<double>& fractions);
 
 }  // namespace transform

@@ -16,7 +16,7 @@ namespace transform {
 /// Uniformly samples `fraction` of the patients (without replacement).
 /// Result is sorted ascending. Fraction in (0, 1]; at least one patient
 /// is returned when the log is non-empty.
-common::StatusOr<std::vector<dataset::PatientId>> SamplePatients(
+[[nodiscard]] common::StatusOr<std::vector<dataset::PatientId>> SamplePatients(
     const dataset::ExamLog& log, double fraction, common::Rng& rng);
 
 /// Samples `fraction` of the patients stratified by record-count

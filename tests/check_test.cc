@@ -1,0 +1,83 @@
+// Death/behaviour tests for the ADA_CHECK invariant macros: passing
+// checks are silent no-ops, failing checks abort with a diagnostic that
+// names the file, the condition, and (for ADA_CHECK_MSG) the formatted
+// message.
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+#include "common/status.h"
+
+namespace adahealth {
+namespace {
+
+using common::InvalidArgumentError;
+using common::OkStatus;
+using common::StatusOr;
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  ADA_CHECK(true);
+  ADA_CHECK(1 + 1 == 2);
+  ADA_CHECK_MSG(true, "never printed %d", 1);
+  ADA_CHECK_EQ(4, 4);
+  ADA_CHECK_NE(4, 5);
+  ADA_CHECK_LT(4, 5);
+  ADA_CHECK_LE(4, 4);
+  ADA_CHECK_GT(5, 4);
+  ADA_CHECK_GE(5, 5);
+  ADA_CHECK_OK(OkStatus());
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailedCheckPrintsCondition) {
+  EXPECT_DEATH(ADA_CHECK(2 + 2 == 5), "ADA_CHECK failed: 2 \\+ 2 == 5");
+}
+
+TEST(CheckDeathTest, FailedCheckNamesTheFile) {
+  EXPECT_DEATH(ADA_CHECK(false), "check_test");
+}
+
+TEST(CheckDeathTest, CheckMsgFormatsPrintfStyleArguments) {
+  int patient = 42;
+  EXPECT_DEATH(
+      ADA_CHECK_MSG(patient < 0, "patient %d out of range (max %s)",
+                    patient, "none"),
+      "ADA_CHECK failed: patient < 0: patient 42 out of range \\(max none\\)");
+}
+
+TEST(CheckDeathTest, ComparisonMacrosPrintTheComparison) {
+  EXPECT_DEATH(ADA_CHECK_EQ(1, 2), "ADA_CHECK failed: \\(1\\) == \\(2\\)");
+  EXPECT_DEATH(ADA_CHECK_GE(1, 2), "ADA_CHECK failed: \\(1\\) >= \\(2\\)");
+}
+
+TEST(CheckDeathTest, CheckOkDiesOnFailedStatus) {
+  EXPECT_DEATH(ADA_CHECK_OK(InvalidArgumentError("bad k")),
+               "ADA_CHECK failed");
+}
+
+TEST(CheckDeathTest, CheckOkDiesOnFailedStatusOr) {
+  StatusOr<int> bad(InvalidArgumentError("no value"));
+  EXPECT_DEATH(ADA_CHECK_OK(bad), "ADA_CHECK failed");
+}
+
+TEST(CheckDeathTest, StatusOrValueOnErrorDiesWithStatusMessage) {
+  StatusOr<int> bad(InvalidArgumentError("k must be >= 2"));
+  EXPECT_DEATH(static_cast<void>(bad.value()),
+               "StatusOr::value\\(\\) called on error status: "
+               "INVALID_ARGUMENT: k must be >= 2");
+}
+
+TEST(CheckDeathTest, SideEffectsInConditionHappenExactlyOnce) {
+  // The macro must evaluate its condition exactly once (it is used with
+  // statements like ADA_CHECK(remap[id] < 0) where double evaluation
+  // would hide bugs).
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  ADA_CHECK(count());
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace adahealth

@@ -5,6 +5,7 @@
 #include <set>
 
 #include <gtest/gtest.h>
+#include "common/string_util.h"
 #include "core/endgoal.h"
 #include "core/feedback_sim.h"
 #include "core/session.h"
@@ -99,7 +100,7 @@ TEST(IntegrationTest, FeedbackLoopImprovesInterestModel) {
     kdb::Collection feedback("feedback");
     for (size_t i = 0; i < train_count && i < split; ++i) {
       feedback.Insert(core::MakeGoalFeedbackDocument(
-          "d" + std::to_string(i), persona.name, pool[i].features,
+          common::StrFormat("d%zu", i), persona.name, pool[i].features,
           pool[i].goal, pool[i].label));
     }
     core::EndGoalEngine engine;

@@ -3,8 +3,10 @@
 #include <set>
 
 #include <gtest/gtest.h>
+#include "cluster/kmeans.h"
 #include "common/metrics.h"
 #include "kdb/query.h"
+#include "transform/vsm.h"
 
 namespace adahealth {
 namespace core {
@@ -179,6 +181,40 @@ TEST_F(SessionTest, PipelineRunPopulatesMetricsRegistry) {
   ASSERT_TRUE(parsed.ok());
   EXPECT_NE(parsed->Find("histograms")->Find("session/optimize_seconds"),
             nullptr);
+}
+
+// Regression tests for the [[nodiscard]] sweep: the knowledge-item
+// helpers used to swallow shape errors into a silently-empty item list,
+// which made a broken pipeline look like "no knowledge found". They now
+// propagate the Status.
+TEST_F(SessionTest, ClusterKnowledgeItemsPropagatesShapeErrors) {
+  transform::Matrix vsm(4, cohort_.log.num_exam_types(), 0.1);
+  cluster::Clustering clustering;
+  clustering.k = 2;
+  clustering.assignments = {0, 1};  // 2 assignments for 4 rows: invalid.
+  auto items = ClusterKnowledgeItems(cohort_.log, vsm, clustering);
+  ASSERT_FALSE(items.ok());
+  EXPECT_EQ(items.status().code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST_F(SessionTest, ClusterKnowledgeItemsBuildsOneItemPerCluster) {
+  transform::Matrix vsm = transform::BuildVsm(
+      cohort_.log, transform::VsmOptions());
+  auto clustering = cluster::RunKMeans(vsm, cluster::KMeansOptions{.k = 3});
+  ASSERT_TRUE(clustering.ok());
+  auto items = ClusterKnowledgeItems(cohort_.log, vsm, clustering.value());
+  ASSERT_TRUE(items.ok());
+  EXPECT_EQ(items->size(), 3u);
+}
+
+TEST_F(SessionTest, OutlierKnowledgeItemsPropagatesShapeErrors) {
+  transform::Matrix vsm(4, 3, 0.1);
+  cluster::Clustering clustering;
+  clustering.k = 2;
+  clustering.assignments = {0, 1};  // Wrong length again.
+  auto items = OutlierKnowledgeItems(vsm, clustering);
+  ASSERT_FALSE(items.ok());
+  EXPECT_EQ(items.status().code(), common::StatusCode::kInvalidArgument);
 }
 
 TEST_F(SessionTest, KnowledgeItemIdsAreUnique) {

@@ -1,7 +1,10 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -34,6 +37,75 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
     }
   }
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsSlowTasks) {
+  // Tasks that are still queued when the destructor runs must execute,
+  // even when every worker is busy at destruction time.
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.Schedule([&counter] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        counter.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskDoesNotKillWorkerOrDeadlockWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Schedule([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 50; ++i) {
+    pool.Schedule([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 50);
+  EXPECT_EQ(pool.failed_tasks(), 1u);
+  EXPECT_EQ(pool.first_failure_message(), "boom");
+}
+
+TEST(ThreadPoolTest, NonStdExceptionIsRecordedAsUnknown) {
+  ThreadPool pool(1);
+  pool.Schedule([] { throw 42; });
+  pool.Wait();
+  EXPECT_EQ(pool.failed_tasks(), 1u);
+  EXPECT_EQ(pool.first_failure_message(), "unknown exception");
+}
+
+TEST(ThreadPoolTest, FirstFailureMessageIsKept) {
+  ThreadPool pool(1);  // Single worker makes failure order deterministic.
+  pool.Schedule([] { throw std::runtime_error("first"); });
+  pool.Schedule([] { throw std::runtime_error("second"); });
+  pool.Wait();
+  EXPECT_EQ(pool.failed_tasks(), 2u);
+  EXPECT_EQ(pool.first_failure_message(), "first");
+}
+
+TEST(ThreadPoolTest, TryScheduleRunsOnLivePool) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(pool.TrySchedule([&counter] { counter.fetch_add(1); }));
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsAcceptedWorkThenRejectsNewWork) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(pool.TrySchedule([&counter] { counter.fetch_add(1); }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 20);
+  EXPECT_FALSE(pool.TrySchedule([&counter] { counter.fetch_add(1); }));
+  pool.Shutdown();  // Idempotent; the destructor will call it again.
+  EXPECT_EQ(counter.load(), 20);
 }
 
 TEST(ThreadPoolTest, SingleThreadPoolWorks) {

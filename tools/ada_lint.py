@@ -1,0 +1,275 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules for ADA-HEALTH that clang-tidy cannot express.
+
+Usage:
+    tools/ada_lint.py [--list-rules] [paths...]
+
+With no paths, lints src/, tests/, and bench/ relative to the repo root
+(the parent of this script's directory). Paths may be files or
+directories; only .h/.cc/.cpp files are considered. Exit status is 0
+when the tree is clean and 1 when any finding is reported.
+
+Rules
+-----
+  include-guard     Headers use #ifndef/#define guards named
+                    ADAHEALTH_<PATH>_H_, where <PATH> is the file path
+                    uppercased with separators and dots as underscores.
+                    Library headers drop the leading src/ (the include
+                    root): src/kdb/query.h -> ADAHEALTH_KDB_QUERY_H_,
+                    tests/test_util.h -> ADAHEALTH_TESTS_TEST_UTIL_H_.
+  naked-new         No naked `new` / `malloc` family outside src/common/.
+                    Library code owns memory through containers and
+                    std::make_unique; the two sanctioned leaky singletons
+                    live in common/.
+  stdout-in-lib     No std::cout / std::cerr / printf in library code
+                    (src/ outside src/common/): libraries must log
+                    through common/logging (ADA_LOG) so severity and
+                    filtering stay uniform. Tests, benches, examples and
+                    tools may print.
+  check-in-dataset  ADA_CHECK* in src/dataset/ must carry an "invariant"
+                    justification (a comment containing the word
+                    `invariant` on the same line or within the five
+                    lines above). dataset/ is the input-parsing layer:
+                    conditions derived from user input must return
+                    Status, and every remaining CHECK must document why
+                    it is a programmer invariant instead.
+  direct-random     No #include <random> or std:: random engines outside
+                    src/common/rng: all randomness flows through
+                    common/rng so runs stay seed-reproducible.
+
+An individual finding can be waived with a trailing comment
+`// ada-lint: allow(<rule>)` on the offending line; use sparingly and
+say why next to it.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+SOURCE_EXTENSIONS = (".h", ".cc", ".cpp")
+
+ALLOW_RE = re.compile(r"ada-lint:\s*allow\(([a-z-]+)\)")
+
+NAKED_NEW_RE = re.compile(r"\bnew\b\s*(\(|[A-Za-z_:<])")
+MALLOC_RE = re.compile(r"\b(malloc|calloc|realloc|free)\s*\(")
+STDOUT_RE = re.compile(r"std::cout|std::cerr|\bstd::printf\s*\(|(?<![\w:])printf\s*\(")
+CHECK_RE = re.compile(r"\bADA_CHECK(_MSG|_EQ|_NE|_LT|_LE|_GT|_GE|_OK)?\s*\(")
+RANDOM_INCLUDE_RE = re.compile(r"#\s*include\s*<random>")
+RANDOM_ENGINE_RE = re.compile(
+    r"std::(mt19937(_64)?|minstd_rand0?|random_device|"
+    r"(uniform_(int|real)|normal|bernoulli|poisson)_distribution)\b")
+INVARIANT_RE = re.compile(r"invariant", re.IGNORECASE)
+
+BLOCK_COMMENT_OPEN_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
+
+
+def strip_strings_and_comments(line, in_block_comment):
+    """Returns (code-only text, still_in_block_comment).
+
+    Good enough for lint purposes: removes string/char literals, //
+    comments and /* */ comments from one line, tracking multi-line block
+    comments via `in_block_comment`.
+    """
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(out), True
+            i = end + 2
+            in_block_comment = False
+            continue
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c == "/" and i + 1 < n and line[i + 1] == "*":
+            in_block_comment = True
+            i += 2
+            continue
+        if c in "\"'":
+            quote = c
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    i += 1
+                    break
+                i += 1
+            out.append(quote + quote)  # Keep an empty literal as a token.
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out), in_block_comment
+
+
+def expected_guard(rel_path):
+    parts = rel_path.split(os.sep)
+    if parts[0] == "src":
+        parts = parts[1:]  # src/ is the include root.
+    token = "_".join(parts)
+    token = re.sub(r"[^A-Za-z0-9]", "_", token)
+    return "ADAHEALTH_" + token.upper() + "_"
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def lint_file(path, rel_path):
+    findings = []
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            raw_lines = f.read().splitlines()
+    except OSError as error:
+        findings.append(Finding(rel_path, 0, "io", f"cannot read: {error}"))
+        return findings
+
+    in_src = rel_path.startswith("src" + os.sep)
+    in_common = rel_path.startswith(os.path.join("src", "common") + os.sep)
+    in_dataset = rel_path.startswith(os.path.join("src", "dataset") + os.sep)
+    is_rng = rel_path in (os.path.join("src", "common", "rng.h"),
+                          os.path.join("src", "common", "rng.cc"))
+
+    code_lines = []
+    in_block = False
+    for raw in raw_lines:
+        code, in_block = strip_strings_and_comments(raw, in_block)
+        code_lines.append(code)
+
+    def allowed(lineno, rule):
+        m = ALLOW_RE.search(raw_lines[lineno - 1])
+        return m is not None and m.group(1) == rule
+
+    # --- include-guard ---------------------------------------------------
+    if rel_path.endswith(".h"):
+        guard = expected_guard(rel_path)
+        ifndef = f"#ifndef {guard}"
+        define = f"#define {guard}"
+        stripped = [ln.strip() for ln in raw_lines]
+        if ifndef not in stripped:
+            findings.append(Finding(rel_path, 1, "include-guard",
+                                    f"missing or misnamed guard; expected "
+                                    f"`{ifndef}`"))
+        elif define not in stripped:
+            findings.append(Finding(rel_path, 1, "include-guard",
+                                    f"`{ifndef}` without matching "
+                                    f"`{define}`"))
+
+    for lineno, code in enumerate(code_lines, start=1):
+        if not code.strip():
+            continue
+
+        # --- naked-new ---------------------------------------------------
+        if in_src and not in_common:
+            if NAKED_NEW_RE.search(code) and not allowed(lineno, "naked-new"):
+                findings.append(Finding(
+                    rel_path, lineno, "naked-new",
+                    "naked `new` outside src/common/; use containers or "
+                    "std::make_unique"))
+            m = MALLOC_RE.search(code)
+            if m and not allowed(lineno, "naked-new"):
+                findings.append(Finding(
+                    rel_path, lineno, "naked-new",
+                    f"`{m.group(1)}` outside src/common/; use C++ "
+                    "ownership types"))
+
+        # --- stdout-in-lib ----------------------------------------------
+        if in_src and not in_common:
+            if STDOUT_RE.search(code) and not allowed(lineno, "stdout-in-lib"):
+                findings.append(Finding(
+                    rel_path, lineno, "stdout-in-lib",
+                    "stdout/stderr printing in library code; use ADA_LOG "
+                    "from common/logging.h"))
+
+        # --- check-in-dataset -------------------------------------------
+        if in_dataset and CHECK_RE.search(code):
+            window = raw_lines[max(0, lineno - 6):lineno]
+            if (not any(INVARIANT_RE.search(w) for w in window)
+                    and not allowed(lineno, "check-in-dataset")):
+                findings.append(Finding(
+                    rel_path, lineno, "check-in-dataset",
+                    "ADA_CHECK in dataset/ without an `invariant` "
+                    "justification comment; user-input-derived conditions "
+                    "must return Status instead of aborting"))
+
+        # --- direct-random ----------------------------------------------
+        if not is_rng:
+            if (RANDOM_INCLUDE_RE.search(code)
+                    and not allowed(lineno, "direct-random")):
+                findings.append(Finding(
+                    rel_path, lineno, "direct-random",
+                    "#include <random> outside common/rng; use "
+                    "common::Rng for seed-reproducible randomness"))
+            m = RANDOM_ENGINE_RE.search(code)
+            if m and not allowed(lineno, "direct-random"):
+                findings.append(Finding(
+                    rel_path, lineno, "direct-random",
+                    f"direct use of `std::{m.group(1)}`; use common::Rng"))
+
+    return findings
+
+
+def collect_files(paths):
+    files = []
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(SOURCE_EXTENSIONS):
+                files.append(path)
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = [d for d in dirnames
+                               if d not in ("build", ".git")
+                               and not d.startswith("build-")]
+                for name in sorted(filenames):
+                    if name.endswith(SOURCE_EXTENSIONS):
+                        files.append(os.path.join(dirpath, name))
+        else:
+            print(f"ada_lint: no such path: {path}", file=sys.stderr)
+    return files
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="ADA-HEALTH repo lint (see module docstring)")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories (default: src tests "
+                             "bench under the repo root)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule documentation and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(__doc__)
+        return 0
+
+    paths = args.paths or [os.path.join(REPO_ROOT, d)
+                           for d in ("src", "tests", "bench")]
+    findings = []
+    for path in collect_files(paths):
+        rel = os.path.relpath(os.path.abspath(path), REPO_ROOT)
+        findings.extend(lint_file(path, rel))
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"ada_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
