@@ -1,5 +1,8 @@
 #include "common/csv.h"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdio>
 
 namespace adahealth {
@@ -133,6 +136,34 @@ Status WriteStringToFile(const std::string& path, std::string_view contents) {
   bool ok = written == contents.size();
   ok = std::fclose(file) == 0 && ok;
   if (!ok) return DataLossError("write error on file: " + path);
+  return OkStatus();
+}
+
+Status CheckDirectoryWritable(const std::string& path) {
+  struct stat info;
+  if (::stat(path.c_str(), &info) != 0) {
+    return UnavailableError("directory does not exist: " + path);
+  }
+  if (!S_ISDIR(info.st_mode)) {
+    return UnavailableError("not a directory: " + path);
+  }
+  if (::access(path.c_str(), W_OK | X_OK) != 0) {
+    return UnavailableError("directory is not writable: " + path);
+  }
+  return OkStatus();
+}
+
+Status CheckDirectoryReadable(const std::string& path) {
+  struct stat info;
+  if (::stat(path.c_str(), &info) != 0) {
+    return UnavailableError("directory does not exist: " + path);
+  }
+  if (!S_ISDIR(info.st_mode)) {
+    return UnavailableError("not a directory: " + path);
+  }
+  if (::access(path.c_str(), R_OK | X_OK) != 0) {
+    return UnavailableError("directory is not readable: " + path);
+  }
   return OkStatus();
 }
 

@@ -31,6 +31,14 @@ std::string WriteCsv(const std::vector<std::vector<std::string>>& rows,
 /// Writes `contents` to `path`, replacing any existing file.
 [[nodiscard]] Status WriteStringToFile(const std::string& path, std::string_view contents);
 
+/// Verifies that `path` is an existing, writable directory; UNAVAILABLE
+/// (naming the path) otherwise. Used to fail persistence operations up
+/// front instead of midway through a multi-file write.
+[[nodiscard]] Status CheckDirectoryWritable(const std::string& path);
+
+/// As above but only requires read+list access (for load paths).
+[[nodiscard]] Status CheckDirectoryReadable(const std::string& path);
+
 }  // namespace common
 }  // namespace adahealth
 

@@ -1,0 +1,84 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/timer.h"
+
+namespace adahealth {
+namespace common {
+
+namespace {
+
+/// Stable 64-bit hash of the op name (FNV-1a), mixed into the jitter
+/// seed so distinct operations get independent deterministic streams.
+uint64_t HashOpName(std::string_view op_name) {
+  uint64_t hash = 1469598103934665603ull;
+  for (char c : op_name) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+bool RetryPolicy::IsRetryable(StatusCode code) const {
+  return std::find(retryable_codes.begin(), retryable_codes.end(), code) !=
+         retryable_codes.end();
+}
+
+Status RetryWithPolicy(const RetryPolicy& policy, std::string_view op_name,
+                       const std::function<Status()>& operation) {
+  return RetryWithPolicy(policy, op_name, operation, nullptr);
+}
+
+Status RetryWithPolicy(const RetryPolicy& policy, std::string_view op_name,
+                       const std::function<Status()>& operation,
+                       int32_t* attempts_out) {
+  MetricsRegistry& metrics = MetricsRegistry::Default();
+  const int32_t max_attempts = std::max(1, policy.max_attempts);
+  Rng jitter(policy.jitter_seed ^ HashOpName(op_name));
+  Status last = OkStatus();
+  int32_t attempts = 0;
+  for (int32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    attempts = attempt;
+    if (attempts_out != nullptr) *attempts_out = attempt;
+    metrics.GetCounter("retry_attempts").Increment();
+    WallTimer attempt_timer;
+    last = operation();
+    double elapsed_millis = attempt_timer.ElapsedSeconds() * 1e3;
+    if (policy.per_attempt_deadline_millis > 0.0 &&
+        elapsed_millis > policy.per_attempt_deadline_millis) {
+      last = DeadlineExceededError(
+          std::string(op_name) + ": attempt " + std::to_string(attempt) +
+          " overran its deadline (" + std::to_string(elapsed_millis) +
+          " ms > " + std::to_string(policy.per_attempt_deadline_millis) +
+          " ms)");
+    }
+    if (last.ok()) return last;
+    if (!policy.IsRetryable(last.code()) || attempt == max_attempts) break;
+    double backoff = policy.initial_backoff_millis;
+    for (int32_t i = 1; i < attempt; ++i) backoff *= policy.backoff_multiplier;
+    backoff = std::min(backoff, policy.max_backoff_millis);
+    backoff *= 1.0 + policy.jitter_fraction * jitter.UniformDouble(-1.0, 1.0);
+    backoff = std::max(0.0, backoff);
+    ADA_LOG(kWarning) << "retrying '" << op_name << "' (attempt " << attempt
+                      << "/" << max_attempts << " failed: " << last.ToString()
+                      << "), backing off " << backoff << " ms";
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff));
+  }
+  metrics.GetCounter("retry_giveups").Increment();
+  return Status(last.code(), std::string(op_name) + " failed after " +
+                                 std::to_string(attempts) +
+                                 " attempt(s): " + last.message());
+}
+
+}  // namespace common
+}  // namespace adahealth

@@ -1,0 +1,67 @@
+// Bounded retry with deterministic exponential backoff.
+//
+// Transient failures (a busy disk, an injected UNAVAILABLE, a stalled
+// stage) are retried up to a bounded number of attempts with
+// exponential backoff; jitter is drawn from common/rng seeded by the
+// policy and the operation name, so a given (policy, op) pair backs
+// off identically run-to-run — retries never break experiment
+// reproducibility.
+//
+// Every attempt increments the "retry_attempts" counter; exhausting the
+// policy increments "retry_giveups". Both live in
+// MetricsRegistry::Default() and therefore show up in the bench JSON
+// dumps.
+#ifndef ADAHEALTH_COMMON_RETRY_H_
+#define ADAHEALTH_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace adahealth {
+namespace common {
+
+struct RetryPolicy {
+  /// Total attempts including the first (>= 1); 1 disables retries.
+  int32_t max_attempts = 3;
+  /// Backoff before retry n is
+  ///   min(initial * multiplier^(n-1), max) * (1 + jitter * u),
+  /// with u uniform in [-1, 1) from the deterministic jitter stream.
+  double initial_backoff_millis = 1.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_millis = 50.0;
+  double jitter_fraction = 0.25;
+  uint64_t jitter_seed = 0x5ADA5EED;
+  /// An attempt whose wall time exceeds this budget has its result
+  /// replaced with DEADLINE_EXCEEDED (which is retryable); <= 0
+  /// disables the per-attempt deadline. The attempt itself cannot be
+  /// preempted — the deadline is enforced when it returns.
+  double per_attempt_deadline_millis = 0.0;
+  /// Codes worth retrying; everything else fails fast.
+  std::vector<StatusCode> retryable_codes = {StatusCode::kUnavailable,
+                                             StatusCode::kDeadlineExceeded};
+
+  [[nodiscard]] bool IsRetryable(StatusCode code) const;
+};
+
+/// Runs `operation` under `policy`. Returns the first OK result, or —
+/// once attempts are exhausted or a non-retryable code appears — the
+/// last status, annotated with the attempt count and `op_name`.
+[[nodiscard]] Status RetryWithPolicy(
+    const RetryPolicy& policy, std::string_view op_name,
+    const std::function<Status()>& operation);
+
+/// As above, also reporting how many attempts were consumed (>= 1)
+/// through `attempts_out` (ignored when null). Exposed separately so
+/// callers that record StageOutcome can surface the retry count.
+[[nodiscard]] Status RetryWithPolicy(
+    const RetryPolicy& policy, std::string_view op_name,
+    const std::function<Status()>& operation, int32_t* attempts_out);
+
+}  // namespace common
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_COMMON_RETRY_H_

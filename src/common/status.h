@@ -32,6 +32,8 @@ enum class StatusCode : int32_t {
   kUnimplemented = 6,
   kInternal = 7,
   kDataLoss = 8,
+  kUnavailable = 9,
+  kDeadlineExceeded = 10,
 };
 
 /// Returns the canonical name of `code` (e.g. "INVALID_ARGUMENT").
@@ -83,6 +85,8 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 [[nodiscard]] Status UnimplementedError(std::string message);
 [[nodiscard]] Status InternalError(std::string message);
 [[nodiscard]] Status DataLossError(std::string message);
+[[nodiscard]] Status UnavailableError(std::string message);
+[[nodiscard]] Status DeadlineExceededError(std::string message);
 
 /// Union of a `Status` and a `T`: holds a value exactly when ok().
 ///

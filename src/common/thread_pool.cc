@@ -5,6 +5,8 @@
 #include <exception>
 
 #include "common/check.h"
+#include "common/failpoint.h"
+#include "common/logging.h"
 
 namespace adahealth {
 namespace common {
@@ -81,14 +83,26 @@ void ThreadPool::WorkerLoop() {
     }
     bool failed = false;
     std::string failure_message;
+    // Fault injection: "thread_pool.task" simulates a task whose
+    // execution failed. The task body still runs — completion is
+    // load-bearing for ParallelFor's pending count — only the pool's
+    // failure accounting fires.
+    Status injected = ADA_FAILPOINT("thread_pool.task");
+    if (!injected.ok()) {
+      failed = true;
+      failure_message = injected.message();
+    }
     try {
       task();
     } catch (const std::exception& e) {
       failed = true;
       failure_message = e.what();
+      ADA_LOG(kWarning) << "thread pool task failed: " << failure_message;
     } catch (...) {
       failed = true;
       failure_message = "unknown exception";
+      ADA_LOG(kWarning)
+          << "thread pool task failed with a non-std exception";
     }
     {
       std::unique_lock<std::mutex> lock(mutex_);

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "ml/cross_validation.h"
@@ -40,6 +41,10 @@ ml::ClassifierFactory MakeFactory(RobustnessModel model) {
 /// that re-predicts the cluster labels from the same features.
 StatusOr<CandidateEvaluation> EvaluateCandidate(
     const Matrix& data, int32_t k, const OptimizerOptions& options) {
+  // A triggered "optimizer.candidate" failpoint marks this candidate
+  // skipped (the sweep's existing degradation path) without aborting
+  // the sweep.
+  ADA_RETURN_IF_ERROR(ADA_FAILPOINT("optimizer.candidate"));
   common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
   common::ScopedTimer eval_timer(metrics, "optimizer/candidate_eval_seconds");
   CandidateEvaluation evaluation;

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "cluster/quality.h"
+#include "common/failpoint.h"
+#include "common/logging.h"
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "transform/feature_select.h"
@@ -124,6 +126,18 @@ StatusOr<PartialMiningResult> RunExamSubsetPartialMining(
   common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
   std::vector<std::vector<double>> similarities;
   for (const auto& subset : schedule.value()) {
+    // A failing non-baseline step is dropped from the schedule (it can
+    // simply never be selected); the full-data baseline is the
+    // comparison reference and must succeed.
+    common::Status injected = ADA_FAILPOINT("partial_mining.step");
+    if (!injected.ok()) {
+      if (&subset == &schedule.value().back()) return injected;
+      metrics.GetCounter("partial_mining/steps_skipped").Increment();
+      ADA_LOG(kWarning) << "partial mining: dropping step (fraction "
+                        << subset.exam_fraction
+                        << "): " << injected.ToString();
+      continue;
+    }
     common::ScopedTimer step_timer(metrics, "partial_mining/step_seconds");
     ExamLog reduced = log.FilterExamTypes(subset.mask);
     transform::Matrix reduced_vsm = BuildVsm(reduced, options.vsm);

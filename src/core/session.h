@@ -8,9 +8,12 @@
 #ifndef ADAHEALTH_CORE_SESSION_H_
 #define ADAHEALTH_CORE_SESSION_H_
 
+#include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/retry.h"
 #include "core/characterization.h"
 #include "core/knowledge.h"
 #include "core/optimizer.h"
@@ -24,6 +27,52 @@
 
 namespace adahealth {
 namespace core {
+
+/// How one pipeline stage ended under the resilience layer.
+enum class StageState {
+  kOk = 0,        // Succeeded (possibly after retries — see attempts).
+  kDegraded = 1,  // Failed or overran its budget; a fallback was used.
+  kSkipped = 2,   // Not applicable this run (e.g. no taxonomy).
+  kFailed = 3,    // Essential stage exhausted retries; session aborted.
+};
+
+/// "ok" / "degraded" / "skipped" / "failed".
+const char* StageStateName(StageState state);
+
+/// Structured record of one Figure-1 stage execution.
+struct StageOutcome {
+  /// Stage name ("characterize", "transform", "partial_mining",
+  /// "optimizer", "knowledge", "pattern_mining", "ranking",
+  /// "kdb_store"); the matching failpoint is "session.<name>".
+  std::string stage;
+  StageState state = StageState::kOk;
+  /// Final status: OK for kOk/kSkipped, the terminal error for
+  /// kDegraded/kFailed (budget overruns carry DEADLINE_EXCEEDED).
+  common::Status status;
+  /// Attempts consumed (>= 1); > 1 means the stage was retried.
+  int32_t attempts = 1;
+  /// Stage wall time in seconds (all attempts).
+  double seconds = 0.0;
+  /// True when the stage finished but overran its wall-clock budget.
+  bool over_budget = false;
+};
+
+/// Resilience knobs for AnalysisSession::Run: per-stage retry, budgets
+/// and graceful degradation of non-essential stages.
+struct ResilienceOptions {
+  /// When false, any stage failure aborts the session immediately
+  /// (pre-resilience behavior); outcomes are still recorded.
+  bool enabled = true;
+  /// Retry policy applied at every stage boundary (and thereby to the
+  /// K-DB storage I/O the kdb_store stage performs).
+  common::RetryPolicy retry;
+  /// Advisory wall-clock budget per stage, in seconds; a finished
+  /// stage that overran is marked degraded/over_budget (stages cannot
+  /// be preempted mid-flight). <= 0 disables the budget.
+  double default_stage_budget_seconds = 0.0;
+  /// Per-stage budget overrides by stage name.
+  std::map<std::string, double> stage_budget_seconds;
+};
 
 struct SessionOptions {
   /// Identifier under which artifacts are stored in the K-DB.
@@ -39,6 +88,10 @@ struct SessionOptions {
   size_t max_selected_items = 12;
   /// Skip the raw-dataset upload to the K-DB (it is large).
   bool store_raw_dataset = false;
+  /// When non-empty, the kdb_store stage also persists the whole K-DB
+  /// to this directory (atomic per-collection writes, retried).
+  std::string persist_directory;
+  ResilienceOptions resilience;
 };
 
 struct SessionResult {
@@ -48,8 +101,16 @@ struct SessionResult {
   OptimizerResult optimizer;
   /// All extracted knowledge items, ranked.
   std::vector<KnowledgeItem> knowledge;
-  /// Multi-line human-readable run summary.
+  /// One outcome per executed stage, in pipeline order.
+  std::vector<StageOutcome> stages;
+  /// Multi-line human-readable run summary (includes a resilience
+  /// line whenever any stage retried, degraded or was skipped).
   std::string summary;
+
+  /// Convenience: outcome for `stage` or nullptr when absent.
+  [[nodiscard]] const StageOutcome* FindStage(std::string_view stage) const;
+  /// Number of stages in the given state.
+  [[nodiscard]] size_t CountStages(StageState state) const;
 };
 
 /// One analysis session against a K-DB instance.

@@ -1,5 +1,9 @@
 #include "kdb/database.h"
 
+#include "common/csv.h"
+#include "common/failpoint.h"
+#include "common/retry.h"
+
 namespace adahealth {
 namespace kdb {
 
@@ -43,19 +47,46 @@ void Database::EnsureAdaHealthSchema() {
   }
 }
 
-Status Database::SaveTo(const std::string& directory) const {
+Status Database::SaveTo(const std::string& directory,
+                        const PersistOptions& options) const {
+  // Fail up front on a bad target rather than per-collection midway.
+  ADA_RETURN_IF_ERROR(common::CheckDirectoryWritable(directory));
   for (const auto& [name, collection] : collections_) {
-    Status status = SaveCollection(*collection, directory);
+    const Collection* to_save = collection.get();
+    Status status = common::RetryWithPolicy(
+        options.retry, "kdb.database.save:" + name, [&] {
+          ADA_RETURN_IF_ERROR(ADA_FAILPOINT("kdb.database.save"));
+          return SaveCollection(*to_save, directory);
+        });
     if (!status.ok()) return status;
   }
   return common::OkStatus();
 }
 
 Status Database::LoadFrom(const std::string& directory,
-                          const std::vector<std::string>& names) {
+                          const std::vector<std::string>& names,
+                          const PersistOptions& options) {
+  // The readability precheck mirrors SaveTo's writability one: missing
+  // directories surface as one UNAVAILABLE naming the path.
+  ADA_RETURN_IF_ERROR(common::CheckDirectoryReadable(directory));
   for (const std::string& name : names) {
-    auto loaded = LoadCollection(name, directory);
-    if (!loaded.ok()) return loaded.status();
+    common::StatusOr<Collection> loaded =
+        common::NotFoundError("not loaded");
+    Status status = common::RetryWithPolicy(
+        options.retry, "kdb.database.load:" + name, [&] {
+          ADA_RETURN_IF_ERROR(ADA_FAILPOINT("kdb.database.load"));
+          if (options.salvage) {
+            auto salvaged = LoadCollectionSalvage(name, directory);
+            if (!salvaged.ok()) return salvaged.status();
+            loaded = std::move(salvaged)->collection;
+            return common::OkStatus();
+          }
+          auto strict = LoadCollection(name, directory);
+          if (!strict.ok()) return strict.status();
+          loaded = std::move(strict).value();
+          return common::OkStatus();
+        });
+    if (!status.ok()) return status;
     collections_[name] =
         std::make_unique<Collection>(std::move(loaded).value());
   }

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "kdb/collection.h"
 #include "kdb/storage.h"
 
@@ -59,14 +60,37 @@ class Database {
   /// default indexes (dataset_id on every derived collection).
   void EnsureAdaHealthSchema();
 
-  /// Persists every collection to `<directory>/<name>.jsonl`. The
-  /// directory must exist.
-  [[nodiscard]] common::Status SaveTo(const std::string& directory) const;
+  /// Knobs for SaveTo/LoadFrom.
+  struct PersistOptions {
+    /// Per-collection I/O retry (transient UNAVAILABLE/DEADLINE_EXCEEDED
+    /// failures are re-attempted with deterministic backoff).
+    common::RetryPolicy retry;
+    /// LoadFrom only: recover the valid prefix of a torn collection
+    /// file (counted in "storage_salvaged_lines") instead of failing.
+    bool salvage = false;
+  };
+
+  /// Persists every collection to `<directory>/<name>.jsonl`
+  /// atomically (see kdb/storage.h). Verifies up front that the
+  /// directory exists and is writable, returning UNAVAILABLE naming
+  /// the path, so a bad target cannot fail midway through the
+  /// collection set.
+  [[nodiscard]] common::Status SaveTo(const std::string& directory) const {
+    return SaveTo(directory, PersistOptions());
+  }
+  [[nodiscard]] common::Status SaveTo(const std::string& directory,
+                                      const PersistOptions& options) const;
 
   /// Loads every `names` collection from the directory, replacing any
-  /// in-memory collections of the same name.
+  /// in-memory collections of the same name. The directory is checked
+  /// up front (UNAVAILABLE with the path when missing).
   [[nodiscard]] common::Status LoadFrom(const std::string& directory,
-                          const std::vector<std::string>& names);
+                          const std::vector<std::string>& names) {
+    return LoadFrom(directory, names, PersistOptions());
+  }
+  [[nodiscard]] common::Status LoadFrom(const std::string& directory,
+                                        const std::vector<std::string>& names,
+                                        const PersistOptions& options);
 
  private:
   std::map<std::string, std::unique_ptr<Collection>> collections_;

@@ -1,6 +1,14 @@
 #include "kdb/storage.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+
 #include "common/csv.h"
+#include "common/failpoint.h"
+#include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 
 namespace adahealth {
@@ -8,6 +16,106 @@ namespace kdb {
 
 using common::Status;
 using common::StatusOr;
+
+namespace {
+
+/// Truncated single-line payload preview for storage error messages,
+/// so a torn write can be triaged without opening the file.
+std::string PayloadPreview(std::string_view line) {
+  constexpr size_t kMaxPreview = 48;
+  std::string preview(line.substr(0, kMaxPreview));
+  if (line.size() > kMaxPreview) preview += "...";
+  return preview;
+}
+
+Status AnnotateLine(const Status& status, const std::string& name,
+                    size_t line_number, std::string_view line) {
+  return Status(status.code(),
+                "collection '" + name + "' line " +
+                    std::to_string(line_number) + " (payload '" +
+                    PayloadPreview(line) + "'): " + status.message());
+}
+
+/// Parses and restores one JSONL line into `collection`; OK for blank
+/// lines. Errors carry the line number and payload preview.
+Status RestoreLine(Collection& collection, const std::string& name,
+                   size_t line_number, const std::string& line) {
+  std::string_view trimmed = common::Trim(line);
+  if (trimmed.empty()) return common::OkStatus();
+  auto document = Document::Parse(trimmed);
+  if (!document.ok()) {
+    return AnnotateLine(
+        common::DataLossError(document.status().message()), name,
+        line_number, trimmed);
+  }
+  Status restored = collection.Restore(std::move(document).value());
+  if (!restored.ok()) {
+    return AnnotateLine(restored, name, line_number, trimmed);
+  }
+  return common::OkStatus();
+}
+
+/// Writes `contents` to `path` atomically: `<path>.tmp` + fsync +
+/// rename. Any failure removes the temporary file and leaves a
+/// previous `path` untouched.
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  const std::string tmp_path = path + ".tmp";
+  auto fail = [&tmp_path](Status status) {
+    std::remove(tmp_path.c_str());
+    return status;
+  };
+
+  Status injected = ADA_FAILPOINT("kdb.storage.write");
+  if (!injected.ok()) return fail(injected);
+
+  std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
+  if (file == nullptr) {
+    return common::UnavailableError("cannot open temp file for writing: " +
+                                    tmp_path);
+  }
+  size_t written = std::fwrite(contents.data(), 1, contents.size(), file);
+  if (written != contents.size() || std::fflush(file) != 0) {
+    std::fclose(file);
+    return fail(common::DataLossError("write error on file: " + tmp_path));
+  }
+
+  injected = ADA_FAILPOINT("kdb.storage.fsync");
+  if (!injected.ok()) {
+    std::fclose(file);
+    return fail(injected);
+  }
+  if (::fsync(::fileno(file)) != 0) {
+    std::fclose(file);
+    return fail(common::DataLossError("fsync failed on file: " + tmp_path));
+  }
+  if (std::fclose(file) != 0) {
+    return fail(common::DataLossError("close failed on file: " + tmp_path));
+  }
+
+  injected = ADA_FAILPOINT("kdb.storage.rename");
+  if (!injected.ok()) return fail(injected);
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return fail(common::UnavailableError("rename failed: " + tmp_path +
+                                         " -> " + path));
+  }
+
+  // Make the rename itself durable. Best-effort: a directory that
+  // cannot be fsynced (some filesystems) only weakens durability, it
+  // does not corrupt either file version.
+  std::string directory = path;
+  size_t slash = directory.find_last_of('/');
+  directory = slash == std::string::npos ? "." : directory.substr(0, slash);
+  int dir_fd = ::open(directory.c_str(), O_RDONLY);
+  if (dir_fd >= 0) {
+    if (::fsync(dir_fd) != 0) {
+      ADA_LOG(kWarning) << "directory fsync failed for " << directory;
+    }
+    ::close(dir_fd);
+  }
+  return common::OkStatus();
+}
+
+}  // namespace
 
 std::string SerializeCollection(const Collection& collection) {
   std::string out;
@@ -24,32 +132,64 @@ StatusOr<Collection> DeserializeCollection(const std::string& name,
   size_t line_number = 0;
   for (const std::string& line : common::Split(text, '\n')) {
     ++line_number;
-    std::string_view trimmed = common::Trim(line);
-    if (trimmed.empty()) continue;
-    auto document = Document::Parse(trimmed);
-    if (!document.ok()) {
-      return common::DataLossError(
-          "collection '" + name + "' line " + std::to_string(line_number) +
-          ": " + document.status().message());
-    }
-    Status restored = collection.Restore(std::move(document).value());
+    Status restored = RestoreLine(collection, name, line_number, line);
     if (!restored.ok()) return restored;
   }
   return collection;
 }
 
+SalvagedCollection DeserializeCollectionSalvage(const std::string& name,
+                                                const std::string& text) {
+  SalvagedCollection salvaged{Collection(name)};
+  std::vector<std::string> lines = common::Split(text, '\n');
+  size_t line_number = 0;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    ++line_number;
+    Status restored =
+        RestoreLine(salvaged.collection, name, line_number, lines[i]);
+    if (!restored.ok()) {
+      // The valid prefix ends here: drop this line and every non-empty
+      // line after it (the torn tail).
+      salvaged.detail = restored;
+      for (size_t j = i; j < lines.size(); ++j) {
+        if (!common::Trim(lines[j]).empty()) ++salvaged.dropped_lines;
+      }
+      break;
+    }
+    if (!common::Trim(lines[i]).empty()) ++salvaged.recovered_lines;
+  }
+  if (salvaged.dropped_lines > 0) {
+    common::MetricsRegistry::Default()
+        .GetCounter("storage_salvaged_lines")
+        .Increment(static_cast<int64_t>(salvaged.recovered_lines));
+    ADA_LOG(kWarning) << "salvaged collection '" << name << "': recovered "
+                      << salvaged.recovered_lines << " line(s), dropped "
+                      << salvaged.dropped_lines << " ("
+                      << salvaged.detail.ToString() << ")";
+  }
+  return salvaged;
+}
+
 Status SaveCollection(const Collection& collection,
                       const std::string& directory) {
-  return common::WriteStringToFile(
-      directory + "/" + collection.name() + ".jsonl",
-      SerializeCollection(collection));
+  return AtomicWriteFile(directory + "/" + collection.name() + ".jsonl",
+                         SerializeCollection(collection));
 }
 
 StatusOr<Collection> LoadCollection(const std::string& name,
                                     const std::string& directory) {
+  ADA_RETURN_IF_ERROR(ADA_FAILPOINT("kdb.storage.read"));
   auto text = common::ReadFileToString(directory + "/" + name + ".jsonl");
   if (!text.ok()) return text.status();
   return DeserializeCollection(name, text.value());
+}
+
+StatusOr<SalvagedCollection> LoadCollectionSalvage(
+    const std::string& name, const std::string& directory) {
+  ADA_RETURN_IF_ERROR(ADA_FAILPOINT("kdb.storage.read"));
+  auto text = common::ReadFileToString(directory + "/" + name + ".jsonl");
+  if (!text.ok()) return text.status();
+  return DeserializeCollectionSalvage(name, text.value());
 }
 
 }  // namespace kdb

@@ -1,6 +1,18 @@
 // JSON-lines persistence of collections: one document per line,
-// append-friendly, reloadable after a crash (truncated trailing lines
-// are rejected with DATA_LOSS rather than silently dropped).
+// append-friendly, reloadable after a crash.
+//
+// Crash safety. SaveCollection is atomic: the serialized collection is
+// written to `<name>.jsonl.tmp`, flushed to disk (fsync), and renamed
+// over the final path, so a crash at any point leaves either the old
+// or the new file — never a torn mixture. LoadCollection is strict by
+// default (a malformed line is DATA_LOSS); LoadCollectionSalvage
+// recovers the valid JSONL prefix of a torn write instead, reporting
+// how much was dropped.
+//
+// Failpoints (common/failpoint.h): "kdb.storage.write",
+// "kdb.storage.fsync", "kdb.storage.rename" fire inside SaveCollection
+// before the corresponding syscall; "kdb.storage.read" fires inside
+// LoadCollection/LoadCollectionSalvage before the file is opened.
 #ifndef ADAHEALTH_KDB_STORAGE_H_
 #define ADAHEALTH_KDB_STORAGE_H_
 
@@ -16,18 +28,52 @@ namespace kdb {
 std::string SerializeCollection(const Collection& collection);
 
 /// Rebuilds a collection named `name` from JSON-lines `text`.
-/// Fails with DATA_LOSS on malformed lines, INVALID_ARGUMENT on
-/// documents without a valid "_id".
+/// Fails with DATA_LOSS on malformed lines and INVALID_ARGUMENT /
+/// ALREADY_EXISTS on documents without a valid, unique "_id"; messages
+/// carry the 1-based line number and a truncated payload preview so a
+/// torn write can be triaged from the error alone.
 [[nodiscard]] common::StatusOr<Collection> DeserializeCollection(const std::string& name,
                                                    const std::string& text);
 
-/// Writes the collection to `<directory>/<name>.jsonl`.
+/// Result of a salvage deserialization/load: the longest valid JSONL
+/// prefix, plus an accounting of what was dropped.
+struct SalvagedCollection {
+  Collection collection;
+  /// Documents restored (the valid prefix).
+  size_t recovered_lines = 0;
+  /// Non-empty lines discarded (the first bad line and everything
+  /// after it).
+  size_t dropped_lines = 0;
+  /// OK when nothing was dropped; otherwise the DATA_LOSS (or
+  /// duplicate-id) detail of the first bad line.
+  common::Status detail;
+
+  SalvagedCollection() : collection("") {}
+  explicit SalvagedCollection(Collection c) : collection(std::move(c)) {}
+};
+
+/// Salvage variant of DeserializeCollection: restores documents up to
+/// the first malformed or duplicate-id line and drops the rest (a torn
+/// tail from a crashed non-atomic append). Never fails on content —
+/// the damage is reported through `detail`/`dropped_lines` and counted
+/// in the "storage_salvaged_lines" metric.
+[[nodiscard]] SalvagedCollection DeserializeCollectionSalvage(
+    const std::string& name, const std::string& text);
+
+/// Atomically writes the collection to `<directory>/<name>.jsonl`
+/// (tmp + fsync + rename). On any failure the previous file is left
+/// untouched and the temporary file is removed.
 [[nodiscard]] common::Status SaveCollection(const Collection& collection,
                               const std::string& directory);
 
-/// Loads `<directory>/<name>.jsonl`.
+/// Loads `<directory>/<name>.jsonl` (strict).
 [[nodiscard]] common::StatusOr<Collection> LoadCollection(const std::string& name,
                                             const std::string& directory);
+
+/// Loads `<directory>/<name>.jsonl`, salvaging the valid prefix of a
+/// torn file. Fails only when the file cannot be read at all.
+[[nodiscard]] common::StatusOr<SalvagedCollection> LoadCollectionSalvage(
+    const std::string& name, const std::string& directory);
 
 }  // namespace kdb
 }  // namespace adahealth

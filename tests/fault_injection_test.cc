@@ -1,0 +1,654 @@
+// Fault-injection coverage: failpoint grammar and registry semantics,
+// retry-policy behavior, and every failpoint seeded through the K-DB
+// storage, database, session, optimizer, partial-mining and
+// thread-pool layers.
+#include <sys/stat.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+#include "common/failpoint.h"
+#include "common/metrics.h"
+#include "common/retry.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/optimizer.h"
+#include "core/partial_mining.h"
+#include "core/session.h"
+#include "dataset/synthetic_cohort.h"
+#include "kdb/database.h"
+#include "kdb/storage.h"
+#include "test_util.h"
+#include "transform/vsm.h"
+
+namespace adahealth {
+namespace {
+
+using common::FailpointConfig;
+using common::FailpointRegistry;
+using common::OneShotError;
+using common::RetryPolicy;
+using common::ScopedFailpoint;
+using common::Status;
+using common::StatusCode;
+
+/// Every test starts and ends with a dormant registry: failpoints are
+/// process-global state and must not leak across tests.
+class FaultInjectionTest : public testing::Test {
+ protected:
+  void SetUp() override { FailpointRegistry::Default().Clear(); }
+  void TearDown() override { FailpointRegistry::Default().Clear(); }
+
+  static bool FileExists(const std::string& path) {
+    struct stat info{};
+    return ::stat(path.c_str(), &info) == 0;
+  }
+
+  /// Fresh empty scratch directory under the test temp root.
+  static std::string MakeScratchDir(const std::string& name) {
+    std::string path = testing::TempDir() + "/fault_" + name;
+    ::mkdir(path.c_str(), 0755);
+    return path;
+  }
+};
+
+// ---------------------------------------------------------------------
+// Spec grammar.
+
+TEST_F(FaultInjectionTest, ParsesErrorActionWithCodeAndMessage) {
+  auto config =
+      FailpointRegistry::ParseAction("error(DATA_LOSS, disk on fire)");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->kind, FailpointConfig::Kind::kError);
+  EXPECT_EQ(config->code, StatusCode::kDataLoss);
+  EXPECT_EQ(config->message, "disk on fire");
+  EXPECT_EQ(config->max_activations, -1);
+  EXPECT_EQ(config->first_hit, 1);
+}
+
+TEST_F(FaultInjectionTest, ParsesDelayAction) {
+  auto config = FailpointRegistry::ParseAction("delay(25)");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->kind, FailpointConfig::Kind::kDelay);
+  EXPECT_EQ(config->delay_millis, 25);
+}
+
+TEST_F(FaultInjectionTest, ParsesCountAndNthModifiers) {
+  auto config = FailpointRegistry::ParseAction("error(UNAVAILABLE)*2@3");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->max_activations, 2);
+  EXPECT_EQ(config->first_hit, 3);
+}
+
+TEST_F(FaultInjectionTest, ParsesOffAsZeroActivations) {
+  auto config = FailpointRegistry::ParseAction("off");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->max_activations, 0);
+}
+
+TEST_F(FaultInjectionTest, RejectsBadGrammar) {
+  EXPECT_FALSE(FailpointRegistry::ParseAction("explode()").ok());
+  EXPECT_FALSE(FailpointRegistry::ParseAction("error(NO_SUCH_CODE)").ok());
+  EXPECT_FALSE(FailpointRegistry::ParseAction("delay(-5)").ok());
+  EXPECT_FALSE(FailpointRegistry::ParseAction("error(INTERNAL)*0").ok());
+  EXPECT_FALSE(FailpointRegistry::ParseAction("error(INTERNAL)@0").ok());
+  EXPECT_FALSE(FailpointRegistry::ParseAction("").ok());
+}
+
+TEST_F(FaultInjectionTest, ConfigureArmsFullSpec) {
+  FailpointRegistry& registry = FailpointRegistry::Default();
+  ASSERT_TRUE(registry
+                  .Configure("kdb.storage.write=error(UNAVAILABLE)*1; "
+                             "session.optimizer=delay(1)@2")
+                  .ok());
+  EXPECT_EQ(registry.ArmedPoints(),
+            (std::vector<std::string>{"kdb.storage.write",
+                                      "session.optimizer"}));
+  // A bad clause rejects the whole spec and pinpoints the clause.
+  Status bad = registry.Configure("a=error(UNAVAILABLE);b=banana");
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.message().find("banana"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Registry semantics.
+
+TEST_F(FaultInjectionTest, DormantPointIsOkAndCountsHits) {
+  FailpointRegistry& registry = FailpointRegistry::Default();
+  EXPECT_TRUE(registry.Evaluate("never.armed").ok());
+  EXPECT_TRUE(registry.Evaluate("never.armed").ok());
+  EXPECT_EQ(registry.hits("never.armed"), 2);
+}
+
+TEST_F(FaultInjectionTest, OneShotErrorFiresExactlyOnce) {
+  FailpointRegistry& registry = FailpointRegistry::Default();
+  registry.Arm("p", OneShotError(StatusCode::kUnavailable, "boom"));
+  Status first = registry.Evaluate("p");
+  EXPECT_EQ(first.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(first.message(), "boom");
+  EXPECT_TRUE(registry.Evaluate("p").ok());
+  EXPECT_EQ(registry.hits("p"), 2);
+}
+
+TEST_F(FaultInjectionTest, FirstHitDefersTrigger) {
+  FailpointRegistry& registry = FailpointRegistry::Default();
+  FailpointConfig config;
+  config.first_hit = 3;
+  registry.Arm("p", config);
+  EXPECT_TRUE(registry.Evaluate("p").ok());
+  EXPECT_TRUE(registry.Evaluate("p").ok());
+  EXPECT_FALSE(registry.Evaluate("p").ok());
+  // Unlimited activations: keeps firing from the 3rd hit on.
+  EXPECT_FALSE(registry.Evaluate("p").ok());
+}
+
+TEST_F(FaultInjectionTest, DelayTriggerSleepsAndReturnsOk) {
+  FailpointRegistry& registry = FailpointRegistry::Default();
+  FailpointConfig config;
+  config.kind = FailpointConfig::Kind::kDelay;
+  config.delay_millis = 20;
+  config.max_activations = 1;
+  registry.Arm("slow", config);
+  common::WallTimer timer;
+  EXPECT_TRUE(registry.Evaluate("slow").ok());
+  EXPECT_GE(timer.ElapsedSeconds(), 0.015);
+}
+
+TEST_F(FaultInjectionTest, ScopedFailpointDisarmsOnDestruction) {
+  {
+    ScopedFailpoint guard("scoped.p", OneShotError());
+    EXPECT_FALSE(FailpointRegistry::Default().ArmedPoints().empty());
+  }
+  EXPECT_TRUE(FailpointRegistry::Default().ArmedPoints().empty());
+}
+
+// ---------------------------------------------------------------------
+// Retry policy.
+
+TEST_F(FaultInjectionTest, RetrySucceedsAfterTransientFailures) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_millis = 0.1;
+  int calls = 0;
+  int32_t attempts = 0;
+  Status status = common::RetryWithPolicy(
+      policy, "op",
+      [&] {
+        return ++calls < 3 ? common::UnavailableError("busy")
+                           : common::OkStatus();
+      },
+      &attempts);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(attempts, 3);
+}
+
+TEST_F(FaultInjectionTest, RetryFailsFastOnNonRetryableCode) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  int calls = 0;
+  Status status = common::RetryWithPolicy(policy, "op", [&] {
+    ++calls;
+    return common::InternalError("bug, not weather");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_EQ(calls, 1);
+  EXPECT_NE(status.message().find("after 1 attempt"), std::string::npos);
+}
+
+TEST_F(FaultInjectionTest, RetryGivesUpAfterMaxAttempts) {
+  int64_t giveups_before = common::MetricsRegistry::Default()
+                               .GetCounter("retry_giveups")
+                               .value();
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_millis = 0.1;
+  int calls = 0;
+  Status status = common::RetryWithPolicy(policy, "doomed", [&] {
+    ++calls;
+    return common::UnavailableError("still down");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 3);
+  EXPECT_NE(status.message().find("doomed failed after 3 attempt"),
+            std::string::npos);
+  EXPECT_EQ(common::MetricsRegistry::Default()
+                .GetCounter("retry_giveups")
+                .value(),
+            giveups_before + 1);
+}
+
+TEST_F(FaultInjectionTest, PerAttemptDeadlineConvertsOverrunToRetry) {
+  // The operation succeeds but overruns its 1 ms budget; the deadline
+  // turns that into a retryable DEADLINE_EXCEEDED until attempts run
+  // out.
+  ScopedFailpoint slow("retry.slow", [] {
+    FailpointConfig config;
+    config.kind = FailpointConfig::Kind::kDelay;
+    config.delay_millis = 10;
+    return config;
+  }());
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.initial_backoff_millis = 0.1;
+  policy.per_attempt_deadline_millis = 1.0;
+  Status status = common::RetryWithPolicy(policy, "slow-op", [&] {
+    return FailpointRegistry::Default().Evaluate("retry.slow");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(FaultInjectionTest, RetryAttemptsCounterAdvances) {
+  int64_t before = common::MetricsRegistry::Default()
+                       .GetCounter("retry_attempts")
+                       .value();
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  EXPECT_TRUE(
+      common::RetryWithPolicy(policy, "noop", [] { return common::OkStatus(); })
+          .ok());
+  EXPECT_EQ(common::MetricsRegistry::Default()
+                .GetCounter("retry_attempts")
+                .value(),
+            before + 1);
+}
+
+// ---------------------------------------------------------------------
+// K-DB storage failpoints (kdb.storage.write / fsync / rename / read).
+
+kdb::Collection MakeCollection(const std::string& name, int64_t docs) {
+  kdb::Collection collection(name);
+  for (int64_t i = 0; i < docs; ++i) {
+    kdb::Document document;
+    document.Set("value", common::Json(i));
+    collection.Insert(std::move(document));
+  }
+  return collection;
+}
+
+TEST_F(FaultInjectionTest, WriteFailpointFailsSaveWithoutResidue) {
+  std::string dir = MakeScratchDir("write");
+  ScopedFailpoint fp("kdb.storage.write",
+                     OneShotError(StatusCode::kUnavailable));
+  Status saved = SaveCollection(MakeCollection("items", 3), dir);
+  EXPECT_EQ(saved.code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(FileExists(dir + "/items.jsonl"));
+  EXPECT_FALSE(FileExists(dir + "/items.jsonl.tmp"));
+}
+
+TEST_F(FaultInjectionTest, FsyncFailpointFailsSaveWithoutResidue) {
+  std::string dir = MakeScratchDir("fsync");
+  ScopedFailpoint fp("kdb.storage.fsync",
+                     OneShotError(StatusCode::kUnavailable));
+  EXPECT_FALSE(SaveCollection(MakeCollection("items", 3), dir).ok());
+  EXPECT_FALSE(FileExists(dir + "/items.jsonl"));
+  EXPECT_FALSE(FileExists(dir + "/items.jsonl.tmp"));
+}
+
+TEST_F(FaultInjectionTest, RenameFailpointLeavesPreviousFileIntact) {
+  std::string dir = MakeScratchDir("rename");
+  ASSERT_TRUE(SaveCollection(MakeCollection("items", 3), dir).ok());
+  {
+    // The acceptance scenario: a crash between write and rename must
+    // leave the previous version loadable and no *.tmp behind.
+    ScopedFailpoint fp("kdb.storage.rename",
+                       OneShotError(StatusCode::kUnavailable));
+    EXPECT_FALSE(SaveCollection(MakeCollection("items", 7), dir).ok());
+  }
+  EXPECT_FALSE(FileExists(dir + "/items.jsonl.tmp"));
+  auto loaded = kdb::LoadCollection("items", dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 3u);
+  // With the failpoint gone the save goes through.
+  ASSERT_TRUE(SaveCollection(MakeCollection("items", 7), dir).ok());
+  auto reloaded = kdb::LoadCollection("items", dir);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->size(), 7u);
+}
+
+TEST_F(FaultInjectionTest, ReadFailpointFailsBothLoadPaths) {
+  std::string dir = MakeScratchDir("read");
+  ASSERT_TRUE(SaveCollection(MakeCollection("items", 2), dir).ok());
+  FailpointRegistry::Default().Arm(
+      "kdb.storage.read",
+      [] {
+        FailpointConfig config;
+        config.code = StatusCode::kUnavailable;
+        config.max_activations = 2;
+        return config;
+      }());
+  EXPECT_EQ(kdb::LoadCollection("items", dir).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(kdb::LoadCollectionSalvage("items", dir).status().code(),
+            StatusCode::kUnavailable);
+}
+
+// ---------------------------------------------------------------------
+// Database persistence retry (kdb.database.save / kdb.database.load).
+
+TEST_F(FaultInjectionTest, SaveToRetriesTransientFailure) {
+  std::string dir = MakeScratchDir("dbsave");
+  kdb::Database db;
+  db.EnsureAdaHealthSchema();
+  ScopedFailpoint fp("kdb.database.save",
+                     OneShotError(StatusCode::kUnavailable));
+  kdb::Database::PersistOptions options;
+  options.retry.initial_backoff_millis = 0.1;
+  EXPECT_TRUE(db.SaveTo(dir, options).ok());
+  for (const std::string& name : kdb::Schema::CollectionNames()) {
+    EXPECT_TRUE(FileExists(dir + "/" + name + ".jsonl")) << name;
+  }
+}
+
+TEST_F(FaultInjectionTest, SaveToWithoutRetryPropagatesFailure) {
+  std::string dir = MakeScratchDir("dbsave1");
+  kdb::Database db;
+  db.EnsureAdaHealthSchema();
+  ScopedFailpoint fp("kdb.database.save",
+                     OneShotError(StatusCode::kUnavailable));
+  kdb::Database::PersistOptions options;
+  options.retry.max_attempts = 1;
+  EXPECT_EQ(db.SaveTo(dir, options).code(), StatusCode::kUnavailable);
+}
+
+TEST_F(FaultInjectionTest, LoadFromRetriesTransientFailure) {
+  std::string dir = MakeScratchDir("dbload");
+  kdb::Database db;
+  db.EnsureAdaHealthSchema();
+  db.GetOrCreate(kdb::Schema::kFeedback).Insert(kdb::Document());
+  ASSERT_TRUE(db.SaveTo(dir).ok());
+
+  kdb::Database restored;
+  ScopedFailpoint fp("kdb.database.load",
+                     OneShotError(StatusCode::kUnavailable));
+  kdb::Database::PersistOptions options;
+  options.retry.initial_backoff_millis = 0.1;
+  ASSERT_TRUE(
+      restored.LoadFrom(dir, {kdb::Schema::kFeedback}, options).ok());
+  EXPECT_EQ(restored.GetOrCreate(kdb::Schema::kFeedback).size(), 1u);
+}
+
+TEST_F(FaultInjectionTest, SaveToMissingDirectoryIsUnavailable) {
+  kdb::Database db;
+  db.EnsureAdaHealthSchema();
+  Status saved = db.SaveTo("/no/such/directory/anywhere");
+  EXPECT_EQ(saved.code(), StatusCode::kUnavailable);
+  EXPECT_NE(saved.message().find("/no/such/directory/anywhere"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Optimizer, partial mining and thread pool failpoints.
+
+TEST_F(FaultInjectionTest, OptimizerCandidateFailpointSkipsCandidate) {
+  test::Blobs blobs =
+      test::MakeBlobs({{0.0, 0.0}, {8.0, 0.0}, {0.0, 8.0}}, 30, 0.6, 71);
+  core::OptimizerOptions options;
+  options.candidate_ks = {2, 3};
+  options.cv_folds = 4;
+  options.num_threads = 1;
+  ScopedFailpoint fp("optimizer.candidate",
+                     OneShotError(StatusCode::kUnavailable));
+  auto result = core::OptimizeClustering(blobs.points, options);
+  ASSERT_TRUE(result.ok());
+  // First candidate skipped with the injected status, second evaluated
+  // and selected.
+  EXPECT_EQ(result->candidates[0].status.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(result->candidates[1].status.ok());
+  EXPECT_EQ(result->best_k(), 3);
+}
+
+TEST_F(FaultInjectionTest, OptimizerFailsWhenEveryCandidateInjected) {
+  test::Blobs blobs =
+      test::MakeBlobs({{0.0, 0.0}, {8.0, 0.0}}, 20, 0.6, 72);
+  core::OptimizerOptions options;
+  options.candidate_ks = {2, 3};
+  options.cv_folds = 4;
+  options.num_threads = 1;
+  FailpointConfig config;
+  config.code = StatusCode::kInternal;
+  ScopedFailpoint fp("optimizer.candidate", config);
+  auto result = core::OptimizeClustering(blobs.points, options);
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(FaultInjectionTest, PartialMiningDropsInjectedNonBaselineStep) {
+  auto cohort =
+      dataset::SyntheticCohortGenerator(dataset::TestScaleConfig())
+          .Generate();
+  ASSERT_TRUE(cohort.ok());
+  core::PartialMiningOptions options;
+  options.fractions = {0.5};
+  options.ks = {3};
+  options.kmeans.max_iterations = 20;
+  ScopedFailpoint fp("partial_mining.step",
+                     OneShotError(StatusCode::kUnavailable));
+  auto result = core::RunExamSubsetPartialMining(cohort->log, options);
+  ASSERT_TRUE(result.ok());
+  // The 0.5 step was dropped; only the full-data baseline remains.
+  ASSERT_EQ(result->steps.size(), 1u);
+  EXPECT_DOUBLE_EQ(result->steps[0].fraction, 1.0);
+}
+
+TEST_F(FaultInjectionTest, PartialMiningBaselineFailurePropagates) {
+  auto cohort =
+      dataset::SyntheticCohortGenerator(dataset::TestScaleConfig())
+          .Generate();
+  ASSERT_TRUE(cohort.ok());
+  core::PartialMiningOptions options;
+  options.fractions = {0.5};
+  options.ks = {3};
+  options.kmeans.max_iterations = 20;
+  FailpointConfig config;
+  config.code = StatusCode::kUnavailable;
+  config.first_hit = 2;  // Schedule is {0.5, 1.0}: hit 2 is the baseline.
+  ScopedFailpoint fp("partial_mining.step", config);
+  auto result = core::RunExamSubsetPartialMining(cohort->log, options);
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(FaultInjectionTest, ThreadPoolTaskFailpointCountsFailedTask) {
+  ScopedFailpoint fp("thread_pool.task",
+                     OneShotError(StatusCode::kInternal, "injected"));
+  std::atomic<int> executed{0};
+  common::ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.Schedule([&executed] { ++executed; });
+  }
+  pool.Wait();
+  // The injected failure is accounted, but the task body still ran:
+  // completion is load-bearing for ParallelFor.
+  EXPECT_EQ(pool.failed_tasks(), 1u);
+  EXPECT_EQ(pool.first_failure_message(), "injected");
+  EXPECT_EQ(executed.load(), 8);
+}
+
+// ---------------------------------------------------------------------
+// Resilient session execution (session.<stage> failpoints).
+
+class FaultInjectionSessionTest : public FaultInjectionTest {
+ protected:
+  void SetUp() override {
+    FaultInjectionTest::SetUp();
+    auto cohort =
+        dataset::SyntheticCohortGenerator(dataset::TestScaleConfig())
+            .Generate();
+    ASSERT_TRUE(cohort.ok());
+    cohort_ = std::move(cohort).value();
+  }
+
+  static core::SessionOptions FastOptions() {
+    core::SessionOptions options;
+    options.dataset_id = "fault-cohort";
+    options.transform.sample_fraction = 0.4;
+    options.transform.proxy_k = 4;
+    options.partial.fractions = {0.5, 1.0};
+    options.partial.ks = {3};
+    options.partial.kmeans.max_iterations = 20;
+    options.optimizer.candidate_ks = {3, 4};
+    options.optimizer.cv_folds = 4;
+    options.optimizer.num_threads = 1;
+    options.pattern_mining.min_support_level0 = 0.4;
+    options.pattern_mining.min_support_level1 = 0.5;
+    options.pattern_mining.min_support_level2 = 0.6;
+    options.pattern_mining.max_itemset_size = 3;
+    options.resilience.retry.initial_backoff_millis = 0.1;
+    return options;
+  }
+
+  dataset::Cohort cohort_;
+};
+
+TEST_F(FaultInjectionSessionTest, TransientStageFailureIsRetriedToOk) {
+  kdb::Database db;
+  core::AnalysisSession session(&db);
+  ScopedFailpoint fp("session.characterize",
+                     OneShotError(StatusCode::kUnavailable));
+  auto result = session.Run(cohort_.log, &cohort_.taxonomy, FastOptions());
+  ASSERT_TRUE(result.ok());
+  const core::StageOutcome* outcome = result->FindStage("characterize");
+  ASSERT_NE(outcome, nullptr);
+  EXPECT_EQ(outcome->state, core::StageState::kOk);
+  EXPECT_EQ(outcome->attempts, 2);
+  EXPECT_NE(result->summary.find("characterize=ok(2 attempts)"),
+            std::string::npos);
+}
+
+TEST_F(FaultInjectionSessionTest, NonEssentialStageDegradesRunStillOk) {
+  kdb::Database db;
+  core::AnalysisSession session(&db);
+  // INTERNAL is not retryable: the knowledge stage degrades instead.
+  ScopedFailpoint fp("session.knowledge",
+                     OneShotError(StatusCode::kInternal));
+  auto result = session.Run(cohort_.log, &cohort_.taxonomy, FastOptions());
+  ASSERT_TRUE(result.ok());
+  const core::StageOutcome* outcome = result->FindStage("knowledge");
+  ASSERT_NE(outcome, nullptr);
+  EXPECT_EQ(outcome->state, core::StageState::kDegraded);
+  EXPECT_EQ(outcome->status.code(), StatusCode::kInternal);
+  EXPECT_EQ(result->CountStages(core::StageState::kDegraded), 1u);
+  EXPECT_NE(result->summary.find("resilience:"), std::string::npos);
+}
+
+TEST_F(FaultInjectionSessionTest, PartialMiningDegradesToFullDataset) {
+  kdb::Database db;
+  core::AnalysisSession session(&db);
+  ScopedFailpoint fp("session.partial_mining",
+                     OneShotError(StatusCode::kInternal));
+  auto result = session.Run(cohort_.log, &cohort_.taxonomy, FastOptions());
+  ASSERT_TRUE(result.ok());
+  const core::StageOutcome* outcome = result->FindStage("partial_mining");
+  ASSERT_NE(outcome, nullptr);
+  EXPECT_EQ(outcome->state, core::StageState::kDegraded);
+  // Fallback: mine the full dataset.
+  ASSERT_EQ(result->partial.steps.size(), 1u);
+  EXPECT_DOUBLE_EQ(result->partial.steps[0].fraction, 1.0);
+  // Downstream stages still produced knowledge.
+  EXPECT_FALSE(result->knowledge.empty());
+}
+
+TEST_F(FaultInjectionSessionTest, EssentialStageFailureAbortsRun) {
+  kdb::Database db;
+  core::AnalysisSession session(&db);
+  ScopedFailpoint fp("session.optimizer",
+                     OneShotError(StatusCode::kInternal, "injected"));
+  auto result = session.Run(cohort_.log, &cohort_.taxonomy, FastOptions());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(FaultInjectionSessionTest, ResilienceDisabledFailsFast) {
+  kdb::Database db;
+  core::AnalysisSession session(&db);
+  core::SessionOptions options = FastOptions();
+  options.resilience.enabled = false;
+  ScopedFailpoint fp("session.characterize",
+                     OneShotError(StatusCode::kUnavailable));
+  auto result = session.Run(cohort_.log, &cohort_.taxonomy, options);
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(FaultInjectionSessionTest, StoreStageDegradesWhenPersistFails) {
+  kdb::Database db;
+  core::AnalysisSession session(&db);
+  core::SessionOptions options = FastOptions();
+  options.persist_directory = "/no/such/persist/dir";
+  int64_t degraded_before = common::MetricsRegistry::Default()
+                                .GetCounter("stage_degraded_total")
+                                .value();
+  auto result = session.Run(cohort_.log, &cohort_.taxonomy, options);
+  ASSERT_TRUE(result.ok());
+  const core::StageOutcome* outcome = result->FindStage("kdb_store");
+  ASSERT_NE(outcome, nullptr);
+  EXPECT_EQ(outcome->state, core::StageState::kDegraded);
+  EXPECT_EQ(outcome->status.code(), StatusCode::kUnavailable);
+  // In-memory K-DB is still populated despite the failed persist.
+  EXPECT_GT(db.GetOrCreate(kdb::Schema::kKnowledgeItems).size(), 0u);
+  EXPECT_GT(common::MetricsRegistry::Default()
+                .GetCounter("stage_degraded_total")
+                .value(),
+            degraded_before);
+}
+
+TEST_F(FaultInjectionSessionTest, SessionPersistsKdbWhenDirectoryGiven) {
+  kdb::Database db;
+  core::AnalysisSession session(&db);
+  core::SessionOptions options = FastOptions();
+  options.persist_directory = MakeScratchDir("session_persist");
+  auto result = session.Run(cohort_.log, &cohort_.taxonomy, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(FileExists(options.persist_directory + "/" +
+                         kdb::Schema::kKnowledgeItems + ".jsonl"));
+  const core::StageOutcome* outcome = result->FindStage("kdb_store");
+  ASSERT_NE(outcome, nullptr);
+  EXPECT_EQ(outcome->state, core::StageState::kOk);
+}
+
+TEST_F(FaultInjectionSessionTest, SkipsPatternMiningWithoutTaxonomy) {
+  kdb::Database db;
+  core::AnalysisSession session(&db);
+  auto result = session.Run(cohort_.log, nullptr, FastOptions());
+  ASSERT_TRUE(result.ok());
+  const core::StageOutcome* outcome = result->FindStage("pattern_mining");
+  ASSERT_NE(outcome, nullptr);
+  EXPECT_EQ(outcome->state, core::StageState::kSkipped);
+  EXPECT_EQ(outcome->attempts, 0);
+}
+
+TEST_F(FaultInjectionSessionTest, BudgetOverrunMarksStageDegraded) {
+  kdb::Database db;
+  core::AnalysisSession session(&db);
+  core::SessionOptions options = FastOptions();
+  // A 1 microsecond budget the optimizer cannot possibly meet; the
+  // stage finishes, keeps its results, and is flagged over budget.
+  options.resilience.stage_budget_seconds["optimizer"] = 1e-6;
+  auto result = session.Run(cohort_.log, &cohort_.taxonomy, options);
+  ASSERT_TRUE(result.ok());
+  const core::StageOutcome* outcome = result->FindStage("optimizer");
+  ASSERT_NE(outcome, nullptr);
+  EXPECT_EQ(outcome->state, core::StageState::kDegraded);
+  EXPECT_TRUE(outcome->over_budget);
+  EXPECT_EQ(outcome->status.code(), StatusCode::kDeadlineExceeded);
+  // The optimizer's results are still used downstream.
+  EXPECT_FALSE(result->knowledge.empty());
+}
+
+TEST_F(FaultInjectionSessionTest, AllStagesRecordedInPipelineOrder) {
+  kdb::Database db;
+  core::AnalysisSession session(&db);
+  auto result = session.Run(cohort_.log, &cohort_.taxonomy, FastOptions());
+  ASSERT_TRUE(result.ok());
+  std::vector<std::string> order;
+  for (const core::StageOutcome& outcome : result->stages) {
+    order.push_back(outcome.stage);
+    EXPECT_EQ(outcome.state, core::StageState::kOk) << outcome.stage;
+  }
+  EXPECT_EQ(order, (std::vector<std::string>{
+                       "characterize", "transform", "partial_mining",
+                       "optimizer", "knowledge", "pattern_mining",
+                       "ranking", "kdb_store"}));
+}
+
+}  // namespace
+}  // namespace adahealth

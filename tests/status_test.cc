@@ -30,6 +30,16 @@ TEST(StatusTest, AllFactoryCodes) {
   EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
   EXPECT_EQ(DataLossError("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(UnavailableError("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(DeadlineExceededError("x").code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(StatusTest, TransientCodeNames) {
+  EXPECT_EQ(UnavailableError("disk busy").ToString(),
+            "UNAVAILABLE: disk busy");
+  EXPECT_EQ(DeadlineExceededError("too slow").ToString(),
+            "DEADLINE_EXCEEDED: too slow");
 }
 
 TEST(StatusTest, Equality) {

@@ -84,6 +84,82 @@ TEST(StorageTest, LoadMissingFileIsNotFound) {
   EXPECT_EQ(loaded.status().code(), common::StatusCode::kNotFound);
 }
 
+TEST(StorageTest, ErrorsCarryLineNumberAndPayloadPreview) {
+  auto restored = DeserializeCollection(
+      "x", "{\"_id\":1,\"a\":1}\n{\"_id\":2,  TRUNCATED-PAYLOAD");
+  ASSERT_FALSE(restored.ok());
+  const std::string& message = restored.status().message();
+  EXPECT_NE(message.find("line 2"), std::string::npos) << message;
+  EXPECT_NE(message.find("TRUNCATED-PAYLOAD"), std::string::npos) << message;
+  EXPECT_NE(message.find("'x'"), std::string::npos) << message;
+}
+
+TEST(StorageTest, PayloadPreviewIsTruncated) {
+  std::string long_line = "{\"_id\":1,\"a\":\"" + std::string(200, 'z');
+  auto restored = DeserializeCollection("x", long_line);
+  ASSERT_FALSE(restored.ok());
+  // The preview must not echo the entire 200+ character payload.
+  EXPECT_LT(restored.status().message().size(), 160u);
+  EXPECT_NE(restored.status().message().find("..."), std::string::npos);
+}
+
+TEST(StorageTest, SalvageRecoversPrefixBeforeTornFinalLine) {
+  SalvagedCollection salvaged = DeserializeCollectionSalvage(
+      "x", "{\"_id\":1,\"a\":1}\n{\"_id\":2,\"a\":2}\n{\"_id\":3,  TORN");
+  EXPECT_EQ(salvaged.collection.size(), 2u);
+  EXPECT_EQ(salvaged.recovered_lines, 2u);
+  EXPECT_EQ(salvaged.dropped_lines, 1u);
+  EXPECT_EQ(salvaged.detail.code(), common::StatusCode::kDataLoss);
+  // IDs survive, so inserts after recovery do not collide.
+  EXPECT_TRUE(salvaged.collection.FindById(2).ok());
+}
+
+TEST(StorageTest, SalvageOfEmptyFileIsEmptyCollection) {
+  SalvagedCollection salvaged = DeserializeCollectionSalvage("x", "");
+  EXPECT_EQ(salvaged.collection.size(), 0u);
+  EXPECT_EQ(salvaged.recovered_lines, 0u);
+  EXPECT_EQ(salvaged.dropped_lines, 0u);
+  EXPECT_TRUE(salvaged.detail.ok());
+}
+
+TEST(StorageTest, SalvageStopsAtDuplicateId) {
+  // A duplicated "_id" (e.g. a replayed append) poisons the tail: the
+  // prefix before the duplicate is kept, the rest is dropped.
+  SalvagedCollection salvaged = DeserializeCollectionSalvage(
+      "x",
+      "{\"_id\":1,\"a\":1}\n{\"_id\":1,\"a\":9}\n{\"_id\":2,\"a\":2}\n");
+  EXPECT_EQ(salvaged.collection.size(), 1u);
+  EXPECT_EQ(salvaged.recovered_lines, 1u);
+  EXPECT_EQ(salvaged.dropped_lines, 2u);
+  EXPECT_FALSE(salvaged.detail.ok());
+}
+
+TEST(StorageTest, LoadCollectionSalvageRecoversTornFile) {
+  std::string directory = testing::TempDir();
+  std::string path = directory + "/torn.jsonl";
+  FILE* file = std::fopen(path.c_str(), "w");
+  ASSERT_NE(file, nullptr);
+  std::fputs("{\"_id\":1,\"a\":1}\n{\"_id\":2,\"a\":2}\n{\"_id\":3,\"a", file);
+  std::fclose(file);
+  auto strict = LoadCollection("torn", directory);
+  EXPECT_EQ(strict.status().code(), common::StatusCode::kDataLoss);
+  auto salvaged = LoadCollectionSalvage("torn", directory);
+  ASSERT_TRUE(salvaged.ok());
+  EXPECT_EQ(salvaged->collection.size(), 2u);
+  EXPECT_EQ(salvaged->dropped_lines, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(StorageTest, SuccessfulSaveLeavesNoTmpResidue) {
+  Collection original = MakeCollection();
+  std::string directory = testing::TempDir();
+  ASSERT_TRUE(SaveCollection(original, directory).ok());
+  FILE* tmp = std::fopen((directory + "/test_items.jsonl.tmp").c_str(), "r");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) std::fclose(tmp);
+  std::remove((directory + "/test_items.jsonl").c_str());
+}
+
 }  // namespace
 }  // namespace kdb
 }  // namespace adahealth

@@ -36,6 +36,11 @@ Rules
   direct-random     No #include <random> or std:: random engines outside
                     src/common/rng: all randomness flows through
                     common/rng so runs stay seed-reproducible.
+  catch-swallow     A bare `catch (...)` must log (ADA_LOG) or rethrow
+                    inside its body. Silently swallowing unknown
+                    exceptions hides real failures from the resilience
+                    layer, which relies on failures being observable to
+                    degrade gracefully.
 
 An individual finding can be waived with a trailing comment
 `// ada-lint: allow(<rule>)` on the offending line; use sparingly and
@@ -62,6 +67,8 @@ RANDOM_ENGINE_RE = re.compile(
     r"std::(mt19937(_64)?|minstd_rand0?|random_device|"
     r"(uniform_(int|real)|normal|bernoulli|poisson)_distribution)\b")
 INVARIANT_RE = re.compile(r"invariant", re.IGNORECASE)
+CATCH_ALL_RE = re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)")
+CATCH_HANDLED_RE = re.compile(r"\bthrow\b|ADA_LOG")
 
 BLOCK_COMMENT_OPEN_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
 
@@ -116,6 +123,30 @@ def expected_guard(rel_path):
     token = "_".join(parts)
     token = re.sub(r"[^A-Za-z0-9]", "_", token)
     return "ADAHEALTH_" + token.upper() + "_"
+
+
+def catch_body_handles(code_lines, catch_index):
+    """True when the `catch (...)` starting at code_lines[catch_index]
+    has a body containing a throw or an ADA_LOG call.
+
+    The body is delimited by brace counting from the first `{` at or
+    after the catch; an unclosed block (EOF) is treated as handled to
+    avoid false positives on pathological input.
+    """
+    depth = 0
+    opened = False
+    for line in code_lines[catch_index:]:
+        for c in line:
+            if c == "{":
+                depth += 1
+                opened = True
+            elif c == "}" and opened:
+                depth -= 1
+        if opened and CATCH_HANDLED_RE.search(line):
+            return True
+        if opened and depth <= 0:
+            return False
+    return True
 
 
 class Finding:
@@ -205,6 +236,15 @@ def lint_file(path, rel_path):
                     "ADA_CHECK in dataset/ without an `invariant` "
                     "justification comment; user-input-derived conditions "
                     "must return Status instead of aborting"))
+
+        # --- catch-swallow ----------------------------------------------
+        if CATCH_ALL_RE.search(code) and not allowed(lineno, "catch-swallow"):
+            if not catch_body_handles(code_lines, lineno - 1):
+                findings.append(Finding(
+                    rel_path, lineno, "catch-swallow",
+                    "`catch (...)` without ADA_LOG or rethrow in its "
+                    "body; swallowed exceptions are invisible to the "
+                    "resilience layer"))
 
         # --- direct-random ----------------------------------------------
         if not is_rng:
