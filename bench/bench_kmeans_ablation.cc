@@ -1,13 +1,30 @@
-// Ablation A1: clustering algorithm and initialization.
+// Ablation A1: clustering engines on the paper-scale cohort VSM.
 //
-// Justifies the paper's choice of the Kanungo et al. kd-tree filtering
-// K-means (ref [3]) over plain Lloyd at equal quality, and k-means++
-// over random initialization. Runs on the paper-scale cohort VSM.
-#include <benchmark/benchmark.h>
+// Compares the naive Lloyd engine against the accelerated
+// (Hamerly-pruned, fused-kernel, pooled) engine across a K sweep,
+// verifying on every run that the two produce bit-identical
+// assignments and SSE — a divergence is a hard failure (non-zero
+// exit), which is what the CI bench-smoke job keys on. Also keeps the
+// original A1 reference points (kd-tree filtering K-means, bisecting
+// K-means, init strategies) for context.
+//
+// Writes BENCH_kmeans.json into the current working directory; run it
+// from the repo root to land the file there. Set ADA_BENCH_SMOKE=1 for
+// the reduced CI configuration.
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "cluster/bisecting.h"
 #include "cluster/filtering_kmeans.h"
 #include "cluster/kmeans.h"
+#include "common/json.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
 #include "dataset/synthetic_cohort.h"
 #include "transform/vsm.h"
 
@@ -15,83 +32,226 @@ namespace {
 
 using namespace adahealth;
 
-const transform::Matrix& CohortVsm() {
-  static const transform::Matrix* kVsm = [] {
-    auto cohort =
-        dataset::SyntheticCohortGenerator(dataset::PaperScaleConfig())
-            .Generate();
-    return new transform::Matrix(transform::BuildVsm(cohort->log));
-  }();
-  return *kVsm;
+bool SmokeMode() {
+  const char* env = std::getenv("ADA_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
 
-void BM_LloydKMeans(benchmark::State& state) {
-  const transform::Matrix& vsm = CohortVsm();
+transform::Matrix CohortVsm(bool smoke) {
+  auto cohort = dataset::SyntheticCohortGenerator(
+                    smoke ? dataset::TestScaleConfig()
+                          : dataset::PaperScaleConfig())
+                    .Generate();
+  return transform::BuildVsm(cohort->log);
+}
+
+common::Json MachineInfo() {
+  common::Json::Object machine;
+  machine["hardware_threads"] = static_cast<int64_t>(
+      common::ThreadPool::Shared().num_threads());
+  machine["pointer_bits"] = static_cast<int64_t>(sizeof(void*) * 8);
+#ifdef __VERSION__
+  machine["compiler"] = std::string("gcc/clang ") + __VERSION__;
+#endif
+#ifdef NDEBUG
+  machine["build"] = "release";
+#else
+  machine["build"] = "debug";
+#endif
+  return common::Json(std::move(machine));
+}
+
+struct EngineRun {
+  double millis = 0.0;
+  cluster::Clustering clustering;
+};
+
+EngineRun TimeEngine(const transform::Matrix& vsm, int32_t k, uint64_t seed,
+                     cluster::KMeansEngine engine) {
   cluster::KMeansOptions options;
-  options.k = static_cast<int32_t>(state.range(0));
-  options.seed = 20160516;
-  double sse = 0.0;
-  for (auto _ : state) {
-    auto clustering = cluster::RunKMeans(vsm, options);
-    sse = clustering->sse;
-    benchmark::DoNotOptimize(clustering->assignments);
+  options.k = k;
+  options.seed = seed;
+  options.engine = engine;
+  common::WallTimer timer;
+  auto clustering = cluster::RunKMeans(vsm, options);
+  EngineRun run;
+  run.millis = timer.ElapsedSeconds() * 1e3;
+  if (!clustering.ok()) {
+    std::printf("k-means failed (k=%d): %s\n", k,
+                clustering.status().ToString().c_str());
+    std::exit(1);
   }
-  state.counters["sse"] = sse;
+  run.clustering = std::move(clustering).value();
+  return run;
 }
-BENCHMARK(BM_LloydKMeans)->Arg(4)->Arg(8)->Arg(16)
-    ->Unit(benchmark::kMillisecond);
 
-void BM_FilteringKMeans(benchmark::State& state) {
-  const transform::Matrix& vsm = CohortVsm();
-  cluster::KMeansOptions options;
-  options.k = static_cast<int32_t>(state.range(0));
-  options.seed = 20160516;
-  double sse = 0.0;
-  for (auto _ : state) {
-    auto clustering = cluster::RunFilteringKMeans(vsm, options);
-    sse = clustering->sse;
-    benchmark::DoNotOptimize(clustering->assignments);
-  }
-  state.counters["sse"] = sse;
-}
-BENCHMARK(BM_FilteringKMeans)->Arg(4)->Arg(8)->Arg(16)
-    ->Unit(benchmark::kMillisecond);
+int Run() {
+  const bool smoke = SmokeMode();
+  const transform::Matrix vsm = CohortVsm(smoke);
+  const std::vector<int32_t> ks =
+      smoke ? std::vector<int32_t>{4, 8}
+            : std::vector<int32_t>{2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const std::vector<uint64_t> seeds =
+      smoke ? std::vector<uint64_t>{20160516}
+            : std::vector<uint64_t>{20160516, 7, 42};
 
-void BM_BisectingKMeans(benchmark::State& state) {
-  const transform::Matrix& vsm = CohortVsm();
-  cluster::BisectingOptions options;
-  options.k = static_cast<int32_t>(state.range(0));
-  options.seed = 20160516;
-  double sse = 0.0;
-  for (auto _ : state) {
-    auto clustering = cluster::RunBisectingKMeans(vsm, options);
-    sse = clustering->sse;
-    benchmark::DoNotOptimize(clustering->assignments);
-  }
-  state.counters["sse"] = sse;
-}
-BENCHMARK(BM_BisectingKMeans)->Arg(8)->Unit(benchmark::kMillisecond);
+  std::printf("=== Ablation A1: k-means engines (%zu x %zu VSM%s) ===\n",
+              vsm.rows(), vsm.cols(), smoke ? ", smoke config" : "");
+  std::printf("%-4s %-12s %-11s %-11s %-8s %-6s %-14s %s\n", "K", "seed",
+              "naive(ms)", "accel(ms)", "speedup", "iters", "skipped",
+              "identical");
 
-void BM_KMeansInit(benchmark::State& state) {
-  const transform::Matrix& vsm = CohortVsm();
-  cluster::KMeansOptions options;
-  options.k = 8;
-  options.init = state.range(0) == 0 ? cluster::KMeansInit::kRandom
-                                     : cluster::KMeansInit::kKMeansPlusPlus;
-  double sse = 0.0;
-  int64_t iterations = 0;
-  uint64_t seed = 1;
-  for (auto _ : state) {
-    options.seed = seed++;
-    auto clustering = cluster::RunKMeans(vsm, options);
-    sse = clustering->sse;
-    iterations = clustering->iterations;
-    benchmark::DoNotOptimize(clustering->assignments);
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
+  common::Json::Array results;
+  bool all_identical = true;
+  double log_speedup_sum = 0.0;
+  size_t runs = 0;
+  for (int32_t k : ks) {
+    for (uint64_t seed : seeds) {
+      EngineRun naive =
+          TimeEngine(vsm, k, seed, cluster::KMeansEngine::kNaive);
+      metrics.Reset();
+      EngineRun accel =
+          TimeEngine(vsm, k, seed, cluster::KMeansEngine::kAccelerated);
+      const int64_t skipped =
+          metrics.GetCounter("kmeans/skipped_distance_checks").value();
+      const int64_t recomputes =
+          metrics.GetCounter("kmeans/bound_recomputes").value();
+      const int64_t chunks =
+          metrics.GetCounter("kmeans/parallel_chunks").value();
+
+      const bool identical =
+          naive.clustering.assignments == accel.clustering.assignments &&
+          naive.clustering.sse == accel.clustering.sse &&
+          naive.clustering.iterations == accel.clustering.iterations;
+      all_identical = all_identical && identical;
+      const double speedup =
+          accel.millis > 0.0 ? naive.millis / accel.millis : 0.0;
+      if (speedup > 0.0) {
+        log_speedup_sum += std::log(speedup);
+        ++runs;
+      }
+      std::printf("%-4d %-12llu %-11.1f %-11.1f %-8.2f %-6d %-14lld %s\n",
+                  k, static_cast<unsigned long long>(seed), naive.millis,
+                  accel.millis, speedup, accel.clustering.iterations,
+                  static_cast<long long>(skipped),
+                  identical ? "yes" : "NO  <-- DIVERGENCE");
+
+      common::Json::Object row;
+      row["k"] = static_cast<int64_t>(k);
+      row["seed"] = static_cast<int64_t>(seed);
+      row["naive_ms"] = naive.millis;
+      row["accel_ms"] = accel.millis;
+      row["speedup"] = speedup;
+      row["sse"] = accel.clustering.sse;
+      row["iterations"] =
+          static_cast<int64_t>(accel.clustering.iterations);
+      row["identical"] = identical;
+      row["skipped_distance_checks"] = skipped;
+      row["bound_recomputes"] = recomputes;
+      row["parallel_chunks"] = chunks;
+      results.push_back(common::Json(std::move(row)));
+    }
   }
-  state.counters["sse"] = sse;
-  state.counters["iterations"] = static_cast<double>(iterations);
-  state.SetLabel(state.range(0) == 0 ? "random" : "kmeans++");
+  const double geomean_speedup =
+      runs > 0 ? std::exp(log_speedup_sum / static_cast<double>(runs)) : 0.0;
+  std::printf("geomean speedup: %.2fx\n", geomean_speedup);
+
+  // Reference points: the kd-tree filtering engine and bisecting
+  // K-means at the paper's K = 8 (full mode only; they are not part of
+  // the identity contract).
+  common::Json::Array reference;
+  if (!smoke) {
+    {
+      cluster::KMeansOptions options;
+      options.k = 8;
+      options.seed = 20160516;
+      common::WallTimer timer;
+      auto clustering = cluster::RunFilteringKMeans(vsm, options);
+      if (clustering.ok()) {
+        common::Json::Object row;
+        row["algorithm"] = "filtering_kmeans";
+        row["millis"] = timer.ElapsedSeconds() * 1e3;
+        row["sse"] = clustering->sse;
+        reference.push_back(common::Json(std::move(row)));
+      }
+    }
+    {
+      cluster::BisectingOptions options;
+      options.k = 8;
+      options.seed = 20160516;
+      common::WallTimer timer;
+      auto clustering = cluster::RunBisectingKMeans(vsm, options);
+      if (clustering.ok()) {
+        common::Json::Object row;
+        row["algorithm"] = "bisecting_kmeans";
+        row["millis"] = timer.ElapsedSeconds() * 1e3;
+        row["sse"] = clustering->sse;
+        reference.push_back(common::Json(std::move(row)));
+      }
+    }
+    // Initialization ablation: k-means++ vs random seeding at the
+    // paper's K = 8 (iterations to convergence at equal-quality SSE).
+    for (int init = 0; init < 2; ++init) {
+      cluster::KMeansOptions options;
+      options.k = 8;
+      options.seed = 20160516;
+      options.init = init == 0 ? cluster::KMeansInit::kRandom
+                               : cluster::KMeansInit::kKMeansPlusPlus;
+      common::WallTimer timer;
+      auto clustering = cluster::RunKMeans(vsm, options);
+      if (clustering.ok()) {
+        common::Json::Object row;
+        row["algorithm"] =
+            init == 0 ? "init_random" : "init_kmeans++";
+        row["millis"] = timer.ElapsedSeconds() * 1e3;
+        row["sse"] = clustering->sse;
+        row["iterations"] =
+            static_cast<int64_t>(clustering->iterations);
+        reference.push_back(common::Json(std::move(row)));
+      }
+    }
+  }
+
+  common::Json::Object doc;
+  doc["bench"] = "kmeans_engines";
+  {
+    common::Json::Object config;
+    config["rows"] = static_cast<int64_t>(vsm.rows());
+    config["cols"] = static_cast<int64_t>(vsm.cols());
+    config["smoke"] = smoke;
+    common::Json::Array k_array;
+    for (int32_t k : ks) k_array.push_back(static_cast<int64_t>(k));
+    config["ks"] = common::Json(std::move(k_array));
+    doc["config"] = common::Json(std::move(config));
+  }
+  doc["machine"] = MachineInfo();
+  doc["results"] = common::Json(std::move(results));
+  doc["reference"] = common::Json(std::move(reference));
+  {
+    common::Json::Object summary;
+    summary["geomean_speedup"] = geomean_speedup;
+    summary["all_identical"] = all_identical;
+    doc["summary"] = common::Json(std::move(summary));
+  }
+
+  const std::string path = "BENCH_kmeans.json";
+  std::ofstream out(path);
+  out << common::Json(std::move(doc)).Pretty() << "\n";
+  if (!out) {
+    std::printf("failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("[kmeans_ablation] results written to %s\n", path.c_str());
+
+  if (!all_identical) {
+    std::printf("[kmeans_ablation] FAIL: accelerated engine diverged from "
+                "naive Lloyd\n");
+    return 1;
+  }
+  return 0;
 }
-BENCHMARK(BM_KMeansInit)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+int main() { return Run(); }

@@ -4,8 +4,13 @@
 // naive Bayes assessor in the same Table-I protocol and reports which
 // K each variant selects.
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
 
+#include "common/json.h"
 #include "common/metrics.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/optimizer.h"
 #include "dataset/synthetic_cohort.h"
@@ -16,20 +21,46 @@ namespace {
 
 using namespace adahealth;
 
+bool SmokeMode() {
+  const char* env = std::getenv("ADA_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
 int RunModel(const transform::Matrix& vsm, core::RobustnessModel model,
-             const char* name) {
+             const char* name, common::Json::Array& bench_rows) {
   core::OptimizerOptions options;
-  options.candidate_ks = {6, 7, 8, 9, 10, 12};
-  options.cv_folds = 10;
+  options.candidate_ks =
+      SmokeMode() ? std::vector<int32_t>{6, 8} : std::vector<int32_t>{6, 7, 8, 9, 10, 12};
+  options.cv_folds = SmokeMode() ? 5 : 10;
   options.model = model;
   options.seed = 20160516;
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
+  metrics.Reset();
+  common::WallTimer sweep_timer;
   auto result = core::OptimizeClustering(vsm, options);
+  const double sweep_seconds = sweep_timer.ElapsedSeconds();
   if (!result.ok()) {
     std::printf("optimizer failed: %s\n",
                 result.status().ToString().c_str());
     return 1;
   }
-  std::printf("assessor: %s\n", name);
+  {
+    common::Json::Object row;
+    row["assessor"] = name;
+    row["sweep_seconds"] = sweep_seconds;
+    row["selected_k"] = static_cast<int64_t>(result->best_k());
+    row["composite"] = result->best().composite;
+    row["candidates"] =
+        static_cast<int64_t>(result->candidates.size());
+    row["skipped"] = static_cast<int64_t>(result->num_skipped());
+    row["warm_starts"] =
+        metrics.GetCounter("optimizer/warm_starts").value();
+    row["kmeans_restarts"] = metrics.GetCounter("optimizer/restarts").value();
+    row["kmeans_skipped_distance_checks"] =
+        metrics.GetCounter("kmeans/skipped_distance_checks").value();
+    bench_rows.push_back(common::Json(std::move(row)));
+  }
+  std::printf("assessor: %s (%.1f s)\n", name, sweep_seconds);
   std::printf("%-4s %-10s %-14s %-10s %-10s\n", "K", "Accuracy",
               "AVG Precision", "AVG Recall", "composite");
   for (const auto& candidate : result->candidates) {
@@ -53,7 +84,7 @@ int Run() {
   std::printf("=== Ablation A3: robustness assessor (decision tree vs "
               "naive Bayes) ===\n");
   dataset::CohortConfig config = dataset::PaperScaleConfig();
-  config.num_patients = 2000;  // Reduced cohort keeps 10-fold CV brisk.
+  config.num_patients = SmokeMode() ? 400 : 2000;  // Keeps 10-fold CV brisk.
   auto cohort = dataset::SyntheticCohortGenerator(config).Generate();
   if (!cohort.ok()) return 1;
   std::vector<bool> mask =
@@ -63,16 +94,17 @@ int Run() {
   transform::Matrix vsm =
       transform::BuildVsm(cohort->log.FilterExamTypes(mask), vsm_options);
 
+  common::Json::Array bench_rows;
   if (RunModel(vsm, core::RobustnessModel::kDecisionTree,
-               "decision tree (paper's choice)") != 0) {
+               "decision tree (paper's choice)", bench_rows) != 0) {
     return 1;
   }
   if (RunModel(vsm, core::RobustnessModel::kNaiveBayes,
-               "Gaussian naive Bayes") != 0) {
+               "Gaussian naive Bayes", bench_rows) != 0) {
     return 1;
   }
   if (RunModel(vsm, core::RobustnessModel::kNearestNeighbors,
-               "k-nearest neighbours (k=5)") != 0) {
+               "k-nearest neighbours (k=5)", bench_rows) != 0) {
     return 1;
   }
   const std::string metrics_path = "bench_optimizer_ablation_metrics.json";
@@ -80,6 +112,32 @@ int Run() {
     std::printf("[optimizer_ablation] metrics written to %s\n",
                 metrics_path.c_str());
   }
+
+  common::Json::Object doc;
+  doc["bench"] = "optimizer_sweep";
+  {
+    common::Json::Object machine;
+    machine["hardware_threads"] = static_cast<int64_t>(
+        common::ThreadPool::Shared().num_threads());
+    doc["machine"] = common::Json(std::move(machine));
+  }
+  {
+    common::Json::Object cfg;
+    cfg["rows"] = static_cast<int64_t>(vsm.rows());
+    cfg["cols"] = static_cast<int64_t>(vsm.cols());
+    cfg["smoke"] = SmokeMode();
+    doc["config"] = common::Json(std::move(cfg));
+  }
+  doc["results"] = common::Json(std::move(bench_rows));
+  const std::string bench_path = "BENCH_optimizer.json";
+  std::ofstream out(bench_path);
+  out << common::Json(std::move(doc)).Pretty() << "\n";
+  if (!out) {
+    std::printf("failed to write %s\n", bench_path.c_str());
+    return 1;
+  }
+  std::printf("[optimizer_ablation] results written to %s\n",
+              bench_path.c_str());
   std::printf("[optimizer_ablation] total time: %.1f s\n\n",
               timer.ElapsedSeconds());
   return 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "cluster/kmeans_accel.h"
 #include "common/check.h"
 #include "common/metrics.h"
 
@@ -34,8 +35,11 @@ Matrix InitializeCentroids(const Matrix& data, int32_t k, KMeansInit init,
 
   // k-means++ (Arthur & Vassilvitskii): first centroid uniform, each
   // further centroid sampled proportionally to its squared distance to
-  // the closest chosen centroid.
+  // the closest chosen centroid. The D^2 weights are materialized as a
+  // prefix sum once per centroid so the draw is a binary search instead
+  // of a linear cumulative scan.
   std::vector<double> min_distance(n, std::numeric_limits<double>::max());
+  std::vector<double> prefix(n);
   size_t first = static_cast<size_t>(rng.UniformUint64(n));
   {
     std::span<const double> src = data.Row(first);
@@ -44,24 +48,23 @@ Matrix InitializeCentroids(const Matrix& data, int32_t k, KMeansInit init,
   }
   for (int32_t c = 1; c < k; ++c) {
     std::span<const double> last = centroids.Row(static_cast<size_t>(c - 1));
-    double total = 0.0;
+    double cumulative = 0.0;
     for (size_t i = 0; i < n; ++i) {
       double d = SquaredDistance(data.Row(i), last);
       min_distance[i] = std::min(min_distance[i], d);
-      total += min_distance[i];
+      cumulative += min_distance[i];
+      prefix[i] = cumulative;
     }
-    size_t chosen = 0;
+    const double total = prefix[n - 1];
+    size_t chosen;
     if (total > 0.0) {
       double target = rng.UniformDouble() * total;
-      double cumulative = 0.0;
-      for (size_t i = 0; i < n; ++i) {
-        cumulative += min_distance[i];
-        if (target < cumulative) {
-          chosen = i;
-          break;
-        }
-        chosen = i;
-      }
+      // First index whose cumulative weight exceeds target; clamp to
+      // the last point when rounding pushes target past the total.
+      auto it = std::upper_bound(prefix.begin(), prefix.end(), target);
+      chosen = it == prefix.end()
+                   ? n - 1
+                   : static_cast<size_t>(it - prefix.begin());
     } else {
       // All remaining distances zero (duplicated points): pick uniformly.
       chosen = static_cast<size_t>(rng.UniformUint64(n));
@@ -97,26 +100,45 @@ double AssignToCentroids(const Matrix& data, const Matrix& centroids,
   return sse;
 }
 
-void RecomputeCentroids(const Matrix& data,
-                        const std::vector<int32_t>& assignments,
-                        Matrix& centroids) {
-  const size_t k = centroids.rows();
-  const size_t dims = centroids.cols();
-  ADA_CHECK_EQ(assignments.size(), data.rows());
-  std::vector<int64_t> counts(k, 0);
-  Matrix sums(k, dims, 0.0);
-  for (size_t i = 0; i < data.rows(); ++i) {
+namespace internal {
+
+void AccumulateRows(const Matrix& data,
+                    const std::vector<int32_t>& assignments, size_t begin,
+                    size_t end, CentroidAccumulator& acc) {
+  const size_t k = acc.sums.rows();
+  const size_t dims = acc.sums.cols();
+  for (size_t i = begin; i < end; ++i) {
     int32_t c = assignments[i];
     ADA_CHECK_GE(c, 0);
     ADA_CHECK_LT(static_cast<size_t>(c), k);
-    ++counts[static_cast<size_t>(c)];
+    ++acc.counts[static_cast<size_t>(c)];
     std::span<const double> point = data.Row(i);
-    std::span<double> sum = sums.Row(static_cast<size_t>(c));
+    std::span<double> sum = acc.sums.Row(static_cast<size_t>(c));
     for (size_t d = 0; d < dims; ++d) sum[d] += point[d];
   }
+}
+
+void MergeAccumulator(const CentroidAccumulator& part,
+                      CentroidAccumulator& total) {
+  const size_t k = total.sums.rows();
+  const size_t dims = total.sums.cols();
+  for (size_t c = 0; c < k; ++c) {
+    total.counts[c] += part.counts[c];
+    std::span<const double> src = part.sums.Row(c);
+    std::span<double> dst = total.sums.Row(c);
+    for (size_t d = 0; d < dims; ++d) dst[d] += src[d];
+  }
+}
+
+void FinalizeCentroids(const Matrix& data,
+                       const std::vector<int32_t>& assignments,
+                       CentroidAccumulator& acc, Matrix& centroids) {
+  const size_t k = centroids.rows();
+  const size_t dims = centroids.cols();
+  std::vector<int64_t>& counts = acc.counts;
   for (size_t c = 0; c < k; ++c) {
     if (counts[c] == 0) continue;
-    std::span<const double> sum = sums.Row(c);
+    std::span<const double> sum = acc.sums.Row(c);
     std::span<double> centroid = centroids.Row(c);
     for (size_t d = 0; d < dims; ++d) {
       centroid[d] = sum[d] / static_cast<double>(counts[c]);
@@ -156,6 +178,64 @@ void RecomputeCentroids(const Matrix& data,
   }
 }
 
+common::Status ValidateKMeansArgs(const Matrix& data,
+                                  const KMeansOptions& options) {
+  if (data.rows() == 0 || data.cols() == 0) {
+    return common::InvalidArgumentError("k-means requires non-empty data");
+  }
+  if (options.k < 1 || static_cast<size_t>(options.k) > data.rows()) {
+    return common::InvalidArgumentError(
+        "k must be in [1, number of points]");
+  }
+  if (options.max_iterations < 1) {
+    return common::InvalidArgumentError("max_iterations must be >= 1");
+  }
+  if (!options.initial_centroids.empty() &&
+      (options.initial_centroids.rows() !=
+           static_cast<size_t>(options.k) ||
+       options.initial_centroids.cols() != data.cols())) {
+    return common::InvalidArgumentError(
+        "initial_centroids must be a k x data.cols() matrix");
+  }
+  return common::OkStatus();
+}
+
+Matrix StartingCentroids(const Matrix& data, const KMeansOptions& options,
+                         Rng& rng) {
+  if (!options.initial_centroids.empty()) return options.initial_centroids;
+  return InitializeCentroids(data, options.k, options.init, rng);
+}
+
+}  // namespace internal
+
+void RecomputeCentroids(const Matrix& data,
+                        const std::vector<int32_t>& assignments,
+                        Matrix& centroids) {
+  const size_t k = centroids.rows();
+  const size_t dims = centroids.cols();
+  ADA_CHECK_EQ(assignments.size(), data.rows());
+  // Fixed-grid chunked reduction: per-chunk partials merged in chunk
+  // order. The accelerated engine computes the same partials in
+  // parallel and merges them in the same order, so both engines arrive
+  // at bit-identical centroids.
+  internal::CentroidAccumulator total(k, dims);
+  if (data.rows() <= internal::kCentroidChunkRows) {
+    internal::AccumulateRows(data, assignments, 0, data.rows(), total);
+  } else {
+    internal::CentroidAccumulator part(k, dims);
+    for (size_t begin = 0; begin < data.rows();
+         begin += internal::kCentroidChunkRows) {
+      const size_t end =
+          std::min(data.rows(), begin + internal::kCentroidChunkRows);
+      part.sums = Matrix(k, dims, 0.0);
+      std::fill(part.counts.begin(), part.counts.end(), 0);
+      internal::AccumulateRows(data, assignments, begin, end, part);
+      internal::MergeAccumulator(part, total);
+    }
+  }
+  internal::FinalizeCentroids(data, assignments, total, centroids);
+}
+
 std::vector<int64_t> ClusterSizes(const std::vector<int32_t>& assignments,
                                   int32_t k) {
   ADA_CHECK_GE(k, 1);
@@ -168,23 +248,86 @@ std::vector<int64_t> ClusterSizes(const std::vector<int32_t>& assignments,
   return sizes;
 }
 
+Matrix AdaptCentroids(const Matrix& data, const Clustering& source,
+                      int32_t target_k) {
+  ADA_CHECK_GE(target_k, 1);
+  ADA_CHECK_LE(static_cast<size_t>(target_k), data.rows());
+  ADA_CHECK_EQ(source.centroids.cols(), data.cols());
+  ADA_CHECK_EQ(source.assignments.size(), data.rows());
+  const size_t k_prev = source.centroids.rows();
+  const size_t k = static_cast<size_t>(target_k);
+  const size_t dims = data.cols();
+  if (k == k_prev) return source.centroids;
+
+  Matrix out(k, dims);
+  if (k < k_prev) {
+    // Keep the centroids of the k largest clusters (relative order
+    // preserved); the smallest clusters are the likeliest artifacts of
+    // over-segmentation.
+    std::vector<int64_t> sizes = ClusterSizes(source.assignments, source.k);
+    std::vector<size_t> order(k_prev);
+    for (size_t c = 0; c < k_prev; ++c) order[c] = c;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return sizes[a] > sizes[b];
+    });
+    order.resize(k);
+    std::sort(order.begin(), order.end());
+    for (size_t c = 0; c < k; ++c) {
+      std::span<const double> src = source.centroids.Row(order[c]);
+      std::span<double> dst = out.Row(c);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+    return out;
+  }
+
+  // Growing: keep every centroid and add data points by farthest-point
+  // selection — deterministic (no rng), so warm-started runs stay
+  // reproducible.
+  for (size_t c = 0; c < k_prev; ++c) {
+    std::span<const double> src = source.centroids.Row(c);
+    std::span<double> dst = out.Row(c);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  std::vector<double> min_distance(data.rows());
+  for (size_t i = 0; i < data.rows(); ++i) {
+    double nearest = std::numeric_limits<double>::max();
+    for (size_t c = 0; c < k_prev; ++c) {
+      nearest = std::min(nearest, SquaredDistance(data.Row(i), out.Row(c)));
+    }
+    min_distance[i] = nearest;
+  }
+  for (size_t c = k_prev; c < k; ++c) {
+    size_t farthest = 0;
+    double worst = -1.0;
+    for (size_t i = 0; i < data.rows(); ++i) {
+      if (min_distance[i] > worst) {
+        worst = min_distance[i];
+        farthest = i;
+      }
+    }
+    std::span<const double> src = data.Row(farthest);
+    std::span<double> dst = out.Row(c);
+    std::copy(src.begin(), src.end(), dst.begin());
+    for (size_t i = 0; i < data.rows(); ++i) {
+      min_distance[i] =
+          std::min(min_distance[i], SquaredDistance(data.Row(i), dst));
+    }
+  }
+  return out;
+}
+
 StatusOr<Clustering> RunKMeans(const Matrix& data,
                                const KMeansOptions& options) {
-  if (data.rows() == 0 || data.cols() == 0) {
-    return common::InvalidArgumentError("k-means requires non-empty data");
-  }
-  if (options.k < 1 || static_cast<size_t>(options.k) > data.rows()) {
-    return common::InvalidArgumentError(
-        "k must be in [1, number of points]");
-  }
-  if (options.max_iterations < 1) {
-    return common::InvalidArgumentError("max_iterations must be >= 1");
+  common::Status valid = internal::ValidateKMeansArgs(data, options);
+  if (!valid.ok()) return valid;
+  if (options.engine == KMeansEngine::kAccelerated) {
+    return RunAcceleratedKMeans(data, options);
   }
 
   Rng rng(options.seed);
   Clustering result;
   result.k = options.k;
-  result.centroids = InitializeCentroids(data, options.k, options.init, rng);
+  result.centroids = internal::StartingCentroids(data, options, rng);
 
   common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
   common::WallTimer assign_timer;

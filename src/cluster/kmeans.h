@@ -23,6 +23,18 @@ enum class KMeansInit {
   kKMeansPlusPlus,
 };
 
+/// Assignment-loop implementation. Both engines produce bit-identical
+/// assignments, centroids, SSE and iteration counts for the same
+/// options; they differ only in speed.
+enum class KMeansEngine {
+  /// Reference Lloyd: full O(n·k·d) distance scan every pass.
+  kNaive,
+  /// Hamerly bound-pruned Lloyd with fused distance kernels and
+  /// chunked parallel passes on ThreadPool::Shared()
+  /// (cluster/kmeans_accel.h). Exact, not approximate.
+  kAccelerated,
+};
+
 struct KMeansOptions {
   /// Number of clusters; 1 <= k <= number of points.
   int32_t k = 8;
@@ -31,6 +43,12 @@ struct KMeansOptions {
   int32_t max_iterations = 100;
   /// Converged when no assignment changes in an iteration.
   uint64_t seed = 1;
+  KMeansEngine engine = KMeansEngine::kAccelerated;
+  /// Warm start: when non-empty (must be k x data.cols()), used as the
+  /// initial centroids instead of running `init`. The optimizer seeds
+  /// restarts and adjacent candidate Ks from earlier solutions this
+  /// way. Copied by value so the options stay self-contained.
+  transform::Matrix initial_centroids;
 };
 
 /// Result of a clustering run.
@@ -77,6 +95,62 @@ void RecomputeCentroids(const transform::Matrix& data,
 /// Sizes of each cluster given `assignments` (values < k).
 std::vector<int64_t> ClusterSizes(const std::vector<int32_t>& assignments,
                                   int32_t k);
+
+/// Warm-start helper: adapts a solved clustering of `data` into
+/// starting centroids for a run with `target_k` clusters (for
+/// KMeansOptions::initial_centroids). Equal K returns the centroids
+/// unchanged; a smaller K keeps the centroids of the largest clusters;
+/// a larger K adds data points by deterministic farthest-point
+/// selection. `source.assignments` must be aligned with `data`.
+transform::Matrix AdaptCentroids(const transform::Matrix& data,
+                                 const Clustering& source, int32_t target_k);
+
+namespace internal {
+
+/// Row-chunk width of the deterministic centroid reduction. Both
+/// engines accumulate per-chunk partial sums on this fixed grid and
+/// merge them in chunk order, so the serial (naive) and parallel
+/// (accelerated) reductions produce bit-identical centroids.
+inline constexpr size_t kCentroidChunkRows = 2048;
+
+/// Per-cluster running sums and counts of one reduction chunk.
+struct CentroidAccumulator {
+  transform::Matrix sums;       // k x dims.
+  std::vector<int64_t> counts;  // k.
+
+  CentroidAccumulator() = default;
+  CentroidAccumulator(size_t k, size_t dims)
+      : sums(k, dims, 0.0), counts(k, 0) {}
+};
+
+/// Accumulates rows [begin, end) of `data` into `acc` in row order.
+void AccumulateRows(const transform::Matrix& data,
+                    const std::vector<int32_t>& assignments, size_t begin,
+                    size_t end, CentroidAccumulator& acc);
+
+/// Adds `part` into `total` (cluster-row order).
+void MergeAccumulator(const CentroidAccumulator& part,
+                      CentroidAccumulator& total);
+
+/// Turns accumulated sums/counts into centroids: divides by counts and
+/// re-seeds empty clusters exactly as RecomputeCentroids documents.
+/// Mutates `acc.counts` while re-seeding.
+void FinalizeCentroids(const transform::Matrix& data,
+                       const std::vector<int32_t>& assignments,
+                       CentroidAccumulator& acc,
+                       transform::Matrix& centroids);
+
+/// Shared argument validation of RunKMeans and RunAcceleratedKMeans.
+[[nodiscard]] common::Status ValidateKMeansArgs(
+    const transform::Matrix& data, const KMeansOptions& options);
+
+/// Chooses the starting centroids per options (initial_centroids when
+/// provided, otherwise `init` via `rng`).
+transform::Matrix StartingCentroids(const transform::Matrix& data,
+                                    const KMeansOptions& options,
+                                    common::Rng& rng);
+
+}  // namespace internal
 
 }  // namespace cluster
 }  // namespace adahealth

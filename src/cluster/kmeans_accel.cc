@@ -1,0 +1,364 @@
+#include "cluster/kmeans_accel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace adahealth {
+namespace cluster {
+
+namespace {
+
+using common::Rng;
+using common::StatusOr;
+using transform::Matrix;
+using transform::SquaredDistance;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Minimum n·k·dims product before a pass is worth fanning out to the
+/// shared pool (the work-budget heuristic: small matrices stay serial,
+/// where pool hand-off would cost more than the scan itself).
+constexpr size_t kMinParallelWork = size_t{1} << 20;
+
+/// Relative padding applied to every derived Euclidean bound so that
+/// accumulated floating-point rounding (sqrt, drift additions) can
+/// never turn a conservative bound optimistic. Scales with dims
+/// because the underlying squared-distance rounding does.
+double BoundPad(size_t dims) {
+  return 8.0 * static_cast<double>(dims + 8) *
+         std::numeric_limits<double>::epsilon();
+}
+
+/// Per-point Hamerly state. `upper[i]` always >= dist(x_i, centroid of
+/// assignment[i]); `lower[i]` always <= distance from x_i to its
+/// second-closest centroid. Both are Euclidean (not squared) so the
+/// triangle-inequality drift updates compose additively.
+struct Bounds {
+  std::vector<int32_t> assignment;
+  std::vector<double> upper;
+  std::vector<double> lower;
+};
+
+/// Everything a pass over the points needs, shared read-only across
+/// chunks (per-point writes touch disjoint rows).
+struct PassContext {
+  const Matrix* data = nullptr;
+  const Matrix* centroids = nullptr;
+  const std::vector<double>* row_norms = nullptr;
+  const std::vector<double>* centroid_norms = nullptr;
+  const std::vector<double>* half_separation = nullptr;  // s[c].
+  double pad_up = 1.0;
+  double pad_down = 1.0;
+  double fused_err = 0.0;
+};
+
+/// Full re-assignment of point `i`, bit-identical to the naive scan.
+/// The fused kernel screens the centroids first: only centroids whose
+/// conservative interval [fused - err, fused + err] can reach the
+/// smallest interval upper end are re-checked with the exact naive
+/// formula, scanned in index order with the naive strict-< tie-break —
+/// so the winner (and therefore every downstream centroid and SSE bit)
+/// matches the naive engine exactly. Returns true if the assignment
+/// changed. `fused` and `lower_est` are caller-provided k-sized
+/// scratch.
+bool FullScanPoint(const PassContext& ctx, size_t i,
+                   std::vector<double>& fused,
+                   std::vector<double>& lower_est, Bounds& bounds) {
+  const Matrix& data = *ctx.data;
+  const Matrix& centroids = *ctx.centroids;
+  const size_t k = centroids.rows();
+  std::span<const double> x = data.Row(i);
+  const double x_norm2 = (*ctx.row_norms)[i];
+
+  transform::SquaredDistanceToAll(x, x_norm2, centroids,
+                                  *ctx.centroid_norms, fused);
+  double screen = kInf;
+  for (size_t c = 0; c < k; ++c) {
+    const double err =
+        ctx.fused_err * (x_norm2 + (*ctx.centroid_norms)[c]);
+    screen = std::min(screen, fused[c] + err);
+  }
+
+  double best_d2 = kInf;
+  int32_t best_c = 0;
+  for (size_t c = 0; c < k; ++c) {
+    const double err =
+        ctx.fused_err * (x_norm2 + (*ctx.centroid_norms)[c]);
+    if (fused[c] - err <= screen) {
+      // Candidate: exact distance, naive formula and tie-break.
+      const double d2 = SquaredDistance(x, centroids.Row(c));
+      lower_est[c] = std::sqrt(d2);
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best_c = static_cast<int32_t>(c);
+      }
+    } else {
+      // Screened out: provably farther than the winner; a padded
+      // Euclidean lower estimate is all the second-best bound needs.
+      lower_est[c] = std::sqrt(std::max(0.0, fused[c] - err));
+    }
+  }
+
+  double second = kInf;
+  for (size_t c = 0; c < k; ++c) {
+    if (static_cast<int32_t>(c) == best_c) continue;
+    second = std::min(second, lower_est[c]);
+  }
+
+  const bool changed = bounds.assignment[i] != best_c;
+  bounds.assignment[i] = best_c;
+  bounds.upper[i] = std::sqrt(best_d2) * ctx.pad_up;
+  bounds.lower[i] = second == kInf ? kInf : second * ctx.pad_down;
+  return changed;
+}
+
+}  // namespace
+
+StatusOr<Clustering> RunAcceleratedKMeans(const Matrix& data,
+                                          const KMeansOptions& options) {
+  return internal::RunAcceleratedKMeansOnPool(data, options,
+                                              common::ThreadPool::Shared());
+}
+
+namespace internal {
+
+StatusOr<Clustering> RunAcceleratedKMeansOnPool(const Matrix& data,
+                                                const KMeansOptions& options,
+                                                common::ThreadPool& pool) {
+  common::Status valid = internal::ValidateKMeansArgs(data, options);
+  if (!valid.ok()) return valid;
+
+  const size_t n = data.rows();
+  const size_t dims = data.cols();
+  const size_t k = static_cast<size_t>(options.k);
+
+  Rng rng(options.seed);
+  Clustering result;
+  result.k = options.k;
+  result.centroids = internal::StartingCentroids(data, options, rng);
+
+  const std::vector<double> row_norms = transform::RowSquaredNorms(data);
+  const double pad_up = 1.0 + BoundPad(dims);
+  const double pad_down = 1.0 - BoundPad(dims);
+  const double fused_err = transform::FusedRelativeError(dims);
+
+  Bounds bounds;
+  bounds.assignment.assign(n, 0);
+  bounds.upper.assign(n, 0.0);
+  bounds.lower.assign(n, 0.0);
+  std::vector<double> centroid_norms(k, 0.0);
+  std::vector<double> half_separation(k, kInf);
+  std::vector<double> drift(k, 0.0);
+
+  const bool parallel =
+      pool.num_threads() > 1 && n * k * dims >= kMinParallelWork;
+
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
+  common::Counter& skipped_counter =
+      metrics.GetCounter("kmeans/skipped_distance_checks");
+  common::Counter& recompute_counter =
+      metrics.GetCounter("kmeans/bound_recomputes");
+  common::Counter& chunks_counter =
+      metrics.GetCounter("kmeans/parallel_chunks");
+
+  PassContext ctx;
+  ctx.data = &data;
+  ctx.centroids = &result.centroids;
+  ctx.row_norms = &row_norms;
+  ctx.centroid_norms = &centroid_norms;
+  ctx.half_separation = &half_separation;
+  ctx.pad_up = pad_up;
+  ctx.pad_down = pad_down;
+  ctx.fused_err = fused_err;
+
+  // One assignment pass. `first` forces a full scan of every point
+  // (and, mirroring the naive engine's empty-previous comparison,
+  // reports every point as changed); later passes consult the bounds.
+  auto assignment_pass = [&](bool first) -> int64_t {
+    for (size_t c = 0; c < k; ++c) {
+      std::span<const double> row = result.centroids.Row(c);
+      centroid_norms[c] = transform::Dot(row, row);
+    }
+    std::atomic<int64_t> changed_total{0};
+    std::atomic<int64_t> skipped_total{0};
+    std::atomic<int64_t> recompute_total{0};
+    auto chunk_body = [&](size_t chunk_begin, size_t chunk_end) {
+      std::vector<double> fused(k);
+      std::vector<double> lower_est(k);
+      int64_t changed = 0;
+      int64_t skipped = 0;
+      int64_t recomputes = 0;
+      const int64_t all_k = static_cast<int64_t>(k);
+      for (size_t i = chunk_begin; i < chunk_end; ++i) {
+        if (first) {
+          FullScanPoint(ctx, i, fused, lower_est, bounds);
+          ++changed;
+          continue;
+        }
+        const size_t a = static_cast<size_t>(bounds.assignment[i]);
+        const double prune_at =
+            std::max(bounds.lower[i], half_separation[a]);
+        if (bounds.upper[i] < prune_at) {
+          skipped += all_k;
+          continue;
+        }
+        // Tighten the upper bound with one exact distance; most
+        // drift-inflated bounds collapse below the prune line here.
+        const double d2 =
+            SquaredDistance(data.Row(i), result.centroids.Row(a));
+        ++recomputes;
+        bounds.upper[i] = std::sqrt(d2) * pad_up;
+        if (bounds.upper[i] < prune_at) {
+          skipped += all_k - 1;
+          continue;
+        }
+        if (FullScanPoint(ctx, i, fused, lower_est, bounds)) ++changed;
+      }
+      changed_total.fetch_add(changed, std::memory_order_relaxed);
+      skipped_total.fetch_add(skipped, std::memory_order_relaxed);
+      recompute_total.fetch_add(recomputes, std::memory_order_relaxed);
+    };
+    if (parallel) {
+      size_t chunks = common::ParallelForChunks(pool, 0, n, chunk_body);
+      chunks_counter.Increment(static_cast<int64_t>(chunks));
+    } else {
+      chunk_body(0, n);
+    }
+    skipped_counter.Increment(skipped_total.load());
+    recompute_counter.Increment(recompute_total.load());
+    return changed_total.load();
+  };
+
+  // Centroid recomputation on the fixed chunk grid shared with the
+  // naive engine: chunk partials merged in chunk order produce the
+  // same bits whether the partials were computed serially or on the
+  // pool.
+  auto recompute_centroids = [&]() {
+    if (!parallel || n <= internal::kCentroidChunkRows) {
+      RecomputeCentroids(data, bounds.assignment, result.centroids);
+      return;
+    }
+    const size_t num_chunks =
+        (n + internal::kCentroidChunkRows - 1) /
+        internal::kCentroidChunkRows;
+    std::vector<internal::CentroidAccumulator> parts(num_chunks);
+    size_t chunks = common::ParallelForChunks(
+        pool, 0, n,
+        [&](size_t chunk_begin, size_t chunk_end) {
+          const size_t id = chunk_begin / internal::kCentroidChunkRows;
+          parts[id] = internal::CentroidAccumulator(k, dims);
+          internal::AccumulateRows(data, bounds.assignment, chunk_begin,
+                                   chunk_end, parts[id]);
+        },
+        internal::kCentroidChunkRows);
+    chunks_counter.Increment(static_cast<int64_t>(chunks));
+    internal::CentroidAccumulator total(k, dims);
+    for (size_t id = 0; id < num_chunks; ++id) {
+      internal::MergeAccumulator(parts[id], total);
+    }
+    internal::FinalizeCentroids(data, bounds.assignment, total,
+                                result.centroids);
+  };
+
+  common::WallTimer assign_timer;
+  double assign_seconds = 0.0;
+  int64_t assign_passes = 0;
+  Matrix old_centroids;
+
+  for (int32_t iter = 0; iter < options.max_iterations; ++iter) {
+    assign_timer.Restart();
+    const int64_t changed = assignment_pass(iter == 0);
+    assign_seconds += assign_timer.ElapsedSeconds();
+    ++assign_passes;
+    result.iterations = iter + 1;
+    if (changed == 0) {
+      result.converged = true;
+      break;
+    }
+    old_centroids = result.centroids;
+    recompute_centroids();
+
+    // Bound maintenance: each centroid's padded drift loosens the
+    // upper bound of its members; the maximum drift loosens every
+    // lower bound; half the deflated nearest-other-centroid distance
+    // gives the additional Hamerly prune line s[c].
+    double max_drift = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+      drift[c] = std::sqrt(SquaredDistance(old_centroids.Row(c),
+                                           result.centroids.Row(c))) *
+                 pad_up;
+      max_drift = std::max(max_drift, drift[c]);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      bounds.upper[i] =
+          (bounds.upper[i] + drift[static_cast<size_t>(
+                                 bounds.assignment[i])]) *
+          pad_up;
+      const double lowered = bounds.lower[i] - max_drift;
+      bounds.lower[i] = lowered > 0.0 ? lowered * pad_down : 0.0;
+    }
+    for (size_t c = 0; c < k; ++c) {
+      double nearest = kInf;
+      for (size_t other = 0; other < k; ++other) {
+        if (other == c) continue;
+        nearest = std::min(
+            nearest, SquaredDistance(result.centroids.Row(c),
+                                     result.centroids.Row(other)));
+      }
+      half_separation[c] =
+          nearest == kInf ? kInf : 0.5 * std::sqrt(nearest) * pad_down;
+    }
+  }
+
+  if (!result.converged) {
+    // Mirror the naive engine: the loop exited after a recompute, so
+    // the assignment is stale against the final centroids.
+    assign_timer.Restart();
+    assignment_pass(false);
+    assign_seconds += assign_timer.ElapsedSeconds();
+    ++assign_passes;
+  }
+
+  // Final SSE: the naive engine folds the exact per-point distances in
+  // row order during its last pass; computing the identical terms
+  // (possibly in parallel) and folding them in the identical order
+  // reproduces its sum bit for bit.
+  std::vector<double> terms(n);
+  auto term_body = [&](size_t chunk_begin, size_t chunk_end) {
+    for (size_t i = chunk_begin; i < chunk_end; ++i) {
+      terms[i] = SquaredDistance(
+          data.Row(i), result.centroids.Row(
+                           static_cast<size_t>(bounds.assignment[i])));
+    }
+  };
+  if (parallel) {
+    size_t chunks = common::ParallelForChunks(pool, 0, n, term_body);
+    chunks_counter.Increment(static_cast<int64_t>(chunks));
+  } else {
+    term_body(0, n);
+  }
+  double sse = 0.0;
+  for (size_t i = 0; i < n; ++i) sse += terms[i];
+  result.sse = sse;
+  result.assignments = std::move(bounds.assignment);
+
+  metrics.GetCounter("kmeans/runs").Increment();
+  metrics.GetCounter("kmeans/iterations").Increment(result.iterations);
+  metrics.GetCounter("kmeans/assign_passes").Increment(assign_passes);
+  metrics.GetHistogram("kmeans/assign_seconds").Record(assign_seconds);
+  return result;
+}
+
+}  // namespace internal
+
+}  // namespace cluster
+}  // namespace adahealth

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <memory>
 
 #include "common/check.h"
 #include "common/failpoint.h"
@@ -20,6 +21,15 @@ ThreadPool::ThreadPool(size_t num_threads) {
 }
 
 ThreadPool::~ThreadPool() { Shutdown(); }
+
+ThreadPool& ThreadPool::Shared() {
+  // Function-local static: constructed on first use, joined at process
+  // exit. Subsystems schedule through TrySchedule so a task arriving
+  // during exit teardown is executed inline by the caller instead.
+  static ThreadPool pool(
+      std::max<size_t>(1, std::thread::hardware_concurrency()));
+  return pool;
+}
 
 void ThreadPool::Shutdown() {
   {
@@ -116,32 +126,110 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
-                 const std::function<void(size_t)>& body) {
-  if (begin >= end) return;
-  const size_t total = end - begin;
-  const size_t workers = pool.num_threads();
-  const size_t chunk = std::max<size_t>(1, (total + workers - 1) / workers);
-  std::atomic<size_t> pending{0};
+namespace {
+
+/// Shared state of one ParallelForChunks call. Workers and the caller
+/// claim chunk ids from `next`; whoever finishes the last chunk
+/// notifies `done_cv`. Held in a shared_ptr so helper tasks stay valid
+/// even if the caller unwinds first.
+struct ParallelForState {
+  std::function<void(size_t, size_t)> body;
+  size_t begin = 0;
+  size_t end = 0;
+  size_t chunk = 1;
+  size_t num_chunks = 0;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> remaining{0};
   std::mutex done_mutex;
   std::condition_variable done_cv;
-  size_t scheduled = 0;
-  for (size_t chunk_begin = begin; chunk_begin < end; chunk_begin += chunk) {
-    ++scheduled;
+};
+
+void FinishChunk(ParallelForState& state) {
+  if (state.remaining.fetch_sub(1) == 1) {
+    std::unique_lock<std::mutex> lock(state.done_mutex);
+    state.done_cv.notify_all();
   }
-  pending.store(scheduled);
-  for (size_t chunk_begin = begin; chunk_begin < end; chunk_begin += chunk) {
-    const size_t chunk_end = std::min(end, chunk_begin + chunk);
-    pool.Schedule([&, chunk_begin, chunk_end] {
-      for (size_t i = chunk_begin; i < chunk_end; ++i) body(i);
-      if (pending.fetch_sub(1) == 1) {
-        std::unique_lock<std::mutex> lock(done_mutex);
-        done_cv.notify_all();
-      }
-    });
+}
+
+/// Claims and executes chunks until none remain. A throwing body still
+/// releases its chunk (so waiters unblock) before propagating; on a
+/// pool worker the exception is then recorded by WorkerLoop.
+void RunClaimLoop(ParallelForState& state) {
+  while (true) {
+    const size_t id = state.next.fetch_add(1);
+    if (id >= state.num_chunks) return;
+    const size_t chunk_begin = state.begin + id * state.chunk;
+    const size_t chunk_end = std::min(state.end, chunk_begin + state.chunk);
+    try {
+      state.body(chunk_begin, chunk_end);
+    } catch (...) {
+      FinishChunk(state);
+      throw;
+    }
+    FinishChunk(state);
   }
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return pending.load() == 0; });
+}
+
+void WaitAllChunks(ParallelForState& state) {
+  std::unique_lock<std::mutex> lock(state.done_mutex);
+  state.done_cv.wait(lock,
+                     [&state] { return state.remaining.load() == 0; });
+}
+
+}  // namespace
+
+size_t ParallelForChunks(
+    ThreadPool& pool, size_t begin, size_t end,
+    const std::function<void(size_t, size_t)>& chunk_body,
+    size_t max_chunk) {
+  if (begin >= end) return 0;
+  const size_t total = end - begin;
+  const size_t workers = pool.num_threads();
+  // Oversubscribe chunks 4x relative to workers so a straggler chunk
+  // does not serialize the tail; an explicit max_chunk is exact (the
+  // chunk grid is then a deterministic function of the range alone,
+  // which deterministic reductions rely on).
+  size_t chunk = max_chunk;
+  if (chunk == 0) {
+    const size_t target = workers * 4;
+    chunk = std::max<size_t>(1, (total + target - 1) / target);
+  }
+  const size_t num_chunks = (total + chunk - 1) / chunk;
+
+  auto state = std::make_shared<ParallelForState>();
+  state->body = chunk_body;
+  state->begin = begin;
+  state->end = end;
+  state->chunk = chunk;
+  state->num_chunks = num_chunks;
+  state->remaining.store(num_chunks);
+
+  // The caller participates, so only num_chunks - 1 helpers can ever
+  // find work; TrySchedule failure (pool shutting down) just means the
+  // caller runs every chunk itself.
+  const size_t helpers = std::min(workers, num_chunks - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    if (!pool.TrySchedule([state] { RunClaimLoop(*state); })) break;
+  }
+  try {
+    RunClaimLoop(*state);
+  } catch (...) {
+    WaitAllChunks(*state);
+    throw;
+  }
+  WaitAllChunks(*state);
+  return num_chunks;
+}
+
+void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& body,
+                 size_t max_chunk) {
+  ParallelForChunks(
+      pool, begin, end,
+      [&body](size_t chunk_begin, size_t chunk_end) {
+        for (size_t i = chunk_begin; i < chunk_end; ++i) body(i);
+      },
+      max_chunk);
 }
 
 }  // namespace common

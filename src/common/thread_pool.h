@@ -34,6 +34,13 @@ class ThreadPool {
   explicit ThreadPool(size_t num_threads);
   ~ThreadPool();
 
+  /// Process-wide pool shared by every parallel subsystem (optimizer
+  /// candidate sweeps, k-means row-level parallelism, ...). Sized to
+  /// the hardware concurrency and constructed on first use; callers
+  /// must never Shutdown() it. Sharing one pool keeps the process at
+  /// one worker per core instead of one pool per sweep.
+  static ThreadPool& Shared();
+
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
@@ -81,9 +88,24 @@ class ThreadPool {
 };
 
 /// Runs body(i) for i in [begin, end) across `pool`, blocking until all
-/// iterations complete. Iterations are distributed in contiguous chunks.
+/// iterations complete. Iterations are distributed in contiguous chunks
+/// claimed from a shared counter; the calling thread participates in
+/// chunk execution, so ParallelFor is safe to nest — a body running on
+/// a pool worker may itself call ParallelFor on the same pool without
+/// deadlock (in the worst case the inner call runs entirely on the
+/// calling worker). `max_chunk` caps the chunk size (0 = automatic).
 void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
-                 const std::function<void(size_t)>& body);
+                 const std::function<void(size_t)>& body,
+                 size_t max_chunk = 0);
+
+/// Like ParallelFor but hands each task a contiguous [chunk_begin,
+/// chunk_end) range instead of a single index, avoiding per-index
+/// std::function overhead in tight loops. Same nesting guarantees.
+/// Returns the number of chunks executed.
+size_t ParallelForChunks(
+    ThreadPool& pool, size_t begin, size_t end,
+    const std::function<void(size_t, size_t)>& chunk_body,
+    size_t max_chunk = 0);
 
 }  // namespace common
 }  // namespace adahealth

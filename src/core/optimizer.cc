@@ -8,6 +8,7 @@
 #include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/timer.h"
 #include "ml/cross_validation.h"
 #include "ml/decision_tree.h"
 #include "ml/knn.h"
@@ -37,43 +38,70 @@ ml::ClassifierFactory MakeFactory(RobustnessModel model) {
   return [] { return std::make_unique<ml::DecisionTreeClassifier>(); };
 }
 
-/// Evaluates one candidate K: cluster, then cross-validate a classifier
-/// that re-predicts the cluster labels from the same features.
-StatusOr<CandidateEvaluation> EvaluateCandidate(
-    const Matrix& data, int32_t k, const OptimizerOptions& options) {
+/// Phase A of one candidate K: the k-means restarts, keeping the
+/// best-SSE run. `warm_source` (when non-null) is the best clustering
+/// of the nearest previously-evaluated K; one extra run then starts
+/// from its centroids adapted to this K — typically one or two drift
+/// steps from a local optimum, so it converges in a handful of cheap
+/// pruned passes. The k-means++ restarts are unchanged, so the
+/// candidate's best SSE can only improve over a cold sweep.
+StatusOr<cluster::Clustering> ClusterCandidate(
+    const Matrix& data, int32_t k, const OptimizerOptions& options,
+    const cluster::Clustering* warm_source) {
   // A triggered "optimizer.candidate" failpoint marks this candidate
   // skipped (the sweep's existing degradation path) without aborting
   // the sweep.
   ADA_RETURN_IF_ERROR(ADA_FAILPOINT("optimizer.candidate"));
   common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
-  common::ScopedTimer eval_timer(metrics, "optimizer/candidate_eval_seconds");
-  CandidateEvaluation evaluation;
-  evaluation.k = k;
+  common::ScopedTimer kmeans_timer(metrics, "optimizer/kmeans_seconds");
 
   cluster::KMeansOptions kmeans = options.kmeans;
   kmeans.k = k;
   StatusOr<cluster::Clustering> best =
       common::InternalError("no restart succeeded");
-  {
-    common::ScopedTimer kmeans_timer(metrics, "optimizer/kmeans_seconds");
-    for (int32_t restart = 0; restart < options.restarts; ++restart) {
-      kmeans.seed = options.seed + static_cast<uint64_t>(k) * 104729 +
-                    static_cast<uint64_t>(restart) * 15485863;
-      auto clustering = cluster::RunKMeans(data, kmeans);
-      if (!clustering.ok()) return clustering.status();
-      if (!best.ok() || clustering->sse < best->sse) {
-        best = std::move(clustering);
-      }
-      metrics.GetCounter("optimizer/restarts").Increment();
-    }
+  if (warm_source != nullptr) {
+    kmeans.seed = options.seed + static_cast<uint64_t>(k) * 104729;
+    kmeans.initial_centroids = cluster::AdaptCentroids(data, *warm_source, k);
+    auto clustering = cluster::RunKMeans(data, kmeans);
+    if (!clustering.ok()) return clustering.status();
+    best = std::move(clustering);
+    kmeans.initial_centroids = transform::Matrix();
+    metrics.GetCounter("optimizer/warm_starts").Increment();
   }
-  evaluation.sse = best->sse;
-  evaluation.clustering = std::move(best).value();
+  for (int32_t restart = 0; restart < options.restarts; ++restart) {
+    kmeans.seed = options.seed + static_cast<uint64_t>(k) * 104729 +
+                  static_cast<uint64_t>(restart) * 15485863;
+    auto clustering = cluster::RunKMeans(data, kmeans);
+    if (!clustering.ok()) return clustering.status();
+    if (!best.ok() || clustering->sse < best->sse) {
+      best = std::move(clustering);
+    }
+    metrics.GetCounter("optimizer/restarts").Increment();
+  }
+  return best;
+}
 
-  common::ScopedTimer cv_timer(metrics, "optimizer/cv_seconds");
+/// Phase B of one candidate K: cross-validate a classifier that
+/// re-predicts the cluster labels from the same features.
+StatusOr<CandidateEvaluation> AssessCandidate(const Matrix& data,
+                                              cluster::Clustering clustering,
+                                              double cluster_seconds,
+                                              const OptimizerOptions& options) {
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
+  common::WallTimer cv_timer;
+  CandidateEvaluation evaluation;
+  evaluation.k = clustering.k;
+  evaluation.sse = clustering.sse;
+  evaluation.clustering = std::move(clustering);
+
   auto report = ml::CrossValidate(
-      data, evaluation.clustering.assignments, k, options.cv_folds,
-      options.seed + static_cast<uint64_t>(k), MakeFactory(options.model));
+      data, evaluation.clustering.assignments, evaluation.k,
+      options.cv_folds, options.seed + static_cast<uint64_t>(evaluation.k),
+      MakeFactory(options.model));
+  const double cv_seconds = cv_timer.ElapsedSeconds();
+  metrics.GetHistogram("optimizer/cv_seconds").Record(cv_seconds);
+  metrics.GetHistogram("optimizer/candidate_eval_seconds")
+      .Record(cluster_seconds + cv_seconds);
   if (!report.ok()) return report.status();
   evaluation.accuracy = report->accuracy;
   evaluation.avg_precision = report->macro_precision;
@@ -111,22 +139,48 @@ StatusOr<OptimizerResult> OptimizeClustering(
   std::vector<StatusOr<CandidateEvaluation>> evaluations(
       num_candidates, common::InternalError("not evaluated"));
 
+  // Phase A — clustering, serial and in candidate order so each K can
+  // warm-start from the best solution of the nearest K evaluated
+  // before it (and so results never depend on the thread count). The
+  // cores not used at this level feed the k-means engine's row-level
+  // parallelism on ThreadPool::Shared() instead.
+  std::vector<StatusOr<cluster::Clustering>> clusterings(
+      num_candidates, common::InternalError("not clustered"));
+  std::vector<double> cluster_seconds(num_candidates, 0.0);
+  const cluster::Clustering* warm_source = nullptr;
+  common::WallTimer cluster_timer;
+  for (size_t i = 0; i < num_candidates; ++i) {
+    cluster_timer.Restart();
+    clusterings[i] =
+        ClusterCandidate(data, options.candidate_ks[i], options, warm_source);
+    cluster_seconds[i] = cluster_timer.ElapsedSeconds();
+    if (clusterings[i].ok()) warm_source = &*clusterings[i];
+  }
+
+  // Phase B — robustness assessment (classifier cross-validation) per
+  // candidate, fanned out across options.num_threads. The former
+  // design parallelized whole candidates, so a sweep could never use
+  // more threads than candidates no matter how many cores were free;
+  // now the clustering phase scales with the data instead.
   size_t num_threads = options.num_threads;
   if (num_threads == 0) {
     num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
   }
   num_threads = std::min(num_threads, num_candidates);
-  if (num_threads <= 1) {
-    for (size_t i = 0; i < num_candidates; ++i) {
-      evaluations[i] =
-          EvaluateCandidate(data, options.candidate_ks[i], options);
+  auto assess = [&](size_t i) {
+    if (!clusterings[i].ok()) {
+      evaluations[i] = clusterings[i].status();
+      return;
     }
+    evaluations[i] =
+        AssessCandidate(data, std::move(clusterings[i]).value(),
+                        cluster_seconds[i], options);
+  };
+  if (num_threads <= 1) {
+    for (size_t i = 0; i < num_candidates; ++i) assess(i);
   } else {
     common::ThreadPool pool(num_threads);
-    common::ParallelFor(pool, 0, num_candidates, [&](size_t i) {
-      evaluations[i] =
-          EvaluateCandidate(data, options.candidate_ks[i], options);
-    });
+    common::ParallelFor(pool, 0, num_candidates, assess);
   }
 
   // A candidate whose evaluation fails (e.g. a cluster too small for

@@ -38,11 +38,18 @@ struct OptimizerOptions {
   int32_t cv_folds = 10;
   /// K-means restarts per candidate; the best-SSE run is kept, so the
   /// robustness assessment scores the algorithm's best effort at each
-  /// K rather than one local optimum.
+  /// K rather than one local optimum. Every candidate after the first
+  /// additionally runs once warm-started from the best solution of
+  /// the nearest K evaluated before it (cluster::AdaptCentroids) — a
+  /// cheap, fast-converging extra attempt that can only improve the
+  /// kept best over the independent k-means++ restarts.
   int32_t restarts = 3;
   RobustnessModel model = RobustnessModel::kDecisionTree;
-  /// Worker threads for the candidate sweep (the local stand-in for
-  /// the paper's cloud configuration services). 0 = hardware default.
+  /// Worker threads for the cross-validation fan-out (the local
+  /// stand-in for the paper's cloud configuration services). 0 =
+  /// hardware default. The clustering phase runs in candidate order
+  /// (for warm starts and thread-count-independent results) and
+  /// parallelizes internally on ThreadPool::Shared() instead.
   size_t num_threads = 0;
   uint64_t seed = 29;
 };

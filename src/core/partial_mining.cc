@@ -58,13 +58,26 @@ StatusOr<std::vector<double>> SimilarityPerK(
     const PartialMiningOptions& options) {
   std::vector<double> similarities;
   similarities.reserve(options.ks.size());
+  cluster::Clustering previous_best;
   for (int32_t k : options.ks) {
     cluster::KMeansOptions kmeans = options.kmeans;
     kmeans.k = std::min<int32_t>(k, static_cast<int32_t>(mining_vsm.rows()));
     // Best-SSE of `restarts` seeded runs; stable seeds per (K, restart)
-    // keep steps comparable.
+    // keep steps comparable. Every K after the first adds one extra
+    // run warm-started from the previous K's best solution — it
+    // converges in a few cheap pruned passes and can only improve the
+    // kept best.
     StatusOr<cluster::Clustering> best =
         common::InternalError("no restart succeeded");
+    if (previous_best.k > 0) {
+      kmeans.seed = options.kmeans.seed + static_cast<uint64_t>(k) * 7919;
+      kmeans.initial_centroids =
+          cluster::AdaptCentroids(mining_vsm, previous_best, kmeans.k);
+      auto clustering = cluster::RunKMeans(mining_vsm, kmeans);
+      if (!clustering.ok()) return clustering.status();
+      best = std::move(clustering);
+      kmeans.initial_centroids = transform::Matrix();
+    }
     for (int32_t restart = 0; restart < options.restarts; ++restart) {
       kmeans.seed = options.kmeans.seed + static_cast<uint64_t>(k) * 7919 +
                     static_cast<uint64_t>(restart) * 104729;
@@ -76,6 +89,7 @@ StatusOr<std::vector<double>> SimilarityPerK(
     }
     similarities.push_back(cluster::OverallSimilarity(
         evaluation_vsm, best->assignments, best->k));
+    previous_best = std::move(best).value();
   }
   return similarities;
 }

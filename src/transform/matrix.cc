@@ -1,6 +1,7 @@
 #include "transform/matrix.h"
 
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
 
@@ -72,6 +73,55 @@ Matrix Matrix::SelectColumns(const std::vector<size_t>& col_ids) const {
     for (size_t c = 0; c < col_ids.size(); ++c) dst[c] = src[col_ids[c]];
   }
   return out;
+}
+
+std::vector<double> RowSquaredNorms(const Matrix& m) {
+  std::vector<double> norms(m.rows());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    std::span<const double> row = m.Row(r);
+    norms[r] = Dot(row, row);
+  }
+  return norms;
+}
+
+void SquaredDistanceToAll(std::span<const double> point, double point_norm2,
+                          const Matrix& centroids,
+                          std::span<const double> centroid_norms2,
+                          std::span<double> out) {
+  const size_t k = centroids.rows();
+  const size_t dims = centroids.cols();
+  ADA_CHECK_EQ(point.size(), dims);
+  ADA_CHECK_EQ(centroid_norms2.size(), k);
+  ADA_CHECK_GE(out.size(), k);
+  const double* x = point.data();
+  for (size_t c = 0; c < k; ++c) {
+    const double* row = centroids.Row(c).data();
+    // Four independent accumulators break the sequential add chain so
+    // the loop vectorizes/pipelines; the final combine order is fixed,
+    // keeping the kernel deterministic for a given dims.
+    double acc0 = 0.0;
+    double acc1 = 0.0;
+    double acc2 = 0.0;
+    double acc3 = 0.0;
+    size_t d = 0;
+    for (; d + 4 <= dims; d += 4) {
+      acc0 += x[d] * row[d];
+      acc1 += x[d + 1] * row[d + 1];
+      acc2 += x[d + 2] * row[d + 2];
+      acc3 += x[d + 3] * row[d + 3];
+    }
+    for (; d < dims; ++d) acc0 += x[d] * row[d];
+    const double dot = (acc0 + acc1) + (acc2 + acc3);
+    out[c] = point_norm2 + centroid_norms2[c] - 2.0 * dot;
+  }
+}
+
+double FusedRelativeError(size_t dims) {
+  // Each form accumulates O(dims) roundings of terms bounded by
+  // ‖x‖² + ‖c‖² (Cauchy–Schwarz bounds every partial product sum);
+  // the factor 16 leaves a wide safety margin over the worst case.
+  return 16.0 * static_cast<double>(dims + 8) *
+         std::numeric_limits<double>::epsilon();
 }
 
 double SquaredDistance(std::span<const double> a, std::span<const double> b) {

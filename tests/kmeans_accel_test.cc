@@ -1,0 +1,210 @@
+// Bit-identity and concurrency tests for the accelerated k-means
+// engine: the accelerated result must equal the naive result exactly
+// (assignments, centroids, SSE, iteration counts) for every
+// configuration, serial or parallel.
+#include "cluster/kmeans_accel.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "test_util.h"
+
+namespace adahealth {
+namespace cluster {
+namespace {
+
+using test::MakeBlobs;
+using transform::Matrix;
+
+// Exact comparison: the accelerated engine promises bit-identical
+// output, so no tolerance anywhere.
+void ExpectIdentical(const Clustering& naive, const Clustering& accel) {
+  EXPECT_EQ(naive.assignments, accel.assignments);
+  EXPECT_EQ(naive.sse, accel.sse);
+  EXPECT_EQ(naive.iterations, accel.iterations);
+  EXPECT_EQ(naive.converged, accel.converged);
+  ASSERT_EQ(naive.centroids.rows(), accel.centroids.rows());
+  ASSERT_EQ(naive.centroids.cols(), accel.centroids.cols());
+  for (size_t c = 0; c < naive.centroids.rows(); ++c) {
+    for (size_t d = 0; d < naive.centroids.cols(); ++d) {
+      EXPECT_EQ(naive.centroids.At(c, d), accel.centroids.At(c, d))
+          << "centroid " << c << " dim " << d;
+    }
+  }
+}
+
+void RunBothAndCompare(const Matrix& data, KMeansOptions options) {
+  options.engine = KMeansEngine::kNaive;
+  auto naive = RunKMeans(data, options);
+  options.engine = KMeansEngine::kAccelerated;
+  auto accel = RunKMeans(data, options);
+  ASSERT_TRUE(naive.ok());
+  ASSERT_TRUE(accel.ok());
+  ExpectIdentical(*naive, *accel);
+}
+
+TEST(KMeansAccelTest, MatchesNaiveOnRandomizedShapes) {
+  common::Rng shape_rng(20260807);
+  for (int trial = 0; trial < 60; ++trial) {
+    const size_t n = 2 + shape_rng.UniformUint64(300);
+    const size_t dims = 1 + shape_rng.UniformUint64(24);
+    const int32_t k =
+        1 + static_cast<int32_t>(shape_rng.UniformUint64(
+                std::min<size_t>(n, 12)));
+    Matrix data(n, dims);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t d = 0; d < dims; ++d) {
+        data.At(i, d) = shape_rng.Normal(0.0, 5.0);
+      }
+    }
+    // A third of the trials duplicate a block of rows, stressing ties
+    // (naive breaks ties toward the lower centroid index) and the
+    // zero-distance branches of k-means++.
+    if (trial % 3 == 0) {
+      for (size_t i = n / 2; i < n; ++i) {
+        std::span<const double> src = data.Row(i % (n / 2 + 1));
+        std::span<double> dst = data.Row(i);
+        std::copy(src.begin(), src.end(), dst.begin());
+      }
+    }
+    KMeansOptions options;
+    options.k = k;
+    options.seed = 1000 + static_cast<uint64_t>(trial);
+    options.init = trial % 2 == 0 ? KMeansInit::kKMeansPlusPlus
+                                  : KMeansInit::kRandom;
+    // Some trials cut iterations short to exercise the non-converged
+    // extra assignment pass.
+    options.max_iterations = trial % 5 == 0 ? 2 : 100;
+    SCOPED_TRACE("trial " + std::to_string(trial) + " n=" +
+                 std::to_string(n) + " dims=" + std::to_string(dims) +
+                 " k=" + std::to_string(k));
+    RunBothAndCompare(data, options);
+  }
+}
+
+TEST(KMeansAccelTest, MatchesNaiveThroughEmptyClusterReseeds) {
+  // k close to n with heavy duplication forces clusters to empty out
+  // and the farthest-point reseed to run, on both engines.
+  Matrix data(12, 2);
+  for (size_t i = 0; i < 12; ++i) {
+    data.At(i, 0) = i < 9 ? 1.0 : static_cast<double>(i) * 50.0;
+    data.At(i, 1) = i < 9 ? 1.0 : -static_cast<double>(i);
+  }
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    KMeansOptions options;
+    options.k = 6;
+    options.seed = seed;
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    RunBothAndCompare(data, options);
+  }
+}
+
+TEST(KMeansAccelTest, MatchesNaiveWithWarmStartCentroids) {
+  test::Blobs blobs =
+      MakeBlobs({{0.0, 0.0}, {6.0, 0.0}, {0.0, 6.0}}, 40, 1.0, 31);
+  Matrix warm(3, 2);
+  warm.At(0, 0) = 1.0;
+  warm.At(1, 0) = 5.0;
+  warm.At(2, 1) = 5.0;
+  KMeansOptions options;
+  options.k = 3;
+  options.initial_centroids = warm;
+  RunBothAndCompare(blobs.points, options);
+}
+
+TEST(KMeansAccelTest, KEqualsOneMatchesNaive) {
+  test::Blobs blobs = MakeBlobs({{2.0, -1.0}}, 50, 1.0, 37);
+  KMeansOptions options;
+  options.k = 1;
+  RunBothAndCompare(blobs.points, options);
+}
+
+TEST(KMeansAccelTest, ParallelPathIsBitIdenticalToNaive) {
+  // Big enough that n*k*dims crosses the work budget and the centroid
+  // reduction spans multiple chunks; a 4-thread private pool forces
+  // the parallel path even on single-core machines.
+  test::Blobs blobs = MakeBlobs({{0.0, 0.0, 0.0, 0.0},
+                                 {8.0, 0.0, 0.0, 0.0},
+                                 {0.0, 8.0, 0.0, 0.0},
+                                 {0.0, 0.0, 8.0, 0.0}},
+                                1250, 2.0, 41);
+  Matrix wide(blobs.points.rows(), 16);
+  for (size_t i = 0; i < wide.rows(); ++i) {
+    for (size_t d = 0; d < 16; ++d) {
+      wide.At(i, d) = blobs.points.At(i, d % 4) + 0.01 * static_cast<double>(d);
+    }
+  }
+  KMeansOptions options;
+  options.k = 16;
+  options.seed = 43;
+  options.engine = KMeansEngine::kNaive;
+  auto naive = RunKMeans(wide, options);
+  ASSERT_TRUE(naive.ok());
+
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
+  metrics.Reset();
+  common::ThreadPool pool(4);
+  auto accel = internal::RunAcceleratedKMeansOnPool(wide, options, pool);
+  ASSERT_TRUE(accel.ok());
+  ExpectIdentical(*naive, *accel);
+  // The run must actually have used the pool.
+  EXPECT_GT(metrics.GetCounter("kmeans/parallel_chunks").value(), 0);
+}
+
+TEST(KMeansAccelTest, PruningMetricsRecorded) {
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
+  metrics.Reset();
+  test::Blobs blobs = MakeBlobs(
+      {{0.0, 0.0}, {20.0, 0.0}, {0.0, 20.0}, {20.0, 20.0}}, 100, 0.5, 47);
+  KMeansOptions options;
+  options.k = 4;
+  auto clustering = RunKMeans(blobs.points, options);
+  ASSERT_TRUE(clustering.ok());
+  // Well-separated blobs converge with most points never re-scanned
+  // after the first pass.
+  EXPECT_GT(metrics.GetCounter("kmeans/skipped_distance_checks").value(), 0);
+  EXPECT_GE(metrics.GetCounter("kmeans/bound_recomputes").value(), 0);
+}
+
+TEST(KMeansAccelTest, ConcurrentRunsOnOnePoolAreSafeAndDeterministic) {
+  // Several threads run the parallel engine against the same pool at
+  // once — the TSan job turns any data race in the chunk claiming or
+  // bound bookkeeping into a failure. Nested parallelism (engine
+  // passes scheduling onto a pool whose workers are already running
+  // engine passes) must not deadlock either.
+  test::Blobs blobs = MakeBlobs({{0.0, 0.0}, {10.0, 10.0}}, 1200, 1.0, 53);
+  Matrix wide(blobs.points.rows(), 24);
+  for (size_t i = 0; i < wide.rows(); ++i) {
+    for (size_t d = 0; d < 24; ++d) {
+      wide.At(i, d) = blobs.points.At(i, d % 2) + static_cast<double>(d);
+    }
+  }
+  KMeansOptions options;
+  options.k = 24;
+  options.seed = 59;
+
+  common::ThreadPool pool(4);
+  constexpr int kRunners = 4;
+  std::vector<Clustering> results(kRunners);
+  std::vector<std::thread> runners;
+  runners.reserve(kRunners);
+  for (int r = 0; r < kRunners; ++r) {
+    runners.emplace_back([&, r] {
+      auto run = internal::RunAcceleratedKMeansOnPool(wide, options, pool);
+      ASSERT_TRUE(run.ok());
+      results[static_cast<size_t>(r)] = *std::move(run);
+    });
+  }
+  for (std::thread& t : runners) t.join();
+  for (int r = 1; r < kRunners; ++r) {
+    ExpectIdentical(results[0], results[static_cast<size_t>(r)]);
+  }
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace adahealth

@@ -229,6 +229,73 @@ TEST(ClusterSizesTest, CountsPerCluster) {
             (std::vector<int64_t>{1, 3, 1}));
 }
 
+TEST(AdaptCentroidsTest, SameKReturnsCentroidsUnchanged) {
+  test::Blobs blobs = MakeBlobs({{0.0}, {6.0}}, 20, 0.3, 91);
+  KMeansOptions options;
+  options.k = 2;
+  auto clustering = RunKMeans(blobs.points, options);
+  ASSERT_TRUE(clustering.ok());
+  Matrix adapted = AdaptCentroids(blobs.points, *clustering, 2);
+  for (size_t c = 0; c < 2; ++c) {
+    EXPECT_EQ(adapted.At(c, 0), clustering->centroids.At(c, 0));
+  }
+}
+
+TEST(AdaptCentroidsTest, ShrinkingKeepsLargestClusters) {
+  // Cluster 1 is tiny; shrinking to k=2 must drop exactly its centroid.
+  Matrix points(7, 1);
+  for (size_t i = 0; i < 3; ++i) points.At(i, 0) = 0.0 + 0.1 * i;
+  points.At(3, 0) = 50.0;
+  for (size_t i = 4; i < 7; ++i) points.At(i, 0) = 100.0 + 0.1 * i;
+  Clustering source;
+  source.k = 3;
+  source.assignments = {0, 0, 0, 1, 2, 2, 2};
+  source.centroids = Matrix(3, 1);
+  source.centroids.At(0, 0) = 0.1;
+  source.centroids.At(1, 0) = 50.0;
+  source.centroids.At(2, 0) = 100.5;
+  Matrix adapted = AdaptCentroids(points, source, 2);
+  ASSERT_EQ(adapted.rows(), 2u);
+  EXPECT_EQ(adapted.At(0, 0), 0.1);
+  EXPECT_EQ(adapted.At(1, 0), 100.5);
+}
+
+TEST(AdaptCentroidsTest, GrowingAddsFarthestPoints) {
+  Matrix points(5, 1);
+  points.At(0, 0) = 0.0;
+  points.At(1, 0) = 1.0;
+  points.At(2, 0) = 2.0;
+  points.At(3, 0) = 100.0;
+  points.At(4, 0) = 101.0;
+  Clustering source;
+  source.k = 1;
+  source.assignments = {0, 0, 0, 0, 0};
+  source.centroids = Matrix(1, 1);
+  source.centroids.At(0, 0) = 1.0;
+  Matrix adapted = AdaptCentroids(points, source, 2);
+  ASSERT_EQ(adapted.rows(), 2u);
+  EXPECT_EQ(adapted.At(0, 0), 1.0);
+  // The farthest point from the existing centroid is 101.
+  EXPECT_EQ(adapted.At(1, 0), 101.0);
+}
+
+TEST(KMeansTest, WarmStartFromOwnSolutionConvergesImmediately) {
+  test::Blobs blobs = MakeBlobs({{0.0, 0.0}, {9.0, 9.0}}, 40, 0.5, 93);
+  KMeansOptions options;
+  options.k = 2;
+  auto first = RunKMeans(blobs.points, options);
+  ASSERT_TRUE(first.ok());
+  options.initial_centroids = first->centroids;
+  auto second = RunKMeans(blobs.points, options);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->converged);
+  // Seeding from a converged solution re-converges right after the
+  // first pass (the loop needs a second pass to observe stability).
+  EXPECT_EQ(second->iterations, 2);
+  EXPECT_EQ(second->assignments, first->assignments);
+  EXPECT_EQ(second->sse, first->sse);
+}
+
 TEST(InitializeCentroidsTest, PlusPlusPicksDistinctPoints) {
   test::Blobs blobs = MakeBlobs({{0.0}, {100.0}, {200.0}}, 10, 0.1, 19);
   common::Rng rng(21);

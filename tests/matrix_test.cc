@@ -1,8 +1,10 @@
 #include "transform/matrix.h"
 
 #include <cmath>
+#include <vector>
 
 #include <gtest/gtest.h>
+#include "common/rng.h"
 
 namespace adahealth {
 namespace transform {
@@ -95,6 +97,53 @@ TEST(VectorOpsTest, CosineSimilarity) {
   EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), 0.0);
   EXPECT_DOUBLE_EQ(CosineSimilarity(a, c), 1.0);
   EXPECT_DOUBLE_EQ(CosineSimilarity(a, zero), 0.0);
+}
+
+TEST(FusedKernelTest, RowSquaredNormsMatchDot) {
+  common::Rng rng(61);
+  Matrix m(7, 13);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) m.At(r, c) = rng.Normal(0.0, 3.0);
+  }
+  std::vector<double> norms = RowSquaredNorms(m);
+  ASSERT_EQ(norms.size(), m.rows());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    EXPECT_EQ(norms[r], Dot(m.Row(r), m.Row(r)));
+  }
+}
+
+TEST(FusedKernelTest, SquaredDistanceToAllWithinDocumentedError) {
+  // The fused ‖x‖² + ‖c‖² − 2·x·c form rounds differently than the
+  // naive Σ(x−c)², but its deviation must stay inside the bound that
+  // the accelerated k-means screening relies on.
+  common::Rng rng(67);
+  for (size_t dims : {1u, 3u, 4u, 17u, 64u, 159u}) {
+    Matrix centroids(9, dims);
+    std::vector<double> point(dims);
+    for (size_t d = 0; d < dims; ++d) point[d] = rng.Normal(1.0, 4.0);
+    for (size_t c = 0; c < centroids.rows(); ++c) {
+      for (size_t d = 0; d < dims; ++d) {
+        centroids.At(c, d) = rng.Normal(-1.0, 4.0);
+      }
+    }
+    // A near-duplicate row stresses catastrophic cancellation, the
+    // worst case for the fused form.
+    for (size_t d = 0; d < dims; ++d) {
+      centroids.At(8, d) = point[d] * (1.0 + 1e-14);
+    }
+    const double point_norm2 = Dot(point, point);
+    std::vector<double> centroid_norms = RowSquaredNorms(centroids);
+    std::vector<double> fused(centroids.rows());
+    SquaredDistanceToAll(point, point_norm2, centroids, centroid_norms,
+                         fused);
+    for (size_t c = 0; c < centroids.rows(); ++c) {
+      const double exact = SquaredDistance(point, centroids.Row(c));
+      const double budget =
+          FusedRelativeError(dims) * (point_norm2 + centroid_norms[c]);
+      EXPECT_LE(std::abs(fused[c] - exact), budget)
+          << "dims=" << dims << " c=" << c;
+    }
+  }
 }
 
 }  // namespace

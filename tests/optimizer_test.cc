@@ -1,6 +1,7 @@
 #include "core/optimizer.h"
 
 #include <gtest/gtest.h>
+#include "common/metrics.h"
 #include "dataset/synthetic_cohort.h"
 #include "test_util.h"
 #include "transform/vsm.h"
@@ -95,6 +96,23 @@ TEST(OptimizerTest, SingleThreadAndParallelAgree) {
     EXPECT_DOUBLE_EQ(a->candidates[i].accuracy, b->candidates[i].accuracy);
   }
   EXPECT_EQ(a->best_index, b->best_index);
+}
+
+TEST(OptimizerTest, WarmStartsEveryCandidateAfterTheFirst) {
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
+  metrics.Reset();
+  test::Blobs blobs = test::MakeBlobs(
+      {{0.0, 0.0}, {8.0, 0.0}, {0.0, 8.0}}, 40, 0.6, 87);
+  OptimizerOptions options = FastOptions();
+  auto result = OptimizeClustering(blobs.points, options);
+  ASSERT_TRUE(result.ok());
+  // One warm start per candidate after the first, regardless of the
+  // restart count.
+  EXPECT_EQ(metrics.GetCounter("optimizer/warm_starts").value(),
+            static_cast<int64_t>(options.candidate_ks.size()) - 1);
+  EXPECT_EQ(metrics.GetCounter("optimizer/restarts").value(),
+            static_cast<int64_t>(options.candidate_ks.size()) *
+                options.restarts);
 }
 
 TEST(OptimizerTest, NaiveBayesAssessorAlsoWorks) {

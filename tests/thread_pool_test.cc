@@ -1,10 +1,14 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -145,6 +149,75 @@ TEST(ParallelForTest, MoreWorkersThanItems) {
   std::atomic<int> counter{0};
   ParallelFor(pool, 0, 3, [&](size_t) { counter.fetch_add(1); });
   EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ParallelForTest, NestedCallsOnSamePoolDoNotDeadlock) {
+  // The caller participates in chunk execution, so an inner
+  // ParallelFor issued from inside a pool task must complete even when
+  // every worker is already busy running outer iterations.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  ParallelFor(pool, 0, 8, [&](size_t) {
+    ParallelFor(pool, 0, 16, [&](size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 16);
+}
+
+TEST(ParallelForChunksTest, ChunksPartitionTheRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(777);
+  size_t chunks = ParallelForChunks(
+      pool, 0, hits.size(), [&](size_t begin, size_t end) {
+        ASSERT_LT(begin, end);
+        for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      });
+  EXPECT_GE(chunks, 1u);
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ParallelForChunksTest, ExplicitMaxChunkGivesExactGrid) {
+  // An explicit max_chunk is a determinism contract: chunk boundaries
+  // land exactly on multiples of it, which the k-means engines rely on
+  // for bit-identical parallel reductions.
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::vector<std::pair<size_t, size_t>> seen;
+  size_t chunks = ParallelForChunks(
+      pool, 0, 1000,
+      [&](size_t begin, size_t end) {
+        std::lock_guard<std::mutex> lock(mutex);
+        seen.emplace_back(begin, end);
+      },
+      256);
+  EXPECT_EQ(chunks, 4u);
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), 4u);
+  for (size_t c = 0; c < seen.size(); ++c) {
+    EXPECT_EQ(seen[c].first, c * 256);
+    EXPECT_EQ(seen[c].second, std::min<size_t>(1000, (c + 1) * 256));
+  }
+}
+
+TEST(ParallelForChunksTest, ExceptionPropagatesWithoutDeadlock) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      ParallelForChunks(pool, 0, 100,
+                        [&](size_t begin, size_t) {
+                          if (begin == 0) throw std::runtime_error("boom");
+                        },
+                        10),
+      std::runtime_error);
+  pool.Wait();  // Remaining helpers must still drain cleanly.
+}
+
+TEST(SharedPoolTest, IsProcessWideSingleton) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  ParallelFor(a, 0, 50, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 50);
 }
 
 }  // namespace
