@@ -2,28 +2,66 @@
 // a Markdown analysis report generated from a full ADA-HEALTH session,
 // including the cluster profiles, frequent patterns, rules and the
 // atypical-patient (outlier) summary, plus per-collection K-DB usage.
+//
+// Two entry points into the same analysis:
+//   ./session_report            direct AnalysisSession::Run (default)
+//   ./session_report --service  the same job submitted to an
+//                               in-process service::Scheduler
+// The rendered report is byte-identical either way — that determinism
+// is what lets the service answer repeat submissions from its
+// fingerprint cache (see DESIGN.md section 10).
 #include <cstdio>
+#include <cstring>
 
 #include "core/report.h"
 #include "kdb/aggregate.h"
+#include "service/scheduler.h"
 
-int main() {
-  using namespace adahealth;
+namespace {
 
-  dataset::CohortConfig config = dataset::PaperScaleConfig();
-  config.num_patients = 1200;
-  auto cohort = dataset::SyntheticCohortGenerator(config).Generate();
-  if (!cohort.ok()) {
-    std::printf("cohort generation failed\n");
+using namespace adahealth;
+
+int RunThroughService(dataset::Cohort cohort,
+                      const core::SessionOptions& options) {
+  service::SchedulerOptions scheduler_options;
+  scheduler_options.max_workers = 1;
+  service::Scheduler scheduler(std::move(scheduler_options));
+
+  service::JobRequest job;
+  job.log = std::move(cohort.log);
+  job.taxonomy = std::move(cohort.taxonomy);
+  job.options = options;
+  auto id = scheduler.Submit(std::move(job));
+  if (!id.ok()) {
+    std::printf("submit failed: %s\n", id.status().ToString().c_str());
     return 1;
   }
+  auto snapshot = scheduler.AwaitResult(id.value());
+  if (!snapshot.ok() || snapshot->state != service::JobState::kDone) {
+    const common::Status& status =
+        snapshot.ok() ? snapshot->status : snapshot.status();
+    std::printf("job failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", snapshot->report.c_str());
 
+  // Appendix: what the service layer adds on top of the session.
+  std::printf("## Service appendix\n\n");
+  std::printf("job %lld: fingerprint %s, cache_hit %s\n",
+              static_cast<long long>(snapshot->id),
+              snapshot->fingerprint.c_str(),
+              snapshot->cache_hit ? "true" : "false");
+  std::printf("wait %.3fs, run %.3fs, %lld knowledge items\n",
+              snapshot->wait_seconds, snapshot->run_seconds,
+              static_cast<long long>(snapshot->knowledge_items));
+  return 0;
+}
+
+int RunDirect(dataset::Cohort cohort,
+              const core::SessionOptions& options) {
   kdb::Database db;
   core::AnalysisSession session(&db);
-  core::SessionOptions options;
-  options.dataset_id = "clinic-2016";
-  options.optimizer.candidate_ks = {6, 8, 10};
-  auto result = session.Run(cohort->log, &cohort->taxonomy, options);
+  auto result = session.Run(cohort.log, &cohort.taxonomy, options);
   if (!result.ok()) {
     std::printf("session failed: %s\n", result.status().ToString().c_str());
     return 1;
@@ -47,4 +85,26 @@ int main() {
               quality.mean, quality.min, quality.max,
               static_cast<long long>(quality.count));
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool through_service = argc > 1 && std::strcmp(argv[1], "--service") == 0;
+
+  dataset::CohortConfig config = dataset::PaperScaleConfig();
+  config.num_patients = 1200;
+  auto cohort = dataset::SyntheticCohortGenerator(config).Generate();
+  if (!cohort.ok()) {
+    std::printf("cohort generation failed\n");
+    return 1;
+  }
+
+  core::SessionOptions options;
+  options.dataset_id = "clinic-2016";
+  options.optimizer.candidate_ks = {6, 8, 10};
+
+  return through_service
+             ? RunThroughService(std::move(cohort).value(), options)
+             : RunDirect(std::move(cohort).value(), options);
 }

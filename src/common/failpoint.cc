@@ -13,20 +13,15 @@ namespace common {
 
 namespace {
 
-/// Inverse of StatusCodeName for the spec grammar's CODE token.
+/// The spec grammar's CODE token: any canonical error-code name. OK is
+/// rejected — a failpoint that fires must produce a failure.
 StatusOr<StatusCode> ParseStatusCodeName(std::string_view name) {
-  static constexpr StatusCode kCodes[] = {
-      StatusCode::kInvalidArgument, StatusCode::kNotFound,
-      StatusCode::kAlreadyExists,   StatusCode::kFailedPrecondition,
-      StatusCode::kOutOfRange,      StatusCode::kUnimplemented,
-      StatusCode::kInternal,        StatusCode::kDataLoss,
-      StatusCode::kUnavailable,     StatusCode::kDeadlineExceeded,
-  };
-  for (StatusCode code : kCodes) {
-    if (name == StatusCodeName(code)) return code;
+  auto code = StatusCodeFromName(name);
+  if (!code.ok()) return code;
+  if (code.value() == StatusCode::kOk) {
+    return InvalidArgumentError("failpoint error code must not be OK");
   }
-  return InvalidArgumentError("unknown status code name '" +
-                              std::string(name) + "'");
+  return code;
 }
 
 }  // namespace

@@ -30,8 +30,32 @@ const char* StatusCodeName(StatusCode code) {
       return "UNAVAILABLE";
     case StatusCode::kDeadlineExceeded:
       return "DEADLINE_EXCEEDED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
+}
+
+StatusOr<StatusCode> StatusCodeFromName(std::string_view name) {
+  static constexpr StatusCode kCodes[] = {
+      StatusCode::kOk,
+      StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,
+      StatusCode::kAlreadyExists,
+      StatusCode::kFailedPrecondition,
+      StatusCode::kOutOfRange,
+      StatusCode::kUnimplemented,
+      StatusCode::kInternal,
+      StatusCode::kDataLoss,
+      StatusCode::kUnavailable,
+      StatusCode::kDeadlineExceeded,
+      StatusCode::kResourceExhausted,
+  };
+  for (StatusCode code : kCodes) {
+    if (name == StatusCodeName(code)) return code;
+  }
+  return InvalidArgumentError("unknown status code name '" +
+                              std::string(name) + "'");
 }
 
 std::string Status::ToString() const {
@@ -76,6 +100,9 @@ Status UnavailableError(std::string message) {
 }
 Status DeadlineExceededError(std::string message) {
   return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
 }
 
 namespace internal {

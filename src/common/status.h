@@ -16,6 +16,7 @@
 #include <optional>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace adahealth {
@@ -34,10 +35,21 @@ enum class StatusCode : int32_t {
   kDataLoss = 8,
   kUnavailable = 9,
   kDeadlineExceeded = 10,
+  /// A bounded resource (admission queue, byte budget, worker slots)
+  /// is full; the caller should back off and retry later. Used by the
+  /// service layer for load shedding.
+  kResourceExhausted = 11,
 };
 
 /// Returns the canonical name of `code` (e.g. "INVALID_ARGUMENT").
 const char* StatusCodeName(StatusCode code);
+
+/// Inverse of StatusCodeName: resolves a canonical name back to its
+/// code. INVALID_ARGUMENT for unknown names. Shared by the failpoint
+/// spec grammar and the service NDJSON wire protocol.
+template <typename T>
+class [[nodiscard]] StatusOr;
+[[nodiscard]] StatusOr<StatusCode> StatusCodeFromName(std::string_view name);
 
 /// Value-type result of a fallible operation: either OK or an error code
 /// with a human-readable message.
@@ -87,6 +99,7 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 [[nodiscard]] Status DataLossError(std::string message);
 [[nodiscard]] Status UnavailableError(std::string message);
 [[nodiscard]] Status DeadlineExceededError(std::string message);
+[[nodiscard]] Status ResourceExhaustedError(std::string message);
 
 /// Union of a `Status` and a `T`: holds a value exactly when ok().
 ///

@@ -110,7 +110,8 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents) {
     if (::fsync(dir_fd) != 0) {
       ADA_LOG(kWarning) << "directory fsync failed for " << directory;
     }
-    ::close(dir_fd);
+    // Scoped open/fsync/close of a directory fd, not a socket.
+    ::close(dir_fd);  // ada-lint: allow(raw-socket)
   }
   return common::OkStatus();
 }

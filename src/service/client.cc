@@ -1,0 +1,36 @@
+#include "service/client.h"
+
+#include <memory>
+#include <utility>
+
+#include "service/protocol.h"
+
+namespace adahealth {
+namespace service {
+
+using common::Json;
+using common::StatusOr;
+
+StatusOr<AnalysisClient> AnalysisClient::Connect(uint16_t port) {
+  ADA_ASSIGN_OR_RETURN(FileDescriptor connection, ConnectLoopback(port));
+  AnalysisClient client;
+  client.connection_ =
+      std::make_unique<FileDescriptor>(std::move(connection));
+  client.reader_ = std::make_unique<LineReader>(*client.connection_);
+  return client;
+}
+
+StatusOr<Json> AnalysisClient::Call(const Json::Object& request) {
+  ADA_RETURN_IF_ERROR(SendAll(*connection_, Json(request).Dump() + "\n"));
+  ADA_ASSIGN_OR_RETURN(std::string line, reader_->ReadLine());
+  return ParseResponse(line);
+}
+
+StatusOr<Json> AnalysisClient::Call(const std::string& verb) {
+  Json::Object request;
+  request["verb"] = verb;
+  return Call(request);
+}
+
+}  // namespace service
+}  // namespace adahealth

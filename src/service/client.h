@@ -1,0 +1,48 @@
+// Client-side NDJSON protocol bindings: one connection, one or more
+// request-response exchanges. The `ada_client` CLI (tools/) and the
+// end-to-end tests are the two consumers.
+#ifndef ADAHEALTH_SERVICE_CLIENT_H_
+#define ADAHEALTH_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "service/net_socket.h"
+
+namespace adahealth {
+namespace service {
+
+/// A connected protocol client. Requests run sequentially on the one
+/// connection (the protocol is strictly request-response).
+class AnalysisClient {
+ public:
+  /// Connects to the server on 127.0.0.1:`port`. UNAVAILABLE when
+  /// nothing listens there.
+  [[nodiscard]] static common::StatusOr<AnalysisClient> Connect(uint16_t port);
+
+  /// Sends one request object (the "verb" field must be set) and
+  /// returns the parsed success response. A server-side error response
+  /// is surfaced as its reconstructed Status; transport failures are
+  /// UNAVAILABLE (or OUT_OF_RANGE when the server hung up).
+  [[nodiscard]] common::StatusOr<common::Json> Call(
+      const common::Json::Object& request);
+
+  /// Convenience wrapper: Call with just a verb.
+  [[nodiscard]] common::StatusOr<common::Json> Call(const std::string& verb);
+
+ private:
+  AnalysisClient() = default;
+
+  // unique_ptr: LineReader holds a pointer to connection_, so the pair
+  // must not be separated by a move of the client.
+  std::unique_ptr<FileDescriptor> connection_;
+  std::unique_ptr<LineReader> reader_;
+};
+
+}  // namespace service
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_SERVICE_CLIENT_H_

@@ -1,0 +1,170 @@
+#include "service/net_socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/string_util.h"
+
+namespace adahealth {
+namespace service {
+
+using common::Status;
+using common::StatusOr;
+
+namespace {
+
+Status ErrnoError(const char* operation) {
+  return common::UnavailableError(
+      common::StrFormat("%s failed: %s", operation, std::strerror(errno)));
+}
+
+sockaddr_in LoopbackAddress(uint16_t port) {
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  return address;
+}
+
+}  // namespace
+
+FileDescriptor::~FileDescriptor() { Close(); }
+
+FileDescriptor::FileDescriptor(FileDescriptor&& other) noexcept
+    : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+FileDescriptor& FileDescriptor::operator=(FileDescriptor&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void FileDescriptor::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<ServerSocket> ServerSocket::Listen(uint16_t port, int backlog) {
+  FileDescriptor fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return ErrnoError("socket");
+  int reuse = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &reuse,
+                   sizeof(reuse)) != 0) {
+    return ErrnoError("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in address = LoopbackAddress(port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    return ErrnoError("bind");
+  }
+  if (::listen(fd.get(), backlog) != 0) return ErrnoError("listen");
+  // Recover the kernel-assigned port when the caller asked for 0.
+  sockaddr_in bound{};
+  socklen_t bound_size = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound),
+                    &bound_size) != 0) {
+    return ErrnoError("getsockname");
+  }
+  ServerSocket server;
+  server.fd_ = std::move(fd);
+  server.port_ = ntohs(bound.sin_port);
+  return server;
+}
+
+StatusOr<FileDescriptor> ServerSocket::Accept() const {
+  ADA_RETURN_IF_ERROR(ADA_FAILPOINT("service.net.accept"));
+  for (;;) {
+    int fd = ::accept(fd_.get(), nullptr, nullptr);
+    if (fd >= 0) return FileDescriptor(fd);
+    if (errno == EINTR) continue;
+    return ErrnoError("accept");
+  }
+}
+
+void ServerSocket::Shutdown() const {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+}
+
+StatusOr<FileDescriptor> ConnectLoopback(uint16_t port) {
+  FileDescriptor fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return ErrnoError("socket");
+  sockaddr_in address = LoopbackAddress(port);
+  for (;;) {
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&address),
+                  sizeof(address)) == 0) {
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    return ErrnoError("connect");
+  }
+}
+
+void ShutdownConnection(const FileDescriptor& fd) {
+  if (fd.valid()) ::shutdown(fd.get(), SHUT_RDWR);
+}
+
+Status SendAll(const FileDescriptor& fd, std::string_view data) {
+  ADA_RETURN_IF_ERROR(ADA_FAILPOINT("service.net.write"));
+  size_t sent = 0;
+  while (sent < data.size()) {
+    // MSG_NOSIGNAL: a peer that hung up yields EPIPE, not a
+    // process-killing SIGPIPE.
+    ssize_t n = ::send(fd.get(), data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return common::OkStatus();
+}
+
+StatusOr<std::string> LineReader::ReadLine() {
+  for (;;) {
+    size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    if (eof_) {
+      if (!buffer_.empty()) {  // Final line without a terminator.
+        std::string line = std::move(buffer_);
+        buffer_.clear();
+        return line;
+      }
+      return common::OutOfRangeError("end of stream");
+    }
+    ADA_RETURN_IF_ERROR(ADA_FAILPOINT("service.net.read"));
+    char chunk[4096];
+    ssize_t n = ::recv(fd_->get(), chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("recv");
+    }
+    if (n == 0) {
+      eof_ = true;
+      continue;
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace service
+}  // namespace adahealth

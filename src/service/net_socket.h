@@ -1,0 +1,108 @@
+// RAII POSIX socket wrappers for the NDJSON protocol server.
+//
+// This is the only layer of the tree allowed to call the raw fd
+// syscalls (socket/accept/close — enforced by the ada_lint `raw-socket`
+// rule): everything above holds fds through the move-only
+// FileDescriptor owner, so no error path can leak or double-close one.
+//
+// The server binds the IPv4 loopback only: the analysis service is an
+// in-host component (an analyst tool or a sidecar), not an
+// internet-facing endpoint.
+//
+// Failpoints: "service.net.accept", "service.net.read",
+// "service.net.write" — injected at every socket I/O boundary.
+#ifndef ADAHEALTH_SERVICE_NET_SOCKET_H_
+#define ADAHEALTH_SERVICE_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace adahealth {
+namespace service {
+
+/// Move-only owner of one POSIX file descriptor; closes on
+/// destruction.
+class FileDescriptor {
+ public:
+  FileDescriptor() = default;
+  explicit FileDescriptor(int fd) : fd_(fd) {}
+  ~FileDescriptor();
+
+  FileDescriptor(FileDescriptor&& other) noexcept;
+  FileDescriptor& operator=(FileDescriptor&& other) noexcept;
+  FileDescriptor(const FileDescriptor&) = delete;
+  FileDescriptor& operator=(const FileDescriptor&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int get() const { return fd_; }
+
+  /// Closes now (idempotent).
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket bound to 127.0.0.1.
+class ServerSocket {
+ public:
+  ServerSocket() = default;
+
+  /// Binds and listens on loopback `port` (0 = kernel-assigned
+  /// ephemeral port, reported by port()). UNAVAILABLE on any syscall
+  /// failure (e.g. the port is taken).
+  [[nodiscard]] static common::StatusOr<ServerSocket> Listen(
+      uint16_t port, int backlog = 16);
+
+  /// Blocks for one connection. UNAVAILABLE once the socket has been
+  /// shut down (the accept loop's exit signal) or on accept failure.
+  [[nodiscard]] common::StatusOr<FileDescriptor> Accept() const;
+
+  /// Unblocks any in-flight Accept() from another thread without
+  /// releasing the fd (close happens at destruction, so the fd number
+  /// cannot be reused while a racing accept still references it).
+  void Shutdown() const;
+
+  [[nodiscard]] uint16_t port() const { return port_; }
+  [[nodiscard]] bool valid() const { return fd_.valid(); }
+
+ private:
+  FileDescriptor fd_;
+  uint16_t port_ = 0;
+};
+
+/// Connects to 127.0.0.1:`port`. UNAVAILABLE when nothing listens.
+[[nodiscard]] common::StatusOr<FileDescriptor> ConnectLoopback(uint16_t port);
+
+/// Half-closes both directions of a connected socket from another
+/// thread: a peer blocked in recv on `fd` wakes with end-of-stream.
+/// Like ServerSocket::Shutdown, the fd itself stays owned and open.
+void ShutdownConnection(const FileDescriptor& fd);
+
+/// Writes all of `data`, resuming partial writes. UNAVAILABLE on a
+/// closed peer or I/O error.
+[[nodiscard]] common::Status SendAll(const FileDescriptor& fd,
+                                     std::string_view data);
+
+/// Buffered newline-delimited reader over one connection.
+class LineReader {
+ public:
+  explicit LineReader(const FileDescriptor& fd) : fd_(&fd) {}
+
+  /// Returns the next line without its trailing '\n'. OUT_OF_RANGE on
+  /// clean end-of-stream, UNAVAILABLE on I/O errors.
+  [[nodiscard]] common::StatusOr<std::string> ReadLine();
+
+ private:
+  const FileDescriptor* fd_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+}  // namespace service
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_SERVICE_NET_SOCKET_H_

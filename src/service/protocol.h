@@ -1,0 +1,74 @@
+// The analysis service's newline-delimited-JSON wire protocol.
+//
+// Every request and every response is exactly one JSON object on one
+// line. Requests carry a "verb"; responses carry "ok": true plus
+// verb-specific fields, or "ok": false plus an "error" object that
+// round-trips a common::Status:
+//
+//   -> {"verb":"submit","synthetic":{"patients":400,"seed":7}}
+//   <- {"ok":true,"job_id":1,"state":"queued","fingerprint":"9f..."}
+//   -> {"verb":"result","job_id":1,"wait_millis":60000}
+//   <- {"ok":true,"state":"done","cache_hit":false,"summary":"..."}
+//   -> {"verb":"status","job_id":99}
+//   <- {"ok":false,"error":{"code":"NOT_FOUND","message":"no job..."}}
+//
+// Verbs: submit, status, result, cancel, stats, ping, shutdown.
+// Datasets are submitted either inline as CSV ("csv") or as a synthetic
+// cohort spec ("synthetic") evaluated server-side — the latter keeps
+// demo and smoke-test payloads tiny.
+#ifndef ADAHEALTH_SERVICE_PROTOCOL_H_
+#define ADAHEALTH_SERVICE_PROTOCOL_H_
+
+#include <string>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "service/scheduler.h"
+
+namespace adahealth {
+namespace service {
+
+/// One parsed request line.
+struct Request {
+  std::string verb;
+  common::Json body;  // The whole request object (verb included).
+};
+
+/// Parses one request line. INVALID_ARGUMENT on malformed JSON, a
+/// non-object, or a missing/empty "verb".
+[[nodiscard]] common::StatusOr<Request> ParseRequest(const std::string& line);
+
+/// Serializes a success response: `fields` plus "ok": true, one line,
+/// '\n'-terminated.
+[[nodiscard]] std::string OkResponse(common::Json::Object fields);
+
+/// Serializes an error response carrying `status` (code name and
+/// message), one line, '\n'-terminated.
+[[nodiscard]] std::string ErrorResponse(const common::Status& status);
+
+/// Client side: parses a response line. Returns the response object
+/// when "ok" is true; reconstructs and returns the carried Status when
+/// "ok" is false; INVALID_ARGUMENT on malformed responses.
+[[nodiscard]] common::StatusOr<common::Json> ParseResponse(
+    const std::string& line);
+
+/// Builds the JobRequest described by a submit-request body: the
+/// dataset from "csv" (inline records CSV) or "synthetic" (cohort spec:
+/// patients, exam_types, profiles, mean_records, days, seed), plus the
+/// optional knobs dataset_id, priority, deadline_millis, use_taxonomy
+/// (synthetic only, default true) and an "options" object with the
+/// supported session-option subset (candidate_ks, cv_folds, seed,
+/// max_selected_items, restarts).
+[[nodiscard]] common::StatusOr<JobRequest> BuildJobRequest(
+    const common::Json& body);
+
+/// Renders a job snapshot as the wire fields shared by the status and
+/// result verbs. `include_artifacts` adds summary/report (the result
+/// verb); status replies stay small.
+[[nodiscard]] common::Json::Object SnapshotFields(const JobSnapshot& snapshot,
+                                                  bool include_artifacts);
+
+}  // namespace service
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_SERVICE_PROTOCOL_H_

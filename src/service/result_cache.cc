@@ -1,0 +1,209 @@
+#include "service/result_cache.h"
+
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/metrics.h"
+#include "kdb/database.h"
+
+namespace adahealth {
+namespace service {
+
+using common::Json;
+using common::Status;
+using common::StatusOr;
+
+namespace {
+constexpr const char* kCacheCollection = "result_cache";
+}  // namespace
+
+size_t CachedAnalysis::ByteSize() const {
+  return sizeof(CachedAnalysis) + fingerprint.size() + dataset_id.size() +
+         summary.size() + report.size();
+}
+
+Json CachedAnalysis::ToJson() const {
+  Json::Object object;
+  object["fingerprint"] = Json(fingerprint);
+  object["dataset_id"] = Json(dataset_id);
+  object["summary"] = Json(summary);
+  object["report"] = Json(report);
+  object["knowledge_items"] = Json(knowledge_items);
+  return Json(std::move(object));
+}
+
+StatusOr<CachedAnalysis> CachedAnalysis::FromJson(const Json& json) {
+  if (!json.is_object()) {
+    return common::InvalidArgumentError(
+        "cached analysis must be a JSON object");
+  }
+  CachedAnalysis entry;
+  const Json* fingerprint = json.Find("fingerprint");
+  if (fingerprint == nullptr || !fingerprint->is_string() ||
+      fingerprint->AsString().empty()) {
+    return common::InvalidArgumentError(
+        "cached analysis is missing its fingerprint");
+  }
+  entry.fingerprint = fingerprint->AsString();
+  if (const Json* field = json.Find("dataset_id");
+      field != nullptr && field->is_string()) {
+    entry.dataset_id = field->AsString();
+  }
+  if (const Json* field = json.Find("summary");
+      field != nullptr && field->is_string()) {
+    entry.summary = field->AsString();
+  }
+  if (const Json* field = json.Find("report");
+      field != nullptr && field->is_string()) {
+    entry.report = field->AsString();
+  }
+  if (const Json* field = json.Find("knowledge_items");
+      field != nullptr && field->is_int()) {
+    entry.knowledge_items = field->AsInt();
+  }
+  return entry;
+}
+
+ResultCache::ResultCache(size_t max_bytes) : max_bytes_(max_bytes) {}
+
+std::optional<CachedAnalysis> ResultCache::Lookup(
+    const std::string& fingerprint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(fingerprint);
+  if (it == index_.end()) {
+    ++misses_;
+    common::MetricsRegistry::Default()
+        .GetCounter("service/cache_misses")
+        .Increment();
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  common::MetricsRegistry::Default()
+      .GetCounter("service/cache_hits")
+      .Increment();
+  return *it->second;
+}
+
+void ResultCache::Insert(CachedAnalysis entry) {
+  if (entry.fingerprint.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(entry.fingerprint);
+  if (it != index_.end()) {
+    bytes_ -= it->second->ByteSize();
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  size_t entry_bytes = entry.ByteSize();
+  if (entry_bytes > max_bytes_) {
+    TouchMetricsLocked();
+    return;  // Larger than the whole budget: never cacheable.
+  }
+  lru_.push_front(std::move(entry));
+  index_[lru_.front().fingerprint] = lru_.begin();
+  bytes_ += entry_bytes;
+  EvictLocked();
+  TouchMetricsLocked();
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+  TouchMetricsLocked();
+}
+
+size_t ResultCache::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+size_t ResultCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+int64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+int64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+int64_t ResultCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+void ResultCache::EvictLocked() {
+  while (bytes_ > max_bytes_ && !lru_.empty()) {
+    const CachedAnalysis& victim = lru_.back();
+    bytes_ -= victim.ByteSize();
+    index_.erase(victim.fingerprint);
+    lru_.pop_back();
+    ++evictions_;
+    common::MetricsRegistry::Default()
+        .GetCounter("service/cache_evictions")
+        .Increment();
+  }
+}
+
+void ResultCache::TouchMetricsLocked() {
+  common::MetricsRegistry::Default()
+      .GetGauge("service/cache_bytes")
+      .Set(static_cast<double>(bytes_));
+}
+
+Status ResultCache::Persist(const std::string& directory) const {
+  ADA_RETURN_IF_ERROR(ADA_FAILPOINT("service.cache.store"));
+  kdb::Database db;
+  kdb::Collection& collection = db.GetOrCreate(kCacheCollection);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Least-recently-used first: Restore() inserts in file order, so
+    // the most recent entries end up at the front of the rebuilt LRU
+    // and survive any budget trimming.
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      kdb::Document document;
+      document.Set("entry", it->ToJson());
+      collection.Insert(std::move(document));
+    }
+  }
+  return db.SaveTo(directory);
+}
+
+Status ResultCache::Restore(const std::string& directory) {
+  ADA_RETURN_IF_ERROR(ADA_FAILPOINT("service.cache.load"));
+  kdb::Database db;
+  kdb::Database::PersistOptions options;
+  options.salvage = true;  // A torn cache file costs entries, not boot.
+  ADA_RETURN_IF_ERROR(db.LoadFrom(directory, {kCacheCollection}, options));
+  auto collection = db.Get(kCacheCollection);
+  if (!collection.ok()) return collection.status();
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+  for (const kdb::Document& document : collection.value()->documents()) {
+    const Json* payload = document.Get("entry");
+    if (payload == nullptr) continue;
+    auto entry = CachedAnalysis::FromJson(*payload);
+    if (!entry.ok()) continue;  // Skip malformed survivors of salvage.
+    size_t entry_bytes = entry.value().ByteSize();
+    if (entry_bytes > max_bytes_) continue;
+    if (index_.contains(entry.value().fingerprint)) continue;
+    lru_.push_front(std::move(entry).value());
+    index_[lru_.front().fingerprint] = lru_.begin();
+    bytes_ += entry_bytes;
+    EvictLocked();
+  }
+  TouchMetricsLocked();
+  return common::OkStatus();
+}
+
+}  // namespace service
+}  // namespace adahealth

@@ -1,0 +1,111 @@
+// Content-addressed analysis-result cache for the service layer.
+//
+// Keys are dataset fingerprints (service/fingerprint.h); values are the
+// rendered artifacts of one completed AnalysisSession::Run. The cache
+// is LRU-bounded by a byte budget and serves repeat analyses of
+// near-identical cohorts from memory (the admission-time optimization
+// motivated by the repetitive hospital workloads of the EHR-mining
+// survey). Optionally it persists through the crash-safe K-DB storage
+// layer: entries are documents of a "result_cache" collection, written
+// atomically (tmp+fsync+rename) and restored with salvage-mode loads.
+#ifndef ADAHEALTH_SERVICE_RESULT_CACHE_H_
+#define ADAHEALTH_SERVICE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace adahealth {
+namespace service {
+
+/// The cached artifacts of one analysis: everything a repeat submission
+/// needs to be answered without re-running the session.
+struct CachedAnalysis {
+  std::string fingerprint;
+  std::string dataset_id;
+  /// SessionResult::summary of the original run.
+  std::string summary;
+  /// core::RenderSessionReport output — byte-identical to what a fresh
+  /// run with the same (log, options) would render.
+  std::string report;
+  int64_t knowledge_items = 0;
+
+  /// Approximate in-memory footprint, used against the byte budget.
+  [[nodiscard]] size_t ByteSize() const;
+
+  [[nodiscard]] common::Json ToJson() const;
+  [[nodiscard]] static common::StatusOr<CachedAnalysis> FromJson(
+      const common::Json& json);
+};
+
+/// Thread-safe LRU cache of CachedAnalysis keyed by fingerprint.
+///
+/// Metrics (MetricsRegistry::Default()): "service/cache_hits",
+/// "service/cache_misses", "service/cache_evictions" counters and the
+/// "service/cache_bytes" gauge. Failpoints: "service.cache.store"
+/// (Persist) and "service.cache.load" (Restore).
+class ResultCache {
+ public:
+  /// `max_bytes` bounds the sum of entry ByteSize()s; an entry larger
+  /// than the whole budget is rejected silently (never cached).
+  explicit ResultCache(size_t max_bytes);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the entry and marks it most-recently-used; counts a hit
+  /// or miss.
+  [[nodiscard]] std::optional<CachedAnalysis> Lookup(
+      const std::string& fingerprint);
+
+  /// Inserts (or refreshes) an entry, then evicts least-recently-used
+  /// entries until the byte budget holds.
+  void Insert(CachedAnalysis entry);
+
+  /// Drops every entry (counters are not reset).
+  void Clear();
+
+  [[nodiscard]] size_t entries() const;
+  [[nodiscard]] size_t bytes() const;
+  [[nodiscard]] size_t max_bytes() const { return max_bytes_; }
+  [[nodiscard]] int64_t hits() const;
+  [[nodiscard]] int64_t misses() const;
+  [[nodiscard]] int64_t evictions() const;
+
+  /// Persists every entry to `<directory>/result_cache.jsonl` through
+  /// the crash-safe K-DB storage layer (atomic write, no residue on
+  /// failure).
+  [[nodiscard]] common::Status Persist(const std::string& directory) const;
+
+  /// Replaces the cache contents with the persisted entries (salvage
+  /// mode: a torn file restores its valid prefix). Entries are loaded
+  /// in persisted-recency order, so the byte budget keeps the most
+  /// recently used ones.
+  [[nodiscard]] common::Status Restore(const std::string& directory);
+
+ private:
+  void EvictLocked();
+  void TouchMetricsLocked();
+
+  const size_t max_bytes_;
+  mutable std::mutex mutex_;
+  /// Front = most recently used.
+  std::list<CachedAnalysis> lru_;
+  std::map<std::string, std::list<CachedAnalysis>::iterator, std::less<>>
+      index_;
+  size_t bytes_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+};
+
+}  // namespace service
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_SERVICE_RESULT_CACHE_H_

@@ -1,0 +1,438 @@
+#include "service/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/report.h"
+#include "kdb/database.h"
+#include "service/fingerprint.h"
+
+namespace adahealth {
+namespace service {
+
+using common::Json;
+using common::Status;
+using common::StatusOr;
+
+namespace {
+
+std::chrono::steady_clock::duration MillisToDuration(double millis) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(millis));
+}
+
+double SecondsBetween(std::chrono::steady_clock::time_point from,
+                      std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kExpired:
+      return "expired";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+bool IsTerminal(JobState state) {
+  return state == JobState::kDone || state == JobState::kFailed ||
+         state == JobState::kExpired || state == JobState::kCancelled;
+}
+
+JobSnapshot Scheduler::Job::Snapshot() const {
+  JobSnapshot snapshot;
+  snapshot.id = id;
+  snapshot.state = state;
+  snapshot.status = status;
+  snapshot.dataset_id = request.options.dataset_id;
+  snapshot.fingerprint = fingerprint;
+  snapshot.priority = request.priority;
+  snapshot.cache_hit = cache_hit;
+  snapshot.wait_seconds = wait_seconds;
+  snapshot.run_seconds = run_seconds;
+  snapshot.summary = summary;
+  snapshot.report = report;
+  snapshot.knowledge_items = knowledge_items;
+  return snapshot;
+}
+
+Scheduler::Scheduler(SchedulerOptions options)
+    : options_([&options] {
+        options.max_workers = std::max<size_t>(1, options.max_workers);
+        options.max_queue_depth = std::max<size_t>(1, options.max_queue_depth);
+        return options;
+      }()),
+      cache_(options_.cache_bytes),
+      paused_(options_.start_paused) {
+  if (!options_.cache_directory.empty()) {
+    common::Status restored = cache_.Restore(options_.cache_directory);
+    if (restored.ok()) {
+      ADA_LOG(kInfo) << "service: restored " << cache_.entries()
+                     << " cached analyses from " << options_.cache_directory;
+    } else {
+      // Normal on first boot (no persisted cache yet); any other
+      // failure degrades to a cold cache, never a failed start.
+      ADA_LOG(kInfo) << "service: starting with a cold result cache ("
+                     << restored.ToString() << ")";
+    }
+  }
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    draining_ = true;
+    std::vector<JobId> backlog;
+    backlog.reserve(pending_.size());
+    for (const PendingKey& key : pending_) backlog.push_back(key.second);
+    pending_.clear();
+    for (JobId id : backlog) {
+      FinishJob(*jobs_.at(id), JobState::kCancelled,
+                common::Status(common::StatusCode::kOk, "scheduler shutdown"));
+    }
+    workers_idle_.wait(lock, [this] { return active_workers_ == 0; });
+  }
+  if (!options_.cache_directory.empty()) {
+    common::Status persisted = cache_.Persist(options_.cache_directory);
+    if (!persisted.ok()) {
+      ADA_LOG(kWarning) << "service: final cache persist failed: "
+                        << persisted.ToString();
+    }
+  }
+}
+
+StatusOr<JobId> Scheduler::Submit(JobRequest request) {
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
+  common::Status admission = ADA_FAILPOINT("service.admission");
+  if (!admission.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.shed;
+    metrics.GetCounter("service/jobs_shed").Increment();
+    return admission;
+  }
+  if (request.log.num_patients() == 0 || request.log.num_records() == 0) {
+    return common::InvalidArgumentError(
+        "job dataset has no patients or records");
+  }
+  // Fingerprinting is O(records) and lock-free; done before admission
+  // so the snapshot carries the cache key from the moment of submit.
+  std::string fingerprint = DatasetFingerprint(request.log, request.options);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (draining_) {
+    return common::FailedPreconditionError("scheduler is shutting down");
+  }
+  if (pending_.size() >= options_.max_queue_depth) {
+    ++stats_.shed;
+    metrics.GetCounter("service/jobs_shed").Increment();
+    return common::ResourceExhaustedError(common::StrFormat(
+        "admission queue is full (%zu queued, bound %zu)", pending_.size(),
+        options_.max_queue_depth));
+  }
+
+  JobId id = next_id_++;
+  auto job = std::make_unique<Job>();
+  job->id = id;
+  job->fingerprint = std::move(fingerprint);
+  job->enqueue_time = std::chrono::steady_clock::now();
+  job->has_deadline = request.deadline_millis > 0.0;
+  job->deadline = job->has_deadline
+                      ? job->enqueue_time +
+                            MillisToDuration(request.deadline_millis)
+                      : std::chrono::steady_clock::time_point::max();
+  job->request = std::move(request);
+  pending_.emplace(-static_cast<int64_t>(job->request.priority), id);
+  jobs_.emplace(id, std::move(job));
+  ++stats_.submitted;
+  metrics.GetCounter("service/jobs_submitted").Increment();
+  UpdateGaugesLocked();
+  SpawnWorkersLocked(lock);
+  return id;
+}
+
+StatusOr<JobSnapshot> Scheduler::Status(JobId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return common::NotFoundError(
+        common::StrFormat("no job with id %lld", static_cast<long long>(id)));
+  }
+  return it->second->Snapshot();
+}
+
+StatusOr<JobSnapshot> Scheduler::AwaitResult(JobId id, double timeout_millis) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return common::NotFoundError(
+        common::StrFormat("no job with id %lld", static_cast<long long>(id)));
+  }
+  Job* job = it->second.get();
+  auto terminal = [job] { return IsTerminal(job->state); };
+  if (timeout_millis > 0.0) {
+    if (!state_changed_.wait_for(lock, MillisToDuration(timeout_millis),
+                                 terminal)) {
+      return common::DeadlineExceededError(common::StrFormat(
+          "job %lld still %s after %.0f ms", static_cast<long long>(id),
+          JobStateName(job->state), timeout_millis));
+    }
+  } else {
+    state_changed_.wait(lock, terminal);
+  }
+  return job->Snapshot();
+}
+
+common::Status Scheduler::Cancel(JobId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return common::NotFoundError(
+        common::StrFormat("no job with id %lld", static_cast<long long>(id)));
+  }
+  Job& job = *it->second;
+  if (job.state != JobState::kQueued) {
+    return common::FailedPreconditionError(common::StrFormat(
+        "job %lld is %s; only queued jobs can be cancelled",
+        static_cast<long long>(id), JobStateName(job.state)));
+  }
+  pending_.erase(
+      PendingKey(-static_cast<int64_t>(job.request.priority), job.id));
+  FinishJob(job, JobState::kCancelled,
+            common::Status(common::StatusCode::kOk, "cancelled by client"));
+  return common::OkStatus();
+}
+
+void Scheduler::Pause() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+void Scheduler::Resume() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  paused_ = false;
+  SpawnWorkersLocked(lock);
+}
+
+void Scheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  paused_ = false;
+  SpawnWorkersLocked(lock);
+  workers_idle_.wait(lock, [this] {
+    return pending_.empty() && active_workers_ == 0;
+  });
+}
+
+SchedulerStats Scheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SchedulerStats stats = stats_;
+  stats.queue_depth = pending_.size();
+  stats.active_workers = active_workers_;
+  return stats;
+}
+
+Json Scheduler::StatsJson() const {
+  SchedulerStats stats = this->stats();
+  Json::Object object;
+  object["jobs_submitted"] = Json(stats.submitted);
+  object["jobs_completed"] = Json(stats.completed);
+  object["jobs_failed"] = Json(stats.failed);
+  object["jobs_cancelled"] = Json(stats.cancelled);
+  object["jobs_expired"] = Json(stats.expired);
+  object["jobs_shed"] = Json(stats.shed);
+  object["cache_served"] = Json(stats.cache_served);
+  object["sessions_executed"] = Json(stats.sessions_executed);
+  object["queue_depth"] = Json(static_cast<int64_t>(stats.queue_depth));
+  object["active_workers"] = Json(static_cast<int64_t>(stats.active_workers));
+  Json::Object cache;
+  cache["entries"] = Json(static_cast<int64_t>(cache_.entries()));
+  cache["bytes"] = Json(static_cast<int64_t>(cache_.bytes()));
+  cache["max_bytes"] = Json(static_cast<int64_t>(cache_.max_bytes()));
+  cache["hits"] = Json(cache_.hits());
+  cache["misses"] = Json(cache_.misses());
+  cache["evictions"] = Json(cache_.evictions());
+  object["cache"] = Json(std::move(cache));
+  return Json(std::move(object));
+}
+
+void Scheduler::SpawnWorkersLocked(std::unique_lock<std::mutex>& lock) {
+  // One worker per pending job, capped at the configured ceiling; a
+  // worker drains jobs until the queue is empty, then retires.
+  while (!paused_ && !pending_.empty() &&
+         active_workers_ < std::min(options_.max_workers,
+                                    active_workers_ + pending_.size())) {
+    if (active_workers_ >= options_.max_workers) break;
+    ++active_workers_;
+    UpdateGaugesLocked();
+    bool scheduled =
+        common::ThreadPool::Shared().TrySchedule([this] { DrainLoop(); });
+    if (!scheduled) {
+      // The shared pool only refuses during process teardown; run the
+      // drain inline so no admitted job is ever lost.
+      lock.unlock();
+      DrainLoop();
+      lock.lock();
+      break;
+    }
+  }
+}
+
+void Scheduler::DrainLoop() {
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!paused_ && !pending_.empty()) {
+    auto first = pending_.begin();
+    JobId id = first->second;
+    pending_.erase(first);
+    Job& job = *jobs_.at(id);
+    auto now = std::chrono::steady_clock::now();
+    job.wait_seconds = SecondsBetween(job.enqueue_time, now);
+    metrics.GetHistogram("service/job_wait_seconds").Record(job.wait_seconds);
+    if (job.has_deadline && now > job.deadline) {
+      ++stats_.expired;
+      metrics.GetCounter("service/jobs_expired").Increment();
+      FinishJob(job, JobState::kExpired,
+                common::DeadlineExceededError(common::StrFormat(
+                    "job %lld waited %.1f ms, past its %.1f ms deadline",
+                    static_cast<long long>(id), 1e3 * job.wait_seconds,
+                    job.request.deadline_millis)));
+      continue;
+    }
+    job.state = JobState::kRunning;
+    UpdateGaugesLocked();
+    lock.unlock();
+    RunJob(job);
+    lock.lock();
+  }
+  --active_workers_;
+  UpdateGaugesLocked();
+  workers_idle_.notify_all();
+}
+
+void Scheduler::RunJob(Job& job) {
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
+  common::Status injected = ADA_FAILPOINT("service.worker.session");
+  if (!injected.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    FinishJob(job, JobState::kFailed, injected);
+    return;
+  }
+
+  // Admission-time optimization: repeat analyses of a fingerprint-
+  // identical (dataset, options) pair are served from memory with no
+  // second session execution.
+  if (std::optional<CachedAnalysis> cached = cache_.Lookup(job.fingerprint)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job.cache_hit = true;
+    job.summary = std::move(cached->summary);
+    job.report = std::move(cached->report);
+    job.knowledge_items = cached->knowledge_items;
+    ++stats_.cache_served;
+    metrics.GetCounter("service/cache_served_jobs").Increment();
+    FinishJob(job, JobState::kDone, common::OkStatus());
+    return;
+  }
+
+  common::WallTimer timer;
+  // Each job gets a private K-DB so concurrent sessions cannot
+  // interleave collection writes (and reports stay deterministic).
+  kdb::Database db;
+  core::AnalysisSession session(&db);
+  const dataset::Taxonomy* taxonomy =
+      job.request.taxonomy.has_value() ? &*job.request.taxonomy : nullptr;
+  auto result = session.Run(job.request.log, taxonomy, job.request.options);
+  double run_seconds = timer.ElapsedSeconds();
+  metrics.GetHistogram("service/job_run_seconds").Record(run_seconds);
+  metrics.GetCounter("service/sessions_executed").Increment();
+
+  if (!result.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job.run_seconds = run_seconds;
+    ++stats_.sessions_executed;
+    FinishJob(job, JobState::kFailed, result.status());
+    return;
+  }
+
+  std::string report = core::RenderSessionReport(
+      result.value(), job.request.options.dataset_id);
+  CachedAnalysis entry;
+  entry.fingerprint = job.fingerprint;
+  entry.dataset_id = job.request.options.dataset_id;
+  entry.summary = result->summary;
+  entry.report = report;
+  entry.knowledge_items = static_cast<int64_t>(result->knowledge.size());
+  cache_.Insert(std::move(entry));
+  if (!options_.cache_directory.empty()) {
+    common::Status persisted = cache_.Persist(options_.cache_directory);
+    if (!persisted.ok()) {
+      // Persistence is an optimization for the next boot; a failed
+      // write degrades to in-memory caching only.
+      metrics.GetCounter("service/cache_persist_failures").Increment();
+      ADA_LOG(kWarning) << "service: cache persist failed: "
+                        << persisted.ToString();
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  job.run_seconds = run_seconds;
+  ++stats_.sessions_executed;
+  job.summary = std::move(result.value().summary);
+  job.report = std::move(report);
+  job.knowledge_items = static_cast<int64_t>(result->knowledge.size());
+  FinishJob(job, JobState::kDone, common::OkStatus());
+}
+
+void Scheduler::FinishJob(Job& job, JobState state, common::Status status) {
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
+  job.state = state;
+  job.status = std::move(status);
+  switch (state) {
+    case JobState::kDone:
+      ++stats_.completed;
+      metrics.GetCounter("service/jobs_completed").Increment();
+      break;
+    case JobState::kFailed:
+      ++stats_.failed;
+      metrics.GetCounter("service/jobs_failed").Increment();
+      break;
+    case JobState::kCancelled:
+      ++stats_.cancelled;
+      metrics.GetCounter("service/jobs_cancelled").Increment();
+      break;
+    case JobState::kExpired:
+    case JobState::kQueued:
+    case JobState::kRunning:
+      break;  // kExpired counters are bumped at the shed site.
+  }
+  UpdateGaugesLocked();
+  state_changed_.notify_all();
+}
+
+void Scheduler::UpdateGaugesLocked() const {
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
+  metrics.GetGauge("service/queue_depth")
+      .Set(static_cast<double>(pending_.size()));
+  metrics.GetGauge("service/active_workers")
+      .Set(static_cast<double>(active_workers_));
+}
+
+}  // namespace service
+}  // namespace adahealth

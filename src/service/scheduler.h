@@ -1,0 +1,229 @@
+// Concurrent analysis-job scheduler: the service layer that turns
+// AnalysisSession into a long-running multi-tenant engine.
+//
+// Three cooperating pieces:
+//  * a bounded admission queue with per-job priorities and deadlines —
+//    submissions beyond the queue bound are shed with
+//    RESOURCE_EXHAUSTED, and queued jobs whose deadline passes before a
+//    worker picks them up are shed with DEADLINE_EXCEEDED;
+//  * N worker sessions multiplexed onto ThreadPool::Shared(): workers
+//    are pool tasks (not dedicated threads), so concurrent
+//    AnalysisSession::Run calls share the parallel k-means backend
+//    with the row-level parallelism instead of oversubscribing cores.
+//    A worker task drains jobs until the queue is empty, then retires;
+//    submissions spawn workers back up to the configured ceiling;
+//  * the fingerprint result cache (service/result_cache.h) consulted
+//    before every session run — the unit of work is the fully
+//    automated session (no per-request tuning), so a fingerprint match
+//    serves the stored report with no second execution.
+//
+// Determinism: a job produces a byte-identical session report to a
+// direct AnalysisSession::Run with the same log and options, also when
+// many jobs run concurrently (the PR-4 engines are thread-count
+// independent and each job gets a private K-DB instance).
+//
+// Failpoints: "service.admission" (Submit), "service.worker.session"
+// (evaluated once per job before the session runs). Metrics:
+// "service/jobs_*" counters, "service/job_wait_seconds" and
+// "service/job_run_seconds" histograms, "service/queue_depth" and
+// "service/active_workers" gauges.
+#ifndef ADAHEALTH_SERVICE_SCHEDULER_H_
+#define ADAHEALTH_SERVICE_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "core/session.h"
+#include "dataset/exam_log.h"
+#include "dataset/taxonomy.h"
+#include "service/result_cache.h"
+
+namespace adahealth {
+namespace service {
+
+using JobId = int64_t;
+
+/// Lifecycle of a scheduled job. Terminal states: kDone, kFailed,
+/// kExpired, kCancelled.
+enum class JobState {
+  kQueued = 0,
+  kRunning = 1,
+  kDone = 2,       // Session succeeded or the cache served the result.
+  kFailed = 3,     // The session returned an error.
+  kExpired = 4,    // Deadline passed before a worker started the job.
+  kCancelled = 5,  // Cancelled while still queued.
+};
+
+/// "queued" / "running" / "done" / "failed" / "expired" / "cancelled".
+const char* JobStateName(JobState state);
+
+/// True for the four states a job can never leave.
+[[nodiscard]] bool IsTerminal(JobState state);
+
+/// One unit of work: a dataset plus the fully automated session that
+/// should analyze it.
+struct JobRequest {
+  dataset::ExamLog log;
+  /// Pattern mining is skipped when absent (mirrors AnalysisSession).
+  std::optional<dataset::Taxonomy> taxonomy;
+  core::SessionOptions options;
+  /// Higher priorities are dequeued first; ties run in submit order.
+  int32_t priority = 0;
+  /// Relative deadline: the job must *start* within this many
+  /// milliseconds of admission or it is shed. <= 0 disables it.
+  double deadline_millis = 0.0;
+};
+
+/// Point-in-time copy of one job's externally visible state.
+struct JobSnapshot {
+  JobId id = 0;
+  JobState state = JobState::kQueued;
+  /// OK, or why the job failed / expired / was cancelled.
+  common::Status status;
+  std::string dataset_id;
+  std::string fingerprint;
+  int32_t priority = 0;
+  /// True when the result was served from the fingerprint cache.
+  bool cache_hit = false;
+  /// Queue wait (admission -> worker pickup) and session run time.
+  double wait_seconds = 0.0;
+  double run_seconds = 0.0;
+  /// Populated on kDone: the session summary and rendered report.
+  std::string summary;
+  std::string report;
+  int64_t knowledge_items = 0;
+};
+
+struct SchedulerOptions {
+  /// Concurrent worker sessions (>= 1); each is a ThreadPool::Shared()
+  /// task, so the effective parallelism stays bounded by the pool.
+  size_t max_workers = 4;
+  /// Admission bound on queued (not yet running) jobs.
+  size_t max_queue_depth = 64;
+  /// Result-cache byte budget.
+  size_t cache_bytes = 8 * 1024 * 1024;
+  /// When non-empty, the cache is restored from this directory at
+  /// construction and persisted (crash-safely) after every insert.
+  std::string cache_directory;
+  /// Construction-time Pause() (tests: stage jobs deterministically).
+  bool start_paused = false;
+};
+
+/// Monotonic per-scheduler counters (the global metrics registry is
+/// shared across schedulers and tests; these are exact per-instance).
+struct SchedulerStats {
+  int64_t submitted = 0;
+  int64_t completed = 0;          // kDone, including cache hits.
+  int64_t failed = 0;
+  int64_t cancelled = 0;
+  int64_t expired = 0;            // Deadline shed at dequeue.
+  int64_t shed = 0;               // Admission-time rejections.
+  int64_t cache_served = 0;       // kDone answered by the cache.
+  int64_t sessions_executed = 0;  // Actual AnalysisSession::Run calls.
+  size_t queue_depth = 0;
+  size_t active_workers = 0;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerOptions options);
+  /// Cancels the queued backlog, waits for running jobs, persists the
+  /// cache when a cache_directory is configured.
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Admits a job. Errors: RESOURCE_EXHAUSTED (queue full),
+  /// FAILED_PRECONDITION (scheduler shutting down), INVALID_ARGUMENT
+  /// (empty dataset), or an injected "service.admission" failure —
+  /// all counted as shed except the invalid-argument case.
+  [[nodiscard]] common::StatusOr<JobId> Submit(JobRequest request);
+
+  /// Snapshot of one job; NOT_FOUND for unknown ids.
+  [[nodiscard]] common::StatusOr<JobSnapshot> Status(JobId id) const;
+
+  /// Blocks until the job reaches a terminal state (or
+  /// `timeout_millis` elapses -> DEADLINE_EXCEEDED; <= 0 waits
+  /// forever). Returns the terminal snapshot.
+  [[nodiscard]] common::StatusOr<JobSnapshot> AwaitResult(
+      JobId id, double timeout_millis = 0.0);
+
+  /// Cancels a queued job. FAILED_PRECONDITION when it is already
+  /// running or terminal, NOT_FOUND when unknown.
+  [[nodiscard]] common::Status Cancel(JobId id);
+
+  /// Stops dispatching queued jobs (running jobs finish). Idempotent.
+  void Pause();
+  /// Resumes dispatching.
+  void Resume();
+
+  /// Blocks until the queue is empty and every worker has retired.
+  /// Resumes a paused scheduler first (a paused drain would deadlock).
+  void Drain();
+
+  [[nodiscard]] SchedulerStats stats() const;
+  /// Stats plus cache counters as one JSON object (the `stats` verb).
+  [[nodiscard]] common::Json StatsJson() const;
+
+  ResultCache& cache() { return cache_; }
+  const SchedulerOptions& options() const { return options_; }
+
+ private:
+  struct Job {
+    JobId id = 0;
+    JobRequest request;
+    std::string fingerprint;
+    JobState state = JobState::kQueued;
+    common::Status status;
+    bool cache_hit = false;
+    std::chrono::steady_clock::time_point enqueue_time;
+    std::chrono::steady_clock::time_point deadline;  // max() = none.
+    bool has_deadline = false;
+    double wait_seconds = 0.0;
+    double run_seconds = 0.0;
+    std::string summary;
+    std::string report;
+    int64_t knowledge_items = 0;
+
+    [[nodiscard]] JobSnapshot Snapshot() const;
+  };
+
+  /// (-priority, id): lowest key = next to run.
+  using PendingKey = std::pair<int64_t, JobId>;
+
+  void SpawnWorkersLocked(std::unique_lock<std::mutex>& lock);
+  void DrainLoop();
+  void RunJob(Job& job);
+  void FinishJob(Job& job, JobState state, common::Status status);
+  void UpdateGaugesLocked() const;
+
+  const SchedulerOptions options_;
+  ResultCache cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable state_changed_;  // Terminal transitions.
+  std::condition_variable workers_idle_;   // Worker retirement.
+  std::map<JobId, std::unique_ptr<Job>> jobs_;
+  std::set<PendingKey> pending_;
+  JobId next_id_ = 1;
+  size_t active_workers_ = 0;
+  bool paused_ = false;
+  bool draining_ = false;
+  SchedulerStats stats_;
+};
+
+}  // namespace service
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_SERVICE_SCHEDULER_H_

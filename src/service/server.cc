@@ -1,0 +1,193 @@
+#include "service/server.h"
+
+#include <mutex>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+
+namespace adahealth {
+namespace service {
+
+using common::Json;
+using common::Status;
+using common::StatusOr;
+
+namespace {
+
+// Reads the required "job_id" field of a status/result/cancel request.
+StatusOr<JobId> ReadJobId(const Json& body) {
+  const Json* field = body.Find("job_id");
+  if (field == nullptr || !field->is_int()) {
+    return common::InvalidArgumentError(
+        "request must carry an integer 'job_id'");
+  }
+  return field->AsInt();
+}
+
+}  // namespace
+
+AnalysisServer::AnalysisServer(ServerOptions options)
+    : scheduler_(std::move(options.scheduler)),
+      requested_port_(options.port) {}
+
+AnalysisServer::~AnalysisServer() { Stop(); }
+
+Status AnalysisServer::Start() {
+  if (running_.load()) {
+    return common::FailedPreconditionError("server already started");
+  }
+  ADA_ASSIGN_OR_RETURN(listener_, ServerSocket::Listen(requested_port_));
+  port_ = listener_.port();
+  stopping_.store(false);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  ADA_LOG(kInfo) << "service: listening on 127.0.0.1:" << port_;
+  return common::OkStatus();
+}
+
+void AnalysisServer::Stop() {
+  stopping_.store(true);
+  listener_.Shutdown();
+  {
+    // A serving thread parked in recv on a live connection would never
+    // observe stopping_; half-close the connection under it.
+    std::lock_guard<std::mutex> lock(connection_mutex_);
+    if (active_connection_ != nullptr) {
+      ShutdownConnection(*active_connection_);
+    }
+  }
+  Wait();
+}
+
+void AnalysisServer::Wait() {
+  std::lock_guard<std::mutex> lock(join_mutex_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  running_.store(false);
+}
+
+void AnalysisServer::AcceptLoop() {
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
+  while (!stopping_.load()) {
+    auto connection = listener_.Accept();
+    if (!connection.ok()) {
+      if (stopping_.load()) break;
+      // A transient accept failure (injected or EMFILE-style) should
+      // not kill the server; a shut-down listener ends the loop above.
+      metrics.GetCounter("service/server_errors").Increment();
+      ADA_LOG(kWarning) << "service: accept failed: "
+                        << connection.status().message();
+      continue;
+    }
+    metrics.GetCounter("service/server_connections").Increment();
+    {
+      std::lock_guard<std::mutex> lock(connection_mutex_);
+      active_connection_ = &connection.value();
+    }
+    // Re-check after registering: a Stop() racing the accept either
+    // sees this connection (and half-closes it) or flipped stopping_
+    // before registration completed — caught here either way.
+    if (!stopping_.load()) ServeConnection(connection.value());
+    {
+      std::lock_guard<std::mutex> lock(connection_mutex_);
+      active_connection_ = nullptr;
+    }
+  }
+  running_.store(false);
+}
+
+void AnalysisServer::ServeConnection(const FileDescriptor& connection) {
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
+  LineReader reader(connection);
+  for (;;) {
+    auto line = reader.ReadLine();
+    if (!line.ok()) {
+      // OUT_OF_RANGE = the client hung up cleanly; anything else is an
+      // I/O error worth counting.
+      if (line.status().code() != common::StatusCode::kOutOfRange) {
+        metrics.GetCounter("service/server_errors").Increment();
+      }
+      return;
+    }
+    if (line.value().empty()) continue;
+    metrics.GetCounter("service/server_requests").Increment();
+    std::string response;
+    auto request = ParseRequest(line.value());
+    if (!request.ok()) {
+      metrics.GetCounter("service/server_errors").Increment();
+      response = ErrorResponse(request.status());
+    } else {
+      response = Dispatch(request.value());
+    }
+    if (Status sent = SendAll(connection, response); !sent.ok()) {
+      metrics.GetCounter("service/server_errors").Increment();
+      return;
+    }
+    if (stopping_.load()) return;
+  }
+}
+
+std::string AnalysisServer::Dispatch(const Request& request) {
+  if (request.verb == "submit") {
+    auto job_request = BuildJobRequest(request.body);
+    if (!job_request.ok()) return ErrorResponse(job_request.status());
+    auto id = scheduler_.Submit(std::move(job_request).value());
+    if (!id.ok()) return ErrorResponse(id.status());
+    auto snapshot = scheduler_.Status(id.value());
+    if (!snapshot.ok()) return ErrorResponse(snapshot.status());
+    return OkResponse(SnapshotFields(snapshot.value(),
+                                     /*include_artifacts=*/false));
+  }
+  if (request.verb == "status") {
+    auto id = ReadJobId(request.body);
+    if (!id.ok()) return ErrorResponse(id.status());
+    auto snapshot = scheduler_.Status(id.value());
+    if (!snapshot.ok()) return ErrorResponse(snapshot.status());
+    return OkResponse(SnapshotFields(snapshot.value(),
+                                     /*include_artifacts=*/false));
+  }
+  if (request.verb == "result") {
+    auto id = ReadJobId(request.body);
+    if (!id.ok()) return ErrorResponse(id.status());
+    double wait_millis = 0.0;
+    if (const Json* wait = request.body.Find("wait_millis");
+        wait != nullptr && wait->is_number()) {
+      wait_millis = wait->AsDouble();
+    }
+    auto snapshot = scheduler_.AwaitResult(id.value(), wait_millis);
+    if (!snapshot.ok()) return ErrorResponse(snapshot.status());
+    return OkResponse(SnapshotFields(snapshot.value(),
+                                     /*include_artifacts=*/true));
+  }
+  if (request.verb == "cancel") {
+    auto id = ReadJobId(request.body);
+    if (!id.ok()) return ErrorResponse(id.status());
+    if (Status cancelled = scheduler_.Cancel(id.value()); !cancelled.ok()) {
+      return ErrorResponse(cancelled);
+    }
+    Json::Object fields;
+    fields["job_id"] = id.value();
+    fields["state"] = std::string(JobStateName(JobState::kCancelled));
+    return OkResponse(std::move(fields));
+  }
+  if (request.verb == "stats") {
+    return OkResponse(scheduler_.StatsJson().AsObject());
+  }
+  if (request.verb == "ping") {
+    Json::Object fields;
+    fields["service"] = "ada-health";
+    return OkResponse(std::move(fields));
+  }
+  if (request.verb == "shutdown") {
+    stopping_.store(true);
+    Json::Object fields;
+    fields["stopping"] = true;
+    return OkResponse(std::move(fields));
+  }
+  return ErrorResponse(common::InvalidArgumentError(
+      common::StrFormat("unknown verb '%s'", request.verb.c_str())));
+}
+
+}  // namespace service
+}  // namespace adahealth

@@ -1,0 +1,94 @@
+// The NDJSON protocol front-end: one TCP server that exposes a
+// Scheduler over the loopback interface.
+//
+// Connection model: one request-response exchange per line; a client
+// may pipeline several lines on one connection; connections are served
+// sequentially by a single accept thread (commands are cheap — all
+// heavy work runs on the scheduler's workers, so a serving thread
+// never blocks behind an analysis). The `result` verb with a
+// wait_millis budget is the one deliberate exception: it parks the
+// serving thread in Scheduler::AwaitResult.
+//
+// Metrics: "service/server_connections", "service/server_requests",
+// "service/server_errors" counters.
+#ifndef ADAHEALTH_SERVICE_SERVER_H_
+#define ADAHEALTH_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "service/net_socket.h"
+#include "service/protocol.h"
+#include "service/scheduler.h"
+
+namespace adahealth {
+namespace service {
+
+struct ServerOptions {
+  /// 0 = kernel-assigned ephemeral port (see AnalysisServer::port()).
+  uint16_t port = 0;
+  SchedulerOptions scheduler;
+};
+
+/// The analysis service: scheduler + NDJSON protocol endpoint.
+class AnalysisServer {
+ public:
+  explicit AnalysisServer(ServerOptions options);
+  /// Stops the server (as Stop()) before tearing down the scheduler.
+  ~AnalysisServer();
+
+  AnalysisServer(const AnalysisServer&) = delete;
+  AnalysisServer& operator=(const AnalysisServer&) = delete;
+
+  /// Binds the listening socket and starts the accept thread.
+  /// UNAVAILABLE when the port cannot be bound; FAILED_PRECONDITION
+  /// when already started.
+  [[nodiscard]] common::Status Start();
+
+  /// Unblocks the accept loop and joins the thread. Idempotent; safe
+  /// to call from a serving thread's verb handler is NOT supported —
+  /// the `shutdown` verb instead flips a flag the accept loop observes.
+  void Stop();
+
+  /// Blocks until the accept loop exits (a `shutdown` verb or Stop()).
+  void Wait();
+
+  /// The bound port (valid after Start()).
+  [[nodiscard]] uint16_t port() const { return port_; }
+  [[nodiscard]] bool running() const { return running_.load(); }
+
+  Scheduler& scheduler() { return scheduler_; }
+
+  /// Handles one already-parsed request and returns the serialized
+  /// response line. Exposed so tests can drive the dispatch table
+  /// without sockets.
+  [[nodiscard]] std::string Dispatch(const Request& request);
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(const FileDescriptor& connection);
+
+  Scheduler scheduler_;
+  ServerSocket listener_;
+  std::mutex join_mutex_;  // Serializes Stop()/Wait() joins.
+  /// The connection ServeConnection is currently parked on, if any:
+  /// Stop() must wake a serving thread blocked in recv on it, not just
+  /// the listener.
+  std::mutex connection_mutex_;
+  const FileDescriptor* active_connection_ = nullptr;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  uint16_t port_ = 0;
+  const uint16_t requested_port_;
+};
+
+}  // namespace service
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_SERVICE_SERVER_H_

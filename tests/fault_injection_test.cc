@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -20,6 +21,7 @@
 #include "dataset/synthetic_cohort.h"
 #include "kdb/database.h"
 #include "kdb/storage.h"
+#include "service/scheduler.h"
 #include "test_util.h"
 #include "transform/vsm.h"
 
@@ -46,9 +48,13 @@ class FaultInjectionTest : public testing::Test {
     return ::stat(path.c_str(), &info) == 0;
   }
 
-  /// Fresh empty scratch directory under the test temp root.
+  /// Fresh empty scratch directory under the test temp root. Clears
+  /// leftovers from a previous run: several tests assert on exactly
+  /// what a scheduler or database restores from the directory.
   static std::string MakeScratchDir(const std::string& name) {
     std::string path = testing::TempDir() + "/fault_" + name;
+    std::error_code ignored;
+    std::filesystem::remove_all(path, ignored);
     ::mkdir(path.c_str(), 0755);
     return path;
   }
@@ -632,6 +638,128 @@ TEST_F(FaultInjectionSessionTest, BudgetOverrunMarksStageDegraded) {
   EXPECT_EQ(outcome->status.code(), StatusCode::kDeadlineExceeded);
   // The optimizer's results are still used downstream.
   EXPECT_FALSE(result->knowledge.empty());
+}
+
+// ---------------------------------------------------------------------
+// Service-layer failpoints (service.admission / service.cache.store /
+// service.cache.load / service.worker.session).
+
+class FaultInjectionServiceTest : public FaultInjectionSessionTest {
+ protected:
+  service::JobRequest MakeJob(const std::string& dataset_id) {
+    service::JobRequest request;
+    request.log = cohort_.log;
+    request.taxonomy = cohort_.taxonomy;
+    request.options = FastOptions();
+    request.options.dataset_id = dataset_id;
+    return request;
+  }
+};
+
+TEST_F(FaultInjectionServiceTest, AdmissionFailpointShedsWithoutLosingJobs) {
+  service::SchedulerOptions options;
+  options.max_workers = 1;
+  service::Scheduler scheduler(options);
+  {
+    ScopedFailpoint fp("service.admission",
+                       OneShotError(StatusCode::kUnavailable, "admission"));
+    auto rejected = scheduler.Submit(MakeJob("shed"));
+    EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(scheduler.stats().shed, 1);
+  EXPECT_EQ(scheduler.stats().submitted, 0);
+  // The failure is confined to that submission: the next one runs.
+  auto accepted = scheduler.Submit(MakeJob("shed"));
+  ASSERT_TRUE(accepted.ok());
+  auto snapshot = scheduler.AwaitResult(accepted.value());
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->state, service::JobState::kDone);
+  service::SchedulerStats stats = scheduler.stats();
+  // Every admitted job is accounted exactly once, none ran twice.
+  EXPECT_EQ(stats.submitted, 1);
+  EXPECT_EQ(stats.completed, 1);
+  EXPECT_EQ(stats.sessions_executed, 1);
+}
+
+TEST_F(FaultInjectionServiceTest, CacheStoreFailureDegradesNotFails) {
+  service::SchedulerOptions options;
+  options.cache_directory = MakeScratchDir("svc_store");
+  service::Scheduler scheduler(options);
+  int64_t persist_failures_before =
+      common::MetricsRegistry::Default()
+          .GetCounter("service/cache_persist_failures")
+          .value();
+  ScopedFailpoint fp("service.cache.store",
+                     OneShotError(StatusCode::kUnavailable));
+  auto id = scheduler.Submit(MakeJob("store-degraded"));
+  ASSERT_TRUE(id.ok());
+  auto snapshot = scheduler.AwaitResult(id.value());
+  ASSERT_TRUE(snapshot.ok());
+  // The job completes; only the cache's durability degraded.
+  EXPECT_EQ(snapshot->state, service::JobState::kDone);
+  EXPECT_FALSE(snapshot->report.empty());
+  EXPECT_EQ(common::MetricsRegistry::Default()
+                .GetCounter("service/cache_persist_failures")
+                .value(),
+            persist_failures_before + 1);
+  // The in-memory entry is still there: a repeat is served from cache.
+  auto repeat = scheduler.Submit(MakeJob("store-degraded"));
+  ASSERT_TRUE(repeat.ok());
+  auto repeat_snapshot = scheduler.AwaitResult(repeat.value());
+  ASSERT_TRUE(repeat_snapshot.ok());
+  EXPECT_TRUE(repeat_snapshot->cache_hit);
+}
+
+TEST_F(FaultInjectionServiceTest, CacheLoadFailureStartsColdNotCrashed) {
+  std::string dir = MakeScratchDir("svc_load");
+  service::SchedulerOptions options;
+  options.cache_directory = dir;
+  {
+    service::Scheduler warmup(options);
+    auto id = warmup.Submit(MakeJob("cold-start"));
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(warmup.AwaitResult(id.value()).ok());
+  }
+  ScopedFailpoint fp("service.cache.load",
+                     OneShotError(StatusCode::kDataLoss));
+  service::Scheduler revived(options);
+  // The persisted cache was unreadable: cold start, full re-execution.
+  EXPECT_EQ(revived.cache().entries(), 0u);
+  auto id = revived.Submit(MakeJob("cold-start"));
+  ASSERT_TRUE(id.ok());
+  auto snapshot = revived.AwaitResult(id.value());
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->state, service::JobState::kDone);
+  EXPECT_FALSE(snapshot->cache_hit);
+  EXPECT_EQ(revived.stats().sessions_executed, 1);
+}
+
+TEST_F(FaultInjectionServiceTest, WorkerSessionFailureIsConfinedToOneJob) {
+  service::SchedulerOptions options;
+  options.max_workers = 1;
+  options.start_paused = true;
+  service::Scheduler scheduler(options);
+  auto doomed = scheduler.Submit(MakeJob("doomed"));
+  ASSERT_TRUE(doomed.ok());
+  auto survivor = scheduler.Submit(MakeJob("survivor"));
+  ASSERT_TRUE(survivor.ok());
+  ScopedFailpoint fp("service.worker.session",
+                     OneShotError(StatusCode::kInternal, "worker died"));
+  scheduler.Resume();
+  auto doomed_snapshot = scheduler.AwaitResult(doomed.value());
+  ASSERT_TRUE(doomed_snapshot.ok());
+  EXPECT_EQ(doomed_snapshot->state, service::JobState::kFailed);
+  EXPECT_EQ(doomed_snapshot->status.code(), StatusCode::kInternal);
+  auto survivor_snapshot = scheduler.AwaitResult(survivor.value());
+  ASSERT_TRUE(survivor_snapshot.ok());
+  EXPECT_EQ(survivor_snapshot->state, service::JobState::kDone);
+  service::SchedulerStats stats = scheduler.stats();
+  // No lost and no double-run jobs: 2 submitted, 1 failed + 1 done,
+  // and only the survivor actually executed a session.
+  EXPECT_EQ(stats.submitted, 2);
+  EXPECT_EQ(stats.failed, 1);
+  EXPECT_EQ(stats.completed, 1);
+  EXPECT_EQ(stats.sessions_executed, 1);
 }
 
 TEST_F(FaultInjectionSessionTest, AllStagesRecordedInPipelineOrder) {

@@ -1,0 +1,264 @@
+// End-to-end coverage of the NDJSON protocol server: the wire grammar
+// (ParseRequest/ParseResponse/BuildJobRequest), verb dispatch, and a
+// full submit/status/result/cancel/stats conversation over a real
+// loopback socket via AnalysisClient.
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+#include "common/check.h"
+#include "common/json.h"
+#include "common/status.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
+
+namespace adahealth {
+namespace {
+
+using common::Json;
+using common::StatusCode;
+
+// ---------------------------------------------------------------------
+// Wire grammar.
+
+TEST(ProtocolTest, ParseRequestExtractsVerb) {
+  auto request = service::ParseRequest(R"({"verb":"ping","x":1})");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->verb, "ping");
+  EXPECT_EQ(request->body.Find("x")->AsInt(), 1);
+}
+
+TEST(ProtocolTest, ParseRequestRejectsMalformedInput) {
+  EXPECT_EQ(service::ParseRequest("{not json").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service::ParseRequest("[1,2]").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service::ParseRequest(R"({"x":1})").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service::ParseRequest(R"({"verb":""})").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolTest, ResponsesRoundTripThroughParseResponse) {
+  Json::Object fields;
+  fields["job_id"] = static_cast<int64_t>(7);
+  std::string ok_line = service::OkResponse(std::move(fields));
+  EXPECT_EQ(ok_line.back(), '\n');
+  auto ok = service::ParseResponse(ok_line);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->Find("job_id")->AsInt(), 7);
+
+  std::string error_line = service::ErrorResponse(
+      common::ResourceExhaustedError("queue full"));
+  auto error = service::ParseResponse(error_line);
+  EXPECT_EQ(error.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(error.status().message(), "queue full");
+}
+
+TEST(ProtocolTest, BuildJobRequestRequiresExactlyOneDataset) {
+  auto neither = service::BuildJobRequest(Json(Json::Object{}));
+  EXPECT_EQ(neither.status().code(), StatusCode::kInvalidArgument);
+
+  Json::Object both;
+  both["csv"] = "patient_id,exam_type,day\n";
+  both["synthetic"] = Json(Json::Object{});
+  auto rejected = service::BuildJobRequest(Json(std::move(both)));
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolTest, BuildJobRequestFromCsvAndKnobs) {
+  Json::Object body;
+  body["csv"] =
+      "patient_id,exam_type,day\n0,glucose,1\n0,hba1c,30\n1,glucose,2\n";
+  body["dataset_id"] = "csv-cohort";
+  body["priority"] = static_cast<int64_t>(3);
+  body["deadline_millis"] = 250.0;
+  Json::Object options;
+  options["cv_folds"] = static_cast<int64_t>(4);
+  options["candidate_ks"] = Json(Json::Array{Json(2), Json(3)});
+  body["options"] = Json(std::move(options));
+  auto request = service::BuildJobRequest(Json(std::move(body)));
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->log.num_patients(), 2u);
+  EXPECT_EQ(request->log.num_records(), 3u);
+  EXPECT_EQ(request->options.dataset_id, "csv-cohort");
+  EXPECT_EQ(request->priority, 3);
+  EXPECT_DOUBLE_EQ(request->deadline_millis, 250.0);
+  EXPECT_EQ(request->options.optimizer.cv_folds, 4);
+  EXPECT_EQ(request->options.optimizer.candidate_ks,
+            (std::vector<int32_t>{2, 3}));
+  EXPECT_FALSE(request->taxonomy.has_value());
+}
+
+TEST(ProtocolTest, BuildJobRequestSyntheticCarriesTaxonomy) {
+  Json::Object synthetic;
+  synthetic["patients"] = static_cast<int64_t>(80);
+  synthetic["exam_types"] = static_cast<int64_t>(20);
+  synthetic["profiles"] = static_cast<int64_t>(3);
+  synthetic["seed"] = static_cast<int64_t>(5);
+  Json::Object body;
+  body["synthetic"] = Json(std::move(synthetic));
+  auto request = service::BuildJobRequest(Json(std::move(body)));
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->log.num_patients(), 80u);
+  EXPECT_TRUE(request->taxonomy.has_value());
+}
+
+// ---------------------------------------------------------------------
+// Server end-to-end over loopback.
+
+class ServerTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    service::ServerOptions options;
+    options.scheduler.max_workers = 2;
+    server_ = std::make_unique<service::AnalysisServer>(std::move(options));
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override { server_->Stop(); }
+
+  /// A small fast synthetic submit body.
+  static Json::Object SubmitBody(int64_t seed,
+                                 const std::string& dataset_id) {
+    Json::Object synthetic;
+    synthetic["patients"] = static_cast<int64_t>(100);
+    synthetic["exam_types"] = static_cast<int64_t>(20);
+    synthetic["profiles"] = static_cast<int64_t>(3);
+    synthetic["seed"] = seed;
+    Json::Object options;
+    options["sample_fraction"] = 0.4;
+    options["candidate_ks"] = Json(Json::Array{Json(3), Json(4)});
+    options["cv_folds"] = static_cast<int64_t>(4);
+    options["restarts"] = static_cast<int64_t>(1);
+    Json::Object body;
+    body["verb"] = "submit";
+    body["synthetic"] = Json(std::move(synthetic));
+    body["dataset_id"] = dataset_id;
+    body["options"] = Json(std::move(options));
+    return body;
+  }
+
+  service::AnalysisClient Client() {
+    auto client = service::AnalysisClient::Connect(server_->port());
+    ADA_CHECK(client.ok());
+    return std::move(client).value();
+  }
+
+  std::unique_ptr<service::AnalysisServer> server_;
+};
+
+TEST_F(ServerTest, PingAnswers) {
+  auto client = Client();
+  auto response = client.Call("ping");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->Find("service")->AsString(), "ada-health");
+}
+
+TEST_F(ServerTest, SubmitResultFlowAndCacheHitOnRepeat) {
+  auto client = Client();
+  auto submitted = client.Call(SubmitBody(7, "e2e"));
+  ASSERT_TRUE(submitted.ok());
+  int64_t job_id = submitted->Find("job_id")->AsInt();
+  // A worker may pick the job up before the submit snapshot is taken.
+  std::string submit_state = submitted->Find("state")->AsString();
+  EXPECT_TRUE(submit_state == "queued" || submit_state == "running" ||
+              submit_state == "done")
+      << submit_state;
+
+  Json::Object result_request;
+  result_request["verb"] = "result";
+  result_request["job_id"] = job_id;
+  result_request["wait_millis"] = 60000.0;
+  auto result = client.Call(result_request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->Find("state")->AsString(), "done");
+  EXPECT_FALSE(result->Find("cache_hit")->AsBool());
+  EXPECT_FALSE(result->Find("report")->AsString().empty());
+
+  // The identical submission is answered from the cache.
+  auto repeat = client.Call(SubmitBody(7, "e2e"));
+  ASSERT_TRUE(repeat.ok());
+  result_request["job_id"] = repeat->Find("job_id")->AsInt();
+  auto repeat_result = client.Call(result_request);
+  ASSERT_TRUE(repeat_result.ok());
+  EXPECT_EQ(repeat_result->Find("state")->AsString(), "done");
+  EXPECT_TRUE(repeat_result->Find("cache_hit")->AsBool());
+  EXPECT_EQ(repeat_result->Find("report")->AsString(),
+            result->Find("report")->AsString());
+
+  auto stats = client.Call("stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->Find("sessions_executed")->AsInt(), 1);
+  EXPECT_EQ(stats->Find("cache")->Find("hits")->AsInt(), 1);
+}
+
+TEST_F(ServerTest, StatusOfUnknownJobIsNotFound) {
+  auto client = Client();
+  Json::Object request;
+  request["verb"] = "status";
+  request["job_id"] = static_cast<int64_t>(4242);
+  auto response = client.Call(request);
+  EXPECT_EQ(response.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ServerTest, MalformedLineYieldsInvalidArgumentResponse) {
+  // Below AnalysisClient: raw socket, garbage line.
+  auto connection = service::ConnectLoopback(server_->port());
+  ASSERT_TRUE(connection.ok());
+  ASSERT_TRUE(service::SendAll(connection.value(), "this is not json\n").ok());
+  service::LineReader reader(connection.value());
+  auto line = reader.ReadLine();
+  ASSERT_TRUE(line.ok());
+  auto parsed = service::ParseResponse(line.value());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServerTest, UnknownVerbIsRejected) {
+  auto client = Client();
+  auto response = client.Call("frobnicate");
+  EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServerTest, InvalidSubmitSurfacesError) {
+  auto client = Client();
+  Json::Object body;
+  body["verb"] = "submit";  // Neither csv nor synthetic.
+  auto response = client.Call(body);
+  EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServerTest, CancelQueuedJobOverTheWire) {
+  // A dedicated paused server keeps the job queued deterministically
+  // while the cancel request races nothing.
+  service::ServerOptions options;
+  options.scheduler.max_workers = 1;
+  options.scheduler.start_paused = true;
+  service::AnalysisServer server(std::move(options));
+  ASSERT_TRUE(server.Start().ok());
+  auto client = service::AnalysisClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  auto submitted = client.value().Call(SubmitBody(9, "cancel-me"));
+  ASSERT_TRUE(submitted.ok());
+  Json::Object request;
+  request["verb"] = "cancel";
+  request["job_id"] = submitted->Find("job_id")->AsInt();
+  auto cancelled = client.value().Call(request);
+  ASSERT_TRUE(cancelled.ok());
+  EXPECT_EQ(cancelled->Find("state")->AsString(), "cancelled");
+  server.scheduler().Resume();
+  server.Stop();
+}
+
+TEST_F(ServerTest, ShutdownVerbStopsTheServer) {
+  auto client = Client();
+  auto response = client.Call("shutdown");
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->Find("stopping")->AsBool());
+  server_->Wait();
+  EXPECT_FALSE(server_->running());
+}
+
+}  // namespace
+}  // namespace adahealth

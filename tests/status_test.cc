@@ -33,6 +33,36 @@ TEST(StatusTest, AllFactoryCodes) {
   EXPECT_EQ(UnavailableError("x").code(), StatusCode::kUnavailable);
   EXPECT_EQ(DeadlineExceededError("x").code(),
             StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, ResourceExhaustedName) {
+  EXPECT_EQ(ResourceExhaustedError("queue full").ToString(),
+            "RESOURCE_EXHAUSTED: queue full");
+}
+
+TEST(StatusTest, StatusCodeFromNameRoundTripsEveryCode) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
+        StatusCode::kOutOfRange, StatusCode::kUnimplemented,
+        StatusCode::kInternal, StatusCode::kDataLoss,
+        StatusCode::kUnavailable, StatusCode::kDeadlineExceeded,
+        StatusCode::kResourceExhausted}) {
+    auto parsed = StatusCodeFromName(StatusCodeName(code));
+    ASSERT_TRUE(parsed.ok()) << StatusCodeName(code);
+    EXPECT_EQ(parsed.value(), code);
+  }
+}
+
+TEST(StatusTest, StatusCodeFromNameRejectsUnknownNames) {
+  EXPECT_EQ(StatusCodeFromName("NO_SUCH_CODE").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(StatusCodeFromName("").status().code(),
+            StatusCode::kInvalidArgument);
+  // Matching is exact: canonical names are upper snake case.
+  EXPECT_FALSE(StatusCodeFromName("not_found").ok());
 }
 
 TEST(StatusTest, TransientCodeNames) {

@@ -1,0 +1,374 @@
+// ada_client — command-line client for the ADA-HEALTH analysis
+// service (ada_server).
+//
+// Usage:
+//   ada_client --port N <command> [options]
+//
+// Commands:
+//   ping                              liveness check
+//   stats                             scheduler + cache counters (JSON)
+//   submit [dataset] [job options]    submit one analysis job
+//   status --job N                    job state snapshot
+//   result --job N [--wait-ms D]      await + fetch the job result
+//   cancel --job N                    cancel a queued job
+//   shutdown                          stop the server
+//
+// Dataset options (submit): --csv FILE for a records CSV, or a
+// synthetic cohort via --patients/--exam-types/--profiles/--seed
+// (test-scale defaults). Job options: --dataset-id, --priority,
+// --deadline-ms, --cv-folds, --candidate-ks a,b,c, --fast (small
+// session options for smoke tests), --wait (block for the result),
+// --report (print the full Markdown report).
+//
+// Exit codes: 0 success/job done, 2 usage error, 3 connect failure,
+// 4 server-side error response, 5 job failed, 6 job expired,
+// 7 job cancelled.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/string_util.h"
+#include "service/client.h"
+#include "service/protocol.h"
+
+namespace {
+
+using adahealth::common::Json;
+using adahealth::common::Status;
+using adahealth::common::StatusOr;
+
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;
+constexpr int kExitConnect = 3;
+constexpr int kExitServerError = 4;
+constexpr int kExitJobFailed = 5;
+constexpr int kExitJobExpired = 6;
+constexpr int kExitJobCancelled = 7;
+
+void PrintUsage() {
+  std::printf(
+      "usage: ada_client --port N <command> [options]\n"
+      "commands: ping | stats | submit | status | result | cancel |"
+      " shutdown\n"
+      "submit:  [--csv FILE | --patients N [--exam-types N] [--profiles N]"
+      " [--seed N]]\n"
+      "         [--dataset-id S] [--priority N] [--deadline-ms D]\n"
+      "         [--cv-folds N] [--candidate-ks a,b,c] [--fast]\n"
+      "         [--wait [--wait-ms D]] [--report]\n"
+      "status/result/cancel: --job N  (result also takes --wait-ms D,"
+      " --report)\n");
+}
+
+/// Maps a terminal job state name to the CLI exit code.
+int ExitCodeForState(const std::string& state) {
+  if (state == "done") return kExitOk;
+  if (state == "expired") return kExitJobExpired;
+  if (state == "cancelled") return kExitJobCancelled;
+  if (state == "failed") return kExitJobFailed;
+  return kExitOk;  // queued / running snapshots are not failures.
+}
+
+/// Prints the snapshot fields every job-addressed command shares.
+void PrintSnapshot(const Json& response, bool with_report) {
+  auto string_field = [&](const char* key) -> std::string {
+    const Json* field = response.Find(key);
+    return field != nullptr && field->is_string() ? field->AsString()
+                                                  : std::string();
+  };
+  const Json* id = response.Find("job_id");
+  std::printf("job_id: %lld\n",
+              id != nullptr && id->is_int()
+                  ? static_cast<long long>(id->AsInt())
+                  : -1LL);
+  std::printf("state: %s\n", string_field("state").c_str());
+  const Json* cache_hit = response.Find("cache_hit");
+  if (cache_hit != nullptr && cache_hit->is_bool()) {
+    std::printf("cache_hit: %s\n", cache_hit->AsBool() ? "true" : "false");
+  }
+  std::string fingerprint = string_field("fingerprint");
+  if (!fingerprint.empty()) {
+    std::printf("fingerprint: %s\n", fingerprint.c_str());
+  }
+  std::string status_message = string_field("status_message");
+  if (!status_message.empty()) {
+    std::printf("status: %s: %s\n", string_field("status_code").c_str(),
+                status_message.c_str());
+  }
+  std::string summary = string_field("summary");
+  if (!summary.empty()) std::printf("%s", summary.c_str());
+  if (with_report) {
+    std::string report = string_field("report");
+    if (!report.empty()) std::printf("\n%s", report.c_str());
+  }
+}
+
+struct Flags {
+  uint16_t port = 0;
+  std::string command;
+  std::string csv_path;
+  int64_t patients = 0;  // 0 = server default.
+  int64_t exam_types = 0;
+  int64_t profiles = 0;
+  int64_t seed = -1;
+  std::string dataset_id;
+  int64_t priority = 0;
+  double deadline_ms = 0.0;
+  int64_t cv_folds = 0;
+  std::string candidate_ks;
+  bool fast = false;
+  bool wait = false;
+  double wait_ms = 0.0;
+  bool report = false;
+  int64_t job_id = -1;
+};
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    auto next_int = [&](int64_t* out) {
+      const char* text = next();
+      if (text == nullptr) return false;
+      auto parsed = adahealth::common::ParseInt64(text);
+      if (!parsed.ok()) return false;
+      *out = parsed.value();
+      return true;
+    };
+    auto next_double = [&](double* out) {
+      const char* text = next();
+      if (text == nullptr) return false;
+      auto parsed = adahealth::common::ParseDouble(text);
+      if (!parsed.ok()) return false;
+      *out = parsed.value();
+      return true;
+    };
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      PrintUsage();
+      std::exit(kExitOk);
+    } else if (std::strcmp(arg, "--port") == 0) {
+      int64_t value = 0;
+      if (!next_int(&value) || value < 1 || value > 65535) return false;
+      flags->port = static_cast<uint16_t>(value);
+    } else if (std::strcmp(arg, "--csv") == 0) {
+      const char* text = next();
+      if (text == nullptr) return false;
+      flags->csv_path = text;
+    } else if (std::strcmp(arg, "--patients") == 0) {
+      if (!next_int(&flags->patients)) return false;
+    } else if (std::strcmp(arg, "--exam-types") == 0) {
+      if (!next_int(&flags->exam_types)) return false;
+    } else if (std::strcmp(arg, "--profiles") == 0) {
+      if (!next_int(&flags->profiles)) return false;
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      if (!next_int(&flags->seed)) return false;
+    } else if (std::strcmp(arg, "--dataset-id") == 0) {
+      const char* text = next();
+      if (text == nullptr) return false;
+      flags->dataset_id = text;
+    } else if (std::strcmp(arg, "--priority") == 0) {
+      if (!next_int(&flags->priority)) return false;
+    } else if (std::strcmp(arg, "--deadline-ms") == 0) {
+      if (!next_double(&flags->deadline_ms)) return false;
+    } else if (std::strcmp(arg, "--cv-folds") == 0) {
+      if (!next_int(&flags->cv_folds)) return false;
+    } else if (std::strcmp(arg, "--candidate-ks") == 0) {
+      const char* text = next();
+      if (text == nullptr) return false;
+      flags->candidate_ks = text;
+    } else if (std::strcmp(arg, "--fast") == 0) {
+      flags->fast = true;
+    } else if (std::strcmp(arg, "--wait") == 0) {
+      flags->wait = true;
+    } else if (std::strcmp(arg, "--wait-ms") == 0) {
+      if (!next_double(&flags->wait_ms)) return false;
+    } else if (std::strcmp(arg, "--report") == 0) {
+      flags->report = true;
+    } else if (std::strcmp(arg, "--job") == 0) {
+      if (!next_int(&flags->job_id)) return false;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "ada_client: unknown flag '%s'\n", arg);
+      return false;
+    } else if (flags->command.empty()) {
+      flags->command = arg;
+    } else {
+      std::fprintf(stderr, "ada_client: extra argument '%s'\n", arg);
+      return false;
+    }
+  }
+  return !flags->command.empty() && flags->port != 0;
+}
+
+/// Builds the submit request body from the parsed flags.
+StatusOr<Json::Object> BuildSubmitBody(const Flags& flags) {
+  Json::Object body;
+  body["verb"] = "submit";
+  if (!flags.csv_path.empty()) {
+    std::ifstream file(flags.csv_path);
+    if (!file) {
+      return adahealth::common::NotFoundError("cannot open " +
+                                              flags.csv_path);
+    }
+    std::ostringstream content;
+    content << file.rdbuf();
+    body["csv"] = content.str();
+  } else {
+    Json::Object synthetic;
+    if (flags.patients > 0) synthetic["patients"] = flags.patients;
+    if (flags.exam_types > 0) synthetic["exam_types"] = flags.exam_types;
+    if (flags.profiles > 0) synthetic["profiles"] = flags.profiles;
+    if (flags.seed >= 0) synthetic["seed"] = flags.seed;
+    body["synthetic"] = Json(std::move(synthetic));
+  }
+  if (!flags.dataset_id.empty()) body["dataset_id"] = flags.dataset_id;
+  if (flags.priority != 0) body["priority"] = flags.priority;
+  if (flags.deadline_ms > 0) body["deadline_millis"] = flags.deadline_ms;
+  Json::Object options;
+  if (flags.fast) {
+    // Small, deterministic session options for smoke tests: mirrors
+    // the unit tests' fast-session configuration.
+    options["sample_fraction"] = 0.4;
+    options["candidate_ks"] = Json(Json::Array{Json(3), Json(4), Json(6)});
+    options["cv_folds"] = 4;
+    options["restarts"] = 1;
+  }
+  if (flags.cv_folds > 0) options["cv_folds"] = flags.cv_folds;
+  if (!flags.candidate_ks.empty()) {
+    Json::Array ks;
+    for (const std::string& part :
+         adahealth::common::Split(flags.candidate_ks, ',')) {
+      auto k = adahealth::common::ParseInt64(
+          adahealth::common::Trim(part));
+      if (!k.ok()) {
+        return adahealth::common::InvalidArgumentError(
+            "--candidate-ks expects a comma-separated integer list");
+      }
+      ks.emplace_back(k.value());
+    }
+    options["candidate_ks"] = Json(std::move(ks));
+  }
+  if (!options.empty()) body["options"] = Json(std::move(options));
+  return body;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace adahealth;
+
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) {
+    PrintUsage();
+    return kExitUsage;
+  }
+
+  auto client = service::AnalysisClient::Connect(flags.port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "ada_client: connect failed: %s\n",
+                 client.status().ToString().c_str());
+    return kExitConnect;
+  }
+
+  auto call = [&](const Json::Object& request) -> StatusOr<Json> {
+    return client.value().Call(request);
+  };
+
+  if (flags.command == "ping" || flags.command == "stats" ||
+      flags.command == "shutdown") {
+    auto response = client.value().Call(flags.command);
+    if (!response.ok()) {
+      std::fprintf(stderr, "ada_client: %s\n",
+                   response.status().ToString().c_str());
+      return kExitServerError;
+    }
+    std::printf("%s\n", response.value().Pretty().c_str());
+    return kExitOk;
+  }
+
+  if (flags.command == "status" || flags.command == "result" ||
+      flags.command == "cancel") {
+    if (flags.job_id < 0) {
+      std::fprintf(stderr, "ada_client: %s requires --job N\n",
+                   flags.command.c_str());
+      return kExitUsage;
+    }
+    Json::Object request;
+    request["verb"] = flags.command;
+    request["job_id"] = flags.job_id;
+    if (flags.command == "result" && flags.wait_ms > 0) {
+      request["wait_millis"] = flags.wait_ms;
+    }
+    auto response = call(request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "ada_client: %s\n",
+                   response.status().ToString().c_str());
+      return kExitServerError;
+    }
+    if (flags.command == "cancel") {
+      std::printf("cancelled job %lld\n",
+                  static_cast<long long>(flags.job_id));
+      return kExitOk;
+    }
+    PrintSnapshot(response.value(), flags.report);
+    const Json* state = response.value().Find("state");
+    // Only a terminal `result` maps states to exit codes; `status` is a
+    // peek and always succeeds.
+    if (flags.command == "result" && state != nullptr &&
+        state->is_string()) {
+      return ExitCodeForState(state->AsString());
+    }
+    return kExitOk;
+  }
+
+  if (flags.command != "submit") {
+    std::fprintf(stderr, "ada_client: unknown command '%s'\n",
+                 flags.command.c_str());
+    PrintUsage();
+    return kExitUsage;
+  }
+
+  auto body = BuildSubmitBody(flags);
+  if (!body.ok()) {
+    std::fprintf(stderr, "ada_client: %s\n",
+                 body.status().ToString().c_str());
+    return kExitUsage;
+  }
+  auto submitted = call(body.value());
+  if (!submitted.ok()) {
+    std::fprintf(stderr, "ada_client: submit failed: %s\n",
+                 submitted.status().ToString().c_str());
+    return kExitServerError;
+  }
+  const Json* id = submitted.value().Find("job_id");
+  if (id == nullptr || !id->is_int()) {
+    std::fprintf(stderr, "ada_client: malformed submit response\n");
+    return kExitServerError;
+  }
+  if (!flags.wait) {
+    PrintSnapshot(submitted.value(), /*with_report=*/false);
+    return kExitOk;
+  }
+
+  Json::Object result_request;
+  result_request["verb"] = "result";
+  result_request["job_id"] = id->AsInt();
+  if (flags.wait_ms > 0) result_request["wait_millis"] = flags.wait_ms;
+  auto result = call(result_request);
+  if (!result.ok()) {
+    std::fprintf(stderr, "ada_client: result failed: %s\n",
+                 result.status().ToString().c_str());
+    return kExitServerError;
+  }
+  PrintSnapshot(result.value(), flags.report);
+  const Json* state = result.value().Find("state");
+  return state != nullptr && state->is_string()
+             ? ExitCodeForState(state->AsString())
+             : kExitServerError;
+}

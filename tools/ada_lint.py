@@ -4,7 +4,8 @@
 Usage:
     tools/ada_lint.py [--list-rules] [paths...]
 
-With no paths, lints src/, tests/, and bench/ relative to the repo root
+With no paths, lints src/, tests/, bench/, tools/, and examples/
+relative to the repo root
 (the parent of this script's directory). Paths may be files or
 directories; only .h/.cc/.cpp files are considered. Exit status is 0
 when the tree is clean and 1 when any finding is reported.
@@ -41,6 +42,11 @@ Rules
                     exceptions hides real failures from the resilience
                     layer, which relies on failures being observable to
                     degrade gracefully.
+  raw-socket        Raw fd syscalls — socket()/accept()/close() — are
+                    allowed only in the src/service/net_* wrappers.
+                    Everything else must hold descriptors through
+                    service::FileDescriptor / ServerSocket / LineReader
+                    so no error path can leak or double-close an fd.
 
 An individual finding can be waived with a trailing comment
 `// ada-lint: allow(<rule>)` on the offending line; use sparingly and
@@ -69,6 +75,11 @@ RANDOM_ENGINE_RE = re.compile(
 INVARIANT_RE = re.compile(r"invariant", re.IGNORECASE)
 CATCH_ALL_RE = re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)")
 CATCH_HANDLED_RE = re.compile(r"\bthrow\b|ADA_LOG")
+# A call to socket/accept/close that is not a member access
+# (`fd.close(`), a longer identifier (`fclose(`), or a pointer call
+# (`->close(`). `::close(` deliberately matches: the global-namespace
+# qualifier is exactly the raw-syscall spelling this rule polices.
+RAW_SOCKET_RE = re.compile(r"(?<![\w.>])(socket|accept|close)\s*\(")
 
 BLOCK_COMMENT_OPEN_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
 
@@ -174,6 +185,8 @@ def lint_file(path, rel_path):
     in_dataset = rel_path.startswith(os.path.join("src", "dataset") + os.sep)
     is_rng = rel_path in (os.path.join("src", "common", "rng.h"),
                           os.path.join("src", "common", "rng.cc"))
+    is_net_wrapper = rel_path.startswith(
+        os.path.join("src", "service", "net_"))
 
     code_lines = []
     in_block = False
@@ -246,6 +259,16 @@ def lint_file(path, rel_path):
                     "body; swallowed exceptions are invisible to the "
                     "resilience layer"))
 
+        # --- raw-socket -------------------------------------------------
+        if not is_net_wrapper:
+            m = RAW_SOCKET_RE.search(code)
+            if m and not allowed(lineno, "raw-socket"):
+                findings.append(Finding(
+                    rel_path, lineno, "raw-socket",
+                    f"raw `{m.group(1)}()` outside src/service/net_*; "
+                    "hold fds through service::FileDescriptor and the "
+                    "socket wrappers"))
+
         # --- direct-random ----------------------------------------------
         if not is_rng:
             if (RANDOM_INCLUDE_RE.search(code)
@@ -297,7 +320,8 @@ def main(argv):
         return 0
 
     paths = args.paths or [os.path.join(REPO_ROOT, d)
-                           for d in ("src", "tests", "bench")]
+                           for d in ("src", "tests", "bench", "tools",
+                                     "examples")]
     findings = []
     for path in collect_files(paths):
         rel = os.path.relpath(os.path.abspath(path), REPO_ROOT)

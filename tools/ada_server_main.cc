@@ -1,0 +1,112 @@
+// ada_server — the ADA-HEALTH analysis service.
+//
+// Binds the NDJSON protocol server on the IPv4 loopback and serves
+// analysis jobs until a client sends the `shutdown` verb (or the
+// process receives SIGINT/SIGTERM, which the default handlers turn
+// into a plain exit; the result cache is persisted crash-safely after
+// every insert, so no state is lost either way).
+//
+// Usage:
+//   ada_server [--port N] [--workers N] [--queue-depth N]
+//              [--cache-bytes N] [--cache-dir DIR]
+//
+// Prints "listening on port N" once ready (scripts parse this line to
+// learn an ephemeral port requested with --port 0).
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/string_util.h"
+#include "service/server.h"
+
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "usage: ada_server [--port N] [--workers N] [--queue-depth N]\n"
+      "                  [--cache-bytes N] [--cache-dir DIR]\n"
+      "\n"
+      "Serves the ADA-HEALTH NDJSON analysis protocol on 127.0.0.1.\n"
+      "--port 0 (the default) picks an ephemeral port, printed on the\n"
+      "\"listening on port N\" line. Stop the server with the `shutdown`\n"
+      "verb (ada_client shutdown).\n");
+}
+
+bool ParseIntFlag(const char* text, int64_t* out) {
+  auto parsed = adahealth::common::ParseInt64(text);
+  if (!parsed.ok()) return false;
+  *out = parsed.value();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace adahealth;
+
+  service::ServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    int64_t value = 0;
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      PrintUsage();
+      return 0;
+    } else if (std::strcmp(arg, "--port") == 0) {
+      const char* text = next();
+      if (text == nullptr || !ParseIntFlag(text, &value) || value < 0 ||
+          value > 65535) {
+        std::fprintf(stderr, "ada_server: --port expects 0..65535\n");
+        return 2;
+      }
+      options.port = static_cast<uint16_t>(value);
+    } else if (std::strcmp(arg, "--workers") == 0) {
+      const char* text = next();
+      if (text == nullptr || !ParseIntFlag(text, &value) || value < 1) {
+        std::fprintf(stderr, "ada_server: --workers expects >= 1\n");
+        return 2;
+      }
+      options.scheduler.max_workers = static_cast<size_t>(value);
+    } else if (std::strcmp(arg, "--queue-depth") == 0) {
+      const char* text = next();
+      if (text == nullptr || !ParseIntFlag(text, &value) || value < 1) {
+        std::fprintf(stderr, "ada_server: --queue-depth expects >= 1\n");
+        return 2;
+      }
+      options.scheduler.max_queue_depth = static_cast<size_t>(value);
+    } else if (std::strcmp(arg, "--cache-bytes") == 0) {
+      const char* text = next();
+      if (text == nullptr || !ParseIntFlag(text, &value) || value < 0) {
+        std::fprintf(stderr, "ada_server: --cache-bytes expects >= 0\n");
+        return 2;
+      }
+      options.scheduler.cache_bytes = static_cast<size_t>(value);
+    } else if (std::strcmp(arg, "--cache-dir") == 0) {
+      const char* text = next();
+      if (text == nullptr) {
+        std::fprintf(stderr, "ada_server: --cache-dir expects a path\n");
+        return 2;
+      }
+      options.scheduler.cache_directory = text;
+    } else {
+      std::fprintf(stderr, "ada_server: unknown flag '%s'\n", arg);
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  service::AnalysisServer server(std::move(options));
+  if (common::Status started = server.Start(); !started.ok()) {
+    std::fprintf(stderr, "ada_server: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on port %u\n", server.port());
+  std::fflush(stdout);  // Scripts wait for this line.
+  server.Wait();
+  std::printf("server stopped\n");
+  return 0;
+}

@@ -27,7 +27,7 @@ for arg in "$@"; do
 done
 
 echo "== ada_lint =="
-python3 tools/ada_lint.py src/ tests/ bench/
+python3 tools/ada_lint.py src/ tests/ bench/ tools/ examples/
 
 if [[ "${QUICK}" == "1" ]]; then
   echo "run_checks: lint clean (quick mode, skipping build)"
@@ -49,6 +49,14 @@ cmake -B "${BUILD_DIR}" -S . "${CMAKE_ARGS[@]}"
 
 echo "== build (warnings are errors) =="
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+echo "== service targets =="
+# The full build above already covers these; naming them here makes the
+# check fail loudly if the server or client is ever dropped from the
+# tools/ CMakeLists.
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target ada_server ada_client
+test -x "${BUILD_DIR}/tools/ada_server"
+test -x "${BUILD_DIR}/tools/ada_client"
 
 echo "== ctest =="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"

@@ -1,0 +1,136 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the analysis service over a real loopback
+# socket: starts ada_server, drives it with ada_client, and asserts the
+# three behaviors the service exists for —
+#   1. a cold job runs a session and reports done (exit 0);
+#   2. the identical repeat submission is a fingerprint-cache hit;
+#   3. a queued job whose must-start deadline passes while the single
+#      worker is busy is shed as expired (exit 6);
+# then cross-checks the scheduler/cache counters via the stats verb and
+# stops the server with the shutdown verb.
+#
+# Usage: tools/service_smoke.sh [BUILD_DIR]   (default: build)
+# CI runs this under ASan+UBSan (the service-smoke job).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SERVER="${BUILD_DIR}/tools/ada_server"
+CLIENT="${BUILD_DIR}/tools/ada_client"
+LOG="$(mktemp /tmp/ada_server_smoke.XXXXXX.log)"
+SERVER_PID=""
+
+for binary in "${SERVER}" "${CLIENT}"; do
+  if [[ ! -x "${binary}" ]]; then
+    echo "service_smoke: missing ${binary}; build the ada_server and" \
+         "ada_client targets first" >&2
+    exit 2
+  fi
+done
+
+cleanup() {
+  if [[ -n "${SERVER_PID}" ]] && kill -0 "${SERVER_PID}" 2>/dev/null; then
+    kill "${SERVER_PID}" 2>/dev/null || true
+    wait "${SERVER_PID}" 2>/dev/null || true
+  fi
+  rm -f "${LOG}"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "service_smoke: FAIL: $*" >&2
+  echo "--- server log ---" >&2
+  cat "${LOG}" >&2 || true
+  exit 1
+}
+
+# One worker makes the deadline scenario deterministic: the queue can
+# only drain one job at a time.
+"${SERVER}" --port 0 --workers 1 >"${LOG}" 2>&1 &
+SERVER_PID=$!
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' "${LOG}" | head -1)"
+  [[ -n "${PORT}" ]] && break
+  kill -0 "${SERVER_PID}" 2>/dev/null || fail "server exited during startup"
+  sleep 0.1
+done
+[[ -n "${PORT}" ]] || fail "server never reported its port"
+echo "service_smoke: server up on port ${PORT} (pid ${SERVER_PID})"
+
+client() { "${CLIENT}" --port "${PORT}" "$@"; }
+
+echo "== cold job =="
+COLD_OUT="$(client submit --patients 100 --exam-types 20 --seed 7 \
+    --dataset-id smoke-cold --fast --wait)" \
+  || fail "cold job exited $? (want 0)"
+grep -q '^state: done$' <<<"${COLD_OUT}" || fail "cold job not done"
+grep -q '^cache_hit: false$' <<<"${COLD_OUT}" \
+  || fail "cold job unexpectedly served from cache"
+
+echo "== identical repeat (cache hit) =="
+REPEAT_OUT="$(client submit --patients 100 --exam-types 20 --seed 7 \
+    --dataset-id smoke-cold --fast --wait)" \
+  || fail "repeat job exited $? (want 0)"
+grep -q '^state: done$' <<<"${REPEAT_OUT}" || fail "repeat job not done"
+grep -q '^cache_hit: true$' <<<"${REPEAT_OUT}" \
+  || fail "repeat submission missed the fingerprint cache"
+
+echo "== past-deadline job (worker busy) =="
+# Occupy the single worker with a distinct cold job, then submit a job
+# that must start within 1 ms — it expires in the queue.
+BUSY_OUT="$(client submit --patients 200 --exam-types 20 --seed 11 \
+    --dataset-id smoke-busy --fast)" || fail "busy submit failed"
+BUSY_ID="$(sed -n 's/^job_id: //p' <<<"${BUSY_OUT}")"
+[[ -n "${BUSY_ID}" ]] || fail "no job_id in busy submit output"
+set +e
+client submit --patients 60 --exam-types 20 --seed 13 \
+    --dataset-id smoke-expired --fast --deadline-ms 1 --wait
+EXPIRED_CODE=$?
+set -e
+[[ "${EXPIRED_CODE}" -eq 6 ]] \
+  || fail "past-deadline job exited ${EXPIRED_CODE} (want 6 = expired)"
+
+# Let the busy job finish so the completed counter is settled.
+client result --job "${BUSY_ID}" >/dev/null \
+  || fail "busy job did not complete"
+
+echo "== stats counters =="
+STATS="$(client stats)" || fail "stats verb failed"
+python3 - "${STATS}" <<'EOF' || fail "stats counters off"
+import json, sys
+stats = json.loads(sys.argv[1])
+expect = {
+    "jobs_submitted": 4,
+    "jobs_completed": 3,   # cold + cache-hit repeat + busy
+    "jobs_expired": 1,
+    "jobs_failed": 0,
+    "jobs_shed": 0,
+    "sessions_executed": 2,  # cold + busy; the repeat never ran
+    "cache_served": 1,
+}
+bad = {k: (stats.get(k), want) for k, want in expect.items()
+       if stats.get(k) != want}
+if stats["cache"]["hits"] != 1:
+    bad["cache.hits"] = (stats["cache"]["hits"], 1)
+if bad:
+    print(f"counter mismatches (got, want): {bad}", file=sys.stderr)
+    sys.exit(1)
+EOF
+
+echo "== shutdown verb =="
+client shutdown >/dev/null || fail "shutdown verb failed"
+for _ in $(seq 1 100); do
+  kill -0 "${SERVER_PID}" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "${SERVER_PID}" 2>/dev/null; then
+  fail "server still running after shutdown verb"
+fi
+wait "${SERVER_PID}" 2>/dev/null
+SERVER_CODE=$?
+SERVER_PID=""
+[[ "${SERVER_CODE}" -eq 0 ]] \
+  || fail "server exited ${SERVER_CODE} after shutdown (want 0)"
+
+echo "service_smoke: PASS"
