@@ -142,6 +142,9 @@ struct ParallelForState {
   std::atomic<size_t> remaining{0};
   std::mutex done_mutex;
   std::condition_variable done_cv;
+  /// First body exception, wherever it ran (guarded by done_mutex);
+  /// rethrown by the caller once every chunk has finished.
+  std::exception_ptr first_error;
 };
 
 void FinishChunk(ParallelForState& state) {
@@ -151,9 +154,11 @@ void FinishChunk(ParallelForState& state) {
   }
 }
 
-/// Claims and executes chunks until none remain. A throwing body still
-/// releases its chunk (so waiters unblock) before propagating; on a
-/// pool worker the exception is then recorded by WorkerLoop.
+/// Claims and executes chunks until none remain. A throwing body has
+/// its exception recorded in the shared state (first one wins — the
+/// caller rethrows it after the barrier, no matter which thread ran
+/// the chunk) and the loop keeps claiming, so every chunk is finished
+/// by someone and WaitAllChunks can never hang on an unclaimed chunk.
 void RunClaimLoop(ParallelForState& state) {
   while (true) {
     const size_t id = state.next.fetch_add(1);
@@ -163,8 +168,10 @@ void RunClaimLoop(ParallelForState& state) {
     try {
       state.body(chunk_begin, chunk_end);
     } catch (...) {
-      FinishChunk(state);
-      throw;
+      std::lock_guard<std::mutex> lock(state.done_mutex);
+      if (state.first_error == nullptr) {
+        state.first_error = std::current_exception();
+      }
     }
     FinishChunk(state);
   }
@@ -211,13 +218,13 @@ size_t ParallelForChunks(
   for (size_t h = 0; h < helpers; ++h) {
     if (!pool.TrySchedule([state] { RunClaimLoop(*state); })) break;
   }
-  try {
-    RunClaimLoop(*state);
-  } catch (...) {
-    WaitAllChunks(*state);
-    throw;
-  }
+  RunClaimLoop(*state);
   WaitAllChunks(*state);
+  // The barrier above orders every recording lock before this read:
+  // the caller sees the first error regardless of which thread hit it.
+  if (state->first_error != nullptr) {
+    std::rethrow_exception(state->first_error);
+  }
   return num_chunks;
 }
 

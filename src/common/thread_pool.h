@@ -94,6 +94,8 @@ class ThreadPool {
 /// a pool worker may itself call ParallelFor on the same pool without
 /// deadlock (in the worst case the inner call runs entirely on the
 /// calling worker). `max_chunk` caps the chunk size (0 = automatic).
+/// A body exception is rethrown to the caller after every iteration
+/// has settled, no matter which thread ran the throwing chunk.
 void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
                  const std::function<void(size_t)>& body,
                  size_t max_chunk = 0);

@@ -1,7 +1,9 @@
 #include "service/client.h"
 
 #include <memory>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "service/protocol.h"
 
@@ -30,6 +32,33 @@ StatusOr<Json> AnalysisClient::Call(const std::string& verb) {
   Json::Object request;
   request["verb"] = verb;
   return Call(request);
+}
+
+std::vector<StatusOr<Json>> AnalysisClient::CallPipelined(
+    const std::vector<Json::Object>& requests) {
+  std::vector<StatusOr<Json>> responses;
+  responses.reserve(requests.size());
+  std::string batch;
+  for (const Json::Object& request : requests) {
+    batch += Json(request).Dump() + "\n";
+  }
+  if (common::Status sent = SendAll(*connection_, batch); !sent.ok()) {
+    responses.assign(requests.size(), sent);
+    return responses;
+  }
+  for (size_t i = 0; i < requests.size(); ++i) {
+    auto line = reader_->ReadLine();
+    if (!line.ok()) {
+      // Transport broke mid-batch: every unanswered request gets the
+      // same failure.
+      for (size_t j = i; j < requests.size(); ++j) {
+        responses.push_back(line.status());
+      }
+      break;
+    }
+    responses.push_back(ParseResponse(line.value()));
+  }
+  return responses;
 }
 
 }  // namespace service

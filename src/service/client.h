@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/json.h"
 #include "common/status.h"
@@ -32,6 +33,13 @@ class AnalysisClient {
 
   /// Convenience wrapper: Call with just a verb.
   [[nodiscard]] common::StatusOr<common::Json> Call(const std::string& verb);
+
+  /// Pipelines every request in one batch write, then reads the
+  /// responses in order (the server answers pipelined lines strictly
+  /// in sequence). Entry i is request i's parsed response or error; a
+  /// transport failure fills the remaining entries with its status.
+  [[nodiscard]] std::vector<common::StatusOr<common::Json>> CallPipelined(
+      const std::vector<common::Json::Object>& requests);
 
  private:
   AnalysisClient() = default;

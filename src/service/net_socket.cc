@@ -1,7 +1,9 @@
 #include "service/net_socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -58,6 +60,15 @@ void FileDescriptor::Close() {
   }
 }
 
+Status SetNonBlocking(const FileDescriptor& fd) {
+  int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0) return ErrnoError("fcntl(F_GETFL)");
+  if (::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK) != 0) {
+    return ErrnoError("fcntl(F_SETFL)");
+  }
+  return common::OkStatus();
+}
+
 StatusOr<ServerSocket> ServerSocket::Listen(uint16_t port, int backlog) {
   FileDescriptor fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) return ErrnoError("socket");
@@ -95,22 +106,72 @@ StatusOr<FileDescriptor> ServerSocket::Accept() const {
   }
 }
 
+StatusOr<FileDescriptor> ServerSocket::TryAccept() const {
+  ADA_RETURN_IF_ERROR(ADA_FAILPOINT("service.net.accept"));
+  for (;;) {
+    int fd = ::accept4(fd_.get(), nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd >= 0) return FileDescriptor(fd);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return FileDescriptor();  // Nothing pending.
+    }
+    // Transient per-connection failures (the peer aborted between the
+    // epoll wakeup and our accept) are "nothing usable pending", not a
+    // listener error.
+    if (errno == ECONNABORTED) return FileDescriptor();
+    return ErrnoError("accept");
+  }
+}
+
 void ServerSocket::Shutdown() const {
   if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+}
+
+Status FinishConnect(const FileDescriptor& fd, int timeout_millis) {
+  pollfd entry{};
+  entry.fd = fd.get();
+  entry.events = POLLOUT;
+  for (;;) {
+    int ready = ::poll(&entry, 1, timeout_millis);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // Keep waiting; connect continues.
+      return ErrnoError("poll");
+    }
+    if (ready == 0) {
+      return common::DeadlineExceededError("connect timed out");
+    }
+    break;
+  }
+  int so_error = 0;
+  socklen_t size = sizeof(so_error);
+  if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &so_error, &size) != 0) {
+    return ErrnoError("getsockopt(SO_ERROR)");
+  }
+  if (so_error != 0) {
+    return common::UnavailableError(
+        common::StrFormat("connect failed: %s", std::strerror(so_error)));
+  }
+  return common::OkStatus();
 }
 
 StatusOr<FileDescriptor> ConnectLoopback(uint16_t port) {
   FileDescriptor fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) return ErrnoError("socket");
   sockaddr_in address = LoopbackAddress(port);
-  for (;;) {
-    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&address),
-                  sizeof(address)) == 0) {
-      return fd;
-    }
-    if (errno == EINTR) continue;
-    return ErrnoError("connect");
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) == 0) {
+    return fd;
   }
+  // A connect() interrupted by a signal keeps completing in the
+  // background: retrying it raw yields EALREADY while in flight and
+  // EISCONN once done, neither of which is a failure. Finish the
+  // handshake by waiting for writability and reading SO_ERROR.
+  if (errno == EINTR || errno == EALREADY || errno == EINPROGRESS) {
+    ADA_RETURN_IF_ERROR(FinishConnect(fd));
+    return fd;
+  }
+  if (errno == EISCONN) return fd;  // Already established.
+  return ErrnoError("connect");
 }
 
 void ShutdownConnection(const FileDescriptor& fd) {
@@ -134,6 +195,43 @@ Status SendAll(const FileDescriptor& fd, std::string_view data) {
   return common::OkStatus();
 }
 
+StatusOr<size_t> SendNonBlocking(const FileDescriptor& fd,
+                                 std::string_view data) {
+  ADA_RETURN_IF_ERROR(ADA_FAILPOINT("service.net.write"));
+  for (;;) {
+    ssize_t n = ::send(fd.get(), data.data(), data.size(), MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return size_t{0};  // Socket buffer full; resume on writability.
+    }
+    return ErrnoError("send");
+  }
+}
+
+StatusOr<RecvResult> RecvNonBlocking(const FileDescriptor& fd, char* buffer,
+                                     size_t capacity) {
+  ADA_RETURN_IF_ERROR(ADA_FAILPOINT("service.net.read"));
+  RecvResult result;
+  for (;;) {
+    ssize_t n = ::recv(fd.get(), buffer, capacity, 0);
+    if (n > 0) {
+      result.bytes = static_cast<size_t>(n);
+      return result;
+    }
+    if (n == 0) {
+      result.eof = true;
+      return result;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      result.would_block = true;
+      return result;
+    }
+    return ErrnoError("recv");
+  }
+}
+
 StatusOr<std::string> LineReader::ReadLine() {
   for (;;) {
     size_t newline = buffer_.find('\n');
@@ -150,6 +248,12 @@ StatusOr<std::string> LineReader::ReadLine() {
         return line;
       }
       return common::OutOfRangeError("end of stream");
+    }
+    // A peer streaming bytes with no newline must not grow the buffer
+    // without bound.
+    if (buffer_.size() >= max_line_bytes_) {
+      return common::ResourceExhaustedError(common::StrFormat(
+          "line exceeds %zu bytes without a newline", max_line_bytes_));
     }
     ADA_RETURN_IF_ERROR(ADA_FAILPOINT("service.net.read"));
     char chunk[4096];

@@ -142,10 +142,15 @@ std::string OkResponse(Json::Object fields) {
 }
 
 std::string ErrorResponse(const Status& status) {
+  return ErrorResponse(status, Json::Object{});
+}
+
+std::string ErrorResponse(const Status& status,
+                          Json::Object extra_fields) {
   Json::Object error;
   error["code"] = std::string(common::StatusCodeName(status.code()));
   error["message"] = status.message();
-  Json::Object fields;
+  Json::Object fields = std::move(extra_fields);
   fields["ok"] = false;
   fields["error"] = Json(std::move(error));
   return Json(std::move(fields)).Dump() + "\n";

@@ -46,6 +46,12 @@ struct Request {
 /// message), one line, '\n'-terminated.
 [[nodiscard]] std::string ErrorResponse(const common::Status& status);
 
+/// Same, with top-level context fields next to "ok"/"error" (e.g. the
+/// result verb's timeout error carries job_id and the job's current
+/// state so the client can tell "still running" from "gone").
+[[nodiscard]] std::string ErrorResponse(const common::Status& status,
+                                        common::Json::Object extra_fields);
+
 /// Client side: parses a response line. Returns the response object
 /// when "ok" is true; reconstructs and returns the carried Status when
 /// "ok" is false; INVALID_ARGUMENT on malformed responses.

@@ -1,5 +1,6 @@
 #include "service/result_cache.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/failpoint.h"
@@ -102,6 +103,7 @@ void ResultCache::Insert(CachedAnalysis entry) {
   lru_.push_front(std::move(entry));
   index_[lru_.front().fingerprint] = lru_.begin();
   bytes_ += entry_bytes;
+  ++dirty_;
   EvictLocked();
   TouchMetricsLocked();
 }
@@ -139,6 +141,11 @@ int64_t ResultCache::evictions() const {
   return evictions_;
 }
 
+size_t ResultCache::dirty_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dirty_;
+}
+
 void ResultCache::EvictLocked() {
   while (bytes_ > max_bytes_ && !lru_.empty()) {
     const CachedAnalysis& victim = lru_.back();
@@ -162,8 +169,10 @@ Status ResultCache::Persist(const std::string& directory) const {
   ADA_RETURN_IF_ERROR(ADA_FAILPOINT("service.cache.store"));
   kdb::Database db;
   kdb::Collection& collection = db.GetOrCreate(kCacheCollection);
+  size_t snapshot_dirty = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    snapshot_dirty = dirty_;
     // Least-recently-used first: Restore() inserts in file order, so
     // the most recent entries end up at the front of the rebuilt LRU
     // and survive any budget trimming.
@@ -173,7 +182,12 @@ Status ResultCache::Persist(const std::string& directory) const {
       collection.Insert(std::move(document));
     }
   }
-  return db.SaveTo(directory);
+  ADA_RETURN_IF_ERROR(db.SaveTo(directory));
+  // Only the debt captured in the snapshot is paid off; inserts that
+  // raced past the copy loop stay dirty for the next persist.
+  std::lock_guard<std::mutex> lock(mutex_);
+  dirty_ -= std::min(dirty_, snapshot_dirty);
+  return common::OkStatus();
 }
 
 Status ResultCache::Restore(const std::string& directory) {
@@ -201,6 +215,7 @@ Status ResultCache::Restore(const std::string& directory) {
     bytes_ += entry_bytes;
     EvictLocked();
   }
+  dirty_ = 0;  // The restored contents are exactly what is on disk.
   TouchMetricsLocked();
   return common::OkStatus();
 }

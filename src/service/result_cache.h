@@ -78,6 +78,11 @@ class ResultCache {
   [[nodiscard]] int64_t misses() const;
   [[nodiscard]] int64_t evictions() const;
 
+  /// Inserts not yet covered by a successful Persist(). Lets callers
+  /// batch persistence (full rewrites are O(all entries)) instead of
+  /// rewriting the file after every insert.
+  [[nodiscard]] size_t dirty_entries() const;
+
   /// Persists every entry to `<directory>/result_cache.jsonl` through
   /// the crash-safe K-DB storage layer (atomic write, no residue on
   /// failure).
@@ -100,6 +105,9 @@ class ResultCache {
   std::map<std::string, std::list<CachedAnalysis>::iterator, std::less<>>
       index_;
   size_t bytes_ = 0;
+  /// Inserts since the last successful Persist (mutable: a successful
+  /// const Persist resets the debt it just paid off).
+  mutable size_t dirty_ = 0;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
   int64_t evictions_ = 0;

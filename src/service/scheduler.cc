@@ -79,6 +79,8 @@ Scheduler::Scheduler(SchedulerOptions options)
     : options_([&options] {
         options.max_workers = std::max<size_t>(1, options.max_workers);
         options.max_queue_depth = std::max<size_t>(1, options.max_queue_depth);
+        options.cache_persist_threshold =
+            std::max<size_t>(1, options.cache_persist_threshold);
         return options;
       }()),
       cache_(options_.cache_bytes),
@@ -111,7 +113,9 @@ Scheduler::~Scheduler() {
     }
     workers_idle_.wait(lock, [this] { return active_workers_ == 0; });
   }
-  if (!options_.cache_directory.empty()) {
+  // Final flush: pays off whatever dirty debt the persist threshold
+  // left batched up.
+  if (!options_.cache_directory.empty() && cache_.dirty_entries() > 0) {
     common::Status persisted = cache_.Persist(options_.cache_directory);
     if (!persisted.ok()) {
       ADA_LOG(kWarning) << "service: final cache persist failed: "
@@ -219,6 +223,46 @@ common::Status Scheduler::Cancel(JobId id) {
   FinishJob(job, JobState::kCancelled,
             common::Status(common::StatusCode::kOk, "cancelled by client"));
   return common::OkStatus();
+}
+
+StatusOr<Scheduler::SubscriptionId> Scheduler::Subscribe(
+    JobId id, CompletionCallback callback) {
+  JobSnapshot already_terminal;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      return common::NotFoundError(common::StrFormat(
+          "no job with id %lld", static_cast<long long>(id)));
+    }
+    if (!IsTerminal(it->second->state)) {
+      SubscriptionId subscription_id = next_subscription_id_++;
+      subscriptions_.emplace(subscription_id,
+                             Subscription{id, std::move(callback)});
+      subscriptions_by_job_.emplace(id, subscription_id);
+      return subscription_id;
+    }
+    already_terminal = it->second->Snapshot();
+  }
+  // Terminal before we subscribed: fire inline (without the lock, so
+  // the callback may inspect the scheduler) and return the sentinel.
+  callback(already_terminal);
+  return SubscriptionId{0};
+}
+
+bool Scheduler::Unsubscribe(SubscriptionId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = subscriptions_.find(id);
+  if (it == subscriptions_.end()) return false;
+  for (auto range = subscriptions_by_job_.equal_range(it->second.job);
+       range.first != range.second; ++range.first) {
+    if (range.first->second == id) {
+      subscriptions_by_job_.erase(range.first);
+      break;
+    }
+  }
+  subscriptions_.erase(it);
+  return true;
 }
 
 void Scheduler::Pause() {
@@ -381,13 +425,21 @@ void Scheduler::RunJob(Job& job) {
   entry.knowledge_items = static_cast<int64_t>(result->knowledge.size());
   cache_.Insert(std::move(entry));
   if (!options_.cache_directory.empty()) {
-    common::Status persisted = cache_.Persist(options_.cache_directory);
-    if (!persisted.ok()) {
-      // Persistence is an optimization for the next boot; a failed
-      // write degrades to in-memory caching only.
-      metrics.GetCounter("service/cache_persist_failures").Increment();
-      ADA_LOG(kWarning) << "service: cache persist failed: "
-                        << persisted.ToString();
+    // A persist is an O(all entries) full rewrite of the cache file;
+    // doing one per job made the write cost quadratic under load.
+    // Batch until enough inserts accumulate (the destructor flushes
+    // the remainder).
+    if (cache_.dirty_entries() >= options_.cache_persist_threshold) {
+      common::Status persisted = cache_.Persist(options_.cache_directory);
+      if (!persisted.ok()) {
+        // Persistence is an optimization for the next boot; a failed
+        // write degrades to in-memory caching only.
+        metrics.GetCounter("service/cache_persist_failures").Increment();
+        ADA_LOG(kWarning) << "service: cache persist failed: "
+                          << persisted.ToString();
+      }
+    } else {
+      metrics.GetCounter("service/cache_persist_skipped").Increment();
     }
   }
 
@@ -424,6 +476,22 @@ void Scheduler::FinishJob(Job& job, JobState state, common::Status status) {
   }
   UpdateGaugesLocked();
   state_changed_.notify_all();
+  // Fire (and retire) this job's completion subscriptions. mutex_ is
+  // held: callbacks must be cheap and must not re-enter the scheduler
+  // (see Subscribe).
+  auto range = subscriptions_by_job_.equal_range(job.id);
+  if (range.first != range.second) {
+    JobSnapshot snapshot = job.Snapshot();
+    std::vector<CompletionCallback> callbacks;
+    for (auto it = range.first; it != range.second; ++it) {
+      auto subscription = subscriptions_.find(it->second);
+      if (subscription == subscriptions_.end()) continue;
+      callbacks.push_back(std::move(subscription->second.callback));
+      subscriptions_.erase(subscription);
+    }
+    subscriptions_by_job_.erase(range.first, range.second);
+    for (CompletionCallback& callback : callbacks) callback(snapshot);
+  }
 }
 
 void Scheduler::UpdateGaugesLocked() const {

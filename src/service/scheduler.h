@@ -33,6 +33,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -113,8 +114,15 @@ struct SchedulerOptions {
   /// Result-cache byte budget.
   size_t cache_bytes = 8 * 1024 * 1024;
   /// When non-empty, the cache is restored from this directory at
-  /// construction and persisted (crash-safely) after every insert.
+  /// construction, persisted (crash-safely) whenever the dirty-entry
+  /// threshold is reached, and flushed once more at destruction.
   std::string cache_directory;
+  /// Persist once this many inserts have accumulated since the last
+  /// successful persist (clamped to >= 1; 1 = persist after every
+  /// insert). Each persist is an O(all entries) full rewrite, so
+  /// batching keeps a busy scheduler from rewriting the file per job;
+  /// the destructor's final flush bounds the loss window to a crash.
+  size_t cache_persist_threshold = 8;
   /// Construction-time Pause() (tests: stage jobs deterministically).
   bool start_paused = false;
 };
@@ -162,6 +170,30 @@ class Scheduler {
   /// Cancels a queued job. FAILED_PRECONDITION when it is already
   /// running or terminal, NOT_FOUND when unknown.
   [[nodiscard]] common::Status Cancel(JobId id);
+
+  using SubscriptionId = int64_t;
+  using CompletionCallback = std::function<void(const JobSnapshot&)>;
+
+  /// Registers `callback` to fire exactly once when the job reaches a
+  /// terminal state — the event-loop-safe alternative to parking a
+  /// thread in AwaitResult. When the job is already terminal the
+  /// callback is invoked before Subscribe returns (on the calling
+  /// thread) and the sentinel id 0 — never issued for a live
+  /// subscription — is returned. NOT_FOUND for unknown jobs.
+  ///
+  /// Callbacks run on whichever thread finishes the job (a scheduler
+  /// worker), with the scheduler's internal lock held — they must be
+  /// cheap and must never call back into this Scheduler (deadlock).
+  /// Hand real work to an executor: the server posts to its event
+  /// loop.
+  [[nodiscard]] common::StatusOr<SubscriptionId> Subscribe(
+      JobId id, CompletionCallback callback);
+
+  /// Removes a pending subscription. Returns true when the callback
+  /// was cancelled before firing; false when it already fired (or the
+  /// id is unknown/the inline sentinel) — the caller must then expect
+  /// the notification to arrive.
+  bool Unsubscribe(SubscriptionId id);
 
   /// Stops dispatching queued jobs (running jobs finish). Idempotent.
   void Pause();
@@ -216,6 +248,16 @@ class Scheduler {
   std::condition_variable workers_idle_;   // Worker retirement.
   std::map<JobId, std::unique_ptr<Job>> jobs_;
   std::set<PendingKey> pending_;
+  /// Pending completion subscriptions; fired (and erased) by
+  /// FinishJob. The by-job index finds a job's subscribers without a
+  /// full scan.
+  struct Subscription {
+    JobId job = 0;
+    CompletionCallback callback;
+  };
+  std::map<SubscriptionId, Subscription> subscriptions_;
+  std::multimap<JobId, SubscriptionId> subscriptions_by_job_;
+  SubscriptionId next_subscription_id_ = 1;
   JobId next_id_ = 1;
   size_t active_workers_ = 0;
   bool paused_ = false;

@@ -1,7 +1,10 @@
 #include "service/server.h"
 
-#include <mutex>
+#include <sys/epoll.h>
+
+#include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -26,11 +29,25 @@ StatusOr<JobId> ReadJobId(const Json& body) {
   return field->AsInt();
 }
 
+double ReadWaitMillis(const Json& body) {
+  if (const Json* wait = body.Find("wait_millis");
+      wait != nullptr && wait->is_number()) {
+    return wait->AsDouble();
+  }
+  return 0.0;
+}
+
 }  // namespace
 
 AnalysisServer::AnalysisServer(ServerOptions options)
     : scheduler_(std::move(options.scheduler)),
-      requested_port_(options.port) {}
+      requested_port_(options.port),
+      max_connections_(std::max<size_t>(1, options.max_connections)),
+      idle_timeout_millis_(options.idle_timeout_millis),
+      max_result_wait_millis_(
+          std::max(1.0, options.max_result_wait_millis)),
+      max_line_bytes_(std::max<size_t>(1, options.max_line_bytes)),
+      drain_timeout_millis_(std::max(1.0, options.drain_timeout_millis)) {}
 
 AnalysisServer::~AnalysisServer() { Stop(); }
 
@@ -39,92 +56,347 @@ Status AnalysisServer::Start() {
     return common::FailedPreconditionError("server already started");
   }
   ADA_ASSIGN_OR_RETURN(listener_, ServerSocket::Listen(requested_port_));
+  ADA_RETURN_IF_ERROR(SetNonBlocking(listener_.descriptor()));
   port_ = listener_.port();
-  stopping_.store(false);
+  ADA_RETURN_IF_ERROR(loop_.Init());
+  ADA_RETURN_IF_ERROR(loop_.Watch(listener_.fd(), EPOLLIN,
+                                  [this](uint32_t) { OnAcceptable(); }));
+  draining_ = false;
+  if (idle_timeout_millis_ > 0) {
+    // The sweep reschedules itself; sweeping at a quarter of the
+    // timeout bounds eviction lag to ~1.25x the configured idle time.
+    const double period = std::max(idle_timeout_millis_ / 4.0, 10.0);
+    loop_.ScheduleAfter(period, [this] { SweepIdleConnections(); });
+  }
   running_.store(true);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  loop_thread_ = std::thread([this] { LoopMain(); });
   ADA_LOG(kInfo) << "service: listening on 127.0.0.1:" << port_;
   return common::OkStatus();
 }
 
+void AnalysisServer::LoopMain() {
+  loop_.Run();
+  running_.store(false);
+}
+
 void AnalysisServer::Stop() {
-  stopping_.store(true);
-  listener_.Shutdown();
-  {
-    // A serving thread parked in recv on a live connection would never
-    // observe stopping_; half-close the connection under it.
-    std::lock_guard<std::mutex> lock(connection_mutex_);
-    if (active_connection_ != nullptr) {
-      ShutdownConnection(*active_connection_);
-    }
+  if (running_.load()) {
+    // A short failsafe: Stop() is the programmatic path (destructor,
+    // tests) and should not linger the full drain window.
+    loop_.Post([this] { BeginDrain(/*failsafe_millis=*/250.0); });
   }
   Wait();
 }
 
 void AnalysisServer::Wait() {
   std::lock_guard<std::mutex> lock(join_mutex_);
-  if (accept_thread_.joinable()) accept_thread_.join();
+  if (loop_thread_.joinable()) loop_thread_.join();
   running_.store(false);
 }
 
-void AnalysisServer::AcceptLoop() {
+void AnalysisServer::OnAcceptable() {
   common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
-  while (!stopping_.load()) {
-    auto connection = listener_.Accept();
-    if (!connection.ok()) {
-      if (stopping_.load()) break;
-      // A transient accept failure (injected or EMFILE-style) should
-      // not kill the server; a shut-down listener ends the loop above.
+  for (;;) {
+    auto accepted = listener_.TryAccept();
+    if (!accepted.ok()) {
+      if (draining_) return;
+      // A transient accept failure (injected or EMFILE-style) must not
+      // kill the server; level-triggered epoll re-reports the pending
+      // backlog on the next iteration.
       metrics.GetCounter("service/server_errors").Increment();
       ADA_LOG(kWarning) << "service: accept failed: "
-                        << connection.status().message();
-      continue;
+                        << accepted.status().message();
+      return;
     }
+    if (!accepted.value().valid()) return;  // Backlog drained.
+    total_connections_.fetch_add(1);
     metrics.GetCounter("service/server_connections").Increment();
-    {
-      std::lock_guard<std::mutex> lock(connection_mutex_);
-      active_connection_ = &connection.value();
+    if (connections_.size() >= max_connections_) {
+      // Shed: tell the client why (best-effort single write — the
+      // socket buffer of a fresh connection is empty, so this
+      // virtually always lands) and drop the connection.
+      shed_connections_.fetch_add(1);
+      metrics.GetCounter("service/connections_shed").Increment();
+      (void)SendNonBlocking(
+          accepted.value(),
+          ErrorResponse(common::ResourceExhaustedError(common::StrFormat(
+              "server at its %zu-connection limit", max_connections_))));
+      continue;  // FileDescriptor destructor releases the socket.
     }
-    // Re-check after registering: a Stop() racing the accept either
-    // sees this connection (and half-closes it) or flipped stopping_
-    // before registration completed — caught here either way.
-    if (!stopping_.load()) ServeConnection(connection.value());
-    {
-      std::lock_guard<std::mutex> lock(connection_mutex_);
-      active_connection_ = nullptr;
+    const int64_t id = next_connection_id_++;
+    auto conn = std::make_unique<Connection>(
+        id, std::move(accepted).value(), &loop_, max_line_bytes_);
+    Connection* raw = conn.get();
+    Status registered = raw->Register(
+        [this, id](uint32_t events) { OnConnectionEvent(id, events); },
+        [this, id](Connection& c, std::string line) {
+          OnRequestLine(id, c, std::move(line));
+        });
+    if (!registered.ok()) {
+      metrics.GetCounter("service/server_errors").Increment();
+      ADA_LOG(kWarning) << "service: failed to register connection: "
+                        << registered.ToString();
+      continue;  // conn goes out of scope and releases the socket.
     }
+    ConnectionEntry entry;
+    entry.conn = std::move(conn);
+    connections_.emplace(id, std::move(entry));
+    open_connections_.store(static_cast<int64_t>(connections_.size()));
+    metrics.GetGauge("service/open_connections")
+        .Set(static_cast<double>(connections_.size()));
   }
-  running_.store(false);
 }
 
-void AnalysisServer::ServeConnection(const FileDescriptor& connection) {
+void AnalysisServer::OnConnectionEvent(int64_t id, uint32_t events) {
+  auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  it->second.conn->HandleEvents(events);
+  ReapIfClosed(id);
+}
+
+void AnalysisServer::OnRequestLine(int64_t id, Connection& conn,
+                                   std::string line) {
   common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
-  LineReader reader(connection);
-  for (;;) {
-    auto line = reader.ReadLine();
-    if (!line.ok()) {
-      // OUT_OF_RANGE = the client hung up cleanly; anything else is an
-      // I/O error worth counting.
-      if (line.status().code() != common::StatusCode::kOutOfRange) {
-        metrics.GetCounter("service/server_errors").Increment();
+  metrics.GetCounter("service/server_requests").Increment();
+  auto request = ParseRequest(line);
+  if (!request.ok()) {
+    metrics.GetCounter("service/server_errors").Increment();
+    conn.EnqueueResponse(ErrorResponse(request.status()));
+    return;
+  }
+  if (request.value().verb == "result") {
+    // The one verb that may wait: parked on a completion subscription,
+    // never on the loop thread.
+    HandleResultVerb(id, conn, request.value().body);
+    return;
+  }
+  conn.EnqueueResponse(Dispatch(request.value()));
+  if (request.value().verb == "shutdown") {
+    // Graceful drain; the response just enqueued is flushed before the
+    // connection goes away (close-after-flush).
+    BeginDrain(drain_timeout_millis_);
+  }
+}
+
+double AnalysisServer::EffectiveResultWait(const Json& body) const {
+  const double requested = ReadWaitMillis(body);
+  if (requested <= 0.0 || requested > max_result_wait_millis_) {
+    return max_result_wait_millis_;
+  }
+  return requested;
+}
+
+std::string AnalysisServer::ResultTimeoutResponse(JobId job) const {
+  // Satellite-3 contract: the timeout error body carries the job's
+  // *current* state so a client can tell "still running, poll again"
+  // from the job's own deadline expiry.
+  const char* state = "unknown";
+  if (auto snapshot = scheduler_.Status(job); snapshot.ok()) {
+    state = JobStateName(snapshot.value().state);
+  }
+  Json::Object extra;
+  extra["job_id"] = Json(static_cast<int64_t>(job));
+  extra["state"] = Json(std::string(state));
+  return ErrorResponse(
+      common::DeadlineExceededError(common::StrFormat(
+          "job %lld not finished within the wait budget; currently %s",
+          static_cast<long long>(job), state)),
+      std::move(extra));
+}
+
+void AnalysisServer::HandleResultVerb(int64_t id, Connection& conn,
+                                      const Json& body) {
+  auto job = ReadJobId(body);
+  if (!job.ok()) {
+    conn.EnqueueResponse(ErrorResponse(job.status()));
+    return;
+  }
+  auto snapshot = scheduler_.Status(job.value());
+  if (!snapshot.ok()) {
+    conn.EnqueueResponse(ErrorResponse(snapshot.status()));
+    return;
+  }
+  if (IsTerminal(snapshot.value().state)) {
+    conn.EnqueueResponse(OkResponse(
+        SnapshotFields(snapshot.value(), /*include_artifacts=*/true)));
+    return;
+  }
+  if (draining_) {
+    conn.EnqueueResponse(ErrorResponse(
+        common::UnavailableError("server is shutting down")));
+    return;
+  }
+  // Park the connection: pipelined requests behind this one wait (in
+  // order) and the loop thread moves on to other clients.
+  auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  ConnectionEntry& entry = it->second;
+  entry.waiting = true;
+  entry.wait_job = job.value();
+  const uint64_t epoch = ++entry.wait_epoch;
+  conn.PauseRequests();
+  entry.wait_timer = loop_.ScheduleAfter(
+      EffectiveResultWait(body),
+      [this, id, epoch] { OnResultTimeout(id, epoch); });
+  entry.has_wait_timer = true;
+  auto subscription = scheduler_.Subscribe(
+      job.value(), [this, id, epoch](const JobSnapshot& terminal) {
+        // Runs on a scheduler worker (or inline); hop to the loop.
+        loop_.Post([this, id, epoch, terminal] {
+          OnResultComplete(id, epoch, terminal);
+        });
+      });
+  if (!subscription.ok()) {
+    // Unreachable in practice (jobs are never forgotten), kept for
+    // robustness: unwind the park and answer with the error.
+    ClearWait(entry);
+    conn.EnqueueResponse(ErrorResponse(subscription.status()));
+    conn.ResumeRequests();
+    return;
+  }
+  // May be the inline sentinel 0 (job finished between Status and
+  // Subscribe) — the completion is already posted in that case.
+  entry.wait_subscription = subscription.value();
+}
+
+void AnalysisServer::OnResultTimeout(int64_t id, uint64_t epoch) {
+  auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  ConnectionEntry& entry = it->second;
+  if (!entry.waiting || entry.wait_epoch != epoch) return;
+  entry.has_wait_timer = false;  // This timer just fired.
+  // Subscription 0 = fired inline at Subscribe; a false Unsubscribe =
+  // the completion callback beat us. Either way the completion is in
+  // flight on the loop queue and will answer — never respond twice.
+  if (entry.wait_subscription == 0 ||
+      !scheduler_.Unsubscribe(entry.wait_subscription)) {
+    return;
+  }
+  const JobId job = entry.wait_job;
+  entry.waiting = false;
+  ++entry.wait_epoch;
+  entry.conn->EnqueueResponse(ResultTimeoutResponse(job));
+  entry.conn->ResumeRequests();
+  ReapIfClosed(id);
+}
+
+void AnalysisServer::OnResultComplete(int64_t id, uint64_t epoch,
+                                      const JobSnapshot& snapshot) {
+  auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  ConnectionEntry& entry = it->second;
+  if (!entry.waiting || entry.wait_epoch != epoch) return;
+  ClearWait(entry);
+  entry.conn->EnqueueResponse(
+      OkResponse(SnapshotFields(snapshot, /*include_artifacts=*/true)));
+  entry.conn->ResumeRequests();
+  ReapIfClosed(id);
+}
+
+void AnalysisServer::ClearWait(ConnectionEntry& entry) {
+  if (entry.has_wait_timer) {
+    loop_.CancelTimer(entry.wait_timer);
+    entry.has_wait_timer = false;
+  }
+  if (entry.waiting && entry.wait_subscription != 0) {
+    // False = the completion already fired; its posted task will find
+    // the bumped epoch and bail.
+    (void)scheduler_.Unsubscribe(entry.wait_subscription);
+  }
+  entry.wait_subscription = 0;
+  entry.waiting = false;
+  ++entry.wait_epoch;
+}
+
+void AnalysisServer::BeginDrain(double failsafe_millis) {
+  if (!draining_) {
+    draining_ = true;
+    loop_.Unwatch(listener_.fd());
+    listener_.Shutdown();  // Pending un-accepted clients see EOF.
+    for (auto& [id, entry] : connections_) {
+      if (entry.waiting) {
+        const JobId job = entry.wait_job;
+        ClearWait(entry);
+        Json::Object extra;
+        extra["job_id"] = Json(static_cast<int64_t>(job));
+        entry.conn->EnqueueResponse(ErrorResponse(
+            common::UnavailableError(
+                "server shutting down before the job finished"),
+            std::move(extra)));
       }
-      return;
+      entry.conn->StartDrain();
     }
-    if (line.value().empty()) continue;
-    metrics.GetCounter("service/server_requests").Increment();
-    std::string response;
-    auto request = ParseRequest(line.value());
-    if (!request.ok()) {
-      metrics.GetCounter("service/server_errors").Increment();
-      response = ErrorResponse(request.status());
-    } else {
-      response = Dispatch(request.value());
-    }
-    if (Status sent = SendAll(connection, response); !sent.ok()) {
-      metrics.GetCounter("service/server_errors").Increment();
-      return;
-    }
-    if (stopping_.load()) return;
+    // Reap on a posted task, not here: BeginDrain can run inside a
+    // connection's own request handler, and erasing that connection
+    // mid-call would free it under our feet.
+    loop_.Post([this] {
+      std::vector<int64_t> closed;
+      for (const auto& [id, entry] : connections_) {
+        if (entry.conn->closed()) closed.push_back(id);
+      }
+      for (int64_t id : closed) RemoveConnection(id);
+      if (connections_.empty()) loop_.Quit();
+    });
+  }
+  loop_.ScheduleAfter(failsafe_millis, [this] {
+    ForceCloseAll();
+    loop_.Quit();
+  });
+}
+
+void AnalysisServer::ForceCloseAll() {
+  for (auto& [id, entry] : connections_) {
+    ClearWait(entry);
+    entry.conn->CloseNow();
+  }
+  connections_.clear();
+  open_connections_.store(0);
+  common::MetricsRegistry::Default()
+      .GetGauge("service/open_connections")
+      .Set(0.0);
+}
+
+void AnalysisServer::RemoveConnection(int64_t id) {
+  auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  ClearWait(it->second);
+  it->second.conn->CloseNow();
+  connections_.erase(it);
+  open_connections_.store(static_cast<int64_t>(connections_.size()));
+  common::MetricsRegistry::Default()
+      .GetGauge("service/open_connections")
+      .Set(static_cast<double>(connections_.size()));
+  if (draining_ && connections_.empty()) loop_.Quit();
+}
+
+void AnalysisServer::ReapIfClosed(int64_t id) {
+  auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  if (it->second.conn->closed()) RemoveConnection(id);
+}
+
+void AnalysisServer::SweepIdleConnections() {
+  const auto now = std::chrono::steady_clock::now();
+  const auto budget = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(idle_timeout_millis_));
+  std::vector<int64_t> idle;
+  for (const auto& [id, entry] : connections_) {
+    // Parked waits are exempt: their lifetime is bounded by the result
+    // wait cap, and evicting them would drop a promised response.
+    if (entry.waiting) continue;
+    if (now - entry.conn->last_activity() > budget) idle.push_back(id);
+  }
+  for (int64_t id : idle) {
+    idle_disconnects_.fetch_add(1);
+    common::MetricsRegistry::Default()
+        .GetCounter("service/idle_disconnects")
+        .Increment();
+    RemoveConnection(id);
+  }
+  if (!draining_) {
+    const double period = std::max(idle_timeout_millis_ / 4.0, 10.0);
+    loop_.ScheduleAfter(period, [this] { SweepIdleConnections(); });
   }
 }
 
@@ -148,15 +420,20 @@ std::string AnalysisServer::Dispatch(const Request& request) {
                                      /*include_artifacts=*/false));
   }
   if (request.verb == "result") {
+    // Blocking fallback for direct (socket-less) dispatch; the wire
+    // path goes through HandleResultVerb instead. The same server-side
+    // wait cap applies.
     auto id = ReadJobId(request.body);
     if (!id.ok()) return ErrorResponse(id.status());
-    double wait_millis = 0.0;
-    if (const Json* wait = request.body.Find("wait_millis");
-        wait != nullptr && wait->is_number()) {
-      wait_millis = wait->AsDouble();
+    auto snapshot =
+        scheduler_.AwaitResult(id.value(), EffectiveResultWait(request.body));
+    if (!snapshot.ok()) {
+      if (snapshot.status().code() ==
+          common::StatusCode::kDeadlineExceeded) {
+        return ResultTimeoutResponse(id.value());
+      }
+      return ErrorResponse(snapshot.status());
     }
-    auto snapshot = scheduler_.AwaitResult(id.value(), wait_millis);
-    if (!snapshot.ok()) return ErrorResponse(snapshot.status());
     return OkResponse(SnapshotFields(snapshot.value(),
                                      /*include_artifacts=*/true));
   }
@@ -172,7 +449,14 @@ std::string AnalysisServer::Dispatch(const Request& request) {
     return OkResponse(std::move(fields));
   }
   if (request.verb == "stats") {
-    return OkResponse(scheduler_.StatsJson().AsObject());
+    Json::Object fields = scheduler_.StatsJson().AsObject();
+    Json::Object server;
+    server["open_connections"] = Json(open_connections_.load());
+    server["total_connections"] = Json(total_connections_.load());
+    server["shed_connections"] = Json(shed_connections_.load());
+    server["idle_disconnects"] = Json(idle_disconnects_.load());
+    fields["server"] = Json(std::move(server));
+    return OkResponse(std::move(fields));
   }
   if (request.verb == "ping") {
     Json::Object fields;
@@ -180,7 +464,6 @@ std::string AnalysisServer::Dispatch(const Request& request) {
     return OkResponse(std::move(fields));
   }
   if (request.verb == "shutdown") {
-    stopping_.store(true);
     Json::Object fields;
     fields["stopping"] = true;
     return OkResponse(std::move(fields));

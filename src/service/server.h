@@ -1,27 +1,43 @@
 // The NDJSON protocol front-end: one TCP server that exposes a
 // Scheduler over the loopback interface.
 //
-// Connection model: one request-response exchange per line; a client
-// may pipeline several lines on one connection; connections are served
-// sequentially by a single accept thread (commands are cheap — all
-// heavy work runs on the scheduler's workers, so a serving thread
-// never blocks behind an analysis). The `result` verb with a
-// wait_millis budget is the one deliberate exception: it parks the
-// serving thread in Scheduler::AwaitResult.
+// Connection model: a single epoll event-loop thread multiplexes every
+// connection (service/event_loop.h, service/connection.h) — no client
+// can starve another by being slow, holding its socket open, or
+// parking inside a long `result` wait. Requests pipelined on one
+// connection are answered strictly in order. All heavy work runs on
+// the scheduler's workers; the loop thread only parses, dispatches,
+// and shuttles buffers. The `result` verb never blocks the loop: it
+// registers a Scheduler::Subscribe completion callback (plus a
+// timeout timer) and the response is delivered when either fires.
+//
+// Resource policy: at most `max_connections` concurrent clients
+// (excess accepts are answered RESOURCE_EXHAUSTED and dropped),
+// connections idle beyond `idle_timeout_millis` are evicted, request
+// lines are capped at `max_line_bytes`, and `result` waits are capped
+// server-side at `max_result_wait_millis`. Shutdown (the `shutdown`
+// verb or Stop()) drains gracefully: the listener stops accepting,
+// pending responses are flushed, parked waits are resolved with
+// UNAVAILABLE, and a failsafe timer bounds the drain.
 //
 // Metrics: "service/server_connections", "service/server_requests",
-// "service/server_errors" counters.
+// "service/server_errors", "service/connections_shed",
+// "service/idle_disconnects" counters; "service/open_connections"
+// gauge.
 #ifndef ADAHEALTH_SERVICE_SERVER_H_
 #define ADAHEALTH_SERVICE_SERVER_H_
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 
 #include "common/status.h"
+#include "service/connection.h"
+#include "service/event_loop.h"
 #include "service/net_socket.h"
 #include "service/protocol.h"
 #include "service/scheduler.h"
@@ -32,6 +48,23 @@ namespace service {
 struct ServerOptions {
   /// 0 = kernel-assigned ephemeral port (see AnalysisServer::port()).
   uint16_t port = 0;
+  /// Concurrent-connection budget; accepts beyond it are shed with a
+  /// best-effort RESOURCE_EXHAUSTED response (clamped to >= 1).
+  size_t max_connections = 1024;
+  /// Connections with no traffic for this long are evicted; <= 0
+  /// disables idle eviction. Connections parked in a `result` wait are
+  /// exempt (the wait cap bounds them instead).
+  double idle_timeout_millis = 300000.0;
+  /// Server-side ceiling on one `result` wait — a client asking for an
+  /// unbounded wait (wait_millis <= 0 or > this) gets this instead,
+  /// and the timeout error carries the job's current state so the
+  /// client can poll again (clamped to >= 1 ms).
+  double max_result_wait_millis = 60000.0;
+  /// Longest accepted NDJSON request line.
+  size_t max_line_bytes = kMaxLineBytes;
+  /// Failsafe on graceful drain: connections that have not flushed and
+  /// gone away by then are force-dropped (clamped to >= 1 ms).
+  double drain_timeout_millis = 5000.0;
   SchedulerOptions scheduler;
 };
 
@@ -45,17 +78,16 @@ class AnalysisServer {
   AnalysisServer(const AnalysisServer&) = delete;
   AnalysisServer& operator=(const AnalysisServer&) = delete;
 
-  /// Binds the listening socket and starts the accept thread.
+  /// Binds the listening socket and starts the event-loop thread.
   /// UNAVAILABLE when the port cannot be bound; FAILED_PRECONDITION
   /// when already started.
   [[nodiscard]] common::Status Start();
 
-  /// Unblocks the accept loop and joins the thread. Idempotent; safe
-  /// to call from a serving thread's verb handler is NOT supported —
-  /// the `shutdown` verb instead flips a flag the accept loop observes.
+  /// Triggers a graceful drain and joins the loop thread. Idempotent;
+  /// callable from any thread except the loop thread itself.
   void Stop();
 
-  /// Blocks until the accept loop exits (a `shutdown` verb or Stop()).
+  /// Blocks until the event loop exits (a `shutdown` verb or Stop()).
   void Wait();
 
   /// The bound port (valid after Start()).
@@ -66,26 +98,75 @@ class AnalysisServer {
 
   /// Handles one already-parsed request and returns the serialized
   /// response line. Exposed so tests can drive the dispatch table
-  /// without sockets.
+  /// without sockets; on this path the `result` verb blocks the
+  /// calling thread (capped at max_result_wait_millis) and `shutdown`
+  /// only builds its response — the wire path is what triggers the
+  /// drain.
   [[nodiscard]] std::string Dispatch(const Request& request);
 
  private:
-  void AcceptLoop();
-  void ServeConnection(const FileDescriptor& connection);
+  /// Per-connection record: the connection itself plus the state of
+  /// its parked `result` wait, if any. Loop thread only.
+  struct ConnectionEntry {
+    std::unique_ptr<Connection> conn;
+    bool waiting = false;
+    JobId wait_job = 0;
+    Scheduler::SubscriptionId wait_subscription = 0;
+    EventLoop::TimerId wait_timer = 0;
+    bool has_wait_timer = false;
+    /// Bumped every time a wait starts or ends; stale timer/completion
+    /// callbacks for an earlier wait compare and bail.
+    uint64_t wait_epoch = 0;
+  };
 
+  void LoopMain();
+  void OnAcceptable();
+  void OnConnectionEvent(int64_t id, uint32_t events);
+  void OnRequestLine(int64_t id, Connection& conn, std::string line);
+  void HandleResultVerb(int64_t id, Connection& conn,
+                        const common::Json& body);
+  void OnResultTimeout(int64_t id, uint64_t epoch);
+  void OnResultComplete(int64_t id, uint64_t epoch,
+                        const JobSnapshot& snapshot);
+  /// Ends a parked wait's bookkeeping (timer + subscription).
+  void ClearWait(ConnectionEntry& entry);
+  void BeginDrain(double failsafe_millis);
+  void ForceCloseAll();
+  void RemoveConnection(int64_t id);
+  void ReapIfClosed(int64_t id);
+  void SweepIdleConnections();
+  double EffectiveResultWait(const common::Json& body) const;
+  [[nodiscard]] std::string ResultTimeoutResponse(JobId job) const;
+
+  // Destruction order (reverse of declaration) is load-bearing:
+  // connections_ before loop_ (Connection::~Connection unwatches), and
+  // scheduler_ first of all — its destructor waits out the workers, so
+  // no completion callback can Post into the loop after the loop is
+  // gone.
+  EventLoop loop_;
+  std::map<int64_t, ConnectionEntry> connections_;  // Loop thread only.
   Scheduler scheduler_;
+
   ServerSocket listener_;
+  std::thread loop_thread_;
   std::mutex join_mutex_;  // Serializes Stop()/Wait() joins.
-  /// The connection ServeConnection is currently parked on, if any:
-  /// Stop() must wake a serving thread blocked in recv on it, not just
-  /// the listener.
-  std::mutex connection_mutex_;
-  const FileDescriptor* active_connection_ = nullptr;
-  std::thread accept_thread_;
   std::atomic<bool> running_{false};
-  std::atomic<bool> stopping_{false};
+  bool draining_ = false;  // Loop thread only.
+  int64_t next_connection_id_ = 1;  // Loop thread only.
   uint16_t port_ = 0;
+
+  // Server-level stats (the `stats` verb), readable off-loop.
+  std::atomic<int64_t> open_connections_{0};
+  std::atomic<int64_t> total_connections_{0};
+  std::atomic<int64_t> shed_connections_{0};
+  std::atomic<int64_t> idle_disconnects_{0};
+
   const uint16_t requested_port_;
+  const size_t max_connections_;
+  const double idle_timeout_millis_;
+  const double max_result_wait_millis_;
+  const size_t max_line_bytes_;
+  const double drain_timeout_millis_;
 };
 
 }  // namespace service

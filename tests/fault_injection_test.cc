@@ -2,12 +2,15 @@
 // retry-policy behavior, and every failpoint seeded through the K-DB
 // storage, database, session, optimizer, partial-mining and
 // thread-pool layers.
+#include <sys/socket.h>
 #include <sys/stat.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 #include "common/failpoint.h"
@@ -21,7 +24,11 @@
 #include "dataset/synthetic_cohort.h"
 #include "kdb/database.h"
 #include "kdb/storage.h"
+#include "service/client.h"
+#include "service/net_socket.h"
+#include "service/protocol.h"
 #include "service/scheduler.h"
+#include "service/server.h"
 #include "test_util.h"
 #include "transform/vsm.h"
 
@@ -684,6 +691,9 @@ TEST_F(FaultInjectionServiceTest, AdmissionFailpointShedsWithoutLosingJobs) {
 TEST_F(FaultInjectionServiceTest, CacheStoreFailureDegradesNotFails) {
   service::SchedulerOptions options;
   options.cache_directory = MakeScratchDir("svc_store");
+  // Threshold 1 = persist after every insert, so the injected store
+  // failure is hit by this very job.
+  options.cache_persist_threshold = 1;
   service::Scheduler scheduler(options);
   int64_t persist_failures_before =
       common::MetricsRegistry::Default()
@@ -760,6 +770,98 @@ TEST_F(FaultInjectionServiceTest, WorkerSessionFailureIsConfinedToOneJob) {
   EXPECT_EQ(stats.failed, 1);
   EXPECT_EQ(stats.completed, 1);
   EXPECT_EQ(stats.sessions_executed, 1);
+}
+
+// ---------------------------------------------------------------------
+// Socket-layer failpoints (service.net.accept / service.net.read /
+// service.net.write) against the live epoll server: an injected I/O
+// failure costs at most one accept attempt or one connection, never
+// the server.
+
+namespace {
+int64_t ServerErrorCount() {
+  return common::MetricsRegistry::Default()
+      .GetCounter("service/server_errors")
+      .value();
+}
+
+/// Spins until the server_errors counter moves past `floor` (the
+/// injected failure is processed on the event-loop thread, not ours).
+bool AwaitServerErrorsAbove(int64_t floor) {
+  for (int attempt = 0; attempt < 250; ++attempt) {
+    if (ServerErrorCount() > floor) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+}  // namespace
+
+TEST_F(FaultInjectionServiceTest, AcceptFailpointIsRetriedByTheEventLoop) {
+  service::AnalysisServer server(service::ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  int64_t errors_before = ServerErrorCount();
+  ScopedFailpoint fp("service.net.accept",
+                     OneShotError(StatusCode::kUnavailable, "accept blip"));
+  // The first accept attempt eats the injected failure; level-triggered
+  // epoll re-reports the still-pending connection and the retry admits
+  // it, so the client never notices.
+  auto client = service::AnalysisClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE(client->Call("ping").ok());
+  EXPECT_GE(ServerErrorCount(), errors_before + 1);
+  server.Stop();
+}
+
+TEST_F(FaultInjectionServiceTest, ReadFailpointFailsOneConnectionNotServer) {
+  service::AnalysisServer server(service::ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  auto doomed = service::ConnectLoopback(server.port());
+  ASSERT_TRUE(doomed.ok());
+  int64_t errors_before = ServerErrorCount();
+  ScopedFailpoint fp("service.net.read",
+                     OneShotError(StatusCode::kUnavailable, "read blip"));
+  // This send is fine (only reads are poisoned); the server's recv on
+  // the event loop hits the failpoint and drops the connection.
+  ASSERT_TRUE(
+      service::SendAll(doomed.value(), "{\"verb\":\"ping\"}\n").ok());
+  ASSERT_TRUE(AwaitServerErrorsAbove(errors_before));
+  // Only that connection died: it sees EOF, a fresh client is served.
+  service::LineReader reader(doomed.value());
+  EXPECT_FALSE(reader.ReadLine().ok());
+  auto fresh = service::AnalysisClient::Connect(server.port());
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(fresh->Call("ping").ok());
+  server.Stop();
+}
+
+TEST_F(FaultInjectionServiceTest, WriteFailpointFailsOneConnectionNotServer) {
+  service::AnalysisServer server(service::ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  auto doomed = service::ConnectLoopback(server.port());
+  ASSERT_TRUE(doomed.ok());
+  service::LineReader reader(doomed.value());
+  // Warm exchange first, so the failpoint below cannot be consumed by
+  // the response to an earlier request.
+  ASSERT_TRUE(
+      service::SendAll(doomed.value(), "{\"verb\":\"ping\"}\n").ok());
+  ASSERT_TRUE(reader.ReadLine().ok());
+
+  int64_t errors_before = ServerErrorCount();
+  ScopedFailpoint fp("service.net.write",
+                     OneShotError(StatusCode::kUnavailable, "write blip"));
+  // Raw ::send so the client-side SendAll helper cannot eat the
+  // one-shot failpoint before the server's response write does.
+  const char request[] = "{\"verb\":\"ping\"}\n";
+  ASSERT_GT(::send(doomed->get(), request, sizeof(request) - 1, MSG_NOSIGNAL),
+            0);
+  ASSERT_TRUE(AwaitServerErrorsAbove(errors_before));
+  // The response write failed: connection dropped, no reply; the
+  // server itself keeps serving.
+  EXPECT_FALSE(reader.ReadLine().ok());
+  auto fresh = service::AnalysisClient::Connect(server.port());
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(fresh->Call("ping").ok());
+  server.Stop();
 }
 
 TEST_F(FaultInjectionSessionTest, AllStagesRecordedInPipelineOrder) {

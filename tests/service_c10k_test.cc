@@ -1,0 +1,433 @@
+// Concurrency coverage for the epoll-based NDJSON server: many
+// simultaneous clients, pipelining, slow-loris and parked-wait clients
+// that must not stall anyone else, idle eviction, connection shedding,
+// server-side result-wait caps, and oversized-line rejection. Every
+// test here would hang or misbehave on a serial accept-handle-close
+// server, which is exactly the regression this file guards against.
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "common/json.h"
+#include "common/status.h"
+#include "core/report.h"
+#include "core/session.h"
+#include "kdb/database.h"
+#include "service/client.h"
+#include "service/net_socket.h"
+#include "service/protocol.h"
+#include "service/server.h"
+
+namespace adahealth {
+namespace {
+
+using common::Json;
+using common::StatusCode;
+
+/// A small fast synthetic submit body (mirrors service_server_test).
+Json::Object SubmitBody(int64_t seed, const std::string& dataset_id) {
+  Json::Object synthetic;
+  synthetic["patients"] = static_cast<int64_t>(100);
+  synthetic["exam_types"] = static_cast<int64_t>(20);
+  synthetic["profiles"] = static_cast<int64_t>(3);
+  synthetic["seed"] = seed;
+  Json::Object options;
+  options["sample_fraction"] = 0.4;
+  options["candidate_ks"] = Json(Json::Array{Json(3), Json(4)});
+  options["cv_folds"] = static_cast<int64_t>(4);
+  options["restarts"] = static_cast<int64_t>(1);
+  Json::Object body;
+  body["verb"] = "submit";
+  body["synthetic"] = Json(std::move(synthetic));
+  body["dataset_id"] = dataset_id;
+  body["options"] = Json(std::move(options));
+  return body;
+}
+
+std::unique_ptr<service::AnalysisServer> StartServer(
+    service::ServerOptions options) {
+  auto server = std::make_unique<service::AnalysisServer>(std::move(options));
+  ADA_CHECK(server->Start().ok());
+  return server;
+}
+
+service::AnalysisClient Connect(const service::AnalysisServer& server) {
+  auto client = service::AnalysisClient::Connect(server.port());
+  ADA_CHECK(client.ok());
+  return std::move(client).value();
+}
+
+std::string Line(const Json::Object& request) {
+  return Json(request).Dump() + "\n";
+}
+
+Json::Object ResultRequest(int64_t job_id, double wait_millis) {
+  Json::Object request;
+  request["verb"] = "result";
+  request["job_id"] = job_id;
+  if (wait_millis > 0) request["wait_millis"] = wait_millis;
+  return request;
+}
+
+// ---------------------------------------------------------------------
+// Fan-out: every client is served even though none has hung up yet.
+
+TEST(C10kTest, HundredsOfPipelinedClientsAllAnswered) {
+  service::ServerOptions options;
+  options.max_connections = 512;
+  options.scheduler.max_workers = 2;
+  auto server = StartServer(options);
+
+  // Open every connection and write every batch before reading a
+  // single response: a serial accept-handle-close loop would park on
+  // client 0 forever and this test would time out.
+  constexpr int kClients = 120;
+  constexpr int kPingsPerClient = 5;
+  std::vector<service::FileDescriptor> connections;
+  connections.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    auto connection = service::ConnectLoopback(server->port());
+    ASSERT_TRUE(connection.ok()) << "client " << i;
+    connections.push_back(std::move(connection).value());
+  }
+  Json::Object ping;
+  ping["verb"] = "ping";
+  std::string batch;
+  for (int i = 0; i < kPingsPerClient; ++i) batch += Line(ping);
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_TRUE(service::SendAll(connections[i], batch).ok()) << i;
+  }
+  for (int i = 0; i < kClients; ++i) {
+    service::LineReader reader(connections[i]);
+    for (int j = 0; j < kPingsPerClient; ++j) {
+      auto line = reader.ReadLine();
+      ASSERT_TRUE(line.ok()) << "client " << i << " response " << j;
+      auto response = service::ParseResponse(line.value());
+      ASSERT_TRUE(response.ok()) << "client " << i << " response " << j;
+      EXPECT_EQ(response->Find("service")->AsString(), "ada-health");
+    }
+  }
+  server->Stop();
+}
+
+// ---------------------------------------------------------------------
+// The head-of-line-blocking regression test: one client parked in a
+// long `result` wait and one slow-loris client mid-line, while other
+// clients complete full round trips on the same server.
+
+TEST(C10kTest, ParkedWaitAndSlowLorisDoNotBlockOtherClients) {
+  service::ServerOptions options;
+  options.scheduler.max_workers = 2;
+  options.scheduler.start_paused = true;
+  auto server = StartServer(options);
+
+  // Client A submits and parks inside a 60 s result wait. The
+  // scheduler is paused, so nothing can finish until Resume().
+  auto a_connection = service::ConnectLoopback(server->port());
+  ASSERT_TRUE(a_connection.ok());
+  service::LineReader a_reader(a_connection.value());
+  Json::Object submit = SubmitBody(1, "c10k_park");
+  ASSERT_TRUE(service::SendAll(a_connection.value(), Line(submit)).ok());
+  auto a_submitted = a_reader.ReadLine();
+  ASSERT_TRUE(a_submitted.ok());
+  auto a_response = service::ParseResponse(a_submitted.value());
+  ASSERT_TRUE(a_response.ok());
+  int64_t a_job = a_response->Find("job_id")->AsInt();
+  ASSERT_TRUE(
+      service::SendAll(a_connection.value(), Line(ResultRequest(a_job, 60000)))
+          .ok());
+  // A is now parked; deliberately not reading.
+
+  // A slow-loris client: half a request line, then silence.
+  auto loris = service::ConnectLoopback(server->port());
+  ASSERT_TRUE(loris.ok());
+  ASSERT_TRUE(service::SendAll(loris.value(), "{\"verb\":\"pi").ok());
+
+  // Meanwhile N other clients complete ping + submit + status round
+  // trips. On the old one-connection-at-a-time server every one of
+  // these would block behind client A.
+  constexpr int kOthers = 8;
+  std::vector<service::AnalysisClient> others;
+  std::vector<int64_t> other_jobs;
+  for (int i = 0; i < kOthers; ++i) {
+    others.push_back(Connect(*server));
+    auto pong = others.back().Call("ping");
+    ASSERT_TRUE(pong.ok()) << i;
+    auto submitted = others.back().Call(SubmitBody(1, "c10k_park"));
+    ASSERT_TRUE(submitted.ok()) << i;
+    other_jobs.push_back(submitted->Find("job_id")->AsInt());
+    Json::Object status;
+    status["verb"] = "status";
+    status["job_id"] = other_jobs.back();
+    auto state = others.back().Call(status);
+    ASSERT_TRUE(state.ok()) << i;
+    EXPECT_EQ(state->Find("state")->AsString(), "queued") << i;
+  }
+
+  server->scheduler().Resume();
+
+  // Everyone finishes: the parked client first (its job was submitted
+  // first), then the rest, all against the same two workers.
+  auto a_result_line = a_reader.ReadLine();
+  ASSERT_TRUE(a_result_line.ok());
+  auto a_result = service::ParseResponse(a_result_line.value());
+  ASSERT_TRUE(a_result.ok());
+  EXPECT_EQ(a_result->Find("state")->AsString(), "done");
+  std::string wire_report = a_result->Find("report")->AsString();
+
+  for (int i = 0; i < kOthers; ++i) {
+    auto result = others[i].Call(ResultRequest(other_jobs[i], 60000));
+    ASSERT_TRUE(result.ok()) << i;
+    EXPECT_EQ(result->Find("state")->AsString(), "done") << i;
+    // Identical submission: same bytes over every connection.
+    EXPECT_EQ(result->Find("report")->AsString(), wire_report) << i;
+  }
+
+  // The loris connection is still alive: complete its line and get a
+  // normal answer out of the buffered fragment.
+  ASSERT_TRUE(service::SendAll(loris.value(), "ng\"}\n").ok());
+  service::LineReader loris_reader(loris.value());
+  auto loris_line = loris_reader.ReadLine();
+  ASSERT_TRUE(loris_line.ok());
+  EXPECT_TRUE(service::ParseResponse(loris_line.value()).ok());
+
+  // The report that went over the wire is byte-identical to a direct
+  // in-process AnalysisSession run of the same request.
+  auto request = service::BuildJobRequest(Json(submit));
+  ASSERT_TRUE(request.ok());
+  kdb::Database db;
+  core::AnalysisSession session(&db);
+  const dataset::Taxonomy* taxonomy =
+      request->taxonomy.has_value() ? &*request->taxonomy : nullptr;
+  auto direct = session.Run(request->log, taxonomy, request->options);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(wire_report, core::RenderSessionReport(
+                             direct.value(), request->options.dataset_id));
+  server->Stop();
+}
+
+// ---------------------------------------------------------------------
+// Pipelined requests on one connection answer strictly in order.
+
+TEST(C10kTest, PipelinedSubmitsAnswerInOrderWithDistinctJobIds) {
+  service::ServerOptions options;
+  options.scheduler.start_paused = true;
+  auto server = StartServer(options);
+  auto client = Connect(*server);
+
+  Json::Object ping;
+  ping["verb"] = "ping";
+  std::vector<Json::Object> batch = {ping, SubmitBody(3, "pipe_a"),
+                                     SubmitBody(3, "pipe_b"), ping};
+  auto responses = client.CallPipelined(batch);
+  ASSERT_EQ(responses.size(), 4u);
+  ASSERT_TRUE(responses[0].ok());
+  EXPECT_EQ(responses[0]->Find("service")->AsString(), "ada-health");
+  ASSERT_TRUE(responses[1].ok());
+  ASSERT_TRUE(responses[2].ok());
+  int64_t first = responses[1]->Find("job_id")->AsInt();
+  int64_t second = responses[2]->Find("job_id")->AsInt();
+  EXPECT_LT(first, second);
+  ASSERT_TRUE(responses[3].ok());
+
+  // Keep teardown quick: the staged jobs never need to run.
+  for (int64_t job : {first, second}) {
+    Json::Object cancel;
+    cancel["verb"] = "cancel";
+    cancel["job_id"] = job;
+    EXPECT_TRUE(client.Call(cancel).ok());
+  }
+  server->scheduler().Resume();
+  server->Stop();
+}
+
+// ---------------------------------------------------------------------
+// Idle eviction: silent connections are dropped, parked waiters and a
+// fresh client are untouched.
+
+TEST(C10kTest, IdleConnectionsAreEvictedButWaitersAreExempt) {
+  service::ServerOptions options;
+  options.idle_timeout_millis = 150;
+  options.scheduler.max_workers = 1;
+  options.scheduler.start_paused = true;
+  auto server = StartServer(options);
+
+  auto idle = service::ConnectLoopback(server->port());
+  ASSERT_TRUE(idle.ok());
+
+  // A waiter parked on a queued job: idle by traffic, but exempt.
+  auto waiter = service::ConnectLoopback(server->port());
+  ASSERT_TRUE(waiter.ok());
+  service::LineReader waiter_reader(waiter.value());
+  ASSERT_TRUE(
+      service::SendAll(waiter.value(), Line(SubmitBody(5, "c10k_idle"))).ok());
+  auto submitted = waiter_reader.ReadLine();
+  ASSERT_TRUE(submitted.ok());
+  auto response = service::ParseResponse(submitted.value());
+  ASSERT_TRUE(response.ok());
+  int64_t job = response->Find("job_id")->AsInt();
+  ASSERT_TRUE(
+      service::SendAll(waiter.value(), Line(ResultRequest(job, 60000))).ok());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+
+  // The idle connection was closed server-side...
+  service::LineReader idle_reader(idle.value());
+  EXPECT_EQ(idle_reader.ReadLine().status().code(), StatusCode::kOutOfRange);
+
+  // ...the waiter was not, and completes once the job can run.
+  server->scheduler().Resume();
+  auto result_line = waiter_reader.ReadLine();
+  ASSERT_TRUE(result_line.ok());
+  auto result = service::ParseResponse(result_line.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->Find("state")->AsString(), "done");
+
+  auto client = Connect(*server);
+  auto stats = client.Call("stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->Find("server")->Find("idle_disconnects")->AsInt(), 1);
+  server->Stop();
+}
+
+// ---------------------------------------------------------------------
+// Connection shedding at the max_connections budget.
+
+TEST(C10kTest, ConnectionsBeyondTheBudgetAreShed) {
+  service::ServerOptions options;
+  options.max_connections = 4;
+  auto server = StartServer(options);
+
+  std::vector<service::AnalysisClient> clients;
+  for (int i = 0; i < 4; ++i) {
+    clients.push_back(Connect(*server));
+    ASSERT_TRUE(clients.back().Call("ping").ok()) << i;
+  }
+
+  // The fifth connection is answered RESOURCE_EXHAUSTED and dropped.
+  auto extra = service::ConnectLoopback(server->port());
+  ASSERT_TRUE(extra.ok());
+  service::LineReader extra_reader(extra.value());
+  auto shed_line = extra_reader.ReadLine();
+  ASSERT_TRUE(shed_line.ok());
+  auto shed = service::ParseResponse(shed_line.value());
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(extra_reader.ReadLine().status().code(), StatusCode::kOutOfRange);
+
+  // Hanging up frees a slot; the server notices the EOF on its own
+  // schedule, so retry briefly.
+  clients.erase(clients.begin());
+  bool admitted = false;
+  for (int attempt = 0; attempt < 50 && !admitted; ++attempt) {
+    auto replacement = service::AnalysisClient::Connect(server->port());
+    if (replacement.ok() && replacement->Call("ping").ok()) {
+      admitted = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(admitted);
+
+  auto stats = clients.back().Call("stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->Find("server")->Find("shed_connections")->AsInt(), 1);
+  server->Stop();
+}
+
+// ---------------------------------------------------------------------
+// Server-side result-wait cap: an unbounded client wait is clamped and
+// the timeout error carries the job's current state.
+
+TEST(C10kTest, UnboundedResultWaitIsCappedAndCarriesJobState) {
+  service::ServerOptions options;
+  options.max_result_wait_millis = 100;
+  options.scheduler.start_paused = true;
+  auto server = StartServer(options);
+
+  auto connection = service::ConnectLoopback(server->port());
+  ASSERT_TRUE(connection.ok());
+  service::LineReader reader(connection.value());
+  ASSERT_TRUE(
+      service::SendAll(connection.value(), Line(SubmitBody(5, "c10k_cap")))
+          .ok());
+  auto submitted = reader.ReadLine();
+  ASSERT_TRUE(submitted.ok());
+  auto response = service::ParseResponse(submitted.value());
+  ASSERT_TRUE(response.ok());
+  int64_t job = response->Find("job_id")->AsInt();
+
+  // wait_millis omitted = "wait forever". The server caps it at 100 ms.
+  auto started = std::chrono::steady_clock::now();
+  ASSERT_TRUE(
+      service::SendAll(connection.value(), Line(ResultRequest(job, 0))).ok());
+  auto timeout_line = reader.ReadLine();
+  ASSERT_TRUE(timeout_line.ok());
+  double waited_millis =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - started)
+          .count();
+  EXPECT_LT(waited_millis, 5000.0);
+
+  // ParseResponse surfaces the error status; the raw line additionally
+  // carries the job's state so a client can tell "still queued" from
+  // "gone".
+  EXPECT_EQ(service::ParseResponse(timeout_line.value()).status().code(),
+            StatusCode::kDeadlineExceeded);
+  auto raw = Json::Parse(timeout_line.value());
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw->Find("state")->AsString(), "queued");
+  EXPECT_EQ(raw->Find("job_id")->AsInt(), job);
+
+  // The connection survives the timeout: poll again after resuming.
+  server->scheduler().Resume();
+  bool done = false;
+  for (int attempt = 0; attempt < 300 && !done; ++attempt) {
+    ASSERT_TRUE(
+        service::SendAll(connection.value(), Line(ResultRequest(job, 2000)))
+            .ok());
+    auto line = reader.ReadLine();
+    ASSERT_TRUE(line.ok());
+    auto result = service::ParseResponse(line.value());
+    if (result.ok()) {
+      EXPECT_EQ(result->Find("state")->AsString(), "done");
+      done = true;
+    }
+  }
+  EXPECT_TRUE(done);
+  server->Stop();
+}
+
+// ---------------------------------------------------------------------
+// Oversized request lines (a newline-less flood) fail the connection
+// with RESOURCE_EXHAUSTED instead of growing the buffer forever.
+
+TEST(C10kTest, NewlinelessFloodIsRejectedWithoutKillingTheServer) {
+  service::ServerOptions options;
+  options.max_line_bytes = 4096;
+  auto server = StartServer(options);
+
+  auto flood = service::ConnectLoopback(server->port());
+  ASSERT_TRUE(flood.ok());
+  std::string garbage(16384, 'x');  // 4x the cap, no newline anywhere.
+  ASSERT_TRUE(service::SendAll(flood.value(), garbage).ok());
+  service::LineReader flood_reader(flood.value());
+  auto rejection_line = flood_reader.ReadLine();
+  ASSERT_TRUE(rejection_line.ok());
+  auto rejection = service::ParseResponse(rejection_line.value());
+  EXPECT_EQ(rejection.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(flood_reader.ReadLine().status().code(),
+            StatusCode::kOutOfRange);
+
+  // Only the abusive connection died.
+  auto client = Connect(*server);
+  EXPECT_TRUE(client.Call("ping").ok());
+  server->Stop();
+}
+
+}  // namespace
+}  // namespace adahealth

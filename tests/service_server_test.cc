@@ -10,6 +10,7 @@
 #include "common/json.h"
 #include "common/status.h"
 #include "service/client.h"
+#include "service/net_socket.h"
 #include "service/protocol.h"
 #include "service/server.h"
 
@@ -103,6 +104,73 @@ TEST(ProtocolTest, BuildJobRequestSyntheticCarriesTaxonomy) {
   ASSERT_TRUE(request.ok());
   EXPECT_EQ(request->log.num_patients(), 80u);
   EXPECT_TRUE(request->taxonomy.has_value());
+}
+
+// ---------------------------------------------------------------------
+// Socket primitives.
+
+TEST(NetSocketTest, ConnectLoopbackEstablishesAndCarriesTraffic) {
+  auto listener = service::ServerSocket::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  // The connect completes against the listen backlog, so no accepting
+  // thread is needed before it returns.
+  auto client = service::ConnectLoopback(listener->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->valid());
+  auto accepted = listener->Accept();
+  ASSERT_TRUE(accepted.ok());
+
+  // Full duplex: a line each way.
+  ASSERT_TRUE(service::SendAll(client.value(), "hello server\n").ok());
+  service::LineReader server_reader(accepted.value());
+  auto inbound = server_reader.ReadLine();
+  ASSERT_TRUE(inbound.ok());
+  EXPECT_EQ(inbound.value(), "hello server");
+  ASSERT_TRUE(service::SendAll(accepted.value(), "hello client\n").ok());
+  service::LineReader client_reader(client.value());
+  auto outbound = client_reader.ReadLine();
+  ASSERT_TRUE(outbound.ok());
+  EXPECT_EQ(outbound.value(), "hello client");
+
+  // An established connection passes FinishConnect's SO_ERROR check —
+  // the path an EINTR-interrupted connect() lands on.
+  EXPECT_TRUE(service::FinishConnect(client.value(), 1000).ok());
+}
+
+TEST(NetSocketTest, ConnectLoopbackReportsUnavailableWhenNothingListens) {
+  uint16_t dead_port = 0;
+  {
+    auto listener = service::ServerSocket::Listen(0);
+    ASSERT_TRUE(listener.ok());
+    dead_port = listener->port();
+  }
+  // The listener is gone; the kernel refuses the connect.
+  auto client = service::ConnectLoopback(dead_port);
+  EXPECT_EQ(client.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(NetSocketTest, LineReaderCapsNewlinelessInput) {
+  auto listener = service::ServerSocket::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  auto client = service::ConnectLoopback(listener->port());
+  ASSERT_TRUE(client.ok());
+  auto accepted = listener->Accept();
+  ASSERT_TRUE(accepted.ok());
+
+  // 8 KiB without a newline against a 1 KiB budget: the reader must
+  // fail instead of buffering forever.
+  std::string flood(8192, 'y');
+  ASSERT_TRUE(service::SendAll(client.value(), flood).ok());
+  service::LineReader reader(accepted.value(), /*max_line_bytes=*/1024);
+  EXPECT_EQ(reader.ReadLine().status().code(),
+            StatusCode::kResourceExhausted);
+
+  // A line under the budget on a fresh reader still parses.
+  ASSERT_TRUE(service::SendAll(accepted.value(), "ok\n").ok());
+  service::LineReader small(client.value(), /*max_line_bytes=*/1024);
+  auto line = small.ReadLine();
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(line.value(), "ok");
 }
 
 // ---------------------------------------------------------------------

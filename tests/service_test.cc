@@ -4,12 +4,16 @@
 // repeats, priorities, load shedding, deadlines, cancellation).
 #include <sys/stat.h>
 
+#include <atomic>
+#include <chrono>
 #include <filesystem>
+#include <future>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
+#include "common/metrics.h"
 #include "common/status.h"
 #include "core/report.h"
 #include "core/session.h"
@@ -443,6 +447,95 @@ TEST(SchedulerTest, CachePersistsAcrossSchedulerInstances) {
   EXPECT_EQ(snapshot->state, service::JobState::kDone);
   EXPECT_TRUE(snapshot->cache_hit);
   EXPECT_EQ(revived.stats().sessions_executed, 0);
+}
+
+TEST(SchedulerTest, CachePersistenceBatchesOnDirtyThreshold) {
+  std::string dir = MakeScratchDir("sched_batch");
+  service::SchedulerOptions options;
+  options.cache_directory = dir;
+  options.cache_persist_threshold = 4;
+  int64_t skipped_before = common::MetricsRegistry::Default()
+                               .GetCounter("service/cache_persist_skipped")
+                               .value();
+  {
+    service::Scheduler scheduler(options);
+    auto id = scheduler.Submit(MakeJob(96, "batched"));
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(scheduler.AwaitResult(id.value()).ok());
+    // One completed job is below the 4-dirty-entry threshold: nothing
+    // hit the disk, the skipped persist was counted, and the entry
+    // stays marked dirty for the eventual flush.
+    EXPECT_TRUE(std::filesystem::is_empty(dir));
+    EXPECT_EQ(common::MetricsRegistry::Default()
+                  .GetCounter("service/cache_persist_skipped")
+                  .value(),
+              skipped_before + 1);
+    EXPECT_EQ(scheduler.cache().dirty_entries(), 1u);
+  }  // The destructor flushes whatever is still dirty.
+  EXPECT_FALSE(std::filesystem::is_empty(dir));
+  service::Scheduler revived(options);
+  EXPECT_EQ(revived.cache().entries(), 1u);
+  EXPECT_EQ(revived.cache().dirty_entries(), 0u);
+}
+
+TEST(SchedulerTest, SubscribeDeliversTerminalSnapshotOnCompletion) {
+  service::SchedulerOptions options;
+  options.start_paused = true;
+  service::Scheduler scheduler(options);
+  auto id = scheduler.Submit(MakeJob(93, "subscribed"));
+  ASSERT_TRUE(id.ok());
+  std::promise<service::JobSnapshot> delivered;
+  auto subscription = scheduler.Subscribe(
+      id.value(), [&delivered](const service::JobSnapshot& snapshot) {
+        delivered.set_value(snapshot);
+      });
+  ASSERT_TRUE(subscription.ok());
+  EXPECT_GT(subscription.value(), 0);  // Parked, not fired inline.
+  scheduler.Resume();
+  auto future = delivered.get_future();
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(120)),
+            std::future_status::ready);
+  service::JobSnapshot snapshot = future.get();
+  EXPECT_EQ(snapshot.state, service::JobState::kDone);
+  EXPECT_EQ(snapshot.id, id.value());
+  // The subscription was consumed when it fired.
+  EXPECT_FALSE(scheduler.Unsubscribe(subscription.value()));
+}
+
+TEST(SchedulerTest, SubscribeOnTerminalJobFiresInline) {
+  service::Scheduler scheduler(service::SchedulerOptions{});
+  auto id = scheduler.Submit(MakeJob(94, "inline-fire"));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(scheduler.AwaitResult(id.value()).ok());
+  bool fired = false;
+  auto subscription = scheduler.Subscribe(
+      id.value(), [&fired](const service::JobSnapshot& snapshot) {
+        fired = snapshot.state == service::JobState::kDone;
+      });
+  ASSERT_TRUE(subscription.ok());
+  EXPECT_EQ(subscription.value(), 0);  // Sentinel: fired before returning.
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(scheduler
+                .Subscribe(4242, [](const service::JobSnapshot&) {})
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SchedulerTest, UnsubscribePreventsDelivery) {
+  service::SchedulerOptions options;
+  options.start_paused = true;
+  service::Scheduler scheduler(options);
+  auto id = scheduler.Submit(MakeJob(92, "unsubscribed"));
+  ASSERT_TRUE(id.ok());
+  std::atomic<bool> fired{false};
+  auto subscription = scheduler.Subscribe(
+      id.value(), [&fired](const service::JobSnapshot&) { fired = true; });
+  ASSERT_TRUE(subscription.ok());
+  EXPECT_TRUE(scheduler.Unsubscribe(subscription.value()));
+  scheduler.Resume();
+  ASSERT_TRUE(scheduler.AwaitResult(id.value()).ok());
+  EXPECT_FALSE(fired.load());
 }
 
 TEST(SchedulerTest, StatsJsonCarriesSchedulerAndCacheCounters) {

@@ -56,6 +56,8 @@ void PrintUsage() {
       "usage: ada_client --port N <command> [options]\n"
       "commands: ping | stats | submit | status | result | cancel |"
       " shutdown\n"
+      "ping:    [--count N]  (N > 1 pipelines N pings on one"
+      " connection)\n"
       "submit:  [--csv FILE | --patients N [--exam-types N] [--profiles N]"
       " [--seed N]]\n"
       "         [--dataset-id S] [--priority N] [--deadline-ms D]\n"
@@ -126,6 +128,7 @@ struct Flags {
   double wait_ms = 0.0;
   bool report = false;
   int64_t job_id = -1;
+  int64_t count = 1;  // ping: >1 pipelines that many pings.
 };
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -193,6 +196,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->report = true;
     } else if (std::strcmp(arg, "--job") == 0) {
       if (!next_int(&flags->job_id)) return false;
+    } else if (std::strcmp(arg, "--count") == 0) {
+      if (!next_int(&flags->count) || flags->count < 1) return false;
     } else if (arg[0] == '-') {
       std::fprintf(stderr, "ada_client: unknown flag '%s'\n", arg);
       return false;
@@ -279,6 +284,23 @@ int main(int argc, char** argv) {
   auto call = [&](const Json::Object& request) -> StatusOr<Json> {
     return client.value().Call(request);
   };
+
+  if (flags.command == "ping" && flags.count > 1) {
+    // Pipelined liveness check: all requests go out in one batch write
+    // and the responses come back in order on the same connection.
+    std::vector<Json::Object> requests;
+    Json::Object ping;
+    ping["verb"] = "ping";
+    requests.assign(static_cast<size_t>(flags.count), ping);
+    auto responses = client.value().CallPipelined(requests);
+    int64_t answered = 0;
+    for (const auto& response : responses) {
+      if (response.ok()) ++answered;
+    }
+    std::printf("pinged %lld/%lld\n", static_cast<long long>(answered),
+                static_cast<long long>(flags.count));
+    return answered == flags.count ? kExitOk : kExitServerError;
+  }
 
   if (flags.command == "ping" || flags.command == "stats" ||
       flags.command == "shutdown") {

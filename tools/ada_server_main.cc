@@ -3,12 +3,14 @@
 // Binds the NDJSON protocol server on the IPv4 loopback and serves
 // analysis jobs until a client sends the `shutdown` verb (or the
 // process receives SIGINT/SIGTERM, which the default handlers turn
-// into a plain exit; the result cache is persisted crash-safely after
-// every insert, so no state is lost either way).
+// into a plain exit; the result cache is persisted crash-safely on a
+// dirty-entry threshold and flushed at shutdown).
 //
 // Usage:
 //   ada_server [--port N] [--workers N] [--queue-depth N]
 //              [--cache-bytes N] [--cache-dir DIR]
+//              [--max-connections N] [--idle-timeout-millis D]
+//              [--max-result-wait-ms D] [--max-line-bytes N]
 //
 // Prints "listening on port N" once ready (scripts parse this line to
 // learn an ephemeral port requested with --port 0).
@@ -27,6 +29,8 @@ void PrintUsage() {
   std::printf(
       "usage: ada_server [--port N] [--workers N] [--queue-depth N]\n"
       "                  [--cache-bytes N] [--cache-dir DIR]\n"
+      "                  [--max-connections N] [--idle-timeout-millis D]\n"
+      "                  [--max-result-wait-ms D] [--max-line-bytes N]\n"
       "\n"
       "Serves the ADA-HEALTH NDJSON analysis protocol on 127.0.0.1.\n"
       "--port 0 (the default) picks an ephemeral port, printed on the\n"
@@ -85,6 +89,36 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.scheduler.cache_bytes = static_cast<size_t>(value);
+    } else if (std::strcmp(arg, "--max-connections") == 0) {
+      const char* text = next();
+      if (text == nullptr || !ParseIntFlag(text, &value) || value < 1) {
+        std::fprintf(stderr, "ada_server: --max-connections expects >= 1\n");
+        return 2;
+      }
+      options.max_connections = static_cast<size_t>(value);
+    } else if (std::strcmp(arg, "--idle-timeout-millis") == 0) {
+      const char* text = next();
+      if (text == nullptr || !ParseIntFlag(text, &value)) {
+        std::fprintf(stderr,
+                     "ada_server: --idle-timeout-millis expects a number"
+                     " (<= 0 disables idle eviction)\n");
+        return 2;
+      }
+      options.idle_timeout_millis = static_cast<double>(value);
+    } else if (std::strcmp(arg, "--max-result-wait-ms") == 0) {
+      const char* text = next();
+      if (text == nullptr || !ParseIntFlag(text, &value) || value < 1) {
+        std::fprintf(stderr, "ada_server: --max-result-wait-ms expects >= 1\n");
+        return 2;
+      }
+      options.max_result_wait_millis = static_cast<double>(value);
+    } else if (std::strcmp(arg, "--max-line-bytes") == 0) {
+      const char* text = next();
+      if (text == nullptr || !ParseIntFlag(text, &value) || value < 1) {
+        std::fprintf(stderr, "ada_server: --max-line-bytes expects >= 1\n");
+        return 2;
+      }
+      options.max_line_bytes = static_cast<size_t>(value);
     } else if (std::strcmp(arg, "--cache-dir") == 0) {
       const char* text = next();
       if (text == nullptr) {

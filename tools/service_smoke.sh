@@ -6,8 +6,10 @@
 #   2. the identical repeat submission is a fingerprint-cache hit;
 #   3. a queued job whose must-start deadline passes while the single
 #      worker is busy is shed as expired (exit 6);
-# then cross-checks the scheduler/cache counters via the stats verb and
-# stops the server with the shutdown verb.
+# then cross-checks the scheduler/cache counters via the stats verb,
+# runs a multi-client exchange (pipelined ping batches and cache-served
+# submits in parallel — a serial accept-handle-close server would
+# deadlock here), and stops the server with the shutdown verb.
 #
 # Usage: tools/service_smoke.sh [BUILD_DIR]   (default: build)
 # CI runs this under ASan+UBSan (the service-smoke job).
@@ -117,6 +119,24 @@ if bad:
     print(f"counter mismatches (got, want): {bad}", file=sys.stderr)
     sys.exit(1)
 EOF
+
+echo "== concurrent pipelined clients =="
+# Six clients at once against the one event loop: four pipelined
+# ping batches plus two submit --wait clients (identical to the cold
+# job, so they are cache hits and leave the counters above untouched).
+CONCURRENT_PIDS=()
+for _ in 1 2 3 4; do
+  client ping --count 25 >/dev/null &
+  CONCURRENT_PIDS+=($!)
+done
+for _ in 1 2; do
+  client submit --patients 100 --exam-types 20 --seed 7 \
+      --dataset-id smoke-cold --fast --wait >/dev/null &
+  CONCURRENT_PIDS+=($!)
+done
+for pid in "${CONCURRENT_PIDS[@]}"; do
+  wait "${pid}" || fail "concurrent client (pid ${pid}) failed"
+done
 
 echo "== shutdown verb =="
 client shutdown >/dev/null || fail "shutdown verb failed"
