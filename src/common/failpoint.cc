@@ -38,7 +38,11 @@ FailpointConfig OneShotError(StatusCode code, std::string message) {
 FailpointRegistry& FailpointRegistry::Default() {
   static FailpointRegistry* registry = [] {
     auto* r = new FailpointRegistry();  // Leaky singleton by design.
-    if (const char* spec = std::getenv("ADA_FAILPOINTS");
+    // getenv races concurrent setenv, but this read happens once under
+    // the function-local-static guard before any other thread can
+    // touch the environment through us.
+    if (const char* spec =
+            std::getenv("ADA_FAILPOINTS");  // NOLINT(concurrency-mt-unsafe)
         spec != nullptr && spec[0] != '\0') {
       Status configured = r->Configure(spec);
       if (!configured.ok()) {
@@ -137,7 +141,7 @@ Status FailpointRegistry::Configure(std::string_view spec) {
     parsed[std::string(Trim(trimmed.substr(0, eq)))] =
         std::move(config).value();
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   armed_.clear();
   for (auto& [point, config] : parsed) {
     armed_[point] = ArmedPoint{std::move(config), 0};
@@ -147,18 +151,18 @@ Status FailpointRegistry::Configure(std::string_view spec) {
 
 void FailpointRegistry::Arm(const std::string& point,
                             FailpointConfig config) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   armed_[point] = ArmedPoint{std::move(config), 0};
   hit_counts_[point] = 0;
 }
 
 void FailpointRegistry::Disarm(const std::string& point) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   armed_.erase(point);
 }
 
 void FailpointRegistry::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   armed_.clear();
   hit_counts_.clear();
 }
@@ -167,7 +171,7 @@ Status FailpointRegistry::Evaluate(std::string_view point) {
   int64_t delay_millis = -1;
   Status triggered = OkStatus();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     int64_t hit = ++hit_counts_[std::string(point)];
     auto it = armed_.find(point);
     if (it == armed_.end()) return OkStatus();
@@ -203,13 +207,13 @@ Status FailpointRegistry::Evaluate(std::string_view point) {
 }
 
 int64_t FailpointRegistry::hits(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = hit_counts_.find(point);
   return it == hit_counts_.end() ? 0 : it->second;
 }
 
 std::vector<std::string> FailpointRegistry::ArmedPoints() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::vector<std::string> points;
   points.reserve(armed_.size());
   for (const auto& [point, armed] : armed_) points.push_back(point);

@@ -31,12 +31,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace adahealth {
 namespace common {
@@ -78,27 +78,32 @@ class FailpointRegistry {
   /// Parses a full spec ("point=action;point=action") and arms every
   /// clause, replacing the registry's previous configuration.
   /// INVALID_ARGUMENT pinpointing the offending clause on bad grammar.
-  [[nodiscard]] Status Configure(std::string_view spec);
+  [[nodiscard]] Status Configure(std::string_view spec)
+      ADA_EXCLUDES(mutex_);
 
   /// Arms (or re-arms) a single point, resetting its hit counter.
-  void Arm(const std::string& point, FailpointConfig config);
+  void Arm(const std::string& point, FailpointConfig config)
+      ADA_EXCLUDES(mutex_);
 
   /// Disarms a point; evaluating it is a no-op again.
-  void Disarm(const std::string& point);
+  void Disarm(const std::string& point) ADA_EXCLUDES(mutex_);
 
   /// Disarms everything and forgets all hit counters.
-  void Clear();
+  void Clear() ADA_EXCLUDES(mutex_);
 
   /// One hit of `point`: bumps its hit counter and, when the trigger
   /// is armed for this hit, sleeps (delay) or returns the configured
   /// error. Dormant or exhausted points return OK.
-  [[nodiscard]] Status Evaluate(std::string_view point);
+  [[nodiscard]] Status Evaluate(std::string_view point)
+      ADA_EXCLUDES(mutex_);
 
   /// Total hits observed for `point` (armed or not).
-  [[nodiscard]] int64_t hits(const std::string& point) const;
+  [[nodiscard]] int64_t hits(const std::string& point) const
+      ADA_EXCLUDES(mutex_);
 
   /// Names of currently armed points, sorted.
-  [[nodiscard]] std::vector<std::string> ArmedPoints() const;
+  [[nodiscard]] std::vector<std::string> ArmedPoints() const
+      ADA_EXCLUDES(mutex_);
 
  private:
   struct ArmedPoint {
@@ -106,9 +111,11 @@ class FailpointRegistry {
     int64_t activations = 0;
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, ArmedPoint, std::less<>> armed_;
-  std::map<std::string, int64_t, std::less<>> hit_counts_;
+  mutable Mutex mutex_;
+  std::map<std::string, ArmedPoint, std::less<>> armed_
+      ADA_GUARDED_BY(mutex_);
+  std::map<std::string, int64_t, std::less<>> hit_counts_
+      ADA_GUARDED_BY(mutex_);
 };
 
 /// RAII helper for tests: arms `point` on construction, disarms it on

@@ -20,7 +20,7 @@ void LatencyHistogram::Record(double seconds) {
   while (bucket < kNumBuckets - 1 && seconds > BucketUpperBound(bucket)) {
     ++bucket;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (state_.count == 0) {
     state_.min_seconds = seconds;
     state_.max_seconds = seconds;
@@ -34,12 +34,12 @@ void LatencyHistogram::Record(double seconds) {
 }
 
 LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return state_;
 }
 
 void LatencyHistogram::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   state_ = Snapshot{};
 }
 
@@ -49,7 +49,7 @@ MetricsRegistry& MetricsRegistry::Default() {
 }
 
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_
@@ -60,7 +60,7 @@ Counter& MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -69,7 +69,7 @@ Gauge& MetricsRegistry::GetGauge(std::string_view name) {
 }
 
 LatencyHistogram& MetricsRegistry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -81,14 +81,14 @@ LatencyHistogram& MetricsRegistry::GetHistogram(std::string_view name) {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
 }
 
 Json MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   Json::Object counters;
   for (const auto& [name, counter] : counters_) {
     counters[name] = Json(counter->value());

@@ -22,12 +22,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "common/json.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/timer.h"
 
 namespace adahealth {
@@ -68,7 +68,7 @@ class LatencyHistogram {
   /// Upper bound of bucket `b` in seconds (the last bucket is open).
   static double BucketUpperBound(size_t b);
 
-  void Record(double seconds);
+  void Record(double seconds) ADA_EXCLUDES(mutex_);
 
   /// Immutable copy of the histogram state.
   struct Snapshot {
@@ -82,16 +82,16 @@ class LatencyHistogram {
       return count > 0 ? total_seconds / static_cast<double>(count) : 0.0;
     }
   };
-  Snapshot snapshot() const;
+  Snapshot snapshot() const ADA_EXCLUDES(mutex_);
 
   int64_t count() const { return snapshot().count; }
   double total_seconds() const { return snapshot().total_seconds; }
 
-  void Reset();
+  void Reset() ADA_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  Snapshot state_;
+  mutable Mutex mutex_;
+  Snapshot state_ ADA_GUARDED_BY(mutex_);
 };
 
 /// A named set of instruments. Instruments are created on first access
@@ -106,27 +106,33 @@ class MetricsRegistry {
   /// The process-wide registry the pipeline stages record into.
   static MetricsRegistry& Default();
 
-  Counter& GetCounter(std::string_view name);
-  Gauge& GetGauge(std::string_view name);
-  LatencyHistogram& GetHistogram(std::string_view name);
+  Counter& GetCounter(std::string_view name) ADA_EXCLUDES(mutex_);
+  Gauge& GetGauge(std::string_view name) ADA_EXCLUDES(mutex_);
+  LatencyHistogram& GetHistogram(std::string_view name)
+      ADA_EXCLUDES(mutex_);
 
   /// Zeroes every instrument in place (references stay valid).
-  void Reset();
+  void Reset() ADA_EXCLUDES(mutex_);
 
   /// Exports the registry as
   ///   {"counters": {...}, "gauges": {...}, "histograms": {...}}
   /// with per-histogram count/total/min/max/mean and bucket counts.
-  Json ToJson() const;
+  Json ToJson() const ADA_EXCLUDES(mutex_);
 
   /// Writes ToJson().Pretty() to `path` (for bench reports).
   [[nodiscard]] Status WriteJsonFile(const std::string& path) const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  // The maps are guarded; the instruments they point at are internally
+  // synchronized (atomics or their own mutex) and handed out as
+  // lifetime-stable references, so only map mutation needs mutex_.
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      ADA_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      ADA_GUARDED_BY(mutex_);
   std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
-      histograms_;
+      histograms_ ADA_GUARDED_BY(mutex_);
 };
 
 /// Records the wall time between construction and destruction (or an

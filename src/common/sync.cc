@@ -1,0 +1,32 @@
+#include "common/sync.h"
+
+namespace adahealth {
+namespace common {
+
+// std::condition_variable only waits on a std::unique_lock, so the
+// non-template waits adopt the already-held native mutex for the
+// duration of the wait and release the unique_lock's ownership claim
+// (not the mutex itself) before returning. The mutex is locked again
+// by cv_.wait before either function returns, which is exactly the
+// state the ADA_REQUIRES contract promises the caller.
+
+void CondVar::Wait(Mutex& mu) {
+  std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+  cv_.wait(lock);
+  lock.release();
+}
+
+bool CondVar::WaitUntil(Mutex& mu,
+                        std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+  const std::cv_status status = cv_.wait_until(lock, deadline);
+  lock.release();
+  return status == std::cv_status::no_timeout;
+}
+
+void CondVar::NotifyOne() { cv_.notify_one(); }
+
+void CondVar::NotifyAll() { cv_.notify_all(); }
+
+}  // namespace common
+}  // namespace adahealth

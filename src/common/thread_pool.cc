@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "common/sync.h"
 
 namespace adahealth {
 namespace common {
@@ -33,10 +34,10 @@ ThreadPool& ThreadPool::Shared() {
 
 void ThreadPool::Shutdown() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     shutting_down_ = true;
   }
-  task_available_.notify_all();
+  task_available_.NotifyAll();
   for (auto& thread : threads_) {
     if (thread.joinable()) thread.join();
   }
@@ -44,35 +45,37 @@ void ThreadPool::Shutdown() {
 
 void ThreadPool::Schedule(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     ADA_CHECK(!shutting_down_);
     queue_.push_back(std::move(task));
   }
-  task_available_.notify_one();
+  task_available_.NotifyOne();
 }
 
 bool ThreadPool::TrySchedule(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (shutting_down_) return false;
     queue_.push_back(std::move(task));
   }
-  task_available_.notify_one();
+  task_available_.NotifyOne();
   return true;
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(&mutex_);
+  all_done_.Wait(mutex_, [this]() ADA_REQUIRES(mutex_) {
+    return queue_.empty() && active_ == 0;
+  });
 }
 
 size_t ThreadPool::failed_tasks() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return failed_tasks_;
 }
 
 std::string ThreadPool::first_failure_message() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return first_failure_message_;
 }
 
@@ -80,9 +83,10 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(&mutex_);
+      task_available_.Wait(mutex_, [this]() ADA_REQUIRES(mutex_) {
+        return shutting_down_ || !queue_.empty();
+      });
       if (queue_.empty()) {
         if (shutting_down_) return;
         continue;
@@ -115,13 +119,13 @@ void ThreadPool::WorkerLoop() {
           << "thread pool task failed with a non-std exception";
     }
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       if (failed) {
         ++failed_tasks_;
         if (failed_tasks_ == 1) first_failure_message_ = failure_message;
       }
       --active_;
-      if (queue_.empty() && active_ == 0) all_done_.notify_all();
+      if (queue_.empty() && active_ == 0) all_done_.NotifyAll();
     }
   }
 }
@@ -140,17 +144,19 @@ struct ParallelForState {
   size_t num_chunks = 0;
   std::atomic<size_t> next{0};
   std::atomic<size_t> remaining{0};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  /// First body exception, wherever it ran (guarded by done_mutex);
-  /// rethrown by the caller once every chunk has finished.
-  std::exception_ptr first_error;
+  Mutex done_mutex;
+  CondVar done_cv;
+  /// First body exception, wherever it ran; rethrown by the caller
+  /// once every chunk has finished.
+  std::exception_ptr first_error ADA_GUARDED_BY(done_mutex);
 };
 
 void FinishChunk(ParallelForState& state) {
   if (state.remaining.fetch_sub(1) == 1) {
-    std::unique_lock<std::mutex> lock(state.done_mutex);
-    state.done_cv.notify_all();
+    // Lock before notifying so the last decrement cannot slip between
+    // a waiter's predicate check and its sleep.
+    MutexLock lock(&state.done_mutex);
+    state.done_cv.NotifyAll();
   }
 }
 
@@ -167,8 +173,10 @@ void RunClaimLoop(ParallelForState& state) {
     const size_t chunk_end = std::min(state.end, chunk_begin + state.chunk);
     try {
       state.body(chunk_begin, chunk_end);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(state.done_mutex);
+      // Not swallowed: the caller rethrows first_error after the
+      // barrier (see ParallelForChunks).
+    } catch (...) {  // ada-lint: allow(catch-swallow)
+      MutexLock lock(&state.done_mutex);
       if (state.first_error == nullptr) {
         state.first_error = std::current_exception();
       }
@@ -177,10 +185,15 @@ void RunClaimLoop(ParallelForState& state) {
   }
 }
 
-void WaitAllChunks(ParallelForState& state) {
-  std::unique_lock<std::mutex> lock(state.done_mutex);
-  state.done_cv.wait(lock,
+/// Blocks until every chunk has finished and returns the first body
+/// exception (nullptr when none). The error is read under done_mutex —
+/// the annotations surfaced that the old post-barrier read relied on
+/// the cv/atomic ordering alone instead of the lock that guards it.
+std::exception_ptr WaitAllChunks(ParallelForState& state) {
+  MutexLock lock(&state.done_mutex);
+  state.done_cv.Wait(state.done_mutex,
                      [&state] { return state.remaining.load() == 0; });
+  return state.first_error;
 }
 
 }  // namespace
@@ -219,11 +232,10 @@ size_t ParallelForChunks(
     if (!pool.TrySchedule([state] { RunClaimLoop(*state); })) break;
   }
   RunClaimLoop(*state);
-  WaitAllChunks(*state);
-  // The barrier above orders every recording lock before this read:
-  // the caller sees the first error regardless of which thread hit it.
-  if (state->first_error != nullptr) {
-    std::rethrow_exception(state->first_error);
+  // The barrier hands back the first error under its own lock: the
+  // caller rethrows it regardless of which thread hit it.
+  if (std::exception_ptr first_error = WaitAllChunks(*state)) {
+    std::rethrow_exception(first_error);
   }
   return num_chunks;
 }

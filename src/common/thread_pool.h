@@ -6,14 +6,14 @@
 #ifndef ADAHEALTH_COMMON_THREAD_POOL_H_
 #define ADAHEALTH_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace adahealth {
 namespace common {
@@ -47,43 +47,48 @@ class ThreadPool {
   /// Enqueues `task` for execution. Scheduling after shutdown has begun
   /// is a programmer error (ADA_CHECK); use TrySchedule when the pool's
   /// lifetime is not under the caller's control.
-  void Schedule(std::function<void()> task);
+  void Schedule(std::function<void()> task) ADA_EXCLUDES(mutex_);
 
   /// Like Schedule, but returns false (dropping `task`) instead of
   /// aborting when the pool is already shutting down. Safe to call
   /// concurrently with Shutdown.
-  [[nodiscard]] bool TrySchedule(std::function<void()> task);
+  [[nodiscard]] bool TrySchedule(std::function<void()> task)
+      ADA_EXCLUDES(mutex_);
 
   /// Begins shutdown, drains the queue, and joins the workers: every
   /// task accepted before shutdown began is executed before this
   /// returns. Idempotent from the owning thread (the destructor calls
   /// it); concurrent TrySchedule calls observe the shutdown and return
   /// false instead of enqueuing.
-  void Shutdown();
+  void Shutdown() ADA_EXCLUDES(mutex_);
 
   /// Blocks until every scheduled task has completed.
-  void Wait();
+  void Wait() ADA_EXCLUDES(mutex_);
 
+  /// threads_ is immutable after construction, so this needs no lock.
   size_t num_threads() const { return threads_.size(); }
 
   /// Number of tasks so far whose execution ended in an exception.
-  [[nodiscard]] size_t failed_tasks() const;
+  [[nodiscard]] size_t failed_tasks() const ADA_EXCLUDES(mutex_);
 
   /// what() of the first failed task ("" while failed_tasks() == 0;
   /// "unknown exception" for non-std::exception throws).
-  [[nodiscard]] std::string first_failure_message() const;
+  [[nodiscard]] std::string first_failure_message() const
+      ADA_EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() ADA_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  size_t active_ = 0;
-  bool shutting_down_ = false;
-  size_t failed_tasks_ = 0;
-  std::string first_failure_message_;
+  mutable Mutex mutex_;
+  CondVar task_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ ADA_GUARDED_BY(mutex_);
+  size_t active_ ADA_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ ADA_GUARDED_BY(mutex_) = false;
+  size_t failed_tasks_ ADA_GUARDED_BY(mutex_) = 0;
+  std::string first_failure_message_ ADA_GUARDED_BY(mutex_);
+  /// Started in the constructor, joined by Shutdown; the vector itself
+  /// is never resized after construction.
   std::vector<std::thread> threads_;
 };
 

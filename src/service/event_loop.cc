@@ -18,8 +18,11 @@ using common::Status;
 namespace {
 
 Status ErrnoError(const char* operation) {
-  return common::UnavailableError(
-      common::StrFormat("%s failed: %s", operation, std::strerror(errno)));
+  // strerror's static buffer is fine here: the loop is single-threaded
+  // and the message is formatted into the Status immediately.
+  return common::UnavailableError(common::StrFormat(
+      "%s failed: %s", operation,
+      std::strerror(errno)));  // NOLINT(concurrency-mt-unsafe)
 }
 
 }  // namespace
@@ -27,7 +30,7 @@ Status ErrnoError(const char* operation) {
 EventLoop::~EventLoop() {
   // Mark exited so late Post() calls from worker threads are dropped
   // instead of queued into a dead loop.
-  std::lock_guard<std::mutex> lock(posted_mutex_);
+  common::MutexLock lock(&posted_mutex_);
   loop_exited_ = true;
 }
 
@@ -107,7 +110,7 @@ bool EventLoop::CancelTimer(TimerId id) {
 void EventLoop::Post(Task task) {
   bool need_wakeup = false;
   {
-    std::lock_guard<std::mutex> lock(posted_mutex_);
+    common::MutexLock lock(&posted_mutex_);
     if (loop_exited_) return;  // Teardown race: drop silently.
     need_wakeup = posted_.empty();
     posted_.push_back(std::move(task));
@@ -124,7 +127,7 @@ void EventLoop::Post(Task task) {
 void EventLoop::DrainPosted() {
   std::vector<Task> tasks;
   {
-    std::lock_guard<std::mutex> lock(posted_mutex_);
+    common::MutexLock lock(&posted_mutex_);
     tasks.swap(posted_);
   }
   for (Task& task : tasks) task();
@@ -177,7 +180,7 @@ void EventLoop::Run() {
     }
   }
   DrainPosted();  // Run anything posted before quit was observed.
-  std::lock_guard<std::mutex> lock(posted_mutex_);
+  common::MutexLock lock(&posted_mutex_);
   loop_exited_ = true;
 }
 

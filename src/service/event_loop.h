@@ -18,10 +18,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "service/net_socket.h"
 
 namespace adahealth {
@@ -70,7 +70,7 @@ class EventLoop {
   /// entry point for other threads. Tasks posted after the loop has
   /// exited are silently dropped — the server relies on this when
   /// scheduler workers finish jobs during teardown.
-  void Post(Task task);
+  void Post(Task task) ADA_EXCLUDES(posted_mutex_);
 
   /// Dispatches events until Quit(). Blocks; call from the designated
   /// loop thread.
@@ -81,7 +81,7 @@ class EventLoop {
   void Quit() { quit_ = true; }
 
  private:
-  void DrainPosted();
+  void DrainPosted() ADA_EXCLUDES(posted_mutex_);
   void FirePendingTimers();
   /// Milliseconds until the earliest timer (-1 = no timers, wait
   /// indefinitely), clamped to >= 0.
@@ -104,9 +104,10 @@ class EventLoop {
   std::multimap<Clock::time_point, TimerId> timer_order_;
   TimerId next_timer_id_ = 1;
 
-  std::mutex posted_mutex_;
-  std::vector<Task> posted_;
-  bool loop_exited_ = false;  // Guarded by posted_mutex_.
+  common::Mutex posted_mutex_;
+  std::vector<Task> posted_ ADA_GUARDED_BY(posted_mutex_);
+  /// Once set, Post() drops tasks instead of queueing into a dead loop.
+  bool loop_exited_ ADA_GUARDED_BY(posted_mutex_) = false;
 
   bool quit_ = false;
 };

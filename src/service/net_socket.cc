@@ -23,8 +23,11 @@ using common::StatusOr;
 namespace {
 
 Status ErrnoError(const char* operation) {
-  return common::UnavailableError(
-      common::StrFormat("%s failed: %s", operation, std::strerror(errno)));
+  // strerror's static buffer is consumed immediately into the Status;
+  // a concurrent strerror call can garble the text, never the code.
+  return common::UnavailableError(common::StrFormat(
+      "%s failed: %s", operation,
+      std::strerror(errno)));  // NOLINT(concurrency-mt-unsafe)
 }
 
 sockaddr_in LoopbackAddress(uint16_t port) {
@@ -148,8 +151,10 @@ Status FinishConnect(const FileDescriptor& fd, int timeout_millis) {
     return ErrnoError("getsockopt(SO_ERROR)");
   }
   if (so_error != 0) {
-    return common::UnavailableError(
-        common::StrFormat("connect failed: %s", std::strerror(so_error)));
+    // Same static-buffer caveat as ErrnoError above.
+    return common::UnavailableError(common::StrFormat(
+        "connect failed: %s",
+        std::strerror(so_error)));  // NOLINT(concurrency-mt-unsafe)
   }
   return common::OkStatus();
 }

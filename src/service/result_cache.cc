@@ -69,7 +69,7 @@ ResultCache::ResultCache(size_t max_bytes) : max_bytes_(max_bytes) {}
 
 std::optional<CachedAnalysis> ResultCache::Lookup(
     const std::string& fingerprint) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   auto it = index_.find(fingerprint);
   if (it == index_.end()) {
     ++misses_;
@@ -88,7 +88,7 @@ std::optional<CachedAnalysis> ResultCache::Lookup(
 
 void ResultCache::Insert(CachedAnalysis entry) {
   if (entry.fingerprint.empty()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   auto it = index_.find(entry.fingerprint);
   if (it != index_.end()) {
     bytes_ -= it->second->ByteSize();
@@ -109,7 +109,7 @@ void ResultCache::Insert(CachedAnalysis entry) {
 }
 
 void ResultCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   lru_.clear();
   index_.clear();
   bytes_ = 0;
@@ -117,32 +117,32 @@ void ResultCache::Clear() {
 }
 
 size_t ResultCache::entries() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   return lru_.size();
 }
 
 size_t ResultCache::bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   return bytes_;
 }
 
 int64_t ResultCache::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   return hits_;
 }
 
 int64_t ResultCache::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   return misses_;
 }
 
 int64_t ResultCache::evictions() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   return evictions_;
 }
 
 size_t ResultCache::dirty_entries() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   return dirty_;
 }
 
@@ -171,7 +171,7 @@ Status ResultCache::Persist(const std::string& directory) const {
   kdb::Collection& collection = db.GetOrCreate(kCacheCollection);
   size_t snapshot_dirty = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(&mutex_);
     snapshot_dirty = dirty_;
     // Least-recently-used first: Restore() inserts in file order, so
     // the most recent entries end up at the front of the rebuilt LRU
@@ -185,7 +185,7 @@ Status ResultCache::Persist(const std::string& directory) const {
   ADA_RETURN_IF_ERROR(db.SaveTo(directory));
   // Only the debt captured in the snapshot is paid off; inserts that
   // raced past the copy loop stay dirty for the next persist.
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   dirty_ -= std::min(dirty_, snapshot_dirty);
   return common::OkStatus();
 }
@@ -198,7 +198,7 @@ Status ResultCache::Restore(const std::string& directory) {
   ADA_RETURN_IF_ERROR(db.LoadFrom(directory, {kCacheCollection}, options));
   auto collection = db.Get(kCacheCollection);
   if (!collection.ok()) return collection.status();
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   lru_.clear();
   index_.clear();
   bytes_ = 0;

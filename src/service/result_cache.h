@@ -14,12 +14,12 @@
 #include <cstdint>
 #include <list>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "common/json.h"
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace adahealth {
 namespace service {
@@ -62,55 +62,59 @@ class ResultCache {
   /// Returns the entry and marks it most-recently-used; counts a hit
   /// or miss.
   [[nodiscard]] std::optional<CachedAnalysis> Lookup(
-      const std::string& fingerprint);
+      const std::string& fingerprint) ADA_EXCLUDES(mutex_);
 
   /// Inserts (or refreshes) an entry, then evicts least-recently-used
   /// entries until the byte budget holds.
-  void Insert(CachedAnalysis entry);
+  void Insert(CachedAnalysis entry) ADA_EXCLUDES(mutex_);
 
   /// Drops every entry (counters are not reset).
-  void Clear();
+  void Clear() ADA_EXCLUDES(mutex_);
 
-  [[nodiscard]] size_t entries() const;
-  [[nodiscard]] size_t bytes() const;
+  [[nodiscard]] size_t entries() const ADA_EXCLUDES(mutex_);
+  [[nodiscard]] size_t bytes() const ADA_EXCLUDES(mutex_);
   [[nodiscard]] size_t max_bytes() const { return max_bytes_; }
-  [[nodiscard]] int64_t hits() const;
-  [[nodiscard]] int64_t misses() const;
-  [[nodiscard]] int64_t evictions() const;
+  [[nodiscard]] int64_t hits() const ADA_EXCLUDES(mutex_);
+  [[nodiscard]] int64_t misses() const ADA_EXCLUDES(mutex_);
+  [[nodiscard]] int64_t evictions() const ADA_EXCLUDES(mutex_);
 
   /// Inserts not yet covered by a successful Persist(). Lets callers
   /// batch persistence (full rewrites are O(all entries)) instead of
   /// rewriting the file after every insert.
-  [[nodiscard]] size_t dirty_entries() const;
+  [[nodiscard]] size_t dirty_entries() const ADA_EXCLUDES(mutex_);
 
   /// Persists every entry to `<directory>/result_cache.jsonl` through
   /// the crash-safe K-DB storage layer (atomic write, no residue on
-  /// failure).
-  [[nodiscard]] common::Status Persist(const std::string& directory) const;
+  /// failure). The lock is NOT held across the disk write: entries are
+  /// copied out under one lock scope and the dirty debt settled under a
+  /// second, so inserts may race the write (they stay dirty).
+  [[nodiscard]] common::Status Persist(const std::string& directory) const
+      ADA_EXCLUDES(mutex_);
 
   /// Replaces the cache contents with the persisted entries (salvage
   /// mode: a torn file restores its valid prefix). Entries are loaded
   /// in persisted-recency order, so the byte budget keeps the most
   /// recently used ones.
-  [[nodiscard]] common::Status Restore(const std::string& directory);
+  [[nodiscard]] common::Status Restore(const std::string& directory)
+      ADA_EXCLUDES(mutex_);
 
  private:
-  void EvictLocked();
-  void TouchMetricsLocked();
+  void EvictLocked() ADA_REQUIRES(mutex_);
+  void TouchMetricsLocked() ADA_REQUIRES(mutex_);
 
   const size_t max_bytes_;
-  mutable std::mutex mutex_;
+  mutable common::Mutex mutex_;
   /// Front = most recently used.
-  std::list<CachedAnalysis> lru_;
+  std::list<CachedAnalysis> lru_ ADA_GUARDED_BY(mutex_);
   std::map<std::string, std::list<CachedAnalysis>::iterator, std::less<>>
-      index_;
-  size_t bytes_ = 0;
+      index_ ADA_GUARDED_BY(mutex_);
+  size_t bytes_ ADA_GUARDED_BY(mutex_) = 0;
   /// Inserts since the last successful Persist (mutable: a successful
   /// const Persist resets the debt it just paid off).
-  mutable size_t dirty_ = 0;
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
-  int64_t evictions_ = 0;
+  mutable size_t dirty_ ADA_GUARDED_BY(mutex_) = 0;
+  int64_t hits_ ADA_GUARDED_BY(mutex_) = 0;
+  int64_t misses_ ADA_GUARDED_BY(mutex_) = 0;
+  int64_t evictions_ ADA_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace service

@@ -100,8 +100,9 @@ Scheduler::Scheduler(SchedulerOptions options)
 }
 
 Scheduler::~Scheduler() {
+  std::vector<Notification> notifications;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    common::MutexLock lock(&mutex_);
     draining_ = true;
     std::vector<JobId> backlog;
     backlog.reserve(pending_.size());
@@ -109,10 +110,16 @@ Scheduler::~Scheduler() {
     pending_.clear();
     for (JobId id : backlog) {
       FinishJob(*jobs_.at(id), JobState::kCancelled,
-                common::Status(common::StatusCode::kOk, "scheduler shutdown"));
+                common::Status(common::StatusCode::kOk, "scheduler shutdown"),
+                &notifications);
     }
-    workers_idle_.wait(lock, [this] { return active_workers_ == 0; });
+    workers_idle_.Wait(mutex_, [this]() ADA_REQUIRES(mutex_) {
+      return active_workers_ == 0;
+    });
   }
+  // Shutdown cancellations notify after every worker has retired and
+  // the lock is gone; subscribers may still query the scheduler.
+  FireNotifications(notifications);
   // Final flush: pays off whatever dirty debt the persist threshold
   // left batched up.
   if (!options_.cache_directory.empty() && cache_.dirty_entries() > 0) {
@@ -128,7 +135,7 @@ StatusOr<JobId> Scheduler::Submit(JobRequest request) {
   common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
   common::Status admission = ADA_FAILPOINT("service.admission");
   if (!admission.ok()) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(&mutex_);
     ++stats_.shed;
     metrics.GetCounter("service/jobs_shed").Increment();
     return admission;
@@ -141,7 +148,7 @@ StatusOr<JobId> Scheduler::Submit(JobRequest request) {
   // so the snapshot carries the cache key from the moment of submit.
   std::string fingerprint = DatasetFingerprint(request.log, request.options);
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   if (draining_) {
     return common::FailedPreconditionError("scheduler is shutting down");
   }
@@ -169,12 +176,15 @@ StatusOr<JobId> Scheduler::Submit(JobRequest request) {
   ++stats_.submitted;
   metrics.GetCounter("service/jobs_submitted").Increment();
   UpdateGaugesLocked();
-  SpawnWorkersLocked(lock);
+  if (SpawnWorkersLocked()) {
+    lock.Unlock();
+    DrainLoop();
+  }
   return id;
 }
 
 StatusOr<JobSnapshot> Scheduler::Status(JobId id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   auto it = jobs_.find(id);
   if (it == jobs_.end()) {
     return common::NotFoundError(
@@ -184,44 +194,50 @@ StatusOr<JobSnapshot> Scheduler::Status(JobId id) const {
 }
 
 StatusOr<JobSnapshot> Scheduler::AwaitResult(JobId id, double timeout_millis) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   auto it = jobs_.find(id);
   if (it == jobs_.end()) {
     return common::NotFoundError(
         common::StrFormat("no job with id %lld", static_cast<long long>(id)));
   }
   Job* job = it->second.get();
-  auto terminal = [job] { return IsTerminal(job->state); };
+  auto terminal = [job]() ADA_REQUIRES(mutex_) {
+    return IsTerminal(job->state);
+  };
   if (timeout_millis > 0.0) {
-    if (!state_changed_.wait_for(lock, MillisToDuration(timeout_millis),
-                                 terminal)) {
+    if (!state_changed_.WaitFor(mutex_, timeout_millis, terminal)) {
       return common::DeadlineExceededError(common::StrFormat(
           "job %lld still %s after %.0f ms", static_cast<long long>(id),
           JobStateName(job->state), timeout_millis));
     }
   } else {
-    state_changed_.wait(lock, terminal);
+    state_changed_.Wait(mutex_, terminal);
   }
   return job->Snapshot();
 }
 
 common::Status Scheduler::Cancel(JobId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = jobs_.find(id);
-  if (it == jobs_.end()) {
-    return common::NotFoundError(
-        common::StrFormat("no job with id %lld", static_cast<long long>(id)));
+  std::vector<Notification> notifications;
+  {
+    common::MutexLock lock(&mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      return common::NotFoundError(common::StrFormat(
+          "no job with id %lld", static_cast<long long>(id)));
+    }
+    Job& job = *it->second;
+    if (job.state != JobState::kQueued) {
+      return common::FailedPreconditionError(common::StrFormat(
+          "job %lld is %s; only queued jobs can be cancelled",
+          static_cast<long long>(id), JobStateName(job.state)));
+    }
+    pending_.erase(
+        PendingKey(-static_cast<int64_t>(job.request.priority), job.id));
+    FinishJob(job, JobState::kCancelled,
+              common::Status(common::StatusCode::kOk, "cancelled by client"),
+              &notifications);
   }
-  Job& job = *it->second;
-  if (job.state != JobState::kQueued) {
-    return common::FailedPreconditionError(common::StrFormat(
-        "job %lld is %s; only queued jobs can be cancelled",
-        static_cast<long long>(id), JobStateName(job.state)));
-  }
-  pending_.erase(
-      PendingKey(-static_cast<int64_t>(job.request.priority), job.id));
-  FinishJob(job, JobState::kCancelled,
-            common::Status(common::StatusCode::kOk, "cancelled by client"));
+  FireNotifications(notifications);
   return common::OkStatus();
 }
 
@@ -229,7 +245,7 @@ StatusOr<Scheduler::SubscriptionId> Scheduler::Subscribe(
     JobId id, CompletionCallback callback) {
   JobSnapshot already_terminal;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(&mutex_);
     auto it = jobs_.find(id);
     if (it == jobs_.end()) {
       return common::NotFoundError(common::StrFormat(
@@ -251,7 +267,7 @@ StatusOr<Scheduler::SubscriptionId> Scheduler::Subscribe(
 }
 
 bool Scheduler::Unsubscribe(SubscriptionId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   auto it = subscriptions_.find(id);
   if (it == subscriptions_.end()) return false;
   for (auto range = subscriptions_by_job_.equal_range(it->second.job);
@@ -266,27 +282,34 @@ bool Scheduler::Unsubscribe(SubscriptionId id) {
 }
 
 void Scheduler::Pause() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   paused_ = true;
 }
 
 void Scheduler::Resume() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   paused_ = false;
-  SpawnWorkersLocked(lock);
+  if (SpawnWorkersLocked()) {
+    lock.Unlock();
+    DrainLoop();
+  }
 }
 
 void Scheduler::Drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   paused_ = false;
-  SpawnWorkersLocked(lock);
-  workers_idle_.wait(lock, [this] {
+  if (SpawnWorkersLocked()) {
+    lock.Unlock();
+    DrainLoop();
+    lock.Lock();
+  }
+  workers_idle_.Wait(mutex_, [this]() ADA_REQUIRES(mutex_) {
     return pending_.empty() && active_workers_ == 0;
   });
 }
 
 SchedulerStats Scheduler::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   SchedulerStats stats = stats_;
   stats.queue_depth = pending_.size();
   stats.active_workers = active_workers_;
@@ -317,7 +340,7 @@ Json Scheduler::StatsJson() const {
   return Json(std::move(object));
 }
 
-void Scheduler::SpawnWorkersLocked(std::unique_lock<std::mutex>& lock) {
+bool Scheduler::SpawnWorkersLocked() {
   // One worker per pending job, capped at the configured ceiling; a
   // worker drains jobs until the queue is empty, then retires.
   while (!paused_ && !pending_.empty() &&
@@ -329,19 +352,18 @@ void Scheduler::SpawnWorkersLocked(std::unique_lock<std::mutex>& lock) {
     bool scheduled =
         common::ThreadPool::Shared().TrySchedule([this] { DrainLoop(); });
     if (!scheduled) {
-      // The shared pool only refuses during process teardown; run the
-      // drain inline so no admitted job is ever lost.
-      lock.unlock();
-      DrainLoop();
-      lock.lock();
-      break;
+      // The shared pool only refuses during process teardown; the
+      // caller runs the drain inline (with mutex_ released — DrainLoop
+      // takes it itself) so no admitted job is ever lost.
+      return true;
     }
   }
+  return false;
 }
 
 void Scheduler::DrainLoop() {
   common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
-  std::unique_lock<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   while (!paused_ && !pending_.empty()) {
     auto first = pending_.begin();
     JobId id = first->second;
@@ -353,30 +375,41 @@ void Scheduler::DrainLoop() {
     if (job.has_deadline && now > job.deadline) {
       ++stats_.expired;
       metrics.GetCounter("service/jobs_expired").Increment();
+      std::vector<Notification> notifications;
       FinishJob(job, JobState::kExpired,
                 common::DeadlineExceededError(common::StrFormat(
                     "job %lld waited %.1f ms, past its %.1f ms deadline",
                     static_cast<long long>(id), 1e3 * job.wait_seconds,
-                    job.request.deadline_millis)));
+                    job.request.deadline_millis)),
+                &notifications);
+      if (!notifications.empty()) {
+        lock.Unlock();
+        FireNotifications(notifications);
+        lock.Lock();
+      }
       continue;
     }
     job.state = JobState::kRunning;
     UpdateGaugesLocked();
-    lock.unlock();
+    lock.Unlock();
     RunJob(job);
-    lock.lock();
+    lock.Lock();
   }
   --active_workers_;
   UpdateGaugesLocked();
-  workers_idle_.notify_all();
+  workers_idle_.NotifyAll();
 }
 
 void Scheduler::RunJob(Job& job) {
   common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
   common::Status injected = ADA_FAILPOINT("service.worker.session");
   if (!injected.ok()) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    FinishJob(job, JobState::kFailed, injected);
+    std::vector<Notification> notifications;
+    {
+      common::MutexLock lock(&mutex_);
+      FinishJob(job, JobState::kFailed, injected, &notifications);
+    }
+    FireNotifications(notifications);
     return;
   }
 
@@ -384,14 +417,18 @@ void Scheduler::RunJob(Job& job) {
   // identical (dataset, options) pair are served from memory with no
   // second session execution.
   if (std::optional<CachedAnalysis> cached = cache_.Lookup(job.fingerprint)) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    job.cache_hit = true;
-    job.summary = std::move(cached->summary);
-    job.report = std::move(cached->report);
-    job.knowledge_items = cached->knowledge_items;
-    ++stats_.cache_served;
-    metrics.GetCounter("service/cache_served_jobs").Increment();
-    FinishJob(job, JobState::kDone, common::OkStatus());
+    std::vector<Notification> notifications;
+    {
+      common::MutexLock lock(&mutex_);
+      job.cache_hit = true;
+      job.summary = std::move(cached->summary);
+      job.report = std::move(cached->report);
+      job.knowledge_items = cached->knowledge_items;
+      ++stats_.cache_served;
+      metrics.GetCounter("service/cache_served_jobs").Increment();
+      FinishJob(job, JobState::kDone, common::OkStatus(), &notifications);
+    }
+    FireNotifications(notifications);
     return;
   }
 
@@ -408,10 +445,14 @@ void Scheduler::RunJob(Job& job) {
   metrics.GetCounter("service/sessions_executed").Increment();
 
   if (!result.ok()) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    job.run_seconds = run_seconds;
-    ++stats_.sessions_executed;
-    FinishJob(job, JobState::kFailed, result.status());
+    std::vector<Notification> notifications;
+    {
+      common::MutexLock lock(&mutex_);
+      job.run_seconds = run_seconds;
+      ++stats_.sessions_executed;
+      FinishJob(job, JobState::kFailed, result.status(), &notifications);
+    }
+    FireNotifications(notifications);
     return;
   }
 
@@ -443,16 +484,21 @@ void Scheduler::RunJob(Job& job) {
     }
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  job.run_seconds = run_seconds;
-  ++stats_.sessions_executed;
-  job.summary = std::move(result.value().summary);
-  job.report = std::move(report);
-  job.knowledge_items = static_cast<int64_t>(result->knowledge.size());
-  FinishJob(job, JobState::kDone, common::OkStatus());
+  std::vector<Notification> notifications;
+  {
+    common::MutexLock lock(&mutex_);
+    job.run_seconds = run_seconds;
+    ++stats_.sessions_executed;
+    job.summary = std::move(result.value().summary);
+    job.report = std::move(report);
+    job.knowledge_items = static_cast<int64_t>(result->knowledge.size());
+    FinishJob(job, JobState::kDone, common::OkStatus(), &notifications);
+  }
+  FireNotifications(notifications);
 }
 
-void Scheduler::FinishJob(Job& job, JobState state, common::Status status) {
+void Scheduler::FinishJob(Job& job, JobState state, common::Status status,
+                          std::vector<Notification>* notifications) {
   common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
   job.state = state;
   job.status = std::move(status);
@@ -475,23 +521,30 @@ void Scheduler::FinishJob(Job& job, JobState state, common::Status status) {
       break;  // kExpired counters are bumped at the shed site.
   }
   UpdateGaugesLocked();
-  state_changed_.notify_all();
-  // Fire (and retire) this job's completion subscriptions. mutex_ is
-  // held: callbacks must be cheap and must not re-enter the scheduler
-  // (see Subscribe).
+  state_changed_.NotifyAll();
+  // Extract (and retire) this job's completion subscriptions. The
+  // callbacks are deliberately NOT invoked here: firing them with
+  // mutex_ held deadlocked any subscriber that called back into the
+  // scheduler, so the caller drains `notifications` after unlocking.
   auto range = subscriptions_by_job_.equal_range(job.id);
   if (range.first != range.second) {
     JobSnapshot snapshot = job.Snapshot();
-    std::vector<CompletionCallback> callbacks;
     for (auto it = range.first; it != range.second; ++it) {
       auto subscription = subscriptions_.find(it->second);
       if (subscription == subscriptions_.end()) continue;
-      callbacks.push_back(std::move(subscription->second.callback));
+      notifications->push_back(
+          Notification{std::move(subscription->second.callback), snapshot});
       subscriptions_.erase(subscription);
     }
     subscriptions_by_job_.erase(range.first, range.second);
-    for (CompletionCallback& callback : callbacks) callback(snapshot);
   }
+}
+
+void Scheduler::FireNotifications(std::vector<Notification>& notifications) {
+  for (Notification& notification : notifications) {
+    notification.callback(notification.snapshot);
+  }
+  notifications.clear();
 }
 
 void Scheduler::UpdateGaugesLocked() const {

@@ -31,19 +31,19 @@
 #define ADAHEALTH_SERVICE_SCHEDULER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/json.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "core/session.h"
 #include "dataset/exam_log.h"
 #include "dataset/taxonomy.h"
@@ -156,20 +156,22 @@ class Scheduler {
   /// FAILED_PRECONDITION (scheduler shutting down), INVALID_ARGUMENT
   /// (empty dataset), or an injected "service.admission" failure —
   /// all counted as shed except the invalid-argument case.
-  [[nodiscard]] common::StatusOr<JobId> Submit(JobRequest request);
+  [[nodiscard]] common::StatusOr<JobId> Submit(JobRequest request)
+      ADA_EXCLUDES(mutex_);
 
   /// Snapshot of one job; NOT_FOUND for unknown ids.
-  [[nodiscard]] common::StatusOr<JobSnapshot> Status(JobId id) const;
+  [[nodiscard]] common::StatusOr<JobSnapshot> Status(JobId id) const
+      ADA_EXCLUDES(mutex_);
 
   /// Blocks until the job reaches a terminal state (or
   /// `timeout_millis` elapses -> DEADLINE_EXCEEDED; <= 0 waits
   /// forever). Returns the terminal snapshot.
   [[nodiscard]] common::StatusOr<JobSnapshot> AwaitResult(
-      JobId id, double timeout_millis = 0.0);
+      JobId id, double timeout_millis = 0.0) ADA_EXCLUDES(mutex_);
 
   /// Cancels a queued job. FAILED_PRECONDITION when it is already
   /// running or terminal, NOT_FOUND when unknown.
-  [[nodiscard]] common::Status Cancel(JobId id);
+  [[nodiscard]] common::Status Cancel(JobId id) ADA_EXCLUDES(mutex_);
 
   using SubscriptionId = int64_t;
   using CompletionCallback = std::function<void(const JobSnapshot&)>;
@@ -182,31 +184,33 @@ class Scheduler {
   /// subscription — is returned. NOT_FOUND for unknown jobs.
   ///
   /// Callbacks run on whichever thread finishes the job (a scheduler
-  /// worker), with the scheduler's internal lock held — they must be
-  /// cheap and must never call back into this Scheduler (deadlock).
-  /// Hand real work to an executor: the server posts to its event
-  /// loop.
+  /// worker, or the thread calling Cancel / the destructor), after the
+  /// scheduler's internal lock has been released — so a callback may
+  /// safely call back into this Scheduler (Status, stats, ...). Long
+  /// work should still be handed to an executor (the server posts to
+  /// its event loop): the callback runs inside a worker's drain loop
+  /// and delays that worker's next job.
   [[nodiscard]] common::StatusOr<SubscriptionId> Subscribe(
-      JobId id, CompletionCallback callback);
+      JobId id, CompletionCallback callback) ADA_EXCLUDES(mutex_);
 
   /// Removes a pending subscription. Returns true when the callback
-  /// was cancelled before firing; false when it already fired (or the
-  /// id is unknown/the inline sentinel) — the caller must then expect
-  /// the notification to arrive.
-  bool Unsubscribe(SubscriptionId id);
+  /// was cancelled before firing; false when it already fired or is
+  /// about to (or the id is unknown/the inline sentinel) — the caller
+  /// must then expect the notification to arrive.
+  bool Unsubscribe(SubscriptionId id) ADA_EXCLUDES(mutex_);
 
   /// Stops dispatching queued jobs (running jobs finish). Idempotent.
-  void Pause();
+  void Pause() ADA_EXCLUDES(mutex_);
   /// Resumes dispatching.
-  void Resume();
+  void Resume() ADA_EXCLUDES(mutex_);
 
   /// Blocks until the queue is empty and every worker has retired.
   /// Resumes a paused scheduler first (a paused drain would deadlock).
-  void Drain();
+  void Drain() ADA_EXCLUDES(mutex_);
 
-  [[nodiscard]] SchedulerStats stats() const;
+  [[nodiscard]] SchedulerStats stats() const ADA_EXCLUDES(mutex_);
   /// Stats plus cache counters as one JSON object (the `stats` verb).
-  [[nodiscard]] common::Json StatsJson() const;
+  [[nodiscard]] common::Json StatsJson() const ADA_EXCLUDES(mutex_);
 
   ResultCache& cache() { return cache_; }
   const SchedulerOptions& options() const { return options_; }
@@ -234,35 +238,61 @@ class Scheduler {
   /// (-priority, id): lowest key = next to run.
   using PendingKey = std::pair<int64_t, JobId>;
 
-  void SpawnWorkersLocked(std::unique_lock<std::mutex>& lock);
-  void DrainLoop();
-  void RunJob(Job& job);
-  void FinishJob(Job& job, JobState state, common::Status status);
-  void UpdateGaugesLocked() const;
+  /// A completion callback extracted (and retired) under mutex_ by
+  /// FinishJob, to be invoked by the caller once the lock is released.
+  struct Notification {
+    CompletionCallback callback;
+    JobSnapshot snapshot;
+  };
+
+  /// Spawns workers up to the ceiling. Returns true when the shared
+  /// pool refused a task (process teardown): the caller must release
+  /// mutex_ and run DrainLoop() inline so no admitted job is lost.
+  [[nodiscard]] bool SpawnWorkersLocked() ADA_REQUIRES(mutex_);
+  void DrainLoop() ADA_EXCLUDES(mutex_);
+  void RunJob(Job& job) ADA_EXCLUDES(mutex_);
+  /// Moves the job to a terminal state and appends its subscriptions
+  /// to `notifications` instead of firing them — callbacks run outside
+  /// the lock (see Subscribe), so every caller drains the vector with
+  /// FireNotifications after unlocking.
+  void FinishJob(Job& job, JobState state, common::Status status,
+                 std::vector<Notification>* notifications)
+      ADA_REQUIRES(mutex_);
+  void FireNotifications(std::vector<Notification>& notifications)
+      ADA_EXCLUDES(mutex_);
+  void UpdateGaugesLocked() const ADA_REQUIRES(mutex_);
 
   const SchedulerOptions options_;
   ResultCache cache_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable state_changed_;  // Terminal transitions.
-  std::condition_variable workers_idle_;   // Worker retirement.
-  std::map<JobId, std::unique_ptr<Job>> jobs_;
-  std::set<PendingKey> pending_;
-  /// Pending completion subscriptions; fired (and erased) by
+  mutable common::Mutex mutex_;
+  common::CondVar state_changed_;  // Terminal transitions.
+  common::CondVar workers_idle_;   // Worker retirement.
+  /// Jobs are created at admission and never erased. The map itself is
+  /// guarded; a kRunning job body is owned by the worker that dequeued
+  /// it, which reads the admission-time-immutable fields (request,
+  /// fingerprint) without the lock and re-acquires mutex_ for every
+  /// mutation. Everyone else observes jobs via Snapshot() under the
+  /// lock.
+  std::map<JobId, std::unique_ptr<Job>> jobs_ ADA_GUARDED_BY(mutex_);
+  std::set<PendingKey> pending_ ADA_GUARDED_BY(mutex_);
+  /// Pending completion subscriptions; extracted (and erased) by
   /// FinishJob. The by-job index finds a job's subscribers without a
   /// full scan.
   struct Subscription {
     JobId job = 0;
     CompletionCallback callback;
   };
-  std::map<SubscriptionId, Subscription> subscriptions_;
-  std::multimap<JobId, SubscriptionId> subscriptions_by_job_;
-  SubscriptionId next_subscription_id_ = 1;
-  JobId next_id_ = 1;
-  size_t active_workers_ = 0;
-  bool paused_ = false;
-  bool draining_ = false;
-  SchedulerStats stats_;
+  std::map<SubscriptionId, Subscription> subscriptions_
+      ADA_GUARDED_BY(mutex_);
+  std::multimap<JobId, SubscriptionId> subscriptions_by_job_
+      ADA_GUARDED_BY(mutex_);
+  SubscriptionId next_subscription_id_ ADA_GUARDED_BY(mutex_) = 1;
+  JobId next_id_ ADA_GUARDED_BY(mutex_) = 1;
+  size_t active_workers_ ADA_GUARDED_BY(mutex_) = 0;
+  bool paused_ ADA_GUARDED_BY(mutex_) = false;
+  bool draining_ ADA_GUARDED_BY(mutex_) = false;
+  SchedulerStats stats_ ADA_GUARDED_BY(mutex_);
 };
 
 }  // namespace service

@@ -69,7 +69,10 @@ Status AnalysisServer::Start() {
     loop_.ScheduleAfter(period, [this] { SweepIdleConnections(); });
   }
   running_.store(true);
-  loop_thread_ = std::thread([this] { LoopMain(); });
+  {
+    common::MutexLock lock(&join_mutex_);
+    loop_thread_ = std::thread([this] { LoopMain(); });
+  }
   ADA_LOG(kInfo) << "service: listening on 127.0.0.1:" << port_;
   return common::OkStatus();
 }
@@ -89,7 +92,7 @@ void AnalysisServer::Stop() {
 }
 
 void AnalysisServer::Wait() {
-  std::lock_guard<std::mutex> lock(join_mutex_);
+  common::MutexLock lock(&join_mutex_);
   if (loop_thread_.joinable()) loop_thread_.join();
   running_.store(false);
 }

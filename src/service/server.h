@@ -31,11 +31,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "service/connection.h"
 #include "service/event_loop.h"
 #include "service/net_socket.h"
@@ -81,14 +81,14 @@ class AnalysisServer {
   /// Binds the listening socket and starts the event-loop thread.
   /// UNAVAILABLE when the port cannot be bound; FAILED_PRECONDITION
   /// when already started.
-  [[nodiscard]] common::Status Start();
+  [[nodiscard]] common::Status Start() ADA_EXCLUDES(join_mutex_);
 
   /// Triggers a graceful drain and joins the loop thread. Idempotent;
   /// callable from any thread except the loop thread itself.
-  void Stop();
+  void Stop() ADA_EXCLUDES(join_mutex_);
 
   /// Blocks until the event loop exits (a `shutdown` verb or Stop()).
-  void Wait();
+  void Wait() ADA_EXCLUDES(join_mutex_);
 
   /// The bound port (valid after Start()).
   [[nodiscard]] uint16_t port() const { return port_; }
@@ -148,8 +148,12 @@ class AnalysisServer {
   Scheduler scheduler_;
 
   ServerSocket listener_;
-  std::thread loop_thread_;
-  std::mutex join_mutex_;  // Serializes Stop()/Wait() joins.
+  /// Guards the thread handle itself: Start()'s assignment and the
+  /// joinable()/join() pair in Wait() race without it (Start used to
+  /// assign unlocked, so a concurrent Wait could join a handle being
+  /// moved into). Also serializes concurrent Stop()/Wait() joins.
+  common::Mutex join_mutex_;
+  std::thread loop_thread_ ADA_GUARDED_BY(join_mutex_);
   std::atomic<bool> running_{false};
   bool draining_ = false;  // Loop thread only.
   int64_t next_connection_id_ = 1;  // Loop thread only.

@@ -522,6 +522,33 @@ TEST(SchedulerTest, SubscribeOnTerminalJobFiresInline) {
             StatusCode::kNotFound);
 }
 
+TEST(SchedulerTest, SubscribeCallbackMayReenterTheScheduler) {
+  // Regression: completion callbacks used to fire with the scheduler's
+  // internal lock held, so a callback calling Status()/stats() (or any
+  // other scheduler method) self-deadlocked. Callbacks now fire after
+  // the lock is released and re-entry is part of Subscribe's contract.
+  service::SchedulerOptions options;
+  options.start_paused = true;
+  service::Scheduler scheduler(options);
+  auto id = scheduler.Submit(MakeJob(91, "reentrant"));
+  ASSERT_TRUE(id.ok());
+  std::promise<service::JobState> reentered;
+  auto subscription = scheduler.Subscribe(
+      id.value(),
+      [&scheduler, &reentered](const service::JobSnapshot& snapshot) {
+        auto inner = scheduler.Status(snapshot.id);  // Deadlocked before.
+        (void)scheduler.stats();
+        reentered.set_value(inner.ok() ? inner->state
+                                       : service::JobState::kQueued);
+      });
+  ASSERT_TRUE(subscription.ok());
+  scheduler.Resume();
+  auto future = reentered.get_future();
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(120)),
+            std::future_status::ready);
+  EXPECT_EQ(future.get(), service::JobState::kDone);
+}
+
 TEST(SchedulerTest, UnsubscribePreventsDelivery) {
   service::SchedulerOptions options;
   options.start_paused = true;

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
@@ -11,6 +10,8 @@
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "common/sync.h"
 
 namespace adahealth {
 namespace common {
@@ -180,12 +181,12 @@ TEST(ParallelForChunksTest, ExplicitMaxChunkGivesExactGrid) {
   // land exactly on multiples of it, which the k-means engines rely on
   // for bit-identical parallel reductions.
   ThreadPool pool(4);
-  std::mutex mutex;
+  Mutex mutex;
   std::vector<std::pair<size_t, size_t>> seen;
   size_t chunks = ParallelForChunks(
       pool, 0, 1000,
       [&](size_t begin, size_t end) {
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(&mutex);
         seen.emplace_back(begin, end);
       },
       256);

@@ -1,0 +1,156 @@
+#!/bin/sh
+# Negative-compilation harness for the Clang thread-safety gate.
+#
+# Proves the ADA_THREAD_SAFETY contract has teeth: a well-formed
+# control snippet must compile under -Werror=thread-safety, and each
+# seeded lock-discipline violation (unguarded access, missing REQUIRES,
+# double acquire) must FAIL with a thread-safety diagnostic. A harness
+# bug that silently softened the gate (wrong flag spelling, macro
+# expanding to nothing under clang) would show up here as a violation
+# snippet compiling cleanly.
+#
+# Requires a clang++ on PATH (the analysis is Clang-only); exits 77 —
+# the ctest SKIP_RETURN_CODE — when there is none, so GCC-only hosts
+# skip instead of fail. CI's thread-safety job always has clang.
+set -u
+
+SCRIPT_DIR=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+SRC_DIR="$SCRIPT_DIR/../src"
+
+CLANGXX=""
+for candidate in clang++ clang++-19 clang++-18 clang++-17 clang++-16 \
+                 clang++-15; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    CLANGXX="$candidate"
+    break
+  fi
+done
+if [ -z "$CLANGXX" ]; then
+  echo "SKIP: no clang++ on PATH (thread-safety analysis is Clang-only)"
+  exit 77
+fi
+
+WORKDIR=$(mktemp -d)
+trap 'rm -rf "$WORKDIR"' EXIT
+
+COMMON_PREAMBLE='
+#include "common/sync.h"
+using adahealth::common::CondVar;
+using adahealth::common::Mutex;
+using adahealth::common::MutexLock;
+
+class Account {
+ public:
+  void Deposit(int amount) ADA_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    balance_ += amount;
+  }
+  int BalanceLocked() const ADA_REQUIRES(mu_) { return balance_; }
+
+ protected:
+  mutable Mutex mu_;
+  int balance_ ADA_GUARDED_BY(mu_) = 0;
+};
+'
+
+compile() {
+  printf '%s\n%s\n' "$COMMON_PREAMBLE" "$1" >"$WORKDIR/case.cc"
+  "$CLANGXX" -std=c++20 -fsyntax-only -I "$SRC_DIR" \
+      -Wthread-safety -Werror=thread-safety \
+      "$WORKDIR/case.cc" 2>"$WORKDIR/stderr.txt"
+}
+
+failures=0
+
+expect_clean() {
+  name="$1"
+  snippet="$2"
+  if compile "$snippet"; then
+    echo "PASS: $name compiles cleanly"
+  else
+    echo "FAIL: $name should compile but did not:"
+    sed 's/^/  /' "$WORKDIR/stderr.txt"
+    failures=$((failures + 1))
+  fi
+}
+
+expect_violation() {
+  name="$1"
+  snippet="$2"
+  if compile "$snippet"; then
+    echo "FAIL: $name compiled cleanly; the gate has no teeth"
+    failures=$((failures + 1))
+  elif ! grep -q 'thread-safety' "$WORKDIR/stderr.txt"; then
+    # Failing for any *other* reason (syntax error, wrong flag) would
+    # let a broken harness masquerade as a working gate.
+    echo "FAIL: $name failed without a thread-safety diagnostic:"
+    sed 's/^/  /' "$WORKDIR/stderr.txt"
+    failures=$((failures + 1))
+  else
+    echo "PASS: $name rejected with a thread-safety diagnostic"
+  fi
+}
+
+expect_clean "control (locked access, honored contracts)" '
+class Control : public Account {
+ public:
+  int Audit() ADA_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return BalanceLocked();
+  }
+};
+'
+
+expect_violation "unguarded write to a GUARDED_BY member" '
+class UnguardedWrite : public Account {
+ public:
+  void Corrupt() { balance_ = -1; }
+};
+'
+
+expect_violation "calling a REQUIRES method without the lock" '
+class MissingRequires : public Account {
+ public:
+  int Peek() { return BalanceLocked(); }
+};
+'
+
+expect_violation "double acquire of a held mutex" '
+class DoubleAcquire : public Account {
+ public:
+  void Deadlock() ADA_EXCLUDES(mu_) {
+    MutexLock outer(&mu_);
+    MutexLock inner(&mu_);
+    balance_ = 0;
+  }
+};
+'
+
+expect_violation "re-entrant call into an EXCLUDES method" '
+class Reentrant : public Account {
+ public:
+  void DepositTwice() ADA_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    Deposit(1);
+  }
+};
+'
+
+expect_violation "condvar wait without holding the mutex" '
+class WaitWithoutLock : public Account {
+ public:
+  void BadWait() {
+    cv_.Wait(mu_);
+  }
+
+ private:
+  CondVar cv_;
+};
+'
+
+if [ "$failures" -ne 0 ]; then
+  echo "thread_safety_compile_test: $failures case(s) failed"
+  exit 1
+fi
+echo "thread_safety_compile_test: all cases behaved"
+exit 0

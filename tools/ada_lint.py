@@ -47,6 +47,16 @@ Rules
                     Everything else must hold descriptors through
                     service::FileDescriptor / ServerSocket / LineReader
                     so no error path can leak or double-close an fd.
+  raw-mutex         std::mutex / std::lock_guard / std::unique_lock /
+                    std::condition_variable (and their scoped/shared/
+                    timed variants, plus the <mutex>,
+                    <condition_variable> and <shared_mutex> includes)
+                    are allowed only inside src/common/sync.h/.cc.
+                    Everything else locks through common::Mutex /
+                    MutexLock / CondVar so Clang's thread-safety
+                    analysis (the ADA_THREAD_SAFETY build gate) sees
+                    every critical section; one raw lock is a silent
+                    hole in the compile-time race check.
 
 An individual finding can be waived with a trailing comment
 `// ada-lint: allow(<rule>)` on the offending line; use sparingly and
@@ -80,6 +90,12 @@ CATCH_HANDLED_RE = re.compile(r"\bthrow\b|ADA_LOG")
 # (`->close(`). `::close(` deliberately matches: the global-namespace
 # qualifier is exactly the raw-syscall spelling this rule polices.
 RAW_SOCKET_RE = re.compile(r"(?<![\w.>])(socket|accept|close)\s*\(")
+RAW_MUTEX_RE = re.compile(
+    r"std::(recursive_mutex|timed_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|mutex|lock_guard|unique_lock|"
+    r"scoped_lock|shared_lock|condition_variable_any|condition_variable)\b")
+MUTEX_INCLUDE_RE = re.compile(
+    r"#\s*include\s*<(mutex|condition_variable|shared_mutex)>")
 
 BLOCK_COMMENT_OPEN_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
 
@@ -187,6 +203,8 @@ def lint_file(path, rel_path):
                           os.path.join("src", "common", "rng.cc"))
     is_net_wrapper = rel_path.startswith(
         os.path.join("src", "service", "net_"))
+    is_sync = rel_path in (os.path.join("src", "common", "sync.h"),
+                           os.path.join("src", "common", "sync.cc"))
 
     code_lines = []
     in_block = False
@@ -268,6 +286,22 @@ def lint_file(path, rel_path):
                     f"raw `{m.group(1)}()` outside src/service/net_*; "
                     "hold fds through service::FileDescriptor and the "
                     "socket wrappers"))
+
+        # --- raw-mutex ---------------------------------------------------
+        if not is_sync:
+            m = RAW_MUTEX_RE.search(code)
+            if m and not allowed(lineno, "raw-mutex"):
+                findings.append(Finding(
+                    rel_path, lineno, "raw-mutex",
+                    f"raw `std::{m.group(1)}` outside common/sync; use "
+                    "common::Mutex / MutexLock / CondVar so the "
+                    "thread-safety analysis sees the lock"))
+            m = MUTEX_INCLUDE_RE.search(code)
+            if m and not allowed(lineno, "raw-mutex"):
+                findings.append(Finding(
+                    rel_path, lineno, "raw-mutex",
+                    f"#include <{m.group(1)}> outside common/sync; "
+                    "include common/sync.h instead"))
 
         # --- direct-random ----------------------------------------------
         if not is_rng:
