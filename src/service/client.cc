@@ -1,10 +1,12 @@
 #include "service/client.h"
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/retry.h"
 #include "service/protocol.h"
 
 namespace adahealth {
@@ -20,6 +22,25 @@ StatusOr<AnalysisClient> AnalysisClient::Connect(uint16_t port) {
       std::make_unique<FileDescriptor>(std::move(connection));
   client.reader_ = std::make_unique<LineReader>(*client.connection_);
   return client;
+}
+
+StatusOr<AnalysisClient> AnalysisClient::Connect(
+    uint16_t port, const ConnectOptions& options) {
+  common::RetryPolicy policy;
+  policy.max_attempts = std::max(1, options.retries + 1);
+  policy.initial_backoff_millis = options.initial_backoff_millis;
+  policy.max_backoff_millis = options.max_backoff_millis;
+  // Only UNAVAILABLE (ECONNREFUSED, nothing bound yet) is worth
+  // waiting out at connect time; anything else is a caller bug.
+  policy.retryable_codes = {common::StatusCode::kUnavailable};
+  StatusOr<AnalysisClient> connected =
+      common::UnavailableError("connect never attempted");
+  ADA_RETURN_IF_ERROR(common::RetryWithPolicy(
+      policy, "service.client.connect", [port, &connected] {
+        connected = Connect(port);
+        return connected.status();
+      }));
+  return connected;
 }
 
 StatusOr<Json> AnalysisClient::Call(const Json::Object& request) {

@@ -16,6 +16,18 @@
 namespace adahealth {
 namespace service {
 
+/// Connect-time resilience knobs (`ada_client --connect-retries`).
+struct ConnectOptions {
+  /// Additional attempts after the first connect fails with a
+  /// retryable error (ECONNREFUSED surfaces as UNAVAILABLE) — the
+  /// server may still be binding its port, or a router failover may be
+  /// mid-promotion. 0 = single attempt, exactly the old behaviour.
+  int retries = 0;
+  /// Exponential backoff between attempts (common/retry.h semantics).
+  double initial_backoff_millis = 25.0;
+  double max_backoff_millis = 500.0;
+};
+
 /// A connected protocol client. Requests run sequentially on the one
 /// connection (the protocol is strictly request-response).
 class AnalysisClient {
@@ -23,6 +35,12 @@ class AnalysisClient {
   /// Connects to the server on 127.0.0.1:`port`. UNAVAILABLE when
   /// nothing listens there.
   [[nodiscard]] static common::StatusOr<AnalysisClient> Connect(uint16_t port);
+
+  /// As above, retrying refused/unavailable connects with exponential
+  /// backoff per `options`. Returns the final attempt's error when the
+  /// budget is exhausted.
+  [[nodiscard]] static common::StatusOr<AnalysisClient> Connect(
+      uint16_t port, const ConnectOptions& options);
 
   /// Sends one request object (the "verb" field must be set) and
   /// returns the parsed success response. A server-side error response

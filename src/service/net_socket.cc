@@ -183,6 +183,23 @@ void ShutdownConnection(const FileDescriptor& fd) {
   if (fd.valid()) ::shutdown(fd.get(), SHUT_RDWR);
 }
 
+Status SetRecvTimeout(const FileDescriptor& fd, double timeout_millis) {
+  timeval timeout{};
+  if (timeout_millis > 0) {
+    timeout.tv_sec = static_cast<time_t>(timeout_millis / 1000.0);
+    timeout.tv_usec = static_cast<suseconds_t>(
+        (timeout_millis - 1e3 * static_cast<double>(timeout.tv_sec)) * 1e3);
+    // A sub-microsecond request still arms a minimal timeout instead
+    // of the {0,0} "block forever" sentinel.
+    if (timeout.tv_sec == 0 && timeout.tv_usec == 0) timeout.tv_usec = 1;
+  }
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                   sizeof(timeout)) != 0) {
+    return ErrnoError("setsockopt(SO_RCVTIMEO)");
+  }
+  return common::OkStatus();
+}
+
 Status SendAll(const FileDescriptor& fd, std::string_view data) {
   ADA_RETURN_IF_ERROR(ADA_FAILPOINT("service.net.write"));
   size_t sent = 0;

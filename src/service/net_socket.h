@@ -121,6 +121,13 @@ class ServerSocket {
 /// Like ServerSocket::Shutdown, the fd itself stays owned and open.
 void ShutdownConnection(const FileDescriptor& fd);
 
+/// Arms SO_RCVTIMEO: a blocking read on `fd` fails with UNAVAILABLE
+/// (EAGAIN) after `timeout_millis` instead of parking the thread
+/// forever — how the router and the replication shipper bound reads
+/// against a wedged (but not dead) peer. <= 0 restores block-forever.
+[[nodiscard]] common::Status SetRecvTimeout(const FileDescriptor& fd,
+                                            double timeout_millis);
+
 /// Writes all of `data`, resuming partial writes (blocking sockets).
 /// UNAVAILABLE on a closed peer or I/O error.
 [[nodiscard]] common::Status SendAll(const FileDescriptor& fd,

@@ -12,7 +12,9 @@
 //   -> {"verb":"status","job_id":99}
 //   <- {"ok":false,"error":{"code":"NOT_FOUND","message":"no job..."}}
 //
-// Verbs: submit, status, result, cancel, stats, ping, shutdown.
+// Verbs: submit, status, result, cancel, stats, ping, health,
+// shutdown — plus the cluster-internal promote and replicate verbs
+// (see service/replication.h and service/router.h).
 // Datasets are submitted either inline as CSV ("csv") or as a synthetic
 // cohort spec ("synthetic") evaluated server-side — the latter keeps
 // demo and smoke-test payloads tiny.

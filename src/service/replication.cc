@@ -1,0 +1,212 @@
+#include "service/replication.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "service/net_socket.h"
+#include "service/protocol.h"
+
+namespace adahealth {
+namespace service {
+
+using common::Json;
+using common::MutexLock;
+using common::Status;
+
+namespace {
+
+/// Reads on the replication link never park forever against a wedged
+/// follower: a stalled acknowledgement fails the send, the entry is
+/// requeued, and the next reconnect's snapshot re-covers it.
+constexpr double kAckTimeoutMillis = 5000.0;
+
+}  // namespace
+
+LogShipper::LogShipper(ReplicationOptions options, SnapshotProvider snapshot)
+    : options_(options), snapshot_(std::move(snapshot)) {}
+
+LogShipper::~LogShipper() { Stop(); }
+
+void LogShipper::Start() {
+  MutexLock lock(&mutex_);
+  if (running_) return;
+  running_ = true;
+  stopping_ = false;
+  thread_ = std::thread([this] { ShipLoop(); });
+}
+
+void LogShipper::Stop() {
+  std::thread finished;
+  {
+    MutexLock lock(&mutex_);
+    if (!running_) return;
+    stopping_ = true;
+    wake_.NotifyAll();
+    finished = std::move(thread_);
+  }
+  // Joined outside the lock: the ship loop takes mutex_ on its way out.
+  finished.join();
+  MutexLock lock(&mutex_);
+  running_ = false;
+  stats_.connected = false;
+}
+
+void LogShipper::Enqueue(CachedAnalysis entry) {
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
+  MutexLock lock(&mutex_);
+  queue_.push_back(std::move(entry));
+  while (queue_.size() > options_.max_queue) {
+    // Oldest-first drops: the next reconnect snapshot re-covers a
+    // dropped entry, while the newest entries are the ones a promoted
+    // follower is most likely to be asked about first.
+    queue_.pop_front();
+    ++stats_.dropped;
+    metrics.GetCounter("service/replication_dropped").Increment();
+  }
+  stats_.queue_depth = queue_.size();
+  metrics.GetGauge("service/replication_queue")
+      .Set(static_cast<double>(queue_.size()));
+  wake_.NotifyAll();
+}
+
+bool LogShipper::WaitUntilDrained(double timeout_millis) {
+  MutexLock lock(&mutex_);
+  return drained_.WaitFor(mutex_, timeout_millis, [this]() ADA_REQUIRES(
+                                      mutex_) {
+    return queue_.empty() && !in_flight_;
+  });
+}
+
+ReplicationStats LogShipper::stats() const {
+  MutexLock lock(&mutex_);
+  return stats_;
+}
+
+void LogShipper::ShipLoop() {
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
+  FileDescriptor socket;
+  std::unique_ptr<LineReader> reader;
+  double backoff_millis = options_.reconnect_backoff_millis;
+  for (;;) {
+    {
+      MutexLock lock(&mutex_);
+      wake_.Wait(mutex_, [this]() ADA_REQUIRES(mutex_) {
+        return stopping_ || !queue_.empty();
+      });
+      if (stopping_) return;
+    }
+    if (!socket.valid()) {
+      socket = ConnectAndCatchUp();
+      if (!socket.valid()) {
+        MutexLock lock(&mutex_);
+        // The backoff sleep stays responsive to Stop().
+        if (wake_.WaitFor(mutex_, backoff_millis,
+                          [this]() ADA_REQUIRES(mutex_) { return stopping_; })) {
+          return;
+        }
+        backoff_millis = std::min(backoff_millis * 2.0,
+                                  options_.max_reconnect_backoff_millis);
+        continue;
+      }
+      // The reader buffers per-connection bytes, so it must be rebuilt
+      // whenever the socket changes.
+      reader = std::make_unique<LineReader>(socket);
+      backoff_millis = options_.reconnect_backoff_millis;
+    }
+    CachedAnalysis entry;
+    {
+      MutexLock lock(&mutex_);
+      if (stopping_) return;
+      if (queue_.empty()) continue;  // Raced with a snapshot drain.
+      entry = std::move(queue_.front());
+      queue_.pop_front();
+      in_flight_ = true;
+      stats_.queue_depth = queue_.size();
+      metrics.GetGauge("service/replication_queue")
+          .Set(static_cast<double>(queue_.size()));
+    }
+    Status shipped = ShipEntry(socket, *reader, entry);
+    {
+      MutexLock lock(&mutex_);
+      in_flight_ = false;
+      if (shipped.ok()) {
+        ++stats_.shipped;
+        metrics.GetCounter("service/replication_shipped").Increment();
+        if (queue_.empty()) drained_.NotifyAll();
+      } else {
+        ++stats_.send_failures;
+        stats_.connected = false;
+        metrics.GetCounter("service/replication_send_failures").Increment();
+        // At-least-once: the failed entry goes back to the front so the
+        // reconnect ships it (again after the snapshot — idempotent).
+        queue_.push_front(std::move(entry));
+        stats_.queue_depth = queue_.size();
+        metrics.GetGauge("service/replication_queue")
+            .Set(static_cast<double>(queue_.size()));
+      }
+    }
+    if (!shipped.ok()) {
+      ADA_LOG(kWarning) << "replication: ship failed, reconnecting: "
+                        << shipped.ToString();
+      socket.Close();
+      reader.reset();
+    }
+  }
+}
+
+FileDescriptor LogShipper::ConnectAndCatchUp() {
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
+  common::StatusOr<FileDescriptor> connected =
+      ConnectLoopback(options_.follower_port);
+  if (!connected.ok()) return FileDescriptor();
+  FileDescriptor socket = std::move(connected).value();
+  if (!SetRecvTimeout(socket, kAckTimeoutMillis).ok()) {
+    return FileDescriptor();
+  }
+  // Snapshot catch-up: ship the full cache (most recent first) before
+  // the live tail, so a follower that was down — or never saw the
+  // dropped-on-overflow entries — converges on this connection.
+  LineReader reader(socket);
+  std::vector<CachedAnalysis> snapshot =
+      snapshot_ ? snapshot_() : std::vector<CachedAnalysis>();
+  for (const CachedAnalysis& entry : snapshot) {
+    Status shipped = ShipEntry(socket, reader, entry);
+    if (!shipped.ok()) {
+      ADA_LOG(kWarning) << "replication: catch-up failed: "
+                        << shipped.ToString();
+      MutexLock lock(&mutex_);
+      ++stats_.send_failures;
+      metrics.GetCounter("service/replication_send_failures").Increment();
+      return FileDescriptor();
+    }
+    MutexLock lock(&mutex_);
+    ++stats_.shipped;
+    metrics.GetCounter("service/replication_shipped").Increment();
+  }
+  MutexLock lock(&mutex_);
+  ++stats_.reconnects;
+  stats_.connected = true;
+  metrics.GetCounter("service/replication_reconnects").Increment();
+  return socket;
+}
+
+Status LogShipper::ShipEntry(const FileDescriptor& socket, LineReader& reader,
+                             const CachedAnalysis& entry) {
+  ADA_RETURN_IF_ERROR(ADA_FAILPOINT("service.replication.send"));
+  Json::Object request;
+  request["verb"] = Json("replicate");
+  request["entry"] = entry.ToJson();
+  ADA_RETURN_IF_ERROR(SendAll(socket, Json(std::move(request)).Dump() + "\n"));
+  common::StatusOr<std::string> line = reader.ReadLine();
+  ADA_RETURN_IF_ERROR(line.status());
+  return ParseResponse(*line).status();
+}
+
+}  // namespace service
+}  // namespace adahealth

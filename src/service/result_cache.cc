@@ -146,6 +146,11 @@ size_t ResultCache::dirty_entries() const {
   return dirty_;
 }
 
+std::vector<CachedAnalysis> ResultCache::Entries() const {
+  common::MutexLock lock(&mutex_);
+  return std::vector<CachedAnalysis>(lru_.begin(), lru_.end());
+}
+
 void ResultCache::EvictLocked() {
   while (bytes_ > max_bytes_ && !lru_.empty()) {
     const CachedAnalysis& victim = lru_.back();

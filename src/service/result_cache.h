@@ -16,6 +16,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/json.h"
 #include "common/status.h"
@@ -82,6 +83,13 @@ class ResultCache {
   /// batch persistence (full rewrites are O(all entries)) instead of
   /// rewriting the file after every insert.
   [[nodiscard]] size_t dirty_entries() const ADA_EXCLUDES(mutex_);
+
+  /// Copy of every entry, most recently used first. Recency-order
+  /// matters to the replication snapshot: a follower with a smaller
+  /// byte budget keeps the hottest entries when it replays these in
+  /// order. Does not touch LRU order or the hit/miss counters.
+  [[nodiscard]] std::vector<CachedAnalysis> Entries() const
+      ADA_EXCLUDES(mutex_);
 
   /// Persists every entry to `<directory>/result_cache.jsonl` through
   /// the crash-safe K-DB storage layer (atomic write, no residue on

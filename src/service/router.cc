@@ -1,0 +1,759 @@
+#include "service/router.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/retry.h"
+#include "common/string_util.h"
+#include "service/fingerprint.h"
+#include "service/protocol.h"
+
+namespace adahealth {
+namespace service {
+
+using common::Json;
+using common::MutexLock;
+using common::Status;
+using common::StatusOr;
+
+namespace {
+
+constexpr const char* kPingLine = "{\"verb\":\"ping\"}\n";
+constexpr const char* kPromoteLine = "{\"verb\":\"promote\"}\n";
+constexpr const char* kShutdownLine = "{\"verb\":\"shutdown\"}\n";
+
+bool IsTerminalStateName(const std::string& name) {
+  return name == JobStateName(JobState::kDone) ||
+         name == JobStateName(JobState::kFailed) ||
+         name == JobStateName(JobState::kExpired) ||
+         name == JobStateName(JobState::kCancelled);
+}
+
+/// Recursive integer roll-up for the `stats` verb's "totals" object:
+/// int fields add up, object fields recurse, everything else (role
+/// strings, booleans, doubles) is skipped.
+void SumIntFields(Json::Object& totals, const Json::Object& source) {
+  for (const auto& [key, value] : source) {
+    if (value.is_int()) {
+      int64_t current = 0;
+      if (auto it = totals.find(key);
+          it != totals.end() && it->second.is_int()) {
+        current = it->second.AsInt();
+      }
+      totals[key] = Json(current + value.AsInt());
+    } else if (value.is_object()) {
+      Json::Object nested;
+      if (auto it = totals.find(key);
+          it != totals.end() && it->second.is_object()) {
+        nested = it->second.AsObject();
+      }
+      SumIntFields(nested, value.AsObject());
+      totals[key] = Json(std::move(nested));
+    }
+  }
+}
+
+Json::Object JobIdExtra(JobId global_id) {
+  Json::Object extra;
+  extra["job_id"] = Json(static_cast<int64_t>(global_id));
+  return extra;
+}
+
+}  // namespace
+
+Router::Router(RouterOptions options) : options_(std::move(options)) {}
+
+Router::~Router() { Stop(); }
+
+Status Router::Start() {
+  if (options_.shards.empty()) {
+    return common::InvalidArgumentError(
+        "router needs at least one --shard endpoint");
+  }
+  {
+    MutexLock lock(&lifecycle_mutex_);
+    if (started_) {
+      return common::FailedPreconditionError("router already started");
+    }
+  }
+  ADA_ASSIGN_OR_RETURN(listener_, ServerSocket::Listen(options_.port));
+  port_ = listener_.port();
+  shards_.clear();
+  for (const ShardEndpoints& endpoints : options_.shards) {
+    auto state = std::make_unique<ShardState>();
+    state->endpoints = endpoints;
+    state->active_port = endpoints.primary_port;
+    shards_.push_back(std::move(state));
+  }
+  // The ring is immutable after this point: dead shards are skipped at
+  // lookup time rather than removed, so placements of the surviving
+  // shards never move when one dies.
+  ring_.clear();
+  const size_t vnodes = std::max<size_t>(1, options_.vnodes_per_shard);
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    for (size_t vnode = 0; vnode < vnodes; ++vnode) {
+      Fnv1a hash;
+      hash.MixString("shard");
+      hash.MixInt(static_cast<int64_t>(shard));
+      hash.MixString("vnode");
+      hash.MixInt(static_cast<int64_t>(vnode));
+      ring_.emplace_back(hash.digest(), shard);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+  start_time_ = std::chrono::steady_clock::now();
+  stopping_.store(false);
+  {
+    MutexLock lock(&lifecycle_mutex_);
+    started_ = true;
+    stop_signalled_ = false;
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  prober_thread_ = std::thread([this] { ProbeLoop(); });
+  ADA_LOG(kInfo) << "router: listening on 127.0.0.1:" << port_ << " with "
+                 << shards_.size() << " shard(s)";
+  return common::OkStatus();
+}
+
+void Router::SignalStop() {
+  stopping_.store(true);
+  {
+    MutexLock lock(&lifecycle_mutex_);
+    stop_signalled_ = true;
+    stopped_cv_.NotifyAll();
+  }
+  listener_.Shutdown();  // Unblocks the accept thread.
+}
+
+void Router::Wait() {
+  MutexLock lock(&lifecycle_mutex_);
+  stopped_cv_.Wait(lifecycle_mutex_, [this]() ADA_REQUIRES(lifecycle_mutex_) {
+    return stop_signalled_ || !started_;
+  });
+}
+
+void Router::Stop() {
+  {
+    MutexLock lock(&lifecycle_mutex_);
+    if (!started_) return;
+  }
+  SignalStop();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (prober_thread_.joinable()) prober_thread_.join();
+  {
+    MutexLock lock(&conn_mutex_);
+    for (auto& conn : conns_) {
+      MutexLock conn_lock(&conn->mutex);
+      conn->shutdown = true;
+      // Wake the thread wherever it is parked: reading the client or
+      // waiting on a forwarded upstream response.
+      ShutdownConnection(conn->fd);
+      if (conn->upstream != nullptr) ShutdownConnection(*conn->upstream);
+    }
+    for (auto& conn : conns_) {
+      if (conn->thread.joinable()) conn->thread.join();
+    }
+    conns_.clear();
+  }
+  MutexLock lock(&lifecycle_mutex_);
+  started_ = false;
+  stopped_cv_.NotifyAll();
+}
+
+RouterStats Router::stats() const {
+  MutexLock lock(&mutex_);
+  return stats_;
+}
+
+size_t Router::ShardFor(const std::string& fingerprint) const {
+  MutexLock lock(&mutex_);
+  return ShardForLocked(fingerprint);
+}
+
+size_t Router::ShardForLocked(const std::string& fingerprint) const {
+  Fnv1a hash;
+  hash.MixString(fingerprint);
+  const std::pair<uint64_t, size_t> point(hash.digest(), 0);
+  const size_t begin = static_cast<size_t>(
+      std::lower_bound(ring_.begin(), ring_.end(), point) - ring_.begin());
+  for (size_t step = 0; step < ring_.size(); ++step) {
+    const auto& [vnode_hash, shard] = ring_[(begin + step) % ring_.size()];
+    (void)vnode_hash;
+    if (shards_[shard]->alive) return shard;
+  }
+  return shards_.size();  // Every shard is dead.
+}
+
+void Router::AcceptLoop() {
+  for (;;) {
+    auto accepted = listener_.Accept();
+    if (stopping_.load()) return;
+    if (!accepted.ok()) {
+      ADA_LOG(kWarning) << "router: accept failed: "
+                        << accepted.status().message();
+      // Pace a persistently failing accept (EMFILE-style) instead of
+      // spinning; the wait doubles as a stop check.
+      MutexLock lock(&lifecycle_mutex_);
+      if (stopped_cv_.WaitFor(
+              lifecycle_mutex_, 50.0,
+              [this]() ADA_REQUIRES(lifecycle_mutex_) {
+                return stop_signalled_;
+              })) {
+        return;
+      }
+      continue;
+    }
+    ReapConnections();
+    auto conn = std::make_unique<ClientConn>();
+    conn->fd = std::move(accepted).value();
+    ClientConn* raw = conn.get();
+    MutexLock lock(&conn_mutex_);
+    if (stopping_.load()) return;  // conn closes on scope exit.
+    conns_.push_back(std::move(conn));
+    // Registered before started, under the lock: Stop() either sees a
+    // joinable thread or no thread at all — never a half-moved handle.
+    raw->thread = std::thread([this, raw] { ServeClient(raw); });
+  }
+}
+
+void Router::ReapConnections() {
+  MutexLock lock(&conn_mutex_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->done.load()) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Router::ServeClient(ClientConn* conn) {
+  LineReader reader(conn->fd, options_.max_line_bytes);
+  for (;;) {
+    auto line = reader.ReadLine();
+    if (!line.ok()) break;
+    if (line.value().empty()) continue;
+    const std::string response = HandleLine(conn, line.value());
+    // An empty response means the handler already answered inline
+    // (shutdown does, to beat Stop()'s connection teardown).
+    if (!response.empty() && !SendAll(conn->fd, response).ok()) break;
+    if (stopping_.load()) break;
+  }
+  conn->done.store(true);
+}
+
+std::string Router::HandleLine(ClientConn* conn, const std::string& line) {
+  common::MetricsRegistry::Default()
+      .GetCounter("service/router_requests")
+      .Increment();
+  auto request = ParseRequest(line);
+  if (!request.ok()) return ErrorResponse(request.status());
+  const std::string& verb = request.value().verb;
+  if (verb == "submit") return HandleSubmit(conn, request.value().body, line);
+  if (verb == "status" || verb == "result" || verb == "cancel") {
+    return HandleJobVerb(conn, request.value().body);
+  }
+  if (verb == "stats") return HandleStats(conn);
+  if (verb == "health") return HandleHealth();
+  if (verb == "shutdown") return HandleShutdown(conn);
+  if (verb == "ping") {
+    Json::Object fields;
+    fields["service"] = "ada-health-router";
+    return OkResponse(std::move(fields));
+  }
+  if (verb == "promote" || verb == "replicate") {
+    return ErrorResponse(common::InvalidArgumentError(common::StrFormat(
+        "verb '%s' is cluster-internal; it is not accepted at the router",
+        verb.c_str())));
+  }
+  return ErrorResponse(common::InvalidArgumentError(
+      common::StrFormat("unknown verb '%s'", verb.c_str())));
+}
+
+StatusOr<std::string> Router::ForwardRaw(ClientConn* conn, uint16_t port,
+                                         const std::string& line,
+                                         double recv_timeout_millis) {
+  {
+    MutexLock lock(&mutex_);
+    ++stats_.forwarded;
+  }
+  ADA_ASSIGN_OR_RETURN(FileDescriptor upstream, ConnectLoopback(port));
+  ADA_RETURN_IF_ERROR(SetRecvTimeout(upstream, recv_timeout_millis));
+  if (conn != nullptr) {
+    MutexLock lock(&conn->mutex);
+    if (conn->shutdown) {
+      return common::UnavailableError("router is stopping");
+    }
+    conn->upstream = &upstream;
+  }
+  StatusOr<std::string> response =
+      common::UnavailableError("request not sent");
+  if (Status sent = SendAll(upstream, line); !sent.ok()) {
+    response = sent;
+  } else {
+    LineReader reader(upstream, options_.max_line_bytes);
+    response = reader.ReadLine();
+  }
+  if (conn != nullptr) {
+    MutexLock lock(&conn->mutex);
+    conn->upstream = nullptr;
+  }
+  return response;
+}
+
+std::string Router::HandleSubmit(ClientConn* conn, const Json& body,
+                                 const std::string& line) {
+  // Validate and fingerprint with the exact code the shard will run on
+  // the forwarded line, so router and shard agree on the key byte for
+  // byte (the invariant the whole routing scheme rests on).
+  auto job_request = BuildJobRequest(body);
+  if (!job_request.ok()) return ErrorResponse(job_request.status());
+  const std::string fingerprint = DatasetFingerprint(
+      job_request.value().log, job_request.value().options);
+  const std::string forward_line = line + "\n";
+  Status last_failure = common::UnavailableError("no forward attempted");
+  const int attempts = std::max(1, options_.max_forward_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    size_t shard = 0;
+    uint16_t port = 0;
+    uint64_t generation = 0;
+    {
+      MutexLock lock(&mutex_);
+      shard = ShardForLocked(fingerprint);
+      if (shard >= shards_.size()) {
+        return ErrorResponse(
+            common::UnavailableError("every shard is down"));
+      }
+      port = shards_[shard]->active_port;
+      generation = shards_[shard]->generation;
+    }
+    auto response = ForwardRaw(conn, port, forward_line,
+                               options_.upstream_recv_timeout_millis);
+    if (!response.ok()) {
+      last_failure = response.status();
+      if (stopping_.load()) break;
+      HandleShardFailure(shard, generation);
+      continue;
+    }
+    auto parsed = Json::Parse(response.value());
+    if (!parsed.ok() || !parsed.value().is_object()) {
+      return ErrorResponse(common::InternalError(common::StrFormat(
+          "shard %zu returned a malformed response", shard)));
+    }
+    const Json* ok_field = parsed.value().Find("ok");
+    if (ok_field == nullptr || !ok_field->is_bool() || !ok_field->AsBool()) {
+      // Server-side rejection (bad request, full queue): pass the
+      // shard's error through verbatim, extra fields included.
+      return response.value() + "\n";
+    }
+    const Json* local_id = parsed.value().Find("job_id");
+    if (local_id == nullptr || !local_id->is_int()) {
+      return ErrorResponse(common::InternalError(common::StrFormat(
+          "shard %zu accepted the job without a job_id", shard)));
+    }
+    JobId global_id = 0;
+    {
+      MutexLock lock(&mutex_);
+      global_id = next_job_id_++;
+      JobRoute route;
+      route.shard = shard;
+      route.local_id = local_id->AsInt();
+      route.submit_line = forward_line;
+      route.fingerprint = fingerprint;
+      routes_[global_id] = std::move(route);
+      ++stats_.submitted;
+    }
+    parsed.value().MutableObject()["job_id"] =
+        Json(static_cast<int64_t>(global_id));
+    return parsed.value().Dump() + "\n";
+  }
+  return ErrorResponse(common::UnavailableError(common::StrFormat(
+      "shard unavailable after %d attempts: %s", attempts,
+      last_failure.ToString().c_str())));
+}
+
+std::string Router::HandleJobVerb(ClientConn* conn, const Json& body) {
+  const Json* id_field = body.Find("job_id");
+  if (id_field == nullptr || !id_field->is_int()) {
+    return ErrorResponse(common::InvalidArgumentError(
+        "request must carry an integer 'job_id'"));
+  }
+  const JobId global_id = id_field->AsInt();
+  Status last_failure = common::UnavailableError("no forward attempted");
+  const int attempts = std::max(1, options_.max_forward_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    size_t shard = 0;
+    JobId local_id = 0;
+    uint16_t port = 0;
+    uint64_t generation = 0;
+    {
+      MutexLock lock(&mutex_);
+      auto it = routes_.find(global_id);
+      if (it == routes_.end()) {
+        return ErrorResponse(
+            common::NotFoundError(common::StrFormat(
+                "no job with id %lld",
+                static_cast<long long>(global_id))),
+            JobIdExtra(global_id));
+      }
+      if (!it->second.redrive_failure.ok()) {
+        return ErrorResponse(it->second.redrive_failure,
+                             JobIdExtra(global_id));
+      }
+      shard = it->second.shard;
+      local_id = it->second.local_id;
+      const ShardState& state = *shards_[shard];
+      if (!state.alive) {
+        return ErrorResponse(
+            common::UnavailableError(common::StrFormat(
+                "shard %zu is down and has no follower", shard)),
+            JobIdExtra(global_id));
+      }
+      port = state.active_port;
+      generation = state.generation;
+    }
+    // The forwarded body is the client's, job id rewritten to the
+    // shard-local one (which may change between attempts — a failover
+    // re-drive assigns fresh local ids).
+    Json::Object forward = body.AsObject();
+    forward["job_id"] = Json(static_cast<int64_t>(local_id));
+    auto response = ForwardRaw(conn, port, Json(std::move(forward)).Dump() + "\n",
+                               options_.upstream_recv_timeout_millis);
+    if (!response.ok()) {
+      last_failure = response.status();
+      if (stopping_.load()) break;
+      HandleShardFailure(shard, generation);
+      continue;
+    }
+    return RewriteShardResponse(response.value(), global_id);
+  }
+  return ErrorResponse(
+      common::UnavailableError(common::StrFormat(
+          "shard unavailable after %d attempts: %s", attempts,
+          last_failure.ToString().c_str())),
+      JobIdExtra(global_id));
+}
+
+std::string Router::RewriteShardResponse(const std::string& response_line,
+                                         JobId global_id) {
+  auto parsed = Json::Parse(response_line);
+  if (!parsed.ok() || !parsed.value().is_object()) {
+    return response_line + "\n";  // Unparseable: pass through untouched.
+  }
+  Json::Object& object = parsed.value().MutableObject();
+  if (object.count("job_id") != 0) {
+    object["job_id"] = Json(static_cast<int64_t>(global_id));
+  }
+  const Json* ok_field = parsed.value().Find("ok");
+  const Json* state_field = parsed.value().Find("state");
+  if (ok_field != nullptr && ok_field->is_bool() && ok_field->AsBool() &&
+      state_field != nullptr && state_field->is_string() &&
+      IsTerminalStateName(state_field->AsString())) {
+    MutexLock lock(&mutex_);
+    auto it = routes_.find(global_id);
+    if (it != routes_.end() && !it->second.terminal) {
+      // First terminal sighting only: a re-driven job that finishes
+      // again on the follower must not double-count.
+      it->second.terminal = true;
+      ++stats_.completed;
+    }
+  }
+  return parsed.value().Dump() + "\n";
+}
+
+std::string Router::HandleStats(ClientConn* conn) {
+  Json::Array shard_entries;
+  Json::Object totals;
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    bool alive = false;
+    uint16_t port = 0;
+    bool using_follower = false;
+    {
+      MutexLock lock(&mutex_);
+      alive = shards_[shard]->alive;
+      port = shards_[shard]->active_port;
+      using_follower = shards_[shard]->using_follower;
+    }
+    Json::Object entry;
+    entry["shard"] = Json(static_cast<int64_t>(shard));
+    entry["port"] = Json(static_cast<int64_t>(port));
+    entry["alive"] = Json(alive);
+    entry["using_follower"] = Json(using_follower);
+    if (alive) {
+      auto response = ForwardRaw(conn, port, "{\"verb\":\"stats\"}\n",
+                                 options_.probe_timeout_millis);
+      StatusOr<Json> stats_json =
+          response.ok() ? ParseResponse(response.value())
+                        : StatusOr<Json>(response.status());
+      if (stats_json.ok()) {
+        SumIntFields(totals, stats_json.value().AsObject());
+        entry["stats"] = stats_json.value();
+      } else {
+        entry["error"] = Json(stats_json.status().ToString());
+      }
+    }
+    shard_entries.push_back(Json(std::move(entry)));
+  }
+  Json::Object router;
+  {
+    MutexLock lock(&mutex_);
+    router["submitted"] = Json(stats_.submitted);
+    router["completed"] = Json(stats_.completed);
+    router["forwarded"] = Json(stats_.forwarded);
+    router["failovers"] = Json(stats_.failovers);
+    router["redriven"] = Json(stats_.redriven);
+    router["dead_shards"] = Json(stats_.dead_shards);
+    router["routes"] = Json(static_cast<int64_t>(routes_.size()));
+  }
+  Json::Object fields;
+  fields["router"] = Json(std::move(router));
+  fields["shards"] = Json(std::move(shard_entries));
+  fields["totals"] = Json(std::move(totals));
+  return OkResponse(std::move(fields));
+}
+
+std::string Router::HandleHealth() {
+  Json::Object fields;
+  fields["service"] = "ada-health-router";
+  fields["role"] = "router";
+  fields["uptime_seconds"] =
+      Json(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_time_)
+               .count());
+  Json::Array shard_entries;
+  MutexLock lock(&mutex_);
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    const ShardState& state = *shards_[shard];
+    Json::Object entry;
+    entry["shard"] = Json(static_cast<int64_t>(shard));
+    entry["primary_port"] =
+        Json(static_cast<int64_t>(state.endpoints.primary_port));
+    entry["follower_port"] =
+        Json(static_cast<int64_t>(state.endpoints.follower_port));
+    entry["active_port"] = Json(static_cast<int64_t>(state.active_port));
+    entry["alive"] = Json(state.alive);
+    entry["using_follower"] = Json(state.using_follower);
+    entry["generation"] = Json(static_cast<int64_t>(state.generation));
+    entry["consecutive_probe_failures"] =
+        Json(static_cast<int64_t>(state.consecutive_probe_failures));
+    shard_entries.push_back(Json(std::move(entry)));
+  }
+  fields["shards"] = Json(std::move(shard_entries));
+  fields["failovers"] = Json(stats_.failovers);
+  fields["redriven"] = Json(stats_.redriven);
+  fields["routes"] = Json(static_cast<int64_t>(routes_.size()));
+  return OkResponse(std::move(fields));
+}
+
+std::string Router::HandleShutdown(ClientConn* conn) {
+  // Cascade before stopping: every live endpoint — the active port and
+  // a not-yet-promoted follower — gets a graceful shutdown, so
+  // `ada_client --router shutdown` tears the whole cluster down.
+  std::vector<uint16_t> ports;
+  {
+    MutexLock lock(&mutex_);
+    for (const auto& shard : shards_) {
+      if (shard->alive) ports.push_back(shard->active_port);
+      if (!shard->using_follower && shard->endpoints.follower_port != 0) {
+        ports.push_back(shard->endpoints.follower_port);
+      }
+    }
+  }
+  for (uint16_t port : ports) {
+    if (auto response = ForwardRaw(conn, port, kShutdownLine,
+                                   options_.probe_timeout_millis);
+        !response.ok()) {
+      ADA_LOG(kWarning) << "router: shutdown cascade to port " << port
+                        << " failed: " << response.status().message();
+    }
+  }
+  // Answer the client *before* signalling stop: the moment Wait()
+  // returns, the main thread's Stop() closes every client connection,
+  // and it must not win the race against this response.
+  Json::Object fields;
+  fields["stopping"] = true;
+  if (common::Status sent = SendAll(conn->fd, OkResponse(std::move(fields)));
+      !sent.ok()) {
+    ADA_LOG(kWarning) << "router: shutdown response lost: "
+                      << sent.message();
+  }
+  SignalStop();
+  return std::string();
+}
+
+bool Router::ProbePort(uint16_t port) {
+  auto response =
+      ForwardRaw(nullptr, port, kPingLine, options_.probe_timeout_millis);
+  if (!response.ok()) return false;
+  return ParseResponse(response.value()).ok();
+}
+
+void Router::ProbeLoop() {
+  for (;;) {
+    {
+      MutexLock lock(&lifecycle_mutex_);
+      if (stopped_cv_.WaitFor(lifecycle_mutex_,
+                              options_.probe_interval_millis,
+                              [this]() ADA_REQUIRES(lifecycle_mutex_) {
+                                return stop_signalled_;
+                              })) {
+        return;
+      }
+    }
+    for (size_t shard = 0; shard < shards_.size(); ++shard) {
+      bool alive = false;
+      uint16_t port = 0;
+      uint64_t generation = 0;
+      {
+        MutexLock lock(&mutex_);
+        alive = shards_[shard]->alive;
+        port = shards_[shard]->active_port;
+        generation = shards_[shard]->generation;
+      }
+      if (!alive) continue;
+      if (stopping_.load()) return;
+      if (ProbePort(port)) {
+        MutexLock lock(&mutex_);
+        if (shards_[shard]->generation == generation) {
+          shards_[shard]->consecutive_probe_failures = 0;
+        }
+        continue;
+      }
+      int failures = 0;
+      {
+        MutexLock lock(&mutex_);
+        ShardState& state = *shards_[shard];
+        if (state.generation != generation || !state.alive) continue;
+        failures = ++state.consecutive_probe_failures;
+      }
+      if (failures >= options_.probe_failures_before_failover) {
+        HandleShardFailure(shard, generation);
+      }
+    }
+  }
+}
+
+void Router::HandleShardFailure(size_t shard, uint64_t observed_generation) {
+  ShardState& state = *shards_[shard];
+  // One failover at a time per shard: concurrent forwarding threads
+  // reporting the same dead primary queue up here; all but the first
+  // see the bumped generation and leave.
+  MutexLock failover_lock(&state.failover_mutex);
+  uint16_t active_port = 0;
+  {
+    MutexLock lock(&mutex_);
+    if (!state.alive || state.generation != observed_generation) return;
+    active_port = state.active_port;
+  }
+  // Verify the death with one fresh round-trip: a single torn
+  // connection or dropped response must not promote a follower while
+  // the primary still serves — that is the spurious-failover path that
+  // double-runs jobs.
+  if (ProbePort(active_port)) {
+    MutexLock lock(&mutex_);
+    if (state.generation == observed_generation) {
+      state.consecutive_probe_failures = 0;
+    }
+    return;
+  }
+  const bool has_follower =
+      !state.using_follower && state.endpoints.follower_port != 0;
+  ADA_LOG(kWarning) << "router: shard " << shard << " (port " << active_port
+                    << ") is dead; "
+                    << (has_follower ? "promoting follower"
+                                     : "no follower left");
+  const bool promoted = has_follower && PromoteAndRedrive(state, shard);
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
+  MutexLock lock(&mutex_);
+  if (promoted) {
+    state.active_port = state.endpoints.follower_port;
+    state.using_follower = true;
+    state.consecutive_probe_failures = 0;
+    ++state.generation;
+    ++stats_.failovers;
+    metrics.GetCounter("service/router_failovers").Increment();
+    ADA_LOG(kInfo) << "router: shard " << shard << " now served by port "
+                   << state.active_port;
+  } else {
+    state.alive = false;
+    ++state.generation;
+    ++stats_.dead_shards;
+    metrics.GetCounter("service/router_dead_shards").Increment();
+    for (auto& [id, route] : routes_) {
+      if (route.shard == shard && route.redrive_failure.ok() &&
+          !route.terminal) {
+        route.redrive_failure = common::UnavailableError(common::StrFormat(
+            "shard %zu died with no follower to fail over to", shard));
+      }
+    }
+  }
+}
+
+bool Router::PromoteAndRedrive(ShardState& state, size_t shard) {
+  const uint16_t follower = state.endpoints.follower_port;
+  common::RetryPolicy policy;
+  policy.max_attempts = std::max(1, options_.promote_connect_retries + 1);
+  policy.initial_backoff_millis = 25.0;
+  policy.max_backoff_millis = 500.0;
+  policy.retryable_codes = {common::StatusCode::kUnavailable};
+  Status promoted = common::RetryWithPolicy(
+      policy, "service.router.promote", [this, follower] {
+        auto response = ForwardRaw(nullptr, follower, kPromoteLine,
+                                   options_.probe_timeout_millis);
+        if (!response.ok()) return response.status();
+        return ParseResponse(response.value()).status();
+      });
+  if (!promoted.ok()) {
+    ADA_LOG(kError) << "router: shard " << shard
+                    << " follower promotion failed: " << promoted.ToString();
+    return false;
+  }
+  // Re-drive every routed job — terminal ones included, so their
+  // status/result queries keep working against the follower (the
+  // replicated cache answers them without a second session run).
+  std::vector<std::pair<JobId, std::string>> to_redrive;
+  {
+    MutexLock lock(&mutex_);
+    for (const auto& [id, route] : routes_) {
+      if (route.shard == shard && route.redrive_failure.ok()) {
+        to_redrive.emplace_back(id, route.submit_line);
+      }
+    }
+  }
+  for (const auto& [id, submit_line] : to_redrive) {
+    auto response = ForwardRaw(nullptr, follower, submit_line,
+                               options_.upstream_recv_timeout_millis);
+    StatusOr<Json> parsed = response.ok()
+                                ? ParseResponse(response.value())
+                                : StatusOr<Json>(response.status());
+    MutexLock lock(&mutex_);
+    auto it = routes_.find(id);
+    if (it == routes_.end()) continue;
+    if (!parsed.ok()) {
+      it->second.redrive_failure = common::UnavailableError(
+          common::StrFormat("failover re-drive failed: %s",
+                            parsed.status().ToString().c_str()));
+      continue;
+    }
+    const Json* local_id = parsed.value().Find("job_id");
+    if (local_id == nullptr || !local_id->is_int()) {
+      it->second.redrive_failure = common::InternalError(
+          "failover re-drive got no job_id from the follower");
+      continue;
+    }
+    it->second.local_id = local_id->AsInt();
+    ++stats_.redriven;
+    common::MetricsRegistry::Default()
+        .GetCounter("service/router_redriven")
+        .Increment();
+  }
+  return true;
+}
+
+}  // namespace service
+}  // namespace adahealth

@@ -1,0 +1,272 @@
+// The cluster front door: one router process that consistent-hashes
+// jobs across N shard AnalysisServer processes and survives the death
+// of any shard primary.
+//
+// Topology (tools/ada_router wires it from flags):
+//
+//     client ──NDJSON──▶ router ──NDJSON──▶ shard 0 primary ──replicate──▶ shard 0 follower
+//                          │
+//                          └────NDJSON──▶ shard 1 primary ──replicate──▶ shard 1 follower
+//
+// Routing: `submit` bodies are parsed with the same BuildJobRequest /
+// DatasetFingerprint code the shards run, so the router and the shard
+// compute the identical fingerprint; the fingerprint picks a shard on
+// a consistent-hash ring (vnodes_per_shard virtual nodes per shard),
+// which keeps near-identical repeat cohorts — the workload the result
+// cache exists for — landing on the same shard's cache slice. The
+// router speaks the same NDJSON protocol to clients as a single shard
+// does: job ids are rewritten (global ↔ shard-local) in both
+// directions and everything else passes through verbatim, so
+// `ada_client` works unchanged against a router or a bare shard.
+//
+// Failure handling: a background prober health-checks every shard;
+// `probe_failures_before_failover` consecutive probe failures — or a
+// connection error while forwarding — trigger failover. Failover is
+// verified (one fresh connect+ping must also fail, so a single dropped
+// packet cannot double-run jobs), serialized per shard, and
+// generation-stamped for idempotence. The shard's follower is sent the
+// `promote` verb, every job routed to the shard is re-driven against
+// it (re-submitting the original request line), and the shard's active
+// port flips. Jobs whose results were already replicated complete as
+// cache hits on the follower (no second session run); unreplicated
+// in-flight jobs re-run — execution is at-least-once, client-visible
+// completion per job id is exactly-once, and reports stay
+// byte-identical either way because sessions are deterministic.
+// A shard with no follower left is marked dead: its jobs fail with
+// UNAVAILABLE and new submits ride the ring to the next live shard —
+// the cluster keeps serving with N-1 partitions.
+//
+// Verbs handled locally: ping, health (router + per-shard liveness),
+// stats (cross-shard aggregation with a "totals" roll-up), shutdown
+// (cascades to every live shard endpoint). promote/replicate are
+// cluster-internal and rejected at the front door.
+//
+// Failpoints: "service.shard.promote" (shard side) makes promotion
+// fail, exercising the shard-death path. The router itself uses only
+// the net_socket wrappers — the raw-syscall ban (ada_lint raw-socket)
+// applies here exactly as in the rest of the service layer.
+#ifndef ADAHEALTH_SERVICE_ROUTER_H_
+#define ADAHEALTH_SERVICE_ROUTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "common/sync.h"
+#include "service/net_socket.h"
+#include "service/scheduler.h"
+
+namespace adahealth {
+namespace service {
+
+/// One shard's process endpoints (loopback ports).
+struct ShardEndpoints {
+  uint16_t primary_port = 0;
+  /// 0 = the shard runs without a replica (a primary death kills the
+  /// partition instead of failing over).
+  uint16_t follower_port = 0;
+};
+
+struct RouterOptions {
+  /// Router listen port; 0 = kernel-assigned (see Router::port()).
+  uint16_t port = 0;
+  std::vector<ShardEndpoints> shards;
+  /// Liveness probe cadence per shard.
+  double probe_interval_millis = 250.0;
+  /// Consecutive probe failures before the prober triggers failover.
+  int probe_failures_before_failover = 3;
+  /// Forwarding attempts per client request; each transport failure
+  /// between attempts runs the failover path for the routed shard.
+  int max_forward_attempts = 3;
+  /// Recv ceiling on forwarded requests — must exceed the shards'
+  /// max_result_wait_millis or long `result` waits get cut short.
+  double upstream_recv_timeout_millis = 120000.0;
+  /// Recv ceiling on probe and failover-verification round-trips.
+  double probe_timeout_millis = 1000.0;
+  /// Connect retries against the follower during promotion.
+  int promote_connect_retries = 10;
+  /// Virtual nodes per shard on the consistent-hash ring.
+  size_t vnodes_per_shard = 64;
+  size_t max_line_bytes = kMaxLineBytes;
+};
+
+/// Point-in-time router counters.
+struct RouterStats {
+  int64_t submitted = 0;   // Routes created (global job ids handed out).
+  int64_t completed = 0;   // Routes first seen in a terminal state.
+  int64_t forwarded = 0;   // Upstream round-trips attempted.
+  int64_t failovers = 0;   // Successful follower promotions.
+  int64_t redriven = 0;    // Jobs re-submitted during failovers.
+  int64_t dead_shards = 0; // Shards with no endpoint left.
+};
+
+/// The sharding router. Start() binds the port and spawns the accept
+/// and prober threads; each client connection gets a forwarding
+/// thread (the router holds no job state beyond the routing table, so
+/// a blocking thread-per-connection design is proportionate here —
+/// the epoll machinery stays in the shards, which hold the real work).
+class Router {
+ public:
+  explicit Router(RouterOptions options);
+  ~Router();  // Stop()s.
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Binds the listener, builds the hash ring, starts the threads.
+  /// INVALID_ARGUMENT when no shards are configured; UNAVAILABLE when
+  /// the port cannot be bound; FAILED_PRECONDITION when already
+  /// started.
+  [[nodiscard]] common::Status Start();
+
+  /// Blocks until a `shutdown` verb (or Stop()) stops the router.
+  void Wait();
+
+  /// Signals every thread, joins them, closes every connection.
+  /// Idempotent; not callable from a router-owned thread.
+  void Stop();
+
+  [[nodiscard]] uint16_t port() const { return port_; }
+  [[nodiscard]] RouterStats stats() const;
+
+  /// Shard a fingerprint routes to right now (dead shards skipped);
+  /// exposed for tests asserting ring placement.
+  [[nodiscard]] size_t ShardFor(const std::string& fingerprint) const
+      ADA_EXCLUDES(mutex_);
+
+ private:
+  /// Mutable per-shard state. Fields are guarded by the router-wide
+  /// data mutex_; failover_mutex (always acquired *before* mutex_)
+  /// serializes whole failovers per shard so concurrent transport
+  /// failures promote once.
+  struct ShardState {
+    ShardEndpoints endpoints;
+    uint16_t active_port = 0;
+    bool using_follower = false;
+    bool alive = true;
+    /// Bumped on every failover / death; forwarding threads pass the
+    /// generation they routed against so a failure report that was
+    /// already handled becomes a no-op.
+    uint64_t generation = 0;
+    int consecutive_probe_failures = 0;
+    common::Mutex failover_mutex;
+  };
+
+  /// Routing-table entry for one client-visible (global) job id.
+  struct JobRoute {
+    size_t shard = 0;
+    JobId local_id = 0;
+    /// The original submit request line, replayed verbatim on
+    /// failover re-drive.
+    std::string submit_line;
+    std::string fingerprint;
+    bool terminal = false;
+    /// Non-OK once a failover could not re-drive this job; job verbs
+    /// answer it directly instead of forwarding.
+    common::Status redrive_failure;
+  };
+
+  /// One accepted client connection served by its own thread.
+  struct ClientConn {
+    FileDescriptor fd;
+    common::Mutex mutex;
+    /// Registered while a forward round-trip is in flight so Stop()
+    /// can unblock the upstream read too.
+    const FileDescriptor* upstream ADA_GUARDED_BY(mutex) = nullptr;
+    bool shutdown ADA_GUARDED_BY(mutex) = false;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ProbeLoop();
+  void ServeClient(ClientConn* conn);
+  /// Reaps finished connection threads (called from the accept loop).
+  void ReapConnections();
+
+  /// Dispatches one request line to a local handler or a shard.
+  [[nodiscard]] std::string HandleLine(ClientConn* conn,
+                                       const std::string& line);
+  [[nodiscard]] std::string HandleSubmit(ClientConn* conn,
+                                         const common::Json& body,
+                                         const std::string& line);
+  /// status/result/cancel: the body (verb included) is forwarded with
+  /// only the job id rewritten global → local.
+  [[nodiscard]] std::string HandleJobVerb(ClientConn* conn,
+                                          const common::Json& body);
+  [[nodiscard]] std::string HandleStats(ClientConn* conn);
+  [[nodiscard]] std::string HandleHealth();
+  [[nodiscard]] std::string HandleShutdown(ClientConn* conn);
+
+  /// One connect + send + read-one-line round-trip to a shard port.
+  /// `conn` (nullable) registers the upstream fd for Stop().
+  [[nodiscard]] common::StatusOr<std::string> ForwardRaw(
+      ClientConn* conn, uint16_t port, const std::string& line,
+      double recv_timeout_millis);
+
+  /// Ring lookup starting at the fingerprint's hash, skipping dead
+  /// shards.
+  [[nodiscard]] size_t ShardForLocked(const std::string& fingerprint) const
+      ADA_REQUIRES(mutex_);
+
+  /// Verified, serialized, generation-stamped failover for `shard`.
+  void HandleShardFailure(size_t shard, uint64_t observed_generation);
+  /// True when a fresh connect+ping round-trip to `port` succeeds.
+  [[nodiscard]] bool ProbePort(uint16_t port);
+  /// Promotes the follower and re-drives this shard's jobs; returns
+  /// false when the follower is unreachable or rejects promotion.
+  [[nodiscard]] bool PromoteAndRedrive(ShardState& state, size_t shard)
+      ADA_EXCLUDES(mutex_);
+
+  /// Marks terminal responses and rewrites their job id back to
+  /// `global_id`; returns the line to send to the client.
+  [[nodiscard]] std::string RewriteShardResponse(
+      const std::string& response_line, JobId global_id);
+
+  /// Signals stop (idempotent, callable from router threads); joining
+  /// stays in Stop().
+  void SignalStop();
+
+  const RouterOptions options_;
+
+  ServerSocket listener_;
+  uint16_t port_ = 0;
+  std::chrono::steady_clock::time_point start_time_{};
+
+  /// Consistent-hash ring: (vnode hash, shard index), sorted by hash.
+  /// Built once in Start(); immutable afterwards.
+  std::vector<std::pair<uint64_t, size_t>> ring_;
+
+  mutable common::Mutex mutex_;
+  std::vector<std::unique_ptr<ShardState>> shards_;  // Vector immutable;
+                                                     // fields guarded.
+  std::map<JobId, JobRoute> routes_ ADA_GUARDED_BY(mutex_);
+  JobId next_job_id_ ADA_GUARDED_BY(mutex_) = 1;
+  RouterStats stats_ ADA_GUARDED_BY(mutex_);
+
+  common::Mutex lifecycle_mutex_;
+  common::CondVar stopped_cv_;
+  bool started_ ADA_GUARDED_BY(lifecycle_mutex_) = false;
+  bool stop_signalled_ ADA_GUARDED_BY(lifecycle_mutex_) = false;
+  std::atomic<bool> stopping_{false};
+
+  common::Mutex conn_mutex_;
+  std::vector<std::unique_ptr<ClientConn>> conns_
+      ADA_GUARDED_BY(conn_mutex_);
+
+  std::thread accept_thread_;
+  std::thread prober_thread_;
+};
+
+}  // namespace service
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_SERVICE_ROUTER_H_

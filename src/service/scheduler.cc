@@ -464,6 +464,24 @@ void Scheduler::RunJob(Job& job) {
   entry.summary = result->summary;
   entry.report = report;
   entry.knowledge_items = static_cast<int64_t>(result->knowledge.size());
+  CommitCacheEntry(std::move(entry), /*fire_hook=*/true);
+
+  std::vector<Notification> notifications;
+  {
+    common::MutexLock lock(&mutex_);
+    job.run_seconds = run_seconds;
+    ++stats_.sessions_executed;
+    job.summary = std::move(result.value().summary);
+    job.report = std::move(report);
+    job.knowledge_items = static_cast<int64_t>(result->knowledge.size());
+    FinishJob(job, JobState::kDone, common::OkStatus(), &notifications);
+  }
+  FireNotifications(notifications);
+}
+
+void Scheduler::CommitCacheEntry(CachedAnalysis entry, bool fire_hook) {
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
+  CachedAnalysis committed = entry;  // The hook sees the full record.
   cache_.Insert(std::move(entry));
   if (!options_.cache_directory.empty()) {
     // A persist is an O(all entries) full rewrite of the cache file;
@@ -483,18 +501,9 @@ void Scheduler::RunJob(Job& job) {
       metrics.GetCounter("service/cache_persist_skipped").Increment();
     }
   }
-
-  std::vector<Notification> notifications;
-  {
-    common::MutexLock lock(&mutex_);
-    job.run_seconds = run_seconds;
-    ++stats_.sessions_executed;
-    job.summary = std::move(result.value().summary);
-    job.report = std::move(report);
-    job.knowledge_items = static_cast<int64_t>(result->knowledge.size());
-    FinishJob(job, JobState::kDone, common::OkStatus(), &notifications);
+  if (fire_hook && options_.on_result_committed) {
+    options_.on_result_committed(committed);
   }
-  FireNotifications(notifications);
 }
 
 void Scheduler::FinishJob(Job& job, JobState state, common::Status status,

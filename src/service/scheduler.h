@@ -125,6 +125,12 @@ struct SchedulerOptions {
   size_t cache_persist_threshold = 8;
   /// Construction-time Pause() (tests: stage jobs deterministically).
   bool start_paused = false;
+  /// Fired after a session's artifacts are committed to the result
+  /// cache (insert + batched persist), outside the scheduler lock —
+  /// the replication hook: a shard primary wires this to its
+  /// LogShipper so every committed result streams to the follower.
+  /// Runs on the worker thread that finished the job; must not block.
+  std::function<void(const CachedAnalysis&)> on_result_committed;
 };
 
 /// Monotonic per-scheduler counters (the global metrics registry is
@@ -211,6 +217,15 @@ class Scheduler {
   [[nodiscard]] SchedulerStats stats() const ADA_EXCLUDES(mutex_);
   /// Stats plus cache counters as one JSON object (the `stats` verb).
   [[nodiscard]] common::Json StatsJson() const ADA_EXCLUDES(mutex_);
+
+  /// Commits one finished analysis to the result cache: inserts the
+  /// entry, persists when the dirty-entry threshold is reached (and a
+  /// cache_directory is configured), and — when `fire_hook` — invokes
+  /// on_result_committed. Workers call this with fire_hook=true; a
+  /// follower applying a replicated entry calls it with false so a
+  /// replica chain cannot loop a record back at its own primary.
+  void CommitCacheEntry(CachedAnalysis entry, bool fire_hook)
+      ADA_EXCLUDES(mutex_);
 
   ResultCache& cache() { return cache_; }
   const SchedulerOptions& options() const { return options_; }

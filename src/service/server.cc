@@ -3,9 +3,12 @@
 #include <sys/epoll.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <utility>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
@@ -39,17 +42,48 @@ double ReadWaitMillis(const Json& body) {
 
 }  // namespace
 
+const char* ServerRoleName(ServerRole role) {
+  return role == ServerRole::kPrimary ? "primary" : "follower";
+}
+
 AnalysisServer::AnalysisServer(ServerOptions options)
-    : scheduler_(std::move(options.scheduler)),
+    : shipper_(MakeShipper(options)),
+      scheduler_(std::move(options.scheduler)),
       requested_port_(options.port),
       max_connections_(std::max<size_t>(1, options.max_connections)),
       idle_timeout_millis_(options.idle_timeout_millis),
       max_result_wait_millis_(
           std::max(1.0, options.max_result_wait_millis)),
       max_line_bytes_(std::max<size_t>(1, options.max_line_bytes)),
-      drain_timeout_millis_(std::max(1.0, options.drain_timeout_millis)) {}
+      drain_timeout_millis_(std::max(1.0, options.drain_timeout_millis)) {
+  role_.store(options.role);
+}
 
-AnalysisServer::~AnalysisServer() { Stop(); }
+std::unique_ptr<LogShipper> AnalysisServer::MakeShipper(
+    ServerOptions& options) {
+  if (options.replicate_to_port == 0) return nullptr;
+  ReplicationOptions replication;
+  replication.follower_port = options.replicate_to_port;
+  // The snapshot lambda runs only on the (started) ship thread and the
+  // destructor stops that thread before scheduler_ dies, so capturing
+  // `this` ahead of scheduler_'s construction is safe.
+  auto shipper = std::make_unique<LogShipper>(
+      replication, [this] { return scheduler_.cache().Entries(); });
+  LogShipper* raw = shipper.get();
+  options.scheduler.on_result_committed =
+      [raw](const CachedAnalysis& entry) { raw->Enqueue(entry); };
+  return shipper;
+}
+
+AnalysisServer::~AnalysisServer() {
+  Stop();
+  // Stop the ship thread before member destruction reaches scheduler_:
+  // its snapshot callback reads the scheduler's cache. Workers the
+  // scheduler destructor is still waiting out may Enqueue into the
+  // stopped shipper (safe — entries just queue); the router's re-drive
+  // covers anything unshipped at death.
+  if (shipper_) shipper_->Stop();
+}
 
 Status AnalysisServer::Start() {
   if (running_.load()) {
@@ -68,12 +102,15 @@ Status AnalysisServer::Start() {
     const double period = std::max(idle_timeout_millis_ / 4.0, 10.0);
     loop_.ScheduleAfter(period, [this] { SweepIdleConnections(); });
   }
+  start_time_ = std::chrono::steady_clock::now();
   running_.store(true);
   {
     common::MutexLock lock(&join_mutex_);
     loop_thread_ = std::thread([this] { LoopMain(); });
   }
-  ADA_LOG(kInfo) << "service: listening on 127.0.0.1:" << port_;
+  if (shipper_) shipper_->Start();
+  ADA_LOG(kInfo) << "service: listening on 127.0.0.1:" << port_
+                 << " as " << ServerRoleName(role_.load());
   return common::OkStatus();
 }
 
@@ -159,6 +196,17 @@ void AnalysisServer::OnConnectionEvent(int64_t id, uint32_t events) {
 
 void AnalysisServer::OnRequestLine(int64_t id, Connection& conn,
                                    std::string line) {
+  // Fault injection for the shard-failover tests: an armed
+  // "service.shard.kill" failpoint makes the process die the way a
+  // crashed shard does — no drain, no flushed responses, no cache
+  // flush — so the router's detection + promotion path is exercised
+  // against a realistic death, not a graceful shutdown.
+  if (common::Status killed = ADA_FAILPOINT("service.shard.kill");
+      !killed.ok()) {
+    ADA_LOG(kError) << "service: shard kill failpoint fired: "
+                    << killed.ToString();
+    std::_Exit(137);
+  }
   common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
   metrics.GetCounter("service/server_requests").Increment();
   auto request = ParseRequest(line);
@@ -403,8 +451,28 @@ void AnalysisServer::SweepIdleConnections() {
   }
 }
 
+common::Json AnalysisServer::ReplicationFields() const {
+  const ReplicationStats replication = shipper_->stats();
+  Json::Object fields;
+  fields["shipped"] = Json(replication.shipped);
+  fields["send_failures"] = Json(replication.send_failures);
+  fields["reconnects"] = Json(replication.reconnects);
+  fields["dropped"] = Json(replication.dropped);
+  fields["queue_depth"] = Json(static_cast<int64_t>(replication.queue_depth));
+  fields["connected"] = Json(replication.connected);
+  return Json(std::move(fields));
+}
+
 std::string AnalysisServer::Dispatch(const Request& request) {
   if (request.verb == "submit") {
+    if (role_.load() == ServerRole::kFollower) {
+      // A follower must not run jobs the primary would also run: the
+      // router owns routing, and this shard serves traffic only after
+      // a `promote`. UNAVAILABLE is retryable, so a client racing a
+      // failover backs off and retries against the promoted shard.
+      return ErrorResponse(common::UnavailableError(
+          "shard is a follower; not accepting jobs until promoted"));
+    }
     auto job_request = BuildJobRequest(request.body);
     if (!job_request.ok()) return ErrorResponse(job_request.status());
     auto id = scheduler_.Submit(std::move(job_request).value());
@@ -458,7 +526,82 @@ std::string AnalysisServer::Dispatch(const Request& request) {
     server["total_connections"] = Json(total_connections_.load());
     server["shed_connections"] = Json(shed_connections_.load());
     server["idle_disconnects"] = Json(idle_disconnects_.load());
+    server["role"] = Json(std::string(ServerRoleName(role_.load())));
     fields["server"] = Json(std::move(server));
+    if (shipper_ != nullptr) {
+      fields["replication"] = ReplicationFields();
+    }
+    return OkResponse(std::move(fields));
+  }
+  if (request.verb == "health") {
+    // Liveness + load in one cheap round-trip: the router's prober and
+    // `ada_client health` both read this. Everything here is a lock-
+    // free or single-lock snapshot — a wedged worker session must not
+    // wedge the health probe.
+    const SchedulerStats scheduler_stats = scheduler_.stats();
+    const double uptime_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_time_)
+            .count();
+    Json::Object fields;
+    fields["service"] = "ada-health";
+    fields["role"] = Json(std::string(ServerRoleName(role_.load())));
+    fields["uptime_seconds"] = Json(uptime_seconds);
+    fields["queue_depth"] =
+        Json(static_cast<int64_t>(scheduler_stats.queue_depth));
+    fields["active_workers"] =
+        Json(static_cast<int64_t>(scheduler_stats.active_workers));
+    fields["max_workers"] =
+        Json(static_cast<int64_t>(scheduler_.options().max_workers));
+    fields["cache_entries"] =
+        Json(static_cast<int64_t>(scheduler_.cache().entries()));
+    fields["jobs_submitted"] = Json(scheduler_stats.submitted);
+    fields["jobs_completed"] = Json(scheduler_stats.completed);
+    fields["jobs_failed"] = Json(scheduler_stats.failed);
+    fields["open_connections"] = Json(open_connections_.load());
+    if (shipper_ != nullptr) {
+      fields["replication"] = ReplicationFields();
+    }
+    return OkResponse(std::move(fields));
+  }
+  if (request.verb == "promote") {
+    // Router-driven failover: flip this follower to primary so it
+    // starts accepting the re-driven jobs. Idempotent (promoting a
+    // primary is a no-op) because the router may retry the promotion
+    // after a dropped response.
+    if (common::Status injected = ADA_FAILPOINT("service.shard.promote");
+        !injected.ok()) {
+      return ErrorResponse(injected);
+    }
+    const ServerRole previous = role_.exchange(ServerRole::kPrimary);
+    ADA_LOG(kInfo) << "service: promoted to primary (was "
+                   << ServerRoleName(previous) << ")";
+    Json::Object fields;
+    fields["role"] = Json(std::string(ServerRoleName(ServerRole::kPrimary)));
+    fields["was_follower"] = Json(previous == ServerRole::kFollower);
+    fields["cache_entries"] =
+        Json(static_cast<int64_t>(scheduler_.cache().entries()));
+    return OkResponse(std::move(fields));
+  }
+  if (request.verb == "replicate") {
+    // Applied by a follower for every entry the primary's LogShipper
+    // streams over. Idempotent: re-inserting a fingerprint refreshes
+    // the entry, so at-least-once delivery needs no dedup state.
+    const Json* entry_field = request.body.Find("entry");
+    if (entry_field == nullptr) {
+      return ErrorResponse(common::InvalidArgumentError(
+          "replicate request must carry an 'entry' object"));
+    }
+    auto entry = CachedAnalysis::FromJson(*entry_field);
+    if (!entry.ok()) return ErrorResponse(entry.status());
+    // fire_hook=false: a replicated entry must not re-enter a shipper,
+    // or a promoted ex-follower would loop records back at its peer.
+    scheduler_.CommitCacheEntry(std::move(entry).value(),
+                                /*fire_hook=*/false);
+    Json::Object fields;
+    fields["applied"] = true;
+    fields["cache_entries"] =
+        Json(static_cast<int64_t>(scheduler_.cache().entries()));
     return OkResponse(std::move(fields));
   }
   if (request.verb == "ping") {

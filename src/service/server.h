@@ -28,6 +28,7 @@
 #define ADAHEALTH_SERVICE_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -40,10 +41,18 @@
 #include "service/event_loop.h"
 #include "service/net_socket.h"
 #include "service/protocol.h"
+#include "service/replication.h"
 #include "service/scheduler.h"
 
 namespace adahealth {
 namespace service {
+
+/// A shard process is either the primary (accepts submits, replicates
+/// committed results) or a warm follower (applies `replicate` records,
+/// rejects submits until the router `promote`s it).
+enum class ServerRole { kPrimary, kFollower };
+
+[[nodiscard]] const char* ServerRoleName(ServerRole role);
 
 struct ServerOptions {
   /// 0 = kernel-assigned ephemeral port (see AnalysisServer::port()).
@@ -65,6 +74,15 @@ struct ServerOptions {
   /// Failsafe on graceful drain: connections that have not flushed and
   /// gone away by then are force-dropped (clamped to >= 1 ms).
   double drain_timeout_millis = 5000.0;
+  /// Starting role. A follower rejects `submit` with UNAVAILABLE until
+  /// it receives the `promote` verb (from the router, on primary
+  /// death) — clients must not land jobs on a replica that the primary
+  /// would also run.
+  ServerRole role = ServerRole::kPrimary;
+  /// When non-zero, this server is a shard primary replicating every
+  /// committed result to the follower NDJSON server on that loopback
+  /// port (see service/replication.h).
+  uint16_t replicate_to_port = 0;
   SchedulerOptions scheduler;
 };
 
@@ -94,7 +112,13 @@ class AnalysisServer {
   [[nodiscard]] uint16_t port() const { return port_; }
   [[nodiscard]] bool running() const { return running_.load(); }
 
+  /// Current role; flips kFollower → kPrimary on the `promote` verb.
+  [[nodiscard]] ServerRole role() const { return role_.load(); }
+
   Scheduler& scheduler() { return scheduler_; }
+
+  /// The replication shipper, or nullptr when replicate_to_port is 0.
+  [[nodiscard]] LogShipper* shipper() { return shipper_.get(); }
 
   /// Handles one already-parsed request and returns the serialized
   /// response line. Exposed so tests can drive the dispatch table
@@ -119,6 +143,12 @@ class AnalysisServer {
     uint64_t wait_epoch = 0;
   };
 
+  /// Builds the replication shipper (nullptr when replicate_to_port is
+  /// 0) and wires the scheduler's on_result_committed hook to it; runs
+  /// first in the constructor's init list, before scheduler_ exists.
+  [[nodiscard]] std::unique_ptr<LogShipper> MakeShipper(
+      ServerOptions& options);
+
   void LoopMain();
   void OnAcceptable();
   void OnConnectionEvent(int64_t id, uint32_t events);
@@ -137,12 +167,20 @@ class AnalysisServer {
   void SweepIdleConnections();
   double EffectiveResultWait(const common::Json& body) const;
   [[nodiscard]] std::string ResultTimeoutResponse(JobId job) const;
+  /// The replication-counters object shared by `stats` and `health`
+  /// responses; requires shipper_ != nullptr.
+  [[nodiscard]] common::Json ReplicationFields() const;
 
   // Destruction order (reverse of declaration) is load-bearing:
-  // connections_ before loop_ (Connection::~Connection unwatches), and
+  // connections_ before loop_ (Connection::~Connection unwatches);
   // scheduler_ first of all — its destructor waits out the workers, so
   // no completion callback can Post into the loop after the loop is
-  // gone.
+  // gone; and shipper_ last of all — workers the scheduler is waiting
+  // out may still Enqueue into it via the on_result_committed hook.
+  // (~AnalysisServer additionally Stop()s the shipper before the
+  // scheduler dies: the ship thread's snapshot callback reads the
+  // scheduler's cache.)
+  std::unique_ptr<LogShipper> shipper_;
   EventLoop loop_;
   std::map<int64_t, ConnectionEntry> connections_;  // Loop thread only.
   Scheduler scheduler_;
@@ -155,6 +193,9 @@ class AnalysisServer {
   common::Mutex join_mutex_;
   std::thread loop_thread_ ADA_GUARDED_BY(join_mutex_);
   std::atomic<bool> running_{false};
+  std::atomic<ServerRole> role_{ServerRole::kPrimary};
+  /// Set by Start(); the `health` verb reports uptime against it.
+  std::chrono::steady_clock::time_point start_time_{};
   bool draining_ = false;  // Loop thread only.
   int64_t next_connection_id_ = 1;  // Loop thread only.
   uint16_t port_ = 0;

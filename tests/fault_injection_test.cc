@@ -852,7 +852,8 @@ TEST_F(FaultInjectionServiceTest, WriteFailpointFailsOneConnectionNotServer) {
   // Raw ::send so the client-side SendAll helper cannot eat the
   // one-shot failpoint before the server's response write does.
   const char request[] = "{\"verb\":\"ping\"}\n";
-  ASSERT_GT(::send(doomed->get(), request, sizeof(request) - 1, MSG_NOSIGNAL),
+  ASSERT_GT(::send(doomed->get(), request,  // ada-lint: allow(raw-socket)
+                   sizeof(request) - 1, MSG_NOSIGNAL),
             0);
   ASSERT_TRUE(AwaitServerErrorsAbove(errors_before));
   // The response write failed: connection dropped, no reply; the

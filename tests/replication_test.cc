@@ -1,0 +1,178 @@
+// LogShipper coverage: live shipping of committed results to a
+// follower AnalysisServer, snapshot catch-up on (re)connect,
+// failpoint-injected send failures with requeue-and-redeliver,
+// bounded-queue overflow accounting, and drain semantics while the
+// follower is unreachable.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "common/check.h"
+#include "common/failpoint.h"
+#include "common/status.h"
+#include "service/net_socket.h"
+#include "service/replication.h"
+#include "service/result_cache.h"
+#include "service/server.h"
+
+namespace adahealth {
+namespace {
+
+using common::StatusCode;
+
+service::CachedAnalysis MakeEntry(int index) {
+  service::CachedAnalysis entry;
+  entry.fingerprint = "replfp-" + std::to_string(index);
+  entry.dataset_id = "repl";
+  entry.summary = "summary " + std::to_string(index);
+  entry.report = "report body " + std::to_string(index);
+  entry.knowledge_items = index;
+  return entry;
+}
+
+/// Grabs an ephemeral port and releases it — connects to the returned
+/// port are refused (modulo an unlikely reuse race, which these tests
+/// tolerate by asserting on non-delivery, not on error text).
+uint16_t DeadPort() {
+  auto listener = service::ServerSocket::Listen(0);
+  ADA_CHECK(listener.ok());
+  return listener->port();
+}
+
+class ReplicationTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    service::ServerOptions options;
+    options.role = service::ServerRole::kFollower;
+    options.scheduler.max_workers = 1;
+    follower_ = std::make_unique<service::AnalysisServer>(std::move(options));
+    ASSERT_TRUE(follower_->Start().ok());
+  }
+
+  void TearDown() override { follower_->Stop(); }
+
+  size_t FollowerEntries() {
+    return follower_->scheduler().cache().entries();
+  }
+
+  std::unique_ptr<service::AnalysisServer> follower_;
+};
+
+TEST_F(ReplicationTest, ShipsEnqueuedEntryToFollower) {
+  service::ReplicationOptions options;
+  options.follower_port = follower_->port();
+  service::LogShipper shipper(options, [] {
+    return std::vector<service::CachedAnalysis>{};
+  });
+  shipper.Start();
+  shipper.Enqueue(MakeEntry(1));
+  ASSERT_TRUE(shipper.WaitUntilDrained(10000.0));
+
+  service::ReplicationStats stats = shipper.stats();
+  EXPECT_EQ(stats.shipped, 1);
+  EXPECT_EQ(stats.send_failures, 0);
+  EXPECT_EQ(stats.reconnects, 1);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_TRUE(stats.connected);
+  EXPECT_EQ(FollowerEntries(), 1u);
+  shipper.Stop();
+}
+
+TEST_F(ReplicationTest, SnapshotCatchUpPrecedesLiveTail) {
+  // Two entries pre-date the shipper (as if the follower connected
+  // late): the first connect must stream them before the live entry.
+  std::vector<service::CachedAnalysis> backlog = {MakeEntry(10),
+                                                  MakeEntry(11)};
+  service::ReplicationOptions options;
+  options.follower_port = follower_->port();
+  service::LogShipper shipper(options, [backlog] { return backlog; });
+  shipper.Start();
+  shipper.Enqueue(MakeEntry(12));
+  ASSERT_TRUE(shipper.WaitUntilDrained(10000.0));
+
+  EXPECT_EQ(shipper.stats().shipped, 3);
+  EXPECT_EQ(FollowerEntries(), 3u);
+  shipper.Stop();
+}
+
+TEST_F(ReplicationTest, DuplicateDeliveryIsIdempotent) {
+  // At-least-once delivery: the same fingerprint shipped twice must
+  // refresh, not duplicate, the follower's cache entry.
+  service::ReplicationOptions options;
+  options.follower_port = follower_->port();
+  service::LogShipper shipper(options, [] {
+    return std::vector<service::CachedAnalysis>{};
+  });
+  shipper.Start();
+  shipper.Enqueue(MakeEntry(20));
+  shipper.Enqueue(MakeEntry(20));
+  ASSERT_TRUE(shipper.WaitUntilDrained(10000.0));
+
+  EXPECT_EQ(shipper.stats().shipped, 2);
+  EXPECT_EQ(FollowerEntries(), 1u);
+  shipper.Stop();
+}
+
+TEST_F(ReplicationTest, SendFailureRequeuesAndRedelivers) {
+  // The failpoint kills the first wire send; the shipper must count
+  // the failure, requeue the entry, reconnect, and deliver it.
+  service::ReplicationOptions options;
+  options.follower_port = follower_->port();
+  service::LogShipper shipper(options, [] {
+    return std::vector<service::CachedAnalysis>{};
+  });
+  common::ScopedFailpoint broken_wire(
+      "service.replication.send",
+      common::OneShotError(StatusCode::kUnavailable, "injected send loss"));
+  shipper.Start();
+  shipper.Enqueue(MakeEntry(30));
+  ASSERT_TRUE(shipper.WaitUntilDrained(10000.0));
+
+  service::ReplicationStats stats = shipper.stats();
+  EXPECT_EQ(stats.send_failures, 1);
+  EXPECT_EQ(stats.shipped, 1);
+  EXPECT_GE(stats.reconnects, 2);  // Initial connect + post-failure.
+  EXPECT_EQ(FollowerEntries(), 1u);
+  shipper.Stop();
+}
+
+TEST(ReplicationQueueTest, OverflowDropsOldestAndCounts) {
+  // No Start(): the queue fills without a ship loop draining it.
+  service::ReplicationOptions options;
+  options.follower_port = DeadPort();
+  options.max_queue = 2;
+  service::LogShipper shipper(options, [] {
+    return std::vector<service::CachedAnalysis>{};
+  });
+  shipper.Enqueue(MakeEntry(40));
+  shipper.Enqueue(MakeEntry(41));
+  shipper.Enqueue(MakeEntry(42));
+
+  service::ReplicationStats stats = shipper.stats();
+  EXPECT_EQ(stats.dropped, 1);
+  EXPECT_EQ(stats.queue_depth, 2u);
+  EXPECT_EQ(stats.shipped, 0);
+}
+
+TEST(ReplicationQueueTest, DrainTimesOutWhileFollowerUnreachable) {
+  service::ReplicationOptions options;
+  options.follower_port = DeadPort();
+  options.reconnect_backoff_millis = 10.0;
+  options.max_reconnect_backoff_millis = 20.0;
+  service::LogShipper shipper(options, [] {
+    return std::vector<service::CachedAnalysis>{};
+  });
+  shipper.Start();
+  shipper.Enqueue(MakeEntry(50));
+  EXPECT_FALSE(shipper.WaitUntilDrained(200.0));
+
+  service::ReplicationStats stats = shipper.stats();
+  EXPECT_FALSE(stats.connected);
+  EXPECT_EQ(stats.shipped, 0);
+  EXPECT_EQ(stats.queue_depth, 1u);
+  shipper.Stop();
+}
+
+}  // namespace
+}  // namespace adahealth

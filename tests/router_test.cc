@@ -1,0 +1,338 @@
+// In-process cluster coverage for the sharding router: consistent-hash
+// placement, global↔local job-id rewriting, cross-shard stats
+// aggregation, and the failover invariant — when a shard primary dies
+// mid-conversation the follower is promoted, jobs are re-driven, every
+// job completes exactly once, and reports stay byte-identical to a
+// direct AnalysisSession run.
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "common/check.h"
+#include "common/json.h"
+#include "common/status.h"
+#include "core/report.h"
+#include "core/session.h"
+#include "kdb/database.h"
+#include "service/client.h"
+#include "service/router.h"
+#include "service/server.h"
+
+namespace adahealth {
+namespace {
+
+using common::Json;
+using common::StatusCode;
+
+/// The same small fast synthetic submit body the server tests use.
+Json::Object SubmitBody(int64_t seed, const std::string& dataset_id) {
+  Json::Object synthetic;
+  synthetic["patients"] = static_cast<int64_t>(100);
+  synthetic["exam_types"] = static_cast<int64_t>(20);
+  synthetic["profiles"] = static_cast<int64_t>(3);
+  synthetic["seed"] = seed;
+  Json::Object options;
+  options["sample_fraction"] = 0.4;
+  options["candidate_ks"] = Json(Json::Array{Json(3), Json(4)});
+  options["cv_folds"] = static_cast<int64_t>(4);
+  options["restarts"] = static_cast<int64_t>(1);
+  Json::Object body;
+  body["verb"] = "submit";
+  body["synthetic"] = Json(std::move(synthetic));
+  body["dataset_id"] = dataset_id;
+  body["options"] = Json(std::move(options));
+  return body;
+}
+
+Json::Object ResultRequest(int64_t job_id) {
+  Json::Object request;
+  request["verb"] = "result";
+  request["job_id"] = job_id;
+  request["wait_millis"] = 60000.0;
+  return request;
+}
+
+std::unique_ptr<service::AnalysisServer> StartShardServer(
+    service::ServerRole role, uint16_t replicate_to_port = 0) {
+  service::ServerOptions options;
+  options.role = role;
+  options.replicate_to_port = replicate_to_port;
+  options.scheduler.max_workers = 2;
+  auto server = std::make_unique<service::AnalysisServer>(std::move(options));
+  ADA_CHECK(server->Start().ok());
+  return server;
+}
+
+/// Router options with the prober effectively disabled so tests drive
+/// failover deterministically through forwarding failures.
+service::RouterOptions QuietRouterOptions() {
+  service::RouterOptions options;
+  options.probe_interval_millis = 60000.0;
+  return options;
+}
+
+service::AnalysisClient Connect(uint16_t port) {
+  auto client = service::AnalysisClient::Connect(port);
+  ADA_CHECK(client.ok());
+  return std::move(client).value();
+}
+
+TEST(RouterTest, StartRequiresAtLeastOneShard) {
+  service::Router router(service::RouterOptions{});
+  EXPECT_EQ(router.Start().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RouterTest, ShardPlacementIsDeterministicAndSpreads) {
+  // Placement consults only the ring, never the shards, so the
+  // configured ports do not need live servers behind them.
+  service::RouterOptions options = QuietRouterOptions();
+  for (uint16_t port : {9901, 9902, 9903, 9904}) {
+    options.shards.push_back(service::ShardEndpoints{port, 0});
+  }
+  service::Router router(std::move(options));
+  ASSERT_TRUE(router.Start().ok());
+
+  std::set<size_t> used;
+  for (int i = 0; i < 32; ++i) {
+    std::string fingerprint = "fingerprint-" + std::to_string(i);
+    size_t shard = router.ShardFor(fingerprint);
+    ASSERT_LT(shard, 4u);
+    EXPECT_EQ(router.ShardFor(fingerprint), shard);  // Stable.
+    used.insert(shard);
+  }
+  // 32 distinct keys across 4 shards × 64 vnodes: a single-shard
+  // pile-up would mean the ring is broken, not unlucky.
+  EXPECT_GT(used.size(), 1u);
+  router.Stop();
+}
+
+TEST(RouterTest, RoutesJobsRewritesIdsAndAggregatesStats) {
+  auto shard0 = StartShardServer(service::ServerRole::kPrimary);
+  auto shard1 = StartShardServer(service::ServerRole::kPrimary);
+  service::RouterOptions options = QuietRouterOptions();
+  options.shards.push_back(service::ShardEndpoints{shard0->port(), 0});
+  options.shards.push_back(service::ShardEndpoints{shard1->port(), 0});
+  service::Router router(std::move(options));
+  ASSERT_TRUE(router.Start().ok());
+
+  auto client = Connect(router.port());
+  auto ping = client.Call("ping");
+  ASSERT_TRUE(ping.ok());
+  EXPECT_EQ(ping->Find("service")->AsString(), "ada-health-router");
+
+  // Two distinct jobs: global ids are allocated by the router in
+  // submission order regardless of which shard ran them.
+  auto first = client.Call(SubmitBody(21, "routed"));
+  ASSERT_TRUE(first.ok());
+  auto second = client.Call(SubmitBody(22, "routed"));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->Find("job_id")->AsInt(), 1);
+  EXPECT_EQ(second->Find("job_id")->AsInt(), 2);
+
+  auto first_result = client.Call(ResultRequest(1));
+  ASSERT_TRUE(first_result.ok());
+  EXPECT_EQ(first_result->Find("state")->AsString(), "done");
+  auto second_result = client.Call(ResultRequest(2));
+  ASSERT_TRUE(second_result.ok());
+  EXPECT_EQ(second_result->Find("state")->AsString(), "done");
+  EXPECT_NE(first_result->Find("report")->AsString(),
+            second_result->Find("report")->AsString());
+
+  // The repeat of job 1 hashes to the same shard and hits its cache.
+  auto repeat = client.Call(SubmitBody(21, "routed"));
+  ASSERT_TRUE(repeat.ok());
+  auto repeat_result = client.Call(ResultRequest(repeat->Find("job_id")->AsInt()));
+  ASSERT_TRUE(repeat_result.ok());
+  EXPECT_TRUE(repeat_result->Find("cache_hit")->AsBool());
+  EXPECT_EQ(repeat_result->Find("report")->AsString(),
+            first_result->Find("report")->AsString());
+
+  // Cross-shard aggregation: the totals roll-up must agree with the
+  // cluster-wide ground truth (2 unique sessions, 1 cache hit).
+  auto stats = client.Call("stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->Find("totals")->Find("sessions_executed")->AsInt(), 2);
+  EXPECT_EQ(stats->Find("totals")->Find("cache")->Find("hits")->AsInt(), 1);
+  EXPECT_EQ(stats->Find("router")->Find("submitted")->AsInt(), 3);
+  EXPECT_EQ(stats->Find("router")->Find("completed")->AsInt(), 3);
+  EXPECT_EQ(stats->Find("shards")->AsArray().size(), 2u);
+
+  service::RouterStats router_stats = router.stats();
+  EXPECT_EQ(router_stats.submitted, 3);
+  EXPECT_EQ(router_stats.failovers, 0);
+  router.Stop();
+  shard0->Stop();
+  shard1->Stop();
+}
+
+TEST(RouterTest, FailoverServesReplicatedResultExactlyOnce) {
+  auto follower = StartShardServer(service::ServerRole::kFollower);
+  auto primary =
+      StartShardServer(service::ServerRole::kPrimary, follower->port());
+  service::RouterOptions options = QuietRouterOptions();
+  options.shards.push_back(
+      service::ShardEndpoints{primary->port(), follower->port()});
+  service::Router router(std::move(options));
+  ASSERT_TRUE(router.Start().ok());
+
+  auto client = Connect(router.port());
+  auto submitted = client.Call(SubmitBody(23, "failover"));
+  ASSERT_TRUE(submitted.ok());
+  int64_t job_id = submitted->Find("job_id")->AsInt();
+  auto before = client.Call(ResultRequest(job_id));
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(before->Find("state")->AsString(), "done");
+  EXPECT_FALSE(before->Find("cache_hit")->AsBool());
+
+  // Make sure the committed result reached the follower, then kill
+  // the primary. The next forward hits a refused connect, which runs
+  // the verified-failover path inline.
+  ASSERT_NE(primary->shipper(), nullptr);
+  ASSERT_TRUE(primary->shipper()->WaitUntilDrained(10000.0));
+  primary->Stop();
+
+  auto after = client.Call(ResultRequest(job_id));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->Find("state")->AsString(), "done");
+  // Exactly-once: the re-driven job is answered from the replicated
+  // cache, not a second session run...
+  EXPECT_TRUE(after->Find("cache_hit")->AsBool());
+  EXPECT_EQ(follower->scheduler().stats().sessions_executed, 0);
+  // ...and the report is byte-identical to the pre-failover one.
+  EXPECT_EQ(after->Find("report")->AsString(),
+            before->Find("report")->AsString());
+
+  service::RouterStats stats = router.stats();
+  EXPECT_EQ(stats.failovers, 1);
+  EXPECT_EQ(stats.redriven, 1);
+  EXPECT_EQ(stats.completed, 1);
+
+  // The promoted follower accepts fresh work under the same shard.
+  auto fresh = client.Call(SubmitBody(24, "failover"));
+  ASSERT_TRUE(fresh.ok());
+  auto fresh_result =
+      client.Call(ResultRequest(fresh->Find("job_id")->AsInt()));
+  ASSERT_TRUE(fresh_result.ok());
+  EXPECT_EQ(fresh_result->Find("state")->AsString(), "done");
+
+  auto health = client.Call("health");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->Find("role")->AsString(), "router");
+  EXPECT_EQ(health->Find("failovers")->AsInt(), 1);
+  const Json& shard_entry = health->Find("shards")->AsArray().at(0);
+  EXPECT_TRUE(shard_entry.Find("using_follower")->AsBool());
+  EXPECT_TRUE(shard_entry.Find("alive")->AsBool());
+  EXPECT_EQ(shard_entry.Find("active_port")->AsInt(),
+            static_cast<int64_t>(follower->port()));
+
+  router.Stop();
+  follower->Stop();
+}
+
+TEST(RouterTest, FailoverReportMatchesDirectSessionRun) {
+  // The acceptance bar: a report served through submit → replicate →
+  // promote → re-drive must be byte-identical to running the session
+  // directly on the same request.
+  auto follower = StartShardServer(service::ServerRole::kFollower);
+  auto primary =
+      StartShardServer(service::ServerRole::kPrimary, follower->port());
+  service::RouterOptions options = QuietRouterOptions();
+  options.shards.push_back(
+      service::ShardEndpoints{primary->port(), follower->port()});
+  service::Router router(std::move(options));
+  ASSERT_TRUE(router.Start().ok());
+
+  Json::Object body = SubmitBody(25, "ground-truth");
+  auto direct_request = service::BuildJobRequest(Json(Json::Object(body)));
+  ASSERT_TRUE(direct_request.ok());
+  kdb::Database db;
+  core::AnalysisSession session(&db);
+  const dataset::Taxonomy* taxonomy = direct_request->taxonomy.has_value()
+                                          ? &*direct_request->taxonomy
+                                          : nullptr;
+  auto direct = session.Run(direct_request->log, taxonomy,
+                            direct_request->options);
+  ASSERT_TRUE(direct.ok());
+  std::string direct_report = core::RenderSessionReport(
+      direct.value(), direct_request->options.dataset_id);
+
+  auto client = Connect(router.port());
+  auto submitted = client.Call(body);
+  ASSERT_TRUE(submitted.ok());
+  int64_t job_id = submitted->Find("job_id")->AsInt();
+  auto before = client.Call(ResultRequest(job_id));
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(before->Find("state")->AsString(), "done");
+  EXPECT_EQ(before->Find("report")->AsString(), direct_report);
+
+  ASSERT_TRUE(primary->shipper()->WaitUntilDrained(10000.0));
+  primary->Stop();
+  auto after = client.Call(ResultRequest(job_id));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->Find("report")->AsString(), direct_report);
+
+  router.Stop();
+  follower->Stop();
+}
+
+TEST(RouterTest, ShardWithoutFollowerDiesAndRingAbsorbsNewWork) {
+  auto shard0 = StartShardServer(service::ServerRole::kPrimary);
+  auto shard1 = StartShardServer(service::ServerRole::kPrimary);
+  service::RouterOptions options = QuietRouterOptions();
+  options.shards.push_back(service::ShardEndpoints{shard0->port(), 0});
+  options.shards.push_back(service::ShardEndpoints{shard1->port(), 0});
+  service::Router router(std::move(options));
+  ASSERT_TRUE(router.Start().ok());
+
+  auto client = Connect(router.port());
+  auto submitted = client.Call(SubmitBody(26, "no-replica"));
+  ASSERT_TRUE(submitted.ok());
+  int64_t job_id = submitted->Find("job_id")->AsInt();
+  ASSERT_TRUE(client.Call(ResultRequest(job_id)).ok());
+
+  // Kill the shard that owns the job. It has no follower, so the
+  // failure path marks the shard dead instead of promoting.
+  size_t owner = router.ShardFor(submitted->Find("fingerprint")->AsString());
+  (owner == 0 ? shard0 : shard1)->Stop();
+
+  auto status_request = ResultRequest(job_id);
+  status_request["verb"] = "status";
+  status_request.erase("wait_millis");
+  auto lost = client.Call(status_request);
+  EXPECT_EQ(lost.status().code(), StatusCode::kUnavailable);
+
+  // New submits ride the ring past the dead shard to the survivor.
+  auto fresh = client.Call(SubmitBody(27, "no-replica"));
+  ASSERT_TRUE(fresh.ok());
+  auto fresh_result =
+      client.Call(ResultRequest(fresh->Find("job_id")->AsInt()));
+  ASSERT_TRUE(fresh_result.ok());
+  EXPECT_EQ(fresh_result->Find("state")->AsString(), "done");
+
+  EXPECT_EQ(router.stats().dead_shards, 1);
+  router.Stop();
+  shard0->Stop();
+  shard1->Stop();
+}
+
+TEST(RouterTest, ClusterInternalVerbsRejectedAtTheFrontDoor) {
+  auto shard = StartShardServer(service::ServerRole::kPrimary);
+  service::RouterOptions options = QuietRouterOptions();
+  options.shards.push_back(service::ShardEndpoints{shard->port(), 0});
+  service::Router router(std::move(options));
+  ASSERT_TRUE(router.Start().ok());
+
+  auto client = Connect(router.port());
+  EXPECT_EQ(client.Call("promote").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(client.Call("replicate").status().code(),
+            StatusCode::kInvalidArgument);
+  router.Stop();
+  shard->Stop();
+}
+
+}  // namespace
+}  // namespace adahealth

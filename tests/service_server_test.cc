@@ -319,6 +319,85 @@ TEST_F(ServerTest, CancelQueuedJobOverTheWire) {
   server.Stop();
 }
 
+TEST_F(ServerTest, HealthVerbReportsLiveness) {
+  auto client = Client();
+  auto response = client.Call("health");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->Find("service")->AsString(), "ada-health");
+  EXPECT_EQ(response->Find("role")->AsString(), "primary");
+  EXPECT_GE(response->Find("uptime_seconds")->AsDouble(), 0.0);
+  EXPECT_EQ(response->Find("queue_depth")->AsInt(), 0);
+  EXPECT_EQ(response->Find("max_workers")->AsInt(), 2);
+  EXPECT_EQ(response->Find("cache_entries")->AsInt(), 0);
+  EXPECT_GE(response->Find("open_connections")->AsInt(), 1);
+  // No --replicate-to: the replication block is absent, not empty.
+  EXPECT_EQ(response->Find("replication"), nullptr);
+}
+
+TEST_F(ServerTest, FollowerRejectsSubmitsUntilPromoted) {
+  service::ServerOptions options;
+  options.role = service::ServerRole::kFollower;
+  options.scheduler.max_workers = 1;
+  service::AnalysisServer follower(std::move(options));
+  ASSERT_TRUE(follower.Start().ok());
+  auto client = service::AnalysisClient::Connect(follower.port());
+  ASSERT_TRUE(client.ok());
+
+  // UNAVAILABLE (retryable) so clients racing a failover back off and
+  // land on the promoted shard.
+  auto rejected = client->Call(SubmitBody(31, "to-follower"));
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+
+  auto promoted = client->Call("promote");
+  ASSERT_TRUE(promoted.ok());
+  EXPECT_EQ(promoted->Find("role")->AsString(), "primary");
+  EXPECT_TRUE(promoted->Find("was_follower")->AsBool());
+
+  // Promotion is idempotent — the router retries it during failover.
+  auto again = client->Call("promote");
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->Find("was_follower")->AsBool());
+
+  auto accepted = client->Call(SubmitBody(31, "to-follower"));
+  ASSERT_TRUE(accepted.ok());
+  Json::Object request;
+  request["verb"] = "result";
+  request["job_id"] = accepted->Find("job_id")->AsInt();
+  request["wait_millis"] = 60000.0;
+  auto result = client->Call(request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->Find("state")->AsString(), "done");
+  follower.Stop();
+}
+
+TEST_F(ServerTest, ReplicateVerbInsertsIdempotently) {
+  auto client = Client();
+  Json::Object entry;
+  entry["fingerprint"] = "replicated-fp";
+  entry["dataset_id"] = "repl";
+  entry["summary"] = "replicated summary";
+  entry["report"] = "replicated report";
+  entry["knowledge_items"] = static_cast<int64_t>(4);
+  Json::Object request;
+  request["verb"] = "replicate";
+  request["entry"] = Json(std::move(entry));
+
+  auto applied = client.Call(request);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_TRUE(applied->Find("applied")->AsBool());
+  EXPECT_EQ(applied->Find("cache_entries")->AsInt(), 1);
+
+  // At-least-once delivery: a duplicate refreshes, never duplicates.
+  auto duplicate = client.Call(request);
+  ASSERT_TRUE(duplicate.ok());
+  EXPECT_EQ(duplicate->Find("cache_entries")->AsInt(), 1);
+
+  // A replicate without a parseable entry is rejected.
+  Json::Object bad;
+  bad["verb"] = "replicate";
+  EXPECT_EQ(client.Call(bad).status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST_F(ServerTest, ShutdownVerbStopsTheServer) {
   auto client = Client();
   auto response = client.Call("shutdown");

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include <gtest/gtest.h>
+#include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "core/report.h"
@@ -472,6 +473,73 @@ TEST(SchedulerTest, CachePersistenceBatchesOnDirtyThreshold) {
               skipped_before + 1);
     EXPECT_EQ(scheduler.cache().dirty_entries(), 1u);
   }  // The destructor flushes whatever is still dirty.
+  EXPECT_FALSE(std::filesystem::is_empty(dir));
+  service::Scheduler revived(options);
+  EXPECT_EQ(revived.cache().entries(), 1u);
+  EXPECT_EQ(revived.cache().dirty_entries(), 0u);
+}
+
+TEST(SchedulerTest, CachePersistFiresExactlyAtDirtyThreshold) {
+  std::string dir = MakeScratchDir("sched_threshold");
+  service::SchedulerOptions options;
+  options.cache_directory = dir;
+  options.cache_persist_threshold = 3;
+  options.max_workers = 1;
+  service::Scheduler scheduler(options);
+  // Two completed jobs leave the dirty debt one short of the
+  // threshold: nothing may reach the disk yet.
+  for (int64_t seed = 200; seed < 202; ++seed) {
+    auto id = scheduler.Submit(MakeJob(seed, "threshold"));
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(scheduler.AwaitResult(id.value()).ok());
+  }
+  EXPECT_TRUE(std::filesystem::is_empty(dir));
+  EXPECT_EQ(scheduler.cache().dirty_entries(), 2u);
+
+  // The third commit lands exactly on the threshold and must persist
+  // synchronously (the worker persists before marking the job done,
+  // so AwaitResult returning makes this deterministic).
+  auto id = scheduler.Submit(MakeJob(202, "threshold"));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(scheduler.AwaitResult(id.value()).ok());
+  EXPECT_FALSE(std::filesystem::is_empty(dir));
+  EXPECT_EQ(scheduler.cache().dirty_entries(), 0u);
+
+  service::Scheduler revived(options);
+  EXPECT_EQ(revived.cache().entries(), 3u);
+  EXPECT_EQ(revived.cache().dirty_entries(), 0u);
+}
+
+TEST(SchedulerTest, DestructorFlushCoversFailedThresholdPersist) {
+  std::string dir = MakeScratchDir("sched_failed_persist");
+  service::SchedulerOptions options;
+  options.cache_directory = dir;
+  options.cache_persist_threshold = 1;
+  int64_t failures_before = common::MetricsRegistry::Default()
+                                .GetCounter("service/cache_persist_failures")
+                                .value();
+  {
+    service::Scheduler scheduler(options);
+    {
+      // The at-threshold persist hits the injected store error. A
+      // failed persist must degrade to in-memory caching — job still
+      // completes — and leave the dirty debt unpaid.
+      common::ScopedFailpoint broken_store(
+          "service.cache.store",
+          common::OneShotError(StatusCode::kUnavailable, "disk full"));
+      auto id = scheduler.Submit(MakeJob(210, "flush-after-failure"));
+      ASSERT_TRUE(id.ok());
+      auto snapshot = scheduler.AwaitResult(id.value());
+      ASSERT_TRUE(snapshot.ok());
+      EXPECT_EQ(snapshot->state, service::JobState::kDone);
+    }
+    EXPECT_TRUE(std::filesystem::is_empty(dir));
+    EXPECT_EQ(scheduler.cache().dirty_entries(), 1u);
+    EXPECT_EQ(common::MetricsRegistry::Default()
+                  .GetCounter("service/cache_persist_failures")
+                  .value(),
+              failures_before + 1);
+  }  // Failpoint disarmed: the destructor flush settles the debt.
   EXPECT_FALSE(std::filesystem::is_empty(dir));
   service::Scheduler revived(options);
   EXPECT_EQ(revived.cache().entries(), 1u);

@@ -6,12 +6,18 @@
 //
 // Commands:
 //   ping                              liveness check
+//   health                            role/uptime/load snapshot (JSON)
 //   stats                             scheduler + cache counters (JSON)
 //   submit [dataset] [job options]    submit one analysis job
 //   status --job N                    job state snapshot
 //   result --job N [--wait-ms D]      await + fetch the job result
 //   cancel --job N                    cancel a queued job
 //   shutdown                          stop the server
+//
+// --router N is an alias for --port N (the router speaks the same
+// protocol). --connect-retries N retries a refused connect with
+// exponential backoff — for scripts racing a server that is still
+// binding its port, or a router mid-failover.
 //
 // Dataset options (submit): --csv FILE for a records CSV, or a
 // synthetic cohort via --patients/--exam-types/--profiles/--seed
@@ -53,9 +59,11 @@ constexpr int kExitJobCancelled = 7;
 
 void PrintUsage() {
   std::printf(
-      "usage: ada_client --port N <command> [options]\n"
-      "commands: ping | stats | submit | status | result | cancel |"
-      " shutdown\n"
+      "usage: ada_client --port N [--connect-retries N] <command>"
+      " [options]\n"
+      "commands: ping | health | stats | submit | status | result |"
+      " cancel | shutdown\n"
+      "--router N is an alias for --port N.\n"
       "ping:    [--count N]  (N > 1 pipelines N pings on one"
       " connection)\n"
       "submit:  [--csv FILE | --patients N [--exam-types N] [--profiles N]"
@@ -129,6 +137,7 @@ struct Flags {
   bool report = false;
   int64_t job_id = -1;
   int64_t count = 1;  // ping: >1 pipelines that many pings.
+  int64_t connect_retries = 0;
 };
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -156,10 +165,15 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
     if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       PrintUsage();
       std::exit(kExitOk);
-    } else if (std::strcmp(arg, "--port") == 0) {
+    } else if (std::strcmp(arg, "--port") == 0 ||
+               std::strcmp(arg, "--router") == 0) {
       int64_t value = 0;
       if (!next_int(&value) || value < 1 || value > 65535) return false;
       flags->port = static_cast<uint16_t>(value);
+    } else if (std::strcmp(arg, "--connect-retries") == 0) {
+      if (!next_int(&flags->connect_retries) || flags->connect_retries < 0) {
+        return false;
+      }
     } else if (std::strcmp(arg, "--csv") == 0) {
       const char* text = next();
       if (text == nullptr) return false;
@@ -274,7 +288,9 @@ int main(int argc, char** argv) {
     return kExitUsage;
   }
 
-  auto client = service::AnalysisClient::Connect(flags.port);
+  service::ConnectOptions connect_options;
+  connect_options.retries = static_cast<int>(flags.connect_retries);
+  auto client = service::AnalysisClient::Connect(flags.port, connect_options);
   if (!client.ok()) {
     std::fprintf(stderr, "ada_client: connect failed: %s\n",
                  client.status().ToString().c_str());
@@ -302,8 +318,8 @@ int main(int argc, char** argv) {
     return answered == flags.count ? kExitOk : kExitServerError;
   }
 
-  if (flags.command == "ping" || flags.command == "stats" ||
-      flags.command == "shutdown") {
+  if (flags.command == "ping" || flags.command == "health" ||
+      flags.command == "stats" || flags.command == "shutdown") {
     auto response = client.value().Call(flags.command);
     if (!response.ok()) {
       std::fprintf(stderr, "ada_client: %s\n",

@@ -42,11 +42,15 @@ Rules
                     exceptions hides real failures from the resilience
                     layer, which relies on failures being observable to
                     degrade gracefully.
-  raw-socket        Raw fd syscalls — socket()/accept()/close() — are
-                    allowed only in the src/service/net_* wrappers.
-                    Everything else must hold descriptors through
-                    service::FileDescriptor / ServerSocket / LineReader
-                    so no error path can leak or double-close an fd.
+  raw-socket        Raw fd syscalls — socket()/accept()/close()/
+                    connect()/bind()/listen()/send()/recv()/
+                    setsockopt()/shutdown() — are allowed only in the
+                    src/service/net_* wrappers. Everything else
+                    (router and replication included) must hold
+                    descriptors through service::FileDescriptor /
+                    ServerSocket / LineReader and move bytes through
+                    SendAll / ConnectLoopback / SetRecvTimeout, so no
+                    error path can leak or double-close an fd.
   raw-mutex         std::mutex / std::lock_guard / std::unique_lock /
                     std::condition_variable (and their scoped/shared/
                     timed variants, plus the <mutex>,
@@ -89,7 +93,9 @@ CATCH_HANDLED_RE = re.compile(r"\bthrow\b|ADA_LOG")
 # (`fd.close(`), a longer identifier (`fclose(`), or a pointer call
 # (`->close(`). `::close(` deliberately matches: the global-namespace
 # qualifier is exactly the raw-syscall spelling this rule polices.
-RAW_SOCKET_RE = re.compile(r"(?<![\w.>])(socket|accept|close)\s*\(")
+RAW_SOCKET_RE = re.compile(
+    r"(?<![\w.>])(socket|accept|close|connect|bind|listen"
+    r"|send|recv|setsockopt|shutdown)\s*\(")
 RAW_MUTEX_RE = re.compile(
     r"std::(recursive_mutex|timed_mutex|recursive_timed_mutex|"
     r"shared_mutex|shared_timed_mutex|mutex|lock_guard|unique_lock|"

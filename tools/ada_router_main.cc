@@ -1,0 +1,146 @@
+// ada_router — sharding front door for a cluster of ada_server
+// processes.
+//
+// Consistent-hashes submitted jobs across N shards, probes shard
+// health, and on a primary's death promotes that shard's follower and
+// re-drives the shard's jobs against it (see service/router.h for the
+// full protocol). Clients talk to the router exactly as they would to
+// a single ada_server.
+//
+// Usage:
+//   ada_router [--port N] --shard PRIM[:FOLL] [--shard PRIM[:FOLL] ...]
+//              [--probe-interval-ms D] [--probe-failures N]
+//
+// Each --shard names one shard's primary port and, optionally after a
+// colon, its follower port. Prints "listening on port N" once ready
+// (scripts parse this line to learn an ephemeral port requested with
+// --port 0). Stop the router with the `shutdown` verb — it cascades
+// to every shard endpoint.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/string_util.h"
+#include "service/router.h"
+
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "usage: ada_router [--port N] --shard PRIM[:FOLL]"
+      " [--shard PRIM[:FOLL] ...]\n"
+      "                  [--probe-interval-ms D] [--probe-failures N]\n"
+      "\n"
+      "Routes ADA-HEALTH NDJSON jobs across shard ada_server processes\n"
+      "on 127.0.0.1, with follower promotion when a primary dies.\n"
+      "--shard 9001:9002 = primary on port 9001, follower on 9002;\n"
+      "--shard 9001 = a shard with no replica. --port 0 (the default)\n"
+      "picks an ephemeral port, printed on the \"listening on port N\"\n"
+      "line.\n");
+}
+
+bool ParsePort(const std::string& text, uint16_t* out) {
+  auto parsed = adahealth::common::ParseInt64(text);
+  if (!parsed.ok() || parsed.value() < 0 || parsed.value() > 65535) {
+    return false;
+  }
+  *out = static_cast<uint16_t>(parsed.value());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace adahealth;
+
+  service::RouterOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      PrintUsage();
+      return 0;
+    } else if (std::strcmp(arg, "--port") == 0) {
+      const char* text = next();
+      uint16_t port = 0;
+      if (text == nullptr || !ParsePort(text, &port)) {
+        std::fprintf(stderr, "ada_router: --port expects 0..65535\n");
+        return 2;
+      }
+      options.port = port;
+    } else if (std::strcmp(arg, "--shard") == 0) {
+      const char* text = next();
+      if (text == nullptr) {
+        std::fprintf(stderr,
+                     "ada_router: --shard expects PRIMARY[:FOLLOWER]\n");
+        return 2;
+      }
+      service::ShardEndpoints endpoints;
+      const std::string spec(text);
+      const size_t colon = spec.find(':');
+      const std::string primary = spec.substr(0, colon);
+      if (!ParsePort(primary, &endpoints.primary_port) ||
+          endpoints.primary_port == 0) {
+        std::fprintf(stderr, "ada_router: bad --shard primary port '%s'\n",
+                     primary.c_str());
+        return 2;
+      }
+      if (colon != std::string::npos) {
+        const std::string follower = spec.substr(colon + 1);
+        if (!ParsePort(follower, &endpoints.follower_port) ||
+            endpoints.follower_port == 0) {
+          std::fprintf(stderr,
+                       "ada_router: bad --shard follower port '%s'\n",
+                       follower.c_str());
+          return 2;
+        }
+      }
+      options.shards.push_back(endpoints);
+    } else if (std::strcmp(arg, "--probe-interval-ms") == 0) {
+      const char* text = next();
+      auto parsed = text != nullptr ? common::ParseDouble(text)
+                                    : common::StatusOr<double>(
+                                          common::InvalidArgumentError(""));
+      if (!parsed.ok() || parsed.value() <= 0) {
+        std::fprintf(stderr, "ada_router: --probe-interval-ms expects > 0\n");
+        return 2;
+      }
+      options.probe_interval_millis = parsed.value();
+    } else if (std::strcmp(arg, "--probe-failures") == 0) {
+      const char* text = next();
+      auto parsed = text != nullptr ? common::ParseInt64(text)
+                                    : common::StatusOr<int64_t>(
+                                          common::InvalidArgumentError(""));
+      if (!parsed.ok() || parsed.value() < 1) {
+        std::fprintf(stderr, "ada_router: --probe-failures expects >= 1\n");
+        return 2;
+      }
+      options.probe_failures_before_failover =
+          static_cast<int>(parsed.value());
+    } else {
+      std::fprintf(stderr, "ada_router: unknown flag '%s'\n", arg);
+      PrintUsage();
+      return 2;
+    }
+  }
+  if (options.shards.empty()) {
+    std::fprintf(stderr, "ada_router: at least one --shard is required\n");
+    PrintUsage();
+    return 2;
+  }
+
+  service::Router router(std::move(options));
+  if (common::Status started = router.Start(); !started.ok()) {
+    std::fprintf(stderr, "ada_router: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on port %u\n", router.port());
+  std::fflush(stdout);  // Scripts wait for this line.
+  router.Wait();
+  router.Stop();
+  std::printf("router stopped\n");
+  return 0;
+}

@@ -9,8 +9,15 @@
 // Usage:
 //   ada_server [--port N] [--workers N] [--queue-depth N]
 //              [--cache-bytes N] [--cache-dir DIR]
+//              [--cache-persist-threshold N]
 //              [--max-connections N] [--idle-timeout-millis D]
 //              [--max-result-wait-ms D] [--max-line-bytes N]
+//              [--role primary|follower] [--replicate-to PORT]
+//
+// Sharded clusters (tools/ada_router): start each shard's follower
+// with `--role follower`, its primary with `--replicate-to` pointing
+// at the follower's port, and give the router both ports. A follower
+// rejects submits until the router promotes it.
 //
 // Prints "listening on port N" once ready (scripts parse this line to
 // learn an ephemeral port requested with --port 0).
@@ -29,13 +36,19 @@ void PrintUsage() {
   std::printf(
       "usage: ada_server [--port N] [--workers N] [--queue-depth N]\n"
       "                  [--cache-bytes N] [--cache-dir DIR]\n"
+      "                  [--cache-persist-threshold N]\n"
       "                  [--max-connections N] [--idle-timeout-millis D]\n"
       "                  [--max-result-wait-ms D] [--max-line-bytes N]\n"
+      "                  [--role primary|follower] [--replicate-to PORT]\n"
       "\n"
       "Serves the ADA-HEALTH NDJSON analysis protocol on 127.0.0.1.\n"
       "--port 0 (the default) picks an ephemeral port, printed on the\n"
       "\"listening on port N\" line. Stop the server with the `shutdown`\n"
-      "verb (ada_client shutdown).\n");
+      "verb (ada_client shutdown).\n"
+      "\n"
+      "Sharded clusters: --role follower starts a warm replica that\n"
+      "rejects submits until promoted; --replicate-to PORT makes a\n"
+      "primary stream every committed result to that follower.\n");
 }
 
 bool ParseIntFlag(const char* text, int64_t* out) {
@@ -126,6 +139,33 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.scheduler.cache_directory = text;
+    } else if (std::strcmp(arg, "--cache-persist-threshold") == 0) {
+      const char* text = next();
+      if (text == nullptr || !ParseIntFlag(text, &value) || value < 1) {
+        std::fprintf(stderr,
+                     "ada_server: --cache-persist-threshold expects >= 1\n");
+        return 2;
+      }
+      options.scheduler.cache_persist_threshold = static_cast<size_t>(value);
+    } else if (std::strcmp(arg, "--role") == 0) {
+      const char* text = next();
+      if (text != nullptr && std::strcmp(text, "primary") == 0) {
+        options.role = service::ServerRole::kPrimary;
+      } else if (text != nullptr && std::strcmp(text, "follower") == 0) {
+        options.role = service::ServerRole::kFollower;
+      } else {
+        std::fprintf(stderr,
+                     "ada_server: --role expects 'primary' or 'follower'\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--replicate-to") == 0) {
+      const char* text = next();
+      if (text == nullptr || !ParseIntFlag(text, &value) || value < 1 ||
+          value > 65535) {
+        std::fprintf(stderr, "ada_server: --replicate-to expects 1..65535\n");
+        return 2;
+      }
+      options.replicate_to_port = static_cast<uint16_t>(value);
     } else {
       std::fprintf(stderr, "ada_server: unknown flag '%s'\n", arg);
       PrintUsage();
