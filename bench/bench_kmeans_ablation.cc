@@ -4,13 +4,17 @@
 // (Hamerly-pruned, fused-kernel, pooled) engine across a K sweep,
 // verifying on every run that the two produce bit-identical
 // assignments and SSE — a divergence is a hard failure (non-zero
-// exit), which is what the CI bench-smoke job keys on. Also keeps the
-// original A1 reference points (kd-tree filtering K-means, bisecting
-// K-means, init strategies) for context.
+// exit), which is what the CI bench-smoke job keys on. A second table
+// ablates the accelerated engine's representation (sparse CSR vs
+// dense) against its instruction set (runtime-dispatched AVX2/FMA vs
+// pinned scalar), since the cohort VSM is the sparse regime the CSR
+// path targets. Also keeps the original A1 reference points (kd-tree
+// filtering K-means, bisecting K-means, init strategies) for context.
 //
 // Writes BENCH_kmeans.json into the current working directory; run it
 // from the repo root to land the file there. Set ADA_BENCH_SMOKE=1 for
 // the reduced CI configuration.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cmath>
@@ -26,6 +30,8 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "dataset/synthetic_cohort.h"
+#include "transform/simd_kernels.h"
+#include "transform/sparse_matrix.h"
 #include "transform/vsm.h"
 
 namespace {
@@ -66,6 +72,19 @@ struct EngineRun {
   cluster::Clustering clustering;
 };
 
+EngineRun Finish(common::StatusOr<cluster::Clustering> clustering,
+                 double millis, int32_t k) {
+  if (!clustering.ok()) {
+    std::printf("k-means failed (k=%d): %s\n", k,
+                clustering.status().ToString().c_str());
+    std::exit(1);
+  }
+  EngineRun run;
+  run.millis = millis;
+  run.clustering = std::move(clustering).value();
+  return run;
+}
+
 EngineRun TimeEngine(const transform::Matrix& vsm, int32_t k, uint64_t seed,
                      cluster::KMeansEngine engine) {
   cluster::KMeansOptions options;
@@ -74,20 +93,49 @@ EngineRun TimeEngine(const transform::Matrix& vsm, int32_t k, uint64_t seed,
   options.engine = engine;
   common::WallTimer timer;
   auto clustering = cluster::RunKMeans(vsm, options);
-  EngineRun run;
-  run.millis = timer.ElapsedSeconds() * 1e3;
-  if (!clustering.ok()) {
-    std::printf("k-means failed (k=%d): %s\n", k,
-                clustering.status().ToString().c_str());
-    std::exit(1);
+  return Finish(std::move(clustering), timer.ElapsedSeconds() * 1e3, k);
+}
+
+/// One accelerated run with the representation pinned (sparse runs on
+/// the pre-built CSR form, so conversion cost is not in the timing)
+/// and the SIMD dispatch pinned to scalar when `scalar` asks for it.
+EngineRun TimeVariant(const transform::Matrix& vsm,
+                      const transform::CsrMatrix& csr, int32_t k,
+                      uint64_t seed, bool sparse, bool scalar) {
+  cluster::KMeansOptions options;
+  options.k = k;
+  options.seed = seed;
+  options.engine = cluster::KMeansEngine::kAccelerated;
+  if (scalar) {
+    transform::simd::internal::SetIsaForTesting(
+        transform::simd::IsaLevel::kScalar);
   }
-  run.clustering = std::move(clustering).value();
-  return run;
+  common::WallTimer timer;
+  common::StatusOr<cluster::Clustering> clustering =
+      common::InternalError("not run");
+  if (sparse) {
+    options.representation = cluster::KMeansRepresentation::kSparse;
+    clustering = cluster::RunKMeans(csr, options);
+  } else {
+    options.representation = cluster::KMeansRepresentation::kDense;
+    clustering = cluster::RunKMeans(vsm, options);
+  }
+  const double millis = timer.ElapsedSeconds() * 1e3;
+  if (scalar) transform::simd::internal::ResetIsaForTesting();
+  return Finish(std::move(clustering), millis, k);
+}
+
+bool Identical(const cluster::Clustering& a, const cluster::Clustering& b) {
+  return a.assignments == b.assignments && a.sse == b.sse &&
+         a.iterations == b.iterations;
 }
 
 int Run() {
   const bool smoke = SmokeMode();
   const transform::Matrix vsm = CohortVsm(smoke);
+  const transform::CsrMatrix csr = transform::CsrMatrix::FromDense(vsm);
+  const double density = csr.Density();
+  const char* isa = transform::simd::IsaName(transform::simd::ActiveIsa());
   const std::vector<int32_t> ks =
       smoke ? std::vector<int32_t>{4, 8}
             : std::vector<int32_t>{2, 3, 4, 5, 6, 7, 8, 9, 10};
@@ -95,17 +143,24 @@ int Run() {
       smoke ? std::vector<uint64_t>{20160516}
             : std::vector<uint64_t>{20160516, 7, 42};
 
-  std::printf("=== Ablation A1: k-means engines (%zu x %zu VSM%s) ===\n",
-              vsm.rows(), vsm.cols(), smoke ? ", smoke config" : "");
+  std::printf(
+      "=== Ablation A1: k-means engines (%zu x %zu VSM, %.2f%% nnz, "
+      "isa=%s%s) ===\n",
+      vsm.rows(), vsm.cols(), density * 100.0, isa,
+      smoke ? ", smoke config" : "");
   std::printf("%-4s %-12s %-11s %-11s %-8s %-6s %-14s %s\n", "K", "seed",
               "naive(ms)", "accel(ms)", "speedup", "iters", "skipped",
               "identical");
 
   common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
   common::Json::Array results;
+  common::Json::Array ablation;
   bool all_identical = true;
   double log_speedup_sum = 0.0;
+  double min_speedup = 0.0;
   size_t runs = 0;
+  double log_ablation_sum = 0.0;
+  size_t ablation_runs = 0;
   for (int32_t k : ks) {
     for (uint64_t seed : seeds) {
       EngineRun naive =
@@ -119,16 +174,16 @@ int Run() {
           metrics.GetCounter("kmeans/bound_recomputes").value();
       const int64_t chunks =
           metrics.GetCounter("kmeans/parallel_chunks").value();
+      const bool went_sparse =
+          metrics.GetCounter("kmeans/sparse_runs").value() > 0;
 
-      const bool identical =
-          naive.clustering.assignments == accel.clustering.assignments &&
-          naive.clustering.sse == accel.clustering.sse &&
-          naive.clustering.iterations == accel.clustering.iterations;
+      const bool identical = Identical(naive.clustering, accel.clustering);
       all_identical = all_identical && identical;
       const double speedup =
           accel.millis > 0.0 ? naive.millis / accel.millis : 0.0;
       if (speedup > 0.0) {
         log_speedup_sum += std::log(speedup);
+        min_speedup = runs == 0 ? speedup : std::min(min_speedup, speedup);
         ++runs;
       }
       std::printf("%-4d %-12llu %-11.1f %-11.1f %-8.2f %-6d %-14lld %s\n",
@@ -147,15 +202,68 @@ int Run() {
       row["iterations"] =
           static_cast<int64_t>(accel.clustering.iterations);
       row["identical"] = identical;
+      row["representation"] = went_sparse ? "sparse" : "dense";
       row["skipped_distance_checks"] = skipped;
       row["bound_recomputes"] = recomputes;
       row["parallel_chunks"] = chunks;
       results.push_back(common::Json(std::move(row)));
+
+      // Representation x ISA ablation of the accelerated engine (first
+      // seed only): sparse CSR vs dense, dispatched SIMD vs pinned
+      // scalar. dense+scalar is the engine as it existed before the
+      // sparse/SIMD work; sparse+simd is today's default on this VSM.
+      if (seed != seeds[0]) continue;
+      struct Variant {
+        const char* name;
+        bool sparse;
+        bool scalar;
+      };
+      const Variant variants[] = {
+          {"dense+scalar", false, true},
+          {"dense+simd", false, false},
+          {"sparse+scalar", true, true},
+          {"sparse+simd", true, false},
+      };
+      double dense_scalar_ms = 0.0;
+      for (const Variant& variant : variants) {
+        EngineRun run =
+            TimeVariant(vsm, csr, k, seed, variant.sparse, variant.scalar);
+        const bool variant_identical =
+            Identical(naive.clustering, run.clustering);
+        all_identical = all_identical && variant_identical;
+        if (!variant.sparse && variant.scalar) dense_scalar_ms = run.millis;
+        if (variant.sparse && !variant.scalar && run.millis > 0.0 &&
+            dense_scalar_ms > 0.0) {
+          log_ablation_sum += std::log(dense_scalar_ms / run.millis);
+          ++ablation_runs;
+        }
+        std::printf("     %-16s %-11.1f %-8.2f %s\n", variant.name,
+                    run.millis,
+                    run.millis > 0.0 ? naive.millis / run.millis : 0.0,
+                    variant_identical ? "yes" : "NO  <-- DIVERGENCE");
+        common::Json::Object arow;
+        arow["k"] = static_cast<int64_t>(k);
+        arow["seed"] = static_cast<int64_t>(seed);
+        arow["variant"] = std::string(variant.name);
+        arow["representation"] = variant.sparse ? "sparse" : "dense";
+        arow["isa"] = variant.scalar ? "scalar" : isa;
+        arow["millis"] = run.millis;
+        arow["speedup_vs_naive"] =
+            run.millis > 0.0 ? naive.millis / run.millis : 0.0;
+        arow["identical"] = variant_identical;
+        ablation.push_back(common::Json(std::move(arow)));
+      }
     }
   }
   const double geomean_speedup =
       runs > 0 ? std::exp(log_speedup_sum / static_cast<double>(runs)) : 0.0;
-  std::printf("geomean speedup: %.2fx\n", geomean_speedup);
+  const double ablation_geomean =
+      ablation_runs > 0
+          ? std::exp(log_ablation_sum / static_cast<double>(ablation_runs))
+          : 0.0;
+  std::printf("geomean speedup: %.2fx (min %.2fx); sparse+simd vs "
+              "dense+scalar accel: %.2fx\n",
+              geomean_speedup, min_speedup, ablation_geomean);
 
   // Reference points: the kd-tree filtering engine and bisecting
   // K-means at the paper's K = 8 (full mode only; they are not part of
@@ -219,6 +327,8 @@ int Run() {
     common::Json::Object config;
     config["rows"] = static_cast<int64_t>(vsm.rows());
     config["cols"] = static_cast<int64_t>(vsm.cols());
+    config["nnz_density"] = density;
+    config["dispatched_isa"] = std::string(isa);
     config["smoke"] = smoke;
     common::Json::Array k_array;
     for (int32_t k : ks) k_array.push_back(static_cast<int64_t>(k));
@@ -227,10 +337,16 @@ int Run() {
   }
   doc["machine"] = MachineInfo();
   doc["results"] = common::Json(std::move(results));
+  doc["ablation"] = common::Json(std::move(ablation));
   doc["reference"] = common::Json(std::move(reference));
   {
     common::Json::Object summary;
     summary["geomean_speedup"] = geomean_speedup;
+    summary["min_speedup"] = min_speedup;
+    summary["ablation_geomean_sparse_simd_vs_dense_scalar"] =
+        ablation_geomean;
+    summary["nnz_density"] = density;
+    summary["dispatched_isa"] = std::string(isa);
     summary["all_identical"] = all_identical;
     doc["summary"] = common::Json(std::move(summary));
   }

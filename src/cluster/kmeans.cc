@@ -1,6 +1,7 @@
 #include "cluster/kmeans.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "cluster/kmeans_accel.h"
@@ -12,11 +13,30 @@ namespace cluster {
 
 using common::Rng;
 using common::StatusOr;
+using transform::CsrMatrix;
 using transform::Matrix;
 using transform::SquaredDistance;
 
-Matrix InitializeCentroids(const Matrix& data, int32_t k, KMeansInit init,
-                           Rng& rng) {
+namespace {
+
+using internal::CopyRowInto;
+using internal::ExactRowDistance;
+
+// Representation-generic row-sum step of the centroid reduction.
+inline void AddRowTo(const Matrix& data, size_t i, std::span<double> sum) {
+  std::span<const double> point = data.Row(i);
+  for (size_t d = 0; d < sum.size(); ++d) sum[d] += point[d];
+}
+inline void AddRowTo(const CsrMatrix& data, size_t i,
+                     std::span<double> sum) {
+  // Adding only the non-zeros matches the dense loop bit for bit: the
+  // skipped `+= 0.0` terms cannot change any finite partial sum.
+  transform::AccumulateRow(data.Row(i), sum);
+}
+
+template <typename Data>
+Matrix InitializeCentroidsImpl(const Data& data, int32_t k, KMeansInit init,
+                               Rng& rng) {
   const size_t n = data.rows();
   ADA_CHECK_GE(k, 1);
   ADA_CHECK_LE(static_cast<size_t>(k), n);
@@ -26,9 +46,7 @@ Matrix InitializeCentroids(const Matrix& data, int32_t k, KMeansInit init,
     std::vector<size_t> picks =
         rng.SampleWithoutReplacement(n, static_cast<size_t>(k));
     for (size_t c = 0; c < picks.size(); ++c) {
-      std::span<const double> src = data.Row(picks[c]);
-      std::span<double> dst = centroids.Row(c);
-      std::copy(src.begin(), src.end(), dst.begin());
+      CopyRowInto(data, picks[c], centroids.Row(c));
     }
     return centroids;
   }
@@ -41,16 +59,12 @@ Matrix InitializeCentroids(const Matrix& data, int32_t k, KMeansInit init,
   std::vector<double> min_distance(n, std::numeric_limits<double>::max());
   std::vector<double> prefix(n);
   size_t first = static_cast<size_t>(rng.UniformUint64(n));
-  {
-    std::span<const double> src = data.Row(first);
-    std::span<double> dst = centroids.Row(0);
-    std::copy(src.begin(), src.end(), dst.begin());
-  }
+  CopyRowInto(data, first, centroids.Row(0));
   for (int32_t c = 1; c < k; ++c) {
     std::span<const double> last = centroids.Row(static_cast<size_t>(c - 1));
     double cumulative = 0.0;
     for (size_t i = 0; i < n; ++i) {
-      double d = SquaredDistance(data.Row(i), last);
+      double d = ExactRowDistance(data, i, last);
       min_distance[i] = std::min(min_distance[i], d);
       cumulative += min_distance[i];
       prefix[i] = cumulative;
@@ -69,26 +83,24 @@ Matrix InitializeCentroids(const Matrix& data, int32_t k, KMeansInit init,
       // All remaining distances zero (duplicated points): pick uniformly.
       chosen = static_cast<size_t>(rng.UniformUint64(n));
     }
-    std::span<const double> src = data.Row(chosen);
-    std::span<double> dst = centroids.Row(static_cast<size_t>(c));
-    std::copy(src.begin(), src.end(), dst.begin());
+    CopyRowInto(data, chosen, centroids.Row(static_cast<size_t>(c)));
   }
   return centroids;
 }
 
-double AssignToCentroids(const Matrix& data, const Matrix& centroids,
-                         std::vector<int32_t>& assignments) {
+template <typename Data>
+double AssignToCentroidsImpl(const Data& data, const Matrix& centroids,
+                             std::vector<int32_t>& assignments) {
   const size_t n = data.rows();
   const size_t k = centroids.rows();
   ADA_CHECK_GE(k, 1u);
   assignments.resize(n);
   double sse = 0.0;
   for (size_t i = 0; i < n; ++i) {
-    std::span<const double> point = data.Row(i);
     double best = std::numeric_limits<double>::max();
     int32_t best_c = 0;
     for (size_t c = 0; c < k; ++c) {
-      double d = SquaredDistance(point, centroids.Row(c));
+      double d = ExactRowDistance(data, i, centroids.Row(c));
       if (d < best) {
         best = d;
         best_c = static_cast<int32_t>(c);
@@ -100,39 +112,26 @@ double AssignToCentroids(const Matrix& data, const Matrix& centroids,
   return sse;
 }
 
-namespace internal {
-
-void AccumulateRows(const Matrix& data,
-                    const std::vector<int32_t>& assignments, size_t begin,
-                    size_t end, CentroidAccumulator& acc) {
+template <typename Data>
+void AccumulateRowsImpl(const Data& data,
+                        const std::vector<int32_t>& assignments,
+                        size_t begin, size_t end,
+                        internal::CentroidAccumulator& acc) {
   const size_t k = acc.sums.rows();
-  const size_t dims = acc.sums.cols();
   for (size_t i = begin; i < end; ++i) {
     int32_t c = assignments[i];
     ADA_CHECK_GE(c, 0);
     ADA_CHECK_LT(static_cast<size_t>(c), k);
     ++acc.counts[static_cast<size_t>(c)];
-    std::span<const double> point = data.Row(i);
-    std::span<double> sum = acc.sums.Row(static_cast<size_t>(c));
-    for (size_t d = 0; d < dims; ++d) sum[d] += point[d];
+    AddRowTo(data, i, acc.sums.Row(static_cast<size_t>(c)));
   }
 }
 
-void MergeAccumulator(const CentroidAccumulator& part,
-                      CentroidAccumulator& total) {
-  const size_t k = total.sums.rows();
-  const size_t dims = total.sums.cols();
-  for (size_t c = 0; c < k; ++c) {
-    total.counts[c] += part.counts[c];
-    std::span<const double> src = part.sums.Row(c);
-    std::span<double> dst = total.sums.Row(c);
-    for (size_t d = 0; d < dims; ++d) dst[d] += src[d];
-  }
-}
-
-void FinalizeCentroids(const Matrix& data,
-                       const std::vector<int32_t>& assignments,
-                       CentroidAccumulator& acc, Matrix& centroids) {
+template <typename Data>
+void FinalizeCentroidsImpl(const Data& data,
+                           const std::vector<int32_t>& assignments,
+                           internal::CentroidAccumulator& acc,
+                           Matrix& centroids) {
   const size_t k = centroids.rows();
   const size_t dims = centroids.cols();
   std::vector<int64_t>& counts = acc.counts;
@@ -158,16 +157,14 @@ void FinalizeCentroids(const Matrix& data,
       if (consumed[i]) continue;
       size_t assigned = static_cast<size_t>(assignments[i]);
       if (counts[assigned] <= 1) continue;  // Don't empty another cluster.
-      double d = SquaredDistance(data.Row(i), centroids.Row(assigned));
+      double d = ExactRowDistance(data, i, centroids.Row(assigned));
       if (d > worst) {
         worst = d;
         worst_point = i;
       }
     }
     if (worst >= 0.0) {
-      std::span<const double> src = data.Row(worst_point);
-      std::span<double> dst = centroids.Row(c);
-      std::copy(src.begin(), src.end(), dst.begin());
+      CopyRowInto(data, worst_point, centroids.Row(c));
       consumed[worst_point] = true;
       --counts[static_cast<size_t>(assignments[worst_point])];
       counts[c] = 1;
@@ -178,8 +175,9 @@ void FinalizeCentroids(const Matrix& data,
   }
 }
 
-common::Status ValidateKMeansArgs(const Matrix& data,
-                                  const KMeansOptions& options) {
+template <typename Data>
+common::Status ValidateKMeansArgsImpl(const Data& data,
+                                      const KMeansOptions& options) {
   if (data.rows() == 0 || data.cols() == 0) {
     return common::InvalidArgumentError("k-means requires non-empty data");
   }
@@ -200,17 +198,17 @@ common::Status ValidateKMeansArgs(const Matrix& data,
   return common::OkStatus();
 }
 
-Matrix StartingCentroids(const Matrix& data, const KMeansOptions& options,
-                         Rng& rng) {
+template <typename Data>
+Matrix StartingCentroidsImpl(const Data& data, const KMeansOptions& options,
+                             Rng& rng) {
   if (!options.initial_centroids.empty()) return options.initial_centroids;
   return InitializeCentroids(data, options.k, options.init, rng);
 }
 
-}  // namespace internal
-
-void RecomputeCentroids(const Matrix& data,
-                        const std::vector<int32_t>& assignments,
-                        Matrix& centroids) {
+template <typename Data>
+void RecomputeCentroidsImpl(const Data& data,
+                            const std::vector<int32_t>& assignments,
+                            Matrix& centroids) {
   const size_t k = centroids.rows();
   const size_t dims = centroids.cols();
   ADA_CHECK_EQ(assignments.size(), data.rows());
@@ -234,6 +232,193 @@ void RecomputeCentroids(const Matrix& data,
     }
   }
   internal::FinalizeCentroids(data, assignments, total, centroids);
+}
+
+template <typename Data>
+StatusOr<Clustering> RunNaiveKMeansImpl(const Data& data,
+                                        const KMeansOptions& options) {
+  Rng rng(options.seed);
+  Clustering result;
+  result.k = options.k;
+  result.centroids = internal::StartingCentroids(data, options, rng);
+
+  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
+  common::WallTimer assign_timer;
+  double assign_seconds = 0.0;
+  int64_t assign_passes = 0;
+
+  std::vector<int32_t> previous;
+  for (int32_t iter = 0; iter < options.max_iterations; ++iter) {
+    assign_timer.Restart();
+    result.sse = AssignToCentroids(data, result.centroids,
+                                   result.assignments);
+    assign_seconds += assign_timer.ElapsedSeconds();
+    ++assign_passes;
+    result.iterations = iter + 1;
+    if (result.assignments == previous) {
+      result.converged = true;
+      break;
+    }
+    previous = result.assignments;
+    RecomputeCentroids(data, result.assignments, result.centroids);
+  }
+  if (!result.converged) {
+    // The loop exited after a RecomputeCentroids, so assignments/sse are
+    // stale; re-assign against the final centroids. On a converged exit
+    // the assignment is already consistent and re-running it would just
+    // repeat an identical full-data pass.
+    assign_timer.Restart();
+    result.sse = AssignToCentroids(data, result.centroids,
+                                   result.assignments);
+    assign_seconds += assign_timer.ElapsedSeconds();
+    ++assign_passes;
+  }
+
+  metrics.GetCounter("kmeans/runs").Increment();
+  metrics.GetCounter("kmeans/iterations").Increment(result.iterations);
+  metrics.GetCounter("kmeans/assign_passes").Increment(assign_passes);
+  metrics.GetHistogram("kmeans/assign_seconds").Record(assign_seconds);
+  return result;
+}
+
+}  // namespace
+
+Matrix InitializeCentroids(const Matrix& data, int32_t k, KMeansInit init,
+                           Rng& rng) {
+  return InitializeCentroidsImpl(data, k, init, rng);
+}
+
+Matrix InitializeCentroids(const CsrMatrix& data, int32_t k, KMeansInit init,
+                           Rng& rng) {
+  return InitializeCentroidsImpl(data, k, init, rng);
+}
+
+double AssignToCentroids(const Matrix& data, const Matrix& centroids,
+                         std::vector<int32_t>& assignments) {
+  return AssignToCentroidsImpl(data, centroids, assignments);
+}
+
+double AssignToCentroids(const CsrMatrix& data, const Matrix& centroids,
+                         std::vector<int32_t>& assignments) {
+  return AssignToCentroidsImpl(data, centroids, assignments);
+}
+
+namespace internal {
+
+void AccumulateRows(const Matrix& data,
+                    const std::vector<int32_t>& assignments, size_t begin,
+                    size_t end, CentroidAccumulator& acc) {
+  AccumulateRowsImpl(data, assignments, begin, end, acc);
+}
+
+void AccumulateRows(const CsrMatrix& data,
+                    const std::vector<int32_t>& assignments, size_t begin,
+                    size_t end, CentroidAccumulator& acc) {
+  AccumulateRowsImpl(data, assignments, begin, end, acc);
+}
+
+void MergeAccumulator(const CentroidAccumulator& part,
+                      CentroidAccumulator& total) {
+  const size_t k = total.sums.rows();
+  const size_t dims = total.sums.cols();
+  for (size_t c = 0; c < k; ++c) {
+    total.counts[c] += part.counts[c];
+    std::span<const double> src = part.sums.Row(c);
+    std::span<double> dst = total.sums.Row(c);
+    for (size_t d = 0; d < dims; ++d) dst[d] += src[d];
+  }
+}
+
+void FinalizeCentroids(const Matrix& data,
+                       const std::vector<int32_t>& assignments,
+                       CentroidAccumulator& acc, Matrix& centroids) {
+  FinalizeCentroidsImpl(data, assignments, acc, centroids);
+}
+
+void FinalizeCentroids(const CsrMatrix& data,
+                       const std::vector<int32_t>& assignments,
+                       CentroidAccumulator& acc, Matrix& centroids) {
+  FinalizeCentroidsImpl(data, assignments, acc, centroids);
+}
+
+common::Status ValidateKMeansArgs(const Matrix& data,
+                                  const KMeansOptions& options) {
+  return ValidateKMeansArgsImpl(data, options);
+}
+
+common::Status ValidateKMeansArgs(const CsrMatrix& data,
+                                  const KMeansOptions& options) {
+  return ValidateKMeansArgsImpl(data, options);
+}
+
+Matrix StartingCentroids(const Matrix& data, const KMeansOptions& options,
+                         Rng& rng) {
+  return StartingCentroidsImpl(data, options, rng);
+}
+
+Matrix StartingCentroids(const CsrMatrix& data, const KMeansOptions& options,
+                         Rng& rng) {
+  return StartingCentroidsImpl(data, options, rng);
+}
+
+namespace {
+
+bool ContainsNaN(const Matrix& data) {
+  for (size_t r = 0; r < data.rows(); ++r) {
+    for (double v : data.Row(r)) {
+      if (std::isnan(v)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+double MeasuredDensity(const Matrix& data) {
+  const size_t cells = data.rows() * data.cols();
+  if (cells == 0) return 1.0;
+  size_t nonzeros = 0;
+  for (size_t r = 0; r < data.rows(); ++r) {
+    for (double v : data.Row(r)) {
+      if (std::isnan(v)) return 1.0;  // NaN data stays on the dense path.
+      if (v != 0.0) ++nonzeros;
+    }
+  }
+  return static_cast<double>(nonzeros) / static_cast<double>(cells);
+}
+
+bool ShouldUseSparse(const Matrix& data, const KMeansOptions& options) {
+  switch (options.representation) {
+    case KMeansRepresentation::kDense:
+      return false;
+    case KMeansRepresentation::kSparse:
+      // Honor the request unless conversion would trip FromDense's NaN
+      // check; garbage inputs keep the legacy dense behavior.
+      return !ContainsNaN(data);
+    case KMeansRepresentation::kAuto:
+      break;
+  }
+  // The naive engine's exact distance is O(dims) either way (the
+  // zero-run terms must still fold in order), so auto-selection only
+  // pays off where the fused O(nnz) screen runs: the accelerated engine.
+  if (options.engine != KMeansEngine::kAccelerated) return false;
+  if (options.k < kMinSparseClusters) return false;
+  if (data.cols() < kMinSparseDims) return false;
+  return MeasuredDensity(data) <= options.sparse_density_threshold;
+}
+
+}  // namespace internal
+
+void RecomputeCentroids(const Matrix& data,
+                        const std::vector<int32_t>& assignments,
+                        Matrix& centroids) {
+  RecomputeCentroidsImpl(data, assignments, centroids);
+}
+
+void RecomputeCentroids(const CsrMatrix& data,
+                        const std::vector<int32_t>& assignments,
+                        Matrix& centroids) {
+  RecomputeCentroidsImpl(data, assignments, centroids);
 }
 
 std::vector<int64_t> ClusterSizes(const std::vector<int32_t>& assignments,
@@ -320,52 +505,36 @@ StatusOr<Clustering> RunKMeans(const Matrix& data,
                                const KMeansOptions& options) {
   common::Status valid = internal::ValidateKMeansArgs(data, options);
   if (!valid.ok()) return valid;
+  if (internal::ShouldUseSparse(data, options)) {
+    // Convert once up front; every pass of either engine then runs the
+    // O(nnz) kernels. Results are identical to the dense path.
+    CsrMatrix sparse = CsrMatrix::FromDense(data);
+    KMeansOptions pinned = options;
+    pinned.representation = KMeansRepresentation::kSparse;
+    return RunKMeans(sparse, pinned);
+  }
   if (options.engine == KMeansEngine::kAccelerated) {
     return RunAcceleratedKMeans(data, options);
   }
+  return RunNaiveKMeansImpl(data, options);
+}
 
-  Rng rng(options.seed);
-  Clustering result;
-  result.k = options.k;
-  result.centroids = internal::StartingCentroids(data, options, rng);
-
-  common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
-  common::WallTimer assign_timer;
-  double assign_seconds = 0.0;
-  int64_t assign_passes = 0;
-
-  std::vector<int32_t> previous;
-  for (int32_t iter = 0; iter < options.max_iterations; ++iter) {
-    assign_timer.Restart();
-    result.sse = AssignToCentroids(data, result.centroids,
-                                   result.assignments);
-    assign_seconds += assign_timer.ElapsedSeconds();
-    ++assign_passes;
-    result.iterations = iter + 1;
-    if (result.assignments == previous) {
-      result.converged = true;
-      break;
-    }
-    previous = result.assignments;
-    RecomputeCentroids(data, result.assignments, result.centroids);
+StatusOr<Clustering> RunKMeans(const CsrMatrix& data,
+                               const KMeansOptions& options) {
+  common::Status valid = internal::ValidateKMeansArgs(data, options);
+  if (!valid.ok()) return valid;
+  if (options.representation == KMeansRepresentation::kDense) {
+    KMeansOptions pinned = options;
+    pinned.representation = KMeansRepresentation::kDense;
+    return RunKMeans(data.ToDense(), pinned);
   }
-  if (!result.converged) {
-    // The loop exited after a RecomputeCentroids, so assignments/sse are
-    // stale; re-assign against the final centroids. On a converged exit
-    // the assignment is already consistent and re-running it would just
-    // repeat an identical full-data pass.
-    assign_timer.Restart();
-    result.sse = AssignToCentroids(data, result.centroids,
-                                   result.assignments);
-    assign_seconds += assign_timer.ElapsedSeconds();
-    ++assign_passes;
+  common::MetricsRegistry::Default()
+      .GetCounter("kmeans/sparse_runs")
+      .Increment();
+  if (options.engine == KMeansEngine::kAccelerated) {
+    return RunAcceleratedKMeans(data, options);
   }
-
-  metrics.GetCounter("kmeans/runs").Increment();
-  metrics.GetCounter("kmeans/iterations").Increment(result.iterations);
-  metrics.GetCounter("kmeans/assign_passes").Increment(assign_passes);
-  metrics.GetHistogram("kmeans/assign_seconds").Record(assign_seconds);
-  return result;
+  return RunNaiveKMeansImpl(data, options);
 }
 
 }  // namespace cluster

@@ -5,12 +5,14 @@
 #ifndef ADAHEALTH_CLUSTER_KMEANS_H_
 #define ADAHEALTH_CLUSTER_KMEANS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
 #include "transform/matrix.h"
+#include "transform/sparse_matrix.h"
 
 namespace adahealth {
 namespace cluster {
@@ -35,6 +37,22 @@ enum class KMeansEngine {
   kAccelerated,
 };
 
+/// Data-layout selection for the assignment/update kernels. Whatever
+/// the representation, results are identical: the sparse kernels
+/// reproduce the dense scalar arithmetic bit for bit (assignments,
+/// SSE, iteration counts; centroids may differ only in the sign of
+/// zero when the input contains negative zeros, which compare equal).
+enum class KMeansRepresentation {
+  /// Measure the nnz density and pick: accelerated runs on data at or
+  /// below KMeansOptions::sparse_density_threshold (and at least
+  /// kMinSparseDims columns) go CSR, everything else stays dense.
+  kAuto,
+  /// Always run the dense kernels.
+  kDense,
+  /// Always run the CSR kernels (dense inputs are converted once).
+  kSparse,
+};
+
 struct KMeansOptions {
   /// Number of clusters; 1 <= k <= number of points.
   int32_t k = 8;
@@ -44,11 +62,18 @@ struct KMeansOptions {
   /// Converged when no assignment changes in an iteration.
   uint64_t seed = 1;
   KMeansEngine engine = KMeansEngine::kAccelerated;
+  KMeansRepresentation representation = KMeansRepresentation::kAuto;
+  /// kAuto density cutoff for switching to the CSR kernels.
+  double sparse_density_threshold =
+      transform::kDefaultSparseDensityThreshold;
   /// Warm start: when non-empty (must be k x data.cols()), used as the
   /// initial centroids instead of running `init`. The optimizer seeds
   /// restarts and adjacent candidate Ks from earlier solutions this
-  /// way. Copied by value so the options stay self-contained.
-  transform::Matrix initial_centroids;
+  /// way. Copied by value so the options stay self-contained. The
+  /// explicit {} is a default member initializer so designated-init
+  /// call sites (`KMeansOptions{.k = 3}`) stay clean under
+  /// -Wmissing-field-initializers.
+  transform::Matrix initial_centroids{};
 };
 
 /// Result of a clustering run.
@@ -72,16 +97,29 @@ struct Clustering {
 [[nodiscard]] common::StatusOr<Clustering> RunKMeans(const transform::Matrix& data,
                                        const KMeansOptions& options);
 
+/// Same contract on a CSR matrix, without ever materializing the dense
+/// data (the memory-efficient path for BuildSparseVsm output). Results
+/// are identical to running on data.ToDense().
+[[nodiscard]] common::StatusOr<Clustering> RunKMeans(
+    const transform::CsrMatrix& data, const KMeansOptions& options);
+
 // --- Building blocks shared with the accelerated variants ---------------
 
 /// Chooses initial centroids from the rows of `data`.
 transform::Matrix InitializeCentroids(const transform::Matrix& data,
                                       int32_t k, KMeansInit init,
                                       common::Rng& rng);
+transform::Matrix InitializeCentroids(const transform::CsrMatrix& data,
+                                      int32_t k, KMeansInit init,
+                                      common::Rng& rng);
 
 /// Assigns each row to its closest centroid; returns the SSE.
-/// `assignments` is resized to data.rows().
+/// `assignments` is resized to data.rows(). The CSR overload computes
+/// the same distances bit for bit.
 double AssignToCentroids(const transform::Matrix& data,
+                         const transform::Matrix& centroids,
+                         std::vector<int32_t>& assignments);
+double AssignToCentroids(const transform::CsrMatrix& data,
                          const transform::Matrix& centroids,
                          std::vector<int32_t>& assignments);
 
@@ -89,6 +127,9 @@ double AssignToCentroids(const transform::Matrix& data,
 /// re-seeded with the point farthest from its current centroid, which
 /// guarantees k non-empty clusters when data.rows() >= k.
 void RecomputeCentroids(const transform::Matrix& data,
+                        const std::vector<int32_t>& assignments,
+                        transform::Matrix& centroids);
+void RecomputeCentroids(const transform::CsrMatrix& data,
                         const std::vector<int32_t>& assignments,
                         transform::Matrix& centroids);
 
@@ -113,6 +154,56 @@ namespace internal {
 /// (accelerated) reductions produce bit-identical centroids.
 inline constexpr size_t kCentroidChunkRows = 2048;
 
+/// kAuto never picks CSR below this many columns: with few dimensions
+/// the dense row fits in a couple of cache lines and the sparse
+/// branchiness costs more than the skipped zeros save.
+inline constexpr size_t kMinSparseDims = 32;
+
+/// kAuto never picks CSR below this many clusters either: the density
+/// scan plus CSR conversion cost about two dense assignment passes of
+/// fixed O(rows x cols) work, and the per-pass saving scales with k —
+/// a small-k run that converges in a handful of iterations never
+/// earns the conversion back. Callers that amortize one conversion
+/// over many runs (the optimizer sweep) pin kSparse explicitly and
+/// bypass this gate.
+inline constexpr int32_t kMinSparseClusters = 4;
+
+// Representation-generic row primitives. Each pair computes
+// bit-identical results; the engine templates call them unqualified so
+// one source instantiates both data layouts.
+
+/// Exact squared distance from row `i` of `data` to the dense vector
+/// `v` — the naive scan's arithmetic on either representation.
+inline double ExactRowDistance(const transform::Matrix& data, size_t i,
+                               std::span<const double> v) {
+  return transform::SquaredDistance(data.Row(i), v);
+}
+inline double ExactRowDistance(const transform::CsrMatrix& data, size_t i,
+                               std::span<const double> v) {
+  return transform::SparseSquaredDistance(data.Row(i), v);
+}
+
+/// Copies row `i` of `data` into `dst` (densifying a CSR row).
+inline void CopyRowInto(const transform::Matrix& data, size_t i,
+                        std::span<double> dst) {
+  std::span<const double> src = data.Row(i);
+  std::copy(src.begin(), src.end(), dst.begin());
+}
+inline void CopyRowInto(const transform::CsrMatrix& data, size_t i,
+                        std::span<double> dst) {
+  transform::DensifyRow(data.Row(i), dst);
+}
+
+/// Measured nnz density of `data`; returns 1.0 (never sparse-eligible)
+/// when any cell is NaN, so garbage inputs keep the legacy dense
+/// behavior instead of tripping the CSR builder's validation.
+double MeasuredDensity(const transform::Matrix& data);
+
+/// True when `options` (representation + density threshold + engine)
+/// selects the CSR kernels for this dense input.
+bool ShouldUseSparse(const transform::Matrix& data,
+                     const KMeansOptions& options);
+
 /// Per-cluster running sums and counts of one reduction chunk.
 struct CentroidAccumulator {
   transform::Matrix sums;       // k x dims.
@@ -124,7 +215,11 @@ struct CentroidAccumulator {
 };
 
 /// Accumulates rows [begin, end) of `data` into `acc` in row order.
+/// The CSR overload gathers only the non-zeros (bit-identical sums).
 void AccumulateRows(const transform::Matrix& data,
+                    const std::vector<int32_t>& assignments, size_t begin,
+                    size_t end, CentroidAccumulator& acc);
+void AccumulateRows(const transform::CsrMatrix& data,
                     const std::vector<int32_t>& assignments, size_t begin,
                     size_t end, CentroidAccumulator& acc);
 
@@ -139,14 +234,23 @@ void FinalizeCentroids(const transform::Matrix& data,
                        const std::vector<int32_t>& assignments,
                        CentroidAccumulator& acc,
                        transform::Matrix& centroids);
+void FinalizeCentroids(const transform::CsrMatrix& data,
+                       const std::vector<int32_t>& assignments,
+                       CentroidAccumulator& acc,
+                       transform::Matrix& centroids);
 
 /// Shared argument validation of RunKMeans and RunAcceleratedKMeans.
 [[nodiscard]] common::Status ValidateKMeansArgs(
     const transform::Matrix& data, const KMeansOptions& options);
+[[nodiscard]] common::Status ValidateKMeansArgs(
+    const transform::CsrMatrix& data, const KMeansOptions& options);
 
 /// Chooses the starting centroids per options (initial_centroids when
 /// provided, otherwise `init` via `rng`).
 transform::Matrix StartingCentroids(const transform::Matrix& data,
+                                    const KMeansOptions& options,
+                                    common::Rng& rng);
+transform::Matrix StartingCentroids(const transform::CsrMatrix& data,
                                     const KMeansOptions& options,
                                     common::Rng& rng);
 

@@ -11,6 +11,7 @@
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "transform/sparse_matrix.h"
 
 namespace adahealth {
 namespace cluster {
@@ -19,15 +20,36 @@ namespace {
 
 using common::Rng;
 using common::StatusOr;
+using transform::CsrMatrix;
 using transform::Matrix;
 using transform::SquaredDistance;
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Minimum n·k·dims product before a pass is worth fanning out to the
-/// shared pool (the work-budget heuristic: small matrices stay serial,
-/// where pool hand-off would cost more than the scan itself).
+/// Minimum per-pass work estimate before a pass is worth fanning out to
+/// the shared pool (the work-budget heuristic: small matrices stay
+/// serial, where pool hand-off would cost more than the scan itself).
 constexpr size_t kMinParallelWork = size_t{1} << 20;
+
+/// Below this many clusters the Hamerly bookkeeping is pure overhead:
+/// a successful prune saves at most k-1 distance screens, while the
+/// bound maintenance (tighten distances, drift updates, per-point
+/// bound decay) costs a constant amount per point per pass regardless
+/// of k. At k <= 3 the engine therefore skips the bounds entirely and
+/// runs the fused screen over every point — still bit-identical, and
+/// never slower than the naive scan because the screen itself is the
+/// vectorized kernel.
+constexpr size_t kMinClustersForBounds = 4;
+
+/// Estimated distance-kernel work of one full assignment pass; the
+/// sparse screen touches only the non-zeros, so its budget counts nnz
+/// instead of n x dims.
+inline size_t PassWork(const Matrix& data, size_t k) {
+  return data.rows() * k * data.cols();
+}
+inline size_t PassWork(const CsrMatrix& data, size_t k) {
+  return data.num_nonzeros() * k;
+}
 
 /// Relative padding applied to every derived Euclidean bound so that
 /// accumulated floating-point rounding (sqrt, drift additions) can
@@ -50,9 +72,13 @@ struct Bounds {
 
 /// Everything a pass over the points needs, shared read-only across
 /// chunks (per-point writes touch disjoint rows).
+template <typename Data>
 struct PassContext {
-  const Matrix* data = nullptr;
+  const Data* data = nullptr;
   const Matrix* centroids = nullptr;
+  /// Transposed (dims x k) centroid block; rebuilt once per pass and
+  /// consumed only by the sparse screen (empty on the dense path).
+  const Matrix* centroids_t = nullptr;
   const std::vector<double>* row_norms = nullptr;
   const std::vector<double>* centroid_norms = nullptr;
   const std::vector<double>* half_separation = nullptr;  // s[c].
@@ -61,79 +87,134 @@ struct PassContext {
   double fused_err = 0.0;
 };
 
+/// Representation dispatch of the fused ||x||^2 + ||c||^2 - 2 x.c
+/// screen. Both overloads fill `fused[c]` for every centroid with the
+/// same error envelope (FusedRelativeError covers every dispatched
+/// reduction order), so the recheck logic downstream is shared.
+inline void FusedDistances(const PassContext<Matrix>& ctx, size_t i,
+                           std::vector<double>& fused) {
+  transform::SquaredDistanceToAll(ctx.data->Row(i), (*ctx.row_norms)[i],
+                                  *ctx.centroids, *ctx.centroid_norms,
+                                  fused);
+}
+inline void FusedDistances(const PassContext<CsrMatrix>& ctx, size_t i,
+                           std::vector<double>& fused) {
+  transform::SparseSquaredDistanceToAll(
+      ctx.data->Row(i), (*ctx.row_norms)[i], *ctx.centroids_t,
+      *ctx.centroid_norms, fused);
+}
+
+/// Rebuilds the transposed centroid block the sparse screen gathers
+/// from; a no-op on the dense path.
+inline void PrepareScreen(const Matrix& /*data*/,
+                          const Matrix& /*centroids*/,
+                          Matrix& /*centroids_t*/) {}
+inline void PrepareScreen(const CsrMatrix& /*data*/, const Matrix& centroids,
+                          Matrix& centroids_t) {
+  const size_t k = centroids.rows();
+  const size_t dims = centroids.cols();
+  if (centroids_t.rows() != dims || centroids_t.cols() != k) {
+    centroids_t = Matrix(dims, k);
+  }
+  for (size_t c = 0; c < k; ++c) {
+    std::span<const double> row = centroids.Row(c);
+    for (size_t d = 0; d < dims; ++d) centroids_t.At(d, c) = row[d];
+  }
+}
+
 /// Full re-assignment of point `i`, bit-identical to the naive scan.
-/// The fused kernel screens the centroids first: only centroids whose
-/// conservative interval [fused - err, fused + err] can reach the
-/// smallest interval upper end are re-checked with the exact naive
-/// formula, scanned in index order with the naive strict-< tie-break —
-/// so the winner (and therefore every downstream centroid and SSE bit)
+/// The fused kernel screens the centroids first: the exact argmin is
+/// always among the centroids whose conservative interval
+/// [fused - err, fused + err] reaches the smallest interval upper end
+/// (its own interval contains the true minimum). When exactly one
+/// centroid survives the screen it IS the exact argmin, so the winner
+/// is decided with no exact distance at all — the dominant cost for
+/// sparse rows, whose screen is O(nnz * k) but whose exact recheck is
+/// O(dims). Only a near-tie inside the error envelope (rare: genuine
+/// duplicates or ~1e-13 relative gaps) falls back to exact distances,
+/// scanned in index order with the naive strict-< tie-break — so the
+/// winner (and therefore every downstream centroid and SSE bit)
 /// matches the naive engine exactly. Returns true if the assignment
 /// changed. `fused` and `lower_est` are caller-provided k-sized
-/// scratch.
-bool FullScanPoint(const PassContext& ctx, size_t i,
-                   std::vector<double>& fused,
+/// scratch; when `track_bounds` is false (small-k runs, where the
+/// Hamerly state is never read) the bound updates and their sqrts are
+/// skipped entirely.
+template <typename Data>
+bool FullScanPoint(const PassContext<Data>& ctx, size_t i,
+                   bool track_bounds, std::vector<double>& fused,
                    std::vector<double>& lower_est, Bounds& bounds) {
-  const Matrix& data = *ctx.data;
   const Matrix& centroids = *ctx.centroids;
   const size_t k = centroids.rows();
-  std::span<const double> x = data.Row(i);
   const double x_norm2 = (*ctx.row_norms)[i];
+  const std::vector<double>& c_norms = *ctx.centroid_norms;
 
-  transform::SquaredDistanceToAll(x, x_norm2, centroids,
-                                  *ctx.centroid_norms, fused);
+  FusedDistances(ctx, i, fused);
   double screen = kInf;
   for (size_t c = 0; c < k; ++c) {
-    const double err =
-        ctx.fused_err * (x_norm2 + (*ctx.centroid_norms)[c]);
+    const double err = ctx.fused_err * (x_norm2 + c_norms[c]);
     screen = std::min(screen, fused[c] + err);
   }
 
-  double best_d2 = kInf;
-  int32_t best_c = 0;
+  size_t candidates = 0;
+  size_t winner = 0;
   for (size_t c = 0; c < k; ++c) {
-    const double err =
-        ctx.fused_err * (x_norm2 + (*ctx.centroid_norms)[c]);
-    if (fused[c] - err <= screen) {
-      // Candidate: exact distance, naive formula and tie-break.
-      const double d2 = SquaredDistance(x, centroids.Row(c));
-      lower_est[c] = std::sqrt(d2);
+    const double err = ctx.fused_err * (x_norm2 + c_norms[c]);
+    const double low = fused[c] - err;
+    if (track_bounds) {
+      // Screened-out centroids are provably farther than the winner; a
+      // padded Euclidean lower estimate is all the second-best bound
+      // needs. (Candidates get the exact value below.)
+      lower_est[c] = std::sqrt(low > 0.0 ? low : 0.0);
+    }
+    if (low <= screen) {
+      ++candidates;
+      winner = c;
+    }
+  }
+
+  int32_t best_c;
+  double upper = 0.0;
+  if (candidates == 1) {
+    best_c = static_cast<int32_t>(winner);
+    if (track_bounds) {
+      const double err = ctx.fused_err * (x_norm2 + c_norms[winner]);
+      upper = std::sqrt(std::max(0.0, fused[winner] + err));
+    }
+  } else {
+    double best_d2 = kInf;
+    best_c = 0;
+    for (size_t c = 0; c < k; ++c) {
+      const double err = ctx.fused_err * (x_norm2 + c_norms[c]);
+      if (fused[c] - err > screen) continue;
+      const double d2 =
+          internal::ExactRowDistance(*ctx.data, i, centroids.Row(c));
+      if (track_bounds) lower_est[c] = std::sqrt(d2);
       if (d2 < best_d2) {
         best_d2 = d2;
         best_c = static_cast<int32_t>(c);
       }
-    } else {
-      // Screened out: provably farther than the winner; a padded
-      // Euclidean lower estimate is all the second-best bound needs.
-      lower_est[c] = std::sqrt(std::max(0.0, fused[c] - err));
     }
-  }
-
-  double second = kInf;
-  for (size_t c = 0; c < k; ++c) {
-    if (static_cast<int32_t>(c) == best_c) continue;
-    second = std::min(second, lower_est[c]);
+    upper = std::sqrt(best_d2);
   }
 
   const bool changed = bounds.assignment[i] != best_c;
   bounds.assignment[i] = best_c;
-  bounds.upper[i] = std::sqrt(best_d2) * ctx.pad_up;
-  bounds.lower[i] = second == kInf ? kInf : second * ctx.pad_down;
+  if (track_bounds) {
+    double second = kInf;
+    for (size_t c = 0; c < k; ++c) {
+      if (static_cast<int32_t>(c) == best_c) continue;
+      second = std::min(second, lower_est[c]);
+    }
+    bounds.upper[i] = upper * ctx.pad_up;
+    bounds.lower[i] = second == kInf ? kInf : second * ctx.pad_down;
+  }
   return changed;
 }
 
-}  // namespace
-
-StatusOr<Clustering> RunAcceleratedKMeans(const Matrix& data,
-                                          const KMeansOptions& options) {
-  return internal::RunAcceleratedKMeansOnPool(data, options,
-                                              common::ThreadPool::Shared());
-}
-
-namespace internal {
-
-StatusOr<Clustering> RunAcceleratedKMeansOnPool(const Matrix& data,
-                                                const KMeansOptions& options,
-                                                common::ThreadPool& pool) {
+template <typename Data>
+StatusOr<Clustering> RunAccelImpl(const Data& data,
+                                  const KMeansOptions& options,
+                                  common::ThreadPool& pool) {
   common::Status valid = internal::ValidateKMeansArgs(data, options);
   if (!valid.ok()) return valid;
 
@@ -158,9 +239,11 @@ StatusOr<Clustering> RunAcceleratedKMeansOnPool(const Matrix& data,
   std::vector<double> centroid_norms(k, 0.0);
   std::vector<double> half_separation(k, kInf);
   std::vector<double> drift(k, 0.0);
+  Matrix centroids_t;
 
   const bool parallel =
-      pool.num_threads() > 1 && n * k * dims >= kMinParallelWork;
+      pool.num_threads() > 1 && PassWork(data, k) >= kMinParallelWork;
+  const bool use_bounds = k >= kMinClustersForBounds;
 
   common::MetricsRegistry& metrics = common::MetricsRegistry::Default();
   common::Counter& skipped_counter =
@@ -169,10 +252,14 @@ StatusOr<Clustering> RunAcceleratedKMeansOnPool(const Matrix& data,
       metrics.GetCounter("kmeans/bound_recomputes");
   common::Counter& chunks_counter =
       metrics.GetCounter("kmeans/parallel_chunks");
+  if (!use_bounds) {
+    metrics.GetCounter("kmeans/smallk_unbounded_runs").Increment();
+  }
 
-  PassContext ctx;
+  PassContext<Data> ctx;
   ctx.data = &data;
   ctx.centroids = &result.centroids;
+  ctx.centroids_t = &centroids_t;
   ctx.row_norms = &row_norms;
   ctx.centroid_norms = &centroid_norms;
   ctx.half_separation = &half_separation;
@@ -182,12 +269,15 @@ StatusOr<Clustering> RunAcceleratedKMeansOnPool(const Matrix& data,
 
   // One assignment pass. `first` forces a full scan of every point
   // (and, mirroring the naive engine's empty-previous comparison,
-  // reports every point as changed); later passes consult the bounds.
+  // reports every point as changed); later passes consult the bounds —
+  // unless this is a small-k run, where every pass is a full fused
+  // scan.
   auto assignment_pass = [&](bool first) -> int64_t {
     for (size_t c = 0; c < k; ++c) {
       std::span<const double> row = result.centroids.Row(c);
       centroid_norms[c] = transform::Dot(row, row);
     }
+    PrepareScreen(data, result.centroids, centroids_t);
     std::atomic<int64_t> changed_total{0};
     std::atomic<int64_t> skipped_total{0};
     std::atomic<int64_t> recompute_total{0};
@@ -200,8 +290,14 @@ StatusOr<Clustering> RunAcceleratedKMeansOnPool(const Matrix& data,
       const int64_t all_k = static_cast<int64_t>(k);
       for (size_t i = chunk_begin; i < chunk_end; ++i) {
         if (first) {
-          FullScanPoint(ctx, i, fused, lower_est, bounds);
+          FullScanPoint(ctx, i, use_bounds, fused, lower_est, bounds);
           ++changed;
+          continue;
+        }
+        if (!use_bounds) {
+          if (FullScanPoint(ctx, i, false, fused, lower_est, bounds)) {
+            ++changed;
+          }
           continue;
         }
         const size_t a = static_cast<size_t>(bounds.assignment[i]);
@@ -213,15 +309,17 @@ StatusOr<Clustering> RunAcceleratedKMeansOnPool(const Matrix& data,
         }
         // Tighten the upper bound with one exact distance; most
         // drift-inflated bounds collapse below the prune line here.
-        const double d2 =
-            SquaredDistance(data.Row(i), result.centroids.Row(a));
+        const double d2 = internal::ExactRowDistance(
+            data, i, result.centroids.Row(a));
         ++recomputes;
         bounds.upper[i] = std::sqrt(d2) * pad_up;
         if (bounds.upper[i] < prune_at) {
           skipped += all_k - 1;
           continue;
         }
-        if (FullScanPoint(ctx, i, fused, lower_est, bounds)) ++changed;
+        if (FullScanPoint(ctx, i, true, fused, lower_est, bounds)) {
+          ++changed;
+        }
       }
       changed_total.fetch_add(changed, std::memory_order_relaxed);
       skipped_total.fetch_add(skipped, std::memory_order_relaxed);
@@ -284,8 +382,9 @@ StatusOr<Clustering> RunAcceleratedKMeansOnPool(const Matrix& data,
       result.converged = true;
       break;
     }
-    old_centroids = result.centroids;
+    if (use_bounds) old_centroids = result.centroids;
     recompute_centroids();
+    if (!use_bounds) continue;  // Small k: no bounds to maintain.
 
     // Bound maintenance: each centroid's padded drift loosens the
     // upper bound of its members; the maximum drift loosens every
@@ -335,9 +434,9 @@ StatusOr<Clustering> RunAcceleratedKMeansOnPool(const Matrix& data,
   std::vector<double> terms(n);
   auto term_body = [&](size_t chunk_begin, size_t chunk_end) {
     for (size_t i = chunk_begin; i < chunk_end; ++i) {
-      terms[i] = SquaredDistance(
-          data.Row(i), result.centroids.Row(
-                           static_cast<size_t>(bounds.assignment[i])));
+      terms[i] = internal::ExactRowDistance(
+          data, i, result.centroids.Row(
+                       static_cast<size_t>(bounds.assignment[i])));
     }
   };
   if (parallel) {
@@ -356,6 +455,34 @@ StatusOr<Clustering> RunAcceleratedKMeansOnPool(const Matrix& data,
   metrics.GetCounter("kmeans/assign_passes").Increment(assign_passes);
   metrics.GetHistogram("kmeans/assign_seconds").Record(assign_seconds);
   return result;
+}
+
+}  // namespace
+
+StatusOr<Clustering> RunAcceleratedKMeans(const Matrix& data,
+                                          const KMeansOptions& options) {
+  return internal::RunAcceleratedKMeansOnPool(data, options,
+                                              common::ThreadPool::Shared());
+}
+
+StatusOr<Clustering> RunAcceleratedKMeans(const CsrMatrix& data,
+                                          const KMeansOptions& options) {
+  return internal::RunAcceleratedKMeansOnPool(data, options,
+                                              common::ThreadPool::Shared());
+}
+
+namespace internal {
+
+StatusOr<Clustering> RunAcceleratedKMeansOnPool(const Matrix& data,
+                                                const KMeansOptions& options,
+                                                common::ThreadPool& pool) {
+  return RunAccelImpl(data, options, pool);
+}
+
+StatusOr<Clustering> RunAcceleratedKMeansOnPool(const CsrMatrix& data,
+                                                const KMeansOptions& options,
+                                                common::ThreadPool& pool) {
+  return RunAccelImpl(data, options, pool);
 }
 
 }  // namespace internal

@@ -17,6 +17,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "transform/matrix.h"
+#include "transform/sparse_matrix.h"
 
 namespace adahealth {
 namespace cluster {
@@ -25,6 +26,13 @@ namespace cluster {
 /// options.engine == kAccelerated). Same contract and error conditions
 /// as RunKMeans; `options.engine` itself is ignored.
 ///
+/// The CSR overload runs the sparse kernels — an O(nnz) fused screen
+/// against a transposed centroid block plus exact scalar rechecks —
+/// and produces results bit-identical to the dense overload on
+/// data.ToDense(). Runs with fewer than kMinClustersForBounds clusters
+/// skip the Hamerly bookkeeping entirely (pure overhead at small k)
+/// and full-scan with the fused kernel instead.
+///
 /// Instrumentation (process-wide registry):
 ///   kmeans/skipped_distance_checks  exact point-centroid distance
 ///                                   evaluations avoided by the bound
@@ -32,9 +40,13 @@ namespace cluster {
 ///                                   k-1 per tighten-then-skip),
 ///   kmeans/bound_recomputes         upper-bound tightenings (one exact
 ///                                   distance each),
-///   kmeans/parallel_chunks          chunks executed on the shared pool.
+///   kmeans/parallel_chunks          chunks executed on the shared pool,
+///   kmeans/smallk_unbounded_runs    runs that skipped the Hamerly
+///                                   bookkeeping because k was small.
 [[nodiscard]] common::StatusOr<Clustering> RunAcceleratedKMeans(
     const transform::Matrix& data, const KMeansOptions& options);
+[[nodiscard]] common::StatusOr<Clustering> RunAcceleratedKMeans(
+    const transform::CsrMatrix& data, const KMeansOptions& options);
 
 namespace internal {
 
@@ -43,6 +55,9 @@ namespace internal {
 /// with the serial one) on machines with few cores.
 [[nodiscard]] common::StatusOr<Clustering> RunAcceleratedKMeansOnPool(
     const transform::Matrix& data, const KMeansOptions& options,
+    common::ThreadPool& pool);
+[[nodiscard]] common::StatusOr<Clustering> RunAcceleratedKMeansOnPool(
+    const transform::CsrMatrix& data, const KMeansOptions& options,
     common::ThreadPool& pool);
 
 }  // namespace internal

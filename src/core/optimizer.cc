@@ -13,6 +13,7 @@
 #include "ml/knn.h"
 #include "ml/naive_bayes.h"
 #include "ml/random_forest.h"
+#include "transform/sparse_matrix.h"
 
 namespace adahealth {
 namespace core {
@@ -45,7 +46,8 @@ ml::ClassifierFactory MakeFactory(RobustnessModel model) {
 /// pruned passes. The k-means++ restarts are unchanged, so the
 /// candidate's best SSE can only improve over a cold sweep.
 StatusOr<cluster::Clustering> ClusterCandidate(
-    const Matrix& data, int32_t k, const OptimizerOptions& options,
+    const Matrix& data, const transform::CsrMatrix* sparse, int32_t k,
+    const OptimizerOptions& options,
     const cluster::Clustering* warm_source) {
   // A triggered "optimizer.candidate" failpoint marks this candidate
   // skipped (the sweep's existing degradation path) without aborting
@@ -56,12 +58,21 @@ StatusOr<cluster::Clustering> ClusterCandidate(
 
   cluster::KMeansOptions kmeans = options.kmeans;
   kmeans.k = k;
+  // The sweep measured the density and converted once up front; pin
+  // the representation so RunKMeans never repeats either per restart.
+  kmeans.representation = sparse != nullptr
+                              ? cluster::KMeansRepresentation::kSparse
+                              : cluster::KMeansRepresentation::kDense;
+  auto run = [&]() {
+    return sparse != nullptr ? cluster::RunKMeans(*sparse, kmeans)
+                             : cluster::RunKMeans(data, kmeans);
+  };
   StatusOr<cluster::Clustering> best =
       common::InternalError("no restart succeeded");
   if (warm_source != nullptr) {
     kmeans.seed = options.seed + static_cast<uint64_t>(k) * 104729;
     kmeans.initial_centroids = cluster::AdaptCentroids(data, *warm_source, k);
-    auto clustering = cluster::RunKMeans(data, kmeans);
+    auto clustering = run();
     if (!clustering.ok()) return clustering.status();
     best = std::move(clustering);
     kmeans.initial_centroids = transform::Matrix();
@@ -70,7 +81,7 @@ StatusOr<cluster::Clustering> ClusterCandidate(
   for (int32_t restart = 0; restart < options.restarts; ++restart) {
     kmeans.seed = options.seed + static_cast<uint64_t>(k) * 104729 +
                   static_cast<uint64_t>(restart) * 15485863;
-    auto clustering = cluster::RunKMeans(data, kmeans);
+    auto clustering = run();
     if (!clustering.ok()) return clustering.status();
     if (!best.ok() || clustering->sse < best->sse) {
       best = std::move(clustering);
@@ -146,12 +157,34 @@ StatusOr<OptimizerResult> OptimizeClustering(
   std::vector<StatusOr<cluster::Clustering>> clusterings(
       num_candidates, common::InternalError("not clustered"));
   std::vector<double> cluster_seconds(num_candidates, 0.0);
+
+  // Representation hoisting: measure the nnz density and convert to
+  // CSR (when the options select it) once per sweep, instead of once
+  // per restart inside RunKMeans. Every candidate run below then pins
+  // the decided representation. Results are identical either way.
+  transform::CsrMatrix sparse_data;
+  // Probe with the largest candidate K: one conversion is amortized
+  // over the whole sweep, so the small-k gate inside ShouldUseSparse
+  // (which protects single runs) should not veto the hoist.
+  cluster::KMeansOptions probe = options.kmeans;
+  for (int32_t candidate_k : options.candidate_ks) {
+    probe.k = std::max(probe.k, candidate_k);
+  }
+  const bool use_sparse = cluster::internal::ShouldUseSparse(data, probe);
+  if (use_sparse) {
+    sparse_data = transform::CsrMatrix::FromDense(data);
+    common::MetricsRegistry::Default()
+        .GetCounter("optimizer/sparse_sweeps")
+        .Increment();
+  }
+  const transform::CsrMatrix* sparse = use_sparse ? &sparse_data : nullptr;
+
   const cluster::Clustering* warm_source = nullptr;
   common::WallTimer cluster_timer;
   for (size_t i = 0; i < num_candidates; ++i) {
     cluster_timer.Restart();
-    clusterings[i] =
-        ClusterCandidate(data, options.candidate_ks[i], options, warm_source);
+    clusterings[i] = ClusterCandidate(data, sparse, options.candidate_ks[i],
+                                      options, warm_source);
     cluster_seconds[i] = cluster_timer.ElapsedSeconds();
     if (clusterings[i].ok()) warm_source = &*clusterings[i];
   }

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "transform/simd_kernels.h"
 
 namespace adahealth {
 namespace transform {
@@ -78,8 +79,7 @@ Matrix Matrix::SelectColumns(const std::vector<size_t>& col_ids) const {
 std::vector<double> RowSquaredNorms(const Matrix& m) {
   std::vector<double> norms(m.rows());
   for (size_t r = 0; r < m.rows(); ++r) {
-    std::span<const double> row = m.Row(r);
-    norms[r] = Dot(row, row);
+    norms[r] = simd::SquaredNorm(m.Row(r));
   }
   return norms;
 }
@@ -93,25 +93,11 @@ void SquaredDistanceToAll(std::span<const double> point, double point_norm2,
   ADA_CHECK_EQ(point.size(), dims);
   ADA_CHECK_EQ(centroid_norms2.size(), k);
   ADA_CHECK_GE(out.size(), k);
-  const double* x = point.data();
   for (size_t c = 0; c < k; ++c) {
-    const double* row = centroids.Row(c).data();
-    // Four independent accumulators break the sequential add chain so
-    // the loop vectorizes/pipelines; the final combine order is fixed,
-    // keeping the kernel deterministic for a given dims.
-    double acc0 = 0.0;
-    double acc1 = 0.0;
-    double acc2 = 0.0;
-    double acc3 = 0.0;
-    size_t d = 0;
-    for (; d + 4 <= dims; d += 4) {
-      acc0 += x[d] * row[d];
-      acc1 += x[d + 1] * row[d + 1];
-      acc2 += x[d + 2] * row[d + 2];
-      acc3 += x[d + 3] * row[d + 3];
-    }
-    for (; d < dims; ++d) acc0 += x[d] * row[d];
-    const double dot = (acc0 + acc1) + (acc2 + acc3);
+    // The dot product dispatches to the AVX2/FMA kernel when the CPU
+    // has it; either way the reduction order is fixed per ISA, and the
+    // reassociation stays inside FusedRelativeError's envelope.
+    const double dot = simd::DotProduct(point, centroids.Row(c));
     out[c] = point_norm2 + centroid_norms2[c] - 2.0 * dot;
   }
 }
@@ -120,6 +106,9 @@ double FusedRelativeError(size_t dims) {
   // Each form accumulates O(dims) roundings of terms bounded by
   // ‖x‖² + ‖c‖² (Cauchy–Schwarz bounds every partial product sum);
   // the factor 16 leaves a wide safety margin over the worst case.
+  // This covers every reduction order the dispatched kernels can pick
+  // (scalar 4-accumulator, AVX2 lanes, sparse per-entry): all of them
+  // perform at most O(dims) roundings of the same bounded terms.
   return 16.0 * static_cast<double>(dims + 8) *
          std::numeric_limits<double>::epsilon();
 }

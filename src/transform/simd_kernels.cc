@@ -1,0 +1,200 @@
+#include "transform/simd_kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.h"
+
+// The AVX2+FMA kernels are compiled behind function-level target
+// attributes so the rest of this TU (and the whole tree) keeps the
+// portable baseline ISA; only the annotated functions may emit VEX
+// encodings, and they are only ever called after a cpuid check.
+#if !defined(ADA_SIMD_DISABLED) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define ADA_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define ADA_SIMD_X86 0
+#endif
+
+namespace adahealth {
+namespace transform {
+namespace simd {
+
+namespace {
+
+// --- Scalar baseline ----------------------------------------------------
+//
+// Four independent accumulators, mirroring the hand-unrolled loop the
+// dense kernels used before this TU existed: breaks the sequential add
+// chain for pipelining while keeping a fixed combine order.
+
+double DotScalar(const double* a, const double* b, size_t n) {
+  double acc0 = 0.0;
+  double acc1 = 0.0;
+  double acc2 = 0.0;
+  double acc3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) acc0 += a[i] * b[i];
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+void AxpyScalar(double a, const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+#if ADA_SIMD_X86
+
+// --- AVX2 + FMA ---------------------------------------------------------
+//
+// Four 256-bit accumulators (16 doubles in flight) hide the FMA
+// latency; the horizontal reduction order is fixed, so the kernel is
+// deterministic for a given input and ISA. The reassociation versus
+// the scalar kernel is covered by FusedRelativeError's envelope.
+
+__attribute__((target("avx2,fma"))) double DotAvx2(const double* a,
+                                                   const double* b,
+                                                   size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i),
+                           _mm256_loadu_pd(b + i), acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4),
+                           _mm256_loadu_pd(b + i + 4), acc1);
+    acc2 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 8),
+                           _mm256_loadu_pd(b + i + 8), acc2);
+    acc3 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 12),
+                           _mm256_loadu_pd(b + i + 12), acc3);
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i),
+                           _mm256_loadu_pd(b + i), acc0);
+  }
+  acc0 = _mm256_add_pd(_mm256_add_pd(acc0, acc1),
+                       _mm256_add_pd(acc2, acc3));
+  __m128d lo = _mm256_castpd256_pd128(acc0);
+  __m128d hi = _mm256_extractf128_pd(acc0, 1);
+  lo = _mm_add_pd(lo, hi);
+  double sum = _mm_cvtsd_f64(_mm_add_sd(lo, _mm_unpackhi_pd(lo, lo)));
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+__attribute__((target("avx2,fma"))) void AxpyAvx2(double a, const double* x,
+                                                  double* y, size_t n) {
+  const __m256d va = _mm256_set1_pd(a);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_fmadd_pd(va, _mm256_loadu_pd(x + i),
+                               _mm256_loadu_pd(y + i)));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+bool CpuHasAvx2Fma() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+#else  // !ADA_SIMD_X86
+
+bool CpuHasAvx2Fma() { return false; }
+
+#endif  // ADA_SIMD_X86
+
+/// True when ADA_SIMD_DISPATCH asks for the scalar path. Read once:
+/// the dispatch decision must not change mid-process or two calls with
+/// identical inputs could return different bits.
+bool ScalarForcedByEnv() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): resolved once under the
+  // dispatch-init guard below, before the value is ever published.
+  const char* env = std::getenv("ADA_SIMD_DISPATCH");
+  return env != nullptr && std::strcmp(env, "scalar") == 0;
+}
+
+IsaLevel ResolveIsa() {
+  if (!CpuHasAvx2Fma()) return IsaLevel::kScalar;
+  if (ScalarForcedByEnv()) return IsaLevel::kScalar;
+  return IsaLevel::kAvx2Fma;
+}
+
+/// Process-wide dispatch decision, resolved on first use. The testing
+/// override narrows it without touching the cached resolution.
+std::atomic<int> g_test_override{-1};
+
+IsaLevel DispatchedIsa() {
+  static const IsaLevel resolved = ResolveIsa();
+  const int pinned = g_test_override.load(std::memory_order_acquire);
+  if (pinned < 0) return resolved;
+  IsaLevel wanted = static_cast<IsaLevel>(pinned);
+  if (wanted == IsaLevel::kAvx2Fma && !CpuHasAvx2Fma()) {
+    return IsaLevel::kScalar;
+  }
+  return wanted;
+}
+
+}  // namespace
+
+IsaLevel ActiveIsa() { return DispatchedIsa(); }
+
+const char* IsaName(IsaLevel isa) {
+  switch (isa) {
+    case IsaLevel::kScalar:
+      return "scalar";
+    case IsaLevel::kAvx2Fma:
+      return "avx2+fma";
+  }
+  return "?";
+}
+
+double DotProduct(std::span<const double> a, std::span<const double> b) {
+  ADA_CHECK_EQ(a.size(), b.size());
+#if ADA_SIMD_X86
+  if (DispatchedIsa() == IsaLevel::kAvx2Fma) {
+    return DotAvx2(a.data(), b.data(), a.size());
+  }
+#endif
+  return DotScalar(a.data(), b.data(), a.size());
+}
+
+double SquaredNorm(std::span<const double> v) { return DotProduct(v, v); }
+
+void Axpy(double a, std::span<const double> x, std::span<double> y) {
+  ADA_CHECK_EQ(x.size(), y.size());
+#if ADA_SIMD_X86
+  if (DispatchedIsa() == IsaLevel::kAvx2Fma) {
+    AxpyAvx2(a, x.data(), y.data(), y.size());
+    return;
+  }
+#endif
+  AxpyScalar(a, x.data(), y.data(), y.size());
+}
+
+namespace internal {
+
+void SetIsaForTesting(IsaLevel isa) {
+  g_test_override.store(static_cast<int>(isa), std::memory_order_release);
+}
+
+void ResetIsaForTesting() {
+  g_test_override.store(-1, std::memory_order_release);
+}
+
+bool Avx2Available() { return CpuHasAvx2Fma(); }
+
+}  // namespace internal
+
+}  // namespace simd
+}  // namespace transform
+}  // namespace adahealth

@@ -1,0 +1,85 @@
+// Runtime-dispatched SIMD kernels for the dense distance hot path.
+//
+// This is the only translation unit in the tree allowed to touch
+// <immintrin.h> (enforced by the ada_lint `simd-intrinsics` rule). The
+// public entry points dispatch once, at first use, between a scalar
+// implementation (always compiled, the portable baseline) and an
+// AVX2+FMA implementation (compiled behind function-level target
+// attributes, taken only when __builtin_cpu_supports says the CPU has
+// both). Build with -DADA_SIMD=OFF to compile the scalar path alone;
+// set ADA_SIMD_DISPATCH=scalar in the environment to force the scalar
+// path at runtime on AVX2 hardware (CI runs the whole k-means suite
+// both ways).
+//
+// Contract: every kernel here is *error-bounded*, not bit-exact. A
+// SIMD sum reassociates the scalar reduction, so results may differ
+// from the scalar kernel by up to the caller-visible rounding envelope
+// (transform::FusedRelativeError for the fused distance form). Exact
+// consumers — the bit-identity contract between the k-means engines —
+// must keep using transform::SquaredDistance, which never routes
+// through this header. Within one process the dispatch decision is
+// made once, so repeated calls with the same inputs return the same
+// bits (deterministic per machine, not across ISAs).
+#ifndef ADAHEALTH_TRANSFORM_SIMD_KERNELS_H_
+#define ADAHEALTH_TRANSFORM_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <span>
+
+namespace adahealth {
+namespace transform {
+namespace simd {
+
+/// Instruction set actually selected by the runtime dispatcher.
+enum class IsaLevel {
+  kScalar,
+  kAvx2Fma,
+};
+
+/// The ISA the process-wide dispatcher resolved to: kAvx2Fma when the
+/// build has the AVX2 kernels compiled in (ADA_SIMD=ON, x86-64), the
+/// CPU reports avx2+fma, and ADA_SIMD_DISPATCH does not override it;
+/// kScalar otherwise. Resolved once on first call.
+IsaLevel ActiveIsa();
+
+/// Human-readable name of `isa` ("scalar" / "avx2+fma"), for bench
+/// output and logs.
+const char* IsaName(IsaLevel isa);
+
+/// Sum of a[i] * b[i]. Reassociated reduction; error-bounded, not
+/// bit-identical to transform::Dot.
+double DotProduct(std::span<const double> a, std::span<const double> b);
+
+/// ‖v‖² = DotProduct(v, v) without the second pointer walk.
+double SquaredNorm(std::span<const double> v);
+
+/// y[i] += a * x[i] for i in [0, y.size()). The sparse fused-distance
+/// screen drives this with x = one row of the transposed centroid
+/// block and a = one non-zero of the point, so the accumulation order
+/// per output lane is the entry order of the sparse row — fixed and
+/// deterministic for a given ISA.
+void Axpy(double a, std::span<const double> x, std::span<double> y);
+
+namespace internal {
+
+/// Test hook: pins ActiveIsa() to `isa` (kAvx2Fma requests are ignored
+/// unless the build and CPU support it — the hook can only narrow).
+/// Pass the value returned by ResetIsaForTesting to restore. Not
+/// thread-safe; tests drive it single-threaded.
+void SetIsaForTesting(IsaLevel isa);
+
+/// Clears a SetIsaForTesting override, returning dispatch to the
+/// process-wide decision.
+void ResetIsaForTesting();
+
+/// True when the AVX2+FMA kernels are compiled in and the CPU supports
+/// them (ignores the environment override and test pins).
+bool Avx2Available();
+
+}  // namespace internal
+
+}  // namespace simd
+}  // namespace transform
+}  // namespace adahealth
+
+#endif  // ADAHEALTH_TRANSFORM_SIMD_KERNELS_H_

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <map>
 
+#include "common/check.h"
+
 namespace adahealth {
 namespace transform {
 
@@ -92,9 +94,25 @@ CsrMatrix BuildSparseVsm(const dataset::ExamLog& log,
       double norm = std::sqrt(norm_squared);
       for (SparseEntry& entry : entries) entry.value /= norm;
     }
-    builder.AddRow(entries);
+    // Columns come out of the ordered map strictly increasing and in
+    // range; weights are finite products of counts and IDF logs.
+    ADA_CHECK_OK(builder.AddRow(entries));
   }
   return std::move(builder).Build();
+}
+
+VsmBuild BuildVsmAuto(const dataset::ExamLog& log, const VsmOptions& options,
+                      double density_threshold) {
+  VsmBuild out;
+  out.sparse = BuildSparseVsm(log, options);
+  out.density = out.sparse.Density();
+  if (out.density <= density_threshold) {
+    out.is_sparse = true;
+  } else {
+    out.dense = out.sparse.ToDense();
+    out.sparse = CsrMatrix();
+  }
+  return out;
 }
 
 const char* VsmWeightingName(VsmWeighting weighting) {

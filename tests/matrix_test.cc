@@ -99,7 +99,11 @@ TEST(VectorOpsTest, CosineSimilarity) {
   EXPECT_DOUBLE_EQ(CosineSimilarity(a, zero), 0.0);
 }
 
-TEST(FusedKernelTest, RowSquaredNormsMatchDot) {
+TEST(FusedKernelTest, RowSquaredNormsMatchDotWithinEnvelope) {
+  // RowSquaredNorms routes through the runtime-dispatched SIMD kernel,
+  // whose reassociated reduction may differ from the scalar Dot by the
+  // documented fused-error envelope (it feeds only error-bounded
+  // screens, never exact arithmetic).
   common::Rng rng(61);
   Matrix m(7, 13);
   for (size_t r = 0; r < m.rows(); ++r) {
@@ -108,7 +112,8 @@ TEST(FusedKernelTest, RowSquaredNormsMatchDot) {
   std::vector<double> norms = RowSquaredNorms(m);
   ASSERT_EQ(norms.size(), m.rows());
   for (size_t r = 0; r < m.rows(); ++r) {
-    EXPECT_EQ(norms[r], Dot(m.Row(r), m.Row(r)));
+    const double exact = Dot(m.Row(r), m.Row(r));
+    EXPECT_NEAR(norms[r], exact, FusedRelativeError(m.cols()) * exact);
   }
 }
 

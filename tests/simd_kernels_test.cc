@@ -1,0 +1,172 @@
+// AVX2-vs-scalar equivalence for the runtime-dispatched kernels, and
+// the engine-level guarantee that k-means results do not depend on the
+// dispatched ISA (the SIMD kernels feed only error-bounded screens;
+// every exact decision is rechecked with scalar arithmetic).
+#include "transform/simd_kernels.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "cluster/kmeans.h"
+#include "common/rng.h"
+#include "test_util.h"
+#include "transform/matrix.h"
+
+namespace adahealth {
+namespace transform {
+namespace {
+
+using cluster::Clustering;
+using cluster::KMeansOptions;
+using simd::IsaLevel;
+
+/// Restores the process-wide dispatch on scope exit so a failing test
+/// cannot leak a pinned ISA into later tests.
+struct ScopedIsa {
+  explicit ScopedIsa(IsaLevel isa) { simd::internal::SetIsaForTesting(isa); }
+  ~ScopedIsa() { simd::internal::ResetIsaForTesting(); }
+};
+
+TEST(SimdKernelsTest, IsaNameCoversAllLevels) {
+  EXPECT_STREQ(simd::IsaName(IsaLevel::kScalar), "scalar");
+  EXPECT_STREQ(simd::IsaName(IsaLevel::kAvx2Fma), "avx2+fma");
+}
+
+TEST(SimdKernelsTest, ScalarPinAlwaysTakes) {
+  ScopedIsa pin(IsaLevel::kScalar);
+  EXPECT_EQ(simd::ActiveIsa(), IsaLevel::kScalar);
+}
+
+TEST(SimdKernelsTest, Avx2PinOnlyNarrows) {
+  // Requesting AVX2 on a machine (or build) without it must fall back
+  // to scalar — the hook can never widen past what the CPU supports.
+  ScopedIsa pin(IsaLevel::kAvx2Fma);
+  if (simd::internal::Avx2Available()) {
+    EXPECT_EQ(simd::ActiveIsa(), IsaLevel::kAvx2Fma);
+  } else {
+    EXPECT_EQ(simd::ActiveIsa(), IsaLevel::kScalar);
+  }
+}
+
+TEST(SimdKernelsTest, DotProductMatchesExactWithinEnvelope) {
+  common::Rng rng(89);
+  // Sizes straddle every unroll boundary: sub-lane, one 4-lane block,
+  // the 16-wide main loop, and ragged tails.
+  for (size_t n : {0u, 1u, 3u, 4u, 5u, 15u, 16u, 17u, 48u, 159u, 1000u}) {
+    std::vector<double> a(n);
+    std::vector<double> b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = rng.Normal(0.0, 3.0);
+      b[i] = rng.Normal(0.0, 3.0);
+    }
+    const double exact = Dot(a, b);
+    const double got = simd::DotProduct(a, b);
+    double scale = 0.0;
+    for (size_t i = 0; i < n; ++i) scale += std::abs(a[i] * b[i]);
+    EXPECT_NEAR(got, exact, FusedRelativeError(n) * (scale + 1.0))
+        << "n=" << n;
+  }
+}
+
+TEST(SimdKernelsTest, ScalarAndAvx2AgreeWithinEnvelope) {
+  if (!simd::internal::Avx2Available()) {
+    GTEST_SKIP() << "AVX2+FMA not available in this build/CPU";
+  }
+  common::Rng rng(97);
+  for (size_t n : {1u, 7u, 16u, 33u, 64u, 159u}) {
+    std::vector<double> a(n);
+    std::vector<double> b(n);
+    std::vector<double> y0(n);
+    std::vector<double> y1(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = rng.Normal(0.0, 2.0);
+      b[i] = rng.Normal(0.0, 2.0);
+      y0[i] = rng.Normal(0.0, 1.0);
+      y1[i] = y0[i];
+    }
+    double scalar_dot;
+    double scalar_norm;
+    {
+      ScopedIsa pin(IsaLevel::kScalar);
+      scalar_dot = simd::DotProduct(a, b);
+      scalar_norm = simd::SquaredNorm(a);
+      simd::Axpy(0.75, a, y0);
+    }
+    {
+      ScopedIsa pin(IsaLevel::kAvx2Fma);
+      const double rel = FusedRelativeError(n);
+      double scale = 0.0;
+      for (size_t i = 0; i < n; ++i) scale += std::abs(a[i] * b[i]);
+      EXPECT_NEAR(simd::DotProduct(a, b), scalar_dot, rel * (scale + 1.0));
+      EXPECT_NEAR(simd::SquaredNorm(a), scalar_norm,
+                  rel * (scalar_norm + 1.0));
+      simd::Axpy(0.75, a, y1);
+      for (size_t i = 0; i < n; ++i) {
+        // Per-lane: one FMA rounding vs multiply-then-add — at most a
+        // few ulps apart.
+        EXPECT_NEAR(y1[i], y0[i],
+                    8.0 * std::numeric_limits<double>::epsilon() *
+                        (std::abs(y0[i]) + std::abs(0.75 * a[i])))
+            << "n=" << n << " lane " << i;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, RepeatedCallsAreDeterministic) {
+  common::Rng rng(101);
+  std::vector<double> a(159);
+  std::vector<double> b(159);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.Normal(0.0, 2.0);
+    b[i] = rng.Normal(0.0, 2.0);
+  }
+  const double first = simd::DotProduct(a, b);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(simd::DotProduct(a, b), first);
+}
+
+/// Engine-level ISA independence: identical Clusterings whichever
+/// kernel set the screens run on.
+TEST(SimdKernelsTest, KMeansResultsIndependentOfDispatchedIsa) {
+  if (!simd::internal::Avx2Available()) {
+    GTEST_SKIP() << "AVX2+FMA not available in this build/CPU";
+  }
+  test::Blobs blobs = test::MakeBlobs({{0.0, 0.0, 0.0, 0.0},
+                                       {6.0, 0.0, 0.0, 0.0},
+                                       {0.0, 6.0, 0.0, 0.0},
+                                       {0.0, 0.0, 6.0, 0.0},
+                                       {3.0, 3.0, 3.0, 3.0}},
+                                      60, 1.5, 103);
+  KMeansOptions options;
+  options.k = 5;
+  options.seed = 103;
+
+  Clustering scalar_run;
+  {
+    ScopedIsa pin(IsaLevel::kScalar);
+    auto run = cluster::RunKMeans(blobs.points, options);
+    ASSERT_TRUE(run.ok());
+    scalar_run = *std::move(run);
+  }
+  Clustering avx_run;
+  {
+    ScopedIsa pin(IsaLevel::kAvx2Fma);
+    auto run = cluster::RunKMeans(blobs.points, options);
+    ASSERT_TRUE(run.ok());
+    avx_run = *std::move(run);
+  }
+  EXPECT_EQ(scalar_run.assignments, avx_run.assignments);
+  EXPECT_EQ(scalar_run.sse, avx_run.sse);
+  EXPECT_EQ(scalar_run.iterations, avx_run.iterations);
+  for (size_t c = 0; c < scalar_run.centroids.rows(); ++c) {
+    for (size_t d = 0; d < scalar_run.centroids.cols(); ++d) {
+      EXPECT_EQ(scalar_run.centroids.At(c, d), avx_run.centroids.At(c, d));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace transform
+}  // namespace adahealth

@@ -86,6 +86,37 @@ TEST(VsmTest, SparseMatchesDenseForAllConfigs) {
   }
 }
 
+TEST(VsmTest, BuildVsmAutoPicksRepresentationByDensity) {
+  dataset::ExamLog log = MakeLog();
+  // MakeLog's VSM is small and fairly dense; a permissive threshold
+  // keeps it sparse, a zero threshold forces densification. Either way
+  // the cells are the ones BuildVsm produces.
+  Matrix dense = BuildVsm(log);
+
+  VsmBuild sparse_pick = BuildVsmAuto(log, VsmOptions(), 1.0);
+  EXPECT_TRUE(sparse_pick.is_sparse);
+  EXPECT_GT(sparse_pick.density, 0.0);
+  EXPECT_EQ(sparse_pick.dense.rows(), 0u);
+  Matrix densified = sparse_pick.sparse.ToDense();
+  ASSERT_EQ(densified.rows(), dense.rows());
+  for (size_t r = 0; r < dense.rows(); ++r) {
+    for (size_t c = 0; c < dense.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(densified.At(r, c), dense.At(r, c));
+    }
+  }
+
+  VsmBuild dense_pick = BuildVsmAuto(log, VsmOptions(), 0.0);
+  EXPECT_FALSE(dense_pick.is_sparse);
+  EXPECT_EQ(dense_pick.sparse.rows(), 0u);
+  EXPECT_EQ(dense_pick.density, sparse_pick.density);
+  ASSERT_EQ(dense_pick.dense.rows(), dense.rows());
+  for (size_t r = 0; r < dense.rows(); ++r) {
+    for (size_t c = 0; c < dense.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(dense_pick.dense.At(r, c), dense.At(r, c));
+    }
+  }
+}
+
 TEST(VsmTest, PatientWithoutRecordsIsZeroRow) {
   std::vector<dataset::Patient> patients{{0, 50, -1}, {1, 60, -1}};
   dataset::ExamDictionary dictionary;

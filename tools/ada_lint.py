@@ -51,6 +51,14 @@ Rules
                     ServerSocket / LineReader and move bytes through
                     SendAll / ConnectLoopback / SetRecvTimeout, so no
                     error path can leak or double-close an fd.
+  simd-intrinsics   x86 vector intrinsics — the <immintrin.h> include
+                    family, _mm*/_mm256*/_mm512* calls and __m128/__m256/
+                    __m512 vector types — are allowed only in
+                    src/transform/simd_kernels.h/.cc. Everything else
+                    calls the runtime-dispatched simd:: wrappers, so the
+                    scalar fallback always exists, ADA_SIMD=OFF builds
+                    stay complete, and one grep audits the entire
+                    unsafe-ISA surface.
   raw-mutex         std::mutex / std::lock_guard / std::unique_lock /
                     std::condition_variable (and their scoped/shared/
                     timed variants, plus the <mutex>,
@@ -102,6 +110,10 @@ RAW_MUTEX_RE = re.compile(
     r"scoped_lock|shared_lock|condition_variable_any|condition_variable)\b")
 MUTEX_INCLUDE_RE = re.compile(
     r"#\s*include\s*<(mutex|condition_variable|shared_mutex)>")
+SIMD_INCLUDE_RE = re.compile(
+    r"#\s*include\s*<((imm|x86|xmm|emm|pmm|tmm|smm|nmm|wmm|avx[\w]*)intrin"
+    r"\.h)>")
+SIMD_TOKEN_RE = re.compile(r"\b(_mm(256|512)?_\w+|__m(128|256|512)[di]?)\b")
 
 BLOCK_COMMENT_OPEN_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
 
@@ -211,6 +223,9 @@ def lint_file(path, rel_path):
         os.path.join("src", "service", "net_"))
     is_sync = rel_path in (os.path.join("src", "common", "sync.h"),
                            os.path.join("src", "common", "sync.cc"))
+    is_simd_kernel = rel_path in (
+        os.path.join("src", "transform", "simd_kernels.h"),
+        os.path.join("src", "transform", "simd_kernels.cc"))
 
     code_lines = []
     in_block = False
@@ -308,6 +323,23 @@ def lint_file(path, rel_path):
                     rel_path, lineno, "raw-mutex",
                     f"#include <{m.group(1)}> outside common/sync; "
                     "include common/sync.h instead"))
+
+        # --- simd-intrinsics --------------------------------------------
+        if not is_simd_kernel:
+            m = SIMD_INCLUDE_RE.search(code)
+            if m and not allowed(lineno, "simd-intrinsics"):
+                findings.append(Finding(
+                    rel_path, lineno, "simd-intrinsics",
+                    f"#include <{m.group(1)}> outside "
+                    "transform/simd_kernels; call the dispatched simd:: "
+                    "wrappers instead"))
+            m = SIMD_TOKEN_RE.search(code)
+            if m and not allowed(lineno, "simd-intrinsics"):
+                findings.append(Finding(
+                    rel_path, lineno, "simd-intrinsics",
+                    f"intrinsic `{m.group(1)}` outside "
+                    "transform/simd_kernels; keep raw ISA code behind the "
+                    "runtime-dispatched simd:: wrappers"))
 
         # --- direct-random ----------------------------------------------
         if not is_rng:
