@@ -179,7 +179,26 @@ StatusOr<OptimizerResult> OptimizeClustering(
   }
   const transform::CsrMatrix* sparse = use_sparse ? &sparse_data : nullptr;
 
+  // Cross-run warm start: adopt the caller-provided centroids (a prior
+  // generation's solution) as the initial warm source. AdaptCentroids
+  // needs assignments aligned with THIS data, so the hint is
+  // re-assigned against it first — the persisted centroids may come
+  // from an earlier snapshot of a growing cohort.
+  cluster::Clustering warm_hint;
   const cluster::Clustering* warm_source = nullptr;
+  if (!options.warm_centroids.empty() &&
+      options.warm_centroids.cols() == data.cols() &&
+      options.warm_centroids.rows() >= 1 &&
+      options.warm_centroids.rows() <= data.rows()) {
+    warm_hint.k = static_cast<int32_t>(options.warm_centroids.rows());
+    warm_hint.centroids = options.warm_centroids;
+    warm_hint.sse = cluster::AssignToCentroids(data, warm_hint.centroids,
+                                               warm_hint.assignments);
+    warm_source = &warm_hint;
+    common::MetricsRegistry::Default()
+        .GetCounter("optimizer/warm_seeded_sweeps")
+        .Increment();
+  }
   common::WallTimer cluster_timer;
   for (size_t i = 0; i < num_candidates; ++i) {
     cluster_timer.Restart();

@@ -52,6 +52,19 @@ struct OptimizerOptions {
   /// parallelizes internally on ThreadPool::Shared() instead.
   size_t num_threads = 0;
   uint64_t seed = 29;
+  /// Cross-run warm start (the streaming cohort store's delta jobs):
+  /// when non-empty and its column count matches the data, these
+  /// centroids — typically the previous generation's selected solution
+  /// — are turned into the sweep's initial warm source, so the FIRST
+  /// candidate K already gets a warm-started run (adapted via
+  /// cluster::AdaptCentroids) on top of its k-means++ restarts, and
+  /// every later candidate chains from the best solution so far as
+  /// usual. A hint only: the independent restarts still run with their
+  /// cold seeds, so the kept best-SSE solution can never be worse than
+  /// a cold sweep's. Mismatched dimensions are ignored silently (the
+  /// cold path). The explicit {} keeps designated-init call sites
+  /// clean under -Wmissing-field-initializers.
+  transform::Matrix warm_centroids{};
 };
 
 /// Per-candidate measurements (one Table I row).

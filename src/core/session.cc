@@ -408,8 +408,18 @@ StatusOr<SessionResult> AnalysisSession::Run(const ExamLog& log,
   }
   const PartialMiningStep& selected =
       result.partial.steps[result.partial.selected_step];
-  ExamLog mining_log = log.FilterExamTypes(
-      transform::TopFractionExamsMask(log, selected.fraction));
+  const std::vector<bool> mining_mask =
+      transform::TopFractionExamsMask(log, selected.fraction);
+  ExamLog mining_log = log.FilterExamTypes(mining_mask);
+  // The original exam ids behind the VSM columns (FilterExamTypes
+  // rebuilds a dense dictionary in kept order, so column j of the VSM
+  // is the j-th true bit of the mask). The cohort store persists these
+  // with the selected centroids for next generation's warm hint.
+  for (size_t e = 0; e < mining_mask.size(); ++e) {
+    if (mining_mask[e]) {
+      result.mining_exam_types.push_back(static_cast<int32_t>(e));
+    }
+  }
 
   // Record the transformed dataset in the K-DB (collection 2).
   {
@@ -432,9 +442,25 @@ StatusOr<SessionResult> AnalysisSession::Run(const ExamLog& log,
   // 4. Algorithm optimization on the selected subset (Table I).
   // Essential: knowledge extraction needs the chosen clustering.
   transform::Matrix vsm = BuildVsm(mining_log, result.transform.best());
+  // Warm-start identity gate: the prior generation's centroids are
+  // adopted only when they provably mean the same thing this run —
+  // partial mining selected the same original exam types and the
+  // widths agree. Anything else (new exams changed the selection, a
+  // different fraction won) silently runs the cold sweep; the hint is
+  // never applied blind.
+  OptimizerOptions optimizer_options = options.optimizer;
+  if (!options.warm.centroids.empty() &&
+      options.warm.exam_types == result.mining_exam_types &&
+      options.warm.centroids.cols() == vsm.cols()) {
+    optimizer_options.warm_centroids = options.warm.centroids;
+    optimizer_options.restarts = std::max(1, options.warm.restarts);
+    common::MetricsRegistry::Default()
+        .GetCounter("session/warm_hints_applied")
+        .Increment();
+  }
   ADA_RETURN_IF_ERROR(stages.Run(
       "optimizer", /*essential=*/true, "session/optimize_seconds", [&] {
-        auto optimized = OptimizeClustering(vsm, options.optimizer);
+        auto optimized = OptimizeClustering(vsm, optimizer_options);
         if (!optimized.ok()) return optimized.status();
         result.optimizer = std::move(optimized).value();
         return common::OkStatus();

@@ -74,6 +74,36 @@ struct ResilienceOptions {
   std::map<std::string, double> stage_budget_seconds;
 };
 
+/// Cross-run warm-start hint for stage 4 (the streaming cohort
+/// store's delta re-analysis): the previous generation's selected
+/// centroids plus the metadata needed to prove they still mean what
+/// they meant. The hint is applied only when `exam_types` equals the
+/// exam types partial mining selects THIS run and the centroid width
+/// matches the VSM — otherwise the session silently runs cold. Because
+/// the optimizer's independent restarts still run with their cold
+/// seeds, a hinted run's report is byte-identical to a cold run
+/// whenever the same configurations win; the hint can only speed up or
+/// improve the sweep, never change what a worse solution would have
+/// produced. Deliberately excluded from SessionOptionsSignature (see
+/// service/fingerprint.cc): delta and cold submissions of the same
+/// accumulated data share one fingerprint.
+struct WarmStartOptions {
+  /// Prior generation's selected centroids, in mining-VSM space.
+  /// Empty = no hint (the default, always-cold path).
+  transform::Matrix centroids{};
+  /// Original exam-type ids (pre-FilterExamTypes dictionary indices)
+  /// the centroid columns correspond to, in column order.
+  std::vector<int32_t> exam_types;
+  /// Prior generation's selected K (stored for diagnostics; the sweep
+  /// re-evaluates every candidate regardless).
+  int32_t best_k = 0;
+  /// Restart count used when the hint applies (replacing
+  /// OptimizerOptions::restarts): the warm run replaces most of the
+  /// cold restarts' work, so delta jobs keep one independent restart
+  /// by default. Ignored on the cold path.
+  int32_t restarts = 1;
+};
+
 struct SessionOptions {
   /// Identifier under which artifacts are stored in the K-DB.
   std::string dataset_id = "dataset";
@@ -92,6 +122,7 @@ struct SessionOptions {
   /// to this directory (atomic per-collection writes, retried).
   std::string persist_directory;
   ResilienceOptions resilience;
+  WarmStartOptions warm;
 };
 
 struct SessionResult {
@@ -101,6 +132,12 @@ struct SessionResult {
   OptimizerResult optimizer;
   /// All extracted knowledge items, ranked.
   std::vector<KnowledgeItem> knowledge;
+  /// Original exam-type ids (indices into the input log's dictionary)
+  /// that partial mining selected for the VSM, in column order — the
+  /// column meaning of result.optimizer centroids. The cohort store
+  /// persists these next to the centroids so a later generation can
+  /// verify a warm hint still lines up (SessionOptions::warm).
+  std::vector<int32_t> mining_exam_types;
   /// One outcome per executed stage, in pipeline order.
   std::vector<StageOutcome> stages;
   /// Multi-line human-readable run summary (includes a resilience

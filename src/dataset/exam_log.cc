@@ -81,6 +81,40 @@ StatusOr<ExamLog> ExamLog::FromCsv(const std::string& csv_text) {
                  std::move(records));
 }
 
+Status ExamLog::Append(const std::vector<RawExamRecord>& rows) {
+  for (const RawExamRecord& row : rows) {
+    if (row.patient < 0) {
+      return InvalidArgumentError("negative patient id in appended records");
+    }
+    if (row.exam_type.empty()) {
+      return InvalidArgumentError("empty exam-type name in appended records");
+    }
+  }
+  PatientId max_patient =
+      patients_.empty() ? -1
+                        : static_cast<PatientId>(patients_.size() - 1);
+  records_.reserve(records_.size() + rows.size());
+  for (const RawExamRecord& row : rows) {
+    ExamRecord record;
+    record.patient = row.patient;
+    record.exam_type = dictionary_.Intern(row.exam_type);
+    record.day = row.day;
+    max_patient = std::max(max_patient, record.patient);
+    records_.push_back(record);
+  }
+  // Densify the patient table up to the highest id seen, with the same
+  // unknown age/profile placeholders FromCsv materializes.
+  for (PatientId id = static_cast<PatientId>(patients_.size());
+       id <= max_patient; ++id) {
+    Patient patient;
+    patient.id = id;
+    patient.age = 0;
+    patient.profile = Patient::kUnknownProfile;
+    patients_.push_back(patient);
+  }
+  return common::OkStatus();
+}
+
 StatusOr<ExamLog> ExamLog::Load(const std::string& path) {
   auto text = common::ReadFileToString(path);
   if (!text.ok()) return text.status();

@@ -14,6 +14,14 @@
 namespace adahealth {
 namespace dataset {
 
+/// One not-yet-interned record as it arrives from an ingestion source:
+/// the exam type is still a name, not a dictionary id.
+struct RawExamRecord {
+  PatientId patient = 0;
+  std::string exam_type;
+  int32_t day = 0;
+};
+
 /// In-memory examination log: patients, exam-type dictionary, and the
 /// flat record table. Invariants (enforced by the builders/loaders):
 /// every record references an existing patient and exam type, and
@@ -31,6 +39,16 @@ class ExamLog {
 
   /// Loads FromCsv from a file on disk.
   [[nodiscard]] static common::StatusOr<ExamLog> Load(const std::string& path);
+
+  /// Appends raw records in arrival order, interning new exam-type
+  /// names and materializing new patients (ages/profiles unknown)
+  /// exactly as FromCsv would have: appending batches B1..Bn to an
+  /// empty log yields the same log as one FromCsv over their
+  /// concatenation — the streaming-ingestion invariant the cohort
+  /// store's delta-vs-cold identity rests on. Validates before
+  /// mutating: a rejected batch (negative patient id, empty exam
+  /// name) leaves the log untouched.
+  [[nodiscard]] common::Status Append(const std::vector<RawExamRecord>& rows);
 
   /// Serializes the record table to CSV (inverse of FromCsv).
   std::string ToCsv() const;

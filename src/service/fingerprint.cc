@@ -52,6 +52,13 @@ Fnv1a& Fnv1a::MixDouble(double value) {
 }
 
 std::string SessionOptionsSignature(const core::SessionOptions& options) {
+  // SessionOptions::warm is deliberately NOT part of the signature:
+  // the session's identity gate guarantees a warm hint can only change
+  // which (equivalent-or-better) solution the sweep converges to, and
+  // the delta-vs-cold tests pin report byte-identity on the scenarios
+  // the cohort store serves — so a delta job and a cold job over the
+  // same accumulated data must share one fingerprint, letting the
+  // result cache dedup them.
   std::string out;
   out += "dataset_id=" + options.dataset_id + ";";
 

@@ -228,6 +228,11 @@ StatusOr<JobRequest> BuildJobRequest(const Json& body) {
                          ReadBool(body, "use_taxonomy", true));
     if (use_taxonomy) request.taxonomy = std::move(cohort.taxonomy);
   }
+  ADA_RETURN_IF_ERROR(ApplyJobOptionsFromBody(body, request));
+  return request;
+}
+
+Status ApplyJobOptionsFromBody(const Json& body, JobRequest& request) {
   ADA_ASSIGN_OR_RETURN(
       request.options.dataset_id,
       ReadString(body, "dataset_id", request.options.dataset_id));
@@ -239,7 +244,33 @@ StatusOr<JobRequest> BuildJobRequest(const Json& body) {
   request.priority = static_cast<int32_t>(priority);
   ADA_ASSIGN_OR_RETURN(request.deadline_millis,
                        ReadDouble(body, "deadline_millis", 0.0));
-  return request;
+  return common::OkStatus();
+}
+
+StatusOr<std::vector<dataset::RawExamRecord>> ParseIngestRecords(
+    const Json& body) {
+  const Json* records = body.Find("records");
+  if (records == nullptr || !records->is_array() ||
+      records->AsArray().empty()) {
+    return common::InvalidArgumentError(
+        "ingest requires a non-empty 'records' array");
+  }
+  std::vector<dataset::RawExamRecord> rows;
+  rows.reserve(records->AsArray().size());
+  for (const Json& record : records->AsArray()) {
+    if (!record.is_object()) {
+      return common::InvalidArgumentError(
+          "each ingest record must be an object");
+    }
+    dataset::RawExamRecord row;
+    ADA_ASSIGN_OR_RETURN(int64_t patient, ReadInt(record, "patient", -1));
+    row.patient = static_cast<dataset::PatientId>(patient);
+    ADA_ASSIGN_OR_RETURN(row.exam_type, ReadString(record, "exam_type", ""));
+    ADA_ASSIGN_OR_RETURN(int64_t day, ReadInt(record, "day", 0));
+    row.day = static_cast<int32_t>(day);
+    rows.push_back(std::move(row));
+  }
+  return rows;
 }
 
 Json::Object SnapshotFields(const JobSnapshot& snapshot,

@@ -13,18 +13,27 @@
 //   <- {"ok":false,"error":{"code":"NOT_FOUND","message":"no job..."}}
 //
 // Verbs: submit, status, result, cancel, stats, ping, health,
-// shutdown — plus the cluster-internal promote and replicate verbs
-// (see service/replication.h and service/router.h).
-// Datasets are submitted either inline as CSV ("csv") or as a synthetic
+// shutdown, ingest — plus the cluster-internal promote and replicate
+// verbs (see service/replication.h and service/router.h).
+// Datasets are submitted either inline as CSV ("csv"), as a synthetic
 // cohort spec ("synthetic") evaluated server-side — the latter keeps
-// demo and smoke-test payloads tiny.
+// demo and smoke-test payloads tiny — or, for streaming cohorts, by
+// naming an ingested "cohort" (service/cohort_store.h):
+//
+//   -> {"verb":"ingest","cohort":"icu","records":[
+//        {"patient":0,"exam_type":"glucose","day":3}, ...]}
+//   <- {"ok":true,"cohort":"icu","generation":2,"total_records":128}
+//   -> {"verb":"submit","cohort":"icu"}
+//   <- {"ok":true,"job_id":7,"fingerprint":"icu@2/9f..."}
 #ifndef ADAHEALTH_SERVICE_PROTOCOL_H_
 #define ADAHEALTH_SERVICE_PROTOCOL_H_
 
 #include <string>
+#include <vector>
 
 #include "common/json.h"
 #include "common/status.h"
+#include "dataset/exam_log.h"
 #include "service/scheduler.h"
 
 namespace adahealth {
@@ -69,6 +78,22 @@ struct Request {
 /// max_selected_items, restarts).
 [[nodiscard]] common::StatusOr<JobRequest> BuildJobRequest(
     const common::Json& body);
+
+/// Applies the dataset-independent submit knobs (dataset_id, "options"
+/// object, priority, deadline_millis) from `body` onto `request`.
+/// BuildJobRequest calls this after materializing the dataset; the
+/// server reuses it for cohort submissions, whose dataset comes from
+/// the CohortStore instead of the request body.
+[[nodiscard]] common::Status ApplyJobOptionsFromBody(const common::Json& body,
+                                                     JobRequest& request);
+
+/// Parses an ingest-request "records" array (objects with integer
+/// "patient", string "exam_type", optional integer "day") into raw
+/// records. INVALID_ARGUMENT on a missing/empty array or malformed
+/// rows; record-level validation (negative ids, empty names) is the
+/// CohortStore's.
+[[nodiscard]] common::StatusOr<std::vector<dataset::RawExamRecord>>
+ParseIngestRecords(const common::Json& body);
 
 /// Renders a job snapshot as the wire fields shared by the status and
 /// result verbs. `include_artifacts` adds summary/report (the result

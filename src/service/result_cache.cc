@@ -20,7 +20,7 @@ constexpr const char* kCacheCollection = "result_cache";
 
 size_t CachedAnalysis::ByteSize() const {
   return sizeof(CachedAnalysis) + fingerprint.size() + dataset_id.size() +
-         summary.size() + report.size();
+         summary.size() + report.size() + cohort.size();
 }
 
 Json CachedAnalysis::ToJson() const {
@@ -30,6 +30,10 @@ Json CachedAnalysis::ToJson() const {
   object["summary"] = Json(summary);
   object["report"] = Json(report);
   object["knowledge_items"] = Json(knowledge_items);
+  if (!cohort.empty()) {
+    object["cohort"] = Json(cohort);
+    object["generation"] = Json(generation);
+  }
   return Json(std::move(object));
 }
 
@@ -61,6 +65,16 @@ StatusOr<CachedAnalysis> CachedAnalysis::FromJson(const Json& json) {
   if (const Json* field = json.Find("knowledge_items");
       field != nullptr && field->is_int()) {
     entry.knowledge_items = field->AsInt();
+  }
+  // Tolerant: entries persisted before cohort versioning have neither
+  // field and restore as unversioned.
+  if (const Json* field = json.Find("cohort");
+      field != nullptr && field->is_string()) {
+    entry.cohort = field->AsString();
+  }
+  if (const Json* field = json.Find("generation");
+      field != nullptr && field->is_int()) {
+    entry.generation = field->AsInt();
   }
   return entry;
 }
@@ -94,6 +108,43 @@ void ResultCache::Insert(CachedAnalysis entry) {
     bytes_ -= it->second->ByteSize();
     lru_.erase(it->second);
     index_.erase(it);
+  }
+  if (!entry.cohort.empty()) {
+    // One consistent snapshot per cohort: drop every older cached
+    // generation, and drop the entry itself when a newer one already
+    // arrived (replication replay may deliver generations out of
+    // order). Same-generation re-inserts refresh normally.
+    bool stale = false;
+    for (auto victim = lru_.begin(); victim != lru_.end();) {
+      if (victim->cohort != entry.cohort) {
+        ++victim;
+        continue;
+      }
+      if (victim->generation > entry.generation) {
+        stale = true;
+        ++victim;
+        continue;
+      }
+      if (victim->generation == entry.generation) {
+        ++victim;
+        continue;
+      }
+      bytes_ -= victim->ByteSize();
+      index_.erase(victim->fingerprint);
+      victim = lru_.erase(victim);
+      ++superseded_;
+      common::MetricsRegistry::Default()
+          .GetCounter("service/cache_superseded")
+          .Increment();
+    }
+    if (stale) {
+      ++superseded_;
+      common::MetricsRegistry::Default()
+          .GetCounter("service/cache_superseded")
+          .Increment();
+      TouchMetricsLocked();
+      return;
+    }
   }
   size_t entry_bytes = entry.ByteSize();
   if (entry_bytes > max_bytes_) {
@@ -139,6 +190,11 @@ int64_t ResultCache::misses() const {
 int64_t ResultCache::evictions() const {
   common::MutexLock lock(&mutex_);
   return evictions_;
+}
+
+int64_t ResultCache::superseded() const {
+  common::MutexLock lock(&mutex_);
+  return superseded_;
 }
 
 size_t ResultCache::dirty_entries() const {

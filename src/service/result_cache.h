@@ -36,6 +36,13 @@ struct CachedAnalysis {
   /// run with the same (log, options) would render.
   std::string report;
   int64_t knowledge_items = 0;
+  /// Streaming-cohort versioning (service/cohort_store.h): non-empty
+  /// `cohort` marks this entry as one generation of a named cohort.
+  /// Insert() then supersedes the cohort's older generations (and
+  /// drops the entry itself when a newer generation is already cached,
+  /// which replication replay can deliver out of order).
+  std::string cohort;
+  int64_t generation = 0;
 
   /// Approximate in-memory footprint, used against the byte budget.
   [[nodiscard]] size_t ByteSize() const;
@@ -66,7 +73,11 @@ class ResultCache {
       const std::string& fingerprint) ADA_EXCLUDES(mutex_);
 
   /// Inserts (or refreshes) an entry, then evicts least-recently-used
-  /// entries until the byte budget holds.
+  /// entries until the byte budget holds. A cohort-versioned entry
+  /// additionally evicts every cached older generation of its cohort
+  /// exactly once ("service/cache_superseded" counter) — the cache
+  /// serves only the latest consistent snapshot — and is itself dropped
+  /// when a newer generation is already cached.
   void Insert(CachedAnalysis entry) ADA_EXCLUDES(mutex_);
 
   /// Drops every entry (counters are not reset).
@@ -78,6 +89,8 @@ class ResultCache {
   [[nodiscard]] int64_t hits() const ADA_EXCLUDES(mutex_);
   [[nodiscard]] int64_t misses() const ADA_EXCLUDES(mutex_);
   [[nodiscard]] int64_t evictions() const ADA_EXCLUDES(mutex_);
+  /// Cohort generations evicted (or rejected) by a newer generation.
+  [[nodiscard]] int64_t superseded() const ADA_EXCLUDES(mutex_);
 
   /// Inserts not yet covered by a successful Persist(). Lets callers
   /// batch persistence (full rewrites are O(all entries)) instead of
@@ -123,6 +136,7 @@ class ResultCache {
   int64_t hits_ ADA_GUARDED_BY(mutex_) = 0;
   int64_t misses_ ADA_GUARDED_BY(mutex_) = 0;
   int64_t evictions_ ADA_GUARDED_BY(mutex_) = 0;
+  int64_t superseded_ ADA_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace service

@@ -63,6 +63,23 @@ Json::Object JobIdExtra(JobId global_id) {
   return extra;
 }
 
+/// Ring key for cohort-affine verbs (ingest, cohort submits): every
+/// request naming the same cohort must land on the same shard, since
+/// that shard holds the cohort's accumulated records.
+std::string CohortRoutingKey(const std::string& cohort) {
+  return "cohort/" + cohort;
+}
+
+/// The "cohort" field of an ingest/cohort-submit body, or an error.
+StatusOr<std::string> ReadCohortField(const Json& body) {
+  const Json* field = body.Find("cohort");
+  if (field == nullptr || !field->is_string() || field->AsString().empty()) {
+    return common::InvalidArgumentError(
+        "request must carry a non-empty string 'cohort'");
+  }
+  return field->AsString();
+}
+
 }  // namespace
 
 Router::Router(RouterOptions options) : options_(std::move(options)) {}
@@ -255,6 +272,7 @@ std::string Router::HandleLine(ClientConn* conn, const std::string& line) {
   if (!request.ok()) return ErrorResponse(request.status());
   const std::string& verb = request.value().verb;
   if (verb == "submit") return HandleSubmit(conn, request.value().body, line);
+  if (verb == "ingest") return HandleIngest(conn, request.value().body, line);
   if (verb == "status" || verb == "result" || verb == "cancel") {
     return HandleJobVerb(conn, request.value().body);
   }
@@ -308,13 +326,24 @@ StatusOr<std::string> Router::ForwardRaw(ClientConn* conn, uint16_t port,
 
 std::string Router::HandleSubmit(ClientConn* conn, const Json& body,
                                  const std::string& line) {
-  // Validate and fingerprint with the exact code the shard will run on
-  // the forwarded line, so router and shard agree on the key byte for
-  // byte (the invariant the whole routing scheme rests on).
-  auto job_request = BuildJobRequest(body);
-  if (!job_request.ok()) return ErrorResponse(job_request.status());
-  const std::string fingerprint = DatasetFingerprint(
-      job_request.value().log, job_request.value().options);
+  std::string fingerprint;
+  if (body.Find("cohort") != nullptr) {
+    // Cohort submits route on the cohort name: the routing key must
+    // match the one the cohort's ingest batches used, and only the
+    // owning shard can materialize the dataset anyway. The shard
+    // validates the rest of the body.
+    auto cohort = ReadCohortField(body);
+    if (!cohort.ok()) return ErrorResponse(cohort.status());
+    fingerprint = CohortRoutingKey(cohort.value());
+  } else {
+    // Validate and fingerprint with the exact code the shard will run
+    // on the forwarded line, so router and shard agree on the key byte
+    // for byte (the invariant the whole routing scheme rests on).
+    auto job_request = BuildJobRequest(body);
+    if (!job_request.ok()) return ErrorResponse(job_request.status());
+    fingerprint = DatasetFingerprint(job_request.value().log,
+                                     job_request.value().options);
+  }
   const std::string forward_line = line + "\n";
   Status last_failure = common::UnavailableError("no forward attempted");
   const int attempts = std::max(1, options_.max_forward_attempts);
@@ -371,6 +400,45 @@ std::string Router::HandleSubmit(ClientConn* conn, const Json& body,
     parsed.value().MutableObject()["job_id"] =
         Json(static_cast<int64_t>(global_id));
     return parsed.value().Dump() + "\n";
+  }
+  return ErrorResponse(common::UnavailableError(common::StrFormat(
+      "shard unavailable after %d attempts: %s", attempts,
+      last_failure.ToString().c_str())));
+}
+
+std::string Router::HandleIngest(ClientConn* conn, const Json& body,
+                                 const std::string& line) {
+  auto cohort = ReadCohortField(body);
+  if (!cohort.ok()) return ErrorResponse(cohort.status());
+  const std::string key = CohortRoutingKey(cohort.value());
+  const std::string forward_line = line + "\n";
+  Status last_failure = common::UnavailableError("no forward attempted");
+  const int attempts = std::max(1, options_.max_forward_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    size_t shard = 0;
+    uint16_t port = 0;
+    uint64_t generation = 0;
+    {
+      MutexLock lock(&mutex_);
+      shard = ShardForLocked(key);
+      if (shard >= shards_.size()) {
+        return ErrorResponse(
+            common::UnavailableError("every shard is down"));
+      }
+      port = shards_[shard]->active_port;
+      generation = shards_[shard]->generation;
+    }
+    auto response = ForwardRaw(conn, port, forward_line,
+                               options_.upstream_recv_timeout_millis);
+    if (!response.ok()) {
+      last_failure = response.status();
+      if (stopping_.load()) break;
+      HandleShardFailure(shard, generation);
+      continue;
+    }
+    // Pass through verbatim: ingest responses carry no job id to
+    // rewrite, and validation errors come straight from the owner.
+    return response.value() + "\n";
   }
   return ErrorResponse(common::UnavailableError(common::StrFormat(
       "shard unavailable after %d attempts: %s", attempts,

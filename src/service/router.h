@@ -13,7 +13,15 @@
 // compute the identical fingerprint; the fingerprint picks a shard on
 // a consistent-hash ring (vnodes_per_shard virtual nodes per shard),
 // which keeps near-identical repeat cohorts — the workload the result
-// cache exists for — landing on the same shard's cache slice. The
+// cache exists for — landing on the same shard's cache slice.
+// Streaming-cohort traffic (the `ingest` verb and cohort submits)
+// routes on the cohort *name* instead ("cohort/<name>" on the same
+// ring): a cohort's accumulated records live on exactly one shard, so
+// every ingest batch and every delta job lands where the data is.
+// Cohort records are not replicated across shards — a shard death
+// loses its cohorts' in-flight generations unless the shard persisted
+// them to its cohort directory (an explicit non-goal here; see
+// DESIGN.md). The
 // router speaks the same NDJSON protocol to clients as a single shard
 // does: job ids are rewritten (global ↔ shard-local) in both
 // directions and everything else passes through verbatim, so
@@ -196,6 +204,12 @@ class Router {
   [[nodiscard]] std::string HandleLine(ClientConn* conn,
                                        const std::string& line);
   [[nodiscard]] std::string HandleSubmit(ClientConn* conn,
+                                         const common::Json& body,
+                                         const std::string& line);
+  /// ingest: forwarded verbatim to the shard that owns the cohort
+  /// ("cohort/<name>" on the ring); the shard's response passes
+  /// through untouched (ingest responses carry no job id).
+  [[nodiscard]] std::string HandleIngest(ClientConn* conn,
                                          const common::Json& body,
                                          const std::string& line);
   /// status/result/cancel: the body (verb included) is forwarded with

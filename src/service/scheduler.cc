@@ -147,17 +147,57 @@ StatusOr<JobId> Scheduler::Submit(JobRequest request) {
   // Fingerprinting is O(records) and lock-free; done before admission
   // so the snapshot carries the cache key from the moment of submit.
   std::string fingerprint = DatasetFingerprint(request.log, request.options);
+  if (!request.cohort.empty()) {
+    // Versioned fingerprint: the cohort's generation is part of the
+    // cache key, so each ingest-advanced snapshot gets its own entry
+    // and the result cache can supersede older generations.
+    fingerprint = common::StrFormat(
+        "%s@%lld/%s", request.cohort.c_str(),
+        static_cast<long long>(request.cohort_generation),
+        fingerprint.c_str());
+  }
 
+  std::vector<Notification> notifications;
   common::MutexLock lock(&mutex_);
   if (draining_) {
     return common::FailedPreconditionError("scheduler is shutting down");
   }
+  if (!request.cohort.empty()) {
+    // A newer generation makes queued jobs over older snapshots of the
+    // same cohort pointless: cancel them now (freeing queue room) so a
+    // waiter on a stale job resolves with a stale-generation status
+    // instead of burning a worker on an answer nobody should read.
+    std::vector<JobId> superseded;
+    for (const PendingKey& key : pending_) {
+      const Job& queued = *jobs_.at(key.second);
+      if (queued.request.cohort == request.cohort &&
+          queued.request.cohort_generation < request.cohort_generation) {
+        superseded.push_back(key.second);
+      }
+    }
+    for (JobId stale : superseded) {
+      Job& queued = *jobs_.at(stale);
+      pending_.erase(
+          PendingKey(-static_cast<int64_t>(queued.request.priority), stale));
+      ++stats_.superseded;
+      metrics.GetCounter("service/jobs_superseded").Increment();
+      FinishJob(queued, JobState::kCancelled,
+                common::FailedPreconditionError(common::StrFormat(
+                    "superseded by cohort '%s' generation %lld",
+                    request.cohort.c_str(),
+                    static_cast<long long>(request.cohort_generation))),
+                &notifications);
+    }
+  }
   if (pending_.size() >= options_.max_queue_depth) {
     ++stats_.shed;
     metrics.GetCounter("service/jobs_shed").Increment();
-    return common::ResourceExhaustedError(common::StrFormat(
+    common::Status shed = common::ResourceExhaustedError(common::StrFormat(
         "admission queue is full (%zu queued, bound %zu)", pending_.size(),
         options_.max_queue_depth));
+    lock.Unlock();
+    FireNotifications(notifications);  // Supersede-cancels still notify.
+    return shed;
   }
 
   JobId id = next_id_++;
@@ -176,10 +216,10 @@ StatusOr<JobId> Scheduler::Submit(JobRequest request) {
   ++stats_.submitted;
   metrics.GetCounter("service/jobs_submitted").Increment();
   UpdateGaugesLocked();
-  if (SpawnWorkersLocked()) {
-    lock.Unlock();
-    DrainLoop();
-  }
+  const bool drain_inline = SpawnWorkersLocked();
+  lock.Unlock();
+  FireNotifications(notifications);
+  if (drain_inline) DrainLoop();
   return id;
 }
 
@@ -323,6 +363,7 @@ Json Scheduler::StatsJson() const {
   object["jobs_completed"] = Json(stats.completed);
   object["jobs_failed"] = Json(stats.failed);
   object["jobs_cancelled"] = Json(stats.cancelled);
+  object["jobs_superseded"] = Json(stats.superseded);
   object["jobs_expired"] = Json(stats.expired);
   object["jobs_shed"] = Json(stats.shed);
   object["cache_served"] = Json(stats.cache_served);
@@ -336,6 +377,7 @@ Json Scheduler::StatsJson() const {
   cache["hits"] = Json(cache_.hits());
   cache["misses"] = Json(cache_.misses());
   cache["evictions"] = Json(cache_.evictions());
+  cache["superseded"] = Json(cache_.superseded());
   object["cache"] = Json(std::move(cache));
   return Json(std::move(object));
 }
@@ -464,7 +506,14 @@ void Scheduler::RunJob(Job& job) {
   entry.summary = result->summary;
   entry.report = report;
   entry.knowledge_items = static_cast<int64_t>(result->knowledge.size());
+  entry.cohort = job.request.cohort;
+  entry.generation = job.request.cohort_generation;
   CommitCacheEntry(std::move(entry), /*fire_hook=*/true);
+  if (!job.request.cohort.empty() && options_.on_session_success) {
+    // After the cache commit, so the warm state a delta job inherits
+    // never describes a result that was not also served/replicated.
+    options_.on_session_success(job.request, result.value());
+  }
 
   std::vector<Notification> notifications;
   {

@@ -83,6 +83,13 @@ struct JobRequest {
   /// Relative deadline: the job must *start* within this many
   /// milliseconds of admission or it is shed. <= 0 disables it.
   double deadline_millis = 0.0;
+  /// Streaming-cohort versioning (service/cohort_store.h). When
+  /// `cohort` is non-empty the scheduler versions the job's dataset
+  /// fingerprint as `<cohort>@<generation>/<hash>`, supersedes queued
+  /// jobs of the same cohort with older generations, and fires
+  /// SchedulerOptions::on_session_success after the result commits.
+  std::string cohort;
+  int64_t cohort_generation = 0;
 };
 
 /// Point-in-time copy of one job's externally visible state.
@@ -131,6 +138,14 @@ struct SchedulerOptions {
   /// LogShipper so every committed result streams to the follower.
   /// Runs on the worker thread that finished the job; must not block.
   std::function<void(const CachedAnalysis&)> on_result_committed;
+  /// Fired after a session run succeeds and its result is committed to
+  /// the cache, outside the scheduler lock, on the worker thread — the
+  /// cohort-store hook: the server wires this to
+  /// CohortStore::OnAnalysisCommitted so a finished cohort job's
+  /// centroids become the next generation's warm-start state. Not fired
+  /// for cache hits (no new session ran) or non-cohort jobs.
+  std::function<void(const JobRequest&, const core::SessionResult&)>
+      on_session_success;
 };
 
 /// Monotonic per-scheduler counters (the global metrics registry is
@@ -140,6 +155,7 @@ struct SchedulerStats {
   int64_t completed = 0;          // kDone, including cache hits.
   int64_t failed = 0;
   int64_t cancelled = 0;
+  int64_t superseded = 0;         // Stale cohort generations cancelled.
   int64_t expired = 0;            // Deadline shed at dequeue.
   int64_t shed = 0;               // Admission-time rejections.
   int64_t cache_served = 0;       // kDone answered by the cache.

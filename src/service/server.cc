@@ -40,6 +40,16 @@ double ReadWaitMillis(const Json& body) {
   return 0.0;
 }
 
+// Reads the required "cohort" field of an ingest/cohort-submit request.
+StatusOr<std::string> ReadCohortName(const Json& body) {
+  const Json* field = body.Find("cohort");
+  if (field == nullptr || !field->is_string() || field->AsString().empty()) {
+    return common::InvalidArgumentError(
+        "request must carry a non-empty string 'cohort'");
+  }
+  return field->AsString();
+}
+
 }  // namespace
 
 const char* ServerRoleName(ServerRole role) {
@@ -48,6 +58,7 @@ const char* ServerRoleName(ServerRole role) {
 
 AnalysisServer::AnalysisServer(ServerOptions options)
     : shipper_(MakeShipper(options)),
+      cohort_store_(MakeCohortStore(options)),
       scheduler_(std::move(options.scheduler)),
       requested_port_(options.port),
       max_connections_(std::max<size_t>(1, options.max_connections)),
@@ -73,6 +84,22 @@ std::unique_ptr<LogShipper> AnalysisServer::MakeShipper(
   options.scheduler.on_result_committed =
       [raw](const CachedAnalysis& entry) { raw->Enqueue(entry); };
   return shipper;
+}
+
+std::unique_ptr<CohortStore> AnalysisServer::MakeCohortStore(
+    ServerOptions& options) {
+  CohortStoreOptions store_options;
+  store_options.directory = options.cohort_directory;
+  auto store = std::make_unique<CohortStore>(std::move(store_options));
+  CohortStore* raw = store.get();
+  // Runs on scheduler workers; the store outlives the scheduler
+  // (declaration order), so the raw capture is safe.
+  options.scheduler.on_session_success =
+      [raw](const JobRequest& request, const core::SessionResult& result) {
+        raw->OnAnalysisCommitted(request.cohort, request.cohort_generation,
+                                 result);
+      };
+  return store;
 }
 
 AnalysisServer::~AnalysisServer() {
@@ -463,6 +490,43 @@ common::Json AnalysisServer::ReplicationFields() const {
   return Json(std::move(fields));
 }
 
+std::string AnalysisServer::DispatchIngest(const Json& body) {
+  auto cohort = ReadCohortName(body);
+  if (!cohort.ok()) return ErrorResponse(cohort.status());
+  auto rows = ParseIngestRecords(body);
+  if (!rows.ok()) return ErrorResponse(rows.status());
+  auto result = cohort_store_->Ingest(cohort.value(), rows.value());
+  if (!result.ok()) return ErrorResponse(result.status());
+  Json::Object fields;
+  fields["cohort"] = Json(cohort.value());
+  fields["generation"] = Json(result.value().generation);
+  fields["batch_records"] = Json(result.value().batch_records);
+  fields["total_records"] = Json(result.value().total_records);
+  fields["patients"] = Json(result.value().patients);
+  return OkResponse(std::move(fields));
+}
+
+std::string AnalysisServer::DispatchCohortSubmit(const Json& body) {
+  auto cohort = ReadCohortName(body);
+  if (!cohort.ok()) return ErrorResponse(cohort.status());
+  if (body.Find("csv") != nullptr || body.Find("synthetic") != nullptr) {
+    return ErrorResponse(common::InvalidArgumentError(
+        "submit takes exactly one of 'cohort', 'csv' or 'synthetic'"));
+  }
+  auto job_request = cohort_store_->BuildCohortJob(cohort.value());
+  if (!job_request.ok()) return ErrorResponse(job_request.status());
+  if (Status applied = ApplyJobOptionsFromBody(body, job_request.value());
+      !applied.ok()) {
+    return ErrorResponse(applied);
+  }
+  auto id = scheduler_.Submit(std::move(job_request).value());
+  if (!id.ok()) return ErrorResponse(id.status());
+  auto snapshot = scheduler_.Status(id.value());
+  if (!snapshot.ok()) return ErrorResponse(snapshot.status());
+  return OkResponse(SnapshotFields(snapshot.value(),
+                                   /*include_artifacts=*/false));
+}
+
 std::string AnalysisServer::Dispatch(const Request& request) {
   if (request.verb == "submit") {
     if (role_.load() == ServerRole::kFollower) {
@@ -473,6 +537,9 @@ std::string AnalysisServer::Dispatch(const Request& request) {
       return ErrorResponse(common::UnavailableError(
           "shard is a follower; not accepting jobs until promoted"));
     }
+    if (request.body.Find("cohort") != nullptr) {
+      return DispatchCohortSubmit(request.body);
+    }
     auto job_request = BuildJobRequest(request.body);
     if (!job_request.ok()) return ErrorResponse(job_request.status());
     auto id = scheduler_.Submit(std::move(job_request).value());
@@ -481,6 +548,15 @@ std::string AnalysisServer::Dispatch(const Request& request) {
     if (!snapshot.ok()) return ErrorResponse(snapshot.status());
     return OkResponse(SnapshotFields(snapshot.value(),
                                      /*include_artifacts=*/false));
+  }
+  if (request.verb == "ingest") {
+    if (role_.load() == ServerRole::kFollower) {
+      // Same contract as submit: followers serve no writes until
+      // promoted, and UNAVAILABLE tells the client to retry elsewhere.
+      return ErrorResponse(common::UnavailableError(
+          "shard is a follower; not accepting ingests until promoted"));
+    }
+    return DispatchIngest(request.body);
   }
   if (request.verb == "status") {
     auto id = ReadJobId(request.body);
@@ -528,6 +604,7 @@ std::string AnalysisServer::Dispatch(const Request& request) {
     server["idle_disconnects"] = Json(idle_disconnects_.load());
     server["role"] = Json(std::string(ServerRoleName(role_.load())));
     fields["server"] = Json(std::move(server));
+    fields["ingest"] = cohort_store_->StatsJson();
     if (shipper_ != nullptr) {
       fields["replication"] = ReplicationFields();
     }
@@ -559,6 +636,7 @@ std::string AnalysisServer::Dispatch(const Request& request) {
     fields["jobs_completed"] = Json(scheduler_stats.completed);
     fields["jobs_failed"] = Json(scheduler_stats.failed);
     fields["open_connections"] = Json(open_connections_.load());
+    fields["ingest"] = cohort_store_->StatsJson();
     if (shipper_ != nullptr) {
       fields["replication"] = ReplicationFields();
     }

@@ -37,6 +37,7 @@
 
 #include "common/status.h"
 #include "common/sync.h"
+#include "service/cohort_store.h"
 #include "service/connection.h"
 #include "service/event_loop.h"
 #include "service/net_socket.h"
@@ -83,6 +84,10 @@ struct ServerOptions {
   /// committed result to the follower NDJSON server on that loopback
   /// port (see service/replication.h).
   uint16_t replicate_to_port = 0;
+  /// Directory for the streaming cohort store's per-cohort files
+  /// (service/cohort_store.h). Empty = in-memory cohorts only: the
+  /// `ingest` verb works but nothing survives the process.
+  std::string cohort_directory;
   SchedulerOptions scheduler;
 };
 
@@ -120,6 +125,11 @@ class AnalysisServer {
   /// The replication shipper, or nullptr when replicate_to_port is 0.
   [[nodiscard]] LogShipper* shipper() { return shipper_.get(); }
 
+  /// The streaming cohort store backing the `ingest` verb and cohort
+  /// submissions (always constructed; in-memory when
+  /// ServerOptions::cohort_directory is empty).
+  [[nodiscard]] CohortStore& cohort_store() { return *cohort_store_; }
+
   /// Handles one already-parsed request and returns the serialized
   /// response line. Exposed so tests can drive the dispatch table
   /// without sockets; on this path the `result` verb blocks the
@@ -149,6 +159,17 @@ class AnalysisServer {
   [[nodiscard]] std::unique_ptr<LogShipper> MakeShipper(
       ServerOptions& options);
 
+  /// Builds the cohort store and wires the scheduler's
+  /// on_session_success hook to its OnAnalysisCommitted; runs in the
+  /// constructor's init list before scheduler_ exists (same pattern as
+  /// MakeShipper).
+  [[nodiscard]] std::unique_ptr<CohortStore> MakeCohortStore(
+      ServerOptions& options);
+
+  /// Dispatch helpers for the cohort verbs (see Dispatch).
+  [[nodiscard]] std::string DispatchIngest(const common::Json& body);
+  [[nodiscard]] std::string DispatchCohortSubmit(const common::Json& body);
+
   void LoopMain();
   void OnAcceptable();
   void OnConnectionEvent(int64_t id, uint32_t events);
@@ -175,12 +196,14 @@ class AnalysisServer {
   // connections_ before loop_ (Connection::~Connection unwatches);
   // scheduler_ first of all — its destructor waits out the workers, so
   // no completion callback can Post into the loop after the loop is
-  // gone; and shipper_ last of all — workers the scheduler is waiting
-  // out may still Enqueue into it via the on_result_committed hook.
-  // (~AnalysisServer additionally Stop()s the shipper before the
-  // scheduler dies: the ship thread's snapshot callback reads the
-  // scheduler's cache.)
+  // gone; shipper_ and cohort_store_ last of all — workers the
+  // scheduler is waiting out may still Enqueue into the shipper via
+  // on_result_committed and call into the cohort store via
+  // on_session_success. (~AnalysisServer additionally Stop()s the
+  // shipper before the scheduler dies: the ship thread's snapshot
+  // callback reads the scheduler's cache.)
   std::unique_ptr<LogShipper> shipper_;
+  std::unique_ptr<CohortStore> cohort_store_;
   EventLoop loop_;
   std::map<int64_t, ConnectionEntry> connections_;  // Loop thread only.
   Scheduler scheduler_;

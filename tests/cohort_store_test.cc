@@ -1,0 +1,748 @@
+// Streaming-cohort coverage: batch-atomic ingestion, incremental §2.1
+// descriptors cross-checked against a full recompute, crash-safe
+// persistence with torn-append salvage, the warm-start drift gate, the
+// scheduler's versioned fingerprints with stale-generation supersede,
+// cache supersede-exactly-once, the server's `ingest` verb — and the
+// subsystem's central invariant: a delta (warm-started) re-analysis
+// renders a byte-identical report to a cold run on the same data.
+#include <sys/stat.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "common/check.h"
+#include "common/json.h"
+#include "common/status.h"
+#include "common/sync.h"
+#include "core/report.h"
+#include "core/session.h"
+#include "dataset/exam_log.h"
+#include "dataset/synthetic_cohort.h"
+#include "kdb/database.h"
+#include "service/client.h"
+#include "service/cohort_store.h"
+#include "service/result_cache.h"
+#include "service/scheduler.h"
+#include "service/server.h"
+#include "stats/meta_features.h"
+#include "transform/matrix.h"
+
+namespace adahealth {
+namespace {
+
+using common::Json;
+using common::StatusCode;
+
+std::string MakeScratchDir(const std::string& name) {
+  std::string path = testing::TempDir() + "/cohort_" + name;
+  std::error_code ignored;
+  std::filesystem::remove_all(path, ignored);
+  ::mkdir(path.c_str(), 0755);
+  return path;
+}
+
+dataset::RawExamRecord Raw(int32_t patient, std::string exam_type,
+                           int32_t day) {
+  dataset::RawExamRecord row;
+  row.patient = patient;
+  row.exam_type = std::move(exam_type);
+  row.day = day;
+  return row;
+}
+
+/// The synthetic cohort's record table as an arrival-order raw batch.
+std::vector<dataset::RawExamRecord> ToRaw(const dataset::ExamLog& log) {
+  std::vector<dataset::RawExamRecord> rows;
+  rows.reserve(log.num_records());
+  for (const dataset::ExamRecord& record : log.records()) {
+    rows.push_back(
+        Raw(record.patient, log.dictionary().Name(record.exam_type),
+            record.day));
+  }
+  return rows;
+}
+
+dataset::ExamLog MakeSyntheticLog(uint64_t seed, int32_t patients = 120) {
+  dataset::CohortConfig config = dataset::TestScaleConfig();
+  config.num_patients = patients;
+  config.num_exam_types = 24;
+  config.num_profiles = 3;
+  config.seed = seed;
+  auto cohort = dataset::SyntheticCohortGenerator(config).Generate();
+  ADA_CHECK(cohort.ok());
+  return std::move(cohort).value().log;
+}
+
+core::SessionOptions FastOptions(const std::string& dataset_id) {
+  core::SessionOptions options;
+  options.dataset_id = dataset_id;
+  options.transform.sample_fraction = 0.4;
+  options.transform.proxy_k = 4;
+  options.partial.fractions = {0.5, 1.0};
+  options.partial.ks = {3};
+  options.partial.kmeans.max_iterations = 20;
+  options.optimizer.candidate_ks = {3, 4};
+  options.optimizer.cv_folds = 4;
+  options.optimizer.restarts = 1;
+  return options;
+}
+
+/// A successful analysis outcome with just the fields
+/// OnAnalysisCommitted persists: one winning candidate of `k`
+/// centroids over `dims` VSM columns.
+core::SessionResult FakeSuccess(int32_t k, size_t dims, double fill) {
+  core::SessionResult result;
+  core::CandidateEvaluation candidate;
+  candidate.k = k;
+  candidate.clustering.k = k;
+  candidate.clustering.centroids = transform::Matrix(
+      static_cast<size_t>(k), dims, fill);
+  result.optimizer.candidates.push_back(std::move(candidate));
+  result.optimizer.best_index = 0;
+  for (size_t i = 0; i < dims; ++i) {
+    result.mining_exam_types.push_back(static_cast<int32_t>(i));
+  }
+  result.summary = "fake run";
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// Ingestion semantics.
+
+TEST(CohortStoreTest, IngestAccumulatesLikeDirectAppend) {
+  service::CohortStore store(service::CohortStoreOptions{});
+
+  std::vector<dataset::RawExamRecord> batch1 = {
+      Raw(0, "blood_panel", 1), Raw(1, "xray_chest", 2),
+      Raw(0, "blood_panel", 6)};
+  std::vector<dataset::RawExamRecord> batch2 = {Raw(2, "mri_head", 9),
+                                                Raw(1, "blood_panel", 11)};
+
+  auto first = store.Ingest("ward", batch1);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first.value().generation, 1);
+  EXPECT_EQ(first.value().batch_records, 3);
+  EXPECT_EQ(first.value().total_records, 3);
+  EXPECT_EQ(first.value().patients, 2);
+
+  auto second = store.Ingest("ward", batch2);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second.value().generation, 2);
+  EXPECT_EQ(second.value().batch_records, 2);
+  EXPECT_EQ(second.value().total_records, 5);
+  EXPECT_EQ(second.value().patients, 3);
+
+  // The streaming-ingestion invariant: the accumulated snapshot equals
+  // one direct ExamLog::Append over the concatenated batches.
+  dataset::ExamLog direct;
+  ASSERT_TRUE(direct.Append(batch1).ok());
+  ASSERT_TRUE(direct.Append(batch2).ok());
+  auto snapshot = store.Snapshot("ward");
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot.value().ToCsv(), direct.ToCsv());
+
+  EXPECT_EQ(store.num_cohorts(), 1u);
+  service::CohortStoreStats stats = store.stats();
+  EXPECT_EQ(stats.batches, 2);
+  EXPECT_EQ(stats.records, 5);
+  EXPECT_EQ(stats.cohorts, 1);
+  EXPECT_EQ(stats.generations, 2);
+}
+
+TEST(CohortStoreTest, RejectsInvalidNamesBatchesAndRecords) {
+  service::CohortStore store(service::CohortStoreOptions{});
+  std::vector<dataset::RawExamRecord> good = {Raw(0, "ecg", 1)};
+
+  for (const std::string& name :
+       {std::string(""), std::string("a/b"), std::string("ward 3"),
+        std::string("dot.dot"), std::string(65, 'a')}) {
+    EXPECT_EQ(store.Ingest(name, good).status().code(),
+              StatusCode::kInvalidArgument)
+        << "name: '" << name << "'";
+  }
+
+  EXPECT_EQ(store.Ingest("ward", {}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.Ingest("ward", {Raw(-1, "ecg", 1)}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.Ingest("ward", {Raw(0, "", 1)}).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // A rejected batch never materializes the cohort.
+  EXPECT_EQ(store.num_cohorts(), 0u);
+  EXPECT_EQ(store.Snapshot("ward").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.Descriptors("ward").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.BuildCohortJob("ward").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CohortStoreTest, CohortNameValidation) {
+  EXPECT_TRUE(service::IsValidCohortName("ward-3_B"));
+  EXPECT_TRUE(service::IsValidCohortName(std::string(64, 'x')));
+  EXPECT_FALSE(service::IsValidCohortName(""));
+  EXPECT_FALSE(service::IsValidCohortName(std::string(65, 'x')));
+  EXPECT_FALSE(service::IsValidCohortName("../escape"));
+  EXPECT_FALSE(service::IsValidCohortName("white space"));
+}
+
+// ---------------------------------------------------------------------
+// Incremental descriptors.
+
+TEST(CohortStoreTest, IncrementalDescriptorsMatchFullRecompute) {
+  service::CohortStore store(service::CohortStoreOptions{});
+  std::vector<dataset::RawExamRecord> rows = ToRaw(MakeSyntheticLog(17, 80));
+  ASSERT_GT(rows.size(), 8u);
+
+  // Four uneven batches; after each the incrementally maintained
+  // descriptors must match stats::ComputeMetaFeatures run from scratch
+  // on the accumulated snapshot.
+  const size_t cuts[] = {rows.size() / 7, rows.size() / 3,
+                         (rows.size() * 3) / 4, rows.size()};
+  size_t start = 0;
+  int64_t generation = 0;
+  for (size_t cut : cuts) {
+    std::vector<dataset::RawExamRecord> batch(rows.begin() + start,
+                                              rows.begin() + cut);
+    start = cut;
+    ASSERT_TRUE(store.Ingest("icu", batch).ok());
+    ++generation;
+
+    auto descriptors = store.Descriptors("icu");
+    ASSERT_TRUE(descriptors.ok());
+    auto snapshot = store.Snapshot("icu");
+    ASSERT_TRUE(snapshot.ok());
+    stats::MetaFeatures full = stats::ComputeMetaFeatures(snapshot.value());
+
+    EXPECT_EQ(descriptors.value().generation, generation);
+    EXPECT_EQ(descriptors.value().records, full.num_records);
+    EXPECT_EQ(descriptors.value().patients, full.num_patients);
+    EXPECT_EQ(descriptors.value().exam_types, full.num_exam_types);
+    EXPECT_DOUBLE_EQ(descriptors.value().density, full.density);
+    EXPECT_DOUBLE_EQ(descriptors.value().mean_records_per_patient,
+                     full.mean_records_per_patient);
+
+    // The marginals partition the record count.
+    int64_t marginal_sum = 0;
+    for (const auto& [exam, count] : descriptors.value().exam_marginals) {
+      EXPECT_GT(count, 0) << exam;
+      marginal_sum += count;
+    }
+    EXPECT_EQ(marginal_sum, full.num_records);
+    EXPECT_EQ(static_cast<int64_t>(descriptors.value().exam_marginals.size()),
+              full.num_exam_types);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Persistence.
+
+TEST(CohortStoreTest, PersistsAndReloadsAcrossStores) {
+  std::string dir = MakeScratchDir("reload");
+  service::CohortStoreOptions options;
+  options.directory = dir;
+
+  std::string csv;
+  service::CohortDescriptors before;
+  {
+    service::CohortStore store(options);
+    ASSERT_TRUE(
+        store.Ingest("ward", {Raw(0, "ecg", 1), Raw(1, "xray", 2)}).ok());
+    ASSERT_TRUE(store.Ingest("ward", {Raw(2, "ecg", 3)}).ok());
+    // A committed analysis at the current generation becomes durable
+    // warm state.
+    store.OnAnalysisCommitted("ward", 2, FakeSuccess(3, 5, 0.25));
+    csv = store.Snapshot("ward").value().ToCsv();
+    before = store.Descriptors("ward").value();
+  }
+
+  service::CohortStore reloaded(options);
+  EXPECT_EQ(reloaded.num_cohorts(), 1u);
+  auto snapshot = reloaded.Snapshot("ward");
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot.value().ToCsv(), csv);
+
+  auto after = reloaded.Descriptors("ward");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().generation, before.generation);
+  EXPECT_EQ(after.value().records, before.records);
+  EXPECT_EQ(after.value().patients, before.patients);
+  EXPECT_DOUBLE_EQ(after.value().density, before.density);
+  EXPECT_EQ(after.value().exam_marginals, before.exam_marginals);
+
+  // The warm-start state survived the reload.
+  auto job = reloaded.BuildCohortJob("ward");
+  ASSERT_TRUE(job.ok());
+  EXPECT_EQ(job.value().cohort, "ward");
+  EXPECT_EQ(job.value().cohort_generation, 2);
+  EXPECT_EQ(job.value().options.warm.centroids,
+            transform::Matrix(3, 5, 0.25));
+  EXPECT_EQ(job.value().options.warm.best_k, 3);
+  EXPECT_EQ(job.value().options.warm.exam_types.size(), 5u);
+}
+
+TEST(CohortStoreTest, TornAppendResidueIsInvisibleAndTruncated) {
+  std::string dir = MakeScratchDir("torn");
+  service::CohortStoreOptions options;
+  options.directory = dir;
+
+  std::vector<dataset::RawExamRecord> batch1 = {Raw(0, "ecg", 1),
+                                                Raw(1, "xray", 4)};
+  std::vector<dataset::RawExamRecord> batch2 = {Raw(2, "mri", 7)};
+  std::string committed_csv;
+  {
+    service::CohortStore store(options);
+    ASSERT_TRUE(store.Ingest("ward", batch1).ok());
+    committed_csv = store.Snapshot("ward").value().ToCsv();
+  }
+
+  // Simulate a crash mid-append: bytes hit the records file but the
+  // manifest rename never happened.
+  {
+    std::FILE* file = std::fopen((dir + "/ward.records").c_str(), "ab");
+    ASSERT_NE(file, nullptr);
+    const std::string garbage = "999,torn-half-a-reco";
+    ASSERT_EQ(std::fwrite(garbage.data(), 1, garbage.size(), file),
+              garbage.size());
+    std::fclose(file);
+  }
+
+  // The loader reads only the committed prefix: generation 1 stays
+  // fully readable, the residue is never parsed.
+  service::CohortStore salvaged(options);
+  EXPECT_EQ(salvaged.num_cohorts(), 1u);
+  auto snapshot = salvaged.Snapshot("ward");
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot.value().ToCsv(), committed_csv);
+  EXPECT_EQ(salvaged.Descriptors("ward").value().generation, 1);
+
+  // The next append truncates the residue before writing, so the file
+  // stays parseable end to end.
+  ASSERT_TRUE(salvaged.Ingest("ward", batch2).ok());
+
+  dataset::ExamLog direct;
+  ASSERT_TRUE(direct.Append(batch1).ok());
+  ASSERT_TRUE(direct.Append(batch2).ok());
+  service::CohortStore reloaded(options);
+  auto final_snapshot = reloaded.Snapshot("ward");
+  ASSERT_TRUE(final_snapshot.ok());
+  EXPECT_EQ(final_snapshot.value().ToCsv(), direct.ToCsv());
+  EXPECT_EQ(reloaded.Descriptors("ward").value().generation, 2);
+}
+
+// ---------------------------------------------------------------------
+// Warm-start state machine.
+
+TEST(CohortStoreTest, WarmStartAppliesUntilDriftGateTrips) {
+  service::CohortStore store(service::CohortStoreOptions{});
+
+  std::vector<dataset::RawExamRecord> base;
+  for (int i = 0; i < 8; ++i) {
+    base.push_back(Raw(i % 4, "exam_" + std::to_string(i % 3), i));
+  }
+  ASSERT_TRUE(store.Ingest("ward", base).ok());
+
+  // No analysis yet: the first job runs cold.
+  auto cold = store.BuildCohortJob("ward");
+  ASSERT_TRUE(cold.ok());
+  EXPECT_TRUE(cold.value().options.warm.centroids.empty());
+  EXPECT_EQ(cold.value().cohort_generation, 1);
+  EXPECT_EQ(cold.value().options.dataset_id, "ward");
+
+  store.OnAnalysisCommitted("ward", 1, FakeSuccess(7, 6, 1.0));
+
+  // Two fresh records over ten total: well under the drift gate, so
+  // the next job carries the warm hint and seeds the K sweep from the
+  // prior best K.
+  ASSERT_TRUE(
+      store.Ingest("ward", {Raw(0, "exam_0", 20), Raw(1, "exam_1", 21)}).ok());
+  auto warm = store.BuildCohortJob("ward");
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm.value().options.warm.centroids, transform::Matrix(7, 6, 1.0));
+  EXPECT_EQ(warm.value().options.warm.best_k, 7);
+  ASSERT_FALSE(warm.value().options.optimizer.candidate_ks.empty());
+  EXPECT_EQ(warm.value().options.optimizer.candidate_ks.front(), 7);
+  EXPECT_EQ(store.stats().warm_starts, 1);
+  EXPECT_EQ(store.stats().cold_fallbacks, 0);
+
+  // A flood of new records (32 of 42 arrived since the analysis)
+  // exceeds drift_threshold: the stale centroids are dropped and the
+  // job degrades to a cold run.
+  std::vector<dataset::RawExamRecord> flood;
+  for (int i = 0; i < 30; ++i) {
+    flood.push_back(Raw(i % 6, "exam_" + std::to_string(i % 4), 30 + i));
+  }
+  ASSERT_TRUE(store.Ingest("ward", flood).ok());
+  auto drifted = store.BuildCohortJob("ward");
+  ASSERT_TRUE(drifted.ok());
+  EXPECT_TRUE(drifted.value().options.warm.centroids.empty());
+  EXPECT_EQ(store.stats().cold_fallbacks, 1);
+}
+
+TEST(CohortStoreTest, StaleAnalysisNotificationIsIgnored) {
+  service::CohortStore store(service::CohortStoreOptions{});
+  ASSERT_TRUE(store.Ingest("ward", {Raw(0, "ecg", 1)}).ok());
+  ASSERT_TRUE(store.Ingest("ward", {Raw(1, "mri", 2)}).ok());
+
+  store.OnAnalysisCommitted("ward", 2, FakeSuccess(4, 3, 2.0));
+  // A straggler worker reporting an older generation must not clobber
+  // the newer warm state.
+  store.OnAnalysisCommitted("ward", 1, FakeSuccess(3, 3, 9.0));
+
+  auto job = store.BuildCohortJob("ward");
+  ASSERT_TRUE(job.ok());
+  EXPECT_EQ(job.value().options.warm.best_k, 4);
+  EXPECT_EQ(job.value().options.warm.centroids, transform::Matrix(4, 3, 2.0));
+}
+
+TEST(CohortStoreTest, IncompleteResultsNeverBecomeWarmState) {
+  service::CohortStore store(service::CohortStoreOptions{});
+  ASSERT_TRUE(store.Ingest("ward", {Raw(0, "ecg", 1)}).ok());
+
+  core::SessionResult no_candidates;
+  no_candidates.mining_exam_types = {0, 1};
+  store.OnAnalysisCommitted("ward", 1, no_candidates);
+
+  core::SessionResult no_exam_types = FakeSuccess(3, 4, 1.0);
+  no_exam_types.mining_exam_types.clear();
+  store.OnAnalysisCommitted("ward", 1, no_exam_types);
+
+  auto job = store.BuildCohortJob("ward");
+  ASSERT_TRUE(job.ok());
+  EXPECT_TRUE(job.value().options.warm.centroids.empty());
+}
+
+// ---------------------------------------------------------------------
+// The delta-vs-cold invariant (end to end, real sessions).
+//
+// Two gates, per the warm-start contract (core/session.h): when the
+// cold sweep already converges to the optimum, the hint attempt ties
+// and the delta report is BYTE-IDENTICAL to the cold run (gate 1,
+// asserted below); in regimes where the hint genuinely redirects the
+// k-means trajectory, the delta run may only *improve* the selected
+// configuration, and must itself stay deterministic (gate 2, the
+// following test).
+
+/// Session options strong enough that the cold sweep converges: the
+/// warm hint can then only tie, never redirect.
+core::SessionOptions ConvergedOptions(const std::string& dataset_id) {
+  core::SessionOptions options = FastOptions(dataset_id);
+  options.optimizer.restarts = 6;
+  options.optimizer.kmeans.max_iterations = 100;
+  options.partial.kmeans.max_iterations = 100;
+  return options;
+}
+
+TEST(CohortStoreTest, DeltaJobReportIsByteIdenticalToColdRun) {
+  // Gate 1: report byte-identity.
+  service::CohortStore store(service::CohortStoreOptions{});
+  std::vector<dataset::RawExamRecord> rows = ToRaw(MakeSyntheticLog(23));
+  const size_t split = (rows.size() * 9) / 10;
+
+  // Generation 1: the bulk of the cohort, analyzed cold.
+  ASSERT_TRUE(store
+                  .Ingest("icu", std::vector<dataset::RawExamRecord>(
+                                     rows.begin(), rows.begin() + split))
+                  .ok());
+  auto job1 = store.BuildCohortJob("icu");
+  ASSERT_TRUE(job1.ok());
+  kdb::Database db1;
+  auto run1 = core::AnalysisSession(&db1).Run(job1.value().log, nullptr,
+                                              ConvergedOptions("icu"));
+  ASSERT_TRUE(run1.ok()) << run1.status().ToString();
+  store.OnAnalysisCommitted("icu", 1, run1.value());
+
+  // Generation 2: a 10% tail lands — under the drift gate, so the
+  // next job carries the prior centroids as a warm hint.
+  ASSERT_TRUE(store
+                  .Ingest("icu", std::vector<dataset::RawExamRecord>(
+                                     rows.begin() + split, rows.end()))
+                  .ok());
+  auto job2 = store.BuildCohortJob("icu");
+  ASSERT_TRUE(job2.ok());
+  ASSERT_FALSE(job2.value().options.warm.centroids.empty());
+  EXPECT_EQ(store.stats().warm_starts, 1);
+
+  // The invariant: with the cold restarts unchanged (warm.restarts
+  // matching the cold sweep), the warm (delta) run and a cold run over
+  // the same accumulated snapshot render byte-identical reports.
+  core::SessionOptions warm_options = ConvergedOptions("icu");
+  warm_options.warm = job2.value().options.warm;
+  warm_options.warm.restarts = warm_options.optimizer.restarts;
+  kdb::Database db2;
+  auto warm_run = core::AnalysisSession(&db2).Run(job2.value().log, nullptr,
+                                                  warm_options);
+  ASSERT_TRUE(warm_run.ok()) << warm_run.status().ToString();
+
+  kdb::Database db3;
+  auto cold_run = core::AnalysisSession(&db3).Run(job2.value().log, nullptr,
+                                                  ConvergedOptions("icu"));
+  ASSERT_TRUE(cold_run.ok()) << cold_run.status().ToString();
+
+  EXPECT_EQ(core::RenderSessionReport(warm_run.value(), "icu"),
+            core::RenderSessionReport(cold_run.value(), "icu"));
+  EXPECT_EQ(warm_run.value().summary, cold_run.value().summary);
+}
+
+TEST(CohortStoreTest, DeltaJobIsDeterministicAndNeverWorseThanCold) {
+  // Gate 2: in the fast regime (one restart, few iterations) the hint
+  // genuinely redirects the sweep. The delta run must then (a) select
+  // a configuration at least as good as the cold run's and (b) be
+  // byte-deterministic itself — the same hint always renders the same
+  // report, which is what the versioned result cache serves.
+  service::CohortStore store(service::CohortStoreOptions{});
+  std::vector<dataset::RawExamRecord> rows = ToRaw(MakeSyntheticLog(23));
+  const size_t split = (rows.size() * 9) / 10;
+  ASSERT_TRUE(store
+                  .Ingest("icu", std::vector<dataset::RawExamRecord>(
+                                     rows.begin(), rows.begin() + split))
+                  .ok());
+  auto job1 = store.BuildCohortJob("icu");
+  ASSERT_TRUE(job1.ok());
+  kdb::Database db1;
+  auto run1 = core::AnalysisSession(&db1).Run(job1.value().log, nullptr,
+                                              FastOptions("icu"));
+  ASSERT_TRUE(run1.ok());
+  store.OnAnalysisCommitted("icu", 1, run1.value());
+  ASSERT_TRUE(store
+                  .Ingest("icu", std::vector<dataset::RawExamRecord>(
+                                     rows.begin() + split, rows.end()))
+                  .ok());
+  auto job2 = store.BuildCohortJob("icu");
+  ASSERT_TRUE(job2.ok());
+  ASSERT_FALSE(job2.value().options.warm.centroids.empty());
+
+  core::SessionOptions warm_options = FastOptions("icu");
+  warm_options.warm = job2.value().options.warm;
+  kdb::Database db2;
+  auto warm_run = core::AnalysisSession(&db2).Run(job2.value().log, nullptr,
+                                                  warm_options);
+  ASSERT_TRUE(warm_run.ok());
+  kdb::Database db3;
+  auto warm_again = core::AnalysisSession(&db3).Run(job2.value().log, nullptr,
+                                                    warm_options);
+  ASSERT_TRUE(warm_again.ok());
+  kdb::Database db4;
+  auto cold_run = core::AnalysisSession(&db4).Run(job2.value().log, nullptr,
+                                                  FastOptions("icu"));
+  ASSERT_TRUE(cold_run.ok());
+
+  // (a) Monotone: the hint can only improve the selected configuration.
+  EXPECT_GE(warm_run.value().optimizer.best().composite,
+            cold_run.value().optimizer.best().composite);
+  // (b) Deterministic: delta-vs-delta byte-identity.
+  EXPECT_EQ(core::RenderSessionReport(warm_run.value(), "icu"),
+            core::RenderSessionReport(warm_again.value(), "icu"));
+}
+
+// ---------------------------------------------------------------------
+// Scheduler integration: versioned fingerprints and supersede.
+
+TEST(CohortStoreTest, SchedulerSupersedesStaleQueuedGenerations) {
+  service::SchedulerOptions options;
+  options.max_workers = 2;
+  options.start_paused = true;
+  int64_t hook_fired = 0;
+  int64_t hook_generation = 0;
+  common::Mutex hook_mutex;
+  options.on_session_success = [&](const service::JobRequest& request,
+                                   const core::SessionResult& result) {
+    common::MutexLock lock(&hook_mutex);
+    ++hook_fired;
+    hook_generation = request.cohort_generation;
+    EXPECT_FALSE(result.optimizer.candidates.empty());
+  };
+  service::Scheduler scheduler(options);
+
+  dataset::ExamLog log = MakeSyntheticLog(31);
+  service::JobRequest stale;
+  stale.log = log;
+  stale.options = FastOptions("wave");
+  stale.cohort = "wave";
+  stale.cohort_generation = 1;
+  auto stale_id = scheduler.Submit(std::move(stale));
+  ASSERT_TRUE(stale_id.ok());
+
+  service::JobRequest fresh;
+  fresh.log = std::move(log);
+  fresh.options = FastOptions("wave");
+  fresh.cohort = "wave";
+  fresh.cohort_generation = 2;
+  auto fresh_id = scheduler.Submit(std::move(fresh));
+  ASSERT_TRUE(fresh_id.ok());
+
+  // Admitting generation 2 cancelled the queued generation-1 job.
+  auto stale_snapshot = scheduler.Status(stale_id.value());
+  ASSERT_TRUE(stale_snapshot.ok());
+  EXPECT_EQ(stale_snapshot.value().state, service::JobState::kCancelled);
+  EXPECT_EQ(stale_snapshot.value().status.code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_NE(stale_snapshot.value().status.message().find("superseded"),
+            std::string::npos);
+  EXPECT_EQ(scheduler.stats().superseded, 1);
+
+  // Waiting on the superseded job resolves immediately — no hang.
+  auto awaited = scheduler.AwaitResult(stale_id.value(), 5000.0);
+  ASSERT_TRUE(awaited.ok());
+  EXPECT_EQ(awaited.value().state, service::JobState::kCancelled);
+
+  scheduler.Resume();
+  auto done = scheduler.AwaitResult(fresh_id.value(), 120000.0);
+  ASSERT_TRUE(done.ok());
+  ASSERT_EQ(done.value().state, service::JobState::kDone)
+      << done.value().status.ToString();
+  // The fingerprint is versioned by cohort and generation.
+  EXPECT_EQ(done.value().fingerprint.rfind("wave@2/", 0), 0u)
+      << done.value().fingerprint;
+
+  // The committed cache entry carries the versioning fields and the
+  // success hook fired exactly once, for generation 2.
+  std::vector<service::CachedAnalysis> entries = scheduler.cache().Entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].cohort, "wave");
+  EXPECT_EQ(entries[0].generation, 2);
+  common::MutexLock lock(&hook_mutex);
+  EXPECT_EQ(hook_fired, 1);
+  EXPECT_EQ(hook_generation, 2);
+}
+
+// ---------------------------------------------------------------------
+// Result-cache supersede.
+
+service::CachedAnalysis CohortEntry(const std::string& cohort,
+                                    int64_t generation) {
+  service::CachedAnalysis entry;
+  entry.fingerprint =
+      cohort + "@" + std::to_string(generation) + "/deadbeef00";
+  entry.dataset_id = cohort;
+  entry.cohort = cohort;
+  entry.generation = generation;
+  entry.summary = "summary g" + std::to_string(generation);
+  entry.report = "report g" + std::to_string(generation);
+  return entry;
+}
+
+TEST(CohortStoreTest, CacheSupersedesOlderGenerationsExactlyOnce) {
+  service::ResultCache cache(1 << 20);
+  cache.Insert(CohortEntry("c", 1));
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.superseded(), 0);
+
+  // A newer generation evicts the older one exactly once.
+  cache.Insert(CohortEntry("c", 2));
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.superseded(), 1);
+  EXPECT_FALSE(cache.Lookup(CohortEntry("c", 1).fingerprint).has_value());
+  ASSERT_TRUE(cache.Lookup(CohortEntry("c", 2).fingerprint).has_value());
+
+  // Re-inserting the current generation refreshes without counting.
+  cache.Insert(CohortEntry("c", 2));
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.superseded(), 1);
+
+  // Replication replay can deliver an old generation late: the stale
+  // entry is dropped, the newer snapshot stays.
+  cache.Insert(CohortEntry("c", 1));
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.superseded(), 2);
+  EXPECT_FALSE(cache.Lookup(CohortEntry("c", 1).fingerprint).has_value());
+  ASSERT_TRUE(cache.Lookup(CohortEntry("c", 2).fingerprint).has_value());
+
+  // Other cohorts and plain entries are untouched bystanders.
+  cache.Insert(CohortEntry("other", 1));
+  service::CachedAnalysis plain;
+  plain.fingerprint = "plainfingerprint";
+  plain.dataset_id = "plain";
+  plain.report = "r";
+  cache.Insert(plain);
+  cache.Insert(CohortEntry("c", 3));
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_EQ(cache.superseded(), 3);
+  EXPECT_TRUE(cache.Lookup("plainfingerprint").has_value());
+  EXPECT_TRUE(cache.Lookup(CohortEntry("other", 1).fingerprint).has_value());
+}
+
+// ---------------------------------------------------------------------
+// The server's ingest verb, over the wire.
+
+TEST(CohortStoreTest, ServerIngestVerbRoundTrip) {
+  service::ServerOptions options;
+  options.scheduler.max_workers = 1;
+  service::AnalysisServer server(std::move(options));
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = service::AnalysisClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+
+  Json::Object record;
+  record["patient"] = static_cast<int64_t>(0);
+  record["exam_type"] = std::string("ecg");
+  record["day"] = static_cast<int64_t>(3);
+  Json::Object body;
+  body["verb"] = "ingest";
+  body["cohort"] = std::string("ward");
+  body["records"] = Json(Json::Array{Json(std::move(record))});
+
+  auto response = client.value().Call(Json::Object(body));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response.value().Find("ok")->AsBool());
+  EXPECT_EQ(response.value().Find("cohort")->AsString(), "ward");
+  EXPECT_EQ(response.value().Find("generation")->AsInt(), 1);
+  EXPECT_EQ(response.value().Find("total_records")->AsInt(), 1);
+
+  auto again = client.value().Call(std::move(body));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().Find("generation")->AsInt(), 2);
+
+  // stats and health surface the ingest counters.
+  for (const std::string& verb : {std::string("stats"), std::string("health")}) {
+    auto info = client.value().Call(verb);
+    ASSERT_TRUE(info.ok()) << verb;
+    const Json* ingest = info.value().Find("ingest");
+    ASSERT_NE(ingest, nullptr) << verb;
+    EXPECT_EQ(ingest->Find("batches")->AsInt(), 2) << verb;
+    EXPECT_EQ(ingest->Find("records")->AsInt(), 2) << verb;
+    EXPECT_EQ(ingest->Find("cohorts")->AsInt(), 1) << verb;
+  }
+
+  // Malformed ingests are rejected with INVALID_ARGUMENT (the client
+  // reconstructs server-side error responses as their Status).
+  Json::Object bad;
+  bad["verb"] = "ingest";
+  bad["cohort"] = std::string("ward");
+  auto rejected = client.value().Call(std::move(bad));
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+
+  server.Stop();
+}
+
+TEST(CohortStoreTest, FollowerRejectsIngest) {
+  service::ServerOptions options;
+  options.role = service::ServerRole::kFollower;
+  options.scheduler.max_workers = 1;
+  service::AnalysisServer follower(std::move(options));
+  ASSERT_TRUE(follower.Start().ok());
+
+  auto client = service::AnalysisClient::Connect(follower.port());
+  ASSERT_TRUE(client.ok());
+
+  Json::Object record;
+  record["patient"] = static_cast<int64_t>(0);
+  record["exam_type"] = std::string("ecg");
+  Json::Object body;
+  body["verb"] = "ingest";
+  body["cohort"] = std::string("ward");
+  body["records"] = Json(Json::Array{Json(std::move(record))});
+  auto response = client.value().Call(std::move(body));
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+
+  follower.Stop();
+}
+
+}  // namespace
+}  // namespace adahealth

@@ -24,11 +24,14 @@
 #include "dataset/synthetic_cohort.h"
 #include "kdb/database.h"
 #include "kdb/storage.h"
+#include "dataset/exam_log.h"
 #include "service/client.h"
+#include "service/cohort_store.h"
 #include "service/net_socket.h"
 #include "service/protocol.h"
 #include "service/scheduler.h"
 #include "service/server.h"
+#include "transform/matrix.h"
 #include "test_util.h"
 #include "transform/vsm.h"
 
@@ -863,6 +866,156 @@ TEST_F(FaultInjectionServiceTest, WriteFailpointFailsOneConnectionNotServer) {
   ASSERT_TRUE(fresh.ok());
   EXPECT_TRUE(fresh->Call("ping").ok());
   server.Stop();
+}
+
+// ---------------------------------------------------------------------
+// Streaming cohort store (service/cohort_store.h): every ingest
+// failpoint degrades to the previous generation or to a cold run,
+// never to a torn or wrong answer.
+
+dataset::RawExamRecord IngestRow(int32_t patient, std::string exam_type,
+                                 int32_t day) {
+  dataset::RawExamRecord row;
+  row.patient = patient;
+  row.exam_type = std::move(exam_type);
+  row.day = day;
+  return row;
+}
+
+/// The minimal successful analysis OnAnalysisCommitted accepts.
+core::SessionResult FakeAnalysis(int32_t k, size_t dims) {
+  core::SessionResult result;
+  core::CandidateEvaluation candidate;
+  candidate.k = k;
+  candidate.clustering.k = k;
+  candidate.clustering.centroids =
+      transform::Matrix(static_cast<size_t>(k), dims, 0.5);
+  result.optimizer.candidates.push_back(std::move(candidate));
+  result.optimizer.best_index = 0;
+  for (size_t i = 0; i < dims; ++i) {
+    result.mining_exam_types.push_back(static_cast<int32_t>(i));
+  }
+  return result;
+}
+
+TEST_F(FaultInjectionTest, IngestAppendFaultLeavesPriorGenerationReadable) {
+  service::CohortStoreOptions options;
+  options.directory = MakeScratchDir("ingest_append");
+  service::CohortStore store(options);
+
+  std::vector<dataset::RawExamRecord> batch1 = {IngestRow(0, "ecg", 1),
+                                                IngestRow(1, "xray", 2)};
+  std::vector<dataset::RawExamRecord> batch2 = {IngestRow(2, "mri", 3)};
+  ASSERT_TRUE(store.Ingest("ward", batch1).ok());
+  const std::string committed = store.Snapshot("ward").value().ToCsv();
+
+  {
+    ScopedFailpoint torn("service.ingest.append",
+                         OneShotError(StatusCode::kUnavailable, "disk gone"));
+    auto failed = store.Ingest("ward", batch2);
+    EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable);
+  }
+
+  // The failed batch never happened: generation 1 stays fully readable
+  // in memory and from disk.
+  EXPECT_EQ(store.Descriptors("ward").value().generation, 1);
+  EXPECT_EQ(store.Snapshot("ward").value().ToCsv(), committed);
+  service::CohortStore reloaded(options);
+  EXPECT_EQ(reloaded.Descriptors("ward").value().generation, 1);
+  EXPECT_EQ(reloaded.Snapshot("ward").value().ToCsv(), committed);
+
+  // With the fault cleared the same batch commits cleanly.
+  auto retried = store.Ingest("ward", batch2);
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(retried.value().generation, 2);
+}
+
+TEST_F(FaultInjectionTest, IngestSnapshotFaultRollsBackTheWholeBatch) {
+  service::CohortStoreOptions options;
+  options.directory = MakeScratchDir("ingest_snapshot");
+  service::CohortStore store(options);
+
+  std::vector<dataset::RawExamRecord> batch1 = {IngestRow(0, "ecg", 1)};
+  std::vector<dataset::RawExamRecord> batch2 = {IngestRow(1, "mri", 5)};
+  ASSERT_TRUE(store.Ingest("ward", batch1).ok());
+  const std::string committed = store.Snapshot("ward").value().ToCsv();
+
+  {
+    // The records hit disk but the manifest rename fails — the exact
+    // crash window the committed_bytes prefix protects.
+    ScopedFailpoint torn("service.ingest.snapshot",
+                         OneShotError(StatusCode::kDataLoss, "rename lost"));
+    auto failed = store.Ingest("ward", batch2);
+    EXPECT_EQ(failed.status().code(), StatusCode::kDataLoss);
+  }
+
+  EXPECT_EQ(store.Descriptors("ward").value().generation, 1);
+  EXPECT_EQ(store.Descriptors("ward").value().records, 1);
+  EXPECT_EQ(store.Snapshot("ward").value().ToCsv(), committed);
+  // A fresh store reads only the committed prefix: the appended but
+  // never-manifested bytes are invisible.
+  {
+    service::CohortStore reloaded(options);
+    EXPECT_EQ(reloaded.Descriptors("ward").value().generation, 1);
+    EXPECT_EQ(reloaded.Snapshot("ward").value().ToCsv(), committed);
+  }
+
+  // The next ingest truncates the residue and commits batch-atomically.
+  ASSERT_TRUE(store.Ingest("ward", batch2).ok());
+  dataset::ExamLog direct;
+  ASSERT_TRUE(direct.Append(batch1).ok());
+  ASSERT_TRUE(direct.Append(batch2).ok());
+  service::CohortStore reloaded(options);
+  EXPECT_EQ(reloaded.Snapshot("ward").value().ToCsv(), direct.ToCsv());
+  EXPECT_EQ(reloaded.Descriptors("ward").value().generation, 2);
+}
+
+TEST_F(FaultInjectionTest, WarmSnapshotFaultDegradesNextJobToCold) {
+  service::CohortStoreOptions options;
+  options.directory = MakeScratchDir("ingest_warm");
+  service::CohortStore store(options);
+  ASSERT_TRUE(store.Ingest("ward", {IngestRow(0, "ecg", 1)}).ok());
+
+  {
+    ScopedFailpoint torn("service.ingest.snapshot",
+                         OneShotError(StatusCode::kUnavailable, "no space"));
+    store.OnAnalysisCommitted("ward", 1, FakeAnalysis(3, 4));
+  }
+
+  // The warm state was dropped, not half-installed: the next job runs
+  // cold — degraded, never wrong.
+  EXPECT_EQ(store.stats().snapshot_failures, 1);
+  auto job = store.BuildCohortJob("ward");
+  ASSERT_TRUE(job.ok());
+  EXPECT_TRUE(job.value().options.warm.centroids.empty());
+
+  // A later successful commit installs warm state normally.
+  store.OnAnalysisCommitted("ward", 1, FakeAnalysis(3, 4));
+  auto warmed = store.BuildCohortJob("ward");
+  ASSERT_TRUE(warmed.ok());
+  EXPECT_FALSE(warmed.value().options.warm.centroids.empty());
+}
+
+TEST_F(FaultInjectionTest, IngestAdaptFaultFallsBackToColdJob) {
+  service::CohortStore store(service::CohortStoreOptions{});
+  ASSERT_TRUE(store.Ingest("ward", {IngestRow(0, "ecg", 1)}).ok());
+  store.OnAnalysisCommitted("ward", 1, FakeAnalysis(3, 4));
+
+  {
+    ScopedFailpoint refused("service.ingest.adapt",
+                            OneShotError(StatusCode::kUnavailable, "refused"));
+    auto cold = store.BuildCohortJob("ward");
+    ASSERT_TRUE(cold.ok());
+    EXPECT_TRUE(cold.value().options.warm.centroids.empty());
+    EXPECT_EQ(store.stats().cold_fallbacks, 1);
+  }
+
+  // The warm state itself survived: once the failpoint clears, the
+  // next job warms up again.
+  auto warm = store.BuildCohortJob("ward");
+  ASSERT_TRUE(warm.ok());
+  EXPECT_FALSE(warm.value().options.warm.centroids.empty());
+  EXPECT_EQ(store.stats().warm_starts, 1);
 }
 
 TEST_F(FaultInjectionSessionTest, AllStagesRecordedInPipelineOrder) {

@@ -114,6 +114,42 @@ TEST_F(ReplicationTest, DuplicateDeliveryIsIdempotent) {
   shipper.Stop();
 }
 
+TEST_F(ReplicationTest, NewCohortGenerationSupersedesOldOnFollower) {
+  // Streaming cohorts: replicated entries carry the cohort/generation
+  // versioning fields, and the follower's cache applies the same
+  // supersede rule as the primary — shipping generation 2 evicts the
+  // replicated generation 1 exactly once.
+  service::ReplicationOptions options;
+  options.follower_port = follower_->port();
+  service::LogShipper shipper(options, [] {
+    return std::vector<service::CachedAnalysis>{};
+  });
+  shipper.Start();
+
+  service::CachedAnalysis generation1 = MakeEntry(60);
+  generation1.fingerprint = "ward@1/replfp";
+  generation1.cohort = "ward";
+  generation1.generation = 1;
+  service::CachedAnalysis generation2 = MakeEntry(61);
+  generation2.fingerprint = "ward@2/replfp";
+  generation2.cohort = "ward";
+  generation2.generation = 2;
+  shipper.Enqueue(generation1);
+  shipper.Enqueue(generation2);
+  ASSERT_TRUE(shipper.WaitUntilDrained(10000.0));
+
+  EXPECT_EQ(shipper.stats().shipped, 2);
+  service::ResultCache& cache = follower_->scheduler().cache();
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.superseded(), 1);
+  EXPECT_FALSE(cache.Lookup("ward@1/replfp").has_value());
+  auto latest = cache.Lookup("ward@2/replfp");
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->cohort, "ward");
+  EXPECT_EQ(latest->generation, 2);
+  shipper.Stop();
+}
+
 TEST_F(ReplicationTest, SendFailureRequeuesAndRedelivers) {
   // The failpoint kills the first wire send; the shipper must count
   // the failure, requeue the entry, reconnect, and deliver it.

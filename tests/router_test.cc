@@ -318,6 +318,82 @@ TEST(RouterTest, ShardWithoutFollowerDiesAndRingAbsorbsNewWork) {
   shard1->Stop();
 }
 
+TEST(RouterTest, CohortIngestAndSubmitPinToTheOwningShard) {
+  // Streaming cohorts route on the cohort *name* ("cohort/<name>"), not
+  // the dataset fingerprint: every ingest batch and every delta submit
+  // must land on the one shard that holds the accumulated records.
+  auto shard0 = StartShardServer(service::ServerRole::kPrimary);
+  auto shard1 = StartShardServer(service::ServerRole::kPrimary);
+  service::RouterOptions options = QuietRouterOptions();
+  options.shards.push_back(service::ShardEndpoints{shard0->port(), 0});
+  options.shards.push_back(service::ShardEndpoints{shard1->port(), 0});
+  service::Router router(std::move(options));
+  ASSERT_TRUE(router.Start().ok());
+
+  // The routing key is the cohort name on the same ring fingerprints
+  // use, so placement is deterministic before any traffic flows.
+  const size_t owner = router.ShardFor("cohort/pinned");
+  ASSERT_LT(owner, 2u);
+  EXPECT_EQ(router.ShardFor("cohort/pinned"), owner);
+
+  auto make_batch = [](int first_patient, int count) {
+    Json::Array records;
+    for (int i = 0; i < count; ++i) {
+      Json::Object record;
+      record["patient"] = static_cast<int64_t>(first_patient + i);
+      record["exam_type"] = "exam-" + std::to_string(i % 4);
+      record["day"] = static_cast<int64_t>(i % 30);
+      records.push_back(Json(std::move(record)));
+    }
+    Json::Object body;
+    body["verb"] = "ingest";
+    body["cohort"] = "pinned";
+    body["records"] = Json(std::move(records));
+    return body;
+  };
+
+  auto client = Connect(router.port());
+  auto first = client.Call(make_batch(0, 40));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->Find("generation")->AsInt(), 1);
+  auto second = client.Call(make_batch(40, 40));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->Find("generation")->AsInt(), 2);
+  EXPECT_EQ(second->Find("total_records")->AsInt(), 80);
+
+  // Both batches accumulated on the owning shard; the other shard
+  // never heard of the cohort.
+  service::AnalysisServer& owning = owner == 0 ? *shard0 : *shard1;
+  service::AnalysisServer& other = owner == 0 ? *shard1 : *shard0;
+  EXPECT_EQ(owning.cohort_store().num_cohorts(), 1u);
+  EXPECT_EQ(other.cohort_store().num_cohorts(), 0u);
+
+  // The delta submit follows the same key to where the data lives, and
+  // its fingerprint is versioned with the snapshot generation.
+  Json::Object submit;
+  submit["verb"] = "submit";
+  submit["cohort"] = "pinned";
+  Json::Object job_options;
+  job_options["candidate_ks"] = Json(Json::Array{Json(3), Json(4)});
+  job_options["cv_folds"] = static_cast<int64_t>(4);
+  job_options["restarts"] = static_cast<int64_t>(1);
+  submit["options"] = Json(std::move(job_options));
+  auto submitted = client.Call(submit);
+  ASSERT_TRUE(submitted.ok());
+  EXPECT_EQ(
+      submitted->Find("fingerprint")->AsString().rfind("pinned@2/", 0), 0u);
+
+  auto result = client.Call(ResultRequest(submitted->Find("job_id")->AsInt()));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->Find("state")->AsString(), "done");
+  EXPECT_EQ(owning.scheduler().stats().sessions_executed, 1);
+  EXPECT_EQ(other.scheduler().stats().sessions_executed, 0);
+
+  router.Stop();
+  shard0->Stop();
+  shard1->Stop();
+}
+
 TEST(RouterTest, ClusterInternalVerbsRejectedAtTheFrontDoor) {
   auto shard = StartShardServer(service::ServerRole::kPrimary);
   service::RouterOptions options = QuietRouterOptions();

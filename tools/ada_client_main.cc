@@ -9,6 +9,7 @@
 //   health                            role/uptime/load snapshot (JSON)
 //   stats                             scheduler + cache counters (JSON)
 //   submit [dataset] [job options]    submit one analysis job
+//   ingest --cohort NAME [--file F]   append an NDJSON record batch
 //   status --job N                    job state snapshot
 //   result --job N [--wait-ms D]      await + fetch the job result
 //   cancel --job N                    cancel a queued job
@@ -19,9 +20,13 @@
 // exponential backoff — for scripts racing a server that is still
 // binding its port, or a router mid-failover.
 //
-// Dataset options (submit): --csv FILE for a records CSV, or a
+// Dataset options (submit): --csv FILE for a records CSV, a
 // synthetic cohort via --patients/--exam-types/--profiles/--seed
-// (test-scale defaults). Job options: --dataset-id, --priority,
+// (test-scale defaults), or --cohort NAME to analyze a streaming
+// cohort previously grown with `ingest`. The ingest command reads
+// NDJSON records — one {"patient":N,"exam_type":"name","day":N}
+// object per line — from --file or stdin and appends them as one
+// atomic batch. Job options: --dataset-id, --priority,
 // --deadline-ms, --cv-folds, --candidate-ks a,b,c, --fast (small
 // session options for smoke tests), --wait (block for the result),
 // --report (print the full Markdown report).
@@ -34,6 +39,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -61,16 +67,19 @@ void PrintUsage() {
   std::printf(
       "usage: ada_client --port N [--connect-retries N] <command>"
       " [options]\n"
-      "commands: ping | health | stats | submit | status | result |"
-      " cancel | shutdown\n"
+      "commands: ping | health | stats | submit | ingest | status |"
+      " result | cancel | shutdown\n"
       "--router N is an alias for --port N.\n"
       "ping:    [--count N]  (N > 1 pipelines N pings on one"
       " connection)\n"
-      "submit:  [--csv FILE | --patients N [--exam-types N] [--profiles N]"
-      " [--seed N]]\n"
+      "submit:  [--csv FILE | --cohort NAME | --patients N"
+      " [--exam-types N] [--profiles N] [--seed N]]\n"
       "         [--dataset-id S] [--priority N] [--deadline-ms D]\n"
       "         [--cv-folds N] [--candidate-ks a,b,c] [--fast]\n"
       "         [--wait [--wait-ms D]] [--report]\n"
+      "ingest:  --cohort NAME [--file F]  (NDJSON records, one"
+      " {\"patient\":N,\"exam_type\":S,\"day\":N} per line; stdin"
+      " when --file is omitted)\n"
       "status/result/cancel: --job N  (result also takes --wait-ms D,"
       " --report)\n");
 }
@@ -122,6 +131,8 @@ struct Flags {
   uint16_t port = 0;
   std::string command;
   std::string csv_path;
+  std::string cohort;
+  std::string file_path;  // ingest: NDJSON records; empty = stdin.
   int64_t patients = 0;  // 0 = server default.
   int64_t exam_types = 0;
   int64_t profiles = 0;
@@ -178,6 +189,14 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       const char* text = next();
       if (text == nullptr) return false;
       flags->csv_path = text;
+    } else if (std::strcmp(arg, "--cohort") == 0) {
+      const char* text = next();
+      if (text == nullptr) return false;
+      flags->cohort = text;
+    } else if (std::strcmp(arg, "--file") == 0) {
+      const char* text = next();
+      if (text == nullptr) return false;
+      flags->file_path = text;
     } else if (std::strcmp(arg, "--patients") == 0) {
       if (!next_int(&flags->patients)) return false;
     } else if (std::strcmp(arg, "--exam-types") == 0) {
@@ -229,7 +248,13 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
 StatusOr<Json::Object> BuildSubmitBody(const Flags& flags) {
   Json::Object body;
   body["verb"] = "submit";
-  if (!flags.csv_path.empty()) {
+  if (!flags.cohort.empty() && !flags.csv_path.empty()) {
+    return adahealth::common::InvalidArgumentError(
+        "submit takes --cohort or --csv, not both");
+  }
+  if (!flags.cohort.empty()) {
+    body["cohort"] = flags.cohort;
+  } else if (!flags.csv_path.empty()) {
     std::ifstream file(flags.csv_path);
     if (!file) {
       return adahealth::common::NotFoundError("cannot open " +
@@ -274,6 +299,37 @@ StatusOr<Json::Object> BuildSubmitBody(const Flags& flags) {
     options["candidate_ks"] = Json(std::move(ks));
   }
   if (!options.empty()) body["options"] = Json(std::move(options));
+  return body;
+}
+
+/// Reads NDJSON records (one JSON object per line, blank lines
+/// skipped) from `in` and builds the ingest request body.
+StatusOr<Json::Object> BuildIngestBody(const Flags& flags,
+                                       std::istream& in) {
+  Json::Array records;
+  std::string line;
+  int64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view trimmed = adahealth::common::Trim(line);
+    if (trimmed.empty()) continue;
+    auto parsed = Json::Parse(trimmed);
+    if (!parsed.ok() || !parsed.value().is_object()) {
+      return adahealth::common::InvalidArgumentError(
+          adahealth::common::StrFormat(
+              "line %lld is not a JSON record object",
+              static_cast<long long>(line_number)));
+    }
+    records.push_back(std::move(parsed).value());
+  }
+  if (records.empty()) {
+    return adahealth::common::InvalidArgumentError(
+        "no records to ingest");
+  }
+  Json::Object body;
+  body["verb"] = "ingest";
+  body["cohort"] = flags.cohort;
+  body["records"] = Json(std::move(records));
   return body;
 }
 
@@ -362,6 +418,49 @@ int main(int argc, char** argv) {
         state->is_string()) {
       return ExitCodeForState(state->AsString());
     }
+    return kExitOk;
+  }
+
+  if (flags.command == "ingest") {
+    if (flags.cohort.empty()) {
+      std::fprintf(stderr, "ada_client: ingest requires --cohort NAME\n");
+      return kExitUsage;
+    }
+    StatusOr<Json::Object> body =
+        adahealth::common::InvalidArgumentError("no input");
+    if (!flags.file_path.empty()) {
+      std::ifstream file(flags.file_path);
+      if (!file) {
+        std::fprintf(stderr, "ada_client: cannot open %s\n",
+                     flags.file_path.c_str());
+        return kExitUsage;
+      }
+      body = BuildIngestBody(flags, file);
+    } else {
+      body = BuildIngestBody(flags, std::cin);
+    }
+    if (!body.ok()) {
+      std::fprintf(stderr, "ada_client: %s\n",
+                   body.status().ToString().c_str());
+      return kExitUsage;
+    }
+    auto response = call(body.value());
+    if (!response.ok()) {
+      std::fprintf(stderr, "ada_client: ingest failed: %s\n",
+                   response.status().ToString().c_str());
+      return kExitServerError;
+    }
+    auto int_field = [&](const char* key) -> long long {
+      const Json* field = response.value().Find(key);
+      return field != nullptr && field->is_int()
+                 ? static_cast<long long>(field->AsInt())
+                 : -1LL;
+    };
+    std::printf("cohort: %s\ngeneration: %lld\nbatch_records: %lld\n"
+                "total_records: %lld\npatients: %lld\n",
+                flags.cohort.c_str(), int_field("generation"),
+                int_field("batch_records"), int_field("total_records"),
+                int_field("patients"));
     return kExitOk;
   }
 

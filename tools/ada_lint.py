@@ -59,6 +59,15 @@ Rules
                     scalar fallback always exists, ADA_SIMD=OFF builds
                     stay complete, and one grep audits the entire
                     unsafe-ISA surface.
+  service-file-io   Direct file I/O — the fopen/fwrite/fread/fflush/
+                    fsync/ftruncate/truncate/rename/unlink call family
+                    and the <fstream>/<filesystem> includes — is allowed
+                    in src/service/ only inside cohort_store.cc, the
+                    streaming cohort store's crash-safe persistence
+                    module. Every other service-layer component persists
+                    through the K-DB storage layer (as the result cache
+                    does), so the atomic-rename discipline and its
+                    failpoints live in exactly two audited places.
   raw-mutex         std::mutex / std::lock_guard / std::unique_lock /
                     std::condition_variable (and their scoped/shared/
                     timed variants, plus the <mutex>,
@@ -104,6 +113,10 @@ CATCH_HANDLED_RE = re.compile(r"\bthrow\b|ADA_LOG")
 RAW_SOCKET_RE = re.compile(
     r"(?<![\w.>])(socket|accept|close|connect|bind|listen"
     r"|send|recv|setsockopt|shutdown)\s*\(")
+FILE_IO_CALL_RE = re.compile(
+    r"(?<![\w.>])(fopen|fwrite|fread|fflush|fsync|ftruncate|truncate"
+    r"|rename|unlink|mkdir|rmdir)\s*\(")
+FILE_IO_INCLUDE_RE = re.compile(r"#\s*include\s*<(fstream|filesystem)>")
 RAW_MUTEX_RE = re.compile(
     r"std::(recursive_mutex|timed_mutex|recursive_timed_mutex|"
     r"shared_mutex|shared_timed_mutex|mutex|lock_guard|unique_lock|"
@@ -223,6 +236,10 @@ def lint_file(path, rel_path):
         os.path.join("src", "service", "net_"))
     is_sync = rel_path in (os.path.join("src", "common", "sync.h"),
                            os.path.join("src", "common", "sync.cc"))
+    in_service = rel_path.startswith(
+        os.path.join("src", "service") + os.sep)
+    is_cohort_store = rel_path == os.path.join(
+        "src", "service", "cohort_store.cc")
     is_simd_kernel = rel_path in (
         os.path.join("src", "transform", "simd_kernels.h"),
         os.path.join("src", "transform", "simd_kernels.cc"))
@@ -307,6 +324,23 @@ def lint_file(path, rel_path):
                     f"raw `{m.group(1)}()` outside src/service/net_*; "
                     "hold fds through service::FileDescriptor and the "
                     "socket wrappers"))
+
+        # --- service-file-io --------------------------------------------
+        if in_service and not is_cohort_store:
+            m = FILE_IO_CALL_RE.search(code)
+            if m and not allowed(lineno, "service-file-io"):
+                findings.append(Finding(
+                    rel_path, lineno, "service-file-io",
+                    f"direct `{m.group(1)}()` in src/service/ outside "
+                    "cohort_store.cc; service-layer persistence goes "
+                    "through the K-DB storage layer or the cohort store"))
+            m = FILE_IO_INCLUDE_RE.search(code)
+            if m and not allowed(lineno, "service-file-io"):
+                findings.append(Finding(
+                    rel_path, lineno, "service-file-io",
+                    f"#include <{m.group(1)}> in src/service/ outside "
+                    "cohort_store.cc; service-layer persistence goes "
+                    "through the K-DB storage layer or the cohort store"))
 
         # --- raw-mutex ---------------------------------------------------
         if not is_sync:

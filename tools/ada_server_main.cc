@@ -8,11 +8,15 @@
 //
 // Usage:
 //   ada_server [--port N] [--workers N] [--queue-depth N]
-//              [--cache-bytes N] [--cache-dir DIR]
+//              [--cache-bytes N] [--cache-dir DIR] [--cohort-dir DIR]
 //              [--cache-persist-threshold N]
 //              [--max-connections N] [--idle-timeout-millis D]
 //              [--max-result-wait-ms D] [--max-line-bytes N]
 //              [--role primary|follower] [--replicate-to PORT]
+//
+// --cohort-dir makes the streaming cohort store (the `ingest` verb)
+// durable: each cohort persists as a records CSV plus an atomically
+// rewritten manifest, and survives crashes batch-atomically.
 //
 // Sharded clusters (tools/ada_router): start each shard's follower
 // with `--role follower`, its primary with `--replicate-to` pointing
@@ -36,6 +40,7 @@ void PrintUsage() {
   std::printf(
       "usage: ada_server [--port N] [--workers N] [--queue-depth N]\n"
       "                  [--cache-bytes N] [--cache-dir DIR]\n"
+      "                  [--cohort-dir DIR]\n"
       "                  [--cache-persist-threshold N]\n"
       "                  [--max-connections N] [--idle-timeout-millis D]\n"
       "                  [--max-result-wait-ms D] [--max-line-bytes N]\n"
@@ -139,6 +144,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.scheduler.cache_directory = text;
+    } else if (std::strcmp(arg, "--cohort-dir") == 0) {
+      const char* text = next();
+      if (text == nullptr) {
+        std::fprintf(stderr, "ada_server: --cohort-dir expects a path\n");
+        return 2;
+      }
+      options.cohort_directory = text;
     } else if (std::strcmp(arg, "--cache-persist-threshold") == 0) {
       const char* text = next();
       if (text == nullptr || !ParseIntFlag(text, &value) || value < 1) {

@@ -120,6 +120,81 @@ if bad:
     sys.exit(1)
 EOF
 
+echo "== streaming cohort: ingest -> delta job -> cache supersede =="
+# Grow a cohort over two ingest batches. The first generation's job is
+# a cold run; repeating it is a cache hit on the versioned fingerprint
+# (<cohort>@<generation>/<hash>); the second batch advances the
+# generation, so the next job re-analyzes (no stale cache answer) and
+# its cached entry supersedes generation 1 exactly once.
+# Three clean clinical profiles, ten patients each: enough members per
+# cluster for the optimizer's stratified CV at K in {2,3}.
+ndjson_batch() {  # ndjson_batch FIRST_PATIENT COUNT
+  python3 - "$1" "$2" <<'PYEOF'
+import sys
+first, count = int(sys.argv[1]), int(sys.argv[2])
+groups = [["hba1c", "lipid"], ["fundus", "retina"],
+          ["creatinine", "urine"]]
+for p in range(first, first + count):
+    exams = groups[p % 3] * 2
+    for day, exam in enumerate(exams, start=1):
+        print('{"patient": %d, "exam_type": "%s", "day": %d}'
+              % (p, exam, day))
+PYEOF
+}
+
+INGEST1_OUT="$(ndjson_batch 0 30 | client ingest --cohort smoke-ward)" \
+  || fail "first ingest batch failed"
+grep -q '^generation: 1$' <<<"${INGEST1_OUT}" \
+  || fail "first ingest batch did not commit generation 1"
+grep -q '^total_records: 120$' <<<"${INGEST1_OUT}" \
+  || fail "first ingest batch record count off"
+
+COHORT_ARGS=(submit --cohort smoke-ward --dataset-id smoke-ward \
+    --candidate-ks 2,3 --cv-folds 3 --fast --wait)
+GEN1_OUT="$(client "${COHORT_ARGS[@]}")" || fail "generation-1 job failed"
+grep -q '^state: done$' <<<"${GEN1_OUT}" || fail "generation-1 job not done"
+grep -q '^cache_hit: false$' <<<"${GEN1_OUT}" \
+  || fail "generation-1 job unexpectedly served from cache"
+grep -q '^fingerprint: smoke-ward@1/' <<<"${GEN1_OUT}" \
+  || fail "generation-1 fingerprint not versioned as smoke-ward@1/..."
+
+GEN1_REPEAT="$(client "${COHORT_ARGS[@]}")" \
+  || fail "generation-1 repeat failed"
+grep -q '^cache_hit: true$' <<<"${GEN1_REPEAT}" \
+  || fail "generation-1 repeat missed the versioned-fingerprint cache"
+
+INGEST2_OUT="$(ndjson_batch 30 6 | client ingest --cohort smoke-ward)" \
+  || fail "second ingest batch failed"
+grep -q '^generation: 2$' <<<"${INGEST2_OUT}" \
+  || fail "second ingest batch did not advance to generation 2"
+grep -q '^total_records: 144$' <<<"${INGEST2_OUT}" \
+  || fail "second ingest batch accumulation off"
+
+GEN2_OUT="$(client "${COHORT_ARGS[@]}")" || fail "generation-2 job failed"
+grep -q '^state: done$' <<<"${GEN2_OUT}" || fail "generation-2 job not done"
+grep -q '^cache_hit: false$' <<<"${GEN2_OUT}" \
+  || fail "generation-2 job answered from a stale generation's cache"
+grep -q '^fingerprint: smoke-ward@2/' <<<"${GEN2_OUT}" \
+  || fail "generation-2 fingerprint not versioned as smoke-ward@2/..."
+
+INGEST_STATS="$(client stats)" || fail "stats verb failed after ingest"
+python3 - "${INGEST_STATS}" <<'EOF' || fail "ingest/supersede counters off"
+import json, sys
+stats = json.loads(sys.argv[1])
+ingest = stats["ingest"]
+bad = {}
+for key, want in {"batches": 2, "records": 144, "cohorts": 1,
+                  "generations": 2}.items():
+    if ingest.get(key) != want:
+        bad[f"ingest.{key}"] = (ingest.get(key), want)
+# Generation 2's cached entry evicted generation 1's exactly once.
+if stats["cache"]["superseded"] != 1:
+    bad["cache.superseded"] = (stats["cache"]["superseded"], 1)
+if bad:
+    print(f"counter mismatches (got, want): {bad}", file=sys.stderr)
+    sys.exit(1)
+EOF
+
 echo "== concurrent pipelined clients =="
 # Six clients at once against the one event loop: four pipelined
 # ping batches plus two submit --wait clients (identical to the cold
