@@ -167,8 +167,9 @@ int Run() {
     const double cold_seconds = cold_timer.ElapsedSeconds();
     ADA_CHECK(cold.ok());
 
-    analysis_store.OnAnalysisCommitted("stream", ingested->generation,
-                                       delta.value());
+    analysis_store.OnAnalysisCommitted(
+        "stream", ingested->generation,
+        static_cast<int64_t>(job->log.num_records()), delta.value());
 
     const std::string delta_report =
         core::RenderSessionReport(delta.value(), "stream");

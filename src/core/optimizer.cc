@@ -199,8 +199,29 @@ StatusOr<OptimizerResult> OptimizeClustering(
         .GetCounter("optimizer/warm_seeded_sweeps")
         .Increment();
   }
+  // Evaluation order: with a cross-run warm hint, the hint's K (its
+  // centroid row count — the prior generation's selected K) is
+  // evaluated first so every later candidate chains from an
+  // already-good solution. The order lives HERE, keyed off
+  // warm_centroids, rather than in the caller's candidate_ks:
+  // candidate_ks is hashed in order by the service's options signature,
+  // so reordering it would split the delta/cold fingerprint. Results
+  // are stored at their canonical candidate_ks index either way, so
+  // `candidates[i].k == candidate_ks[i]` and the report's row order
+  // never depend on the hint.
+  std::vector<size_t> eval_order(num_candidates);
+  for (size_t i = 0; i < num_candidates; ++i) eval_order[i] = i;
+  if (warm_source != nullptr) {
+    for (size_t i = 0; i < num_candidates; ++i) {
+      if (options.candidate_ks[i] == warm_hint.k) {
+        std::rotate(eval_order.begin(), eval_order.begin() + i,
+                    eval_order.begin() + i + 1);
+        break;
+      }
+    }
+  }
   common::WallTimer cluster_timer;
-  for (size_t i = 0; i < num_candidates; ++i) {
+  for (size_t i : eval_order) {
     cluster_timer.Restart();
     clusterings[i] = ClusterCandidate(data, sparse, options.candidate_ks[i],
                                       options, warm_source);

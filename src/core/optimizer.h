@@ -59,11 +59,15 @@ struct OptimizerOptions {
   /// candidate K already gets a warm-started run (adapted via
   /// cluster::AdaptCentroids) on top of its k-means++ restarts, and
   /// every later candidate chains from the best solution so far as
-  /// usual. A hint only: the independent restarts still run with their
-  /// cold seeds, so the kept best-SSE solution can never be worse than
-  /// a cold sweep's. Mismatched dimensions are ignored silently (the
-  /// cold path). The explicit {} keeps designated-init call sites
-  /// clean under -Wmissing-field-initializers.
+  /// usual. The candidate whose K equals the hint's row count (the
+  /// prior selected K) is evaluated first — results still land at
+  /// their canonical candidate_ks positions — so callers never need to
+  /// reorder candidate_ks, which is fingerprint-significant in the
+  /// service layer. A hint only: the independent restarts still run
+  /// with their cold seeds, so the kept best-SSE solution can never be
+  /// worse than a cold sweep's. Mismatched dimensions are ignored
+  /// silently (the cold path). The explicit {} keeps designated-init
+  /// call sites clean under -Wmissing-field-initializers.
   transform::Matrix warm_centroids{};
 };
 

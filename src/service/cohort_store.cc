@@ -238,13 +238,18 @@ Status CohortStore::AppendRecordsFile(const std::string& cohort,
   // Clear any uncommitted residue from a previous torn append before
   // extending the committed prefix (the loader never read it; this
   // keeps the on-disk bytes equal to committed ones after we succeed).
-  if (state.committed_bytes > 0) {
-    if (::truncate(path.c_str(), static_cast<off_t>(state.committed_bytes)) !=
-        0) {
-      return common::UnavailableError("cannot truncate records file: " + path);
-    }
+  // A cohort with nothing committed yet ("wb") covers the first-batch
+  // crash window — a records file left behind without a manifest —
+  // where truncate-to-committed_bytes would need a file that may not
+  // exist; with a committed prefix ("ab") the file must exist, so a
+  // failed truncate is a real error.
+  if (state.committed_bytes > 0 &&
+      ::truncate(path.c_str(), static_cast<off_t>(state.committed_bytes)) !=
+          0) {
+    return common::UnavailableError("cannot truncate records file: " + path);
   }
-  std::FILE* file = std::fopen(path.c_str(), "ab");
+  std::FILE* file =
+      std::fopen(path.c_str(), state.committed_bytes > 0 ? "ab" : "wb");
   if (file == nullptr) {
     return common::UnavailableError("cannot open records file: " + path);
   }
@@ -264,7 +269,8 @@ Status CohortStore::AppendRecordsFile(const std::string& cohort,
 }
 
 StatusOr<IngestResult> CohortStore::Ingest(
-    const std::string& cohort, const std::vector<dataset::RawExamRecord>& rows) {
+    const std::string& cohort, const std::vector<dataset::RawExamRecord>& rows,
+    int64_t expected_generation) {
   if (!IsValidCohortName(cohort)) {
     return common::InvalidArgumentError(
         "invalid cohort name (want 1-64 chars of [A-Za-z0-9_-]): '" + cohort +
@@ -293,6 +299,20 @@ StatusOr<IngestResult> CohortStore::Ingest(
 
   common::MutexLock lock(&mutex_);
   const bool is_new = cohorts_.find(cohort) == cohorts_.end();
+  // Replay guard (see the header): a conditional batch commits only
+  // against the exact generation the client observed. Checked before
+  // any mutation, so a rejected replay is a pure no-op.
+  if (expected_generation >= 0) {
+    const int64_t current =
+        is_new ? 0 : cohorts_.find(cohort)->second.generation;
+    if (current != expected_generation) {
+      return common::FailedPreconditionError(common::StrFormat(
+          "cohort '%s' is at generation %lld, not the expected %lld "
+          "(a retried batch most likely already committed)",
+          cohort.c_str(), static_cast<long long>(current),
+          static_cast<long long>(expected_generation)));
+    }
+  }
   CohortState& state = cohorts_[cohort];
   auto discard_new = [&] {
     if (is_new) cohorts_.erase(cohort);
@@ -399,11 +419,12 @@ StatusOr<JobRequest> CohortStore::BuildCohortJob(const std::string& cohort) {
   request.options.warm.centroids = state.warm_centroids;
   request.options.warm.exam_types = state.warm_exam_types;
   request.options.warm.best_k = state.warm_best_k;
-  // Seed the sweep from the prior best K: evaluate it first so every
-  // later candidate chains from an already-good solution.
-  auto& ks = request.options.optimizer.candidate_ks;
-  auto best = std::find(ks.begin(), ks.end(), state.warm_best_k);
-  if (best != ks.end()) std::rotate(ks.begin(), best, best + 1);
+  // candidate_ks is deliberately left untouched: it is hashed in order
+  // by SessionOptionsSignature, so reordering it here would give delta
+  // and cold submissions of the same snapshot different fingerprints
+  // and defeat the cache dedup. The optimizer itself evaluates the
+  // hint's K first (keyed off warm_centroids, which is excluded from
+  // the signature) so the sweep still seeds from the prior best K.
   stats_.warm_starts += 1;
   IngestCounter("service/ingest_warm_starts").Increment();
   return request;
@@ -411,6 +432,7 @@ StatusOr<JobRequest> CohortStore::BuildCohortJob(const std::string& cohort) {
 
 void CohortStore::OnAnalysisCommitted(const std::string& cohort,
                                       int64_t generation,
+                                      int64_t analyzed_records,
                                       const core::SessionResult& result) {
   if (result.optimizer.candidates.empty() ||
       result.mining_exam_types.empty()) {
@@ -436,12 +458,10 @@ void CohortStore::OnAnalysisCommitted(const std::string& cohort,
   candidate.warm_exam_types = result.mining_exam_types;
   candidate.warm_best_k = result.optimizer.best_k();
   candidate.analyzed_generation = generation;
-  // Record count as of the analyzed generation, for the drift gate: the
-  // log may already hold newer batches than the analyzed snapshot, so
-  // this intentionally over-counts toward "no drift" only when nothing
-  // arrived since.
-  candidate.analyzed_records =
-      static_cast<int64_t>(candidate.log.num_records());
+  // The caller-supplied count of the analyzed snapshot, NOT the live
+  // log's (which may already hold batches ingested after the snapshot
+  // and would under-count fresh records at the drift gate).
+  candidate.analyzed_records = analyzed_records;
 
   Status persisted = WriteManifest(cohort, candidate);
   if (!persisted.ok()) {

@@ -127,9 +127,19 @@ class CohortStore {
   /// fault, or real I/O — the cohort's previous generation stays
   /// intact in memory and on disk. INVALID_ARGUMENT for a malformed
   /// cohort name, an empty batch, or invalid records.
+  ///
+  /// `expected_generation` is the client's replay guard: when >= 0 the
+  /// batch commits only if the cohort is currently at exactly that
+  /// generation (0 for a cohort that does not exist yet); otherwise
+  /// FAILED_PRECONDITION, nothing applied. A client that resends a
+  /// batch after a lost ack thus cannot double-apply it: the original
+  /// commit advanced the generation, so the replay is rejected and the
+  /// mismatch tells the client the first attempt (or a concurrent
+  /// writer) already landed. -1 = unconditional append.
   [[nodiscard]] common::StatusOr<IngestResult> Ingest(
       const std::string& cohort,
-      const std::vector<dataset::RawExamRecord>& rows) ADA_EXCLUDES(mutex_);
+      const std::vector<dataset::RawExamRecord>& rows,
+      int64_t expected_generation = -1) ADA_EXCLUDES(mutex_);
 
   /// Builds an analyze job over the cohort's current snapshot: the
   /// accumulated log, the versioning fields (JobRequest::cohort /
@@ -142,7 +152,11 @@ class CohortStore {
 
   /// Records a successful analysis of `cohort` at `generation`: the
   /// selected centroids + exam types + best K become the next warm
-  /// state, persisted into the manifest. A failed persist (the
+  /// state, persisted into the manifest. `analyzed_records` is the
+  /// record count of the snapshot that was analyzed (the job's log,
+  /// NOT the cohort's live log, which may already hold batches that
+  /// arrived after the snapshot) — it is what the drift gate measures
+  /// fresh records against. A failed persist (the
   /// "service.ingest.snapshot" failpoint or real I/O) drops the warm
   /// state instead of installing it — the next job degrades to a cold
   /// run, never a wrong answer. Stale and duplicate notifications (a
@@ -151,6 +165,7 @@ class CohortStore {
   /// hint. Wired to SchedulerOptions::on_session_success by the
   /// server.
   void OnAnalysisCommitted(const std::string& cohort, int64_t generation,
+                           int64_t analyzed_records,
                            const core::SessionResult& result)
       ADA_EXCLUDES(mutex_);
 
@@ -185,6 +200,8 @@ class CohortStore {
     std::vector<int32_t> warm_exam_types;
     int32_t warm_best_k = 0;
     int64_t analyzed_generation = 0;
+    /// Record count of the analyzed snapshot itself (not of the live
+    /// log at notification time): the drift gate's baseline.
     int64_t analyzed_records = 0;
   };
 

@@ -25,6 +25,13 @@
 //   <- {"ok":true,"cohort":"icu","generation":2,"total_records":128}
 //   -> {"verb":"submit","cohort":"icu"}
 //   <- {"ok":true,"job_id":7,"fingerprint":"icu@2/9f..."}
+//
+// An ingest body may carry "expected_generation": the batch then
+// commits only if the cohort is currently at exactly that generation
+// (0 = not created yet), else FAILED_PRECONDITION with nothing
+// applied — the replay guard that makes retrying a timed-out batch
+// safe (ingest, unlike submit, is not idempotent; the router forwards
+// it at most once).
 #ifndef ADAHEALTH_SERVICE_PROTOCOL_H_
 #define ADAHEALTH_SERVICE_PROTOCOL_H_
 

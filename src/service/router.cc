@@ -412,37 +412,40 @@ std::string Router::HandleIngest(ClientConn* conn, const Json& body,
   if (!cohort.ok()) return ErrorResponse(cohort.status());
   const std::string key = CohortRoutingKey(cohort.value());
   const std::string forward_line = line + "\n";
-  Status last_failure = common::UnavailableError("no forward attempted");
-  const int attempts = std::max(1, options_.max_forward_attempts);
-  for (int attempt = 0; attempt < attempts; ++attempt) {
-    size_t shard = 0;
-    uint16_t port = 0;
-    uint64_t generation = 0;
-    {
-      MutexLock lock(&mutex_);
-      shard = ShardForLocked(key);
-      if (shard >= shards_.size()) {
-        return ErrorResponse(
-            common::UnavailableError("every shard is down"));
-      }
-      port = shards_[shard]->active_port;
-      generation = shards_[shard]->generation;
+  // Exactly one forward attempt — ingest, unlike submit, is a
+  // non-idempotent write. A recv timeout does not prove the owning
+  // shard failed to commit, so a blind resend could double-apply the
+  // batch, and re-routing along the ring would append onto a shard
+  // that does not hold the cohort's accumulated records (a fresh,
+  // silently-forked cohort at generation 1). The failure still feeds
+  // failover bookkeeping; the client retries with the `ingest` verb's
+  // `expected_generation` replay guard, which the owning shard uses to
+  // reject a batch that already committed.
+  size_t shard = 0;
+  uint16_t port = 0;
+  uint64_t generation = 0;
+  {
+    MutexLock lock(&mutex_);
+    shard = ShardForLocked(key);
+    if (shard >= shards_.size()) {
+      return ErrorResponse(common::UnavailableError("every shard is down"));
     }
-    auto response = ForwardRaw(conn, port, forward_line,
-                               options_.upstream_recv_timeout_millis);
-    if (!response.ok()) {
-      last_failure = response.status();
-      if (stopping_.load()) break;
-      HandleShardFailure(shard, generation);
-      continue;
-    }
-    // Pass through verbatim: ingest responses carry no job id to
-    // rewrite, and validation errors come straight from the owner.
-    return response.value() + "\n";
+    port = shards_[shard]->active_port;
+    generation = shards_[shard]->generation;
   }
-  return ErrorResponse(common::UnavailableError(common::StrFormat(
-      "shard unavailable after %d attempts: %s", attempts,
-      last_failure.ToString().c_str())));
+  auto response = ForwardRaw(conn, port, forward_line,
+                             options_.upstream_recv_timeout_millis);
+  if (!response.ok()) {
+    if (!stopping_.load()) HandleShardFailure(shard, generation);
+    return ErrorResponse(common::UnavailableError(common::StrFormat(
+        "cohort '%s' owner (shard %zu) did not answer; the batch may or "
+        "may not have committed — retry with expected_generation to "
+        "guard against a double append: %s",
+        cohort.value().c_str(), shard, response.status().ToString().c_str())));
+  }
+  // Pass through verbatim: ingest responses carry no job id to
+  // rewrite, and validation errors come straight from the owner.
+  return response.value() + "\n";
 }
 
 std::string Router::HandleJobVerb(ClientConn* conn, const Json& body) {

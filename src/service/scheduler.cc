@@ -162,12 +162,12 @@ StatusOr<JobId> Scheduler::Submit(JobRequest request) {
   if (draining_) {
     return common::FailedPreconditionError("scheduler is shutting down");
   }
+  // A newer generation makes queued jobs over older snapshots of the
+  // same cohort pointless: cancel them (freeing queue room) so a
+  // waiter on a stale job resolves with a stale-generation status
+  // instead of burning a worker on an answer nobody should read.
+  std::vector<JobId> superseded;
   if (!request.cohort.empty()) {
-    // A newer generation makes queued jobs over older snapshots of the
-    // same cohort pointless: cancel them now (freeing queue room) so a
-    // waiter on a stale job resolves with a stale-generation status
-    // instead of burning a worker on an answer nobody should read.
-    std::vector<JobId> superseded;
     for (const PendingKey& key : pending_) {
       const Job& queued = *jobs_.at(key.second);
       if (queued.request.cohort == request.cohort &&
@@ -175,29 +175,32 @@ StatusOr<JobId> Scheduler::Submit(JobRequest request) {
         superseded.push_back(key.second);
       }
     }
-    for (JobId stale : superseded) {
-      Job& queued = *jobs_.at(stale);
-      pending_.erase(
-          PendingKey(-static_cast<int64_t>(queued.request.priority), stale));
-      ++stats_.superseded;
-      metrics.GetCounter("service/jobs_superseded").Increment();
-      FinishJob(queued, JobState::kCancelled,
-                common::FailedPreconditionError(common::StrFormat(
-                    "superseded by cohort '%s' generation %lld",
-                    request.cohort.c_str(),
-                    static_cast<long long>(request.cohort_generation))),
-                &notifications);
-    }
   }
-  if (pending_.size() >= options_.max_queue_depth) {
+  // Admission runs BEFORE the supersede-cancels (but accounts for the
+  // slots they would free): a shed submit must leave the queue exactly
+  // as it found it. Cancelling first would tell the stale jobs'
+  // waiters they were "superseded by generation N" when the
+  // generation-N job was never admitted, leaving the cohort with no
+  // queued job at all.
+  if (pending_.size() - superseded.size() >= options_.max_queue_depth) {
     ++stats_.shed;
     metrics.GetCounter("service/jobs_shed").Increment();
-    common::Status shed = common::ResourceExhaustedError(common::StrFormat(
+    return common::ResourceExhaustedError(common::StrFormat(
         "admission queue is full (%zu queued, bound %zu)", pending_.size(),
         options_.max_queue_depth));
-    lock.Unlock();
-    FireNotifications(notifications);  // Supersede-cancels still notify.
-    return shed;
+  }
+  for (JobId stale : superseded) {
+    Job& queued = *jobs_.at(stale);
+    pending_.erase(
+        PendingKey(-static_cast<int64_t>(queued.request.priority), stale));
+    ++stats_.superseded;
+    metrics.GetCounter("service/jobs_superseded").Increment();
+    FinishJob(queued, JobState::kCancelled,
+              common::FailedPreconditionError(common::StrFormat(
+                  "superseded by cohort '%s' generation %lld",
+                  request.cohort.c_str(),
+                  static_cast<long long>(request.cohort_generation))),
+              &notifications);
   }
 
   JobId id = next_id_++;

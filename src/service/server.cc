@@ -96,8 +96,12 @@ std::unique_ptr<CohortStore> AnalysisServer::MakeCohortStore(
   // (declaration order), so the raw capture is safe.
   options.scheduler.on_session_success =
       [raw](const JobRequest& request, const core::SessionResult& result) {
-        raw->OnAnalysisCommitted(request.cohort, request.cohort_generation,
-                                 result);
+        // request.log is the exact snapshot the session analyzed, so
+        // its record count — not the live cohort's, which may have
+        // grown since — is the drift gate's baseline.
+        raw->OnAnalysisCommitted(
+            request.cohort, request.cohort_generation,
+            static_cast<int64_t>(request.log.num_records()), result);
       };
   return store;
 }
@@ -495,7 +499,20 @@ std::string AnalysisServer::DispatchIngest(const Json& body) {
   if (!cohort.ok()) return ErrorResponse(cohort.status());
   auto rows = ParseIngestRecords(body);
   if (!rows.ok()) return ErrorResponse(rows.status());
-  auto result = cohort_store_->Ingest(cohort.value(), rows.value());
+  // Optional replay guard: commit only against this exact generation
+  // (see CohortStore::Ingest). Lets a client retry a timed-out batch
+  // without risking a double append.
+  int64_t expected_generation = -1;
+  if (const Json* expected = body.Find("expected_generation");
+      expected != nullptr) {
+    if (!expected->is_int() || expected->AsInt() < 0) {
+      return ErrorResponse(common::InvalidArgumentError(
+          "'expected_generation' must be a non-negative integer"));
+    }
+    expected_generation = expected->AsInt();
+  }
+  auto result =
+      cohort_store_->Ingest(cohort.value(), rows.value(), expected_generation);
   if (!result.ok()) return ErrorResponse(result.status());
   Json::Object fields;
   fields["cohort"] = Json(cohort.value());

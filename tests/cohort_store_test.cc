@@ -27,6 +27,7 @@
 #include "kdb/database.h"
 #include "service/client.h"
 #include "service/cohort_store.h"
+#include "service/fingerprint.h"
 #include "service/result_cache.h"
 #include "service/scheduler.h"
 #include "service/server.h"
@@ -256,7 +257,7 @@ TEST(CohortStoreTest, PersistsAndReloadsAcrossStores) {
     ASSERT_TRUE(store.Ingest("ward", {Raw(2, "ecg", 3)}).ok());
     // A committed analysis at the current generation becomes durable
     // warm state.
-    store.OnAnalysisCommitted("ward", 2, FakeSuccess(3, 5, 0.25));
+    store.OnAnalysisCommitted("ward", 2, 3, FakeSuccess(3, 5, 0.25));
     csv = store.Snapshot("ward").value().ToCsv();
     before = store.Descriptors("ward").value();
   }
@@ -335,6 +336,76 @@ TEST(CohortStoreTest, TornAppendResidueIsInvisibleAndTruncated) {
   EXPECT_EQ(reloaded.Descriptors("ward").value().generation, 2);
 }
 
+TEST(CohortStoreTest, FirstBatchCrashResidueIsClearedNotAppendedAfter) {
+  // The first-batch crash window: a records file hit disk but the
+  // cohort's FIRST manifest never did. The loader discovers nothing
+  // (no manifest), so a fresh store starts the cohort over — and the
+  // first append must CLEAR the residue, not extend it, or the new
+  // manifest's committed_bytes would cover stale bytes and a reload
+  // would parse the wrong records.
+  std::string dir = MakeScratchDir("first_batch_crash");
+  service::CohortStoreOptions options;
+  options.directory = dir;
+  {
+    std::FILE* file = std::fopen((dir + "/ward.records").c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    const std::string residue =
+        "patient_id,exam_type,day\n7,ghost_exam,3\n11,torn-half";
+    ASSERT_EQ(std::fwrite(residue.data(), 1, residue.size(), file),
+              residue.size());
+    std::fclose(file);
+  }
+
+  service::CohortStore store(options);
+  EXPECT_EQ(store.num_cohorts(), 0u);  // No manifest, no cohort.
+
+  std::vector<dataset::RawExamRecord> batch = {Raw(0, "ecg", 1),
+                                               Raw(1, "xray", 2)};
+  ASSERT_TRUE(store.Ingest("ward", batch).ok());
+
+  // In memory and across a reload, the cohort holds exactly the
+  // committed batch: no ghost records, no parse failure.
+  dataset::ExamLog direct;
+  ASSERT_TRUE(direct.Append(batch).ok());
+  EXPECT_EQ(store.Snapshot("ward").value().ToCsv(), direct.ToCsv());
+  service::CohortStore reloaded(options);
+  ASSERT_EQ(reloaded.num_cohorts(), 1u);
+  EXPECT_EQ(reloaded.Snapshot("ward").value().ToCsv(), direct.ToCsv());
+  EXPECT_EQ(reloaded.Descriptors("ward").value().records, 2);
+}
+
+TEST(CohortStoreTest, ExpectedGenerationGuardsAgainstReplay) {
+  service::CohortStore store(service::CohortStoreOptions{});
+  std::vector<dataset::RawExamRecord> batch = {Raw(0, "ecg", 1)};
+
+  // Conditional first append: a cohort that does not exist yet is at
+  // generation 0.
+  ASSERT_TRUE(store.Ingest("ward", batch, /*expected_generation=*/0).ok());
+
+  // The lost-ack replay: the client resends with the generation it
+  // observed before the commit. The guard rejects it — nothing is
+  // double-applied — and the mismatch tells the client the original
+  // batch landed.
+  auto replay = store.Ingest("ward", batch, /*expected_generation=*/0);
+  EXPECT_EQ(replay.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(store.Descriptors("ward").value().generation, 1);
+  EXPECT_EQ(store.Descriptors("ward").value().records, 1);
+
+  // The guard also refuses a fork: a fresh (empty) cohort cannot
+  // absorb a guarded batch meant for generation 1 of the original.
+  auto forked = store.Ingest("fork", batch, /*expected_generation=*/1);
+  EXPECT_EQ(forked.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(store.num_cohorts(), 1u);
+
+  // Matching generation commits; unconditional appends stay unchanged.
+  ASSERT_TRUE(
+      store.Ingest("ward", {Raw(1, "mri", 2)}, /*expected_generation=*/1)
+          .ok());
+  ASSERT_TRUE(store.Ingest("ward", {Raw(2, "ecg", 3)}).ok());
+  EXPECT_EQ(store.Descriptors("ward").value().generation, 3);
+  EXPECT_EQ(store.Descriptors("ward").value().records, 3);
+}
+
 // ---------------------------------------------------------------------
 // Warm-start state machine.
 
@@ -354,23 +425,28 @@ TEST(CohortStoreTest, WarmStartAppliesUntilDriftGateTrips) {
   EXPECT_EQ(cold.value().cohort_generation, 1);
   EXPECT_EQ(cold.value().options.dataset_id, "ward");
 
-  store.OnAnalysisCommitted("ward", 1, FakeSuccess(7, 6, 1.0));
+  store.OnAnalysisCommitted("ward", 1, 8, FakeSuccess(7, 6, 1.0));
 
   // Two fresh records over ten total: well under the drift gate, so
-  // the next job carries the warm hint and seeds the K sweep from the
-  // prior best K.
+  // the next job carries the warm hint. candidate_ks stays in its
+  // canonical order — it is hashed in order by the options signature,
+  // so the warm and cold jobs over the same snapshot must produce the
+  // same fingerprint (the optimizer reorders evaluation internally,
+  // keyed off the hint).
   ASSERT_TRUE(
       store.Ingest("ward", {Raw(0, "exam_0", 20), Raw(1, "exam_1", 21)}).ok());
   auto warm = store.BuildCohortJob("ward");
   ASSERT_TRUE(warm.ok());
   EXPECT_EQ(warm.value().options.warm.centroids, transform::Matrix(7, 6, 1.0));
   EXPECT_EQ(warm.value().options.warm.best_k, 7);
-  ASSERT_FALSE(warm.value().options.optimizer.candidate_ks.empty());
-  EXPECT_EQ(warm.value().options.optimizer.candidate_ks.front(), 7);
+  EXPECT_EQ(warm.value().options.optimizer.candidate_ks,
+            core::SessionOptions().optimizer.candidate_ks);
+  EXPECT_EQ(service::SessionOptionsSignature(warm.value().options),
+            service::SessionOptionsSignature(cold.value().options));
   EXPECT_EQ(store.stats().warm_starts, 1);
   EXPECT_EQ(store.stats().cold_fallbacks, 0);
 
-  // A flood of new records (32 of 42 arrived since the analysis)
+  // A flood of new records (32 of 40 arrived since the analysis)
   // exceeds drift_threshold: the stale centroids are dropped and the
   // job degrades to a cold run.
   std::vector<dataset::RawExamRecord> flood;
@@ -389,15 +465,47 @@ TEST(CohortStoreTest, StaleAnalysisNotificationIsIgnored) {
   ASSERT_TRUE(store.Ingest("ward", {Raw(0, "ecg", 1)}).ok());
   ASSERT_TRUE(store.Ingest("ward", {Raw(1, "mri", 2)}).ok());
 
-  store.OnAnalysisCommitted("ward", 2, FakeSuccess(4, 3, 2.0));
+  store.OnAnalysisCommitted("ward", 2, 2, FakeSuccess(4, 3, 2.0));
   // A straggler worker reporting an older generation must not clobber
   // the newer warm state.
-  store.OnAnalysisCommitted("ward", 1, FakeSuccess(3, 3, 9.0));
+  store.OnAnalysisCommitted("ward", 1, 1, FakeSuccess(3, 3, 9.0));
 
   auto job = store.BuildCohortJob("ward");
   ASSERT_TRUE(job.ok());
   EXPECT_EQ(job.value().options.warm.best_k, 4);
   EXPECT_EQ(job.value().options.warm.centroids, transform::Matrix(4, 3, 2.0));
+}
+
+TEST(CohortStoreTest, DriftGateMeasuresAgainstTheAnalyzedSnapshot) {
+  // Batches can land between a job's snapshot and its analysis
+  // committing. The drift gate must count them as fresh — its baseline
+  // is the ANALYZED snapshot's record count, not the live log's at
+  // notification time (which would under-count fresh records and warm
+  // a cohort that has actually drifted past the threshold).
+  service::CohortStore store(service::CohortStoreOptions{});
+  std::vector<dataset::RawExamRecord> base;
+  for (int i = 0; i < 4; ++i) {
+    base.push_back(Raw(i, "exam_" + std::to_string(i % 2), i));
+  }
+  ASSERT_TRUE(store.Ingest("ward", base).ok());  // Generation 1: 4 records.
+
+  // 16 more records arrive while generation 1 is still being analyzed.
+  std::vector<dataset::RawExamRecord> meanwhile;
+  for (int i = 0; i < 16; ++i) {
+    meanwhile.push_back(Raw(i % 5, "exam_" + std::to_string(i % 3), 10 + i));
+  }
+  ASSERT_TRUE(store.Ingest("ward", meanwhile).ok());
+
+  // The generation-1 analysis commits now, over its 4-record snapshot.
+  store.OnAnalysisCommitted("ward", 1, 4, FakeSuccess(3, 2, 1.0));
+
+  // 16 of the 20 live records are fresh relative to the analyzed
+  // snapshot — far past drift_threshold, so the job must run cold.
+  auto job = store.BuildCohortJob("ward");
+  ASSERT_TRUE(job.ok());
+  EXPECT_TRUE(job.value().options.warm.centroids.empty());
+  EXPECT_EQ(store.stats().cold_fallbacks, 1);
+  EXPECT_EQ(store.stats().warm_starts, 0);
 }
 
 TEST(CohortStoreTest, IncompleteResultsNeverBecomeWarmState) {
@@ -406,11 +514,11 @@ TEST(CohortStoreTest, IncompleteResultsNeverBecomeWarmState) {
 
   core::SessionResult no_candidates;
   no_candidates.mining_exam_types = {0, 1};
-  store.OnAnalysisCommitted("ward", 1, no_candidates);
+  store.OnAnalysisCommitted("ward", 1, 1, no_candidates);
 
   core::SessionResult no_exam_types = FakeSuccess(3, 4, 1.0);
   no_exam_types.mining_exam_types.clear();
-  store.OnAnalysisCommitted("ward", 1, no_exam_types);
+  store.OnAnalysisCommitted("ward", 1, 1, no_exam_types);
 
   auto job = store.BuildCohortJob("ward");
   ASSERT_TRUE(job.ok());
@@ -455,7 +563,9 @@ TEST(CohortStoreTest, DeltaJobReportIsByteIdenticalToColdRun) {
   auto run1 = core::AnalysisSession(&db1).Run(job1.value().log, nullptr,
                                               ConvergedOptions("icu"));
   ASSERT_TRUE(run1.ok()) << run1.status().ToString();
-  store.OnAnalysisCommitted("icu", 1, run1.value());
+  store.OnAnalysisCommitted(
+      "icu", 1, static_cast<int64_t>(job1.value().log.num_records()),
+      run1.value());
 
   // Generation 2: a 10% tail lands — under the drift gate, so the
   // next job carries the prior centroids as a warm hint.
@@ -508,7 +618,9 @@ TEST(CohortStoreTest, DeltaJobIsDeterministicAndNeverWorseThanCold) {
   auto run1 = core::AnalysisSession(&db1).Run(job1.value().log, nullptr,
                                               FastOptions("icu"));
   ASSERT_TRUE(run1.ok());
-  store.OnAnalysisCommitted("icu", 1, run1.value());
+  store.OnAnalysisCommitted(
+      "icu", 1, static_cast<int64_t>(job1.value().log.num_records()),
+      run1.value());
   ASSERT_TRUE(store
                   .Ingest("icu", std::vector<dataset::RawExamRecord>(
                                      rows.begin() + split, rows.end()))

@@ -979,7 +979,7 @@ TEST_F(FaultInjectionTest, WarmSnapshotFaultDegradesNextJobToCold) {
   {
     ScopedFailpoint torn("service.ingest.snapshot",
                          OneShotError(StatusCode::kUnavailable, "no space"));
-    store.OnAnalysisCommitted("ward", 1, FakeAnalysis(3, 4));
+    store.OnAnalysisCommitted("ward", 1, 1, FakeAnalysis(3, 4));
   }
 
   // The warm state was dropped, not half-installed: the next job runs
@@ -990,7 +990,7 @@ TEST_F(FaultInjectionTest, WarmSnapshotFaultDegradesNextJobToCold) {
   EXPECT_TRUE(job.value().options.warm.centroids.empty());
 
   // A later successful commit installs warm state normally.
-  store.OnAnalysisCommitted("ward", 1, FakeAnalysis(3, 4));
+  store.OnAnalysisCommitted("ward", 1, 1, FakeAnalysis(3, 4));
   auto warmed = store.BuildCohortJob("ward");
   ASSERT_TRUE(warmed.ok());
   EXPECT_FALSE(warmed.value().options.warm.centroids.empty());
@@ -999,7 +999,7 @@ TEST_F(FaultInjectionTest, WarmSnapshotFaultDegradesNextJobToCold) {
 TEST_F(FaultInjectionTest, IngestAdaptFaultFallsBackToColdJob) {
   service::CohortStore store(service::CohortStoreOptions{});
   ASSERT_TRUE(store.Ingest("ward", {IngestRow(0, "ecg", 1)}).ok());
-  store.OnAnalysisCommitted("ward", 1, FakeAnalysis(3, 4));
+  store.OnAnalysisCommitted("ward", 1, 1, FakeAnalysis(3, 4));
 
   {
     ScopedFailpoint refused("service.ingest.adapt",

@@ -9,7 +9,8 @@
 //   health                            role/uptime/load snapshot (JSON)
 //   stats                             scheduler + cache counters (JSON)
 //   submit [dataset] [job options]    submit one analysis job
-//   ingest --cohort NAME [--file F]   append an NDJSON record batch
+//   ingest --cohort NAME [--file F] [--expect-generation N]
+//                                     append an NDJSON record batch
 //   status --job N                    job state snapshot
 //   result --job N [--wait-ms D]      await + fetch the job result
 //   cancel --job N                    cancel a queued job
@@ -26,7 +27,9 @@
 // cohort previously grown with `ingest`. The ingest command reads
 // NDJSON records — one {"patient":N,"exam_type":"name","day":N}
 // object per line — from --file or stdin and appends them as one
-// atomic batch. Job options: --dataset-id, --priority,
+// atomic batch; --expect-generation N makes the append conditional on
+// the cohort still being at generation N (the replay guard for
+// retrying a timed-out batch). Job options: --dataset-id, --priority,
 // --deadline-ms, --cv-folds, --candidate-ks a,b,c, --fast (small
 // session options for smoke tests), --wait (block for the result),
 // --report (print the full Markdown report).
@@ -77,9 +80,11 @@ void PrintUsage() {
       "         [--dataset-id S] [--priority N] [--deadline-ms D]\n"
       "         [--cv-folds N] [--candidate-ks a,b,c] [--fast]\n"
       "         [--wait [--wait-ms D]] [--report]\n"
-      "ingest:  --cohort NAME [--file F]  (NDJSON records, one"
+      "ingest:  --cohort NAME [--file F] [--expect-generation N]\n"
+      "         (NDJSON records, one"
       " {\"patient\":N,\"exam_type\":S,\"day\":N} per line; stdin"
-      " when --file is omitted)\n"
+      " when --file is omitted; --expect-generation commits only if\n"
+      "         the cohort is still at generation N — safe retries)\n"
       "status/result/cancel: --job N  (result also takes --wait-ms D,"
       " --report)\n");
 }
@@ -133,6 +138,7 @@ struct Flags {
   std::string csv_path;
   std::string cohort;
   std::string file_path;  // ingest: NDJSON records; empty = stdin.
+  int64_t expect_generation = -1;  // ingest: replay guard; -1 = off.
   int64_t patients = 0;  // 0 = server default.
   int64_t exam_types = 0;
   int64_t profiles = 0;
@@ -197,6 +203,11 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       const char* text = next();
       if (text == nullptr) return false;
       flags->file_path = text;
+    } else if (std::strcmp(arg, "--expect-generation") == 0) {
+      if (!next_int(&flags->expect_generation) ||
+          flags->expect_generation < 0) {
+        return false;
+      }
     } else if (std::strcmp(arg, "--patients") == 0) {
       if (!next_int(&flags->patients)) return false;
     } else if (std::strcmp(arg, "--exam-types") == 0) {
@@ -330,6 +341,12 @@ StatusOr<Json::Object> BuildIngestBody(const Flags& flags,
   body["verb"] = "ingest";
   body["cohort"] = flags.cohort;
   body["records"] = Json(std::move(records));
+  if (flags.expect_generation >= 0) {
+    // Replay guard: commit only if the cohort is still at exactly this
+    // generation, so a retried batch cannot double-apply (the server
+    // rejects it with FAILED_PRECONDITION instead).
+    body["expected_generation"] = flags.expect_generation;
+  }
   return body;
 }
 
